@@ -1,0 +1,96 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Table 1, Figures 3-8, the Section 5 statistics), runs the
+   related-work ablation, the real-engine counter profile and the deque
+   microbenchmarks.
+
+   Usage: dune exec bench/main.exe -- [options]
+     --scale F      workload scale for the simulator (default 4.0)
+     --quantum N    simulator work chunk in cycles (default 400)
+     --figure N     only Figure N (3..8)
+     --table 1      only Table 1
+     --summary      only the Section 5 statistics
+     --ablation     only the related-work ablation
+     --sensitivity  only the cost-model sensitivity sweeps
+     --csv PATH     also dump the full matrices as PATH-<machine>.csv
+     --micro        only the deque microbenchmarks
+     --real-profile only the real-engine counter profile
+     --quick        scale 0.5 (fast smoke run)
+   With no selection, everything runs in paper order. *)
+
+let () =
+  let scale = ref 4.0 in
+  let quantum = ref 400 in
+  let csv = ref None in
+  let selected : string list ref = ref [] in
+  let args = Array.to_list Sys.argv in
+  let rec parse = function
+    | [] -> ()
+    | "--scale" :: v :: rest ->
+        scale := float_of_string v;
+        parse rest
+    | "--quantum" :: v :: rest ->
+        quantum := int_of_string v;
+        parse rest
+    | "--figure" :: v :: rest ->
+        selected := ("fig" ^ v) :: !selected;
+        parse rest
+    | "--table" :: _ :: rest ->
+        selected := "table1" :: !selected;
+        parse rest
+    | "--summary" :: rest ->
+        selected := "summary" :: !selected;
+        parse rest
+    | "--ablation" :: rest ->
+        selected := "ablation" :: !selected;
+        parse rest
+    | "--sensitivity" :: rest ->
+        selected := "sensitivity" :: !selected;
+        parse rest
+    | "--micro" :: rest ->
+        selected := "micro" :: !selected;
+        parse rest
+    | "--real-profile" :: rest ->
+        selected := "real" :: !selected;
+        parse rest
+    | "--csv" :: path :: rest ->
+        csv := Some path;
+        parse rest
+    | "--quick" :: rest ->
+        scale := 0.5;
+        parse rest
+    | _ :: rest -> parse rest
+  in
+  parse (List.tl args);
+  let ppf = Format.std_formatter in
+  let ctx = Lcws_harness.Figures.make_ctx ~scale:!scale ~quantum:!quantum ~progress:true () in
+  let want name = !selected = [] || List.mem name !selected in
+  let t0 = Unix.gettimeofday () in
+  Format.fprintf ppf
+    "LCWS reproduction benchmark harness (scale=%.2f quantum=%d)@.Box plots are printed as \
+     five-number summaries over all benchmark configs.@.@."
+    !scale !quantum;
+  if want "table1" then Lcws_harness.Figures.table1 ppf;
+  if want "fig3" then Lcws_harness.Figures.fig3 ctx ppf;
+  if want "fig4" then Lcws_harness.Figures.fig4 ctx ppf;
+  if want "fig5" then Lcws_harness.Figures.fig5 ctx ppf;
+  if want "fig6" then Lcws_harness.Figures.fig6 ctx ppf;
+  if want "fig7" then Lcws_harness.Figures.fig7 ctx ppf;
+  if want "fig8" then Lcws_harness.Figures.fig8 ctx ppf;
+  if want "summary" then Lcws_harness.Figures.summary ctx ppf;
+  if want "ablation" then Lcws_harness.Figures.ablation ctx ppf;
+  if want "sensitivity" then Lcws_harness.Figures.sensitivity ctx ppf;
+  (match !csv with
+  | None -> ()
+  | Some path ->
+      List.iter
+        (fun m ->
+          let mat = Lcws_harness.Figures.machine_matrix ctx m in
+          let file = Printf.sprintf "%s-%s.csv" path m.Lcws_sim.Cost_model.name in
+          let oc = open_out file in
+          output_string oc (Lcws_harness.Experiments.to_csv mat);
+          close_out oc;
+          Format.fprintf ppf "[csv] wrote %s@." file)
+        Lcws_sim.Cost_model.all);
+  if want "real" then Lcws_harness.Real_profile.run ppf;
+  if want "micro" then Lcws_harness.Micro.run ppf;
+  Format.fprintf ppf "@.[done in %.1fs]@." (Unix.gettimeofday () -. t0)

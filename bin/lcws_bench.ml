@@ -1,0 +1,167 @@
+(* Command-line front end for the reproduction.
+
+     lcws_bench list                      — benchmarks, instances, machines
+     lcws_bench figure --n 5 [--scale S]  — one paper figure (or table/summary)
+     lcws_bench sim ...                   — one simulated configuration
+     lcws_bench real ...                  — one real-engine run with counters
+     lcws_bench suite ...                 — whole PBBS-like suite, self-checked *)
+
+open Cmdliner
+module S = Lcws.Scheduler
+module E = Lcws.Sim.Engine
+module M = Lcws.Sim.Cost_model
+module W = Lcws.Sim.Workloads
+module T = Lcws.Pbbs.Suite_types
+
+let ppf = Format.std_formatter
+
+(* --- list -------------------------------------------------------------- *)
+
+let list_cmd =
+  let doc = "List benchmarks, input instances, machines and schedulers." in
+  let run () =
+    Format.fprintf ppf "Machines (simulated, Table 1):@.";
+    List.iter (fun (m : M.t) -> Format.fprintf ppf "  %-8s %s@." m.M.name m.M.cpu) M.all;
+    Format.fprintf ppf "@.Schedulers: ws uslcws signal cons half (+ sim-only: lace private)@.";
+    Format.fprintf ppf "@.Real benchmark suite:@.";
+    List.iter
+      (fun (b : T.bench) ->
+        Format.fprintf ppf "  %-24s %s@." b.T.bname
+          (String.concat ", " (List.map (fun i -> i.T.iname) b.T.instances)))
+      Lcws.Pbbs.Suite.all;
+    Format.fprintf ppf "@.Simulator workload models:@.";
+    List.iter (fun (c : W.config) -> Format.fprintf ppf "  %s/%s@." c.W.bench c.W.instance) W.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* --- figure ------------------------------------------------------------ *)
+
+let scale_arg =
+  Arg.(value & opt float 0.5 & info [ "scale" ] ~docv:"S" ~doc:"Workload scale factor.")
+
+let quantum_arg =
+  Arg.(value & opt int 400 & info [ "quantum" ] ~docv:"Q" ~doc:"Sim work chunk (cycles).")
+
+let figure_cmd =
+  let doc = "Reproduce one of the paper's figures/tables." in
+  let what =
+    Arg.(
+      value
+      & opt string "all"
+      & info [ "n"; "what" ] ~docv:"WHAT" ~doc:"table1|3|4|5|6|7|8|summary|ablation|all")
+  in
+  let run what scale quantum =
+    let ctx = Lcws.Harness.Figures.make_ctx ~scale ~quantum ~progress:true () in
+    match what with
+    | "table1" -> Lcws.Harness.Figures.table1 ppf
+    | "3" -> Lcws.Harness.Figures.fig3 ctx ppf
+    | "4" -> Lcws.Harness.Figures.fig4 ctx ppf
+    | "5" -> Lcws.Harness.Figures.fig5 ctx ppf
+    | "6" -> Lcws.Harness.Figures.fig6 ctx ppf
+    | "7" -> Lcws.Harness.Figures.fig7 ctx ppf
+    | "8" -> Lcws.Harness.Figures.fig8 ctx ppf
+    | "summary" -> Lcws.Harness.Figures.summary ctx ppf
+    | "ablation" -> Lcws.Harness.Figures.ablation ctx ppf
+    | "all" -> Lcws.Harness.Figures.all ctx ppf
+    | other -> Format.fprintf ppf "unknown figure %S@." other
+  in
+  Cmd.v (Cmd.info "figure" ~doc) Term.(const run $ what $ scale_arg $ quantum_arg)
+
+(* --- sim ---------------------------------------------------------------- *)
+
+let sim_cmd =
+  let doc = "Simulate one workload configuration under one policy." in
+  let bench = Arg.(required & opt (some string) None & info [ "bench" ] ~docv:"B" ~doc:"Benchmark.") in
+  let instance =
+    Arg.(required & opt (some string) None & info [ "instance" ] ~docv:"I" ~doc:"Input instance.")
+  in
+  let policy = Arg.(value & opt string "signal" & info [ "policy" ] ~doc:"Scheduler policy.") in
+  let machine = Arg.(value & opt string "AMD32" & info [ "machine" ] ~doc:"Machine model.") in
+  let p = Arg.(value & opt int 8 & info [ "p" ] ~doc:"Worker count.") in
+  let run bench instance policy machine p scale quantum =
+    match (W.find ~bench ~instance, E.policy_of_string policy, M.find machine) with
+    | None, _, _ -> Format.fprintf ppf "unknown workload %s/%s@." bench instance
+    | _, None, _ -> Format.fprintf ppf "unknown policy %s@." policy
+    | _, _, None -> Format.fprintf ppf "unknown machine %s@." machine
+    | Some c, Some policy, Some machine ->
+        let comp = c.W.build ~scale in
+        Format.fprintf ppf "work=%d span=%d leaves=%d@." (Lcws.Sim.Comp.total_work comp)
+          (Lcws.Sim.Comp.span comp) (Lcws.Sim.Comp.num_leaves comp);
+        let s = E.run ~machine ~policy ~p ~quantum comp in
+        Format.fprintf ppf
+          "makespan=%d cycles@.fences=%d cas=%d steals=%d/%d exposed=%d taken_back=%d \
+           signals=%d/%d tasks=%d idle=%d@."
+          s.E.makespan s.E.fences s.E.cas s.E.steals s.E.steal_attempts s.E.exposed
+          s.E.taken_back s.E.signals_sent s.E.signals_handled s.E.tasks s.E.idle_cycles
+  in
+  Cmd.v (Cmd.info "sim" ~doc)
+    Term.(const run $ bench $ instance $ policy $ machine $ p $ scale_arg $ quantum_arg)
+
+(* --- real ---------------------------------------------------------------- *)
+
+let real_cmd =
+  let doc = "Run one real benchmark on the multicore engine and print counters." in
+  let bench = Arg.(required & opt (some string) None & info [ "bench" ] ~docv:"B" ~doc:"Benchmark.") in
+  let instance =
+    Arg.(required & opt (some string) None & info [ "instance" ] ~docv:"I" ~doc:"Input instance.")
+  in
+  let variant = Arg.(value & opt string "signal" & info [ "variant" ] ~doc:"Scheduler variant.") in
+  let p = Arg.(value & opt int 4 & info [ "p" ] ~doc:"Worker count.") in
+  let run bench instance variant p scale =
+    match (Lcws.Pbbs.Suite.find ~bench ~instance, S.variant_of_string variant) with
+    | None, _ -> Format.fprintf ppf "unknown benchmark %s/%s@." bench instance
+    | _, None -> Format.fprintf ppf "unknown variant %s@." variant
+    | Some inst, Some variant ->
+        let prepared = inst.T.prepare ~scale in
+        let pool = S.Pool.create ~num_workers:p ~variant () in
+        let t0 = Unix.gettimeofday () in
+        S.Pool.run pool prepared.T.run;
+        let dt = Unix.gettimeofday () -. t0 in
+        let ok = prepared.T.check () in
+        let m = S.Pool.metrics pool in
+        S.Pool.shutdown pool;
+        Format.fprintf ppf "%s/%s %s P=%d: %.3fs check=%s@.%a@." bench instance
+          (S.variant_label variant) p dt
+          (if ok then "OK" else "FAILED")
+          Lcws.Metrics.pp m
+  in
+  Cmd.v (Cmd.info "real" ~doc) Term.(const run $ bench $ instance $ variant $ p $ scale_arg)
+
+(* --- suite --------------------------------------------------------------- *)
+
+let suite_cmd =
+  let doc = "Run the whole PBBS-like suite on the real engine, self-checking each result." in
+  let variant = Arg.(value & opt string "signal" & info [ "variant" ] ~doc:"Scheduler variant.") in
+  let p = Arg.(value & opt int 4 & info [ "p" ] ~doc:"Worker count.") in
+  let run variant p scale =
+    match S.variant_of_string variant with
+    | None -> Format.fprintf ppf "unknown variant %s@." variant
+    | Some variant ->
+        let pool = S.Pool.create ~num_workers:p ~variant () in
+        let failures = ref 0 in
+        List.iter
+          (fun (b : T.bench) ->
+            List.iter
+              (fun (i : T.instance) ->
+                let prepared = i.T.prepare ~scale in
+                let t0 = Unix.gettimeofday () in
+                S.Pool.run pool prepared.T.run;
+                let dt = Unix.gettimeofday () -. t0 in
+                let ok = prepared.T.check () in
+                if not ok then incr failures;
+                Format.fprintf ppf "%-24s %-28s %s %6.2fs@." b.T.bname i.T.iname
+                  (if ok then "OK  " else "FAIL")
+                  dt)
+              b.T.instances)
+          Lcws.Pbbs.Suite.all;
+        S.Pool.shutdown pool;
+        Format.fprintf ppf "@.%s@."
+          (if !failures = 0 then "all checks passed" else Printf.sprintf "%d FAILURES" !failures);
+        if !failures > 0 then exit 1
+  in
+  Cmd.v (Cmd.info "suite" ~doc) Term.(const run $ variant $ p $ scale_arg)
+
+let () =
+  let doc = "Synchronization-light work stealing (SPAA '23) — reproduction tools" in
+  let info = Cmd.info "lcws_bench" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; figure_cmd; sim_cmd; real_cmd; suite_cmd ]))

@@ -1,0 +1,49 @@
+(* Quickhull on three point distributions (computational-geometry family
+   of the paper's evaluation), with a tiny ASCII rendering of the hull.
+
+     dune exec examples/convex_hull_demo.exe -- [points] [workers] *)
+
+open Lcws
+open Pbbs.Geometry
+
+let render pts hull =
+  (* 60x24 ASCII canvas: '.' points, '#' hull vertices. *)
+  let w = 60 and h = 24 in
+  let minx = ref infinity and maxx = ref neg_infinity in
+  let miny = ref infinity and maxy = ref neg_infinity in
+  Array.iter
+    (fun p ->
+      if p.x < !minx then minx := p.x;
+      if p.x > !maxx then maxx := p.x;
+      if p.y < !miny then miny := p.y;
+      if p.y > !maxy then maxy := p.y)
+    pts;
+  let canvas = Array.make_matrix h w ' ' in
+  let plot c p =
+    let px = int_of_float ((p.x -. !minx) /. (!maxx -. !minx +. 1e-9) *. float_of_int (w - 1)) in
+    let py = int_of_float ((p.y -. !miny) /. (!maxy -. !miny +. 1e-9) *. float_of_int (h - 1)) in
+    canvas.(h - 1 - py).(px) <- c
+  in
+  let step = max 1 (Array.length pts / 400) in
+  Array.iteri (fun i p -> if i mod step = 0 then plot '.' p) pts;
+  Array.iter (fun i -> plot '#' pts.(i)) hull;
+  Array.iter (fun row -> print_endline (String.init w (fun i -> row.(i)))) canvas
+
+let () =
+  let n = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 100_000 in
+  let workers = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 4 in
+  let pool = Scheduler.Pool.create ~num_workers:workers ~variant:Scheduler.Signal () in
+  List.iter
+    (fun (name, pts) ->
+      let t0 = Unix.gettimeofday () in
+      let hull = Scheduler.Pool.run pool (fun () -> Pbbs.Convex_hull.quickhull pts) in
+      Printf.printf "\n%s: hull of %d points has %d vertices (%.3fs)\n" name n
+        (Array.length hull)
+        (Unix.gettimeofday () -. t0);
+      render pts hull)
+    [
+      ("2DinSphere", in_sphere2d ~seed:1 n);
+      ("2DinCube", in_cube2d ~seed:2 n);
+      ("2DonSphere", on_sphere2d ~seed:3 (min n 2000));
+    ];
+  Scheduler.Pool.shutdown pool

@@ -1,0 +1,27 @@
+(* Parallel BFS over an rMat graph, comparing scheduler variants on the
+   same input — the graph workload family from the paper's evaluation.
+
+     dune exec examples/graph_bfs.exe -- [rmat-scale] [workers] *)
+
+open Lcws
+
+let () =
+  let sc = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 15 in
+  let workers = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 4 in
+  Printf.printf "building rMat graph (2^%d vertices)...\n%!" sc;
+  let g = Pbbs.Graph.rmat ~seed:11 ~scale:sc ~edge_factor:8 () in
+  Printf.printf "graph: %d vertices, %d directed edges\n%!" (Pbbs.Graph.num_vertices g)
+    (Pbbs.Graph.num_edges g);
+  List.iter
+    (fun variant ->
+      let pool = Scheduler.Pool.create ~num_workers:workers ~variant () in
+      let t0 = Unix.gettimeofday () in
+      let parents = Scheduler.Pool.run pool (fun () -> Pbbs.Bfs.bfs g ~source:0) in
+      let dt = Unix.gettimeofday () -. t0 in
+      let m = Scheduler.Pool.metrics pool in
+      Scheduler.Pool.shutdown pool;
+      let reached = Array.fold_left (fun a p -> if p >= 0 then a + 1 else a) 0 parents in
+      Printf.printf "%-7s reached %d vertices in %.3fs  fences=%-8d cas=%-6d steals=%d\n%!"
+        (Scheduler.variant_label variant)
+        reached dt m.Metrics.fences m.Metrics.cas_ops m.Metrics.steals)
+    Scheduler.all_variants

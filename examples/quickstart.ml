@@ -1,0 +1,51 @@
+(* Quickstart: create a pool with the signal-based LCWS scheduler, run a
+   fork-join computation and a parallel loop, inspect the sync counters.
+
+     dune exec examples/quickstart.exe -- [workers] [variant]
+
+   Variants: ws | user | signal | cons | half *)
+
+open Lcws
+
+let rec fib n =
+  if n < 20 then begin
+    (* Sequential cutoff: below this, forking costs more than it gains. *)
+    let rec f n = if n < 2 then n else f (n - 1) + f (n - 2) in
+    f n
+  end
+  else begin
+    let a, b = Scheduler.fork_join (fun () -> fib (n - 1)) (fun () -> fib (n - 2)) in
+    a + b
+  end
+
+let () =
+  let workers = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 4 in
+  let variant =
+    if Array.length Sys.argv > 2 then
+      Option.value ~default:Scheduler.Signal (Scheduler.variant_of_string Sys.argv.(2))
+    else Scheduler.Signal
+  in
+  Printf.printf "pool: %d workers, %s scheduler\n%!" workers (Scheduler.variant_label variant);
+  let pool = Scheduler.Pool.create ~num_workers:workers ~variant () in
+
+  (* 1. Fork-join recursion. *)
+  let t0 = Unix.gettimeofday () in
+  let f30 = Scheduler.Pool.run pool (fun () -> fib 30) in
+  Printf.printf "fib 30 = %d  (%.3fs)\n%!" f30 (Unix.gettimeofday () -. t0);
+
+  (* 2. Parallel loop + reduction over 10M elements. *)
+  let n = 10_000_000 in
+  let t0 = Unix.gettimeofday () in
+  let total =
+    Scheduler.Pool.run pool (fun () ->
+        Parallel.map_reduce (fun i -> i land 1023) ( + ) 0 (Parallel.tabulate n Fun.id))
+  in
+  Printf.printf "sum of i land 1023 over %d ints = %d  (%.3fs)\n%!" n total
+    (Unix.gettimeofday () -. t0);
+
+  (* 3. What did synchronization cost? *)
+  let m = Scheduler.Pool.metrics pool in
+  Printf.printf "fences=%d cas=%d steals=%d/%d exposures=%d signals=%d/%d\n" m.Metrics.fences
+    m.Metrics.cas_ops m.Metrics.steals m.Metrics.steal_attempts m.Metrics.exposures
+    m.Metrics.signals_sent m.Metrics.signals_handled;
+  Scheduler.Pool.shutdown pool

@@ -1,0 +1,30 @@
+(* Race the two parallel sorts (radix vs merge) across scheduler variants
+   on the same input — the sorting workloads of the paper's evaluation —
+   and print the synchronization-operation footprint of each scheduler.
+
+     dune exec examples/sort_race.exe -- [n] [workers] *)
+
+open Lcws
+
+let () =
+  let n = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 1_000_000 in
+  let workers = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 4 in
+  let keys = Prandom.ints ~seed:3 n ~bound:(1 lsl 20) in
+  Printf.printf "%d random 20-bit keys, %d workers\n" n workers;
+  Printf.printf "%-7s %12s %12s %10s %8s %8s\n" "sched" "radix(s)" "merge(s)" "fences" "cas"
+    "steals";
+  List.iter
+    (fun variant ->
+      let pool = Scheduler.Pool.create ~num_workers:workers ~variant () in
+      let t0 = Unix.gettimeofday () in
+      let by_radix = Scheduler.Pool.run pool (fun () -> Psort.radix_sort ~bits:20 keys) in
+      let t1 = Unix.gettimeofday () in
+      let by_merge = Scheduler.Pool.run pool (fun () -> Psort.merge_sort compare keys) in
+      let t2 = Unix.gettimeofday () in
+      assert (by_radix = by_merge);
+      let m = Scheduler.Pool.metrics pool in
+      Scheduler.Pool.shutdown pool;
+      Printf.printf "%-7s %12.3f %12.3f %10d %8d %8d\n%!"
+        (Scheduler.variant_label variant)
+        (t1 -. t0) (t2 -. t1) m.Metrics.fences m.Metrics.cas_ops m.Metrics.steals)
+    Scheduler.all_variants

@@ -1,0 +1,54 @@
+(* String-processing pipeline on the public API: suffix array, LCP,
+   longest repeated substring and Burrows-Wheeler round trip over a
+   synthetic text — the text benchmarks of the suite as a user would
+   call them.
+
+     dune exec examples/text_tools.exe -- [chars] [workers] *)
+
+open Lcws
+
+let () =
+  let n = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 100_000 in
+  let workers = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 4 in
+  let text =
+    let t = Pbbs.Text_gen.text ~seed:42 ~vocab:(max 16 (n / 50)) ~words:(max 1 (n / 6)) () in
+    if String.length t >= n then String.sub t 0 n else t
+  in
+  Printf.printf "text: %d chars\n%!" (String.length text);
+  let pool = Scheduler.Pool.create ~num_workers:workers ~variant:Scheduler.Signal () in
+  Fun.protect
+    ~finally:(fun () -> Scheduler.Pool.shutdown pool)
+    (fun () ->
+      (* Suffix array *)
+      let t0 = Unix.gettimeofday () in
+      let sa = Scheduler.Pool.run pool (fun () -> Pbbs.Suffix_array.suffix_array text) in
+      Printf.printf "suffix array built in %.3fs (first suffixes: %d %d %d ...)\n%!"
+        (Unix.gettimeofday () -. t0)
+        sa.(0) sa.(1) sa.(2);
+
+      (* Longest repeated substring *)
+      let t0 = Unix.gettimeofday () in
+      (match Scheduler.Pool.run pool (fun () -> Pbbs.Lrs.lrs text) with
+      | None -> print_endline "no repeated substring"
+      | Some r ->
+          let shown = min r.Pbbs.Lrs.length 60 in
+          Printf.printf "longest repeated substring: %d chars at %d and %d (%.3fs)\n  %S%s\n%!"
+            r.Pbbs.Lrs.length r.Pbbs.Lrs.offset r.Pbbs.Lrs.other
+            (Unix.gettimeofday () -. t0)
+            (Pbbs.Lrs.substring_at text r.Pbbs.Lrs.offset shown)
+            (if shown < r.Pbbs.Lrs.length then "..." else ""));
+
+      (* Burrows-Wheeler round trip *)
+      let t0 = Unix.gettimeofday () in
+      let encoded = Scheduler.Pool.run pool (fun () -> Pbbs.Bw_transform.bwt text) in
+      let runs =
+        let r = ref 1 in
+        String.iteri (fun i c -> if i > 0 && c <> encoded.[i - 1] then incr r) encoded;
+        !r
+      in
+      Printf.printf "BWT: %d chars in %d runs (%.1f chars/run) in %.3fs\n%!"
+        (String.length encoded) runs
+        (float_of_int (String.length encoded) /. float_of_int runs)
+        (Unix.gettimeofday () -. t0);
+      let decoded = Pbbs.Bw_transform.unbwt encoded in
+      Printf.printf "round trip %s\n" (if decoded = text then "OK" else "FAILED"))

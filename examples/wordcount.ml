@@ -1,0 +1,24 @@
+(* Word counting over a synthetic document collection — the text-processing
+   workload from the paper's evaluation, as a library user would write it.
+
+     dune exec examples/wordcount.exe -- [words] [workers] *)
+
+open Lcws
+
+let () =
+  let words = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 200_000 in
+  let workers = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 4 in
+  let text = Pbbs.Text_gen.text ~seed:7 ~vocab:(words / 20) ~words () in
+  Printf.printf "text: %d bytes, vocabulary ~%d words\n%!" (String.length text) (words / 20);
+  let pool = Scheduler.Pool.create ~num_workers:workers ~variant:Scheduler.Signal () in
+  let t0 = Unix.gettimeofday () in
+  let counts = Scheduler.Pool.run pool (fun () -> Pbbs.Word_counts.word_counts text) in
+  let dt = Unix.gettimeofday () -. t0 in
+  Scheduler.Pool.shutdown pool;
+  let top =
+    let l = Array.to_list counts in
+    List.filteri (fun i _ -> i < 10)
+      (List.sort (fun a b -> compare b.Pbbs.Word_counts.count a.Pbbs.Word_counts.count) l)
+  in
+  Printf.printf "%d distinct words in %.3fs; top 10:\n" (Array.length counts) dt;
+  List.iter (fun { Pbbs.Word_counts.word; count } -> Printf.printf "  %8d  %s\n" count word) top

@@ -1,0 +1,88 @@
+(** Umbrella module: the public face of the LCWS reproduction.
+
+    {b Quickstart}
+    {[
+      open Lcws
+
+      let () =
+        let pool = Scheduler.Pool.create ~num_workers:4 ~variant:Scheduler.Signal () in
+        let total =
+          Scheduler.Pool.run pool (fun () ->
+            Parallel.map_reduce (fun x -> x * x) ( + ) 0 (Array.init 1_000 Fun.id))
+        in
+        Scheduler.Pool.shutdown pool;
+        Printf.printf "%d\n" total
+    ]}
+
+    Layers, bottom-up:
+    - {!Metrics}, {!Xoshiro}, {!Backoff}, {!Fastmath} — runtime support;
+    - {!Split_deque}, {!Chase_lev}, {!Lace_deque}, {!Private_deque} — the
+      work-stealing deques (the paper's Listing 2 and its comparators);
+    - {!Scheduler} — the five schedulers (WS, USLCWS, Signal, Cons,
+      Half) over real domains (Listings 1 and 3);
+    - {!Parallel}, {!Psort}, {!Prandom} — a Parlay-style algorithm
+      toolkit on top of the scheduler;
+    - {!Pbbs} — the PBBS-like benchmark suite;
+    - {!Sim} — the deterministic multiprocessor simulator used for the
+      speedup figures, with the Table 1 machine models;
+    - {!Harness} — experiment matrices, statistics and figure printers. *)
+
+module Metrics = Lcws_sync.Metrics
+module Xoshiro = Lcws_sync.Xoshiro
+module Backoff = Lcws_sync.Backoff
+module Fastmath = Lcws_sync.Fastmath
+module Deque_intf = Lcws_deque.Deque_intf
+module Split_deque = Lcws_deque.Split_deque
+module Chase_lev = Lcws_deque.Chase_lev
+module Lace_deque = Lcws_deque.Lace_deque
+module Private_deque = Lcws_deque.Private_deque
+module Scheduler = Lcws_sched.Scheduler
+module Parallel = Lcws_parlay.Seq_ops
+module Psort = Lcws_parlay.Sort
+module Sample_sort = Lcws_parlay.Sample_sort
+module Collect = Lcws_parlay.Collect
+module Prandom = Lcws_parlay.Prandom
+
+module Pbbs = struct
+  module Suite_types = Lcws_pbbs.Suite_types
+  module Suite = Lcws_pbbs.Suite
+  module Graph = Lcws_pbbs.Graph
+  module Geometry = Lcws_pbbs.Geometry
+  module Text_gen = Lcws_pbbs.Text_gen
+  module Tokens = Lcws_pbbs.Tokens
+  module Integer_sort = Lcws_pbbs.Integer_sort
+  module Comparison_sort = Lcws_pbbs.Comparison_sort
+  module Histogram = Lcws_pbbs.Histogram
+  module Word_counts = Lcws_pbbs.Word_counts
+  module Inverted_index = Lcws_pbbs.Inverted_index
+  module Remove_duplicates = Lcws_pbbs.Remove_duplicates
+  module Suffix_array = Lcws_pbbs.Suffix_array
+  module Bfs = Lcws_pbbs.Bfs
+  module Maximal_independent_set = Lcws_pbbs.Maximal_independent_set
+  module Maximal_matching = Lcws_pbbs.Maximal_matching
+  module Spanning_forest = Lcws_pbbs.Spanning_forest
+  module Convex_hull = Lcws_pbbs.Convex_hull
+  module Nearest_neighbors = Lcws_pbbs.Nearest_neighbors
+  module Nbody = Lcws_pbbs.Nbody
+  module Ray_cast = Lcws_pbbs.Ray_cast
+  module Classify = Lcws_pbbs.Classify
+  module Lrs = Lcws_pbbs.Lrs
+  module Bw_transform = Lcws_pbbs.Bw_transform
+  module Range_query = Lcws_pbbs.Range_query
+  module Delaunay = Lcws_pbbs.Delaunay
+end
+
+module Sim = struct
+  module Cost_model = Lcws_sim.Cost_model
+  module Comp = Lcws_sim.Comp
+  module Engine = Lcws_sim.Engine
+  module Workloads = Lcws_sim.Workloads
+end
+
+module Harness = struct
+  module Stats = Lcws_harness.Stats
+  module Experiments = Lcws_harness.Experiments
+  module Figures = Lcws_harness.Figures
+  module Real_profile = Lcws_harness.Real_profile
+  module Micro = Lcws_harness.Micro
+end

@@ -1,0 +1,110 @@
+module Metrics = Lcws_sync.Metrics
+open Deque_intf
+
+type 'a t = {
+  dummy : 'a;
+  deq : 'a array; (* circular; slot i lives at i land mask *)
+  mask : int;
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  metrics : Metrics.t;
+}
+
+let create ~capacity ~dummy ~metrics () =
+  if capacity < 1 then invalid_arg "Chase_lev.create";
+  let cap = Lcws_sync.Fastmath.next_pow2 capacity in
+  {
+    dummy;
+    deq = Array.make cap dummy;
+    mask = cap - 1;
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    metrics;
+  }
+
+let capacity t = Array.length t.deq
+
+let push_bottom t x =
+  let b = Atomic.get t.bottom in
+  let tp = Atomic.get t.top in
+  if b - tp >= Array.length t.deq then raise Deque_full;
+  t.deq.(b land t.mask) <- x;
+  (* Release store in C11; OCaml's [Atomic.set] is SC, so the baseline pays
+     at least the fence the real WS implementation pays here on non-TSO. *)
+  Atomic.set t.bottom (b + 1);
+  t.metrics.pushes <- t.metrics.pushes + 1
+
+let pop_bottom t =
+  (* Cheap emptiness pre-check: only the owner pushes, so an empty deque
+     observed by the owner stays empty — skip the fence entirely (the
+     standard optimization; without it every idle probe costs a fence). *)
+  let b0 = Atomic.get t.bottom in
+  let tp0 = Atomic.get t.top in
+  if b0 <= tp0 then None
+  else begin
+  let b = Atomic.get t.bottom - 1 in
+  Atomic.set t.bottom b;
+  (* The store above doubles as the algorithm's seq-cst fence separating
+     the [bottom] decrement from the [top] load. *)
+  t.metrics.fences <- t.metrics.fences + 1;
+  let tp = Atomic.get t.top in
+  if b < tp then begin
+    (* Deque was empty; restore. *)
+    Atomic.set t.bottom tp;
+    None
+  end
+  else begin
+    let x = t.deq.(b land t.mask) in
+    if b > tp then begin
+      t.metrics.pops <- t.metrics.pops + 1;
+      Some x
+    end
+    else begin
+      (* Single element left: race thieves for it. *)
+      t.metrics.cas_ops <- t.metrics.cas_ops + 1;
+      let won = Atomic.compare_and_set t.top tp (tp + 1) in
+      Atomic.set t.bottom (tp + 1);
+      if won then begin
+        t.metrics.pops <- t.metrics.pops + 1;
+        Some x
+      end
+      else begin
+        t.metrics.cas_failures <- t.metrics.cas_failures + 1;
+        None
+      end
+    end
+  end
+  end
+
+let steal t ~metrics:m =
+  m.Metrics.steal_attempts <- m.Metrics.steal_attempts + 1;
+  let tp = Atomic.get t.top in
+  (* Seq-cst fence between the [top] and [bottom] loads in C11; OCaml's SC
+     atomics already order them, count it as the algorithm's fence. *)
+  m.fences <- m.fences + 1;
+  let b = Atomic.get t.bottom in
+  if tp < b then begin
+    let x = t.deq.(tp land t.mask) in
+    m.cas_ops <- m.cas_ops + 1;
+    if Atomic.compare_and_set t.top tp (tp + 1) then begin
+      m.steals <- m.steals + 1;
+      Stolen x
+    end
+    else begin
+      m.cas_failures <- m.cas_failures + 1;
+      m.aborts <- m.aborts + 1;
+      Abort
+    end
+  end
+  else Empty
+
+let size t =
+  let n = Atomic.get t.bottom - Atomic.get t.top in
+  if n < 0 then 0 else n
+
+let is_empty t = size t = 0
+
+let clear t =
+  let tp = Atomic.get t.top in
+  Atomic.set t.bottom tp;
+  Array.fill t.deq 0 (Array.length t.deq) t.dummy

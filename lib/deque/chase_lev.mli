@@ -1,0 +1,37 @@
+(** Chase-Lev concurrent work-stealing deque — the WS baseline.
+
+    This is the fully concurrent deque underlying Parlay's default
+    scheduler (Chase & Lev, SPAA '05, in the C11 formulation of Lê et
+    al.). Every owner [pop_bottom] executes a seq-cst fence, and the
+    owner/thief race on the last element costs a CAS — the
+    synchronization the paper's split deque eliminates for local
+    operations (cf. Attiya et al.'s lower bound).
+
+    Ownership contract: one owner domain for [push_bottom]/[pop_bottom];
+    any domain may [steal]. *)
+
+type 'a t
+
+val create : capacity:int -> dummy:'a -> metrics:Lcws_sync.Metrics.t -> unit -> 'a t
+
+val capacity : 'a t -> int
+
+(** Owner: push; release-store of [bottom] (no fence counted, matching the
+    C11 implementation). Raises {!Deque_intf.Deque_full} when full. *)
+val push_bottom : 'a t -> 'a -> unit
+
+(** Owner: pop; one seq-cst fence always, one CAS when taking the last
+    element. *)
+val pop_bottom : 'a t -> 'a option
+
+(** Thief: one seq-cst fence plus one CAS on a non-empty deque. Never
+    returns [Private_work]. *)
+val steal : 'a t -> metrics:Lcws_sync.Metrics.t -> 'a Deque_intf.steal_result
+
+(** Racy size estimate. *)
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** Owner: drop everything (between benchmark runs). *)
+val clear : 'a t -> unit

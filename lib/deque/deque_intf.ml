@@ -1,0 +1,21 @@
+(** Shared result types for work-stealing deques. *)
+
+(** Outcome of a thief's [pop_top]. [Private_work] is the split-deque
+    speciality: the public part is empty but the victim holds private
+    tasks, so the thief should notify the victim to expose work
+    (Listing 1, line 22 of the paper). *)
+type 'a steal_result =
+  | Stolen of 'a  (** the thief owns the task now *)
+  | Empty  (** the whole deque is empty *)
+  | Abort  (** lost a CAS race; retry elsewhere *)
+  | Private_work  (** public part empty, private part non-empty *)
+
+(** Raised when a bounded deque runs out of slots. The paper's deques are
+    fixed-size arrays; capacity is a constructor parameter here. *)
+exception Deque_full
+
+let pp_steal_result pp_task ppf = function
+  | Stolen x -> Format.fprintf ppf "Stolen %a" pp_task x
+  | Empty -> Format.pp_print_string ppf "Empty"
+  | Abort -> Format.pp_print_string ppf "Abort"
+  | Private_work -> Format.pp_print_string ppf "Private_work"

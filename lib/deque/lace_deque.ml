@@ -1,0 +1,75 @@
+open Deque_intf
+
+type op_cost = { fences : int; cas : int }
+
+let no_cost = { fences = 0; cas = 0 }
+
+type 'a t = {
+  dummy : 'a;
+  deq : 'a array;
+  mutable top : int; (* first public task *)
+  mutable split : int; (* public region is [top, split) *)
+  mutable bot : int; (* private region is [split, bot) *)
+}
+
+let create ~capacity ~dummy () =
+  if capacity < 1 then invalid_arg "Lace_deque.create";
+  { dummy; deq = Array.make capacity dummy; top = 0; split = 0; bot = 0 }
+
+let reset_if_empty t = if t.top = t.bot then (t.top <- 0; t.split <- 0; t.bot <- 0)
+
+let push_bottom t x =
+  if t.bot >= Array.length t.deq then raise Deque_full;
+  t.deq.(t.bot) <- x;
+  t.bot <- t.bot + 1;
+  no_cost
+
+let pop_bottom t =
+  if t.bot > t.split then begin
+    (* Private pop: synchronization-free, as in LCWS. *)
+    t.bot <- t.bot - 1;
+    let x = t.deq.(t.bot) in
+    reset_if_empty t;
+    (Some x, no_cost)
+  end
+  else if t.split > t.top then begin
+    (* Unexpose: Lace's owner moves the split point back before taking the
+       task; doing so safely costs a fence (and a CAS-equivalent check
+       against racing thieves in the real implementation). *)
+    t.split <- t.split - 1;
+    t.bot <- t.bot - 1;
+    let x = t.deq.(t.bot) in
+    reset_if_empty t;
+    (Some x, { fences = 2; cas = 1 })
+  end
+  else (None, no_cost)
+
+let pop_top t =
+  if t.split > t.top then begin
+    let x = t.deq.(t.top) in
+    t.top <- t.top + 1;
+    (Stolen x, { fences = 0; cas = 1 })
+  end
+  else if t.bot > t.split then (Private_work, no_cost)
+  else (Empty, no_cost)
+
+let expose t =
+  if t.bot > t.split then begin
+    t.split <- t.split + 1;
+    (1, { fences = 1; cas = 0 })
+  end
+  else (0, no_cost)
+
+let private_size t = t.bot - t.split
+
+let public_size t = t.split - t.top
+
+let size t = t.bot - t.top
+
+let is_empty t = size t = 0
+
+let clear t =
+  t.top <- 0;
+  t.split <- 0;
+  t.bot <- 0;
+  Array.fill t.deq 0 (Array.length t.deq) t.dummy

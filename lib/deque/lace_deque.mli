@@ -1,0 +1,53 @@
+(** Lace-style split deque with *unexposure* (van Dijk & van de Pol,
+    Euro-Par '14) — the related-work comparator of Section 2.
+
+    Like the LCWS split deque, work is divided at a split point into a
+    thief-visible and an owner-private region. The two differences the
+    paper highlights are modelled faithfully:
+
+    - the owner may {e unexpose} work: when its private region is empty
+      but the public one is not, it pulls the split point back down
+      instead of competing at the public bottom;
+    - exposure happens only when the owner touches its deque (no
+      constant-time handling of exposure requests).
+
+    This module is the {e sequential specification} used by the
+    discrete-event simulator, where deque operations are atomic at event
+    granularity; the synchronization cost of each operation is reported
+    through the returned {!op_cost} so the simulator can charge it. It is
+    not safe for shared-memory concurrency (Lace's real implementation
+    needs a handshake protocol that is out of scope; the evaluation never
+    runs Lace on the shared-memory engine). *)
+
+type 'a t
+
+(** Synchronization events an operation performed, for cost accounting. *)
+type op_cost = { fences : int; cas : int }
+
+val no_cost : op_cost
+
+val create : capacity:int -> dummy:'a -> unit -> 'a t
+
+val push_bottom : 'a t -> 'a -> op_cost
+
+(** Owner pop. If the private region is empty but public work remains,
+    the owner unexposes one task (a fence, per Lace's [shrink_shared])
+    and takes it. *)
+val pop_bottom : 'a t -> 'a option * op_cost
+
+(** Thief steal from the top of the public region. *)
+val pop_top : 'a t -> ('a Deque_intf.steal_result * op_cost)
+
+(** Owner: answer a pending work request by exposing one task (Lace's
+    owners check a [splitreq] flag when they access the deque). *)
+val expose : 'a t -> int * op_cost
+
+val private_size : 'a t -> int
+
+val public_size : 'a t -> int
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val clear : 'a t -> unit

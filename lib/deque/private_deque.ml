@@ -1,0 +1,48 @@
+open Deque_intf
+
+type 'a t = {
+  dummy : 'a;
+  deq : 'a array;
+  mask : int;
+  mutable top : int;
+  mutable bot : int;
+}
+
+let create ~capacity ~dummy () =
+  if capacity < 1 then invalid_arg "Private_deque.create";
+  let cap = Lcws_sync.Fastmath.next_pow2 capacity in
+  { dummy; deq = Array.make cap dummy; mask = cap - 1; top = 0; bot = 0 }
+
+let capacity t = Array.length t.deq
+
+let size t = t.bot - t.top
+
+let is_empty t = size t = 0
+
+let push_bottom t x =
+  if size t >= Array.length t.deq then raise Deque_full;
+  t.deq.(t.bot land t.mask) <- x;
+  t.bot <- t.bot + 1
+
+let pop_bottom t =
+  if size t = 0 then None
+  else begin
+    t.bot <- t.bot - 1;
+    let x = t.deq.(t.bot land t.mask) in
+    t.deq.(t.bot land t.mask) <- t.dummy;
+    Some x
+  end
+
+let pop_top t =
+  if size t = 0 then None
+  else begin
+    let x = t.deq.(t.top land t.mask) in
+    t.deq.(t.top land t.mask) <- t.dummy;
+    t.top <- t.top + 1;
+    Some x
+  end
+
+let clear t =
+  t.top <- 0;
+  t.bot <- 0;
+  Array.fill t.deq 0 (Array.length t.deq) t.dummy

@@ -1,0 +1,26 @@
+(** Entirely private deque (Acar, Charguéraud & Rainey, PPoPP '13).
+
+    No field is shared: load balancing happens through explicit transfer
+    messages handled by the owner, so every operation is
+    synchronization-free. Used by the simulator's [Private] policy (the
+    related-work comparator) and as a reference model in tests. *)
+
+type 'a t
+
+val create : capacity:int -> dummy:'a -> unit -> 'a t
+
+val capacity : 'a t -> int
+
+val push_bottom : 'a t -> 'a -> unit
+
+val pop_bottom : 'a t -> 'a option
+
+(** Owner-side removal from the top, used to answer a thief's transfer
+    request. *)
+val pop_top : 'a t -> 'a option
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val clear : 'a t -> unit

@@ -1,0 +1,196 @@
+module Metrics = Lcws_sync.Metrics
+open Deque_intf
+
+(* [age] packs a 31-bit ABA tag and a 32-bit top index in one immediate so
+   one [compare_and_set] updates both, mirroring the paper's two-field
+   [age_t] updated by a double-word CAS. *)
+module Age = struct
+  let top_bits = 32
+  let max_top = (1 lsl top_bits) - 1
+  let pack ~tag ~top = (tag lsl top_bits) lor (top land max_top)
+  let top age = age land max_top
+  let tag age = age lsr top_bits
+end
+
+type exposure_policy = Expose_one | Expose_conservative | Expose_half
+
+type 'a t = {
+  dummy : 'a;
+  deq : 'a array;
+  mutable bot : int; (* owner-only; plain field, racy thief reads are heuristic *)
+  public_bot : int Atomic.t; (* owner writes, thieves read *)
+  age : int Atomic.t; (* packed (tag, top) *)
+  fence_cell : int Atomic.t; (* target of explicit seq-cst fences *)
+  metrics : Metrics.t; (* owner's counters *)
+}
+
+let create ~capacity ~dummy ~metrics () =
+  if capacity < 1 || capacity > Age.max_top then invalid_arg "Split_deque.create";
+  {
+    dummy;
+    deq = Array.make capacity dummy;
+    bot = 0;
+    public_bot = Atomic.make 0;
+    age = Atomic.make (Age.pack ~tag:0 ~top:0);
+    fence_cell = Atomic.make 0;
+    metrics;
+  }
+
+let capacity t = Array.length t.deq
+
+(* OCaml has no [Atomic.fence]; an SC store to a private cell compiles to
+   the same full barrier and is never contended. *)
+let fence t =
+  Atomic.set t.fence_cell 0;
+  t.metrics.fences <- t.metrics.fences + 1
+
+let push_bottom t x =
+  let b = t.bot in
+  if b >= Array.length t.deq then raise Deque_full;
+  t.deq.(b) <- x;
+  t.bot <- b + 1;
+  t.metrics.pushes <- t.metrics.pushes + 1
+
+let pop_bottom t =
+  if t.bot = Atomic.get t.public_bot then None
+  else begin
+    let b = t.bot - 1 in
+    t.bot <- b;
+    t.metrics.pops <- t.metrics.pops + 1;
+    Some t.deq.(b)
+  end
+
+let pop_bottom_signal_safe t =
+  (* Section 4: decrement first so a concurrent exposure cannot observe the
+     stale [bot] and hand the same task to a thief. On failure [bot] stays
+     decremented; [pop_public_bottom] repairs it. *)
+  let b = t.bot - 1 in
+  t.bot <- b;
+  if b < Atomic.get t.public_bot then None
+  else begin
+    t.metrics.pops <- t.metrics.pops + 1;
+    Some t.deq.(b)
+  end
+
+let pop_public_bottom t =
+  let pb0 = Atomic.get t.public_bot in
+  if pb0 = 0 then begin
+    (* Section 4 amendment: repair [bot] after a failed decrement-first
+       [pop_bottom] when there is no public work either. *)
+    t.bot <- 0;
+    None
+  end
+  else begin
+    let pb = pb0 - 1 in
+    (* Listing 2 lines 11-12: the decrement must become visible to thieves
+       before we read [age]; [Atomic.set] is an SC store (full fence). *)
+    Atomic.set t.public_bot pb;
+    t.metrics.fences <- t.metrics.fences + 1;
+    let task = t.deq.(pb) in
+    let old_age = Atomic.get t.age in
+    let top = Age.top old_age in
+    if pb > top then begin
+      t.bot <- pb;
+      fence t (* line 27 *);
+      t.metrics.public_pops <- t.metrics.public_pops + 1;
+      Some task
+    end
+    else begin
+      (* Racing thieves for the last public task. *)
+      t.bot <- 0;
+      let new_age = Age.pack ~tag:(Age.tag old_age + 1) ~top:0 in
+      let local_bot = pb in
+      Atomic.set t.public_bot 0;
+      let won =
+        local_bot = top
+        && begin
+             t.metrics.cas_ops <- t.metrics.cas_ops + 1;
+             let ok = Atomic.compare_and_set t.age old_age new_age in
+             if not ok then t.metrics.cas_failures <- t.metrics.cas_failures + 1;
+             ok
+           end
+      in
+      let result =
+        if won then begin
+          t.metrics.public_pops <- t.metrics.public_pops + 1;
+          Some task
+        end
+        else begin
+          Atomic.set t.age new_age;
+          None
+        end
+      in
+      fence t (* line 27 *);
+      result
+    end
+  end
+
+let pop_top t ~metrics:m =
+  m.Metrics.steal_attempts <- m.Metrics.steal_attempts + 1;
+  let old_age = Atomic.get t.age in
+  let top = Age.top old_age in
+  let pb = Atomic.get t.public_bot in
+  if pb > top then begin
+    let task = t.deq.(top) in
+    let new_age = Age.pack ~tag:(Age.tag old_age) ~top:(top + 1) in
+    m.cas_ops <- m.cas_ops + 1;
+    if Atomic.compare_and_set t.age old_age new_age then begin
+      m.steals <- m.steals + 1;
+      Stolen task
+    end
+    else begin
+      m.cas_failures <- m.cas_failures + 1;
+      m.aborts <- m.aborts + 1;
+      Abort
+    end
+  end
+  else if t.bot > pb then begin
+    (* Listing 2 line 39 has the comparison inverted (see DESIGN.md §2.6);
+       private work exists exactly when [bot > public_bot]. *)
+    m.private_work_hits <- m.private_work_hits + 1;
+    Private_work
+  end
+  else Empty
+
+let update_public_bottom t ~policy =
+  let pb = Atomic.get t.public_bot in
+  let r = t.bot - pb in
+  let n =
+    match policy with
+    | Expose_one -> if r >= 1 then 1 else 0
+    | Expose_conservative -> if r >= 2 then 1 else 0
+    | Expose_half ->
+        if r >= 3 then Lcws_sync.Fastmath.round_half r else if r >= 1 then 1 else 0
+  in
+  if n > 0 then begin
+    (* SC store: publishes both the slot contents written by [push_bottom]
+       and the new boundary. The C++ original is a volatile store; on x86
+       both are a plain MOV on the owner's hot path only when exposing. *)
+    Atomic.set t.public_bot (pb + n);
+    t.metrics.exposures <- t.metrics.exposures + 1;
+    t.metrics.exposed_tasks <- t.metrics.exposed_tasks + n
+  end;
+  n
+
+let has_two_tasks t = t.bot - Atomic.get t.public_bot >= 2
+
+let private_size t =
+  let n = t.bot - Atomic.get t.public_bot in
+  if n < 0 then 0 else n
+
+let public_size t =
+  let n = Atomic.get t.public_bot - Age.top (Atomic.get t.age) in
+  if n < 0 then 0 else n
+
+let size t =
+  let n = t.bot - Age.top (Atomic.get t.age) in
+  if n < 0 then 0 else n
+
+let is_empty t = size t = 0
+
+let clear t =
+  let old_age = Atomic.get t.age in
+  t.bot <- 0;
+  Atomic.set t.public_bot 0;
+  Atomic.set t.age (Age.pack ~tag:(Age.tag old_age + 1) ~top:0);
+  Array.fill t.deq 0 (Array.length t.deq) t.dummy

@@ -1,0 +1,88 @@
+(** The LCWS split deque (paper Listing 2, plus the Section 4 fix).
+
+    A split deque is an array-backed deque divided by [public_bot] into a
+    thief-visible public part [\[top, public_bot)] and an owner-private part
+    [\[public_bot, bot)]. Owner operations on the private part
+    ([push_bottom], [pop_bottom]) are synchronization-free; the owner pays
+    fences only in [pop_public_bottom] (two per call) and thieves pay one
+    CAS per successful steal. The [age] word packs [(tag, top)] so a single
+    compare-and-set both advances [top] and defeats the ABA problem.
+
+    Ownership contract: exactly one domain (the owner) may call
+    [push_bottom], [pop_bottom], [pop_bottom_unsafe_fixed],
+    [pop_public_bottom] and [update_public_bottom]. Any domain may call
+    [pop_top]. Thieves pass their own {!Lcws_sync.Metrics.t} so that every
+    counter field stays single-writer. *)
+
+type 'a t
+
+(** [create ~capacity ~dummy ~metrics ()] — [dummy] fills empty slots (it
+    is never returned), [metrics] is the owner's counter block. Capacity
+    bounds the *live* extent \[0, bot); the fork-join discipline keeps it
+    proportional to the recursion depth. *)
+val create : capacity:int -> dummy:'a -> metrics:Lcws_sync.Metrics.t -> unit -> 'a t
+
+val capacity : 'a t -> int
+
+(** Owner: push a task below the bottom of the private part.
+    Synchronization-free. Raises {!Deque_intf.Deque_full} when out of
+    slots. *)
+val push_bottom : 'a t -> 'a -> unit
+
+(** Owner: take the bottom-most private task, if any. Synchronization-free.
+    This is the *original* Listing 2 version ([bot == public_bot]
+    comparison first), used by the user-space, Conservative and Expose-Half
+    variants. *)
+val pop_bottom : 'a t -> 'a option
+
+(** Owner: the Section 4 signal-safe variant that decrements [bot] before
+    comparing ([--bot < public_bot]), closing the data race with an
+    asynchronous [update_public_bottom]. On [None] the caller must invoke
+    [pop_public_bottom] next (which repairs [bot]), exactly as the
+    scheduler of Listing 1 does. *)
+val pop_bottom_signal_safe : 'a t -> 'a option
+
+(** Owner: take the bottom-most task of the *public* part, competing with
+    thieves. Two seq-cst fences per call (Listing 2 lines 12 and 27), plus
+    one CAS when racing for the last public task. Resets [bot] to 0 when
+    the deque empties (including the Section 4 amendment: also when
+    [public_bot] is already 0). *)
+val pop_public_bottom : 'a t -> 'a option
+
+(** Thief: try to steal the top-most public task. [metrics] is the thief's
+    own counter block. One CAS on success or abort; no fences. *)
+val pop_top : 'a t -> metrics:Lcws_sync.Metrics.t -> 'a Deque_intf.steal_result
+
+(** Owner (or its signal handler): expose work.
+    [update_public_bottom t ~policy] transfers private tasks to the public
+    part according to the variant's exposure policy and returns how many
+    tasks were exposed. *)
+type exposure_policy =
+  | Expose_one  (** base/user-space/signal: one task if any is private *)
+  | Expose_conservative  (** Cons (4.1.1): one task iff >= 2 are private *)
+  | Expose_half  (** Half (4.1.2): round(r/2) tasks when r >= 3, else one *)
+
+val update_public_bottom : 'a t -> policy:exposure_policy -> int
+
+(** Thief-side racy size estimates (plain reads; may be stale). *)
+
+val has_two_tasks : 'a t -> bool
+
+val private_size : 'a t -> int
+
+val public_size : 'a t -> int
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** Owner: drop everything (between benchmark runs). *)
+val clear : 'a t -> unit
+
+(** Expose the packed age encoding for white-box tests. *)
+module Age : sig
+  val pack : tag:int -> top:int -> int
+  val top : int -> int
+  val tag : int -> int
+  val max_top : int
+end

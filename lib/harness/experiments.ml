@@ -1,0 +1,113 @@
+module E = Lcws_sim.Engine
+module M = Lcws_sim.Cost_model
+module W = Lcws_sim.Workloads
+
+type key = { kb : string; ki : string; kpol : E.policy; kp : int }
+
+type matrix = {
+  mmachine : M.t;
+  mps : int list;
+  mconfigs : (string * string) list;
+  tbl : (key, E.stats) Hashtbl.t;
+}
+
+let build ~machine ~policies ~ps ~scale ?(quantum = 400) ?(progress = false) () =
+  let tbl = Hashtbl.create 4096 in
+  List.iter
+    (fun (c : W.config) ->
+      let comp = c.W.build ~scale in
+      List.iter
+        (fun p ->
+          List.iter
+            (fun policy ->
+              let stats = E.run ~machine ~policy ~p ~quantum comp in
+              Hashtbl.replace tbl { kb = c.W.bench; ki = c.W.instance; kpol = policy; kp = p } stats)
+            policies)
+        ps;
+      if progress then Printf.eprintf "#%!")
+    W.all;
+  if progress then Printf.eprintf "\n%!";
+  { mmachine = machine; mps = ps; mconfigs = W.names; tbl }
+
+let machine m = m.mmachine
+
+let ps m = m.mps
+
+let configs m = m.mconfigs
+
+let get m ~bench ~instance ~policy ~p =
+  match Hashtbl.find_opt m.tbl { kb = bench; ki = instance; kpol = policy; kp = p } with
+  | Some s -> s
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Experiments.get: no run for %s/%s %s P=%d" bench instance
+           (E.policy_name policy) p)
+
+let speedup m ~bench ~instance ~policy ~p =
+  let ws = get m ~bench ~instance ~policy:E.Ws ~p in
+  let v = get m ~bench ~instance ~policy ~p in
+  float_of_int ws.E.makespan /. float_of_int (max 1 v.E.makespan)
+
+let speedups_at m ~policy ~p =
+  List.map (fun (bench, instance) -> speedup m ~bench ~instance ~policy ~p) m.mconfigs
+
+let ratio_vs m ~policy ~baseline ~p field =
+  List.filter_map
+    (fun (bench, instance) ->
+      let b = get m ~bench ~instance ~policy:baseline ~p in
+      let v = get m ~bench ~instance ~policy ~p in
+      let den = field b in
+      if den = 0 then None else Some (float_of_int (field v) /. float_of_int den))
+    m.mconfigs
+
+let csv_header =
+  "machine,bench,instance,policy,p,makespan,speedup_vs_ws,total_work,fences,cas,steal_attempts,steals,exposed,taken_back,signals_sent,signals_handled,tasks,idle_cycles"
+
+let to_csv m =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf csv_header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (bench, instance) ->
+      List.iter
+        (fun p ->
+          List.iter
+            (fun policy ->
+              match
+                Hashtbl.find_opt m.tbl { kb = bench; ki = instance; kpol = policy; kp = p }
+              with
+              | None -> ()
+              | Some s ->
+                  let sp = speedup m ~bench ~instance ~policy ~p in
+                  Buffer.add_string buf
+                    (Printf.sprintf "%s,%s,%s,%s,%d,%d,%.6f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n"
+                       m.mmachine.M.name bench instance (E.policy_name policy) p s.E.makespan sp
+                       s.E.total_work s.E.fences s.E.cas s.E.steal_attempts s.E.steals s.E.exposed
+                       s.E.taken_back s.E.signals_sent s.E.signals_handled s.E.tasks
+                       s.E.idle_cycles))
+            [ E.Ws; E.Uslcws; E.Signal; E.Cons; E.Half; E.Lace; E.Private_deques ])
+        m.mps)
+    m.mconfigs;
+  Buffer.contents buf
+
+let unstolen_fraction (s : E.stats) =
+  if s.E.exposed = 0 then None
+  else Some (float_of_int (E.exposed_not_stolen s) /. float_of_int s.E.exposed)
+
+let unstolen_ratio m ~policy ~baseline ~p =
+  List.filter_map
+    (fun (bench, instance) ->
+      let v = get m ~bench ~instance ~policy ~p in
+      let b = get m ~bench ~instance ~policy:baseline ~p in
+      match (unstolen_fraction v, unstolen_fraction b) with
+      | Some a, Some c when c > 0. -> Some (a /. c)
+      | _ -> None)
+    m.mconfigs
+
+let unstolen_at m ~policy ~p =
+  List.filter_map
+    (fun (bench, instance) ->
+      let v = get m ~bench ~instance ~policy ~p in
+      if v.E.exposed = 0 then None
+      else Some (float_of_int (E.exposed_not_stolen v) /. float_of_int v.E.exposed))
+    m.mconfigs

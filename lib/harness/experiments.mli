@@ -1,0 +1,55 @@
+(** Simulation matrices: every 〈config, policy, P〉 run needed by the
+    paper's figures, computed once per machine and shared between figure
+    printers. *)
+
+module E = Lcws_sim.Engine
+module M = Lcws_sim.Cost_model
+module W = Lcws_sim.Workloads
+
+type matrix
+
+(** [build ~machine ~policies ~ps ~scale ()] simulates every workload
+    configuration under every policy and worker count. [scale] shrinks
+    problem sizes (1.0 = paper-shaped defaults). [quantum] is the work
+    chunk in cycles (larger = faster, coarser signal latency). *)
+val build :
+  machine:M.t ->
+  policies:E.policy list ->
+  ps:int list ->
+  scale:float ->
+  ?quantum:int ->
+  ?progress:bool ->
+  unit ->
+  matrix
+
+val machine : matrix -> M.t
+
+val ps : matrix -> int list
+
+val configs : matrix -> (string * string) list
+
+val get : matrix -> bench:string -> instance:string -> policy:E.policy -> p:int -> E.stats
+
+(** [speedup m ~bench ~instance ~policy ~p] — WS makespan divided by the
+    policy's makespan on the same config and P (>1 = policy wins). *)
+val speedup : matrix -> bench:string -> instance:string -> policy:E.policy -> p:int -> float
+
+(** All per-config speedups of [policy] at [p]. *)
+val speedups_at : matrix -> policy:E.policy -> p:int -> float list
+
+(** Per-config ratio of an arbitrary counter between [policy] and WS. *)
+val ratio_vs :
+  matrix -> policy:E.policy -> baseline:E.policy -> p:int -> (E.stats -> int) -> float list
+
+(** Percentage (per config) of exposed work not stolen under [policy]. *)
+val unstolen_at : matrix -> policy:E.policy -> p:int -> float list
+
+(** Per-config ratio of unstolen-exposed fractions between two policies
+    (skipping configs where either exposes nothing). *)
+val unstolen_ratio :
+  matrix -> policy:E.policy -> baseline:E.policy -> p:int -> float list
+
+(** The whole matrix as CSV (one row per run), for external plotting. *)
+val to_csv : matrix -> string
+
+val csv_header : string

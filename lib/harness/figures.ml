@@ -1,0 +1,316 @@
+module E = Lcws_sim.Engine
+module M = Lcws_sim.Cost_model
+module X = Experiments
+
+type ctx = {
+  scale : float;
+  quantum : int;
+  progress : bool;
+  mutable cache : (string * X.matrix) list;  (** per machine name *)
+}
+
+let make_ctx ?(scale = 1.0) ?(quantum = 400) ?(progress = false) () =
+  { scale; quantum; progress; cache = [] }
+
+(* One matrix per machine, covering all policies and the union of the P
+   sweeps any figure needs (including the SMT point 64 on AMD32 used by
+   Figure 3). *)
+let matrix ctx (m : M.t) =
+  match List.assoc_opt m.name ctx.cache with
+  | Some mat -> mat
+  | None ->
+      let ps = M.processor_sweep m in
+      let ps = if m.name = "AMD32" then ps @ [ 64 ] else ps in
+      (* The related-work ablation policies are only plotted on AMD32. *)
+      let policies =
+        if m.name = "AMD32" then
+          [ E.Ws; E.Uslcws; E.Signal; E.Cons; E.Half; E.Lace; E.Private_deques ]
+        else [ E.Ws; E.Uslcws; E.Signal; E.Cons; E.Half ]
+      in
+      if ctx.progress then
+        Printf.eprintf "[sim] building %s matrix (%d configs x %d policies x %d P-points)\n%!"
+          m.name
+          (List.length Lcws_sim.Workloads.all)
+          (List.length policies) (List.length ps);
+      let mat =
+        X.build ~machine:m ~policies ~ps ~scale:ctx.scale ~quantum:ctx.quantum
+          ~progress:ctx.progress ()
+      in
+      ctx.cache <- (m.name, mat) :: ctx.cache;
+      mat
+
+let machine_matrix = matrix
+
+let hr ppf = Format.fprintf ppf "%s@." (String.make 78 '-')
+
+let section ppf title =
+  hr ppf;
+  Format.fprintf ppf "%s@." title;
+  hr ppf
+
+let print_box_rows ppf ~label ~lo ~hi rows =
+  Format.fprintf ppf "%-6s %-41s  %8s %8s %8s %8s %8s@." label
+    (Printf.sprintf "box [%.2f .. %.2f]" lo hi)
+    "min" "q1" "med" "q3" "max";
+  List.iter
+    (fun (p, values) ->
+      match values with
+      | [] -> Format.fprintf ppf "P=%-4d (no data)@." p
+      | _ ->
+          let s = Stats.summarize values in
+          Format.fprintf ppf "P=%-4d %s  %8.3f %8.3f %8.3f %8.3f %8.3f@." p
+            (Stats.sparkbox ~lo ~hi s) s.Stats.min s.Stats.q1 s.Stats.median s.Stats.q3
+            s.Stats.max)
+    rows
+
+let table1 ppf =
+  section ppf "Table 1: Computers used in the experimental evaluation (simulated profiles)";
+  Format.fprintf ppf "%-8s %-28s %-14s %-22s@." "Name" "CPU" "Cores/Threads" "Memory";
+  List.iter
+    (fun (m : M.t) ->
+      Format.fprintf ppf "%-8s %-28s %2d/%-11d %-22s@." m.name m.cpu m.cores m.smt_threads
+        m.memory)
+    M.all;
+  Format.fprintf ppf
+    "@.Simulation cost parameters (cycles): fence / CAS / steal probe / signal send+deliver@.";
+  List.iter
+    (fun (m : M.t) ->
+      Format.fprintf ppf "%-8s %3d / %3d / %3d / %d+%d@." m.name m.fence_cost m.cas_cost
+        m.steal_round_cost m.signal_send_cost m.signal_deliver_latency)
+    M.all
+
+let fig3 ctx ppf =
+  section ppf
+    "Figure 3: Profile of USLCWS vs WS, machine AMD32 (all benchmark configs per box)";
+  let mat = matrix ctx M.amd32 in
+  let ps = [ 2; 4; 8; 16; 32; 64 ] in
+  Format.fprintf ppf "@.(a) USLCWS memory fences / WS memory fences@.";
+  print_box_rows ppf ~label:"ratio" ~lo:0.0 ~hi:0.02
+    (List.map (fun p -> (p, X.ratio_vs mat ~policy:E.Uslcws ~baseline:E.Ws ~p (fun s -> s.E.fences))) ps);
+  Format.fprintf ppf "@.(b) USLCWS CAS / WS CAS@.";
+  print_box_rows ppf ~label:"ratio" ~lo:0.0 ~hi:1.0
+    (List.map (fun p -> (p, X.ratio_vs mat ~policy:E.Uslcws ~baseline:E.Ws ~p (fun s -> s.E.cas))) ps);
+  Format.fprintf ppf "@.(c) successful steals USLCWS / successful steals WS@.";
+  print_box_rows ppf ~label:"ratio" ~lo:0.0 ~hi:1.5
+    (List.map (fun p -> (p, X.ratio_vs mat ~policy:E.Uslcws ~baseline:E.Ws ~p (fun s -> s.E.steals))) ps);
+  Format.fprintf ppf "@.(d) %% of exposed work not stolen in USLCWS@.";
+  print_box_rows ppf ~label:"frac" ~lo:0.0 ~hi:1.0
+    (List.map (fun p -> (p, X.unstolen_at mat ~policy:E.Uslcws ~p)) ps)
+
+let speedup_fig ppf mat title policy =
+  Format.fprintf ppf "@.%s@." title;
+  let ps = X.ps mat in
+  print_box_rows ppf ~label:"spdup" ~lo:0.6 ~hi:1.3
+    (List.map (fun p -> (p, X.speedups_at mat ~policy ~p)) ps)
+
+let fig4 ctx ppf =
+  section ppf "Figure 4: Box plot of the speedup of USLCWS wrt WS, per machine";
+  List.iter
+    (fun m -> speedup_fig ppf (matrix ctx m) (Printf.sprintf "(%s)" m.M.name) E.Uslcws)
+    M.all
+
+let variant_table ppf mat extract =
+  let ps = X.ps mat in
+  Format.fprintf ppf "%-8s" "P";
+  List.iter (fun p -> Format.fprintf ppf " %7d" p) ps;
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun (label, policy) ->
+      Format.fprintf ppf "%-8s" label;
+      List.iter (fun p -> Format.fprintf ppf " %7.3f" (extract mat policy p)) ps;
+      Format.fprintf ppf "@.")
+    [ ("User", E.Uslcws); ("Signal", E.Signal); ("Cons", E.Cons); ("Half", E.Half) ]
+
+let fig5 ctx ppf =
+  section ppf "Figure 5: Average speedups wrt WS, varying the number of processors";
+  List.iter
+    (fun m ->
+      Format.fprintf ppf "@.(%s)@." m.M.name;
+      variant_table ppf (matrix ctx m) (fun mat policy p ->
+          Stats.mean (X.speedups_at mat ~policy ~p)))
+    M.all
+
+let fig6 ctx ppf =
+  section ppf "Figure 6: %% of benchmark configurations with speedup > 1";
+  List.iter
+    (fun m ->
+      Format.fprintf ppf "@.(%s)@." m.M.name;
+      variant_table ppf (matrix ctx m) (fun mat policy p ->
+          100. *. Stats.fraction_above 1.0 (X.speedups_at mat ~policy ~p)))
+    M.all
+
+let fig7 ctx ppf =
+  section ppf "Figure 7: Box plot of the speedup of signal-based LCWS wrt WS, per machine";
+  List.iter
+    (fun m -> speedup_fig ppf (matrix ctx m) (Printf.sprintf "(%s)" m.M.name) E.Signal)
+    M.all
+
+let fig8 ctx ppf =
+  section ppf "Figure 8: Profile of signal-based LCWS, machine AMD32";
+  let mat = matrix ctx M.amd32 in
+  let ps = [ 2; 4; 8; 16; 32 ] in
+  let panel title ~lo ~hi rows =
+    Format.fprintf ppf "@.%s@." title;
+    print_box_rows ppf ~label:"ratio" ~lo ~hi rows
+  in
+  panel "(a) Signal mem. fences / WS mem. fences" ~lo:0.0 ~hi:0.02
+    (List.map (fun p -> (p, X.ratio_vs mat ~policy:E.Signal ~baseline:E.Ws ~p (fun s -> s.E.fences))) ps);
+  panel "(b) Signal CAS / WS CAS" ~lo:0.0 ~hi:1.0
+    (List.map (fun p -> (p, X.ratio_vs mat ~policy:E.Signal ~baseline:E.Ws ~p (fun s -> s.E.cas))) ps);
+  panel "(c) Signal steals / WS steals" ~lo:0.0 ~hi:1.5
+    (List.map (fun p -> (p, X.ratio_vs mat ~policy:E.Signal ~baseline:E.Ws ~p (fun s -> s.E.steals))) ps);
+  panel "(d) % of exposed work not stolen in Signal" ~lo:0.0 ~hi:1.0
+    (List.map (fun p -> (p, X.unstolen_at mat ~policy:E.Signal ~p)) ps);
+  panel "(e) Signal mem. fences / USLCWS mem. fences" ~lo:0.0 ~hi:1.5
+    (List.map
+       (fun p -> (p, X.ratio_vs mat ~policy:E.Signal ~baseline:E.Uslcws ~p (fun s -> s.E.fences)))
+       ps);
+  panel "(f) Signal CAS / USLCWS CAS" ~lo:0.0 ~hi:1.5
+    (List.map
+       (fun p -> (p, X.ratio_vs mat ~policy:E.Signal ~baseline:E.Uslcws ~p (fun s -> s.E.cas)))
+       ps);
+  panel "(g) Signal steals / USLCWS steals" ~lo:0.0 ~hi:1.5
+    (List.map
+       (fun p -> (p, X.ratio_vs mat ~policy:E.Signal ~baseline:E.Uslcws ~p (fun s -> s.E.steals)))
+       ps);
+  panel "(h) Signal unstolen / USLCWS unstolen" ~lo:0.0 ~hi:1.5
+    (List.map (fun p -> (p, X.unstolen_ratio mat ~policy:E.Signal ~baseline:E.Uslcws ~p)) ps)
+
+(* Section 5.1/5.2 headline statistics. "Executions" are 〈config, P〉
+   pairs over the machine's processor sweep, as in the paper. *)
+let summary ctx ppf =
+  section ppf "Section 5.1/5.2 statistics";
+  List.iter
+    (fun (m : M.t) ->
+      let mat = matrix ctx m in
+      let sweep = M.processor_sweep m in
+      let all_speedups policy =
+        List.concat_map (fun p -> X.speedups_at mat ~policy ~p) sweep
+      in
+      Format.fprintf ppf "@.[%s]@." m.name;
+      List.iter
+        (fun (label, policy) ->
+          let sp = all_speedups policy in
+          Format.fprintf ppf
+            "  %-7s speedup>1 for %4.1f%% of executions; gains of 5/10/15/20%%: %4.1f%% %4.1f%% \
+             %4.1f%% %4.1f%%@."
+            label
+            (100. *. Stats.fraction_above 1.0 sp)
+            (100. *. Stats.fraction_above 1.05 sp)
+            (100. *. Stats.fraction_above 1.10 sp)
+            (100. *. Stats.fraction_above 1.15 sp)
+            (100. *. Stats.fraction_above 1.20 sp))
+        [ ("User", E.Uslcws); ("Signal", E.Signal); ("Cons", E.Cons); ("Half", E.Half) ];
+      (* Best and worst configuration speedups (Signal), as in 5.2. *)
+      let per_config policy =
+        List.map
+          (fun (bench, instance) ->
+            let sps = List.map (fun p -> X.speedup mat ~bench ~instance ~policy ~p) sweep in
+            (bench ^ "/" ^ instance, List.fold_left Float.max neg_infinity sps,
+             List.fold_left Float.min infinity sps))
+          (X.configs mat)
+      in
+      let rows = per_config E.Signal in
+      let best = List.fold_left (fun a (_, mx, _) -> Float.max a mx) neg_infinity rows in
+      let worst = List.fold_left (fun a (_, _, mn) -> Float.min a mn) infinity rows in
+      Format.fprintf ppf "  Signal best-config speedup %+.1f%%, worst-config %+.1f%%@."
+        (100. *. (best -. 1.))
+        (100. *. (worst -. 1.));
+      let low_ps = List.filter (fun p -> 2 * p <= m.cores && p > 1) sweep in
+      if low_ps <> [] then begin
+        let sp = List.concat_map (fun p -> X.speedups_at mat ~policy:E.Uslcws ~p) low_ps in
+        Format.fprintf ppf
+          "  User at <=50%% of cores: mean speedup %+.1f%%, speedup>1 for %.0f%% of configs@."
+          (100. *. (Stats.mean sp -. 1.))
+          (100. *. Stats.fraction_above 1.0 sp)
+      end)
+    M.all
+
+(* Beyond the paper: the two related-work policies discussed in Section 2,
+   under the same harness. *)
+let ablation ctx ppf =
+  section ppf "Ablation (related work, AMD32): mean speedup wrt WS";
+  let mat = matrix ctx M.amd32 in
+  let ps = M.processor_sweep M.amd32 in
+  Format.fprintf ppf "%-8s" "P";
+  List.iter (fun p -> Format.fprintf ppf " %7d" p) ps;
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun (label, policy) ->
+      Format.fprintf ppf "%-8s" label;
+      List.iter
+        (fun p -> Format.fprintf ppf " %7.3f" (Stats.mean (X.speedups_at mat ~policy ~p)))
+        ps;
+      Format.fprintf ppf "@.")
+    [
+      ("Signal", E.Signal);
+      ("Lace", E.Lace);
+      ("Private", E.Private_deques);
+    ];
+  Format.fprintf ppf
+    "@.(Lace polls exposure requests only at task boundaries and may unexpose;@.\
+     \ Private deques answer explicit transfer requests at task boundaries.)@."
+
+(* Design-choice sensitivity (beyond the paper): how the headline results
+   move when the cost-model knobs the design cares about are varied. *)
+let sensitivity ctx ppf =
+  section ppf "Sensitivity (AMD32): cost-model knobs vs the headline results";
+  let base = M.amd32 in
+  let mini machine policies p =
+    X.build ~machine ~policies ~ps:[ p ] ~scale:ctx.scale ~quantum:ctx.quantum ()
+  in
+  Format.fprintf ppf
+    "@.(a) Signal-delivery latency vs Signal speedup at P=16 (paper relies on@.\
+     \    exposure requests being handled in constant time; slower delivery@.\
+     \    should erode the gains)@.";
+  List.iter
+    (fun mult ->
+      let machine =
+        {
+          base with
+          M.signal_deliver_latency =
+            int_of_float (mult *. float_of_int base.M.signal_deliver_latency);
+          M.signal_send_cost = int_of_float (mult *. float_of_int base.M.signal_send_cost);
+        }
+      in
+      let mat = mini machine [ E.Ws; E.Signal ] 16 in
+      Format.fprintf ppf "  latency x%-4.2f  mean speedup %.3f@." mult
+        (Stats.mean (X.speedups_at mat ~policy:E.Signal ~p:16)))
+    [ 0.25; 0.5; 1.0; 2.0; 4.0 ];
+  Format.fprintf ppf
+    "@.(b) Fence cost vs USLCWS speedup at P=1 (the low-processor gains come@.\
+     \    entirely from eliding the fence WS pays on every local pop)@.";
+  List.iter
+    (fun mult ->
+      let machine =
+        {
+          base with
+          M.fence_cost = max 1 (int_of_float (mult *. float_of_int base.M.fence_cost));
+          M.cas_cost = max 1 (int_of_float (mult *. float_of_int base.M.cas_cost));
+        }
+      in
+      let mat = mini machine [ E.Ws; E.Uslcws ] 1 in
+      Format.fprintf ppf "  fence x%-4.2f    mean speedup %.3f@." mult
+        (Stats.mean (X.speedups_at mat ~policy:E.Uslcws ~p:1)))
+    [ 0.5; 1.0; 2.0; 4.0 ];
+  Format.fprintf ppf
+    "@.(c) Exposure policy at P=32 (mean speedup; Half amortizes signals,@.\
+     \    Cons avoids exposing a worker's last task)@.";
+  let mat32 = matrix ctx M.amd32 in
+  List.iter
+    (fun (label, policy) ->
+      Format.fprintf ppf "  %-7s %.3f@." label
+        (Stats.mean (X.speedups_at mat32 ~policy ~p:32)))
+    [ ("Signal", E.Signal); ("Cons", E.Cons); ("Half", E.Half) ]
+
+let all ctx ppf =
+  table1 ppf;
+  fig3 ctx ppf;
+  fig4 ctx ppf;
+  fig5 ctx ppf;
+  fig6 ctx ppf;
+  fig7 ctx ppf;
+  fig8 ctx ppf;
+  summary ctx ppf;
+  ablation ctx ppf;
+  sensitivity ctx ppf

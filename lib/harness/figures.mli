@@ -1,0 +1,55 @@
+(** Printers that regenerate every table and figure of the paper's
+    evaluation as text (box plots become five-number summaries plus an
+    ASCII box strip). Each function documents which paper artefact it
+    reproduces; EXPERIMENTS.md records paper-vs-measured. *)
+
+module E = Lcws_sim.Engine
+
+(** Matrices for the three machines (built lazily, shared by figures).
+    [scale] shrinks workloads; [quantum] is the sim work chunk. *)
+type ctx
+
+val make_ctx : ?scale:float -> ?quantum:int -> ?progress:bool -> unit -> ctx
+
+(** The cached per-machine experiment matrix (built on first use) — for
+    CSV export and custom analyses. *)
+val machine_matrix : ctx -> Lcws_sim.Cost_model.t -> Experiments.matrix
+
+(** Table 1: the three evaluation machines (simulated profiles). *)
+val table1 : Format.formatter -> unit
+
+(** Figure 3: profile of USLCWS vs WS on AMD32 (fences, CAS, successful
+    steals, exposed-but-unstolen), P ∈ {2,…,64}. *)
+val fig3 : ctx -> Format.formatter -> unit
+
+(** Figure 4: box plots of USLCWS speedup wrt WS, per machine and P. *)
+val fig4 : ctx -> Format.formatter -> unit
+
+(** Figure 5: average speedups wrt WS of all four variants, per machine
+    and P. *)
+val fig5 : ctx -> Format.formatter -> unit
+
+(** Figure 6: percentage of configurations with speedup > 1. *)
+val fig6 : ctx -> Format.formatter -> unit
+
+(** Figure 7: box plots of signal-based LCWS speedup wrt WS. *)
+val fig7 : ctx -> Format.formatter -> unit
+
+(** Figure 8: profile of signal-based LCWS vs WS and vs USLCWS, AMD32. *)
+val fig8 : ctx -> Format.formatter -> unit
+
+(** Section 5.1/5.2 headline statistics (best/worst configurations,
+    gain buckets). *)
+val summary : ctx -> Format.formatter -> unit
+
+(** Related-work ablation (beyond the paper's figures): Lace and private
+    deques against WS/LCWS on AMD32. *)
+val ablation : ctx -> Format.formatter -> unit
+
+(** Design-choice sensitivity sweeps (beyond the paper): signal latency
+    vs Signal's speedup, fence cost vs USLCWS's low-P gains, exposure
+    policies at full core count. *)
+val sensitivity : ctx -> Format.formatter -> unit
+
+(** All of the above in paper order. *)
+val all : ctx -> Format.formatter -> unit

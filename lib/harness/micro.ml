@@ -1,0 +1,71 @@
+open Bechamel
+module Metrics = Lcws_sync.Metrics
+module Split_deque = Lcws_deque.Split_deque
+module Chase_lev = Lcws_deque.Chase_lev
+
+let nothing () = ()
+
+(* Each staged function performs one push+pop cycle (or a full
+   expose/steal round trip), so the OLS estimate is ns per cycle. *)
+let tests () =
+  let m = Metrics.create () in
+  let cl = Chase_lev.create ~capacity:1024 ~dummy:nothing ~metrics:m () in
+  let sd = Split_deque.create ~capacity:1024 ~dummy:nothing ~metrics:m () in
+  let sd_pub = Split_deque.create ~capacity:1024 ~dummy:nothing ~metrics:m () in
+  let thief = Metrics.create () in
+  [
+    Test.make ~name:"chase_lev.push_pop"
+      (Staged.stage (fun () ->
+           Chase_lev.push_bottom cl nothing;
+           ignore (Chase_lev.pop_bottom cl)));
+    Test.make ~name:"split.push_pop_private"
+      (Staged.stage (fun () ->
+           Split_deque.push_bottom sd nothing;
+           ignore (Split_deque.pop_bottom sd)));
+    Test.make ~name:"split.push_pop_signal_safe"
+      (Staged.stage (fun () ->
+           Split_deque.push_bottom sd nothing;
+           ignore (Split_deque.pop_bottom_signal_safe sd);
+           ignore (Split_deque.pop_public_bottom sd)));
+    Test.make ~name:"split.expose_pop_public"
+      (Staged.stage (fun () ->
+           Split_deque.push_bottom sd_pub nothing;
+           ignore (Split_deque.update_public_bottom sd_pub ~policy:Split_deque.Expose_one);
+           ignore (Split_deque.pop_public_bottom sd_pub)));
+    Test.make ~name:"chase_lev.push_steal"
+      (Staged.stage (fun () ->
+           Chase_lev.push_bottom cl nothing;
+           ignore (Chase_lev.steal cl ~metrics:thief)));
+    Test.make ~name:"split.push_expose_steal_drain"
+      (Staged.stage (fun () ->
+           Split_deque.push_bottom sd_pub nothing;
+           ignore (Split_deque.update_public_bottom sd_pub ~policy:Split_deque.Expose_one);
+           ignore (Split_deque.pop_top sd_pub ~metrics:thief);
+           (* The owner's empty-deque public pop resets the array indices
+              (Listing 2's slow path); without it a steal-only loop would
+              ratchet [top]/[bot] to the end of the fixed array. *)
+           ignore (Split_deque.pop_public_bottom sd_pub)));
+    Test.make ~name:"fastmath.double2int"
+      (Staged.stage (fun () -> ignore (Lcws_sync.Fastmath.double2int 1234.56)));
+  ]
+
+let run ppf =
+  Format.fprintf ppf "%s@." (String.make 78 '-');
+  Format.fprintf ppf "Deque-operation microbenchmarks (host CPU, Bechamel OLS ns/op)@.";
+  Format.fprintf ppf "%s@." (String.make 78 '-');
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let grouped = Test.make_grouped ~name:"ops" (tests ()) in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let names = Hashtbl.fold (fun k _ acc -> k :: acc) results [] in
+  List.iter
+    (fun name ->
+      let o = Hashtbl.find results name in
+      let est =
+        match Analyze.OLS.estimates o with Some (e :: _) -> e | Some [] | None -> nan
+      in
+      let r2 = match Analyze.OLS.r_square o with Some r -> r | None -> nan in
+      Format.fprintf ppf "  %-32s %10.1f ns/op   (r²=%.3f)@." name est r2)
+    (List.sort compare names)

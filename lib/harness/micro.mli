@@ -1,0 +1,9 @@
+(** Bechamel microbenchmarks of the deque operations, measured on the
+    host CPU. These demonstrate that the split deque's local operations
+    really are cheaper than Chase-Lev's: OCaml's [Atomic.set] issues the
+    same full barrier the C++ WS deque needs in [take], while the split
+    deque's private path is fence-free. *)
+
+(** Run all deque microbenchmarks and print one line per operation with
+    the OLS-estimated ns/op. *)
+val run : Format.formatter -> unit

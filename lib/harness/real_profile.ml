@@ -1,0 +1,65 @@
+module S = Lcws_sched.Scheduler
+module T = Lcws_pbbs.Suite_types
+module Metrics = Lcws_sync.Metrics
+
+type measurement = { m : Metrics.t; seconds : float; checked : bool }
+
+let run_config ~variant ~p ~scale (bench : T.bench) (inst : T.instance) =
+  let prepared = inst.T.prepare ~scale in
+  let pool = S.Pool.create ~num_workers:p ~variant () in
+  let t0 = Unix.gettimeofday () in
+  S.Pool.run pool prepared.T.run;
+  let seconds = Unix.gettimeofday () -. t0 in
+  let m = S.Pool.metrics pool in
+  S.Pool.shutdown pool;
+  let checked = prepared.T.check () in
+  ignore bench;
+  { m; seconds; checked }
+
+let run ?(ps = [ 2; 4 ]) ?(scale = 0.25) ppf =
+  Format.fprintf ppf "%s@." (String.make 78 '-');
+  Format.fprintf ppf
+    "Real-engine profile (multicore OCaml domains; counters exact, wall time@.\
+     informational only on this host). Suite subset, scale=%.2f@."
+    scale;
+  Format.fprintf ppf "%s@." (String.make 78 '-');
+  let quick = Lcws_pbbs.Suite.quick in
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "@.P = %d workers@." p;
+      Format.fprintf ppf "  %-10s %10s %10s %9s %9s %8s %8s %6s@." "variant" "fences" "cas"
+        "steals" "attempts" "exposed" "signals" "time";
+      let ws_totals = ref None in
+      List.iter
+        (fun variant ->
+          let total = Metrics.create () in
+          let seconds = ref 0. in
+          let all_ok = ref true in
+          List.iter
+            (fun (b : T.bench) ->
+              List.iter
+                (fun inst ->
+                  let r = run_config ~variant ~p ~scale b inst in
+                  Metrics.add total r.m;
+                  seconds := !seconds +. r.seconds;
+                  if not r.checked then all_ok := false)
+                b.T.instances)
+            quick;
+          if variant = S.Ws then ws_totals := Some (Metrics.copy total);
+          let ratio get =
+            match !ws_totals with
+            | Some ws when get ws > 0 -> Printf.sprintf "%.4f" (Metrics.ratio (get total) (get ws))
+            | _ -> "-"
+          in
+          Format.fprintf ppf "  %-10s %10d %10d %9d %9d %8d %8d %5.2fs %s%s@."
+            (S.variant_label variant) total.Metrics.fences total.Metrics.cas_ops
+            total.Metrics.steals total.Metrics.steal_attempts total.Metrics.exposed_tasks
+            total.Metrics.signals_sent !seconds
+            (if variant = S.Ws then ""
+             else
+               Printf.sprintf "(fences/WS=%s cas/WS=%s)"
+                 (ratio (fun m -> m.Metrics.fences))
+                 (ratio (fun m -> m.Metrics.cas_ops)))
+            (if !all_ok then "" else "  CHECK FAILED"))
+        S.all_variants)
+    ps

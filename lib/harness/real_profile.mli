@@ -1,0 +1,12 @@
+(** Counter profile measured on the *real* multicore engine (not the
+    simulator): runs a subset of the PBBS-like suite under every
+    scheduler variant and reports synchronization-operation ratios
+    against WS. This validates that the simulator's counter model matches
+    the actual lock-free implementations (Figure 3a/3b's shape measured
+    for real). Wall-clock times are printed for information only — this
+    container has a single core, so they do not measure parallel
+    speedup. *)
+
+(** [run ppf] with worker counts [ps] (default [2; 4]) and problem
+    [scale] (default 0.25). *)
+val run : ?ps:int list -> ?scale:float -> Format.formatter -> unit

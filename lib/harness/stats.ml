@@ -1,0 +1,76 @@
+type summary = {
+  count : int;
+  min : float;
+  q1 : float;
+  median : float;
+  q3 : float;
+  max : float;
+  mean : float;
+}
+
+(* Linear-interpolation quantile on a sorted array (type 7, the common
+   spreadsheet/R default). *)
+let quantile sorted q =
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = pos -. float_of_int lo in
+    (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let mean = function
+  | [] -> invalid_arg "Stats.mean: empty"
+  | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+
+let geomean = function
+  | [] -> invalid_arg "Stats.geomean: empty"
+  | l ->
+      let logs = List.map (fun x -> log (Float.max x 1e-300)) l in
+      exp (mean logs)
+
+let summarize = function
+  | [] -> invalid_arg "Stats.summarize: empty"
+  | l ->
+      let a = Array.of_list l in
+      Array.sort Float.compare a;
+      let n = Array.length a in
+      {
+        count = n;
+        min = a.(0);
+        q1 = quantile a 0.25;
+        median = quantile a 0.5;
+        q3 = quantile a 0.75;
+        max = a.(n - 1);
+        mean = mean l;
+      }
+
+let fraction_above threshold = function
+  | [] -> 0.
+  | l ->
+      let n = List.length l in
+      let k = List.length (List.filter (fun x -> x > threshold) l) in
+      float_of_int k /. float_of_int n
+
+let pp_summary ?(digits = 3) ppf s =
+  Format.fprintf ppf "%.*f %.*f %.*f %.*f %.*f" digits s.min digits s.q1 digits s.median digits
+    s.q3 digits s.max
+
+let sparkbox ~lo ~hi s =
+  let width = 41 in
+  let clamp x = Float.min hi (Float.max lo x) in
+  let pos x =
+    let f = (clamp x -. lo) /. (hi -. lo +. 1e-12) in
+    min (width - 1) (max 0 (int_of_float (f *. float_of_int (width - 1))))
+  in
+  let buf = Bytes.make width ' ' in
+  for i = pos s.min to pos s.max do
+    Bytes.set buf i '-'
+  done;
+  for i = pos s.q1 to pos s.q3 do
+    Bytes.set buf i '#'
+  done;
+  Bytes.set buf (pos s.median) '|';
+  Bytes.to_string buf

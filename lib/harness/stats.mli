@@ -1,0 +1,28 @@
+(** Descriptive statistics for the figure reproductions: the paper's box
+    plots become five-number summaries printed as rows. *)
+
+type summary = {
+  count : int;
+  min : float;
+  q1 : float;
+  median : float;
+  q3 : float;
+  max : float;
+  mean : float;
+}
+
+(** Five-number summary + mean. Raises [Invalid_argument] on []. *)
+val summarize : float list -> summary
+
+val mean : float list -> float
+
+val geomean : float list -> float
+
+(** Fraction (0..1) of values strictly greater than [threshold]. *)
+val fraction_above : float -> float list -> float
+
+(** Render "min q1 med q3 max" with [digits] decimals. *)
+val pp_summary : ?digits:int -> Format.formatter -> summary -> unit
+
+(** A crude inline box plot over [lo, hi], e.g. [|---[##|##]---|]. *)
+val sparkbox : lo:float -> hi:float -> summary -> string

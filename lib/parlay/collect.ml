@@ -1,0 +1,36 @@
+let run_starts ~key sorted =
+  Seq_ops.pack_index (fun i x -> i = 0 || key x <> key sorted.(i - 1)) sorted
+
+let group_by ~key ~bits a =
+  if Array.length a = 0 then [||]
+  else begin
+    let sorted = Sort.radix_sort_by ~key ~bits a in
+    let starts = run_starts ~key sorted in
+    let n = Array.length sorted and nruns = Array.length starts in
+    Seq_ops.tabulate ~grain:1 nruns (fun r ->
+        let lo = starts.(r) and hi = if r + 1 < nruns then starts.(r + 1) else n in
+        (key sorted.(lo), Array.sub sorted lo (hi - lo)))
+  end
+
+let collect_reduce ~key ~value ~op ~zero ~bits a =
+  if Array.length a = 0 then [||]
+  else begin
+    let sorted = Sort.radix_sort_by ~key ~bits a in
+    let starts = run_starts ~key sorted in
+    let n = Array.length sorted and nruns = Array.length starts in
+    Seq_ops.tabulate ~grain:1 nruns (fun r ->
+        let lo = starts.(r) and hi = if r + 1 < nruns then starts.(r + 1) else n in
+        let acc = ref zero in
+        for i = lo to hi - 1 do
+          acc := op !acc (value sorted.(i))
+        done;
+        (key sorted.(lo), !acc))
+  end
+
+let count_by ~key ~bits a = collect_reduce ~key ~value:(fun _ -> 1) ~op:( + ) ~zero:0 ~bits a
+
+let histogram_by ~key ~bits ~buckets a =
+  let pairs = count_by ~key ~bits a in
+  let out = Array.make buckets 0 in
+  Array.iter (fun (k, c) -> out.(k) <- c) pairs;
+  out

@@ -1,0 +1,26 @@
+(** Group-by-key and reduce-by-key (Parlay's [collect_reduce] family),
+    built on the stable radix sort: sort by key, cut at run boundaries,
+    reduce each run in parallel. Keys must be non-negative and fit
+    [bits] bits. Output groups are ordered by key. *)
+
+(** [group_by ~key ~bits a] — one [(k, elements-with-key-k)] per distinct
+    key; within a group, input order is preserved (stability). *)
+val group_by : key:('a -> int) -> bits:int -> 'a array -> (int * 'a array) array
+
+(** [collect_reduce ~key ~value ~op ~zero ~bits a] — fold the values of
+    each key group with [op] (associative, identity [zero]). *)
+val collect_reduce :
+  key:('a -> int) ->
+  value:('a -> 'b) ->
+  op:('b -> 'b -> 'b) ->
+  zero:'b ->
+  bits:int ->
+  'a array ->
+  (int * 'b) array
+
+(** [count_by ~key ~bits a] — occurrences per key. *)
+val count_by : key:('a -> int) -> bits:int -> 'a array -> (int * int) array
+
+(** [histogram_by ~key ~bits ~buckets a] — dense count array of length
+    [buckets] (keys must be < buckets). *)
+val histogram_by : key:('a -> int) -> bits:int -> buckets:int -> 'a array -> int array

@@ -1,0 +1,62 @@
+let hash64 x =
+  let open Int64 in
+  let z = add x 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let hash_int ~seed i =
+  let h = hash64 (Int64.add (Int64.mul (Int64.of_int seed) 0x100000001B3L) (Int64.of_int i)) in
+  Int64.to_int h land max_int
+
+let int ~seed i bound =
+  if bound <= 0 then invalid_arg "Prandom.int";
+  hash_int ~seed i mod bound
+
+let float ~seed i =
+  let h = hash_int ~seed i in
+  float_of_int (h land ((1 lsl 53) - 1)) *. 0x1.0p-53
+
+let ints ?(seed = 1) n ~bound = Seq_ops.tabulate n (fun i -> int ~seed i bound)
+
+let exponential_ints ?(seed = 1) n ~bound =
+  (* Magnitude class k chosen with P ~ 2^-(k+1); value uniform within the
+     class, mirroring PBBS's expDist. *)
+  let classes = max 1 (Lcws_sync.Fastmath.log2_floor (max 2 bound)) in
+  Seq_ops.tabulate n (fun i ->
+      let r = hash_int ~seed i in
+      let k =
+        let rec count_zeros bit k =
+          if k >= classes - 1 || (r lsr bit) land 1 = 1 then k
+          else count_zeros (bit + 1) (k + 1)
+        in
+        count_zeros 0 0
+      in
+      let hi = min bound (1 lsl (k + 1)) in
+      let lo = if k = 0 then 0 else min (bound - 1) (1 lsl k) in
+      let width = max 1 (hi - lo) in
+      lo + (hash_int ~seed:(seed + 7919) i mod width))
+
+let almost_sorted ?(seed = 1) n ~swaps =
+  let a = Array.init n (fun i -> i) in
+  for s = 0 to swaps - 1 do
+    if n >= 2 then begin
+      let i = int ~seed (2 * s) n and j = int ~seed ((2 * s) + 1) n in
+      let tmp = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- tmp
+    end
+  done;
+  a
+
+let floats ?(seed = 1) n = Seq_ops.tabulate n (fun i -> float ~seed i)
+
+let permutation ?(seed = 1) n =
+  let a = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = int ~seed i (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  a

@@ -1,0 +1,35 @@
+(** Deterministic parallel random data generation.
+
+    Every value is a pure hash of [(seed, index)], so generation
+    parallelizes embarrassingly and is reproducible across worker counts —
+    the property PBBS input generators rely on. *)
+
+(** [hash64 x] — splitmix64 finalizer; good avalanche, bijective. *)
+val hash64 : int64 -> int64
+
+(** [hash_int ~seed i] — non-negative int hash. *)
+val hash_int : seed:int -> int -> int
+
+(** [int ~seed i bound] uniform in [\[0, bound)]. *)
+val int : seed:int -> int -> int -> int
+
+(** [float ~seed i] uniform in [\[0, 1)]. *)
+val float : seed:int -> int -> float
+
+(** [ints ~seed n ~bound] — array of [n] uniform ints. *)
+val ints : ?seed:int -> int -> bound:int -> int array
+
+(** [exponential_ints ~seed n ~bound] — exponentially distributed keys as
+    in PBBS's [exptSeq]: value [v] appears with probability ~2^-k for its
+    magnitude class. *)
+val exponential_ints : ?seed:int -> int -> bound:int -> int array
+
+(** [almost_sorted ~seed n ~swaps] — [0..n-1] with [swaps] random
+    transpositions (PBBS [almostSortedSeq]). *)
+val almost_sorted : ?seed:int -> int -> swaps:int -> int array
+
+val floats : ?seed:int -> int -> float array
+
+(** [permutation ~seed n] — uniform random permutation of [0..n-1]
+    (sequential Fisher-Yates; used by generators, not benchmarks). *)
+val permutation : ?seed:int -> int -> int array

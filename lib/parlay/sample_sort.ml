@@ -1,0 +1,84 @@
+module S = Lcws_sched.Scheduler
+
+let num_buckets n =
+  if n < 8192 then 1
+  else min 256 (Lcws_sync.Fastmath.next_pow2 (int_of_float (sqrt (float_of_int (n / 64)))))
+
+let oversample = 8
+
+let sort ?(seed = 1) cmp a =
+  let n = Array.length a in
+  if n <= 1 then Array.copy a
+  else begin
+    let nb = num_buckets n in
+    if nb = 1 then begin
+      let out = Array.copy a in
+      Array.sort cmp out;
+      out
+    end
+    else begin
+      (* Pivot selection: sort an oversampled random subset, keep every
+         [oversample]-th element. *)
+      let sample =
+        Array.init (nb * oversample) (fun i -> a.(Prandom.int ~seed i n))
+      in
+      Array.sort cmp sample;
+      let pivots = Array.init (nb - 1) (fun i -> sample.((i + 1) * oversample)) in
+      let bucket_of x =
+        (* First bucket whose pivot is >= x; equal keys may spread across
+           a pivot boundary (sample sort is not stable). *)
+        Seq_ops.lower_bound cmp pivots ~lo:0 ~hi:(nb - 1) x
+      in
+      (* Blocked counting + scatter, as in the radix passes. *)
+      let grain = max 4096 (Seq_ops.default_grain n) in
+      let nblocks = (n + grain - 1) / grain in
+      let block_size = (n + nblocks - 1) / nblocks in
+      let buckets = Seq_ops.tabulate n (fun i -> bucket_of a.(i)) in
+      let counts = Array.make (nblocks * nb) 0 in
+      S.parallel_for ~grain:1 ~start:0 ~stop:nblocks (fun b ->
+          let lo = b * block_size and hi = min n ((b + 1) * block_size) in
+          let base = b * nb in
+          for i = lo to hi - 1 do
+            let k = buckets.(i) in
+            counts.(base + k) <- counts.(base + k) + 1
+          done;
+          S.tick ());
+      let flat = Array.make (nb * nblocks) 0 in
+      S.parallel_for ~grain:4 ~start:0 ~stop:nb (fun k ->
+          for b = 0 to nblocks - 1 do
+            flat.((k * nblocks) + b) <- counts.((b * nb) + k)
+          done);
+      let offsets, _total = Seq_ops.scan ( + ) 0 flat in
+      let out = Array.make n a.(0) in
+      S.parallel_for ~grain:1 ~start:0 ~stop:nblocks (fun b ->
+          let lo = b * block_size and hi = min n ((b + 1) * block_size) in
+          let pos = Array.make nb 0 in
+          for k = 0 to nb - 1 do
+            pos.(k) <- offsets.((k * nblocks) + b)
+          done;
+          for i = lo to hi - 1 do
+            let k = buckets.(i) in
+            out.(pos.(k)) <- a.(i);
+            pos.(k) <- pos.(k) + 1
+          done;
+          S.tick ());
+      (* Bucket boundaries, then sort each bucket independently. *)
+      let bucket_sizes = Array.make nb 0 in
+      for b = 0 to nblocks - 1 do
+        for k = 0 to nb - 1 do
+          bucket_sizes.(k) <- bucket_sizes.(k) + counts.((b * nb) + k)
+        done
+      done;
+      let bucket_offsets, _ = Seq_ops.scan ( + ) 0 bucket_sizes in
+      S.parallel_for ~grain:1 ~start:0 ~stop:nb (fun k ->
+          let lo = bucket_offsets.(k) in
+          let len = bucket_sizes.(k) in
+          if len > 1 then begin
+            let slice = Array.sub out lo len in
+            Array.sort cmp slice;
+            Array.blit slice 0 out lo len
+          end;
+          S.tick ());
+      out
+    end
+  end

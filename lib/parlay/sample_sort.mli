@@ -1,0 +1,16 @@
+(** Parallel sample sort — the comparison sort ParlayLib actually uses
+    for large inputs (and hence what the paper's comparisonSort runs).
+
+    The input is cut into √n-ish blocks; a random sample is sorted to
+    pick bucket pivots; every block partitions its elements into buckets
+    (counting + scatter, like a radix pass but comparison-driven); each
+    bucket is then sorted independently in parallel. Work O(n log n),
+    depth O(log² n); not stable (PBBS's samplesort is not either — use
+    {!Sort.merge_sort} when stability matters). *)
+
+(** [sort cmp a] returns a new sorted array. *)
+val sort : ?seed:int -> ('a -> 'a -> int) -> 'a array -> 'a array
+
+(** Number of buckets used for an input of size [n] (exposed for tests:
+    every bucket boundary must respect the pivot order). *)
+val num_buckets : int -> int

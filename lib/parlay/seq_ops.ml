@@ -1,0 +1,216 @@
+module S = Lcws_sched.Scheduler
+
+let default_grain n =
+  let p = S.num_workers () in
+  max 1 (min 2048 (n / (8 * p)))
+
+let tabulate ?grain n f =
+  if n <= 0 then [||]
+  else begin
+    let a = Array.make n (f 0) in
+    S.parallel_for ?grain ~start:1 ~stop:n (fun i -> a.(i) <- f i);
+    a
+  end
+
+let mapi ?grain f a = tabulate ?grain (Array.length a) (fun i -> f i a.(i))
+
+let map ?grain f a = tabulate ?grain (Array.length a) (fun i -> f a.(i))
+
+let iteri ?grain f a =
+  S.parallel_for ?grain ~start:0 ~stop:(Array.length a) (fun i -> f i a.(i))
+
+let iter ?grain f a = iteri ?grain (fun _ x -> f x) a
+
+let rec reduce_range op zero a grain lo hi =
+  if hi - lo <= grain then begin
+    let acc = ref zero in
+    for i = lo to hi - 1 do
+      acc := op !acc a.(i)
+    done;
+    S.tick ();
+    !acc
+  end
+  else begin
+    let mid = lo + ((hi - lo) / 2) in
+    let l, r =
+      S.fork_join
+        (fun () -> reduce_range op zero a grain lo mid)
+        (fun () -> reduce_range op zero a grain mid hi)
+    in
+    op l r
+  end
+
+let reduce ?grain op zero a =
+  let n = Array.length a in
+  if n = 0 then zero
+  else begin
+    let grain = match grain with Some g -> max 1 g | None -> default_grain n in
+    reduce_range op zero a grain 0 n
+  end
+
+let rec map_reduce_range f op zero a grain lo hi =
+  if hi - lo <= grain then begin
+    let acc = ref zero in
+    for i = lo to hi - 1 do
+      acc := op !acc (f a.(i))
+    done;
+    S.tick ();
+    !acc
+  end
+  else begin
+    let mid = lo + ((hi - lo) / 2) in
+    let l, r =
+      S.fork_join
+        (fun () -> map_reduce_range f op zero a grain lo mid)
+        (fun () -> map_reduce_range f op zero a grain mid hi)
+    in
+    op l r
+  end
+
+let map_reduce ?grain f op zero a =
+  let n = Array.length a in
+  if n = 0 then zero
+  else begin
+    let grain = match grain with Some g -> max 1 g | None -> default_grain n in
+    map_reduce_range f op zero a grain 0 n
+  end
+
+(* Two-pass blocked exclusive scan: per-block sums, a (short) sequential
+   scan over them, then per-block prefix rewrites. *)
+let scan ?grain op zero a =
+  let n = Array.length a in
+  if n = 0 then ([||], zero)
+  else begin
+    let block = match grain with Some g -> max 1 g | None -> max 1 (min 4096 (default_grain n * 4)) in
+    let nblocks = (n + block - 1) / block in
+    let block_sums =
+      tabulate ~grain:1 nblocks (fun b ->
+          let lo = b * block and hi = min n ((b + 1) * block) in
+          let acc = ref zero in
+          for i = lo to hi - 1 do
+            acc := op !acc a.(i)
+          done;
+          !acc)
+    in
+    let offsets = Array.make nblocks zero in
+    let total = ref zero in
+    for b = 0 to nblocks - 1 do
+      offsets.(b) <- !total;
+      total := op !total block_sums.(b)
+    done;
+    let out = Array.make n zero in
+    S.parallel_for ~grain:1 ~start:0 ~stop:nblocks (fun b ->
+        let lo = b * block and hi = min n ((b + 1) * block) in
+        let acc = ref offsets.(b) in
+        for i = lo to hi - 1 do
+          out.(i) <- !acc;
+          acc := op !acc a.(i)
+        done;
+        S.tick ());
+    (out, !total)
+  end
+
+let scan_inclusive ?grain op zero a =
+  let ex, _total = scan ?grain op zero a in
+  mapi ?grain (fun i prefix -> op prefix a.(i)) ex
+
+let pack_index ?grain p a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let flags = tabulate ?grain n (fun i -> if p i a.(i) then 1 else 0) in
+    let pos, total = scan ?grain ( + ) 0 flags in
+    if total = 0 then [||]
+    else begin
+      let out = Array.make total 0 in
+      S.parallel_for ?grain ~start:0 ~stop:n (fun i ->
+          if flags.(i) = 1 then out.(pos.(i)) <- i);
+      out
+    end
+  end
+
+let filter_mapi ?grain f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let mapped = tabulate ?grain n (fun i -> f i a.(i)) in
+    let flags = tabulate ?grain n (fun i -> match mapped.(i) with Some _ -> 1 | None -> 0) in
+    let pos, total = scan ?grain ( + ) 0 flags in
+    if total = 0 then [||]
+    else begin
+      let first =
+        let rec find i = match mapped.(i) with Some x -> x | None -> find (i + 1) in
+        find 0
+      in
+      let out = Array.make total first in
+      S.parallel_for ?grain ~start:0 ~stop:n (fun i ->
+          match mapped.(i) with Some x -> out.(pos.(i)) <- x | None -> ());
+      out
+    end
+  end
+
+let pack ?grain flags a =
+  if Array.length flags <> Array.length a then invalid_arg "Seq_ops.pack";
+  filter_mapi ?grain (fun i x -> if flags.(i) then Some x else None) a
+
+let filter ?grain p a = filter_mapi ?grain (fun _ x -> if p x then Some x else None) a
+
+let flatten parts =
+  let sizes = Array.map Array.length parts in
+  let offs, total = scan ( + ) 0 sizes in
+  if total = 0 then [||]
+  else begin
+    let first =
+      let rec find i = if Array.length parts.(i) > 0 then parts.(i).(0) else find (i + 1) in
+      find 0
+    in
+    let out = Array.make total first in
+    S.parallel_for ~grain:1 ~start:0 ~stop:(Array.length parts) (fun p ->
+        let part = parts.(p) in
+        let off = offs.(p) in
+        for j = 0 to Array.length part - 1 do
+          out.(off + j) <- part.(j)
+        done;
+        S.tick ());
+    out
+  end
+
+let extreme_index keep cmp a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Seq_ops.extreme_index: empty array";
+  let idx = tabulate n (fun i -> i) in
+  let pick i j =
+    let c = cmp a.(i) a.(j) in
+    if keep c then i else if c = 0 then min i j else j
+  in
+  reduce (fun i j -> if i < 0 then j else if j < 0 then i else pick i j) (-1) idx
+
+let min_index cmp a = extreme_index (fun c -> c < 0) cmp a
+
+let max_index cmp a = extreme_index (fun c -> c > 0) cmp a
+
+let sum_ints a = reduce ( + ) 0 a
+
+let sum_floats a = reduce ( +. ) 0. a
+
+let count p a = map_reduce (fun x -> if p x then 1 else 0) ( + ) 0 a
+
+let all_of p a = map_reduce p ( && ) true a
+
+let any_of p a = map_reduce p ( || ) false a
+
+let lower_bound cmp a ~lo ~hi x =
+  let lo = ref lo and hi = ref hi in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cmp a.(mid) x < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let upper_bound cmp a ~lo ~hi x =
+  let lo = ref lo and hi = ref hi in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cmp a.(mid) x <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo

@@ -1,0 +1,76 @@
+(** Parallel sequence primitives in the style of ParlayLib.
+
+    All operations run on the enclosing {!Lcws_sched.Scheduler.Pool} (or
+    sequentially outside one) and contain {!Lcws_sched.Scheduler.tick}
+    poll points, so signal-based LCWS variants get their constant-time
+    work-exposure guarantee through them. *)
+
+(** Default leaf size used by these primitives for an [n]-element
+    operation on the current pool. *)
+val default_grain : int -> int
+
+(** [tabulate n f] is [[| f 0; ...; f (n-1) |]] computed in parallel.
+    [f 0] is evaluated first (to seed the result array), so [f] should be
+    pure. *)
+val tabulate : ?grain:int -> int -> (int -> 'a) -> 'a array
+
+val map : ?grain:int -> ('a -> 'b) -> 'a array -> 'b array
+
+val mapi : ?grain:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+
+val iter : ?grain:int -> ('a -> unit) -> 'a array -> unit
+
+val iteri : ?grain:int -> (int -> 'a -> unit) -> 'a array -> unit
+
+(** [reduce op zero a] — [op] must be associative with identity [zero]. *)
+val reduce : ?grain:int -> ('a -> 'a -> 'a) -> 'a -> 'a array -> 'a
+
+(** [map_reduce f op zero a] = [reduce op zero (map f a)] without the
+    intermediate array. *)
+val map_reduce : ?grain:int -> ('a -> 'b) -> ('b -> 'b -> 'b) -> 'b -> 'a array -> 'b
+
+(** [scan op zero a] is the exclusive prefix scan: returns [(s, total)]
+    where [s.(i) = fold op zero a.(0..i-1)]. Two-pass blocked algorithm. *)
+val scan : ?grain:int -> ('a -> 'a -> 'a) -> 'a -> 'a array -> 'a array * 'a
+
+(** Inclusive variant: [s.(i) = fold op zero a.(0..i)]. *)
+val scan_inclusive : ?grain:int -> ('a -> 'a -> 'a) -> 'a -> 'a array -> 'a array
+
+(** [pack flags a] keeps [a.(i)] where [flags.(i)]. *)
+val pack : ?grain:int -> bool array -> 'a array -> 'a array
+
+val filter : ?grain:int -> ('a -> bool) -> 'a array -> 'a array
+
+(** [filter_mapi f a] keeps the [Some] results of [f i a.(i)], in order. *)
+val filter_mapi : ?grain:int -> (int -> 'a -> 'b option) -> 'a array -> 'b array
+
+(** Indices [i] with [p i a.(i)], in order. *)
+val pack_index : ?grain:int -> (int -> 'a -> bool) -> 'a array -> int array
+
+val flatten : 'a array array -> 'a array
+
+(** [min_index cmp a] / [max_index cmp a] — index of an extreme element
+    (first one under ties). Arrays must be non-empty. *)
+val min_index : ('a -> 'a -> int) -> 'a array -> int
+
+val max_index : ('a -> 'a -> int) -> 'a array -> int
+
+val sum_ints : int array -> int
+
+val sum_floats : float array -> float
+
+(** [count p a] is the number of elements satisfying [p]. *)
+val count : ('a -> bool) -> 'a array -> int
+
+(** [all_of p a] / [any_of p a]. *)
+val all_of : ('a -> bool) -> 'a array -> bool
+
+val any_of : ('a -> bool) -> 'a array -> bool
+
+(** Sequential helpers shared by the sorts. *)
+
+(** [lower_bound cmp a ~lo ~hi x] — first index in [\[lo,hi)] whose element
+    is [>= x] (i.e. not [< x]). *)
+val lower_bound : ('a -> 'a -> int) -> 'a array -> lo:int -> hi:int -> 'a -> int
+
+val upper_bound : ('a -> 'a -> int) -> 'a array -> lo:int -> hi:int -> 'a -> int

@@ -1,0 +1,175 @@
+module S = Lcws_sched.Scheduler
+
+let seq_merge cmp src ~l1 ~h1 ~l2 ~h2 dst ~dlo =
+  let i = ref l1 and j = ref l2 and k = ref dlo in
+  while !i < h1 && !j < h2 do
+    (* Stable: ties favour the first run. *)
+    if cmp src.(!i) src.(!j) <= 0 then begin
+      dst.(!k) <- src.(!i);
+      incr i
+    end
+    else begin
+      dst.(!k) <- src.(!j);
+      incr j
+    end;
+    incr k
+  done;
+  while !i < h1 do
+    dst.(!k) <- src.(!i);
+    incr i;
+    incr k
+  done;
+  while !j < h2 do
+    dst.(!k) <- src.(!j);
+    incr j;
+    incr k
+  done
+
+(* Parallel merge by binary-search splitting: halve the longer run, locate
+   the pivot in the other run (sides chosen to preserve stability), fork. *)
+let rec pmerge cmp grain src dst ~l1 ~h1 ~l2 ~h2 ~dlo =
+  let n1 = h1 - l1 and n2 = h2 - l2 in
+  if n1 + n2 <= grain then begin
+    seq_merge cmp src ~l1 ~h1 ~l2 ~h2 dst ~dlo;
+    S.tick ()
+  end
+  else if n1 >= n2 then begin
+    let m1 = (l1 + h1) / 2 in
+    let pivot = src.(m1) in
+    (* Second-run elements equal to the pivot stay on the right. *)
+    let m2 = Seq_ops.lower_bound cmp src ~lo:l2 ~hi:h2 pivot in
+    S.fork_join_unit
+      (fun () -> pmerge cmp grain src dst ~l1 ~h1:m1 ~l2 ~h2:m2 ~dlo)
+      (fun () ->
+        pmerge cmp grain src dst ~l1:m1 ~h1 ~l2:m2 ~h2
+          ~dlo:(dlo + (m1 - l1) + (m2 - l2)))
+  end
+  else begin
+    let m2 = (l2 + h2) / 2 in
+    let pivot = src.(m2) in
+    (* First-run elements equal to the pivot stay on the left. *)
+    let m1 = Seq_ops.upper_bound cmp src ~lo:l1 ~hi:h1 pivot in
+    S.fork_join_unit
+      (fun () -> pmerge cmp grain src dst ~l1 ~h1:m1 ~l2 ~h2:m2 ~dlo)
+      (fun () ->
+        pmerge cmp grain src dst ~l1:m1 ~h1 ~l2:m2 ~h2
+          ~dlo:(dlo + (m1 - l1) + (m2 - l2)))
+  end
+
+let merge ?grain cmp a b =
+  let n1 = Array.length a and n2 = Array.length b in
+  if n1 + n2 = 0 then [||]
+  else begin
+    let grain =
+      match grain with Some g -> max 1 g | None -> max 1024 (Seq_ops.default_grain (n1 + n2))
+    in
+    let src = Array.append a b in
+    let dst = Array.make (n1 + n2) (if n1 > 0 then a.(0) else b.(0)) in
+    pmerge cmp grain src dst ~l1:0 ~h1:n1 ~l2:n1 ~h2:(n1 + n2) ~dlo:0;
+    dst
+  end
+
+let seq_sort_range cmp a lo hi =
+  let sub = Array.sub a lo (hi - lo) in
+  Array.stable_sort cmp sub;
+  Array.blit sub 0 a lo (hi - lo)
+
+(* Ping-pong merge sort. Invariant: data is in [s.(lo..hi)]; the result
+   lands in [d] when [to_dst], in [s] otherwise. *)
+let rec sort_rec cmp grain s d lo hi ~to_dst =
+  if hi - lo <= grain then begin
+    if to_dst then begin
+      Array.blit s lo d lo (hi - lo);
+      seq_sort_range cmp d lo hi
+    end
+    else seq_sort_range cmp s lo hi;
+    S.tick ()
+  end
+  else begin
+    let mid = lo + ((hi - lo) / 2) in
+    S.fork_join_unit
+      (fun () -> sort_rec cmp grain s d lo mid ~to_dst:(not to_dst))
+      (fun () -> sort_rec cmp grain s d mid hi ~to_dst:(not to_dst));
+    if to_dst then pmerge cmp grain s d ~l1:lo ~h1:mid ~l2:mid ~h2:hi ~dlo:lo
+    else pmerge cmp grain d s ~l1:lo ~h1:mid ~l2:mid ~h2:hi ~dlo:lo
+  end
+
+let merge_sort_inplace ?grain cmp a =
+  let n = Array.length a in
+  if n > 1 then begin
+    let grain =
+      match grain with Some g -> max 1 g | None -> max 1024 (Seq_ops.default_grain n)
+    in
+    let tmp = Array.make n a.(0) in
+    sort_rec cmp grain a tmp 0 n ~to_dst:false
+  end
+
+let merge_sort ?grain cmp a =
+  let out = Array.copy a in
+  merge_sort_inplace ?grain cmp out;
+  out
+
+let radix_digit_bits = 8
+
+let radix = 1 lsl radix_digit_bits
+
+let radix_sort_by ?grain ~key ~bits a =
+  let n = Array.length a in
+  if n <= 1 then Array.copy a
+  else begin
+    let grain =
+      match grain with Some g -> max 1 g | None -> max 4096 (Seq_ops.default_grain n)
+    in
+    let nblocks = max 1 ((n + grain - 1) / grain) in
+    let block_size = (n + nblocks - 1) / nblocks in
+    let passes = (bits + radix_digit_bits - 1) / radix_digit_bits in
+    let src = ref (Array.copy a) and dst = ref (Array.make n a.(0)) in
+    for pass = 0 to passes - 1 do
+      let shift = pass * radix_digit_bits in
+      let s = !src and d = !dst in
+      let digit x = (key x lsr shift) land (radix - 1) in
+      (* Per-block digit counts. *)
+      let counts = Array.make (nblocks * radix) 0 in
+      S.parallel_for ~grain:1 ~start:0 ~stop:nblocks (fun b ->
+          let lo = b * block_size and hi = min n ((b + 1) * block_size) in
+          let base = b * radix in
+          for i = lo to hi - 1 do
+            let dg = digit s.(i) in
+            counts.(base + dg) <- counts.(base + dg) + 1
+          done;
+          S.tick ());
+      (* Column-major (digit-major) exclusive scan gives each block its
+         write offset per digit; scatter is then stable. *)
+      let flat = Array.make (radix * nblocks) 0 in
+      S.parallel_for ~grain:16 ~start:0 ~stop:radix (fun dg ->
+          for b = 0 to nblocks - 1 do
+            flat.((dg * nblocks) + b) <- counts.((b * radix) + dg)
+          done);
+      let offsets, _total = Seq_ops.scan ( + ) 0 flat in
+      S.parallel_for ~grain:1 ~start:0 ~stop:nblocks (fun b ->
+          let lo = b * block_size and hi = min n ((b + 1) * block_size) in
+          let pos = Array.make radix 0 in
+          for dg = 0 to radix - 1 do
+            pos.(dg) <- offsets.((dg * nblocks) + b)
+          done;
+          for i = lo to hi - 1 do
+            let dg = digit s.(i) in
+            d.(pos.(dg)) <- s.(i);
+            pos.(dg) <- pos.(dg) + 1
+          done;
+          S.tick ());
+      src := d;
+      dst := s
+    done;
+    !src
+  end
+
+let radix_sort ?grain ~bits a = radix_sort_by ?grain ~key:(fun x -> x) ~bits a
+
+let is_sorted cmp a =
+  let n = Array.length a in
+  let ok = ref true in
+  for i = 0 to n - 2 do
+    if cmp a.(i) a.(i + 1) > 0 then ok := false
+  done;
+  !ok

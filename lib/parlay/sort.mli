@@ -1,0 +1,24 @@
+(** Parallel sorting: stable merge sort (comparison) and LSD radix sort
+    (integer keys), the two sorts PBBS's comparisonSort and integerSort
+    benchmarks exercise. *)
+
+(** [merge_sort cmp a] — new sorted array; stable; parallel divide and
+    conquer with a binary-search-splitting parallel merge. *)
+val merge_sort : ?grain:int -> ('a -> 'a -> int) -> 'a array -> 'a array
+
+(** In-place variant (uses a temporary of equal size internally). *)
+val merge_sort_inplace : ?grain:int -> ('a -> 'a -> int) -> 'a array -> unit
+
+(** [merge cmp a b] — merge of two sorted arrays, in parallel. *)
+val merge : ?grain:int -> ('a -> 'a -> int) -> 'a array -> 'a array -> 'a array
+
+(** [radix_sort_by ~key ~bits a] — stable LSD radix sort on the low [bits]
+    bits of [key x] (keys must be non-negative and fit [bits] bits).
+    Blocked counting + scan + scatter, one pass per radix digit. *)
+val radix_sort_by : ?grain:int -> key:('a -> int) -> bits:int -> 'a array -> 'a array
+
+(** [radix_sort ~bits a] on int arrays. *)
+val radix_sort : ?grain:int -> bits:int -> int array -> int array
+
+(** [is_sorted cmp a]. *)
+val is_sorted : ('a -> 'a -> int) -> 'a array -> bool

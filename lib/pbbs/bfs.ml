@@ -1,0 +1,171 @@
+(** PBBS breadthFirstSearch: level-synchronous parallel BFS. Vertices are
+    claimed with a compare-and-set on the parent array, so each level's
+    frontier is computed in parallel; the resulting distances are
+    deterministic even though parents are not. *)
+
+module P = Lcws_parlay
+open Suite_types
+
+(** Returns the parent array (-1 for unreached, [source] for itself). *)
+let bfs (g : Graph.t) ~source =
+  let n = Graph.num_vertices g in
+  let parent = Array.init n (fun _ -> Atomic.make (-1)) in
+  Atomic.set parent.(source) source;
+  let frontier = ref [| source |] in
+  while Array.length !frontier > 0 do
+    let claimed =
+      P.Seq_ops.tabulate ~grain:16 (Array.length !frontier) (fun fi ->
+          let u = !frontier.(fi) in
+          let mine = ref [] in
+          Graph.iter_neighbors g u (fun v ->
+              if Atomic.get parent.(v) = -1 && Atomic.compare_and_set parent.(v) (-1) u then
+                mine := v :: !mine);
+          Array.of_list !mine)
+    in
+    frontier := P.Seq_ops.flatten claimed
+  done;
+  Array.map Atomic.get parent
+
+let distances_from_parents g ~source parents =
+  let n = Graph.num_vertices g in
+  let dist = Array.make n (-1) in
+  dist.(source) <- 0;
+  (* Parents form a forest rooted at [source]; walk up each vertex. *)
+  let rec depth v =
+    if dist.(v) >= 0 then dist.(v)
+    else begin
+      let d = 1 + depth parents.(v) in
+      dist.(v) <- d;
+      d
+    end
+  in
+  for v = 0 to n - 1 do
+    if parents.(v) >= 0 && dist.(v) < 0 then ignore (depth v)
+  done;
+  dist
+
+(* Direction-optimizing BFS (Beamer-style), PBBS's backForwardBFS: when
+   the frontier is large, switch to a bottom-up sweep where every
+   unvisited vertex scans its neighbours for a frontier parent. The
+   bottom-up phase needs no CAS at all (each vertex writes only its own
+   parent slot), at the price of full-vertex sweeps — the steal-heavy
+   behaviour the paper singles out in Section 5.2. *)
+let bfs_back_forward (g : Graph.t) ~source =
+  let n = Graph.num_vertices g in
+  let parent = Array.init n (fun _ -> Atomic.make (-1)) in
+  Atomic.set parent.(source) source;
+  let in_frontier = Array.make n false in
+  let frontier = ref [| source |] in
+  let threshold = max 1 (n / 20) in
+  while Array.length !frontier > 0 do
+    let next =
+      if Array.length !frontier >= threshold then begin
+        (* Bottom-up: mark the current frontier, then each unvisited
+           vertex looks for any marked neighbour. *)
+        Array.iter (fun v -> in_frontier.(v) <- true) !frontier;
+        let vertices = P.Seq_ops.tabulate n (fun v -> v) in
+        let next =
+          P.Seq_ops.filter_mapi ~grain:64
+            (fun _ v ->
+              if Atomic.get parent.(v) >= 0 then None
+              else begin
+                let found = ref (-1) in
+                let edges, start, len = Graph.neighbors g v in
+                let i = ref start in
+                while !found < 0 && !i < start + len do
+                  if in_frontier.(edges.(!i)) then found := edges.(!i);
+                  incr i
+                done;
+                if !found >= 0 then begin
+                  Atomic.set parent.(v) !found;
+                  Some v
+                end
+                else None
+              end)
+            vertices
+        in
+        Array.iter (fun v -> in_frontier.(v) <- false) !frontier;
+        next
+      end
+      else begin
+        (* Top-down, as in [bfs]. *)
+        let claimed =
+          P.Seq_ops.tabulate ~grain:16 (Array.length !frontier) (fun fi ->
+              let u = !frontier.(fi) in
+              let mine = ref [] in
+              Graph.iter_neighbors g u (fun v ->
+                  if Atomic.get parent.(v) = -1 && Atomic.compare_and_set parent.(v) (-1) u then
+                    mine := v :: !mine);
+              Array.of_list !mine)
+        in
+        P.Seq_ops.flatten claimed
+      end
+    in
+    frontier := next
+  done;
+  Array.map Atomic.get parent
+
+let sequential_distances g ~source =
+  let n = Graph.num_vertices g in
+  let dist = Array.make n (-1) in
+  dist.(source) <- 0;
+  let q = Queue.create () in
+  Queue.add source q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Graph.iter_neighbors g u (fun v ->
+        if dist.(v) = -1 then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v q
+        end)
+  done;
+  dist
+
+let check g ~source parents =
+  let n = Graph.num_vertices g in
+  let expected = sequential_distances g ~source in
+  let got = distances_from_parents g ~source parents in
+  let ok = ref (parents.(source) = source) in
+  for v = 0 to n - 1 do
+    if expected.(v) <> got.(v) then ok := false;
+    (* Each parent edge must exist and go one level up. *)
+    if v <> source && parents.(v) >= 0 then begin
+      let p = parents.(v) in
+      let edge_exists = ref false in
+      Graph.iter_neighbors g p (fun w -> if w = v then edge_exists := true);
+      if not !edge_exists then ok := false
+    end
+  done;
+  !ok
+
+let instance_of ?(algo = bfs) name make_graph =
+  {
+    iname = name;
+    prepare =
+      (fun ~scale ->
+        let g = make_graph ~scale in
+        let out = ref [||] in
+        {
+          run = (fun () -> out := algo g ~source:0);
+          check = (fun () -> check g ~source:0 !out);
+        });
+  }
+
+let bench =
+  {
+    bname = "breadthFirstSearch";
+    instances =
+      [
+        instance_of "rMatGraph_J" (fun ~scale ->
+            let sc = max 8 (12 + int_of_float (Float.round (Float.log2 (max 0.1 scale)))) in
+            Graph.rmat ~seed:701 ~scale:sc ~edge_factor:8 ());
+        instance_of "gridGraph_2D" (fun ~scale ->
+            Graph.grid2d ~side:(max 8 (scaled ~scale 120)));
+        instance_of "gridGraph_3D" (fun ~scale ->
+            Graph.grid3d ~side:(max 4 (scaled ~scale 24)));
+        instance_of "randLocalGraph_J" (fun ~scale ->
+            Graph.random_graph ~seed:702 ~n:(scaled ~scale 30_000) ~degree:8 ());
+        instance_of ~algo:bfs_back_forward "backForwardBFS_3Dgrid" (fun ~scale ->
+            Graph.grid3d ~side:(max 4 (scaled ~scale 24)));
+      ];
+  }

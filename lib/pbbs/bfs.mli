@@ -1,0 +1,27 @@
+(** PBBS breadthFirstSearch: parallel BFS over CSR graphs.
+
+    Two algorithms, as in PBBS v2: plain level-synchronous top-down
+    ({!bfs}) and direction-optimizing back-forward BFS
+    ({!bfs_back_forward}) which switches to bottom-up sweeps on large
+    frontiers — the configuration Section 5.2 of the paper singles out
+    as steal-heavy. Parent choices are racy (CAS-claimed) but the
+    level structure, and hence distances, are deterministic. *)
+
+(** [bfs g ~source] — parent array: [-1] for unreached vertices,
+    [source] for the source itself. *)
+val bfs : Graph.t -> source:int -> int array
+
+(** Direction-optimizing variant (Beamer-style). Same contract. *)
+val bfs_back_forward : Graph.t -> source:int -> int array
+
+(** Levels implied by a parent forest ([-1] where unreached). *)
+val distances_from_parents : Graph.t -> source:int -> int array -> int array
+
+(** Reference sequential BFS distances. *)
+val sequential_distances : Graph.t -> source:int -> int array
+
+(** Full validation: distances match the sequential reference and every
+    parent edge exists one level up. *)
+val check : Graph.t -> source:int -> int array -> bool
+
+val bench : Suite_types.bench

@@ -1,0 +1,91 @@
+(** PBBS BWTransform (+ a decoder): the Burrows-Wheeler transform via the
+    parallel suffix array, and its inverse via the LF mapping. The
+    sentinel '\x00' (smaller than any text byte) makes suffix order equal
+    rotation order, so BWT.(i) is the character preceding suffix sa.(i). *)
+
+module P = Lcws_parlay
+open Suite_types
+
+let sentinel = '\x00'
+
+(** [bwt s] — last column of the sorted rotation matrix of [s ^ "\x00"].
+    [s] must not contain ['\x00']. *)
+let bwt s =
+  let t = s ^ String.make 1 sentinel in
+  let n = String.length t in
+  let sa = Suffix_array.suffix_array t in
+  let out =
+    P.Seq_ops.tabulate n (fun i ->
+        let j = sa.(i) in
+        if j = 0 then t.[n - 1] else t.[j - 1])
+  in
+  String.init n (fun i -> out.(i))
+
+(** [unbwt b] — inverse transform (drops the sentinel). LF-mapping walk:
+    counting (parallelizable) + one inherently sequential chase. *)
+let unbwt b =
+  let n = String.length b in
+  if n = 0 then ""
+  else begin
+    (* occ.(c) = number of characters < c in b (prefix sums of counts). *)
+    let counts = Array.make 257 0 in
+    String.iter (fun c -> counts.(Char.code c) <- counts.(Char.code c) + 1) b;
+    let first = Array.make 257 0 in
+    for c = 1 to 256 do
+      first.(c) <- first.(c - 1) + counts.(c - 1)
+    done;
+    (* rank.(i) = occurrences of b.[i] in b.[0..i-1]. *)
+    let rank = Array.make n 0 in
+    let running = Array.make 257 0 in
+    for i = 0 to n - 1 do
+      let c = Char.code b.[i] in
+      rank.(i) <- running.(c);
+      running.(c) <- running.(c) + 1
+    done;
+    (* LF(i) = first.(b.[i]) + rank.(i); walk backwards from the sentinel
+       row (row 0, since the sentinel sorts first). *)
+    let out = Bytes.make (n - 1) ' ' in
+    let row = ref 0 in
+    for k = n - 2 downto 0 do
+      let c = b.[!row] in
+      Bytes.set out k c;
+      row := first.(Char.code c) + rank.(!row)
+    done;
+    Bytes.to_string out
+  end
+
+let check s encoded =
+  String.length encoded = String.length s + 1
+  && (let sorted_in = List.sort compare (List.init (String.length s) (String.get s)) in
+      let enc_chars =
+        List.filter (fun c -> c <> sentinel) (List.init (String.length encoded) (String.get encoded))
+      in
+      List.sort compare enc_chars = sorted_in)
+  && unbwt encoded = s
+
+let base_n = 20_000
+
+let instance_of name gen =
+  {
+    iname = name;
+    prepare =
+      (fun ~scale ->
+        let n = scaled ~scale base_n in
+        let s = gen n in
+        let out = ref "" in
+        {
+          run = (fun () -> out := bwt s);
+          check = (fun () -> check s !out);
+        });
+  }
+
+let bench =
+  {
+    bname = "BWTransform";
+    instances =
+      [
+        instance_of "trigramString" (fun n ->
+            let t = Text_gen.text ~seed:1801 ~vocab:(max 16 (n / 40)) ~words:(max 1 (n / 6)) () in
+            if String.length t >= n then String.sub t 0 n else t);
+      ];
+  }

@@ -1,0 +1,16 @@
+(** PBBS BWTransform: Burrows–Wheeler transform via the parallel suffix
+    array (with a '\x00' sentinel), and its inverse via the LF mapping. *)
+
+val sentinel : char
+
+(** [bwt s] — last column of the sorted rotations of [s ^ "\x00"];
+    length [String.length s + 1]. [s] must not contain the sentinel. *)
+val bwt : string -> string
+
+(** Inverse transform; drops the sentinel. *)
+val unbwt : string -> string
+
+(** Same multiset of characters + exact round trip. *)
+val check : string -> string -> bool
+
+val bench : Suite_types.bench

@@ -1,0 +1,144 @@
+(** PBBS classify (decisionTree): train a CART-style decision tree on a
+    covtype-like synthetic table and evaluate training accuracy. Candidate
+    splits are scored with parallel reductions; subtrees build under
+    [fork_join]. This is the benchmark family the paper flags as
+    steal-heavy (Section 5.2). *)
+
+module P = Lcws_parlay
+module S = Lcws_sched.Scheduler
+open Suite_types
+
+type dataset = {
+  n : int;
+  d : int;
+  features : float array;  (** row-major n×d *)
+  labels : int array;  (** 0/1 *)
+}
+
+let feature ds row j = ds.features.((row * ds.d) + j)
+
+(* Hidden ground truth: a random depth-3 threshold tree plus label noise,
+   so a learned tree can recover most of the signal. *)
+let synth ?(seed = 1) ~n ~d () =
+  let features = P.Seq_ops.tabulate (n * d) (fun i -> P.Prandom.float ~seed i) in
+  let hidden_feature lvl = P.Prandom.int ~seed:(seed + 31) lvl d in
+  let hidden_thresh lvl = 0.25 +. (0.5 *. P.Prandom.float ~seed:(seed + 37) lvl) in
+  let label_of row =
+    let rec walk lvl node =
+      if lvl = 3 then node land 1
+      else begin
+        let f = hidden_feature ((node * 7) + lvl) in
+        let t = hidden_thresh ((node * 13) + lvl) in
+        let go_right = features.((row * d) + f) >= t in
+        walk (lvl + 1) ((2 * node) + if go_right then 1 else 0)
+      end
+    in
+    let pure = walk 0 1 in
+    if P.Prandom.float ~seed:(seed + 41) row < 0.05 then 1 - pure else pure
+  in
+  let labels = P.Seq_ops.tabulate n label_of in
+  { n; d; features; labels }
+
+type tree = Tleaf of int | Tnode of { feat : int; thresh : float; lt : tree; ge : tree }
+
+let gini pos total =
+  if total = 0 then 0.
+  else begin
+    let p = float_of_int pos /. float_of_int total in
+    2. *. p *. (1. -. p)
+  end
+
+let candidates = [| 0.2; 0.35; 0.5; 0.65; 0.8 |]
+
+let train ?(max_depth = 8) ?(min_leaf = 16) ds =
+  let rec grow rows depth =
+    let total = Array.length rows in
+    let pos = P.Seq_ops.map_reduce (fun r -> ds.labels.(r)) ( + ) 0 rows in
+    let majority = if 2 * pos >= total then 1 else 0 in
+    if depth >= max_depth || total <= min_leaf || pos = 0 || pos = total then Tleaf majority
+    else begin
+      (* Score every (feature, candidate threshold) pair in parallel. *)
+      let nf = ds.d and nc = Array.length candidates in
+      let scores =
+        P.Seq_ops.tabulate ~grain:1 (nf * nc) (fun k ->
+            let j = k / nc and c = k mod nc in
+            let t = candidates.(c) in
+            let left_tot = ref 0 and left_pos = ref 0 and right_pos = ref 0 in
+            Array.iter
+              (fun r ->
+                if feature ds r j < t then begin
+                  incr left_tot;
+                  left_pos := !left_pos + ds.labels.(r)
+                end
+                else right_pos := !right_pos + ds.labels.(r))
+              rows;
+            S.tick ();
+            let right_tot = total - !left_tot in
+            let w = float_of_int total in
+            let impurity =
+              (float_of_int !left_tot /. w *. gini !left_pos !left_tot)
+              +. (float_of_int right_tot /. w *. gini !right_pos right_tot)
+            in
+            (impurity, j, t, !left_tot))
+      in
+      let best = ref (infinity, -1, 0., 0) in
+      Array.iter
+        (fun ((imp, _, _, lt) as s) ->
+          let bimp, _, _, _ = !best in
+          if lt > 0 && lt < total && imp < bimp then best := s)
+        scores;
+      let _, j, t, _ = !best in
+      if j < 0 then Tleaf majority
+      else begin
+        let left = P.Seq_ops.filter (fun r -> feature ds r j < t) rows in
+        let right = P.Seq_ops.filter (fun r -> feature ds r j >= t) rows in
+        let lt, ge =
+          S.fork_join (fun () -> grow left (depth + 1)) (fun () -> grow right (depth + 1))
+        in
+        Tnode { feat = j; thresh = t; lt; ge }
+      end
+    end
+  in
+  grow (P.Seq_ops.tabulate ds.n (fun i -> i)) 0
+
+let rec predict tree ds row =
+  match tree with
+  | Tleaf l -> l
+  | Tnode { feat; thresh; lt; ge } ->
+      if feature ds row feat < thresh then predict lt ds row else predict ge ds row
+
+let accuracy tree ds =
+  let correct =
+    P.Seq_ops.map_reduce
+      (fun r -> if predict tree ds r = ds.labels.(r) then 1 else 0)
+      ( + ) 0
+      (P.Seq_ops.tabulate ds.n (fun i -> i))
+  in
+  float_of_int correct /. float_of_int ds.n
+
+let base_n = 20_000
+
+let bench =
+  {
+    bname = "classify";
+    instances =
+      [
+        {
+          iname = "covtype_like";
+          prepare =
+            (fun ~scale ->
+              let ds = synth ~seed:1601 ~n:(scaled ~scale base_n) ~d:10 () in
+              let out = ref None in
+              {
+                run = (fun () -> out := Some (train ds));
+                check =
+                  (fun () ->
+                    match !out with
+                    | None -> false
+                    | Some tree ->
+                        (* 5% label noise: a decent tree clears 80%. *)
+                        accuracy tree ds > 0.8);
+              });
+        };
+      ];
+  }

@@ -1,0 +1,27 @@
+(** PBBS classify (decisionTree): CART-style decision tree on a
+    covtype-like synthetic table; candidate splits scored with parallel
+    reductions, subtrees built under fork-join. The steal-heavy
+    configuration of the paper's Section 5.2. *)
+
+type dataset = {
+  n : int;
+  d : int;
+  features : float array;  (** row-major n×d *)
+  labels : int array;  (** 0/1 *)
+}
+
+val feature : dataset -> int -> int -> float
+
+(** Synthetic data: hidden depth-3 threshold tree + 5% label noise. *)
+val synth : ?seed:int -> n:int -> d:int -> unit -> dataset
+
+type tree = Tleaf of int | Tnode of { feat : int; thresh : float; lt : tree; ge : tree }
+
+val train : ?max_depth:int -> ?min_leaf:int -> dataset -> tree
+
+val predict : tree -> dataset -> int -> int
+
+(** Training accuracy in [0, 1]. *)
+val accuracy : tree -> dataset -> float
+
+val bench : Suite_types.bench

@@ -1,0 +1,48 @@
+(** PBBS comparisonSort: stable parallel merge sort under a comparator. *)
+
+module P = Lcws_parlay
+open Suite_types
+
+let sort cmp a = P.Sort.merge_sort cmp a
+
+let check_against_stdlib cmp input output =
+  let expected = Array.copy input in
+  Array.stable_sort cmp expected;
+  expected = output
+
+let base_n = 100_000
+
+let instance_of name gen cmp =
+  {
+    iname = name;
+    prepare =
+      (fun ~scale ->
+        let n = scaled ~scale base_n in
+        let input = gen n in
+        let out = ref [||] in
+        {
+          run = (fun () -> out := sort cmp input);
+          check = (fun () -> check_against_stdlib cmp input !out);
+        });
+  }
+
+let bench =
+  {
+    bname = "comparisonSort";
+    instances =
+      [
+        instance_of "randomSeq_double" (fun n -> P.Prandom.floats ~seed:201 n) Float.compare;
+        instance_of "exptSeq_double"
+          (fun n ->
+            Array.map (fun k -> float_of_int k)
+              (P.Prandom.exponential_ints ~seed:202 n ~bound:(1 lsl 20)))
+          Float.compare;
+        instance_of "almostSortedSeq_double"
+          (fun n ->
+            Array.map float_of_int (P.Prandom.almost_sorted ~seed:203 n ~swaps:(n / 100)))
+          Float.compare;
+        instance_of "trigramSeq_string"
+          (fun n -> Text_gen.words ~seed:204 ~vocab:(max 16 (n / 10)) n)
+          String.compare;
+      ];
+  }

@@ -1,0 +1,9 @@
+(** PBBS comparisonSort: stable parallel merge sort under an arbitrary
+    comparator (doubles, exponential/almost-sorted sequences, trigram
+    strings — the PBBS default instances). *)
+
+val sort : ('a -> 'a -> int) -> 'a array -> 'a array
+
+val check_against_stdlib : ('a -> 'a -> int) -> 'a array -> 'a array -> bool
+
+val bench : Suite_types.bench

@@ -1,0 +1,109 @@
+(** PBBS convexHull: 2D quickhull. Parallel filters partition points by
+    side of the dividing line; the two recursive halves run under
+    [fork_join]. Returns hull vertex indices in counter-clockwise order. *)
+
+module P = Lcws_parlay
+module S = Lcws_sched.Scheduler
+open Suite_types
+open Geometry
+
+let quickhull (pts : point2d array) =
+  let n = Array.length pts in
+  if n < 3 then Array.init n (fun i -> i)
+  else begin
+    let cmp_x i j =
+      let c = Float.compare pts.(i).x pts.(j).x in
+      if c <> 0 then c else Float.compare pts.(i).y pts.(j).y
+    in
+    let idx = P.Seq_ops.tabulate n (fun i -> i) in
+    let leftmost = P.Seq_ops.min_index (fun i j -> cmp_x i j) idx in
+    let rightmost = P.Seq_ops.max_index (fun i j -> cmp_x i j) idx in
+    let l = idx.(leftmost) and r = idx.(rightmost) in
+    (* hull a b cands = hull points strictly left of a->b, in order. *)
+    let rec hull a b cands =
+      if Array.length cands = 0 then []
+      else begin
+        let pa = pts.(a) and pb = pts.(b) in
+        let far =
+          P.Seq_ops.max_index
+            (fun i j -> Float.compare (line_dist pa pb pts.(i)) (line_dist pa pb pts.(j)))
+            cands
+        in
+        let c = cands.(far) in
+        let pc = pts.(c) in
+        let left1 = P.Seq_ops.filter (fun i -> cross pa pc pts.(i) > 0.) cands in
+        let left2 = P.Seq_ops.filter (fun i -> cross pc pb pts.(i) > 0.) cands in
+        let h1, h2 =
+          S.fork_join (fun () -> hull a c left1) (fun () -> hull c b left2)
+        in
+        h1 @ (c :: h2)
+      end
+    in
+    let pl = pts.(l) and pr = pts.(r) in
+    let upper = P.Seq_ops.filter (fun i -> cross pl pr pts.(i) > 0.) idx in
+    let lower = P.Seq_ops.filter (fun i -> cross pr pl pts.(i) > 0.) idx in
+    let hu, hl = S.fork_join (fun () -> hull l r upper) (fun () -> hull r l lower) in
+    (* The l→upper→r→lower cycle is clockwise; reverse it for CCW. *)
+    Array.of_list (List.rev ((l :: hu) @ (r :: hl)))
+  end
+
+let check pts hull =
+  let n = Array.length pts in
+  let h = Array.length hull in
+  if n < 3 then h = n
+  else if h < 2 then false
+  else begin
+    let eps = 1e-9 in
+    (* Orientation-agnostic: sign of twice the signed area. *)
+    let area2 = ref 0. in
+    for i = 0 to h - 1 do
+      let a = pts.(hull.(i)) and b = pts.(hull.((i + 1) mod h)) in
+      area2 := !area2 +. ((a.x *. b.y) -. (b.x *. a.y))
+    done;
+    let s = if !area2 >= 0. then 1. else -1. in
+    let ok = ref true in
+    (* Convexity: consecutive hull turns never flip against orientation. *)
+    for i = 0 to h - 1 do
+      let a = pts.(hull.(i)) and b = pts.(hull.((i + 1) mod h)) and c = pts.(hull.((i + 2) mod h)) in
+      if s *. cross a b c < -.eps then ok := false
+    done;
+    (* Containment: every point is on the interior side of every edge.
+       Tolerance scales with edge length for far-out Kuzmin points. *)
+    for i = 0 to n - 1 do
+      let p = pts.(i) in
+      for j = 0 to h - 1 do
+        let a = pts.(hull.(j)) and b = pts.(hull.((j + 1) mod h)) in
+        let scale = 1. +. dist2 a b in
+        if s *. cross a b p < -.eps *. scale then ok := false
+      done
+    done;
+    !ok
+  end
+
+let base_n = 100_000
+
+let instance_of name gen =
+  {
+    iname = name;
+    prepare =
+      (fun ~scale ->
+        let n = scaled ~scale base_n in
+        let pts = gen n in
+        let out = ref [||] in
+        {
+          run = (fun () -> out := quickhull pts);
+          check = (fun () -> check pts !out);
+        });
+  }
+
+let bench =
+  {
+    bname = "convexHull";
+    instances =
+      [
+        instance_of "2DinSphere" (in_sphere2d ~seed:1101);
+        instance_of "2DinCube" (in_cube2d ~seed:1102);
+        instance_of "2Dkuzmin" (kuzmin2d ~seed:1103);
+        instance_of "2DonSphere" (fun n -> on_sphere2d ~seed:1104 (min n 2_000));
+      ];
+  }

@@ -1,0 +1,10 @@
+(** PBBS convexHull: 2D quickhull with parallel partition filters and
+    fork-join recursion. *)
+
+(** Hull vertex indices in counter-clockwise order. *)
+val quickhull : Geometry.point2d array -> int array
+
+(** Orientation-agnostic convexity + containment validation. *)
+val check : Geometry.point2d array -> int array -> bool
+
+val bench : Suite_types.bench

@@ -1,0 +1,224 @@
+module P = Lcws_parlay
+open Suite_types
+open Geometry
+
+type triangle = { p1 : int; p2 : int; p3 : int }
+
+(* Incircle determinant: for CCW (a,b,c), positive iff d lies strictly
+   inside the circumcircle. Doubles, not exact predicates — inputs come
+   from the random generators, which keep points in general position. *)
+let incircle (a : point2d) b c d =
+  let ax = a.x -. d.x and ay = a.y -. d.y in
+  let bx = b.x -. d.x and by = b.y -. d.y in
+  let cx = c.x -. d.x and cy = c.y -. d.y in
+  let a2 = (ax *. ax) +. (ay *. ay) in
+  let b2 = (bx *. bx) +. (by *. by) in
+  let c2 = (cx *. cx) +. (cy *. cy) in
+  (ax *. ((by *. c2) -. (b2 *. cy)))
+  -. (ay *. ((bx *. c2) -. (b2 *. cx)))
+  +. (a2 *. ((bx *. cy) -. (by *. cx)))
+
+let in_circumcircle pts t i =
+  incircle pts.(t.p1) pts.(t.p2) pts.(t.p3) pts.(i) > 0.
+
+(* Growable triangle store with alive flags; periodically compacted so
+   the per-insert parallel filter scans mostly-live triangles. *)
+type store = {
+  mutable tris : triangle array;
+  mutable alive : bool array;
+  mutable len : int;
+}
+
+let store_add st t =
+  if st.len = Array.length st.tris then begin
+    let cap = max 64 (2 * st.len) in
+    let tris = Array.make cap t and alive = Array.make cap false in
+    Array.blit st.tris 0 tris 0 st.len;
+    Array.blit st.alive 0 alive 0 st.len;
+    st.tris <- tris;
+    st.alive <- alive
+  end;
+  st.tris.(st.len) <- t;
+  st.alive.(st.len) <- true;
+  st.len <- st.len + 1
+
+let compact st =
+  let tris = Array.sub st.tris 0 st.len and alive = Array.sub st.alive 0 st.len in
+  let keep = ref [] in
+  for i = st.len - 1 downto 0 do
+    if alive.(i) then keep := tris.(i) :: !keep
+  done;
+  let kept = Array.of_list !keep in
+  st.tris <- kept;
+  st.alive <- Array.make (Array.length kept) true;
+  st.len <- Array.length kept
+
+let triangulate (pts : point2d array) =
+  let n = Array.length pts in
+  if n < 3 then [||]
+  else begin
+    (* Extended point array: input points + a super-triangle that
+       comfortably encloses the bounding box. *)
+    let minx = ref infinity and maxx = ref neg_infinity in
+    let miny = ref infinity and maxy = ref neg_infinity in
+    Array.iter
+      (fun p ->
+        if p.x < !minx then minx := p.x;
+        if p.x > !maxx then maxx := p.x;
+        if p.y < !miny then miny := p.y;
+        if p.y > !maxy then maxy := p.y)
+      pts;
+    let w = Float.max (!maxx -. !minx) (!maxy -. !miny) +. 1. in
+    let cx = (!minx +. !maxx) /. 2. and cy = (!miny +. !maxy) /. 2. in
+    let ext =
+      [|
+        { x = cx -. (20. *. w); y = cy -. (10. *. w) };
+        { x = cx +. (20. *. w); y = cy -. (10. *. w) };
+        { x = cx; y = cy +. (20. *. w) };
+      |]
+    in
+    let all = Array.append pts ext in
+    let st = { tris = Array.make 64 { p1 = 0; p2 = 0; p3 = 0 }; alive = Array.make 64 false; len = 0 } in
+    store_add st { p1 = n; p2 = n + 1; p3 = n + 2 };
+    let dead_since_compact = ref 0 in
+    for p = 0 to n - 1 do
+      (* Parallel phase: find the cavity (bad triangles). *)
+      let indices = P.Seq_ops.tabulate st.len (fun i -> i) in
+      let bad =
+        P.Seq_ops.filter ~grain:256
+          (fun i -> st.alive.(i) && in_circumcircle all st.tris.(i) p)
+          indices
+      in
+      (* Cavity boundary: undirected edges seen exactly once, kept with
+         the CCW orientation of their dead triangle so the new triangles
+         stay CCW. *)
+      let edges = Hashtbl.create 16 in
+      let add_edge a b =
+        let key = (min a b, max a b) in
+        match Hashtbl.find_opt edges key with
+        | None -> Hashtbl.add edges key (Some (a, b))
+        | Some _ -> Hashtbl.replace edges key None
+      in
+      Array.iter
+        (fun i ->
+          let t = st.tris.(i) in
+          add_edge t.p1 t.p2;
+          add_edge t.p2 t.p3;
+          add_edge t.p3 t.p1;
+          st.alive.(i) <- false)
+        bad;
+      dead_since_compact := !dead_since_compact + Array.length bad;
+      Hashtbl.iter
+        (fun _ oriented ->
+          match oriented with
+          | Some (a, b) -> store_add st { p1 = a; p2 = b; p3 = p }
+          | None -> ())
+        edges;
+      if !dead_since_compact > 4 * n || st.len > 8 * n then begin
+        compact st;
+        dead_since_compact := 0
+      end
+    done;
+    (* Drop triangles that touch the super-triangle. *)
+    let result = ref [] in
+    for i = st.len - 1 downto 0 do
+      if st.alive.(i) then begin
+        let t = st.tris.(i) in
+        if t.p1 < n && t.p2 < n && t.p3 < n then result := t :: !result
+      end
+    done;
+    Array.of_list !result
+  end
+
+let check (pts : point2d array) (tris : triangle array) =
+  let n = Array.length pts in
+  if n < 3 then Array.length tris = 0
+  else begin
+    let ok = ref true in
+    (* Every triangle CCW with vertices in range; every point used. *)
+    let used = Array.make n false in
+    Array.iter
+      (fun t ->
+        if t.p1 < 0 || t.p1 >= n || t.p2 < 0 || t.p2 >= n || t.p3 < 0 || t.p3 >= n then
+          ok := false
+        else begin
+          used.(t.p1) <- true;
+          used.(t.p2) <- true;
+          used.(t.p3) <- true;
+          if cross pts.(t.p1) pts.(t.p2) pts.(t.p3) <= 0. then ok := false
+        end)
+      tris;
+    if not (Array.for_all Fun.id used) then ok := false;
+    (* Edge structure: each undirected edge in 1 (hull) or 2 (interior)
+       triangles; interior edges locally Delaunay. *)
+    let edges : (int * int, (triangle * int) list) Hashtbl.t = Hashtbl.create 256 in
+    let add a b t opposite =
+      let key = (min a b, max a b) in
+      Hashtbl.replace edges key
+        ((t, opposite) :: Option.value ~default:[] (Hashtbl.find_opt edges key))
+    in
+    Array.iter
+      (fun t ->
+        add t.p1 t.p2 t t.p3;
+        add t.p2 t.p3 t t.p1;
+        add t.p3 t.p1 t t.p2)
+      tris;
+    let boundary : (int * int) list ref = ref [] in
+    let eps = 1e-12 in
+    let strictly_inside t i =
+      incircle pts.(t.p1) pts.(t.p2) pts.(t.p3) pts.(i) > eps
+    in
+    Hashtbl.iter
+      (fun key occurrences ->
+        match occurrences with
+        | [ _ ] -> boundary := key :: !boundary
+        | [ (t1, opp1); (t2, opp2) ] ->
+            if strictly_inside t1 opp2 || strictly_inside t2 opp1 then ok := false
+        | _ -> ok := false)
+      edges;
+    (* The boundary must be one closed cycle: every boundary vertex has
+       exactly two boundary edges. *)
+    let b = List.length !boundary in
+    let bdeg = Hashtbl.create 64 in
+    List.iter
+      (fun (a, c) ->
+        List.iter
+          (fun v ->
+            Hashtbl.replace bdeg v (1 + Option.value ~default:0 (Hashtbl.find_opt bdeg v)))
+          [ a; c ])
+      !boundary;
+    if Hashtbl.length bdeg <> b then ok := false;
+    Hashtbl.iter (fun _ d -> if d <> 2 then ok := false) bdeg;
+    (* Euler for a triangulation with [b] boundary vertices. *)
+    if Array.length tris <> (2 * n) - 2 - b then ok := false;
+    (* Cross-check against quickhull: every extreme point is a boundary
+       vertex (the boundary may additionally contain near-collinear hull
+       points that quickhull legitimately drops). *)
+    let hull = Convex_hull.quickhull pts in
+    if Array.length hull > b then ok := false;
+    Array.iter (fun v -> if not (Hashtbl.mem bdeg v) then ok := false) hull;
+    !ok
+  end
+
+let base_n = 1_500
+
+let instance_of name gen =
+  {
+    iname = name;
+    prepare =
+      (fun ~scale ->
+        let n = max 3 (scaled ~scale base_n) in
+        let pts = gen n in
+        let out = ref [||] in
+        {
+          run = (fun () -> out := triangulate pts);
+          check = (fun () -> check pts !out);
+        });
+  }
+
+let bench =
+  {
+    bname = "delaunayTriangulation";
+    instances =
+      [ instance_of "2DinCube" (in_cube2d ~seed:2001); instance_of "2DinSphere" (in_sphere2d ~seed:2002) ];
+  }

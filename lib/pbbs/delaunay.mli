@@ -1,0 +1,35 @@
+(** PBBS delaunayTriangulation: 2D Delaunay triangulation by incremental
+    Bowyer–Watson insertion. Per inserted point, the cavity (triangles
+    whose circumcircle contains the point) is found with a *parallel
+    filter* over the current triangulation — the data-parallel phase —
+    and retriangulated sequentially (PBBS's real implementation batches
+    inserts with reservations; the work profile per round is the same:
+    a parallel sweep followed by a small structural update).
+
+    Validation uses the local Delaunay property (every interior edge is
+    locally Delaunay ⇒ the triangulation is globally Delaunay) plus
+    Euler's formula with the hull size taken from {!Convex_hull}. *)
+
+(** A triangle as indices into the point array, counter-clockwise. *)
+type triangle = { p1 : int; p2 : int; p3 : int }
+
+(** [triangulate pts] — the Delaunay triangles of [pts]. Points should
+    be in general position (the random generators here are); exact
+    predicates are out of scope. *)
+val triangulate : Geometry.point2d array -> triangle array
+
+(** Raw incircle determinant (exposed for tests). *)
+val incircle :
+  Geometry.point2d -> Geometry.point2d -> Geometry.point2d -> Geometry.point2d -> float
+
+(** [in_circumcircle pts t i] — strict containment of point [i] in the
+    circumcircle of [t]. *)
+val in_circumcircle : Geometry.point2d array -> triangle -> int -> bool
+
+(** Full validation: every point is a vertex of some triangle, triangles
+    are CCW and share edges consistently, every interior edge is locally
+    Delaunay, and the triangle count satisfies Euler's formula
+    [t = 2n - 2 - h]. *)
+val check : Geometry.point2d array -> triangle array -> bool
+
+val bench : Suite_types.bench

@@ -1,0 +1,59 @@
+module P = Lcws_parlay
+
+type point2d = { x : float; y : float }
+
+type point3d = { x3 : float; y3 : float; z3 : float }
+
+let dist2 a b =
+  let dx = a.x -. b.x and dy = a.y -. b.y in
+  (dx *. dx) +. (dy *. dy)
+
+let dist3 a b =
+  let dx = a.x3 -. b.x3 and dy = a.y3 -. b.y3 and dz = a.z3 -. b.z3 in
+  (dx *. dx) +. (dy *. dy) +. (dz *. dz)
+
+let cross a b c = ((b.x -. a.x) *. (c.y -. a.y)) -. ((b.y -. a.y) *. (c.x -. a.x))
+
+let line_dist a b p = cross a b p
+
+let in_cube2d ?(seed = 1) n =
+  P.Seq_ops.tabulate n (fun i ->
+      { x = P.Prandom.float ~seed i; y = P.Prandom.float ~seed:(seed + 13) i })
+
+let in_cube3d ?(seed = 1) n =
+  P.Seq_ops.tabulate n (fun i ->
+      {
+        x3 = P.Prandom.float ~seed i;
+        y3 = P.Prandom.float ~seed:(seed + 13) i;
+        z3 = P.Prandom.float ~seed:(seed + 29) i;
+      })
+
+let in_sphere2d ?(seed = 1) n =
+  (* Rejection-free: polar with sqrt radius for uniformity. *)
+  P.Seq_ops.tabulate n (fun i ->
+      let r = sqrt (P.Prandom.float ~seed i) in
+      let th = 2. *. Float.pi *. P.Prandom.float ~seed:(seed + 13) i in
+      { x = r *. cos th; y = r *. sin th })
+
+let in_sphere3d ?(seed = 1) n =
+  P.Seq_ops.tabulate n (fun i ->
+      let r = Float.cbrt (P.Prandom.float ~seed i) in
+      let costh = (2. *. P.Prandom.float ~seed:(seed + 13) i) -. 1. in
+      let sinth = sqrt (max 0. (1. -. (costh *. costh))) in
+      let phi = 2. *. Float.pi *. P.Prandom.float ~seed:(seed + 29) i in
+      { x3 = r *. sinth *. cos phi; y3 = r *. sinth *. sin phi; z3 = r *. costh })
+
+let on_sphere2d ?(seed = 1) n =
+  P.Seq_ops.tabulate n (fun i ->
+      let th = 2. *. Float.pi *. P.Prandom.float ~seed i in
+      { x = cos th; y = sin th })
+
+let kuzmin2d ?(seed = 1) n =
+  P.Seq_ops.tabulate n (fun i ->
+      let u = P.Prandom.float ~seed i in
+      (* Kuzmin radial CDF inverse: r = sqrt(1/(1-u)^2 - 1) *)
+      let denom = max 1e-9 (1. -. u) in
+      let r = sqrt (max 0. ((1. /. (denom *. denom)) -. 1.)) in
+      let r = min r 1e6 in
+      let th = 2. *. Float.pi *. P.Prandom.float ~seed:(seed + 13) i in
+      { x = r *. cos th; y = r *. sin th })

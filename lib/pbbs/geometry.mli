@@ -1,0 +1,35 @@
+(** 2D/3D points and the PBBS point-set generators (in-cube, in-sphere,
+    on-sphere, Kuzmin) used by convexHull, nearestNeighbors, nBody and
+    rayCast. *)
+
+type point2d = { x : float; y : float }
+
+type point3d = { x3 : float; y3 : float; z3 : float }
+
+val dist2 : point2d -> point2d -> float
+
+val dist3 : point3d -> point3d -> float
+
+(** Signed area of triangle (a, b, c): > 0 when c is left of a→b. *)
+val cross : point2d -> point2d -> point2d -> float
+
+(** Distance from point [p] to line a→b, scaled by |ab| (the quickhull
+    pivot metric). *)
+val line_dist : point2d -> point2d -> point2d -> float
+
+(** Uniform points in the unit square / cube. *)
+val in_cube2d : ?seed:int -> int -> point2d array
+
+val in_cube3d : ?seed:int -> int -> point3d array
+
+(** Uniform points inside the unit disc / ball. *)
+val in_sphere2d : ?seed:int -> int -> point2d array
+
+val in_sphere3d : ?seed:int -> int -> point3d array
+
+(** On the unit circle (degenerate hull input — all points extreme). *)
+val on_sphere2d : ?seed:int -> int -> point2d array
+
+(** Kuzmin distribution (heavily clustered at the origin), PBBS's
+    2Dkuzmin. *)
+val kuzmin2d : ?seed:int -> int -> point2d array

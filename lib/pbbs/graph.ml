@@ -1,0 +1,124 @@
+module P = Lcws_parlay
+
+type t = { n : int; offsets : int array; edges : int array }
+
+let num_vertices g = g.n
+
+let num_edges g = Array.length g.edges
+
+let degree g v = g.offsets.(v + 1) - g.offsets.(v)
+
+let neighbors g v = (g.edges, g.offsets.(v), degree g v)
+
+let iter_neighbors g v f =
+  for i = g.offsets.(v) to g.offsets.(v + 1) - 1 do
+    f g.edges.(i)
+  done
+
+let of_edges ~n pairs =
+  let m = Array.length pairs in
+  let counts = Array.make (n + 1) 0 in
+  Array.iter (fun (u, _) -> counts.(u) <- counts.(u) + 1) pairs;
+  let offsets = Array.make (n + 1) 0 in
+  for v = 1 to n do
+    offsets.(v) <- offsets.(v - 1) + counts.(v - 1)
+  done;
+  let cursor = Array.copy offsets in
+  let edges = Array.make m 0 in
+  Array.iter
+    (fun (u, v) ->
+      edges.(cursor.(u)) <- v;
+      cursor.(u) <- cursor.(u) + 1)
+    pairs;
+  { n; offsets; edges }
+
+let symmetrize ~n pairs =
+  let both =
+    Array.concat
+      [
+        Array.of_list (List.filter (fun (u, v) -> u <> v) (Array.to_list pairs));
+        Array.of_list
+          (List.filter_map (fun (u, v) -> if u <> v then Some (v, u) else None)
+             (Array.to_list pairs));
+      ]
+  in
+  (* Deduplicate per adjacency list. *)
+  let g = of_edges ~n both in
+  let lists =
+    Array.init n (fun v ->
+        let _, start, len = neighbors g v in
+        let l = Array.sub g.edges start len in
+        Array.sort compare l;
+        let out = ref [] in
+        Array.iteri (fun i x -> if i = 0 || x <> l.(i - 1) then out := x :: !out) l;
+        Array.of_list (List.rev !out))
+  in
+  let offsets = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    offsets.(v + 1) <- offsets.(v) + Array.length lists.(v)
+  done;
+  let edges = Array.make offsets.(n) 0 in
+  for v = 0 to n - 1 do
+    Array.blit lists.(v) 0 edges offsets.(v) (Array.length lists.(v))
+  done;
+  { n; offsets; edges }
+
+let rmat ?(seed = 1) ~scale ~edge_factor () =
+  let n = 1 lsl scale in
+  let m = edge_factor * n in
+  (* Quadrant choice per bit level, PBBS probabilities a=.5 b=.1 c=.1 d=.3 *)
+  let pick_edge e =
+    let u = ref 0 and v = ref 0 in
+    for level = 0 to scale - 1 do
+      let r = P.Prandom.float ~seed:(seed + (level * 7717)) e in
+      let du, dv = if r < 0.5 then (0, 0) else if r < 0.6 then (0, 1) else if r < 0.7 then (1, 0) else (1, 1) in
+      u := (!u lsl 1) lor du;
+      v := (!v lsl 1) lor dv
+    done;
+    (!u, !v)
+  in
+  let pairs = Array.init m pick_edge in
+  symmetrize ~n pairs
+
+let grid2d ~side =
+  let n = side * side in
+  let id x y = (x * side) + y in
+  let pairs = ref [] in
+  for x = 0 to side - 1 do
+    for y = 0 to side - 1 do
+      if x + 1 < side then pairs := (id x y, id (x + 1) y) :: !pairs;
+      if y + 1 < side then pairs := (id x y, id x (y + 1)) :: !pairs
+    done
+  done;
+  symmetrize ~n (Array.of_list !pairs)
+
+let grid3d ~side =
+  let n = side * side * side in
+  let id x y z = (((x * side) + y) * side) + z in
+  let pairs = ref [] in
+  for x = 0 to side - 1 do
+    for y = 0 to side - 1 do
+      for z = 0 to side - 1 do
+        if x + 1 < side then pairs := (id x y z, id (x + 1) y z) :: !pairs;
+        if y + 1 < side then pairs := (id x y z, id x (y + 1) z) :: !pairs;
+        if z + 1 < side then pairs := (id x y z, id x y (z + 1)) :: !pairs
+      done
+    done
+  done;
+  symmetrize ~n (Array.of_list !pairs)
+
+let random_graph ?(seed = 1) ~n ~degree () =
+  let pairs =
+    Array.init (n * degree) (fun i ->
+        let u = i / degree in
+        let v = P.Prandom.int ~seed i n in
+        (u, v))
+  in
+  symmetrize ~n pairs
+
+let edge_list g =
+  let out = ref [] in
+  for u = 0 to g.n - 1 do
+    iter_neighbors g u (fun v -> if u < v then out := (u, v) :: !out)
+  done;
+  Array.of_list (List.rev !out)

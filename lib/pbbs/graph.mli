@@ -1,0 +1,48 @@
+(** Compressed-sparse-row graphs and the PBBS graph generators.
+
+    PBBS's graph benchmarks run on rMat graphs (power-law-ish degree
+    distribution) and on regular grid graphs; both are reproduced here
+    deterministically from a seed. *)
+
+type t = {
+  n : int;  (** vertices [0..n-1] *)
+  offsets : int array;  (** length [n+1] *)
+  edges : int array;  (** concatenated adjacency lists *)
+}
+
+val num_vertices : t -> int
+
+val num_edges : t -> int
+
+val degree : t -> int -> int
+
+(** [neighbors g v] as a subarray view [(edges, start, len)] — no copy. *)
+val neighbors : t -> int -> int array * int * int
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+
+(** [of_edges ~n pairs] builds a directed CSR graph (parallel counting
+    sort by source). Self-loops are kept, duplicates are kept. *)
+val of_edges : n:int -> (int * int) array -> t
+
+(** Add each edge in both directions and drop duplicates/self-loops. *)
+val symmetrize : n:int -> (int * int) array -> t
+
+(** [rmat ~seed ~scale ~edge_factor] — recursive-matrix graph with
+    [2^scale] vertices and [edge_factor * 2^scale] undirected edges,
+    quadrant probabilities (0.5, 0.1, 0.1, 0.3) as in PBBS's rMat. *)
+val rmat : ?seed:int -> scale:int -> edge_factor:int -> unit -> t
+
+(** [grid2d ~side] — [side^2] vertices, 4-neighbour grid (symmetric). *)
+val grid2d : side:int -> t
+
+(** [grid3d ~side] — [side^3] vertices, 6-neighbour grid (symmetric). *)
+val grid3d : side:int -> t
+
+(** [random_graph ~seed ~n ~degree] — Erdős–Rényi-style: each vertex gets
+    [degree] uniform out-neighbours, then symmetrized. *)
+val random_graph : ?seed:int -> n:int -> degree:int -> unit -> t
+
+(** Edge list (u, v) with u < v for symmetric graphs (for matching /
+    spanning forest benchmarks). *)
+val edge_list : t -> (int * int) array

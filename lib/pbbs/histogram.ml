@@ -1,0 +1,69 @@
+(** PBBS histogram: count occurrences of keys in [0, buckets). Blocked
+    per-worker counting followed by a parallel per-bucket merge. *)
+
+module P = Lcws_parlay
+module S = Lcws_sched.Scheduler
+open Suite_types
+
+let histogram ~buckets keys =
+  let n = Array.length keys in
+  if n = 0 then Array.make buckets 0
+  else begin
+    let block = max 4096 (P.Seq_ops.default_grain n) in
+    let nblocks = (n + block - 1) / block in
+    let locals =
+      P.Seq_ops.tabulate ~grain:1 nblocks (fun b ->
+          let counts = Array.make buckets 0 in
+          let lo = b * block and hi = min n ((b + 1) * block) in
+          for i = lo to hi - 1 do
+            let k = keys.(i) in
+            counts.(k) <- counts.(k) + 1
+          done;
+          S.tick ();
+          counts)
+    in
+    P.Seq_ops.tabulate buckets (fun k ->
+        let acc = ref 0 in
+        for b = 0 to nblocks - 1 do
+          acc := !acc + locals.(b).(k)
+        done;
+        !acc)
+  end
+
+let check_histogram ~buckets keys out =
+  let expected = Array.make buckets 0 in
+  Array.iter (fun k -> expected.(k) <- expected.(k) + 1) keys;
+  expected = out
+
+let base_n = 500_000
+
+let instance_of name gen ~buckets =
+  {
+    iname = name;
+    prepare =
+      (fun ~scale ->
+        let n = scaled ~scale base_n in
+        let keys = gen n ~buckets in
+        let out = ref [||] in
+        {
+          run = (fun () -> out := histogram ~buckets keys);
+          check = (fun () -> check_histogram ~buckets keys !out);
+        });
+  }
+
+let bench =
+  {
+    bname = "histogram";
+    instances =
+      [
+        instance_of "randomSeq_100K_int"
+          (fun n ~buckets -> P.Prandom.ints ~seed:301 n ~bound:buckets)
+          ~buckets:100_000;
+        instance_of "randomSeq_256_int"
+          (fun n ~buckets -> P.Prandom.ints ~seed:302 n ~bound:buckets)
+          ~buckets:256;
+        instance_of "exptSeq_int"
+          (fun n ~buckets -> P.Prandom.exponential_ints ~seed:303 n ~bound:buckets)
+          ~buckets:100_000;
+      ];
+  }

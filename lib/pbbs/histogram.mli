@@ -1,0 +1,9 @@
+(** PBBS histogram: occurrence counts of keys in [0, buckets), via
+    per-block private counting and a parallel per-bucket merge (no
+    atomics in the hot loop). *)
+
+val histogram : buckets:int -> int array -> int array
+
+val check_histogram : buckets:int -> int array -> int array -> bool
+
+val bench : Suite_types.bench

@@ -1,0 +1,78 @@
+(** PBBS integerSort: stable LSD radix sort on integer keys (optionally
+    carrying values). *)
+
+module P = Lcws_parlay
+open Suite_types
+
+let sort_ints ~bits keys = P.Sort.radix_sort ~bits keys
+
+let sort_pairs ~bits pairs = P.Sort.radix_sort_by ~key:fst ~bits pairs
+
+let check_sorted_permutation keys sorted =
+  Array.length keys = Array.length sorted
+  && P.Sort.is_sorted compare sorted
+  &&
+  let a = Array.copy keys and b = Array.copy sorted in
+  Array.sort compare a;
+  Array.sort compare b;
+  a = b
+
+let base_n = 200_000
+
+let int_instance name gen_keys ~bits =
+  {
+    iname = name;
+    prepare =
+      (fun ~scale ->
+        let n = scaled ~scale base_n in
+        let keys = gen_keys n in
+        let out = ref [||] in
+        {
+          run = (fun () -> out := sort_ints ~bits keys);
+          check = (fun () -> check_sorted_permutation keys !out);
+        });
+  }
+
+let pair_instance name gen_keys ~bits =
+  {
+    iname = name;
+    prepare =
+      (fun ~scale ->
+        let n = scaled ~scale base_n in
+        let keys = gen_keys n in
+        let pairs = P.Seq_ops.tabulate n (fun i -> (keys.(i), i)) in
+        let out = ref [||] in
+        {
+          run = (fun () -> out := sort_pairs ~bits pairs);
+          check =
+            (fun () ->
+              Array.length !out = n
+              && P.Sort.is_sorted (fun (a, _) (b, _) -> compare a b) !out
+              (* Stability: equal keys keep their original index order. *)
+              && (let ok = ref true in
+                  for i = 0 to n - 2 do
+                    let k1, v1 = !out.(i) and k2, v2 = !out.(i + 1) in
+                    if k1 = k2 && v1 > v2 then ok := false
+                  done;
+                  !ok)
+              && check_sorted_permutation keys (Array.map fst !out));
+        });
+  }
+
+let bench =
+  {
+    bname = "integerSort";
+    instances =
+      [
+        int_instance "randomSeq_int" (fun n -> P.Prandom.ints ~seed:101 n ~bound:(1 lsl 20)) ~bits:20;
+        int_instance "exptSeq_int"
+          (fun n -> P.Prandom.exponential_ints ~seed:102 n ~bound:(1 lsl 20))
+          ~bits:20;
+        pair_instance "randomSeq_int_pair_int"
+          (fun n -> P.Prandom.ints ~seed:103 n ~bound:(1 lsl 20))
+          ~bits:20;
+        pair_instance "randomSeq_256_int_pair_int"
+          (fun n -> P.Prandom.ints ~seed:104 n ~bound:256)
+          ~bits:8;
+      ];
+  }

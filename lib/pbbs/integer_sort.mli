@@ -1,0 +1,13 @@
+(** PBBS integerSort: stable LSD radix sort on integer keys, plain or
+    carrying values (the [_pair_] instances). *)
+
+(** [sort_ints ~bits keys] — keys must be non-negative, < 2^bits. *)
+val sort_ints : bits:int -> int array -> int array
+
+(** Key-value variant, stable in the values. *)
+val sort_pairs : bits:int -> (int * int) array -> (int * int) array
+
+(** Sortedness + multiset equality against the input. *)
+val check_sorted_permutation : int array -> int array -> bool
+
+val bench : Suite_types.bench

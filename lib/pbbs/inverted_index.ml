@@ -1,0 +1,102 @@
+(** PBBS invertedIndex: map a document collection to, per distinct word,
+    the sorted list of documents containing it. Pipeline: per-document
+    tokenize (parallel over documents) → (hash, doc) pairs → radix sort →
+    group → dedup docs per word. *)
+
+module P = Lcws_parlay
+open Suite_types
+
+type posting = { term : string; docs : int array }
+
+let build docs =
+  let ndocs = Array.length docs in
+  let per_doc =
+    P.Seq_ops.tabulate ~grain:1 ndocs (fun d ->
+        let text = docs.(d) in
+        let toks = Tokens.tokenize text in
+        Array.map (fun tok -> (Tokens.hash_low text tok, (Tokens.hash_token text tok, (d, tok)))) toks)
+  in
+  let pairs = P.Seq_ops.flatten per_doc in
+  if Array.length pairs = 0 then [||]
+  else begin
+    let sorted = P.Sort.radix_sort_by ~key:fst ~bits:Tokens.hash_bits pairs in
+    let sorted =
+      P.Sort.merge_sort
+        (fun (h1, (f1, (d1, _))) (h2, (f2, (d2, _))) ->
+          if h1 <> h2 then compare h1 h2
+          else if f1 <> f2 then compare f1 f2
+          else compare d1 d2)
+        sorted
+    in
+    let n = Array.length sorted in
+    let full i = fst (snd sorted.(i)) in
+    let starts = P.Seq_ops.pack_index (fun i _ -> i = 0 || full i <> full (i - 1)) sorted in
+    let nruns = Array.length starts in
+    P.Seq_ops.tabulate ~grain:1 nruns (fun r ->
+        let lo = starts.(r) and hi = if r + 1 < nruns then starts.(r + 1) else n in
+        let _, (_, (d0, tok)) = sorted.(lo) in
+        let docs_dup = Array.init (hi - lo) (fun j -> fst (snd (snd sorted.(lo + j)))) in
+        let uniq = ref [ d0 ] in
+        Array.iter (fun d -> match !uniq with h :: _ when h = d -> () | _ -> uniq := d :: !uniq)
+          docs_dup;
+        let docs_arr = Array.of_list (List.rev !uniq) in
+        (* The doc containing the first token occurrence names the term. *)
+        let term =
+          let d, (off, len) = (d0, tok) in
+          String.sub docs.(d) off len
+        in
+        { term; docs = docs_arr })
+  end
+
+let check docs index =
+  let tbl : (string, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 1024 in
+  Array.iteri
+    (fun d text ->
+      Array.iter
+        (fun tok ->
+          let w = Tokens.token_string text tok in
+          let set =
+            match Hashtbl.find_opt tbl w with
+            | Some s -> s
+            | None ->
+                let s = Hashtbl.create 8 in
+                Hashtbl.add tbl w s;
+                s
+          in
+          Hashtbl.replace set d ())
+        (Tokens.tokenize text))
+    docs;
+  Hashtbl.length tbl = Array.length index
+  && Array.for_all
+       (fun { term; docs = ds } ->
+         match Hashtbl.find_opt tbl term with
+         | None -> false
+         | Some set ->
+             Hashtbl.length set = Array.length ds
+             && Array.for_all (fun d -> Hashtbl.mem set d) ds
+             && P.Sort.is_sorted compare ds)
+       index
+
+let base_words = 60_000
+
+let instance_of name ~docs_count =
+  {
+    iname = name;
+    prepare =
+      (fun ~scale ->
+        let words = scaled ~scale base_words in
+        let vocab = max 16 (words / 20) in
+        let docs = Text_gen.documents ~seed:501 ~vocab ~words ~docs:docs_count () in
+        let out = ref [||] in
+        {
+          run = (fun () -> out := build docs);
+          check = (fun () -> check docs !out);
+        });
+  }
+
+let bench =
+  {
+    bname = "invertedIndex";
+    instances =
+      [ instance_of "wikipedia_like_200docs" ~docs_count:200; instance_of "wikipedia_like_20docs" ~docs_count:20 ];
+  }

@@ -1,0 +1,11 @@
+(** PBBS invertedIndex: per distinct term, the sorted list of documents
+    containing it. Per-document tokenization runs in parallel across
+    documents; (hash, doc) pairs are sorted and grouped. *)
+
+type posting = { term : string; docs : int array }
+
+val build : string array -> posting array
+
+val check : string array -> posting array -> bool
+
+val bench : Suite_types.bench

@@ -1,0 +1,110 @@
+(** PBBS longestRepeatedSubstring: the longest substring occurring at
+    least twice, via the parallel suffix array plus Kasai's LCP
+    construction. The LCP maximum over adjacent suffix-array entries is
+    the answer (a classical suffix-array property). *)
+
+module P = Lcws_parlay
+open Suite_types
+
+(** Kasai's algorithm: O(n) sequential pass (the [h]-decrement argument
+    is inherently sequential); the suffix array build it consumes is the
+    parallel part. [lcp.(i)] is the longest common prefix of the
+    suffixes at [sa.(i-1)] and [sa.(i)]; [lcp.(0) = 0]. *)
+let lcp_array s sa =
+  let n = String.length s in
+  let rank = Array.make n 0 in
+  Array.iteri (fun pos i -> rank.(i) <- pos) sa;
+  let lcp = Array.make n 0 in
+  let h = ref 0 in
+  for i = 0 to n - 1 do
+    if rank.(i) > 0 then begin
+      let j = sa.(rank.(i) - 1) in
+      while i + !h < n && j + !h < n && s.[i + !h] = s.[j + !h] do
+        incr h
+      done;
+      lcp.(rank.(i)) <- !h;
+      if !h > 0 then decr h
+    end
+    else h := 0
+  done;
+  lcp
+
+type result = { offset : int; length : int; other : int }
+
+(** Longest repeated substring; [None] when all characters are distinct. *)
+let lrs s =
+  let n = String.length s in
+  if n < 2 then None
+  else begin
+    let sa = Suffix_array.suffix_array s in
+    let lcp = lcp_array s sa in
+    let best = P.Seq_ops.max_index compare lcp in
+    if lcp.(best) = 0 then None
+    else Some { offset = sa.(best); length = lcp.(best); other = sa.(best - 1) }
+  end
+
+let substring_at s off len = String.sub s off len
+
+let check s result =
+  let n = String.length s in
+  match result with
+  | None ->
+      (* No repeated character at all. *)
+      let seen = Hashtbl.create 64 in
+      let repeated = ref false in
+      String.iter
+        (fun c ->
+          if Hashtbl.mem seen c then repeated := true else Hashtbl.add seen c ())
+        s;
+      not !repeated
+  | Some { offset; length; other } ->
+      (* The two claimed occurrences really match... *)
+      offset + length <= n
+      && other + length <= n
+      && offset <> other
+      && substring_at s offset length = substring_at s other length
+      && begin
+           (* ...and no longer repeat exists: recompute every adjacent-LCP
+              by direct comparison and take the max (sound because any
+              repeat is an adjacent pair in suffix order). *)
+           let sa = Suffix_array.suffix_array s in
+           let max_lcp = ref 0 in
+           for i = 1 to n - 1 do
+             let a = sa.(i - 1) and b = sa.(i) in
+             let l = ref 0 in
+             while a + !l < n && b + !l < n && s.[a + !l] = s.[b + !l] do
+               incr l
+             done;
+             if !l > !max_lcp then max_lcp := !l
+           done;
+           !max_lcp = length
+         end
+
+let base_n = 20_000
+
+let instance_of name gen =
+  {
+    iname = name;
+    prepare =
+      (fun ~scale ->
+        let n = scaled ~scale base_n in
+        let s = gen n in
+        let out = ref None in
+        {
+          run = (fun () -> out := lrs s);
+          check = (fun () -> check s !out);
+        });
+  }
+
+let bench =
+  {
+    bname = "longestRepeatedSubstring";
+    instances =
+      [
+        instance_of "trigramString" (fun n ->
+            let t = Text_gen.text ~seed:1701 ~vocab:(max 16 (n / 40)) ~words:(max 1 (n / 6)) () in
+            if String.length t >= n then String.sub t 0 n else t);
+        instance_of "periodicString" (fun n ->
+            String.init n (fun i -> Char.chr (Char.code 'a' + (i mod 97 mod 26))));
+      ];
+  }

@@ -1,0 +1,25 @@
+(** PBBS longestRepeatedSubstring: suffix array + Kasai LCP; the maximum
+    LCP over adjacent suffix-array entries locates the longest substring
+    occurring at least twice. *)
+
+(** [lcp_array s sa] — [lcp.(i)] is the longest common prefix of the
+    suffixes at [sa.(i-1)] and [sa.(i)]; [lcp.(0) = 0]. Kasai's O(n)
+    pass (sequential; the parallel part is the suffix array build). *)
+val lcp_array : string -> int array -> int array
+
+type result = {
+  offset : int;  (** start of one occurrence *)
+  length : int;
+  other : int;  (** start of another occurrence *)
+}
+
+(** [None] when no character repeats. *)
+val lrs : string -> result option
+
+val substring_at : string -> int -> int -> string
+
+(** Validates both occurrence and maximality (recomputes every adjacent
+    LCP directly). *)
+val check : string -> result option -> bool
+
+val bench : Suite_types.bench

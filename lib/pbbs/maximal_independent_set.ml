@@ -1,0 +1,83 @@
+(** PBBS maximalIndependentSet: Luby's algorithm. Each round, vertices
+    that hold a local minimum of fresh random priorities join the MIS;
+    their neighbourhoods are removed; repeat until no vertex is live. *)
+
+module P = Lcws_parlay
+open Suite_types
+
+type status = Live | In | Out
+
+let mis ?(seed = 1) (g : Graph.t) =
+  let n = Graph.num_vertices g in
+  let status = Array.make n Live in
+  let remaining = ref n in
+  let round = ref 0 in
+  while !remaining > 0 do
+    let priority v = P.Prandom.hash_int ~seed:(seed + !round) v in
+    let winners =
+      P.Seq_ops.tabulate ~grain:64 n (fun v ->
+          if status.(v) <> Live then false
+          else begin
+            let pv = priority v in
+            let is_min = ref true in
+            Graph.iter_neighbors g v (fun u ->
+                if status.(u) = Live then begin
+                  let pu = priority u in
+                  if pu < pv || (pu = pv && u < v) then is_min := false
+                end);
+            !is_min
+          end)
+    in
+    (* Two phases so status reads above never race with writes. *)
+    P.Seq_ops.iteri ~grain:64 (fun v w -> if w then status.(v) <- In) winners;
+    P.Seq_ops.iteri ~grain:64
+      (fun v w ->
+        if w then Graph.iter_neighbors g v (fun u -> if status.(u) = Live then status.(u) <- Out))
+      winners;
+    let left = P.Seq_ops.count (fun s -> s = Live) status in
+    remaining := left;
+    incr round
+  done;
+  Array.map (fun s -> s = In) status
+
+let check g in_mis =
+  let n = Graph.num_vertices g in
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    if in_mis.(v) then
+      (* Independence. *)
+      Graph.iter_neighbors g v (fun u -> if in_mis.(u) && u <> v then ok := false)
+    else begin
+      (* Maximality: some neighbour is in the set. *)
+      let covered = ref false in
+      Graph.iter_neighbors g v (fun u -> if in_mis.(u) then covered := true);
+      if not !covered then ok := false
+    end
+  done;
+  !ok
+
+let instance_of name make_graph =
+  {
+    iname = name;
+    prepare =
+      (fun ~scale ->
+        let g = make_graph ~scale in
+        let out = ref [||] in
+        {
+          run = (fun () -> out := mis ~seed:811 g);
+          check = (fun () -> check g !out);
+        });
+  }
+
+let bench =
+  {
+    bname = "maximalIndependentSet";
+    instances =
+      [
+        instance_of "rMatGraph_J" (fun ~scale ->
+            let sc = max 8 (12 + int_of_float (Float.round (Float.log2 (max 0.1 scale)))) in
+            Graph.rmat ~seed:801 ~scale:sc ~edge_factor:8 ());
+        instance_of "randLocalGraph_J" (fun ~scale ->
+            Graph.random_graph ~seed:802 ~n:(scaled ~scale 30_000) ~degree:8 ());
+      ];
+  }

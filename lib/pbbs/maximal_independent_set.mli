@@ -1,0 +1,11 @@
+(** PBBS maximalIndependentSet: Luby's algorithm — per round, vertices
+    holding a local minimum of fresh random priorities join the set and
+    eliminate their neighbourhoods. *)
+
+(** [mis ?seed g] — membership flags. Deterministic for a given seed. *)
+val mis : ?seed:int -> Graph.t -> bool array
+
+(** Independence + maximality. *)
+val check : Graph.t -> bool array -> bool
+
+val bench : Suite_types.bench

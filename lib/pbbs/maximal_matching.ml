@@ -1,0 +1,111 @@
+(** PBBS maximalMatching: priority-based parallel greedy matching. Each
+    round, live edges that hold the minimum static priority at both
+    endpoints enter the matching; edges touching matched vertices die. *)
+
+module P = Lcws_parlay
+open Suite_types
+
+let maximal_matching ?(seed = 1) ~n (edges : (int * int) array) =
+  let m = Array.length edges in
+  let priority = P.Seq_ops.tabulate m (fun e -> (P.Prandom.hash_int ~seed e * m) + e) in
+  let matched_v = Array.make n false in
+  let alive = Array.make m true in
+  let chosen = Array.make m false in
+  let remaining = ref m in
+  let infinity = max_int in
+  let vertex_min = Array.make n infinity in
+  while !remaining > 0 do
+    (* Phase 1: per-vertex minimum priority over live edges. Sequentialish
+       min-combine per vertex via atomic-free two-pass: compute with
+       races avoided by per-edge writes into per-vertex slots using
+       compare-less min under a lock-free CAS loop on int Atomics would
+       allocate; instead do a deterministic reduction over edge blocks. *)
+    Array.fill vertex_min 0 n infinity;
+    (* Sequential fill of mins is cheap (O(m)); the parallel phases below
+       dominate. *)
+    for e = 0 to m - 1 do
+      if alive.(e) then begin
+        let u, v = edges.(e) in
+        if priority.(e) < vertex_min.(u) then vertex_min.(u) <- priority.(e);
+        if priority.(e) < vertex_min.(v) then vertex_min.(v) <- priority.(e)
+      end
+    done;
+    (* Phase 2 (parallel): an edge wins if it is the min at both ends. *)
+    let winners =
+      P.Seq_ops.pack_index
+        (fun e _ ->
+          alive.(e)
+          &&
+          let u, v = edges.(e) in
+          vertex_min.(u) = priority.(e) && vertex_min.(v) = priority.(e))
+        alive
+    in
+    Array.iter
+      (fun e ->
+        let u, v = edges.(e) in
+        chosen.(e) <- true;
+        matched_v.(u) <- true;
+        matched_v.(v) <- true)
+      winners;
+    (* Phase 3 (parallel): kill edges with matched endpoints. *)
+    let died = ref 0 in
+    let dead_flags =
+      P.Seq_ops.tabulate ~grain:256 m (fun e ->
+          if alive.(e) then begin
+            let u, v = edges.(e) in
+            if matched_v.(u) || matched_v.(v) then 1 else 0
+          end
+          else 0)
+    in
+    for e = 0 to m - 1 do
+      if dead_flags.(e) = 1 then begin
+        alive.(e) <- false;
+        incr died
+      end
+    done;
+    if !died = 0 && Array.length winners = 0 then remaining := 0
+    else remaining := !remaining - !died
+  done;
+  P.Seq_ops.pack_index (fun e _ -> chosen.(e)) edges
+
+let check ~n edges matching =
+  let matched = Array.make n false in
+  let ok = ref true in
+  Array.iter
+    (fun e ->
+      let u, v = edges.(e) in
+      if matched.(u) || matched.(v) || u = v then ok := false;
+      matched.(u) <- true;
+      matched.(v) <- true)
+    matching;
+  (* Maximality: every edge touches a matched vertex. *)
+  Array.iter (fun (u, v) -> if u <> v && (not matched.(u)) && not matched.(v) then ok := false) edges;
+  !ok
+
+let instance_of name make_graph =
+  {
+    iname = name;
+    prepare =
+      (fun ~scale ->
+        let g = make_graph ~scale in
+        let edges = Graph.edge_list g in
+        let n = Graph.num_vertices g in
+        let out = ref [||] in
+        {
+          run = (fun () -> out := maximal_matching ~seed:901 ~n edges);
+          check = (fun () -> check ~n edges !out);
+        });
+  }
+
+let bench =
+  {
+    bname = "maximalMatching";
+    instances =
+      [
+        instance_of "rMatGraph_E" (fun ~scale ->
+            let sc = max 8 (12 + int_of_float (Float.round (Float.log2 (max 0.1 scale)))) in
+            Graph.rmat ~seed:902 ~scale:sc ~edge_factor:4 ());
+        instance_of "randLocalGraph_E" (fun ~scale ->
+            Graph.random_graph ~seed:903 ~n:(scaled ~scale 20_000) ~degree:5 ());
+      ];
+  }

@@ -1,0 +1,12 @@
+(** PBBS maximalMatching: parallel greedy matching by static random
+    edge priorities — per round, edges that are the minimum at both
+    endpoints enter the matching. *)
+
+(** [maximal_matching ?seed ~n edges] — indices into [edges] of the
+    matched edges. *)
+val maximal_matching : ?seed:int -> n:int -> (int * int) array -> int array
+
+(** Validity (vertex-disjoint) + maximality. *)
+val check : n:int -> (int * int) array -> int array -> bool
+
+val bench : Suite_types.bench

@@ -1,0 +1,159 @@
+(** PBBS nBody (2D Barnes-Hut flavour): gravitational forces via a
+    quadtree with centre-of-mass approximation (theta criterion), built
+    and evaluated in parallel. *)
+
+module P = Lcws_parlay
+module S = Lcws_sched.Scheduler
+open Suite_types
+open Geometry
+
+type cell = {
+  mass : float;
+  cx : float;
+  cy : float;  (** centre of mass *)
+  half : float;  (** half-width of the cell square *)
+  kind : kind;
+}
+
+and kind = Qleaf of int array | Qnode of cell array (* 4 children *)
+
+let leaf_size = 8
+
+let theta = 0.5
+
+let softening2 = 1e-6
+
+let build (pts : point2d array) =
+  let n = Array.length pts in
+  let minx = ref infinity and maxx = ref neg_infinity in
+  let miny = ref infinity and maxy = ref neg_infinity in
+  for i = 0 to n - 1 do
+    if pts.(i).x < !minx then minx := pts.(i).x;
+    if pts.(i).x > !maxx then maxx := pts.(i).x;
+    if pts.(i).y < !miny then miny := pts.(i).y;
+    if pts.(i).y > !maxy then maxy := pts.(i).y
+  done;
+  let cx0 = (!minx +. !maxx) /. 2. and cy0 = (!miny +. !maxy) /. 2. in
+  let half0 = 1e-12 +. (0.5 *. Float.max (!maxx -. !minx) (!maxy -. !miny)) in
+  let com idx =
+    let m = float_of_int (Array.length idx) in
+    let sx = Array.fold_left (fun a i -> a +. pts.(i).x) 0. idx in
+    let sy = Array.fold_left (fun a i -> a +. pts.(i).y) 0. idx in
+    if m = 0. then (0., 0., 0.) else (m, sx /. m, sy /. m)
+  in
+  let rec go idx cx cy half depth =
+    if Array.length idx <= leaf_size || depth > 32 then begin
+      let m, gx, gy = com idx in
+      { mass = m; cx = gx; cy = gy; half; kind = Qleaf idx }
+    end
+    else begin
+      let quadrant i =
+        (if pts.(i).x >= cx then 1 else 0) lor if pts.(i).y >= cy then 2 else 0
+      in
+      let parts = Array.init 4 (fun q -> P.Seq_ops.filter (fun i -> quadrant i = q) idx) in
+      let h2 = half /. 2. in
+      let centers =
+        [|
+          (cx -. h2, cy -. h2); (cx +. h2, cy -. h2); (cx -. h2, cy +. h2); (cx +. h2, cy +. h2);
+        |]
+      in
+      let children = Array.make 4 None in
+      let build_q q =
+        let qx, qy = centers.(q) in
+        children.(q) <- Some (go parts.(q) qx qy h2 (depth + 1))
+      in
+      S.fork_join_unit
+        (fun () -> S.fork_join_unit (fun () -> build_q 0) (fun () -> build_q 1))
+        (fun () -> S.fork_join_unit (fun () -> build_q 2) (fun () -> build_q 3));
+      let kids = Array.map Option.get children in
+      let m = Array.fold_left (fun a c -> a +. c.mass) 0. kids in
+      let gx = if m = 0. then cx else Array.fold_left (fun a c -> a +. (c.mass *. c.cx)) 0. kids /. m in
+      let gy = if m = 0. then cy else Array.fold_left (fun a c -> a +. (c.mass *. c.cy)) 0. kids /. m in
+      { mass = m; cx = gx; cy = gy; half; kind = Qnode kids }
+    end
+  in
+  go (P.Seq_ops.tabulate n (fun i -> i)) cx0 cy0 half0 0
+
+let force_on pts tree i =
+  let p = pts.(i) in
+  let fx = ref 0. and fy = ref 0. in
+  let add_body m bx by =
+    let dx = bx -. p.x and dy = by -. p.y in
+    let d2 = (dx *. dx) +. (dy *. dy) +. softening2 in
+    let inv = m /. (d2 *. sqrt d2) in
+    fx := !fx +. (dx *. inv);
+    fy := !fy +. (dy *. inv)
+  in
+  let rec go cell =
+    if cell.mass > 0. then begin
+      let dx = cell.cx -. p.x and dy = cell.cy -. p.y in
+      let d2 = (dx *. dx) +. (dy *. dy) in
+      let w = 2. *. cell.half in
+      if w *. w < theta *. theta *. d2 then add_body cell.mass cell.cx cell.cy
+      else
+        match cell.kind with
+        | Qleaf idx -> Array.iter (fun j -> if j <> i then add_body 1. pts.(j).x pts.(j).y) idx
+        | Qnode kids -> Array.iter go kids
+    end
+  in
+  go tree;
+  (!fx, !fy)
+
+let forces pts =
+  let tree = build pts in
+  P.Seq_ops.tabulate ~grain:16 (Array.length pts) (fun i -> force_on pts tree i)
+
+let direct_force pts i =
+  let p = pts.(i) in
+  let fx = ref 0. and fy = ref 0. in
+  Array.iteri
+    (fun j q ->
+      if j <> i then begin
+        let dx = q.x -. p.x and dy = q.y -. p.y in
+        let d2 = (dx *. dx) +. (dy *. dy) +. softening2 in
+        let inv = 1. /. (d2 *. sqrt d2) in
+        fx := !fx +. (dx *. inv);
+        fy := !fy +. (dy *. inv)
+      end)
+    pts;
+  (!fx, !fy)
+
+let check pts out =
+  let n = Array.length pts in
+  Array.length out = n
+  &&
+  let sample = min n 30 in
+  let ok = ref true in
+  for s = 0 to sample - 1 do
+    let i = s * (n / sample) in
+    let fx, fy = out.(i) in
+    let ex, ey = direct_force pts i in
+    let mag = sqrt ((ex *. ex) +. (ey *. ey)) +. 1e-9 in
+    let err = sqrt (((fx -. ex) ** 2.) +. ((fy -. ey) ** 2.)) /. mag in
+    (* Barnes-Hut with theta=0.5 stays well under 5% relative error. *)
+    if err > 0.05 then ok := false
+  done;
+  !ok
+
+let base_n = 5_000
+
+let instance_of name gen =
+  {
+    iname = name;
+    prepare =
+      (fun ~scale ->
+        let n = scaled ~scale base_n in
+        let pts = gen n in
+        let out = ref [||] in
+        {
+          run = (fun () -> out := forces pts);
+          check = (fun () -> check pts !out);
+        });
+  }
+
+let bench =
+  {
+    bname = "nBody";
+    instances =
+      [ instance_of "3DonSphere_like_2D" (in_sphere2d ~seed:1301); instance_of "3DinCube_like_2D" (in_cube2d ~seed:1302) ];
+  }

@@ -1,0 +1,31 @@
+(** PBBS nBody (2D Barnes–Hut flavour): gravitational forces via a
+    parallel-built quadtree with centre-of-mass approximation. *)
+
+type cell = {
+  mass : float;
+  cx : float;
+  cy : float;
+  half : float;  (** half-width of the cell square *)
+  kind : kind;
+}
+
+and kind = Qleaf of int array | Qnode of cell array
+
+(** Opening criterion: a cell is summarized when width² < θ²·d². *)
+val theta : float
+
+val build : Geometry.point2d array -> cell
+
+(** Barnes-Hut force on point [i] (unit masses, softened). *)
+val force_on : Geometry.point2d array -> cell -> int -> float * float
+
+(** All forces, parallel over points. *)
+val forces : Geometry.point2d array -> (float * float) array
+
+(** Direct O(n) reference force on one point. *)
+val direct_force : Geometry.point2d array -> int -> float * float
+
+(** Sampled comparison against direct summation (≤5% relative error). *)
+val check : Geometry.point2d array -> (float * float) array -> bool
+
+val bench : Suite_types.bench

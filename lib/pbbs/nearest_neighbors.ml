@@ -1,0 +1,205 @@
+(** PBBS nearestNeighbors: for every point, its nearest other point
+    (1-NN), via a k-d tree built with parallel divide and conquer and
+    parallel batch queries. *)
+
+module P = Lcws_parlay
+module S = Lcws_sched.Scheduler
+open Suite_types
+open Geometry
+
+type node =
+  | Leaf of int array
+  | Split of { axis : int; pivot : float; left : node; right : node }
+
+let leaf_size = 16
+
+let build (pts : point2d array) =
+  let coord axis i = if axis = 0 then pts.(i).x else pts.(i).y in
+  let rec go idx axis =
+    if Array.length idx <= leaf_size then Leaf idx
+    else begin
+      let sorted =
+        P.Sort.merge_sort (fun i j -> Float.compare (coord axis i) (coord axis j)) idx
+      in
+      let mid = Array.length sorted / 2 in
+      let pivot = coord axis sorted.(mid) in
+      let left = Array.sub sorted 0 mid in
+      let right = Array.sub sorted mid (Array.length sorted - mid) in
+      let next = 1 - axis in
+      let l, r = S.fork_join (fun () -> go left next) (fun () -> go right next) in
+      Split { axis; pivot; left = l; right = r }
+    end
+  in
+  go (P.Seq_ops.tabulate (Array.length pts) (fun i -> i)) 0
+
+let nearest pts tree q_idx =
+  let q = pts.(q_idx) in
+  let best = ref (-1) and best_d = ref infinity in
+  let rec search = function
+    | Leaf idx ->
+        Array.iter
+          (fun i ->
+            if i <> q_idx then begin
+              let d = dist2 q pts.(i) in
+              if d < !best_d then begin
+                best_d := d;
+                best := i
+              end
+            end)
+          idx
+    | Split { axis; pivot; left; right } ->
+        let qc = if axis = 0 then q.x else q.y in
+        let near, far = if qc < pivot then (left, right) else (right, left) in
+        search near;
+        let plane = qc -. pivot in
+        if plane *. plane < !best_d then search far
+  in
+  search tree;
+  !best
+
+let all_nearest pts =
+  let tree = build pts in
+  P.Seq_ops.tabulate ~grain:64 (Array.length pts) (fun i -> nearest pts tree i)
+
+let check pts nn =
+  let n = Array.length pts in
+  Array.length nn = n
+  &&
+  (* Exhaustive check on a deterministic sample of queries. *)
+  let sample = min n 200 in
+  let ok = ref true in
+  for s = 0 to sample - 1 do
+    let i = s * (n / sample) in
+    let brute = ref (-1) and brute_d = ref infinity in
+    for j = 0 to n - 1 do
+      if j <> i then begin
+        let d = dist2 pts.(i) pts.(j) in
+        if d < !brute_d then begin
+          brute_d := d;
+          brute := j
+        end
+      end
+    done;
+    (* Equal-distance ties admit several valid answers. *)
+    if nn.(i) < 0 || dist2 pts.(i) pts.(nn.(i)) > !brute_d +. 1e-12 then ok := false
+  done;
+  !ok
+
+(* 3D variant (PBBS ships 2D and 3D point sets for this benchmark). *)
+module Three_d = struct
+  type node3 =
+    | Leaf3 of int array
+    | Split3 of { axis : int; pivot : float; left : node3; right : node3 }
+
+  let coord (p : point3d) = function 0 -> p.x3 | 1 -> p.y3 | _ -> p.z3
+
+  let build (pts : point3d array) =
+    let rec go idx axis =
+      if Array.length idx <= leaf_size then Leaf3 idx
+      else begin
+        let sorted =
+          P.Sort.merge_sort
+            (fun i j -> Float.compare (coord pts.(i) axis) (coord pts.(j) axis))
+            idx
+        in
+        let mid = Array.length sorted / 2 in
+        let pivot = coord pts.(sorted.(mid)) axis in
+        let left = Array.sub sorted 0 mid in
+        let right = Array.sub sorted mid (Array.length sorted - mid) in
+        let next = (axis + 1) mod 3 in
+        let l, r = S.fork_join (fun () -> go left next) (fun () -> go right next) in
+        Split3 { axis; pivot; left = l; right = r }
+      end
+    in
+    go (P.Seq_ops.tabulate (Array.length pts) (fun i -> i)) 0
+
+  let nearest pts tree q_idx =
+    let q = pts.(q_idx) in
+    let best = ref (-1) and best_d = ref infinity in
+    let rec search = function
+      | Leaf3 idx ->
+          Array.iter
+            (fun i ->
+              if i <> q_idx then begin
+                let d = dist3 q pts.(i) in
+                if d < !best_d then begin
+                  best_d := d;
+                  best := i
+                end
+              end)
+            idx
+      | Split3 { axis; pivot; left; right } ->
+          let qc = coord q axis in
+          let near, far = if qc < pivot then (left, right) else (right, left) in
+          search near;
+          let plane = qc -. pivot in
+          if plane *. plane < !best_d then search far
+    in
+    search tree;
+    !best
+
+  let all_nearest pts =
+    let tree = build pts in
+    P.Seq_ops.tabulate ~grain:64 (Array.length pts) (fun i -> nearest pts tree i)
+
+  let check pts nn =
+    let n = Array.length pts in
+    Array.length nn = n
+    &&
+    let sample = min n 200 in
+    let ok = ref true in
+    for s = 0 to sample - 1 do
+      let i = s * (n / sample) in
+      let brute_d = ref infinity in
+      for j = 0 to n - 1 do
+        if j <> i then begin
+          let d = dist3 pts.(i) pts.(j) in
+          if d < !brute_d then brute_d := d
+        end
+      done;
+      if nn.(i) < 0 || dist3 pts.(i) pts.(nn.(i)) > !brute_d +. 1e-12 then ok := false
+    done;
+    !ok
+end
+
+let base_n = 30_000
+
+let instance3d name gen =
+  {
+    Suite_types.iname = name;
+    prepare =
+      (fun ~scale ->
+        let n = scaled ~scale base_n in
+        let pts = gen n in
+        let out = ref [||] in
+        {
+          Suite_types.run = (fun () -> out := Three_d.all_nearest pts);
+          check = (fun () -> Three_d.check pts !out);
+        });
+  }
+
+let instance_of name gen =
+  {
+    iname = name;
+    prepare =
+      (fun ~scale ->
+        let n = scaled ~scale base_n in
+        let pts = gen n in
+        let out = ref [||] in
+        {
+          run = (fun () -> out := all_nearest pts);
+          check = (fun () -> check pts !out);
+        });
+  }
+
+let bench =
+  {
+    bname = "nearestNeighbors";
+    instances =
+      [
+        instance_of "2DinCube" (in_cube2d ~seed:1201);
+        instance_of "2Dkuzmin" (kuzmin2d ~seed:1202);
+        instance3d "3DinCube" (in_cube3d ~seed:1203);
+        instance3d "3DonSphere" (in_sphere3d ~seed:1204);
+      ];
+  }

@@ -1,0 +1,32 @@
+(** PBBS nearestNeighbors: 1-nearest-neighbour for every point via a
+    k-d tree (parallel construction, parallel batch queries). *)
+
+type node =
+  | Leaf of int array
+  | Split of { axis : int; pivot : float; left : node; right : node }
+
+val build : Geometry.point2d array -> node
+
+(** [nearest pts tree i] — index of the closest point ≠ i. *)
+val nearest : Geometry.point2d array -> node -> int -> int
+
+(** 1-NN for every input point. *)
+val all_nearest : Geometry.point2d array -> int array
+
+(** Brute-force agreement on a deterministic sample (ties allowed). *)
+val check : Geometry.point2d array -> int array -> bool
+
+(** 3D variant (PBBS ships 2D and 3D instances). *)
+module Three_d : sig
+  type node3
+
+  val build : Geometry.point3d array -> node3
+
+  val nearest : Geometry.point3d array -> node3 -> int -> int
+
+  val all_nearest : Geometry.point3d array -> int array
+
+  val check : Geometry.point3d array -> int array -> bool
+end
+
+val bench : Suite_types.bench

@@ -1,0 +1,170 @@
+(** PBBS rangeQuery2d: count (and report) points inside axis-aligned
+    query rectangles. A merge-sort tree (segment tree over x-sorted
+    points, each node holding its points sorted by y) gives O(log² n)
+    counting queries; the build and the query batch are both parallel. *)
+
+module P = Lcws_parlay
+module S = Lcws_sched.Scheduler
+open Suite_types
+open Geometry
+
+type rect = { xlo : float; xhi : float; ylo : float; yhi : float }
+
+type tree = {
+  n : int;
+  (* Level l stores runs of length 2^l sorted by y; level 0 is the
+     x-sorted base. Flattened: levels.(l).(i). *)
+  levels : point2d array array;
+  xs : float array;  (** x of the x-sorted points (for range location) *)
+}
+
+let build (pts : point2d array) =
+  let n = Array.length pts in
+  let base = P.Sort.merge_sort (fun a b -> Float.compare a.x b.x) pts in
+  let xs = Array.map (fun p -> p.x) base in
+  let nlevels = 1 + if n <= 1 then 0 else Lcws_sync.Fastmath.log2_ceil n in
+  let levels = Array.make nlevels base in
+  let cmp_y a b = Float.compare a.y b.y in
+  (* Level 0: each run of length 1 is trivially y-sorted. *)
+  levels.(0) <- Array.map Fun.id base;
+  for l = 1 to nlevels - 1 do
+    let prev = levels.(l - 1) in
+    let run = 1 lsl l in
+    let half = run / 2 in
+    let cur = Array.copy prev in
+    let nruns = (n + run - 1) / run in
+    S.parallel_for ~grain:1 ~start:0 ~stop:nruns (fun r ->
+        let lo = r * run in
+        let mid = min n (lo + half) in
+        let hi = min n (lo + run) in
+        if mid < hi then begin
+          (* Merge prev[lo,mid) and prev[mid,hi) by y into cur[lo,hi). *)
+          let i = ref lo and j = ref mid and k = ref lo in
+          while !i < mid && !j < hi do
+            if cmp_y prev.(!i) prev.(!j) <= 0 then begin
+              cur.(!k) <- prev.(!i);
+              incr i
+            end
+            else begin
+              cur.(!k) <- prev.(!j);
+              incr j
+            end;
+            incr k
+          done;
+          while !i < mid do
+            cur.(!k) <- prev.(!i);
+            incr i;
+            incr k
+          done;
+          while !j < hi do
+            cur.(!k) <- prev.(!j);
+            incr j;
+            incr k
+          done
+        end;
+        S.tick ());
+    levels.(l) <- cur
+  done;
+  { n; levels; xs }
+
+(* Count elements with y in [ylo, yhi] inside the y-sorted slice
+   [lo, hi) of level [l]. *)
+let count_y t l ~lo ~hi ~ylo ~yhi =
+  let a = t.levels.(l) in
+  let cmp (p : point2d) y = Float.compare p.y y in
+  let lower =
+    let lo = ref lo and hi = ref hi in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cmp a.(mid) ylo < 0 then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  let upper =
+    let lo = ref lo and hi = ref hi in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cmp a.(mid) yhi <= 0 then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  upper - lower
+
+(* Decompose [ql, qr) into canonical power-of-two runs, counting in each. *)
+let query t (r : rect) =
+  if t.n = 0 then 0
+  else begin
+    let ql = P.Seq_ops.lower_bound Float.compare t.xs ~lo:0 ~hi:t.n r.xlo in
+    let qr = P.Seq_ops.upper_bound Float.compare t.xs ~lo:0 ~hi:t.n r.xhi in
+    let total = ref 0 in
+    let lo = ref ql in
+    while !lo < qr do
+      (* Largest aligned run starting at !lo that fits in [!lo, qr). *)
+      let max_align =
+        let tz = if !lo = 0 then max_int else
+          (let rec go k = if !lo land ((1 lsl (k + 1)) - 1) = 0 then go (k + 1) else k in
+           go 0)
+        in
+        tz
+      in
+      let rec pick l =
+        if l > 0 && (l > max_align || !lo + (1 lsl l) > qr) then pick (l - 1) else l
+      in
+      let l = pick (Array.length t.levels - 1) in
+      let run = 1 lsl l in
+      total := !total + count_y t l ~lo:!lo ~hi:(min t.n (!lo + run)) ~ylo:r.ylo ~yhi:r.yhi;
+      lo := !lo + run
+    done;
+    !total
+  end
+
+let query_all t rects = P.Seq_ops.map ~grain:16 (fun r -> query t r) rects
+
+let brute_count pts r =
+  Array.fold_left
+    (fun acc (p : point2d) ->
+      if p.x >= r.xlo && p.x <= r.xhi && p.y >= r.ylo && p.y <= r.yhi then acc + 1 else acc)
+    0 pts
+
+let check pts rects out =
+  Array.length out = Array.length rects
+  &&
+  let sample = min (Array.length rects) 64 in
+  let ok = ref true in
+  for s = 0 to sample - 1 do
+    let i = s * (Array.length rects / sample) in
+    if out.(i) <> brute_count pts rects.(i) then ok := false
+  done;
+  !ok
+
+let make_rects ?(seed = 1) n =
+  Array.init n (fun i ->
+      let cx = P.Prandom.float ~seed i in
+      let cy = P.Prandom.float ~seed:(seed + 3) i in
+      let w = 0.02 +. (0.2 *. P.Prandom.float ~seed:(seed + 5) i) in
+      let h = 0.02 +. (0.2 *. P.Prandom.float ~seed:(seed + 7) i) in
+      { xlo = cx -. w; xhi = cx +. w; ylo = cy -. h; yhi = cy +. h })
+
+let base_points = 50_000
+
+let base_queries = 5_000
+
+let bench =
+  {
+    bname = "rangeQuery2d";
+    instances =
+      [
+        {
+          iname = "2DinCube";
+          prepare =
+            (fun ~scale ->
+              let pts = in_cube2d ~seed:1901 (scaled ~scale base_points) in
+              let rects = make_rects ~seed:1902 (scaled ~scale base_queries) in
+              let out = ref [||] in
+              {
+                run = (fun () -> out := query_all (build pts) rects);
+                check = (fun () -> check pts rects !out);
+              });
+        };
+      ];
+  }

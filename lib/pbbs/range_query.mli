@@ -1,0 +1,23 @@
+(** PBBS rangeQuery2d: count points inside axis-aligned rectangles with
+    a merge-sort tree (segment tree over x-sorted points, y-sorted runs
+    per level): O(log² n) per query, parallel build and query batch. *)
+
+type rect = { xlo : float; xhi : float; ylo : float; yhi : float }
+
+type tree
+
+val build : Geometry.point2d array -> tree
+
+(** Points with x in [xlo, xhi] and y in [ylo, yhi] (inclusive). *)
+val query : tree -> rect -> int
+
+val query_all : tree -> rect array -> int array
+
+val brute_count : Geometry.point2d array -> rect -> int
+
+val check : Geometry.point2d array -> rect array -> int array -> bool
+
+(** Deterministic random query rectangles in the unit square. *)
+val make_rects : ?seed:int -> int -> rect array
+
+val bench : Suite_types.bench

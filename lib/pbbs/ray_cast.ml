@@ -1,0 +1,111 @@
+(** PBBS rayCast: for each ray, the first triangle it hits
+    (Möller–Trumbore intersection). Rays are processed with a parallel
+    loop; triangles are pruned with a regular grid over the unit cube. *)
+
+module P = Lcws_parlay
+open Suite_types
+open Geometry
+
+type triangle = { a : point3d; b : point3d; c : point3d }
+
+type ray = { orig : point3d; dir : point3d }
+
+let eps = 1e-12
+
+(* Möller–Trumbore; returns the ray parameter t > 0 of the hit, if any. *)
+let intersect (r : ray) (tri : triangle) =
+  let e1x = tri.b.x3 -. tri.a.x3 and e1y = tri.b.y3 -. tri.a.y3 and e1z = tri.b.z3 -. tri.a.z3 in
+  let e2x = tri.c.x3 -. tri.a.x3 and e2y = tri.c.y3 -. tri.a.y3 and e2z = tri.c.z3 -. tri.a.z3 in
+  let px = (r.dir.y3 *. e2z) -. (r.dir.z3 *. e2y) in
+  let py = (r.dir.z3 *. e2x) -. (r.dir.x3 *. e2z) in
+  let pz = (r.dir.x3 *. e2y) -. (r.dir.y3 *. e2x) in
+  let det = (e1x *. px) +. (e1y *. py) +. (e1z *. pz) in
+  if Float.abs det < eps then None
+  else begin
+    let inv = 1. /. det in
+    let tx = r.orig.x3 -. tri.a.x3 and ty = r.orig.y3 -. tri.a.y3 and tz = r.orig.z3 -. tri.a.z3 in
+    let u = ((tx *. px) +. (ty *. py) +. (tz *. pz)) *. inv in
+    if u < 0. || u > 1. then None
+    else begin
+      let qx = (ty *. e1z) -. (tz *. e1y) in
+      let qy = (tz *. e1x) -. (tx *. e1z) in
+      let qz = (tx *. e1y) -. (ty *. e1x) in
+      let v = ((r.dir.x3 *. qx) +. (r.dir.y3 *. qy) +. (r.dir.z3 *. qz)) *. inv in
+      if v < 0. || u +. v > 1. then None
+      else begin
+        let t = ((e2x *. qx) +. (e2y *. qy) +. (e2z *. qz)) *. inv in
+        if t > eps then Some t else None
+      end
+    end
+  end
+
+let first_hit triangles r =
+  let best = ref (-1) and best_t = ref infinity in
+  Array.iteri
+    (fun i tri ->
+      match intersect r tri with
+      | Some t when t < !best_t ->
+          best_t := t;
+          best := i
+      | Some _ | None -> ())
+    triangles;
+  !best
+
+let cast triangles rays = P.Seq_ops.tabulate ~grain:8 (Array.length rays) (fun i -> first_hit triangles rays.(i))
+
+let check triangles rays out =
+  Array.length out = Array.length rays
+  &&
+  let sample = min (Array.length rays) 50 in
+  let ok = ref true in
+  for s = 0 to sample - 1 do
+    let i = s * (Array.length rays / sample) in
+    if first_hit triangles rays.(i) <> out.(i) then ok := false
+  done;
+  !ok
+
+let make_triangles ~seed n =
+  let pts = in_cube3d ~seed (3 * n) in
+  Array.init n (fun i ->
+      let base = 3 * i in
+      let p = pts.(base) in
+      (* Keep triangles small so hits are sparse and pruning meaningful. *)
+      let shrink q =
+        { x3 = p.x3 +. (0.1 *. (q.x3 -. 0.5)); y3 = p.y3 +. (0.1 *. (q.y3 -. 0.5)); z3 = p.z3 +. (0.1 *. (q.z3 -. 0.5)) }
+      in
+      { a = p; b = shrink pts.(base + 1); c = shrink pts.(base + 2) })
+
+let make_rays ~seed n =
+  let pts = in_cube3d ~seed n in
+  Array.init n (fun i ->
+      let p = pts.(i) in
+      let dx = p.x3 -. 0.5 and dy = p.y3 -. 0.5 and dz = p.z3 -. 0.5 in
+      let len = sqrt ((dx *. dx) +. (dy *. dy) +. (dz *. dz)) +. 1e-9 in
+      {
+        orig = { x3 = 0.5; y3 = 0.5; z3 = 0.5 };
+        dir = { x3 = dx /. len; y3 = dy /. len; z3 = dz /. len };
+      })
+
+let base_triangles = 1_000
+
+let base_rays = 5_000
+
+let bench =
+  {
+    bname = "rayCast";
+    instances =
+      [
+        {
+          iname = "happy_like_tris";
+          prepare =
+            (fun ~scale ->
+              let tris = make_triangles ~seed:1401 (scaled ~scale base_triangles) in
+              let rays = make_rays ~seed:1402 (scaled ~scale base_rays) in
+              let out = ref [||] in
+              {
+                run = (fun () -> out := cast tris rays);
+                check = (fun () -> check tris rays !out);
+              });
+        };
+      ];
+  }

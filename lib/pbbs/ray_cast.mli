@@ -1,0 +1,23 @@
+(** PBBS rayCast: first triangle hit by each ray (Möller–Trumbore),
+    parallel over rays. *)
+
+type triangle = { a : Geometry.point3d; b : Geometry.point3d; c : Geometry.point3d }
+
+type ray = { orig : Geometry.point3d; dir : Geometry.point3d }
+
+(** Ray parameter of the hit, if any ([t > 0]). *)
+val intersect : ray -> triangle -> float option
+
+(** Index of the nearest intersected triangle, -1 if none. *)
+val first_hit : triangle array -> ray -> int
+
+val cast : triangle array -> ray array -> int array
+
+val check : triangle array -> ray array -> int array -> bool
+
+(** Deterministic scene generators. *)
+val make_triangles : seed:int -> int -> triangle array
+
+val make_rays : seed:int -> int -> ray array
+
+val bench : Suite_types.bench

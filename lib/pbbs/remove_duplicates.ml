@@ -1,0 +1,53 @@
+(** PBBS removeDuplicates: distinct elements of an integer sequence
+    (order of the output follows sorted order). Sort + adjacent-difference
+    pack. *)
+
+module P = Lcws_parlay
+open Suite_types
+
+let remove_duplicates ~bits keys =
+  let n = Array.length keys in
+  if n = 0 then [||]
+  else begin
+    let sorted = P.Sort.radix_sort ~bits keys in
+    P.Seq_ops.filter_mapi
+      (fun i x -> if i = 0 || x <> sorted.(i - 1) then Some x else None)
+      sorted
+  end
+
+let check keys out =
+  let tbl = Hashtbl.create 1024 in
+  Array.iter (fun k -> Hashtbl.replace tbl k ()) keys;
+  Hashtbl.length tbl = Array.length out
+  && Array.for_all (fun k -> Hashtbl.mem tbl k) out
+  && P.Sort.is_sorted compare out
+
+let base_n = 200_000
+
+let instance_of name gen ~bits =
+  {
+    iname = name;
+    prepare =
+      (fun ~scale ->
+        let n = scaled ~scale base_n in
+        let keys = gen n in
+        let out = ref [||] in
+        {
+          run = (fun () -> out := remove_duplicates ~bits keys);
+          check = (fun () -> check keys !out);
+        });
+  }
+
+let bench =
+  {
+    bname = "removeDuplicates";
+    instances =
+      [
+        instance_of "randomSeq_int" (fun n -> P.Prandom.ints ~seed:601 n ~bound:(1 lsl 20)) ~bits:20;
+        instance_of "randomSeq_100K_int" (fun n -> P.Prandom.ints ~seed:602 n ~bound:100_000)
+          ~bits:17;
+        instance_of "exptSeq_int"
+          (fun n -> P.Prandom.exponential_ints ~seed:603 n ~bound:(1 lsl 20))
+          ~bits:20;
+      ];
+  }

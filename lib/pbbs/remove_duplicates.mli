@@ -1,0 +1,8 @@
+(** PBBS removeDuplicates: distinct elements of an integer sequence
+    (output in sorted order): radix sort + adjacent-difference pack. *)
+
+val remove_duplicates : bits:int -> int array -> int array
+
+val check : int array -> int array -> bool
+
+val bench : Suite_types.bench

@@ -1,0 +1,94 @@
+(** PBBS spanningForest: spanning forest of an undirected graph. The
+    parallel phase sorts edges by a deterministic random priority (so the
+    union pass is cache-friendly and deterministic); unions use a
+    sequential union-find (path halving), as the per-edge union work is a
+    tiny fraction of the sort. *)
+
+module P = Lcws_parlay
+open Suite_types
+
+module Union_find = struct
+  type t = int array
+
+  let create n = Array.init n (fun i -> i)
+
+  let rec find t x =
+    let p = t.(x) in
+    if p = x then x
+    else begin
+      (* Path halving. *)
+      t.(x) <- t.(p);
+      find t t.(x)
+    end
+
+  let union t a b =
+    let ra = find t a and rb = find t b in
+    if ra = rb then false
+    else begin
+      if ra < rb then t.(rb) <- ra else t.(ra) <- rb;
+      true
+    end
+end
+
+let spanning_forest ?(seed = 1) ~n (edges : (int * int) array) =
+  let m = Array.length edges in
+  let keyed =
+    P.Seq_ops.tabulate m (fun e -> (P.Prandom.hash_int ~seed e land ((1 lsl 24) - 1), e))
+  in
+  let sorted = P.Sort.radix_sort_by ~key:fst ~bits:24 keyed in
+  let uf = Union_find.create n in
+  let forest = ref [] in
+  Array.iter
+    (fun (_, e) ->
+      let u, v = edges.(e) in
+      if Union_find.union uf u v then forest := e :: !forest)
+    sorted;
+  Array.of_list (List.rev !forest)
+
+let check ~n edges forest =
+  (* The forest must be acyclic and produce the same components as the
+     full edge set. *)
+  let uf_forest = Union_find.create n in
+  let acyclic = ref true in
+  Array.iter
+    (fun e ->
+      let u, v = edges.(e) in
+      if not (Union_find.union uf_forest u v) then acyclic := false)
+    forest;
+  let uf_all = Union_find.create n in
+  Array.iter (fun (u, v) -> ignore (Union_find.union uf_all u v)) edges;
+  let same_components = ref true in
+  Array.iter
+    (fun (u, v) ->
+      if Union_find.find uf_forest u <> Union_find.find uf_forest v then
+        (* u,v connected in the graph but not the forest *)
+        same_components := false)
+    edges;
+  !acyclic && !same_components
+
+let instance_of name make_graph =
+  {
+    iname = name;
+    prepare =
+      (fun ~scale ->
+        let g = make_graph ~scale in
+        let edges = Graph.edge_list g in
+        let n = Graph.num_vertices g in
+        let out = ref [||] in
+        {
+          run = (fun () -> out := spanning_forest ~seed:1001 ~n edges);
+          check = (fun () -> check ~n edges !out);
+        });
+  }
+
+let bench =
+  {
+    bname = "spanningForest";
+    instances =
+      [
+        instance_of "rMatGraph_E" (fun ~scale ->
+            let sc = max 8 (12 + int_of_float (Float.round (Float.log2 (max 0.1 scale)))) in
+            Graph.rmat ~seed:1002 ~scale:sc ~edge_factor:4 ());
+        instance_of "gridGraph_2D" (fun ~scale -> Graph.grid2d ~side:(max 8 (scaled ~scale 100)));
+      ];
+  }

@@ -1,0 +1,22 @@
+(** PBBS spanningForest: spanning forest of an undirected graph — the
+    parallel phase sorts edges by deterministic random priority; unions
+    run through a sequential union-find (path halving). *)
+
+module Union_find : sig
+  type t = int array
+
+  val create : int -> t
+
+  val find : t -> int -> int
+
+  (** [union t a b] — false iff already connected. *)
+  val union : t -> int -> int -> bool
+end
+
+(** [spanning_forest ?seed ~n edges] — indices of forest edges. *)
+val spanning_forest : ?seed:int -> n:int -> (int * int) array -> int array
+
+(** Acyclic + same connected components as the full edge set. *)
+val check : n:int -> (int * int) array -> int array -> bool
+
+val bench : Suite_types.bench

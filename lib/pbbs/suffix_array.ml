@@ -1,0 +1,92 @@
+(** PBBS suffixArray: suffix array by prefix doubling (Manber–Myers with
+    parallel sorts), O(n log² n) work with our parallel merge sort. *)
+
+module P = Lcws_parlay
+open Suite_types
+
+let suffix_array (s : string) =
+  let n = String.length s in
+  if n = 0 then [||]
+  else begin
+    let rank = ref (P.Seq_ops.tabulate n (fun i -> Char.code s.[i])) in
+    let sa = ref (P.Seq_ops.tabulate n (fun i -> i)) in
+    let k = ref 1 in
+    let distinct = ref false in
+    while (not !distinct) && !k < 2 * n do
+      let r = !rank in
+      let key i = (r.(i), if i + !k < n then r.(i + !k) else -1) in
+      let sorted =
+        P.Sort.merge_sort (fun i j -> compare (key i) (key j)) !sa
+      in
+      (* Re-rank: positions with a new key get a fresh rank. *)
+      let flags =
+        P.Seq_ops.tabulate n (fun pos ->
+            if pos = 0 then 1
+            else if key sorted.(pos) <> key sorted.(pos - 1) then 1
+            else 0)
+      in
+      let pref, total = P.Seq_ops.scan ( + ) 0 flags in
+      let new_rank = Array.make n 0 in
+      P.Seq_ops.iteri (fun pos i -> new_rank.(i) <- pref.(pos) + flags.(pos) - 1) sorted;
+      rank := new_rank;
+      sa := sorted;
+      distinct := total = n;
+      k := !k * 2
+    done;
+    !sa
+  end
+
+let suffix_compare s i j =
+  let n = String.length s in
+  let rec go i j = if i >= n then -1 else if j >= n then 1 else if s.[i] <> s.[j] then Char.compare s.[i] s.[j] else go (i + 1) (j + 1) in
+  if i = j then 0 else go i j
+
+let check s sa =
+  let n = String.length s in
+  Array.length sa = n
+  && (let seen = Array.make n false in
+      Array.iter (fun i -> if i >= 0 && i < n then seen.(i) <- true) sa;
+      Array.for_all (fun b -> b) seen)
+  &&
+  (* Linear-time verification: given a permutation, consecutive suffixes
+     must be ordered by (first char, rank of the rest), where the rank of
+     a suffix is its position in [sa] and the empty suffix ranks lowest. *)
+  let inv = Array.make n 0 in
+  Array.iteri (fun pos i -> inv.(i) <- pos) sa;
+  let rank_of i = if i >= n then -1 else inv.(i) in
+  let ok = ref true in
+  for pos = 0 to n - 2 do
+    let i = sa.(pos) and j = sa.(pos + 1) in
+    let c = Char.compare s.[i] s.[j] in
+    if c > 0 then ok := false
+    else if c = 0 && rank_of (i + 1) >= rank_of (j + 1) then ok := false
+  done;
+  !ok
+
+let base_n = 30_000
+
+let instance_of name gen =
+  {
+    iname = name;
+    prepare =
+      (fun ~scale ->
+        let n = scaled ~scale base_n in
+        let s = gen n in
+        let out = ref [||] in
+        {
+          run = (fun () -> out := suffix_array s);
+          check = (fun () -> check s !out);
+        });
+  }
+
+let bench =
+  {
+    bname = "suffixArray";
+    instances =
+      [
+        instance_of "trigramString" (fun n ->
+            let t = Text_gen.text ~seed:1501 ~vocab:(max 16 (n / 50)) ~words:(max 1 (n / 6)) () in
+            if String.length t >= n then String.sub t 0 n else t);
+        instance_of "repeatedString" (fun n -> String.concat "" (List.init n (fun i -> if i mod 97 = 96 then "b" else "a")));
+      ];
+  }

@@ -1,0 +1,14 @@
+(** PBBS suffixArray: Manber–Myers prefix doubling with parallel sorts,
+    O(n log² n) work. *)
+
+val suffix_array : string -> int array
+
+(** Direct lexicographic comparison of two suffixes (reference for
+    tests; O(n) worst case). *)
+val suffix_compare : string -> int -> int -> int
+
+(** Linear-time validity check: permutation + consecutive suffixes
+    ordered by (first char, rank of rest). *)
+val check : string -> int array -> bool
+
+val bench : Suite_types.bench

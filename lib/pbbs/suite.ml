@@ -1,0 +1,44 @@
+let all : Suite_types.bench list =
+  [
+    Integer_sort.bench;
+    Comparison_sort.bench;
+    Histogram.bench;
+    Word_counts.bench;
+    Inverted_index.bench;
+    Remove_duplicates.bench;
+    Suffix_array.bench;
+    Bfs.bench;
+    Maximal_independent_set.bench;
+    Maximal_matching.bench;
+    Spanning_forest.bench;
+    Convex_hull.bench;
+    Nearest_neighbors.bench;
+    Nbody.bench;
+    Ray_cast.bench;
+    Classify.bench;
+    Lrs.bench;
+    Bw_transform.bench;
+    Range_query.bench;
+    Delaunay.bench;
+  ]
+
+let all_configs = List.concat_map Suite_types.configs all
+
+let find ~bench ~instance =
+  match List.find_opt (fun b -> b.Suite_types.bname = bench) all with
+  | None -> None
+  | Some b -> List.find_opt (fun i -> i.Suite_types.iname = instance) b.Suite_types.instances
+
+let quick : Suite_types.bench list =
+  let first_instance (b : Suite_types.bench) =
+    { b with instances = [ List.hd b.instances ] }
+  in
+  List.map first_instance
+    [
+      Integer_sort.bench;
+      Histogram.bench;
+      Bfs.bench;
+      Convex_hull.bench;
+      Remove_duplicates.bench;
+      Word_counts.bench;
+    ]

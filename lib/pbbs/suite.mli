@@ -1,0 +1,13 @@
+(** Registry of every benchmark in the suite — the reproduction's stand-in
+    for "all input instances of all benchmarks of PBBS v2". *)
+
+val all : Suite_types.bench list
+
+(** Every 〈benchmark, instance〉 configuration, flattened. *)
+val all_configs : (string * string) list
+
+val find : bench:string -> instance:string -> Suite_types.instance option
+
+(** A fast subset used by the real-engine profile experiment (the full
+    suite at several worker counts would be slow on one core). *)
+val quick : Suite_types.bench list

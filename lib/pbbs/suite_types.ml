@@ -1,0 +1,18 @@
+(** Common shape of a PBBS-style benchmark for the harness.
+
+    [prepare] builds the input (outside any timing) and returns closures
+    over it: [run] does the parallel work on the current pool and stashes
+    its output; [check] verifies that output sequentially. [scale]
+    multiplies the instance's default size so the harness can trade
+    accuracy for time. *)
+
+type prepared = { run : unit -> unit; check : unit -> bool }
+
+type instance = { iname : string; prepare : scale:float -> prepared }
+
+type bench = { bname : string; instances : instance list }
+
+let scaled ~scale n = max 1 (int_of_float (scale *. float_of_int n))
+
+(** [configs bench] — the paper's 〈benchmark, input_instance〉 pairs. *)
+let configs b = List.map (fun i -> (b.bname, i.iname)) b.instances

@@ -1,0 +1,47 @@
+module P = Lcws_parlay
+
+let letters = "etaoinshrdlucmfwypvbgkjqxz"
+
+(* A deterministic word for vocabulary slot [w]: length 3-10, letters
+   biased toward frequent English letters via the trigram-ish chain. *)
+let make_word seed w =
+  let len = 3 + P.Prandom.int ~seed:(seed + 3) w 8 in
+  let buf = Bytes.create len in
+  let prev = ref (P.Prandom.int ~seed:(seed + 5) w 26) in
+  for i = 0 to len - 1 do
+    let r = P.Prandom.int ~seed:(seed + 7 + i) w 26 in
+    (* Chain: mix previous letter in so words look pronounceable-ish. *)
+    let c = (r + (!prev / 2)) mod 26 in
+    Bytes.set buf i letters.[c];
+    prev := c
+  done;
+  Bytes.to_string buf
+
+(* Zipf sampling via inverse-CDF approximation: rank ~ u^-1 truncated. *)
+let zipf_rank ~seed i ~vocab =
+  let u = P.Prandom.float ~seed i in
+  let hmax = log (float_of_int vocab +. 1.) in
+  let r = int_of_float (exp (u *. hmax)) - 1 in
+  if r < 0 then 0 else if r >= vocab then vocab - 1 else r
+
+let words ?(seed = 1) ~vocab n =
+  let dictionary = Array.init vocab (fun w -> make_word seed w) in
+  P.Seq_ops.tabulate n (fun i -> dictionary.(zipf_rank ~seed:(seed + 11) i ~vocab))
+
+let text ?(seed = 1) ~vocab ~words:n () =
+  let ws = words ~seed ~vocab n in
+  let buf = Buffer.create (n * 7) in
+  Array.iteri
+    (fun i w ->
+      Buffer.add_string buf w;
+      if (i + 1) mod 20 = 0 then Buffer.add_char buf '\n' else Buffer.add_char buf ' ')
+    ws;
+  Buffer.contents buf
+
+let documents ?(seed = 1) ~vocab ~words:n ~docs () =
+  let per_doc = max 1 (n / docs) in
+  Array.init docs (fun d ->
+      let count = if d = docs - 1 then n - (per_doc * (docs - 1)) else per_doc in
+      let count = max 1 count in
+      let ws = words ~seed:(seed + (d * 101)) ~vocab count in
+      String.concat " " (Array.to_list ws))

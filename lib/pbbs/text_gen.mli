@@ -1,0 +1,15 @@
+(** Synthetic text in the spirit of PBBS's trigramString/wikipedia
+    inputs: words drawn from a Zipf-distributed vocabulary of
+    trigram-built words, separated by spaces and newlines. *)
+
+(** [words ?seed ~vocab n] — [n] words from a vocabulary of [vocab]
+    distinct words with Zipf(1) frequencies. *)
+val words : ?seed:int -> vocab:int -> int -> string array
+
+(** [text ?seed ~vocab ~words] — the words joined by spaces, with a
+    newline every ~20 words (so it can double as a document stream). *)
+val text : ?seed:int -> vocab:int -> words:int -> unit -> string
+
+(** [documents ?seed ~vocab ~words ~docs] — split into [docs] documents
+    of roughly equal length. *)
+val documents : ?seed:int -> vocab:int -> words:int -> docs:int -> unit -> string array

@@ -1,0 +1,49 @@
+(** Parallel tokenization shared by the text benchmarks (wordCounts,
+    invertedIndex): split a string on non-letters into (offset, length)
+    tokens, plus a 64-bit FNV-1a hash for cheap word identity. *)
+
+module P = Lcws_parlay
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+
+(* Token starts are word chars preceded by a non-word char; token ends
+   symmetric. Both computed with data-parallel index packing. *)
+let tokenize text =
+  let n = String.length text in
+  if n = 0 then [||]
+  else begin
+    let chars = P.Seq_ops.tabulate n (fun i -> text.[i]) in
+    let starts =
+      P.Seq_ops.pack_index
+        (fun i c -> is_word_char c && (i = 0 || not (is_word_char text.[i - 1])))
+        chars
+    in
+    let stops =
+      P.Seq_ops.pack_index
+        (fun i c -> is_word_char c && (i = n - 1 || not (is_word_char text.[i + 1])))
+        chars
+    in
+    P.Seq_ops.tabulate (Array.length starts) (fun t ->
+        (starts.(t), stops.(t) - starts.(t) + 1))
+  end
+
+let fnv_offset = 0xCBF29CE484222325L
+
+let fnv_prime = 0x100000001B3L
+
+let hash_token text (off, len) =
+  let h = ref fnv_offset in
+  for i = off to off + len - 1 do
+    h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code text.[i]))) fnv_prime
+  done;
+  (* Non-negative OCaml int (62 bits after masking). *)
+  Int64.to_int !h land max_int
+
+let token_string text (off, len) = String.sub text off len
+
+(** Hash truncated to [bits] (for radix sorting); collisions are handled
+    by callers grouping on the full hash. *)
+let hash_bits = 30
+
+let hash_low text tok = hash_token text tok land ((1 lsl hash_bits) - 1)

@@ -1,0 +1,28 @@
+(** Parallel tokenization shared by the text benchmarks (wordCounts,
+    invertedIndex): split a string on non-alphanumeric characters into
+    (offset, length) tokens, plus a 64-bit FNV-1a hash for cheap word
+    identity. *)
+
+val is_word_char : char -> bool
+
+(** [tokenize text] — (offset, length) of every maximal word-character
+    run, in order, found with data-parallel index packing. *)
+val tokenize : string -> (int * int) array
+
+(** Full-width FNV-1a hash of a token (non-negative OCaml int). *)
+val hash_token : string -> int * int -> int
+
+(** Number of bits of {!hash_low} (radix-sort friendly). *)
+val hash_bits : int
+
+(** [hash_token] truncated to {!hash_bits} bits; callers disambiguate
+    collisions by grouping on the full hash. *)
+val hash_low : string -> int * int -> int
+
+val token_string : string -> int * int -> string
+
+(**/**)
+
+val fnv_offset : int64
+
+val fnv_prime : int64

@@ -1,0 +1,71 @@
+(** PBBS wordCounts: count occurrences of every distinct word in a text.
+    Pipeline: parallel tokenize → hash → radix sort by hash → run-length
+    count (full 62-bit hash disambiguates radix-truncation neighbours). *)
+
+module P = Lcws_parlay
+open Suite_types
+
+type counted = { word : string; count : int }
+
+let tokenize_and_hash text =
+  let toks = Tokens.tokenize text in
+  P.Seq_ops.map (fun tok -> (Tokens.hash_low text tok, (Tokens.hash_token text tok, tok))) toks
+
+let group hashed text =
+  if Array.length hashed = 0 then [||]
+  else begin
+    let sorted = P.Sort.radix_sort_by ~key:fst ~bits:Tokens.hash_bits hashed in
+    (* Order ties on the full hash so equal words are truly adjacent. *)
+    let sorted =
+      P.Sort.merge_sort
+        (fun (h1, (f1, _)) (h2, (f2, _)) -> if h1 <> h2 then compare h1 h2 else compare f1 f2)
+        sorted
+    in
+    let n = Array.length sorted in
+    let full i = fst (snd sorted.(i)) in
+    let starts = P.Seq_ops.pack_index (fun i _ -> i = 0 || full i <> full (i - 1)) sorted in
+    let nruns = Array.length starts in
+    P.Seq_ops.tabulate nruns (fun r ->
+        let lo = starts.(r) and hi = if r + 1 < nruns then starts.(r + 1) else n in
+        let _, (_, tok) = sorted.(lo) in
+        { word = Tokens.token_string text tok; count = hi - lo })
+  end
+
+let word_counts text = group (tokenize_and_hash text) text
+
+let check text out =
+  let tbl = Hashtbl.create 1024 in
+  Array.iter
+    (fun tok ->
+      let w = Tokens.token_string text tok in
+      Hashtbl.replace tbl w (1 + Option.value ~default:0 (Hashtbl.find_opt tbl w)))
+    (Tokens.tokenize text);
+  Hashtbl.length tbl = Array.length out
+  && Array.for_all (fun { word; count } -> Hashtbl.find_opt tbl word = Some count) out
+
+let base_words = 100_000
+
+let instance_of name ~vocab_frac =
+  {
+    iname = name;
+    prepare =
+      (fun ~scale ->
+        let words = scaled ~scale base_words in
+        let vocab = max 16 (int_of_float (float_of_int words *. vocab_frac)) in
+        let text = Text_gen.text ~seed:401 ~vocab ~words () in
+        let out = ref [||] in
+        {
+          run = (fun () -> out := word_counts text);
+          check = (fun () -> check text !out);
+        });
+  }
+
+let bench =
+  {
+    bname = "wordCounts";
+    instances =
+      [
+        instance_of "trigramSeq_small_vocab" ~vocab_frac:0.01;
+        instance_of "trigramSeq_large_vocab" ~vocab_frac:0.3;
+      ];
+  }

@@ -1,0 +1,12 @@
+(** PBBS wordCounts: occurrences of every distinct word in a text.
+    Pipeline: parallel tokenize → hash → radix sort by hash → run-length
+    count; the full 62-bit hash disambiguates radix truncation. *)
+
+type counted = { word : string; count : int }
+
+val word_counts : string -> counted array
+
+(** Hashtbl-based sequential validation. *)
+val check : string -> counted array -> bool
+
+val bench : Suite_types.bench

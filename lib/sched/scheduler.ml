@@ -1,0 +1,417 @@
+module Metrics = Lcws_sync.Metrics
+module Xoshiro = Lcws_sync.Xoshiro
+module Split_deque = Lcws_deque.Split_deque
+module Chase_lev = Lcws_deque.Chase_lev
+open Lcws_deque.Deque_intf
+
+type variant = Ws | Uslcws | Signal | Cons | Half
+
+let all_variants = [ Ws; Uslcws; Signal; Cons; Half ]
+
+let lcws_variants = [ Uslcws; Signal; Cons; Half ]
+
+let variant_name = function
+  | Ws -> "ws"
+  | Uslcws -> "uslcws"
+  | Signal -> "signal"
+  | Cons -> "cons"
+  | Half -> "half"
+
+let variant_label = function
+  | Ws -> "WS"
+  | Uslcws -> "User"
+  | Signal -> "Signal"
+  | Cons -> "Cons"
+  | Half -> "Half"
+
+let variant_of_string s =
+  match String.lowercase_ascii s with
+  | "ws" -> Some Ws
+  | "uslcws" | "user" -> Some Uslcws
+  | "signal" -> Some Signal
+  | "cons" | "conservative" -> Some Cons
+  | "half" -> Some Half
+  | _ -> None
+
+type task = unit -> unit
+
+type deque = CL of task Chase_lev.t | SD of task Split_deque.t
+
+type worker = {
+  id : int;
+  metrics : Metrics.t;
+  deque : deque;
+  targeted : bool Atomic.t;
+  signal_pending : bool Atomic.t;
+  rng : Xoshiro.t;
+}
+
+type pool = {
+  pvariant : variant;
+  nw : int;
+  workers : worker array;
+  mutable domains : unit Domain.t list;
+  job_active : bool Atomic.t;
+  stop : bool Atomic.t;
+  gen : int Atomic.t;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  steal_sleep_us : int;
+  running : bool Atomic.t;
+}
+
+let ctx_key : (pool * worker) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let dummy_task : task = fun () -> ()
+
+let exposure_policy = function
+  | Uslcws | Signal -> Split_deque.Expose_one
+  | Cons -> Split_deque.Expose_conservative
+  | Half -> Split_deque.Expose_half
+  | Ws -> assert false
+
+(* Cheap conditional reset: the [Atomic.get] is a plain load; the SC store
+   only happens when a thief actually targeted us. *)
+let reset_targeted w = if Atomic.get w.targeted then Atomic.set w.targeted false
+
+(* The body of the paper's signal handler (Listing 3): transfer work to
+   the public part of the split deque. Runs on the victim's own domain at
+   poll points — our stand-in for in-handler execution (DESIGN.md §2.2). *)
+let handle_pending pool w =
+  match pool.pvariant with
+  | Signal | Cons | Half ->
+      if Atomic.get w.signal_pending then begin
+        Atomic.set w.signal_pending false;
+        (match w.deque with
+        | SD d ->
+            ignore (Split_deque.update_public_bottom d ~policy:(exposure_policy pool.pvariant))
+        | CL _ -> ());
+        w.metrics.signals_handled <- w.metrics.signals_handled + 1
+      end
+  | Ws | Uslcws -> ()
+
+let push_task pool w t =
+  (match w.deque with
+  | CL d -> Chase_lev.push_bottom d t
+  | SD d -> Split_deque.push_bottom d t);
+  (* Signal-based variants: a fresh push means there is (new) work that can
+     be exposed, so thieves may notify again (Section 4). *)
+  match pool.pvariant with
+  | Signal | Cons | Half -> reset_targeted w
+  | Ws | Uslcws -> ()
+
+(* Owner-side task lookup on the own deque: private part first, then the
+   public part (Listing 1 lines 7-16). For the signal-safe [pop_bottom] of
+   Section 4, a [None] from the private part *must* fall through to
+   [pop_public_bottom], which repairs the decremented [bot]. *)
+let pop_own pool w =
+  match w.deque with
+  | CL d -> Chase_lev.pop_bottom d
+  | SD d -> (
+      let private_task =
+        match pool.pvariant with
+        | Signal | Half -> Split_deque.pop_bottom_signal_safe d
+        | Uslcws | Cons -> Split_deque.pop_bottom d
+        | Ws -> assert false
+      in
+      match private_task with
+      | Some _ as r ->
+          (* USLCWS handles exposure requests at task boundaries only
+             (Listing 1 lines 8-12). *)
+          (match pool.pvariant with
+          | Uslcws ->
+              if Atomic.get w.targeted then begin
+                Atomic.set w.targeted false;
+                ignore (Split_deque.update_public_bottom d ~policy:Split_deque.Expose_one);
+                w.metrics.signals_handled <- w.metrics.signals_handled + 1
+              end
+          | Ws | Signal | Cons | Half -> ());
+          r
+      | None -> (
+          match Split_deque.pop_public_bottom d with
+          | Some _ as r ->
+              (* A public task was consumed: previously shared work is no
+                 longer accessible, allow new notifications. *)
+              reset_targeted w;
+              r
+          | None ->
+              (* Listing 1 line 17. *)
+              reset_targeted w;
+              None))
+
+(* Thief-side notification policy (Listing 1 line 22 / Listing 3). *)
+let notify pool thief victim =
+  match pool.pvariant with
+  | Ws -> ()
+  | Uslcws ->
+      Atomic.set victim.targeted true;
+      thief.metrics.signals_sent <- thief.metrics.signals_sent + 1
+  | Signal | Half ->
+      if not (Atomic.get victim.targeted) then begin
+        Atomic.set victim.targeted true;
+        Atomic.set victim.signal_pending true;
+        thief.metrics.signals_sent <- thief.metrics.signals_sent + 1
+      end
+  | Cons ->
+      let has_two =
+        match victim.deque with SD d -> Split_deque.has_two_tasks d | CL _ -> false
+      in
+      if (not (Atomic.get victim.targeted)) && has_two then begin
+        Atomic.set victim.targeted true;
+        Atomic.set victim.signal_pending true;
+        thief.metrics.signals_sent <- thief.metrics.signals_sent + 1
+      end
+
+let steal_once pool w =
+  if pool.nw < 2 then None
+  else
+  let victim_id = Xoshiro.other_than w.rng ~bound:pool.nw ~self:w.id in
+  let v = pool.workers.(victim_id) in
+  match v.deque with
+  | CL d -> (
+      match Chase_lev.steal d ~metrics:w.metrics with
+      | Stolen t -> Some t
+      | Empty | Abort | Private_work -> None)
+  | SD d -> (
+      match Split_deque.pop_top d ~metrics:w.metrics with
+      | Stolen t ->
+          (* The shared task is gone; future thieves may notify again. *)
+          reset_targeted v;
+          Some t
+      | Private_work ->
+          notify pool w v;
+          None
+      | Empty | Abort -> None)
+
+let sleep_us us = if us > 0 then Unix.sleepf (float_of_int us *. 1e-6)
+
+(* Helper workers' task acquisition (Listing 1's [get_task]): own deque,
+   then repeated steal attempts until the job ends. *)
+let get_task pool w =
+  if not (Atomic.get pool.job_active) then None
+  else
+    match pop_own pool w with
+    | Some _ as r -> r
+    | None ->
+        let rec loop tries =
+          if not (Atomic.get pool.job_active) then None
+          else begin
+            w.metrics.idle_loops <- w.metrics.idle_loops + 1;
+            match steal_once pool w with
+            | Some _ as r -> r
+            | None ->
+                if tries >= pool.nw then begin
+                  (* A full unlucky round: yield the timeslice so victims
+                     can run — vital when domains outnumber cores. *)
+                  sleep_us pool.steal_sleep_us;
+                  loop 0
+                end
+                else begin
+                  Domain.cpu_relax ();
+                  loop (tries + 1)
+                end
+          end
+        in
+        loop 0
+
+let run_task w (t : task) =
+  w.metrics.tasks_run <- w.metrics.tasks_run + 1;
+  t ()
+
+let helper_body pool w =
+  Domain.DLS.set ctx_key (Some (pool, w));
+  let last_gen = ref 0 in
+  let rec work () =
+    match get_task pool w with
+    | Some t ->
+        handle_pending pool w;
+        run_task w t;
+        handle_pending pool w;
+        work ()
+    | None -> ()
+  in
+  let rec wait_loop () =
+    Mutex.lock pool.mutex;
+    while (not (Atomic.get pool.stop)) && Atomic.get pool.gen = !last_gen do
+      Condition.wait pool.cond pool.mutex
+    done;
+    Mutex.unlock pool.mutex;
+    if not (Atomic.get pool.stop) then begin
+      last_gen := Atomic.get pool.gen;
+      work ();
+      wait_loop ()
+    end
+  in
+  wait_loop ()
+
+module Pool = struct
+  type t = pool
+
+  let create ?(seed = 42L) ?(deque_capacity = 65536) ?(steal_sleep_us = 50)
+      ~num_workers ~variant () =
+    if num_workers < 1 then invalid_arg "Pool.create: num_workers must be >= 1";
+    let root_rng = Xoshiro.create seed in
+    let make_worker id =
+      let metrics = Metrics.create () in
+      let deque =
+        match variant with
+        | Ws -> CL (Chase_lev.create ~capacity:deque_capacity ~dummy:dummy_task ~metrics ())
+        | Uslcws | Signal | Cons | Half ->
+            SD (Split_deque.create ~capacity:deque_capacity ~dummy:dummy_task ~metrics ())
+      in
+      {
+        id;
+        metrics;
+        deque;
+        targeted = Atomic.make false;
+        signal_pending = Atomic.make false;
+        rng = Xoshiro.split root_rng id;
+      }
+    in
+    let pool =
+      {
+        pvariant = variant;
+        nw = num_workers;
+        workers = Array.init num_workers make_worker;
+        domains = [];
+        job_active = Atomic.make false;
+        stop = Atomic.make false;
+        gen = Atomic.make 0;
+        mutex = Mutex.create ();
+        cond = Condition.create ();
+        steal_sleep_us;
+        running = Atomic.make false;
+      }
+    in
+    pool.domains <-
+      List.init (num_workers - 1) (fun i ->
+          let w = pool.workers.(i + 1) in
+          Domain.spawn (fun () -> helper_body pool w));
+    pool
+
+  let run pool f =
+    if Atomic.get pool.stop then invalid_arg "Pool.run: pool was shut down";
+    if not (Atomic.compare_and_set pool.running false true) then
+      invalid_arg "Pool.run: a job is already running";
+    let w0 = pool.workers.(0) in
+    let saved = Domain.DLS.get ctx_key in
+    Domain.DLS.set ctx_key (Some (pool, w0));
+    Atomic.set pool.job_active true;
+    Mutex.lock pool.mutex;
+    Atomic.incr pool.gen;
+    Condition.broadcast pool.cond;
+    Mutex.unlock pool.mutex;
+    let finish () =
+      Atomic.set pool.job_active false;
+      Domain.DLS.set ctx_key saved;
+      Atomic.set pool.running false
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+
+  let shutdown pool =
+    if not (Atomic.get pool.stop) then begin
+      Atomic.set pool.stop true;
+      Mutex.lock pool.mutex;
+      Condition.broadcast pool.cond;
+      Mutex.unlock pool.mutex;
+      List.iter Domain.join pool.domains;
+      pool.domains <- []
+    end
+
+  let num_workers pool = pool.nw
+
+  let variant pool = pool.pvariant
+
+  let per_worker_metrics pool = Array.map (fun w -> w.metrics) pool.workers
+
+  let metrics pool = Metrics.sum (per_worker_metrics pool)
+
+  let reset_metrics pool = Array.iter (fun w -> Metrics.reset w.metrics) pool.workers
+end
+
+let tick () =
+  match Domain.DLS.get ctx_key with
+  | None -> ()
+  | Some (pool, w) -> handle_pending pool w
+
+let my_id () = match Domain.DLS.get ctx_key with None -> 0 | Some (_, w) -> w.id
+
+let num_workers () =
+  match Domain.DLS.get ctx_key with None -> 1 | Some (pool, _) -> pool.nw
+
+type 'a outcome = Done of 'a | Failed of exn
+
+let fork_join (type a b) (f : unit -> a) (g : unit -> b) : a * b =
+  match Domain.DLS.get ctx_key with
+  | None ->
+      let a = f () in
+      let b = g () in
+      (a, b)
+  | Some (pool, w) ->
+      let done_ = Atomic.make false in
+      let slot : b outcome option ref = ref None in
+      let gtask () =
+        (match g () with
+        | v -> slot := Some (Done v)
+        | exception e -> slot := Some (Failed e));
+        (* Publish the slot write before the flag (SC store). *)
+        Atomic.set done_ true
+      in
+      push_task pool w gtask;
+      let fa = match f () with v -> Done v | exception e -> Failed e in
+      (* Join phase: common case — pop [gtask] right back and run it
+         inline; otherwise help with other work until [g] completes. *)
+      let spins = ref 0 in
+      while not (Atomic.get done_) do
+        handle_pending pool w;
+        match pop_own pool w with
+        | Some t -> run_task w t
+        | None ->
+            if not (Atomic.get done_) then begin
+              w.metrics.idle_loops <- w.metrics.idle_loops + 1;
+              match steal_once pool w with
+              | Some t -> run_task w t
+              | None ->
+                  incr spins;
+                  if !spins land 63 = 0 then sleep_us pool.steal_sleep_us
+                  else Domain.cpu_relax ()
+            end
+      done;
+      let gb = match !slot with Some r -> r | None -> assert false in
+      let a = match fa with Done v -> v | Failed e -> raise e in
+      let b = match gb with Done v -> v | Failed e -> raise e in
+      (a, b)
+
+let fork_join_unit f g =
+  let (() : unit), (() : unit) = fork_join f g in
+  ()
+
+let parallel_for ?grain ~start ~stop body =
+  let n = stop - start in
+  if n > 0 then begin
+    let p = num_workers () in
+    let default_grain = max 1 (min 2048 (n / (8 * p))) in
+    let grain = match grain with Some g -> max 1 g | None -> default_grain in
+    let rec go lo hi =
+      if hi - lo <= grain then begin
+        for i = lo to hi - 1 do
+          body i
+        done;
+        (* Poll point: bounds the latency of work-exposure requests for
+           loop computations (the paper's constant-time guarantee). *)
+        tick ()
+      end
+      else begin
+        let mid = lo + ((hi - lo) / 2) in
+        fork_join_unit (fun () -> go lo mid) (fun () -> go mid hi)
+      end
+    in
+    go start stop
+  end

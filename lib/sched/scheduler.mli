@@ -1,0 +1,112 @@
+(** The work-stealing runtime: WS baseline plus the four LCWS variants.
+
+    This is a shared-memory, multi-domain implementation of the paper's
+    schedulers (Listings 1 and 3):
+
+    - {!Ws}: classic work stealing over Chase-Lev deques (the Parlay
+      baseline);
+    - {!Uslcws}: user-space LCWS (Section 3) — the [targeted] flag is
+      polled only at task boundaries, inside [get_task];
+    - {!Signal}: signal-based LCWS (Section 4) — exposure requests are
+      handled at constant-interval poll points ({!tick}), the OCaml
+      equivalent of the paper's [pthread_kill]/handler pair (the handler
+      body runs on the victim's own domain; see DESIGN.md §2.2). Uses the
+      Section 4 signal-safe [pop_bottom];
+    - {!Cons}: Conservative Exposure (Section 4.1.1) — expose only when
+      at least two private tasks exist;
+    - {!Half}: Expose Half (Section 4.1.2) — expose [round(r/2)] tasks.
+
+    Typical use:
+    {[
+      let pool = Scheduler.Pool.create ~num_workers:4 ~variant:Signal () in
+      let result = Scheduler.Pool.run pool (fun () ->
+        let a, b = Scheduler.fork_join (fun () -> fib 30) (fun () -> fib 30) in
+        a + b)
+      in
+      Scheduler.Pool.shutdown pool
+    ]} *)
+
+type variant = Ws | Uslcws | Signal | Cons | Half
+
+val all_variants : variant list
+
+val lcws_variants : variant list
+
+val variant_name : variant -> string
+
+(** Short label used in the paper's plots: WS, User, Signal, Cons, Half. *)
+val variant_label : variant -> string
+
+val variant_of_string : string -> variant option
+
+module Pool : sig
+  type t
+
+  (** [create ~num_workers ~variant ()] spawns [num_workers - 1] helper
+      domains; the domain that calls {!run} acts as worker 0.
+
+      @param seed deterministic seed for victim selection (default 42).
+      @param deque_capacity per-worker deque slots (default 65536).
+      @param steal_sleep_us microseconds helpers sleep after a full round
+        of failed steal attempts — essential when domains outnumber cores
+        (default 50). *)
+  val create :
+    ?seed:int64 ->
+    ?deque_capacity:int ->
+    ?steal_sleep_us:int ->
+    num_workers:int ->
+    variant:variant ->
+    unit ->
+    t
+
+  (** Execute a parallel job. The callback runs as worker 0 and may use
+      {!fork_join}, {!parallel_for}, {!tick}. Exceptions raised by the job
+      propagate. Not reentrant; one job at a time. *)
+  val run : t -> (unit -> 'a) -> 'a
+
+  (** Terminate and join the helper domains. The pool is unusable after. *)
+  val shutdown : t -> unit
+
+  val num_workers : t -> int
+
+  val variant : t -> variant
+
+  (** Sum of all per-worker counters since the last [reset_metrics]. *)
+  val metrics : t -> Lcws_sync.Metrics.t
+
+  val per_worker_metrics : t -> Lcws_sync.Metrics.t array
+
+  val reset_metrics : t -> unit
+end
+
+(** {2 Operations available inside [Pool.run]}
+
+    Each also works outside a pool (sequential fallback), so library code
+    can be written once. *)
+
+(** [fork_join f g] runs [f] and [g] in parallel and returns both results.
+    [g] is pushed on the calling worker's deque (stealable); [f] runs
+    immediately (work-first). While waiting for a stolen [g], the worker
+    helps: it executes tasks from its own deque or steals. *)
+val fork_join : (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
+
+val fork_join_unit : (unit -> unit) -> (unit -> unit) -> unit
+
+(** [parallel_for ?grain ~start ~stop body] applies [body i] for
+    [start <= i < stop] by balanced binary splitting; leaves of at most
+    [grain] iterations run sequentially, with a {!tick} poll point per
+    leaf (this is what makes exposure-request handling constant-time for
+    loop-shaped computations). *)
+val parallel_for : ?grain:int -> start:int -> stop:int -> (int -> unit) -> unit
+
+(** Poll point: on signal-based variants, handle a pending work-exposure
+    request (the body of the paper's signal handler). Constant time; a
+    no-op on [Ws]/[Uslcws] and outside pools. Long sequential tasks
+    should call this periodically. *)
+val tick : unit -> unit
+
+(** Worker id of the calling domain (0 when outside a pool). *)
+val my_id : unit -> int
+
+(** Number of workers of the enclosing pool (1 outside). *)
+val num_workers : unit -> int

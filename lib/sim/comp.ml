@@ -1,0 +1,49 @@
+type t = Work of int | Seq of t list | Fork of t * t | Pfor of pfor
+
+and pfor = { lo : int; hi : int; grain : int; leaf_cost : int -> int }
+
+let pfor ?(grain = 1) ~n leaf_cost =
+  if n < 0 then invalid_arg "Comp.pfor";
+  Pfor { lo = 0; hi = n; grain = max 1 grain; leaf_cost }
+
+let rec balanced ~leaves ~leaf_work =
+  if leaves <= 1 then Work leaf_work
+  else begin
+    let l = leaves / 2 in
+    Fork (balanced ~leaves:l ~leaf_work, balanced ~leaves:(leaves - l) ~leaf_work)
+  end
+
+let rec total_work = function
+  | Work c -> c
+  | Seq l -> List.fold_left (fun a c -> a + total_work c) 0 l
+  | Fork (a, b) -> total_work a + total_work b
+  | Pfor { lo; hi; leaf_cost; _ } ->
+      let acc = ref 0 in
+      for i = lo to hi - 1 do
+        acc := !acc + leaf_cost i
+      done;
+      !acc
+
+let rec span = function
+  | Work c -> c
+  | Seq l -> List.fold_left (fun a c -> a + span c) 0 l
+  | Fork (a, b) -> max (span a) (span b)
+  | Pfor ({ lo; hi; grain; _ } as p) ->
+      if hi - lo <= grain then
+        let acc = ref 0 in
+        for i = lo to hi - 1 do
+          acc := !acc + p.leaf_cost i
+        done;
+        !acc
+      else begin
+        let mid = lo + ((hi - lo) / 2) in
+        max (span (Pfor { p with hi = mid })) (span (Pfor { p with lo = mid }))
+      end
+
+let rec num_leaves = function
+  | Work _ -> 1
+  | Seq l -> List.fold_left (fun a c -> a + num_leaves c) 0 l
+  | Fork (a, b) -> num_leaves a + num_leaves b
+  | Pfor { lo; hi; grain; _ } ->
+      let n = hi - lo in
+      if n = 0 then 0 else (n + grain - 1) / grain

@@ -1,0 +1,34 @@
+(** Fork-join computation DAGs executed by the simulator.
+
+    A [t] is a pure description; the engine interprets it with the exact
+    scheduling discipline of the real runtime (work-first forks, helping
+    joins, binary-split parallel loops with poll points). *)
+
+type t =
+  | Work of int  (** sequential leaf costing that many cycles *)
+  | Seq of t list  (** sequential composition *)
+  | Fork of t * t  (** binary fork-join: right side is pushed, stealable *)
+  | Pfor of pfor  (** parallel loop, lowered lazily to a fork tree *)
+
+and pfor = {
+  lo : int;
+  hi : int;
+  grain : int;  (** leaves of at most [grain] iterations *)
+  leaf_cost : int -> int;  (** cycles for iteration [i] *)
+}
+
+(** [pfor ?grain ~n leaf_cost] over [0..n-1]; default grain 1. *)
+val pfor : ?grain:int -> n:int -> (int -> int) -> t
+
+(** Balanced binary fork tree with [leaves] leaves of [leaf_work] cycles
+    each (a microbenchmark-style DAG). *)
+val balanced : leaves:int -> leaf_work:int -> t
+
+(** Total work (cycles, excluding scheduling overheads). *)
+val total_work : t -> int
+
+(** Span: critical-path cycles (excluding overheads). *)
+val span : t -> int
+
+(** Number of [Work] leaves after lowering loops. *)
+val num_leaves : t -> int

@@ -1,0 +1,76 @@
+type t = {
+  name : string;
+  cpu : string;
+  cores : int;
+  smt_threads : int;
+  memory : string;
+  fence_cost : int;
+  cas_cost : int;
+  plain_op_cost : int;
+  steal_round_cost : int;
+  signal_send_cost : int;
+  signal_deliver_latency : int;
+  signal_handle_cost : int;
+  task_overhead : int;
+}
+
+let intel12 =
+  {
+    name = "Intel12";
+    cpu = "2 x Intel Xeon E5-2620 v2";
+    cores = 12;
+    smt_threads = 24;
+    memory = "64 GiB DDR3 1600 MHz";
+    fence_cost = 45;
+    cas_cost = 60;
+    plain_op_cost = 1;
+    steal_round_cost = 220;
+    signal_send_cost = 2000;
+    signal_deliver_latency = 1300;
+    signal_handle_cost = 350;
+    task_overhead = 12;
+  }
+
+let amd32 =
+  {
+    name = "AMD32";
+    cpu = "4 x AMD Opteron 6272";
+    cores = 32;
+    smt_threads = 64;
+    memory = "64 GiB DDR3 1600 MHz";
+    (* Interlagos atomics and cross-socket probes are notoriously slow. *)
+    fence_cost = 90;
+    cas_cost = 110;
+    plain_op_cost = 1;
+    steal_round_cost = 320;
+    signal_send_cost = 2600;
+    signal_deliver_latency = 1700;
+    signal_handle_cost = 450;
+    task_overhead = 14;
+  }
+
+let intel16 =
+  {
+    name = "Intel16";
+    cpu = "2 x Intel Xeon E5-2609 v4";
+    cores = 16;
+    smt_threads = 16;
+    memory = "32 GiB DDR4 2400 MHz";
+    fence_cost = 40;
+    cas_cost = 55;
+    plain_op_cost = 1;
+    steal_round_cost = 190;
+    signal_send_cost = 1800;
+    signal_deliver_latency = 1100;
+    signal_handle_cost = 320;
+    task_overhead = 11;
+  }
+
+let all = [ intel12; amd32; intel16 ]
+
+let find name =
+  List.find_opt (fun m -> String.lowercase_ascii m.name = String.lowercase_ascii name) all
+
+let processor_sweep m =
+  let rec go p acc = if p >= m.cores then List.rev (m.cores :: acc) else go (p * 2) (p :: acc) in
+  go 1 []

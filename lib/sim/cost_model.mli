@@ -1,0 +1,44 @@
+(** Synchronization cost models for the simulated machines.
+
+    The paper evaluates on three physical computers (Table 1); this
+    container has one core, so speedup experiments run on a deterministic
+    discrete-event simulator whose per-operation costs (in cycles) are
+    set per machine. Values are calibrated to public micro-architecture
+    folklore: fences and CAS cost tens of cycles (more on the 4-socket
+    Opteron), a [pthread_kill] round trip costs thousands (it is a
+    syscall plus handler dispatch). The paper's qualitative results only
+    need the ordering fence ≪ signal and local ≪ remote, which all three
+    profiles satisfy. *)
+
+type t = {
+  name : string;
+  cpu : string;  (** Table 1 CPU description *)
+  cores : int;
+  smt_threads : int;
+  memory : string;
+  fence_cost : int;  (** seq-cst memory fence *)
+  cas_cost : int;  (** compare-and-swap (uncontended) *)
+  plain_op_cost : int;  (** plain load/store deque bookkeeping *)
+  steal_round_cost : int;  (** remote deque probe (cache miss latency) *)
+  signal_send_cost : int;  (** [pthread_kill] syscall on the thief *)
+  signal_deliver_latency : int;  (** OS delivery delay before the handler runs *)
+  signal_handle_cost : int;  (** handler prologue/epilogue on the victim *)
+  task_overhead : int;  (** per-task scheduling bookkeeping *)
+}
+
+(** Table 1, row 1: 2× Intel Xeon E5-2620 v2, 12 cores / 24 threads. *)
+val intel12 : t
+
+(** Table 1, row 2: 4× AMD Opteron 6272, 32 cores / 64 threads. *)
+val amd32 : t
+
+(** Table 1, row 3: 2× Intel Xeon E5-2609 v4, 16 cores / 16 threads. *)
+val intel16 : t
+
+val all : t list
+
+val find : string -> t option
+
+(** Worker counts swept for this machine, doubling up to [cores]
+    (matching the paper's x-axes, e.g. 1..32 for AMD32). *)
+val processor_sweep : t -> int list

@@ -1,0 +1,452 @@
+module Xoshiro = Lcws_sync.Xoshiro
+module Pdq = Lcws_deque.Private_deque
+
+type policy = Ws | Uslcws | Signal | Cons | Half | Lace | Private_deques
+
+let policy_name = function
+  | Ws -> "ws"
+  | Uslcws -> "uslcws"
+  | Signal -> "signal"
+  | Cons -> "cons"
+  | Half -> "half"
+  | Lace -> "lace"
+  | Private_deques -> "private"
+
+let policy_of_string s =
+  match String.lowercase_ascii s with
+  | "ws" -> Some Ws
+  | "uslcws" | "user" -> Some Uslcws
+  | "signal" -> Some Signal
+  | "cons" | "conservative" -> Some Cons
+  | "half" -> Some Half
+  | "lace" -> Some Lace
+  | "private" | "private_deques" -> Some Private_deques
+  | _ -> None
+
+let paper_policies = [ Ws; Uslcws; Signal; Cons; Half ]
+
+type stats = {
+  makespan : int;
+  total_work : int;
+  fences : int;
+  cas : int;
+  steal_attempts : int;
+  steals : int;
+  exposed : int;
+  taken_back : int;
+  signals_sent : int;
+  signals_handled : int;
+  tasks : int;
+  idle_cycles : int;
+}
+
+let exposed_not_stolen s = max 0 (s.exposed - s.steals)
+
+type cell = { mutable cdone : bool }
+
+type task = { tcomp : Comp.t; tcell : cell }
+
+type frame = Fdo of Comp.t | Fseq of Comp.t list | Fjoin of cell | Fend of cell
+
+type worker = {
+  id : int;
+  mutable time : int;
+  dq : task Pdq.t;
+  mutable public_count : int;  (** topmost tasks visible to thieves *)
+  mutable stack : frame list;
+  mutable targeted : bool;
+  mutable pending_signal_at : int;  (** delivery time, -1 if none *)
+  mutable steal_request : int;  (** Private_deques: requesting worker, -1 none *)
+  mutable granted : grant;  (** Private_deques: victim's response to this thief *)
+  mutable requested : bool;  (** Private_deques: has an outstanding request *)
+  mutable hunting : bool;
+      (** in the steal phase of [get_task]: the own deque came up empty
+          and is not re-probed until new work is obtained (mirrors the
+          real engine's work-search loop — idle WS workers must not be
+          charged a pop fence per steal round) *)
+  rng : Xoshiro.t;
+}
+
+(* Acar et al.'s request/response cells: a victim always answers, either
+   with a task or an explicit denial, and a thief keeps at most one
+   request outstanding — otherwise a second grant could overwrite (and
+   lose) the first. *)
+and grant = No_grant | Denied | Granted of task
+
+type sim = {
+  machine : Cost_model.t;
+  policy : policy;
+  p : int;
+  workers : worker array;
+  quantum : int;
+  (* global counters *)
+  mutable fences : int;
+  mutable cas : int;
+  mutable steal_attempts : int;
+  mutable steals : int;
+  mutable exposed : int;
+  mutable taken_back : int;
+  mutable signals_sent : int;
+  mutable signals_handled : int;
+  mutable tasks : int;
+  mutable idle_cycles : int;
+  mutable work_done : int;
+}
+
+let dummy_task = { tcomp = Comp.Work 0; tcell = { cdone = true } }
+
+let private_size w = Pdq.size w.dq - w.public_count
+
+(* --- exposure ------------------------------------------------------- *)
+
+(* Number of tasks the variant would move to the public part. *)
+let exposure_amount policy r =
+  match policy with
+  | Uslcws | Signal -> if r >= 1 then 1 else 0
+  | Cons -> if r >= 2 then 1 else 0
+  | Half -> if r >= 3 then Lcws_sync.Fastmath.round_half r else if r >= 1 then 1 else 0
+  | Lace -> if r >= 3 then Lcws_sync.Fastmath.round_half r else if r >= 1 then 1 else 0
+  | Ws | Private_deques -> 0
+
+let expose sim w =
+  let k = exposure_amount sim.policy (private_size w) in
+  if k > 0 then begin
+    w.public_count <- w.public_count + k;
+    sim.exposed <- sim.exposed + k;
+    (* A volatile/plain store in the C++ implementation. *)
+    w.time <- w.time + sim.machine.plain_op_cost
+  end;
+  k
+
+(* Task-boundary targeted check (USLCWS Listing 1 lines 8-12; Lace polls
+   its splitreq flag whenever the owner touches its deque). *)
+let boundary_exposure_check sim w =
+  match sim.policy with
+  | Uslcws | Lace ->
+      if w.targeted then begin
+        w.targeted <- false;
+        ignore (expose sim w);
+        sim.signals_handled <- sim.signals_handled + 1
+      end
+  | Private_deques ->
+      if w.steal_request >= 0 then begin
+        let thief = sim.workers.(w.steal_request) in
+        w.steal_request <- -1;
+        (match Pdq.pop_top w.dq with
+        | Some t ->
+            thief.granted <- Granted t;
+            (* Transfer through a shared cell: a fence on each side. *)
+            w.time <- w.time + sim.machine.fence_cost;
+            sim.fences <- sim.fences + 1
+        | None -> thief.granted <- Denied);
+        sim.signals_handled <- sim.signals_handled + 1
+      end
+  | Ws | Signal | Cons | Half -> ()
+
+(* Signal delivery: handled at any step boundary once the latency has
+   elapsed — the simulator's faithful version of in-handler execution. *)
+let deliver_pending_signal sim w =
+  match sim.policy with
+  | Signal | Cons | Half ->
+      if w.pending_signal_at >= 0 && w.pending_signal_at <= w.time then begin
+        w.pending_signal_at <- -1;
+        w.time <- w.time + sim.machine.signal_handle_cost;
+        ignore (expose sim w);
+        sim.signals_handled <- sim.signals_handled + 1
+      end
+  | Ws | Uslcws | Lace | Private_deques -> ()
+
+(* --- deque operations with cost accounting --------------------------- *)
+
+let push_task sim w task =
+  Pdq.push_bottom w.dq task;
+  (* The own deque is non-empty again: the next work search must probe it. *)
+  w.hunting <- false;
+  w.time <- w.time + sim.machine.plain_op_cost;
+  (match sim.policy with
+  | Ws ->
+      (* Chase-Lev push: release store of [bottom]; cheap, no fence. *)
+      w.public_count <- Pdq.size w.dq
+  | Signal | Cons | Half ->
+      (* New private work: allow fresh notifications (Section 4). *)
+      if w.targeted then w.targeted <- false
+  | Uslcws | Lace | Private_deques -> ());
+  ()
+
+let pop_own sim w =
+  match sim.policy with
+  | Ws ->
+      let was = Pdq.size w.dq in
+      if was = 0 then begin
+        (* Chase-Lev with the emptiness pre-check: no fence on an empty
+           owner pop (matches the real engine). *)
+        w.time <- w.time + sim.machine.plain_op_cost;
+        None
+      end
+      else begin
+        let r = Pdq.pop_bottom w.dq in
+        w.public_count <- Pdq.size w.dq;
+        (* Chase-Lev take: one seq-cst fence; CAS on the last item. *)
+        w.time <- w.time + sim.machine.fence_cost;
+        sim.fences <- sim.fences + 1;
+        if was = 1 then begin
+          w.time <- w.time + sim.machine.cas_cost;
+          sim.cas <- sim.cas + 1
+        end;
+        r
+      end
+  | Private_deques ->
+      boundary_exposure_check sim w;
+      let r = Pdq.pop_bottom w.dq in
+      w.time <- w.time + sim.machine.plain_op_cost;
+      r
+  | Uslcws | Signal | Cons | Half | Lace ->
+      if private_size w > 0 then begin
+        let r = Pdq.pop_bottom w.dq in
+        w.time <- w.time + sim.machine.plain_op_cost;
+        boundary_exposure_check sim w;
+        r
+      end
+      else if w.public_count > 0 then begin
+        match sim.policy with
+        | Lace ->
+            (* Unexpose: pull the split point back and take privately. *)
+            w.public_count <- w.public_count - 1;
+            let r = Pdq.pop_bottom w.dq in
+            w.time <- w.time + (2 * sim.machine.fence_cost) + sim.machine.cas_cost;
+            sim.fences <- sim.fences + 2;
+            sim.cas <- sim.cas + 1;
+            boundary_exposure_check sim w;
+            r
+        | Uslcws | Signal | Cons | Half ->
+            (* pop_public_bottom: two fences; CAS when racing the last
+               public task (Listing 2). *)
+            let last = w.public_count = 1 in
+            w.public_count <- w.public_count - 1;
+            let r = Pdq.pop_bottom w.dq in
+            w.time <- w.time + (2 * sim.machine.fence_cost);
+            sim.fences <- sim.fences + 2;
+            if last then begin
+              w.time <- w.time + sim.machine.cas_cost;
+              sim.cas <- sim.cas + 1
+            end;
+            sim.taken_back <- sim.taken_back + 1;
+            if w.targeted then w.targeted <- false;
+            r
+        | Ws | Private_deques -> assert false
+      end
+      else begin
+        if w.targeted then w.targeted <- false;
+        None
+      end
+
+(* One steal attempt; returns the stolen task if any. *)
+let try_steal sim w =
+  (match sim.policy, w.granted with
+  | Private_deques, Granted t ->
+      w.granted <- No_grant;
+      w.requested <- false;
+      Some t
+  | Private_deques, Denied ->
+      w.granted <- No_grant;
+      w.requested <- false;
+      None
+  | Private_deques, No_grant when w.requested ->
+      (* Wait for the response; the idle pause is charged by [acquire]. *)
+      None
+  | _, _ when sim.p < 2 -> None
+  | _, _ ->
+  let v = sim.workers.(Xoshiro.other_than w.rng ~bound:sim.p ~self:w.id) in
+  w.time <- w.time + sim.machine.steal_round_cost;
+  sim.steal_attempts <- sim.steal_attempts + 1;
+  match sim.policy with
+  | Ws ->
+      if Pdq.size v.dq > 0 then begin
+        w.time <- w.time + sim.machine.fence_cost + sim.machine.cas_cost;
+        sim.fences <- sim.fences + 1;
+        sim.cas <- sim.cas + 1;
+        let r = Pdq.pop_top v.dq in
+        v.public_count <- Pdq.size v.dq;
+        if r <> None then sim.steals <- sim.steals + 1;
+        r
+      end
+      else begin
+        w.time <- w.time + sim.machine.fence_cost;
+        sim.fences <- sim.fences + 1;
+        None
+      end
+  | Private_deques ->
+      if Pdq.size v.dq > 0 && v.steal_request < 0 then begin
+        v.steal_request <- w.id;
+        w.requested <- true;
+        w.time <- w.time + sim.machine.plain_op_cost
+      end;
+      None
+  | Uslcws | Signal | Cons | Half | Lace ->
+      if v.public_count > 0 then begin
+        w.time <- w.time + sim.machine.cas_cost;
+        sim.cas <- sim.cas + 1;
+        v.public_count <- v.public_count - 1;
+        let r = Pdq.pop_top v.dq in
+        sim.steals <- sim.steals + 1;
+        if v.targeted then v.targeted <- false;
+        r
+      end
+      else if Pdq.size v.dq > 0 then begin
+        (* PRIVATE_WORK: notify the victim. *)
+        (match sim.policy with
+        | Uslcws | Lace ->
+            v.targeted <- true;
+            w.time <- w.time + sim.machine.plain_op_cost;
+            sim.signals_sent <- sim.signals_sent + 1
+        | Signal | Half ->
+            if not v.targeted then begin
+              v.targeted <- true;
+              v.pending_signal_at <- w.time + sim.machine.signal_deliver_latency;
+              w.time <- w.time + sim.machine.signal_send_cost;
+              sim.signals_sent <- sim.signals_sent + 1
+            end
+        | Cons ->
+            if (not v.targeted) && private_size v >= 2 then begin
+              v.targeted <- true;
+              v.pending_signal_at <- w.time + sim.machine.signal_deliver_latency;
+              w.time <- w.time + sim.machine.signal_send_cost;
+              sim.signals_sent <- sim.signals_sent + 1
+            end
+        | Ws | Private_deques -> ());
+        None
+      end
+      else None)
+
+let start_task sim w (t : task) =
+  sim.tasks <- sim.tasks + 1;
+  w.hunting <- false;
+  w.time <- w.time + sim.machine.task_overhead;
+  w.stack <- Fdo t.tcomp :: Fend t.tcell :: w.stack
+
+(* Attempt to obtain work when idle or blocked on a join: own deque once,
+   then repeated steal attempts (Listing 1's [get_task] shape — the own
+   deque is not re-probed on every failed steal round). *)
+let acquire sim w =
+  let own = if w.hunting then None else pop_own sim w in
+  match own with
+  | Some t -> start_task sim w t
+  | None -> (
+      w.hunting <- true;
+      match try_steal sim w with
+      | Some t -> start_task sim w t
+      | None ->
+          (* Nothing found this round; the steal loop burns time. *)
+          let pause = max sim.machine.plain_op_cost (sim.machine.steal_round_cost / 4) in
+          w.time <- w.time + pause;
+          sim.idle_cycles <- sim.idle_cycles + pause)
+
+let pfor_leaf_work (p : Comp.pfor) =
+  let acc = ref 0 in
+  for i = p.lo to p.hi - 1 do
+    acc := !acc + p.leaf_cost i
+  done;
+  !acc
+
+let step sim w =
+  deliver_pending_signal sim w;
+  match w.stack with
+  | [] -> acquire sim w
+  | Fdo (Comp.Work c) :: rest ->
+      let q = min c sim.quantum in
+      w.time <- w.time + q;
+      sim.work_done <- sim.work_done + q;
+      if c > q then w.stack <- Fdo (Comp.Work (c - q)) :: rest else w.stack <- rest
+  | Fdo (Comp.Seq l) :: rest -> w.stack <- Fseq l :: rest
+  | Fdo (Comp.Fork (a, b)) :: rest ->
+      let cell = { cdone = false } in
+      push_task sim w { tcomp = b; tcell = cell };
+      w.stack <- Fdo a :: Fjoin cell :: rest
+  | Fdo (Comp.Pfor p) :: rest ->
+      if p.hi - p.lo <= p.grain then w.stack <- Fdo (Comp.Work (pfor_leaf_work p)) :: rest
+      else begin
+        let mid = p.lo + ((p.hi - p.lo) / 2) in
+        let cell = { cdone = false } in
+        push_task sim w { tcomp = Comp.Pfor { p with lo = mid }; tcell = cell };
+        w.stack <- Fdo (Comp.Pfor { p with hi = mid }) :: Fjoin cell :: rest
+      end
+  | Fseq [] :: rest -> w.stack <- rest
+  | Fseq (c :: cs) :: rest -> w.stack <- Fdo c :: Fseq cs :: rest
+  | Fend cell :: rest ->
+      cell.cdone <- true;
+      w.time <- w.time + sim.machine.task_overhead;
+      w.stack <- rest;
+      boundary_exposure_check sim w
+  | Fjoin cell :: rest -> if cell.cdone then w.stack <- rest else acquire sim w
+
+let run ~machine ~policy ~p ?(seed = 7L) ?(quantum = 200) comp =
+  if p < 1 then invalid_arg "Engine.run";
+  let root_rng = Xoshiro.create seed in
+  let workers =
+    Array.init p (fun id ->
+        {
+          id;
+          time = 0;
+          dq = Pdq.create ~capacity:(1 lsl 16) ~dummy:dummy_task ();
+          public_count = 0;
+          stack = [];
+          targeted = false;
+          pending_signal_at = -1;
+          steal_request = -1;
+          granted = No_grant;
+          requested = false;
+          hunting = false;
+          rng = Xoshiro.split root_rng id;
+        })
+  in
+  let sim =
+    {
+      machine;
+      policy;
+      p;
+      workers;
+      quantum = max 1 quantum;
+      fences = 0;
+      cas = 0;
+      steal_attempts = 0;
+      steals = 0;
+      exposed = 0;
+      taken_back = 0;
+      signals_sent = 0;
+      signals_handled = 0;
+      tasks = 0;
+      idle_cycles = 0;
+      work_done = 0;
+    }
+  in
+  let root = { cdone = false } in
+  workers.(0).stack <- [ Fdo comp; Fend root ];
+  let makespan = ref 0 in
+  let guard = ref 0 in
+  let max_steps = 2_000_000_000 in
+  while not root.cdone do
+    incr guard;
+    if !guard > max_steps then failwith "Engine.run: step budget exceeded (livelock?)";
+    (* Advance the worker with the smallest local clock (deterministic;
+       ties broken by id). *)
+    let w = ref workers.(0) in
+    for i = 1 to p - 1 do
+      if workers.(i).time < !w.time then w := workers.(i)
+    done;
+    step sim !w;
+    if root.cdone then makespan := !w.time
+  done;
+  {
+    makespan = !makespan;
+    total_work = sim.work_done;
+    fences = sim.fences;
+    cas = sim.cas;
+    steal_attempts = sim.steal_attempts;
+    steals = sim.steals;
+    exposed = sim.exposed;
+    taken_back = sim.taken_back;
+    signals_sent = sim.signals_sent;
+    signals_handled = sim.signals_handled;
+    tasks = sim.tasks;
+    idle_cycles = sim.idle_cycles;
+  }

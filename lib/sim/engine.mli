@@ -1,0 +1,51 @@
+(** Deterministic discrete-event simulator of the five schedulers (plus
+    two related-work policies) over a machine cost model.
+
+    Each of [p] virtual workers owns a deque and a local clock; the
+    engine always advances the worker with the smallest clock, so runs
+    are deterministic given the seed. Scheduling behaviour — work-first
+    forks, helping joins, split-deque exposure, targeted flags, signal
+    latency — mirrors {!Lcws_sched.Scheduler} exactly; every
+    synchronization operation advances the acting worker's clock by its
+    cost in the {!Cost_model}. Speedups for Figures 4–7 are ratios of
+    [makespan]s. *)
+
+type policy =
+  | Ws  (** Chase-Lev work stealing (baseline) *)
+  | Uslcws  (** user-space LCWS, Section 3 *)
+  | Signal  (** signal-based LCWS, Section 4 *)
+  | Cons  (** Conservative Exposure, Section 4.1.1 *)
+  | Half  (** Expose Half, Section 4.1.2 *)
+  | Lace  (** split deque with unexposure, polled at task boundaries *)
+  | Private_deques  (** Acar et al.: explicit transfer requests *)
+
+val policy_name : policy -> string
+
+val policy_of_string : string -> policy option
+
+(** The paper's five (for the figures). *)
+val paper_policies : policy list
+
+type stats = {
+  makespan : int;  (** cycles until the root computation completed *)
+  total_work : int;  (** leaf cycles actually executed *)
+  fences : int;
+  cas : int;
+  steal_attempts : int;
+  steals : int;  (** successful *)
+  exposed : int;  (** tasks transferred to public deque parts *)
+  taken_back : int;  (** exposed tasks re-acquired by their owner *)
+  signals_sent : int;
+  signals_handled : int;
+  tasks : int;  (** tasks executed (forked units) *)
+  idle_cycles : int;  (** cycles spent in failed steal rounds *)
+}
+
+(** [exposed - steals], clamped at 0 — the "exposed but not stolen"
+    quantity of Figures 3d and 8d. *)
+val exposed_not_stolen : stats -> int
+
+(** [run ~machine ~policy ~p ~seed comp] simulates [comp] on [p] workers.
+    Worker 0 starts with the root; others steal. Deterministic. *)
+val run :
+  machine:Cost_model.t -> policy:policy -> p:int -> ?seed:int64 -> ?quantum:int -> Comp.t -> stats

@@ -1,0 +1,378 @@
+module C = Comp
+
+type config = { bench : string; instance : string; build : scale:float -> C.t }
+
+let sc ~scale n = max 1 (int_of_float (scale *. float_of_int n))
+
+(* Parlay's automatic granularity control sizes leaf tasks so scheduling
+   overhead stays a small constant fraction of leaf work; we mirror that
+   with a fixed leaf-duration target. This also sets the task-boundary
+   interval that bounds USLCWS's exposure latency (Section 3.3: "task
+   duration is not bounded" is modelled by the coarse [Work] tails some
+   configs add explicitly). *)
+let target_leaf_cycles = 5_000
+
+let grain_for ~cost = max 1 (target_leaf_cycles / max 1 cost)
+
+(* Deterministic per-index jitter so leaf costs are not perfectly uniform
+   (real benchmarks never are). Allocation-free: this runs once per loop
+   iteration inside the simulator's hot path. *)
+let jitter seed i base spread =
+  let h = (i * 0x9E3779B9) + (seed * 0x85EBCA6B) in
+  let h = h lxor (h lsr 16) in
+  let h = h * 0x45D9F3B land max_int in
+  let h = h lxor (h lsr 13) in
+  base + (h mod max 1 spread)
+
+(* A data-parallel loop over [n] items with per-item cost around [cost]
+   (+- half, jittered), chunked Parlay-style. *)
+let loop ?(seed = 1) ~n ~cost () =
+  C.pfor ~grain:(grain_for ~cost) ~n (fun i -> jitter seed i cost (max 1 (cost / 2)))
+
+(* Divide-and-conquer with merge work at every level — the shape of
+   comparison sorts (and the sort phases of derived benchmarks).
+   [elem] = per-element leaf cost, [merge] = per-element merge cost. *)
+let rec sort_shape ~n ~elem ~merge =
+  let base = grain_for ~cost:elem in
+  if n <= base then C.Work (n * elem)
+  else begin
+    let half = n / 2 in
+    C.Seq
+      [
+        C.Fork (sort_shape ~n:half ~elem ~merge, sort_shape ~n:(n - half) ~elem ~merge);
+        C.Work (n * merge);
+      ]
+  end
+
+(* Unbalanced divide and conquer (quickhull, decision trees): children get
+   [frac] and ~0.8*(1-frac) of the points; a partition pass resolves at
+   this level. *)
+let rec skewed_dnc ~n ~node_cost ~frac seed =
+  let cutoff = grain_for ~cost:node_cost * 2 in
+  if n <= cutoff then C.Work (n * node_cost)
+  else begin
+    let left = max 1 (int_of_float (frac *. float_of_int n)) in
+    let right = max 1 (int_of_float ((1. -. frac) *. float_of_int n *. 0.8)) in
+    C.Seq
+      [
+        C.Work (n * node_cost / 4);
+        C.Fork
+          ( skewed_dnc ~n:left ~node_cost ~frac (seed + 1),
+            skewed_dnc ~n:right ~node_cost ~frac (seed + 2) );
+      ]
+  end
+
+(* Rounds of shrinking parallel loops (MIS, matching: active set decays
+   geometrically). *)
+let shrinking_rounds ~n ~cost ~decay ~min_n =
+  let rec rounds n acc seed =
+    if n < min_n then List.rev acc
+    else
+      rounds
+        (int_of_float (float_of_int n *. decay))
+        (loop ~seed ~n ~cost () :: acc)
+        (seed + 1)
+  in
+  C.Seq (rounds n [] 5)
+
+(* BFS layer profiles. *)
+let layered ~widths ~cost =
+  C.Seq (List.mapi (fun i w -> loop ~seed:(11 + i) ~n:w ~cost ()) widths)
+
+let rmat_widths n =
+  (* Power-law-ish ramp to a wide middle then a long tail. *)
+  let rec ramp w acc = if w >= n / 3 then List.rev ((n / 3) :: acc) else ramp (w * 8) (w :: acc) in
+  let up = ramp 1 [] in
+  let down = [ n / 6; n / 20; n / 100; n / 500 ] in
+  List.filter (fun w -> w > 0) (up @ down)
+
+let all =
+  [
+    (* ------------------------------------------------ integerSort *)
+    {
+      bench = "integerSort";
+      instance = "randomSeq_int";
+      build =
+        (fun ~scale ->
+          let n = sc ~scale 400_000 in
+          let pass = C.Seq [ loop ~seed:21 ~n ~cost:4 (); loop ~seed:22 ~n ~cost:6 () ] in
+          C.Seq [ pass; pass; pass ]);
+    };
+    {
+      bench = "integerSort";
+      instance = "exptSeq_int";
+      build =
+        (fun ~scale ->
+          let n = sc ~scale 400_000 in
+          (* Skewed digit distribution: scatter cost varies more. *)
+          let pass = C.Seq [ loop ~seed:23 ~n ~cost:3 (); loop ~seed:24 ~n ~cost:8 () ] in
+          C.Seq [ pass; pass; pass ]);
+    };
+    (* --------------------------------------------- comparisonSort *)
+    {
+      bench = "comparisonSort";
+      instance = "randomSeq_double";
+      build = (fun ~scale -> sort_shape ~n:(sc ~scale 300_000) ~elem:10 ~merge:5);
+    };
+    {
+      bench = "comparisonSort";
+      instance = "almostSortedSeq_double";
+      build = (fun ~scale -> sort_shape ~n:(sc ~scale 300_000) ~elem:7 ~merge:4);
+    };
+    {
+      bench = "comparisonSort";
+      instance = "trigramSeq_string";
+      build = (fun ~scale -> sort_shape ~n:(sc ~scale 200_000) ~elem:25 ~merge:12);
+    };
+    (* -------------------------------------------------- histogram *)
+    {
+      bench = "histogram";
+      instance = "randomSeq_100K_int";
+      build =
+        (fun ~scale ->
+          let n = sc ~scale 800_000 in
+          C.Seq [ loop ~seed:31 ~n ~cost:3 (); loop ~seed:32 ~n:(sc ~scale 100_000) ~cost:4 () ]);
+    };
+    {
+      bench = "histogram";
+      instance = "randomSeq_256_int";
+      build =
+        (fun ~scale ->
+          let n = sc ~scale 800_000 in
+          C.Seq [ loop ~seed:33 ~n ~cost:3 (); loop ~seed:34 ~n:256 ~cost:60 () ]);
+    };
+    (* ------------------------------------------------- wordCounts *)
+    {
+      bench = "wordCounts";
+      instance = "trigramSeq_small_vocab";
+      build =
+        (fun ~scale ->
+          let words = sc ~scale 250_000 in
+          C.Seq
+            [
+              loop ~seed:41 ~n:words ~cost:12 ();
+              sort_shape ~n:words ~elem:8 ~merge:5;
+              loop ~seed:42 ~n:words ~cost:3 ();
+            ]);
+    };
+    {
+      bench = "wordCounts";
+      instance = "trigramSeq_large_vocab";
+      build =
+        (fun ~scale ->
+          let words = sc ~scale 250_000 in
+          C.Seq
+            [
+              loop ~seed:43 ~n:words ~cost:14 ();
+              sort_shape ~n:words ~elem:9 ~merge:6;
+              loop ~seed:44 ~n:(words / 2) ~cost:5 ();
+            ]);
+    };
+    (* ---------------------------------------------- invertedIndex *)
+    {
+      bench = "invertedIndex";
+      instance = "wikipedia_like_200docs";
+      build =
+        (fun ~scale ->
+          let docs = 200 in
+          let words = sc ~scale 300_000 in
+          C.Seq
+            [
+              (* Zipf-skewed per-document work: a few huge documents make
+                 long sequential tasks (the exposure-latency stress). *)
+              C.pfor ~grain:1 ~n:docs (fun d -> ((words / docs) * 8) + (words * 4 / (d + 2)));
+              sort_shape ~n:words ~elem:8 ~merge:5;
+            ]);
+    };
+    (* ------------------------------------------- removeDuplicates *)
+    {
+      bench = "removeDuplicates";
+      instance = "randomSeq_int";
+      build =
+        (fun ~scale ->
+          let n = sc ~scale 300_000 in
+          C.Seq [ sort_shape ~n ~elem:9 ~merge:5; loop ~seed:51 ~n ~cost:3 () ]);
+    };
+    (* ----------------------------------------------- suffixArray *)
+    {
+      bench = "suffixArray";
+      instance = "trigramString";
+      build =
+        (fun ~scale ->
+          let n = sc ~scale 120_000 in
+          let round = C.Seq [ sort_shape ~n ~elem:9 ~merge:5; loop ~seed:52 ~n ~cost:4 () ] in
+          C.Seq (List.init 10 (fun _ -> round)));
+    };
+    (* ------------------------------------------ breadthFirstSearch *)
+    {
+      bench = "breadthFirstSearch";
+      instance = "rMatGraph_J";
+      build =
+        (fun ~scale ->
+          let n = sc ~scale 500_000 in
+          layered ~widths:(rmat_widths n) ~cost:120);
+    };
+    {
+      bench = "breadthFirstSearch";
+      instance = "gridGraph_2D";
+      build =
+        (fun ~scale ->
+          (* Fixed diameter, frontiers scale: many medium rounds. *)
+          let width = sc ~scale 6_000 in
+          C.Seq (List.init 300 (fun i -> loop ~seed:(61 + i) ~n:width ~cost:90 ())));
+    };
+    {
+      bench = "breadthFirstSearch";
+      instance = "3Dgrid_J";
+      build =
+        (fun ~scale ->
+          let peak = sc ~scale 20_000 in
+          C.Seq
+            (List.init 160 (fun r ->
+                 let w = max 64 (min peak ((r + 1) * peak / 40)) in
+                 loop ~seed:(71 + r) ~n:w ~cost:100 ())));
+    };
+    (* ------------------------------------- maximalIndependentSet *)
+    {
+      bench = "maximalIndependentSet";
+      instance = "rMatGraph_J";
+      build = (fun ~scale -> shrinking_rounds ~n:(sc ~scale 600_000) ~cost:60 ~decay:0.45 ~min_n:256);
+    };
+    (* ------------------------------------------- maximalMatching *)
+    {
+      bench = "maximalMatching";
+      instance = "rMatGraph_E";
+      build = (fun ~scale -> shrinking_rounds ~n:(sc ~scale 700_000) ~cost:45 ~decay:0.5 ~min_n:256);
+    };
+    (* -------------------------------------------- spanningForest *)
+    {
+      bench = "spanningForest";
+      instance = "rMatGraph_E";
+      build =
+        (fun ~scale ->
+          let m = sc ~scale 400_000 in
+          C.Seq
+            [
+              sort_shape ~n:m ~elem:8 ~merge:5;
+              (* Sequential union-find tail: a long serial task — the case
+                 where timely exposure matters most (cf. Lace discussion). *)
+              C.Work (m * 6);
+            ]);
+    };
+    (* ----------------------------------------------- convexHull *)
+    {
+      bench = "convexHull";
+      instance = "2DinSphere";
+      build = (fun ~scale -> skewed_dnc ~n:(sc ~scale 900_000) ~node_cost:7 ~frac:0.4 1);
+    };
+    {
+      bench = "convexHull";
+      instance = "2Dkuzmin";
+      build = (fun ~scale -> skewed_dnc ~n:(sc ~scale 900_000) ~node_cost:7 ~frac:0.15 2);
+    };
+    (* ------------------------------------------ nearestNeighbors *)
+    {
+      bench = "nearestNeighbors";
+      instance = "2DinCube";
+      build =
+        (fun ~scale ->
+          let n = sc ~scale 200_000 in
+          C.Seq [ sort_shape ~n ~elem:9 ~merge:5; loop ~seed:81 ~n ~cost:150 () ]);
+    };
+    (* ------------------------------------------------------ nBody *)
+    {
+      bench = "nBody";
+      instance = "3DonSphere";
+      build =
+        (fun ~scale ->
+          let n = sc ~scale 60_000 in
+          C.Seq [ sort_shape ~n ~elem:10 ~merge:6; loop ~seed:82 ~n ~cost:900 () ]);
+    };
+    (* ---------------------------------------------------- rayCast *)
+    {
+      bench = "rayCast";
+      instance = "happy_like_tris";
+      build = (fun ~scale -> loop ~seed:83 ~n:(sc ~scale 50_000) ~cost:1100 ());
+    };
+    (* ----------------------------------- longestRepeatedSubstring *)
+    {
+      bench = "longestRepeatedSubstring";
+      instance = "trigramString";
+      build =
+        (fun ~scale ->
+          let n = sc ~scale 80_000 in
+          let sa_round = C.Seq [ sort_shape ~n ~elem:9 ~merge:5; loop ~seed:101 ~n ~cost:4 () ] in
+          C.Seq
+            (List.init 9 (fun _ -> sa_round)
+            @ [ C.Work (n * 8) (* Kasai: sequential LCP pass *); loop ~seed:102 ~n ~cost:2 () ]));
+    };
+    (* ---------------------------------------------------- BWTransform *)
+    {
+      bench = "BWTransform";
+      instance = "trigramString";
+      build =
+        (fun ~scale ->
+          let n = sc ~scale 80_000 in
+          let sa_round = C.Seq [ sort_shape ~n ~elem:9 ~merge:5; loop ~seed:103 ~n ~cost:4 () ] in
+          C.Seq (List.init 9 (fun _ -> sa_round) @ [ loop ~seed:104 ~n ~cost:3 () ]));
+    };
+    (* --------------------------------------------------- rangeQuery2d *)
+    {
+      bench = "rangeQuery2d";
+      instance = "2DinCube";
+      build =
+        (fun ~scale ->
+          let n = sc ~scale 150_000 in
+          let merge_levels =
+            List.init 12 (fun l -> loop ~seed:(105 + l) ~n ~cost:4 ())
+          in
+          C.Seq
+            ([ sort_shape ~n ~elem:9 ~merge:5 ] @ merge_levels
+            @ [ loop ~seed:120 ~n:(sc ~scale 15_000) ~cost:600 () ]));
+    };
+    (* ------------------------------------------ delaunayTriangulation *)
+    {
+      bench = "delaunayTriangulation";
+      instance = "2DinCube";
+      build =
+        (fun ~scale ->
+          (* Incremental rounds: a parallel cavity filter over a growing
+             triangle set, then a small sequential retriangulation. *)
+          let n = sc ~scale 700 in
+          C.Seq
+            (List.init n (fun i ->
+                 let live = max 16 (2 * i) in
+                 C.Seq
+                   [
+                     C.pfor ~grain:(grain_for ~cost:8) ~n:live (fun j -> jitter (131 + i) j 8 6);
+                     C.Work 600 (* cavity retriangulation, sequential *);
+                   ])));
+    };
+    (* --------------------------------------------------- classify *)
+    {
+      bench = "classify";
+      instance = "covtype_like";
+      build =
+        (fun ~scale ->
+          let n = sc ~scale 250_000 in
+          (* Deep, unbalanced tree growth: per node a burst of candidate
+             scoring loops over a shrinking row set, then recurse. The
+             many small tasks make it the steal-heaviest configuration
+             (the paper's worst case for signal-based LCWS). *)
+          let rec grow rows depth seed =
+            if rows < 4096 || depth >= 8 then C.Work (rows * 4)
+            else begin
+              let score = C.pfor ~grain:1 ~n:40 (fun i -> jitter seed i (rows / 24) (rows / 48)) in
+              let left = rows * 3 / 10 and right = rows * 7 / 10 in
+              C.Seq
+                [ score; C.Fork (grow left (depth + 1) (seed + 1), grow right (depth + 1) (seed + 2)) ]
+            end
+          in
+          grow n 0 91);
+    };
+  ]
+
+let find ~bench ~instance =
+  List.find_opt (fun c -> c.bench = bench && c.instance = instance) all
+
+let names = List.map (fun c -> (c.bench, c.instance)) all

@@ -1,0 +1,29 @@
+(** Simulator workload models — one fork-join DAG per PBBS
+    〈benchmark, input instance〉 configuration.
+
+    Each model reproduces the *shape* that drives scheduling behaviour:
+    task granularity, balance, recursion profile, sequential phases and
+    skew. Leaf costs are in cycles of the simulated machines, calibrated
+    so that fence costs are a few percent of leaf work (the regime the
+    paper's Figure 5 gains live in). [scale] multiplies problem sizes. *)
+
+type config = {
+  bench : string;
+  instance : string;
+  build : scale:float -> Comp.t;
+}
+
+(** Parlay-style granularity control targets a roughly constant leaf
+    *duration*; [grain_for ~cost] is the iteration count that makes a
+    leaf of per-iteration cost [cost] last about [target_leaf_cycles]. *)
+val grain_for : cost:int -> int
+
+val target_leaf_cycles : int
+
+(** All configurations (the "all input instances of all benchmarks" set
+    the paper sweeps). *)
+val all : config list
+
+val find : bench:string -> instance:string -> config option
+
+val names : (string * string) list

@@ -1,0 +1,18 @@
+(** Truncated exponential backoff for contended retry loops.
+
+    Thieves that repeatedly fail to steal spin with growing pauses to avoid
+    hammering victims' cache lines; this mirrors the backoff Parlay's
+    scheduler applies in its steal loop. *)
+
+type t
+
+(** [create ?min_wait ?max_wait ()] — waits are in [Domain.cpu_relax]
+    iterations, doubling from [min_wait] (default 1) to [max_wait]
+    (default 256). *)
+val create : ?min_wait:int -> ?max_wait:int -> unit -> t
+
+(** Spin for the current wait and double it (saturating). *)
+val once : t -> unit
+
+(** Reset the wait to the minimum (call after a successful operation). *)
+val reset : t -> unit

@@ -1,0 +1,30 @@
+let magic = 6755399441055744.0 (* 2^52 + 2^51 *)
+
+let double2int r =
+  let bits = Int64.bits_of_float (r +. magic) in
+  (* The rounded value sits in the low 32 bits of the mantissa, as a signed
+     32-bit integer (the C trick reinterprets the low word). *)
+  Int64.to_int (Int64.of_int32 (Int64.to_int32 bits))
+
+let round_half r =
+  if r < 0 then invalid_arg "Fastmath.round_half";
+  (r + 1) lsr 1
+
+let next_pow2 n =
+  if n < 1 then invalid_arg "Fastmath.next_pow2";
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let log2_floor n =
+  if n < 1 then invalid_arg "Fastmath.log2_floor";
+  let rec go acc n = if n = 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let log2_ceil n =
+  if n < 1 then invalid_arg "Fastmath.log2_ceil";
+  let f = log2_floor n in
+  if 1 lsl f = n then f else f + 1
+
+let ceil_div a b =
+  if b <= 0 then invalid_arg "Fastmath.ceil_div";
+  (a + b - 1) / b

@@ -1,0 +1,27 @@
+(** Small arithmetic helpers used throughout the runtime.
+
+    Includes an OCaml port of the paper's [double2int] rounding trick
+    (Section 4.1.2, borrowed from Lua's [lua_number2int]): adding the magic
+    constant 2^52 + 2^51 to a double forces the rounded integer into the
+    low mantissa bits, avoiding a slow [round]/[int_of_float] pair. *)
+
+(** [double2int r] rounds [r] to the nearest integer (ties to even, like
+    the hardware rounding the trick exploits). Valid for |r| < 2^31. *)
+val double2int : float -> int
+
+(** [round_half r] is [round(r / 2)] for a non-negative task count [r] —
+    the quantity the Expose Half variant transfers. Implemented without
+    floating point ([r+1 lsr 1], i.e. round-half-up). *)
+val round_half : int -> int
+
+(** Smallest power of two [>= n] (n >= 1). *)
+val next_pow2 : int -> int
+
+(** Floor of log2 (n >= 1). *)
+val log2_floor : int -> int
+
+(** Ceiling of log2 (n >= 1). *)
+val log2_ceil : int -> int
+
+(** [ceil_div a b] with [b > 0]. *)
+val ceil_div : int -> int -> int

@@ -1,0 +1,96 @@
+type t = {
+  mutable fences : int;
+  mutable cas_ops : int;
+  mutable cas_failures : int;
+  mutable pushes : int;
+  mutable pops : int;
+  mutable public_pops : int;
+  mutable steal_attempts : int;
+  mutable steals : int;
+  mutable aborts : int;
+  mutable private_work_hits : int;
+  mutable exposures : int;
+  mutable exposed_tasks : int;
+  mutable signals_sent : int;
+  mutable signals_handled : int;
+  mutable idle_loops : int;
+  mutable tasks_run : int;
+}
+
+let create () =
+  {
+    fences = 0;
+    cas_ops = 0;
+    cas_failures = 0;
+    pushes = 0;
+    pops = 0;
+    public_pops = 0;
+    steal_attempts = 0;
+    steals = 0;
+    aborts = 0;
+    private_work_hits = 0;
+    exposures = 0;
+    exposed_tasks = 0;
+    signals_sent = 0;
+    signals_handled = 0;
+    idle_loops = 0;
+    tasks_run = 0;
+  }
+
+let reset t =
+  t.fences <- 0;
+  t.cas_ops <- 0;
+  t.cas_failures <- 0;
+  t.pushes <- 0;
+  t.pops <- 0;
+  t.public_pops <- 0;
+  t.steal_attempts <- 0;
+  t.steals <- 0;
+  t.aborts <- 0;
+  t.private_work_hits <- 0;
+  t.exposures <- 0;
+  t.exposed_tasks <- 0;
+  t.signals_sent <- 0;
+  t.signals_handled <- 0;
+  t.idle_loops <- 0;
+  t.tasks_run <- 0
+
+let copy t = { t with fences = t.fences }
+
+let add into x =
+  into.fences <- into.fences + x.fences;
+  into.cas_ops <- into.cas_ops + x.cas_ops;
+  into.cas_failures <- into.cas_failures + x.cas_failures;
+  into.pushes <- into.pushes + x.pushes;
+  into.pops <- into.pops + x.pops;
+  into.public_pops <- into.public_pops + x.public_pops;
+  into.steal_attempts <- into.steal_attempts + x.steal_attempts;
+  into.steals <- into.steals + x.steals;
+  into.aborts <- into.aborts + x.aborts;
+  into.private_work_hits <- into.private_work_hits + x.private_work_hits;
+  into.exposures <- into.exposures + x.exposures;
+  into.exposed_tasks <- into.exposed_tasks + x.exposed_tasks;
+  into.signals_sent <- into.signals_sent + x.signals_sent;
+  into.signals_handled <- into.signals_handled + x.signals_handled;
+  into.idle_loops <- into.idle_loops + x.idle_loops;
+  into.tasks_run <- into.tasks_run + x.tasks_run
+
+let sum arr =
+  let acc = create () in
+  Array.iter (fun x -> add acc x) arr;
+  acc
+
+let exposed_not_stolen t =
+  let n = t.exposed_tasks - t.steals in
+  if n < 0 then 0 else n
+
+let ratio num den = if den = 0 then 0. else float_of_int num /. float_of_int den
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>fences=%d cas=%d (fail %d)@ pushes=%d pops=%d public_pops=%d@ \
+     steal_attempts=%d steals=%d aborts=%d private_hits=%d@ exposures=%d \
+     exposed=%d signals=%d/%d idle=%d tasks=%d@]"
+    t.fences t.cas_ops t.cas_failures t.pushes t.pops t.public_pops
+    t.steal_attempts t.steals t.aborts t.private_work_hits t.exposures
+    t.exposed_tasks t.signals_sent t.signals_handled t.idle_loops t.tasks_run

@@ -1,0 +1,48 @@
+(** Per-worker synchronization-operation counters.
+
+    The evaluation of the paper profiles schedulers by the number of memory
+    fences, compare-and-swap operations, steal attempts and work exposures
+    they execute (Figures 3 and 8). Each worker owns one [t]; all fields are
+    plain (non-atomic) and must only ever be written by that worker, so
+    counting adds no synchronization of its own. *)
+
+type t = {
+  mutable fences : int;  (** memory fences executed (seq-cst fences) *)
+  mutable cas_ops : int;  (** compare-and-swap instructions executed *)
+  mutable cas_failures : int;  (** CASes that lost a race *)
+  mutable pushes : int;  (** [push_bottom] calls *)
+  mutable pops : int;  (** successful private [pop_bottom]s *)
+  mutable public_pops : int;  (** successful owner [pop_public_bottom]s *)
+  mutable steal_attempts : int;  (** thief [pop_top] calls *)
+  mutable steals : int;  (** successful steals *)
+  mutable aborts : int;  (** [pop_top] CAS races lost *)
+  mutable private_work_hits : int;  (** [pop_top] returned [Private_work] *)
+  mutable exposures : int;  (** [update_public_bottom] transfers *)
+  mutable exposed_tasks : int;  (** tasks made public in total *)
+  mutable signals_sent : int;  (** notification signals sent by thieves *)
+  mutable signals_handled : int;  (** signals acted upon by victims *)
+  mutable idle_loops : int;  (** scheduling-loop iterations without work *)
+  mutable tasks_run : int;  (** tasks executed *)
+}
+
+val create : unit -> t
+
+val reset : t -> unit
+
+val copy : t -> t
+
+(** [add into x] accumulates [x] into [into]. *)
+val add : t -> t -> unit
+
+(** Sum of an array of per-worker counters (e.g. a whole pool). *)
+val sum : t array -> t
+
+(** [exposed_not_stolen t] is the number of tasks that were transferred to
+    the public part of a deque but ended up taken back by their owner —
+    the quantity plotted in Figures 3d and 8d. *)
+val exposed_not_stolen : t -> int
+
+(** [ratio num den] is [num / den] as a float, 0 when [den = 0]. *)
+val ratio : int -> int -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,27 @@
+(** Deterministic per-worker pseudo-random number generators.
+
+    Work stealing picks victims uniformly at random; reproducible
+    experiments need each worker to own an independent, seedable stream.
+    This is xoshiro256** seeded through splitmix64, as used by many
+    work-stealing runtimes. *)
+
+type t
+
+(** [create seed] builds a generator; equal seeds give equal streams. *)
+val create : int64 -> t
+
+(** [split t i] derives an independent stream for worker [i]. *)
+val split : t -> int -> t
+
+(** Next raw 64-bit value. *)
+val next : t -> int64
+
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+val int : t -> int -> int
+
+(** [float t] is uniform in [\[0, 1)]. *)
+val float : t -> float
+
+(** [other_than t ~bound ~self] is uniform over [\[0,bound) \ {self}];
+    used for victim selection. Requires [bound >= 2]. *)
+val other_than : t -> bound:int -> self:int -> int

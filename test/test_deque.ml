@@ -1,0 +1,456 @@
+(* Sequential semantics of the four deques, including the paper-specific
+   behaviours: the split deque's exposure policies, the Section 4
+   decrement-first pop and its repair in pop_public_bottom, fence/CAS
+   accounting, and a qcheck model-based test against a reference deque. *)
+
+open Lcws
+open Lcws.Deque_intf
+
+let check = Alcotest.check
+
+let qtest ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+
+let mk_split ?(cap = 64) () =
+  let m = Metrics.create () in
+  (Split_deque.create ~capacity:cap ~dummy:(-1) ~metrics:m (), m)
+
+let mk_cl ?(cap = 64) () =
+  let m = Metrics.create () in
+  (Chase_lev.create ~capacity:cap ~dummy:(-1) ~metrics:m (), m)
+
+(* --- split deque: basics --------------------------------------------- *)
+
+let test_split_lifo () =
+  let d, _ = mk_split () in
+  Split_deque.push_bottom d 1;
+  Split_deque.push_bottom d 2;
+  Split_deque.push_bottom d 3;
+  check Alcotest.(option int) "pop 3" (Some 3) (Split_deque.pop_bottom d);
+  check Alcotest.(option int) "pop 2" (Some 2) (Split_deque.pop_bottom d);
+  check Alcotest.(option int) "pop 1" (Some 1) (Split_deque.pop_bottom d);
+  check Alcotest.(option int) "empty" None (Split_deque.pop_bottom d)
+
+let test_split_private_ops_fence_free () =
+  let d, m = mk_split () in
+  for i = 0 to 19 do
+    Split_deque.push_bottom d i
+  done;
+  for _ = 0 to 19 do
+    ignore (Split_deque.pop_bottom d)
+  done;
+  check Alcotest.int "no fences for private ops" 0 m.Metrics.fences;
+  check Alcotest.int "no CAS for private ops" 0 m.Metrics.cas_ops
+
+let test_split_expose_one () =
+  let d, m = mk_split () in
+  Split_deque.push_bottom d 10;
+  Split_deque.push_bottom d 11;
+  let n = Split_deque.update_public_bottom d ~policy:Split_deque.Expose_one in
+  check Alcotest.int "exposed one" 1 n;
+  check Alcotest.int "public size" 1 (Split_deque.public_size d);
+  check Alcotest.int "private size" 1 (Split_deque.private_size d);
+  check Alcotest.int "metrics exposed" 1 m.Metrics.exposed_tasks
+
+let test_split_expose_conservative () =
+  let d, _ = mk_split () in
+  Split_deque.push_bottom d 1;
+  (* Only one private task: conservative refuses. *)
+  check Alcotest.int "refused" 0
+    (Split_deque.update_public_bottom d ~policy:Split_deque.Expose_conservative);
+  Split_deque.push_bottom d 2;
+  check Alcotest.int "accepted" 1
+    (Split_deque.update_public_bottom d ~policy:Split_deque.Expose_conservative)
+
+let test_split_expose_half () =
+  let d, _ = mk_split () in
+  (* r = 7 private tasks: round(7/2) = 4 (round-half-up of 3.5). *)
+  for i = 0 to 6 do
+    Split_deque.push_bottom d i
+  done;
+  check Alcotest.int "half of 7" 4 (Split_deque.update_public_bottom d ~policy:Split_deque.Expose_half);
+  (* r = 2 remaining (< 3): exposes one. *)
+  let d2, _ = mk_split () in
+  Split_deque.push_bottom d2 0;
+  Split_deque.push_bottom d2 1;
+  check Alcotest.int "r=2 exposes one" 1
+    (Split_deque.update_public_bottom d2 ~policy:Split_deque.Expose_half);
+  let d3, _ = mk_split () in
+  check Alcotest.int "empty exposes none" 0
+    (Split_deque.update_public_bottom d3 ~policy:Split_deque.Expose_half)
+
+let test_split_pop_top () =
+  let d, _ = mk_split () in
+  let thief = Metrics.create () in
+  check
+    Alcotest.(testable (pp_steal_result Format.pp_print_int) ( = ))
+    "empty deque" Empty
+    (Split_deque.pop_top d ~metrics:thief);
+  Split_deque.push_bottom d 7;
+  check
+    Alcotest.(testable (pp_steal_result Format.pp_print_int) ( = ))
+    "private work" Private_work
+    (Split_deque.pop_top d ~metrics:thief);
+  ignore (Split_deque.update_public_bottom d ~policy:Split_deque.Expose_one);
+  check
+    Alcotest.(testable (pp_steal_result Format.pp_print_int) ( = ))
+    "stolen" (Stolen 7)
+    (Split_deque.pop_top d ~metrics:thief);
+  check Alcotest.int "thief cas" 1 thief.Metrics.cas_ops;
+  check Alcotest.int "thief steals" 1 thief.Metrics.steals;
+  check Alcotest.int "private hits" 1 thief.Metrics.private_work_hits
+
+let test_split_pop_public_bottom () =
+  let d, m = mk_split () in
+  Split_deque.push_bottom d 1;
+  Split_deque.push_bottom d 2;
+  ignore (Split_deque.update_public_bottom d ~policy:Split_deque.Expose_one);
+  ignore (Split_deque.update_public_bottom d ~policy:Split_deque.Expose_one);
+  (* Both tasks public now; private empty. Owner takes from public bottom
+     in LIFO-ish order (bottom of public part = most recent). *)
+  check Alcotest.(option int) "public bottom" (Some 2) (Split_deque.pop_public_bottom d);
+  check Alcotest.(option int) "last public (CAS path)" (Some 1) (Split_deque.pop_public_bottom d);
+  check Alcotest.(option int) "now empty" None (Split_deque.pop_public_bottom d);
+  Alcotest.(check bool) "fences charged" true (m.Metrics.fences >= 3);
+  check Alcotest.int "taken back" 2 m.Metrics.public_pops
+
+let test_split_signal_safe_pop_and_repair () =
+  let d, _ = mk_split () in
+  (* Empty deque: decrement-first pop leaves bot = -1 <— must be repaired
+     by pop_public_bottom's Section 4 amendment before any push. *)
+  check Alcotest.(option int) "empty signal-safe pop" None (Split_deque.pop_bottom_signal_safe d);
+  check Alcotest.(option int) "repair path" None (Split_deque.pop_public_bottom d);
+  Split_deque.push_bottom d 5;
+  check Alcotest.(option int) "push after repair works" (Some 5)
+    (Split_deque.pop_bottom_signal_safe d);
+  ignore (Split_deque.pop_public_bottom d);
+  (* Non-empty private part: signal-safe pop behaves like pop_bottom. *)
+  Split_deque.push_bottom d 1;
+  Split_deque.push_bottom d 2;
+  check Alcotest.(option int) "pops newest" (Some 2) (Split_deque.pop_bottom_signal_safe d);
+  check Alcotest.(option int) "then next" (Some 1) (Split_deque.pop_bottom_signal_safe d)
+
+let test_split_steal_order_fifo () =
+  let d, _ = mk_split () in
+  let thief = Metrics.create () in
+  for i = 1 to 3 do
+    Split_deque.push_bottom d i
+  done;
+  ignore (Split_deque.update_public_bottom d ~policy:Split_deque.Expose_half);
+  (* Thieves steal from the top: oldest first. *)
+  check
+    Alcotest.(testable (pp_steal_result Format.pp_print_int) ( = ))
+    "oldest first" (Stolen 1)
+    (Split_deque.pop_top d ~metrics:thief);
+  check
+    Alcotest.(testable (pp_steal_result Format.pp_print_int) ( = ))
+    "then next" (Stolen 2)
+    (Split_deque.pop_top d ~metrics:thief)
+
+let test_split_has_two_tasks () =
+  let d, _ = mk_split () in
+  Alcotest.(check bool) "empty" false (Split_deque.has_two_tasks d);
+  Split_deque.push_bottom d 1;
+  Alcotest.(check bool) "one" false (Split_deque.has_two_tasks d);
+  Split_deque.push_bottom d 2;
+  Alcotest.(check bool) "two" true (Split_deque.has_two_tasks d);
+  ignore (Split_deque.update_public_bottom d ~policy:Split_deque.Expose_one);
+  Alcotest.(check bool) "one private + one public" false (Split_deque.has_two_tasks d)
+
+let test_split_full () =
+  let d, _ = mk_split ~cap:4 () in
+  for i = 0 to 3 do
+    Split_deque.push_bottom d i
+  done;
+  Alcotest.check_raises "full" Deque_full (fun () -> Split_deque.push_bottom d 4)
+
+let test_split_clear () =
+  let d, _ = mk_split () in
+  Split_deque.push_bottom d 1;
+  ignore (Split_deque.update_public_bottom d ~policy:Split_deque.Expose_one);
+  Split_deque.clear d;
+  Alcotest.(check bool) "empty after clear" true (Split_deque.is_empty d);
+  check Alcotest.int "no private" 0 (Split_deque.private_size d);
+  check Alcotest.int "no public" 0 (Split_deque.public_size d)
+
+let test_split_index_reset_recycles_capacity () =
+  (* Steals ratchet [top]/[public_bot] upward; the deque only reuses low
+     slots after pop_public_bottom's reset. A small-capacity deque must
+     survive an unbounded push/expose/steal/drain cycle — this is the
+     liveness property that makes a fixed-size array viable. *)
+  let d, _ = mk_split ~cap:8 () in
+  let thief = Metrics.create () in
+  for round = 0 to 999 do
+    Split_deque.push_bottom d (2 * round);
+    Split_deque.push_bottom d ((2 * round) + 1);
+    ignore (Split_deque.update_public_bottom d ~policy:Split_deque.Expose_one);
+    (match Split_deque.pop_top d ~metrics:thief with
+    | Stolen _ -> ()
+    | Empty | Abort | Private_work -> Alcotest.fail "steal should succeed");
+    (* Drain: one private pop, then the public-path pop that resets. *)
+    (match Split_deque.pop_bottom d with
+    | Some _ -> ()
+    | None -> Alcotest.fail "private pop should succeed");
+    check Alcotest.(option int) "drained" None (Split_deque.pop_bottom d);
+    check Alcotest.(option int) "public drained" None (Split_deque.pop_public_bottom d);
+    Alcotest.(check bool) "empty between rounds" true (Split_deque.is_empty d)
+  done
+
+let test_age_packing () =
+  let open Split_deque.Age in
+  let a = pack ~tag:5 ~top:123 in
+  check Alcotest.int "top" 123 (top a);
+  check Alcotest.int "tag" 5 (tag a);
+  let b = pack ~tag:0 ~top:max_top in
+  check Alcotest.int "max top" max_top (top b);
+  check Alcotest.int "tag 0" 0 (tag b)
+
+(* --- model-based qcheck: split deque vs reference list ---------------- *)
+
+(* Reference model: (private_list_newest_first, public_list_newest_first).
+   Operations mirror the deque; every observable result must agree. *)
+let prop_split_model =
+  let open QCheck2.Gen in
+  let op_gen = int_range 0 5 in
+  qtest ~count:500 "split deque matches list model" (list_size (int_range 0 200) op_gen)
+    (fun ops ->
+      let d, _ = mk_split ~cap:512 () in
+      let thief = Metrics.create () in
+      let priv = ref [] and pub = ref [] in
+      (* pub: newest-exposed last stolen; public part stores oldest at top.
+         Represent pub as list with OLDEST at head (steal takes head;
+         owner's pop_public takes the last element). *)
+      let counter = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | 0 ->
+              (* push *)
+              incr counter;
+              Split_deque.push_bottom d !counter;
+              priv := !counter :: !priv
+          | 1 -> (
+              (* pop_bottom *)
+              let got = Split_deque.pop_bottom d in
+              match !priv with
+              | [] -> if got <> None then ok := false
+              | x :: rest ->
+                  priv := rest;
+                  if got <> Some x then ok := false)
+          | 2 -> (
+              (* expose one *)
+              let n = Split_deque.update_public_bottom d ~policy:Split_deque.Expose_one in
+              match List.rev !priv with
+              | [] -> if n <> 0 then ok := false
+              | oldest :: _ ->
+                  if n <> 1 then ok := false;
+                  priv := List.rev (List.tl (List.rev !priv));
+                  pub := !pub @ [ oldest ])
+          | 3 -> (
+              (* steal *)
+              let got = Split_deque.pop_top d ~metrics:thief in
+              match !pub with
+              | [] ->
+                  let expect = if !priv = [] then Empty else Private_work in
+                  if got <> expect then ok := false
+              | x :: rest ->
+                  pub := rest;
+                  if got <> Stolen x then ok := false)
+          | 4 ->
+              (* owner takes public bottom when private empty (as the
+                 scheduler does) *)
+              if !priv = [] then begin
+                let got = Split_deque.pop_public_bottom d in
+                match List.rev !pub with
+                | [] -> if got <> None then ok := false
+                | newest :: _ ->
+                    pub := List.rev (List.tl (List.rev !pub));
+                    if got <> Some newest then ok := false
+              end
+          | _ ->
+              (* size checks *)
+              if Split_deque.private_size d <> List.length !priv then ok := false;
+              if Split_deque.public_size d <> List.length !pub then ok := false)
+        ops;
+      !ok)
+
+(* --- Chase-Lev -------------------------------------------------------- *)
+
+let test_cl_lifo_owner () =
+  let d, m = mk_cl () in
+  Chase_lev.push_bottom d 1;
+  Chase_lev.push_bottom d 2;
+  check Alcotest.(option int) "pop 2" (Some 2) (Chase_lev.pop_bottom d);
+  check Alcotest.(option int) "pop 1" (Some 1) (Chase_lev.pop_bottom d);
+  check Alcotest.(option int) "empty" None (Chase_lev.pop_bottom d);
+  Alcotest.(check bool) "owner pops cost fences" true (m.Metrics.fences >= 2)
+
+let test_cl_steal_fifo () =
+  let d, _ = mk_cl () in
+  let thief = Metrics.create () in
+  for i = 1 to 3 do
+    Chase_lev.push_bottom d i
+  done;
+  check
+    Alcotest.(testable (pp_steal_result Format.pp_print_int) ( = ))
+    "steal oldest" (Stolen 1)
+    (Chase_lev.steal d ~metrics:thief);
+  check
+    Alcotest.(testable (pp_steal_result Format.pp_print_int) ( = ))
+    "then 2" (Stolen 2)
+    (Chase_lev.steal d ~metrics:thief);
+  check Alcotest.(option int) "owner gets newest" (Some 3) (Chase_lev.pop_bottom d);
+  check
+    Alcotest.(testable (pp_steal_result Format.pp_print_int) ( = ))
+    "empty" Empty
+    (Chase_lev.steal d ~metrics:thief)
+
+let test_cl_wraparound () =
+  let d, _ = mk_cl ~cap:8 () in
+  let thief = Metrics.create () in
+  (* Push/steal repeatedly to march indices past the capacity (circular
+     buffer reuse). *)
+  for round = 0 to 99 do
+    Chase_lev.push_bottom d round;
+    match Chase_lev.steal d ~metrics:thief with
+    | Stolen v -> check Alcotest.int "wrap value" round v
+    | Empty | Abort | Private_work -> Alcotest.fail "expected Stolen"
+  done
+
+let test_cl_full () =
+  let d, _ = mk_cl ~cap:4 () in
+  for i = 0 to 3 do
+    Chase_lev.push_bottom d i
+  done;
+  Alcotest.check_raises "full" Deque_full (fun () -> Chase_lev.push_bottom d 4)
+
+let prop_cl_model =
+  let open QCheck2.Gen in
+  qtest ~count:500 "chase-lev matches list model" (list_size (int_range 0 200) (int_range 0 2))
+    (fun ops ->
+      let d, _ = mk_cl ~cap:512 () in
+      let thief = Metrics.create () in
+      let model = ref [] (* newest at head *) in
+      let counter = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | 0 ->
+              incr counter;
+              Chase_lev.push_bottom d !counter;
+              model := !counter :: !model
+          | 1 -> (
+              let got = Chase_lev.pop_bottom d in
+              match !model with
+              | [] -> if got <> None then ok := false
+              | x :: rest ->
+                  model := rest;
+                  if got <> Some x then ok := false)
+          | _ -> (
+              let got = Chase_lev.steal d ~metrics:thief in
+              match List.rev !model with
+              | [] -> if got <> Empty then ok := false
+              | oldest :: _ ->
+                  model := List.rev (List.tl (List.rev !model));
+                  if got <> Stolen oldest then ok := false))
+        ops;
+      !ok && Chase_lev.size d = List.length !model)
+
+(* --- private deque ----------------------------------------------------- *)
+
+let test_private_deque () =
+  let d = Private_deque.create ~capacity:8 ~dummy:(-1) () in
+  for i = 1 to 5 do
+    Private_deque.push_bottom d i
+  done;
+  check Alcotest.(option int) "pop_top oldest" (Some 1) (Private_deque.pop_top d);
+  check Alcotest.(option int) "pop_bottom newest" (Some 5) (Private_deque.pop_bottom d);
+  check Alcotest.int "size" 3 (Private_deque.size d);
+  Private_deque.clear d;
+  Alcotest.(check bool) "cleared" true (Private_deque.is_empty d);
+  check Alcotest.(option int) "empty pops" None (Private_deque.pop_bottom d)
+
+let test_private_wrap () =
+  let d = Private_deque.create ~capacity:4 ~dummy:(-1) () in
+  for round = 0 to 29 do
+    Private_deque.push_bottom d round;
+    check Alcotest.(option int) "wrap" (Some round) (Private_deque.pop_top d)
+  done
+
+(* --- lace deque -------------------------------------------------------- *)
+
+let test_lace_basics () =
+  let d = Lace_deque.create ~capacity:16 ~dummy:(-1) () in
+  ignore (Lace_deque.push_bottom d 1);
+  ignore (Lace_deque.push_bottom d 2);
+  let got, cost = Lace_deque.pop_bottom d in
+  check Alcotest.(option int) "private pop" (Some 2) got;
+  check Alcotest.int "private pop free" 0 cost.Lace_deque.fences
+
+let test_lace_unexpose () =
+  let d = Lace_deque.create ~capacity:16 ~dummy:(-1) () in
+  ignore (Lace_deque.push_bottom d 1);
+  let n, _ = Lace_deque.expose d in
+  check Alcotest.int "exposed" 1 n;
+  check Alcotest.int "public" 1 (Lace_deque.public_size d);
+  (* Private empty, public non-empty: owner unexposes (with sync cost). *)
+  let got, cost = Lace_deque.pop_bottom d in
+  check Alcotest.(option int) "unexposed pop" (Some 1) got;
+  Alcotest.(check bool) "unexpose costs sync" true (cost.Lace_deque.fences > 0);
+  Alcotest.(check bool) "empty now" true (Lace_deque.is_empty d)
+
+let test_lace_steal () =
+  let d = Lace_deque.create ~capacity:16 ~dummy:(-1) () in
+  ignore (Lace_deque.push_bottom d 1);
+  ignore (Lace_deque.push_bottom d 2);
+  let r, _ = Lace_deque.pop_top d in
+  Alcotest.(check bool) "private work" true (r = Private_work);
+  ignore (Lace_deque.expose d);
+  let r, cost = Lace_deque.pop_top d in
+  Alcotest.(check bool) "stolen oldest" true (r = Stolen 1);
+  check Alcotest.int "steal cas" 1 cost.Lace_deque.cas
+
+let () =
+  Alcotest.run "deque"
+    [
+      ( "split",
+        [
+          Alcotest.test_case "LIFO" `Quick test_split_lifo;
+          Alcotest.test_case "private ops fence-free" `Quick test_split_private_ops_fence_free;
+          Alcotest.test_case "expose one" `Quick test_split_expose_one;
+          Alcotest.test_case "expose conservative" `Quick test_split_expose_conservative;
+          Alcotest.test_case "expose half" `Quick test_split_expose_half;
+          Alcotest.test_case "pop_top" `Quick test_split_pop_top;
+          Alcotest.test_case "pop_public_bottom" `Quick test_split_pop_public_bottom;
+          Alcotest.test_case "signal-safe pop + repair" `Quick test_split_signal_safe_pop_and_repair;
+          Alcotest.test_case "steal order FIFO" `Quick test_split_steal_order_fifo;
+          Alcotest.test_case "has_two_tasks" `Quick test_split_has_two_tasks;
+          Alcotest.test_case "capacity" `Quick test_split_full;
+          Alcotest.test_case "index reset recycles capacity" `Quick
+            test_split_index_reset_recycles_capacity;
+          Alcotest.test_case "clear" `Quick test_split_clear;
+          Alcotest.test_case "age packing" `Quick test_age_packing;
+          prop_split_model;
+        ] );
+      ( "chase_lev",
+        [
+          Alcotest.test_case "owner LIFO + fences" `Quick test_cl_lifo_owner;
+          Alcotest.test_case "steal FIFO" `Quick test_cl_steal_fifo;
+          Alcotest.test_case "circular wraparound" `Quick test_cl_wraparound;
+          Alcotest.test_case "capacity" `Quick test_cl_full;
+          prop_cl_model;
+        ] );
+      ( "private",
+        [
+          Alcotest.test_case "basics" `Quick test_private_deque;
+          Alcotest.test_case "wraparound" `Quick test_private_wrap;
+        ] );
+      ( "lace",
+        [
+          Alcotest.test_case "basics" `Quick test_lace_basics;
+          Alcotest.test_case "unexpose" `Quick test_lace_unexpose;
+          Alcotest.test_case "steal" `Quick test_lace_steal;
+        ] );
+    ]

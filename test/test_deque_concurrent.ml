@@ -1,0 +1,188 @@
+(* Concurrent stress tests: real domains hammer the lock-free deques and
+   we verify the fundamental safety property — every pushed task is
+   consumed exactly once, none lost, none duplicated. On this host the
+   domains are timesliced over one core, which still exercises all
+   interleavings at context-switch boundaries. *)
+
+open Lcws
+open Lcws.Deque_intf
+
+let consume_exactly_once ~name ~total (taken : int array array) =
+  let seen = Array.make total 0 in
+  Array.iter (Array.iter (fun v -> if v >= 0 then seen.(v) <- seen.(v) + 1)) taken;
+  Array.iteri
+    (fun i c ->
+      if c <> 1 then Alcotest.failf "%s: item %d consumed %d times" name i c)
+    seen
+
+(* Owner pushes [total] items and pops; [nthieves] thieves steal. For the
+   split deque the owner periodically exposes, mimicking the scheduler. *)
+let split_stress ~nthieves ~total () =
+  let m = Metrics.create () in
+  let d = Split_deque.create ~capacity:(total + 8) ~dummy:(-1) ~metrics:m () in
+  let stop = Atomic.make false in
+  let thief_results = Array.make nthieves [||] in
+  let thieves =
+    List.init nthieves (fun t ->
+        Domain.spawn (fun () ->
+            let tm = Metrics.create () in
+            let acc = ref [] in
+            while not (Atomic.get stop) do
+              (match Split_deque.pop_top d ~metrics:tm with
+              | Stolen v -> acc := v :: !acc
+              | Empty | Abort | Private_work -> ());
+              Domain.cpu_relax ()
+            done;
+            thief_results.(t) <- Array.of_list !acc))
+  in
+  let owner_got = ref [] in
+  let pushed = ref 0 in
+  let popped = ref 0 in
+  while !popped + List.length !owner_got < total do
+    (* interleave pushes, exposures and pops *)
+    if !pushed < total then begin
+      Split_deque.push_bottom d !pushed;
+      incr pushed;
+      if !pushed mod 3 = 0 then
+        ignore (Split_deque.update_public_bottom d ~policy:Split_deque.Expose_one)
+    end;
+    if !pushed mod 2 = 0 || !pushed = total then begin
+      match Split_deque.pop_bottom d with
+      | Some v -> owner_got := v :: !owner_got
+      | None -> (
+          match Split_deque.pop_public_bottom d with
+          | Some v -> owner_got := v :: !owner_got
+          | None -> if !pushed >= total then popped := total (* all stolen *))
+    end;
+    (* Termination: everything pushed and the deque is drained. *)
+    if !pushed >= total && Split_deque.is_empty d then popped := total
+  done;
+  (* Drain leftovers *)
+  let rec drain () =
+    match Split_deque.pop_bottom d with
+    | Some v ->
+        owner_got := v :: !owner_got;
+        drain ()
+    | None -> (
+        match Split_deque.pop_public_bottom d with
+        | Some v ->
+            owner_got := v :: !owner_got;
+            drain ()
+        | None -> ())
+  in
+  drain ();
+  Atomic.set stop true;
+  List.iter Domain.join thieves;
+  let all = Array.append [| Array.of_list !owner_got |] thief_results in
+  consume_exactly_once ~name:"split" ~total all
+
+let cl_stress ~nthieves ~total () =
+  let m = Metrics.create () in
+  let d = Chase_lev.create ~capacity:(total + 8) ~dummy:(-1) ~metrics:m () in
+  let stop = Atomic.make false in
+  let thief_results = Array.make nthieves [||] in
+  let thieves =
+    List.init nthieves (fun t ->
+        Domain.spawn (fun () ->
+            let tm = Metrics.create () in
+            let acc = ref [] in
+            while not (Atomic.get stop) do
+              (match Chase_lev.steal d ~metrics:tm with
+              | Stolen v -> acc := v :: !acc
+              | Empty | Abort | Private_work -> ());
+              Domain.cpu_relax ()
+            done;
+            thief_results.(t) <- Array.of_list !acc))
+  in
+  let owner_got = ref [] in
+  for i = 0 to total - 1 do
+    Chase_lev.push_bottom d i;
+    if i mod 2 = 1 then
+      match Chase_lev.pop_bottom d with
+      | Some v -> owner_got := v :: !owner_got
+      | None -> ()
+  done;
+  let rec drain () =
+    match Chase_lev.pop_bottom d with
+    | Some v ->
+        owner_got := v :: !owner_got;
+        drain ()
+    | None -> if not (Chase_lev.is_empty d) then drain ()
+  in
+  drain ();
+  Atomic.set stop true;
+  List.iter Domain.join thieves;
+  let all = Array.append [| Array.of_list !owner_got |] thief_results in
+  consume_exactly_once ~name:"chase_lev" ~total all
+
+(* The Section 4 race scenario, concurrently: thieves keep stealing while
+   the owner uses the signal-safe pop and exposes from "the handler"
+   (same domain, interleaved — the shape our runtime guarantees). *)
+let split_signal_safe_stress ~nthieves ~total () =
+  let m = Metrics.create () in
+  let d = Split_deque.create ~capacity:(total + 8) ~dummy:(-1) ~metrics:m () in
+  let stop = Atomic.make false in
+  let targeted = Atomic.make false in
+  let thief_results = Array.make nthieves [||] in
+  let thieves =
+    List.init nthieves (fun t ->
+        Domain.spawn (fun () ->
+            let tm = Metrics.create () in
+            let acc = ref [] in
+            while not (Atomic.get stop) do
+              (match Split_deque.pop_top d ~metrics:tm with
+              | Stolen v -> acc := v :: !acc
+              | Private_work -> Atomic.set targeted true
+              | Empty | Abort -> ());
+              Domain.cpu_relax ()
+            done;
+            thief_results.(t) <- Array.of_list !acc))
+  in
+  let owner_got = ref [] in
+  for i = 0 to total - 1 do
+    Split_deque.push_bottom d i;
+    (* "Handler" runs at poll points on the owner. *)
+    if Atomic.get targeted then begin
+      Atomic.set targeted false;
+      ignore (Split_deque.update_public_bottom d ~policy:Split_deque.Expose_one)
+    end;
+    if i mod 2 = 1 then begin
+      match Split_deque.pop_bottom_signal_safe d with
+      | Some v -> owner_got := v :: !owner_got
+      | None -> (
+          match Split_deque.pop_public_bottom d with
+          | Some v -> owner_got := v :: !owner_got
+          | None -> ())
+    end
+  done;
+  let rec drain () =
+    match Split_deque.pop_bottom_signal_safe d with
+    | Some v ->
+        owner_got := v :: !owner_got;
+        drain ()
+    | None -> (
+        match Split_deque.pop_public_bottom d with
+        | Some v ->
+            owner_got := v :: !owner_got;
+            drain ()
+        | None -> if not (Split_deque.is_empty d) then drain ())
+  in
+  drain ();
+  Atomic.set stop true;
+  List.iter Domain.join thieves;
+  let all = Array.append [| Array.of_list !owner_got |] thief_results in
+  consume_exactly_once ~name:"split-signal-safe" ~total all
+
+let () =
+  Alcotest.run "deque_concurrent"
+    [
+      ( "stress",
+        [
+          Alcotest.test_case "split: 1 thief" `Quick (split_stress ~nthieves:1 ~total:2000);
+          Alcotest.test_case "split: 3 thieves" `Quick (split_stress ~nthieves:3 ~total:2000);
+          Alcotest.test_case "chase-lev: 1 thief" `Quick (cl_stress ~nthieves:1 ~total:2000);
+          Alcotest.test_case "chase-lev: 3 thieves" `Quick (cl_stress ~nthieves:3 ~total:2000);
+          Alcotest.test_case "split signal-safe: 2 thieves" `Quick
+            (split_signal_safe_stress ~nthieves:2 ~total:2000);
+        ] );
+    ]

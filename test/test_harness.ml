@@ -1,0 +1,184 @@
+(* Harness: statistics, experiment matrices, figure printers (smoke). *)
+
+open Lcws
+module St = Harness.Stats
+module X = Harness.Experiments
+module E = Sim.Engine
+module M = Sim.Cost_model
+
+let check = Alcotest.check
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+
+(* --- stats ------------------------------------------------------------ *)
+
+let test_summary_known () =
+  let s = St.summarize [ 1.; 2.; 3.; 4.; 5. ] in
+  check (Alcotest.float 1e-9) "min" 1. s.St.min;
+  check (Alcotest.float 1e-9) "q1" 2. s.St.q1;
+  check (Alcotest.float 1e-9) "median" 3. s.St.median;
+  check (Alcotest.float 1e-9) "q3" 4. s.St.q3;
+  check (Alcotest.float 1e-9) "max" 5. s.St.max;
+  check (Alcotest.float 1e-9) "mean" 3. s.St.mean;
+  check Alcotest.int "count" 5 s.St.count
+
+let test_summary_single () =
+  let s = St.summarize [ 7. ] in
+  check (Alcotest.float 1e-9) "all equal" 7. s.St.q1;
+  check (Alcotest.float 1e-9) "median" 7. s.St.median
+
+let test_summary_interpolation () =
+  let s = St.summarize [ 1.; 2.; 3.; 4. ] in
+  check (Alcotest.float 1e-9) "median interpolated" 2.5 s.St.median;
+  check (Alcotest.float 1e-9) "q1" 1.75 s.St.q1
+
+let test_summary_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.summarize: empty") (fun () ->
+      ignore (St.summarize []))
+
+let prop_summary_ordered =
+  qtest "five numbers are ordered"
+    QCheck2.Gen.(list_size (int_range 1 50) (float_range (-100.) 100.))
+    (fun l ->
+      let s = St.summarize l in
+      s.St.min <= s.St.q1 && s.St.q1 <= s.St.median && s.St.median <= s.St.q3
+      && s.St.q3 <= s.St.max)
+
+let prop_mean_bounds =
+  qtest "mean within [min,max]"
+    QCheck2.Gen.(list_size (int_range 1 50) (float_range (-100.) 100.))
+    (fun l ->
+      let s = St.summarize l in
+      s.St.mean >= s.St.min -. 1e-9 && s.St.mean <= s.St.max +. 1e-9)
+
+let test_geomean () =
+  check (Alcotest.float 1e-9) "geomean" 2. (St.geomean [ 1.; 4. ]);
+  check (Alcotest.float 1e-6) "geomean 3" 3.5568933 (St.geomean [ 2.; 3.; 7.5 ])
+
+let test_fraction_above () =
+  check (Alcotest.float 1e-9) "half" 0.5 (St.fraction_above 1.0 [ 0.5; 1.5 ]);
+  check (Alcotest.float 1e-9) "strict" 0. (St.fraction_above 1.0 [ 1.0; 1.0 ]);
+  check (Alcotest.float 1e-9) "empty" 0. (St.fraction_above 1.0 [])
+
+let test_sparkbox () =
+  let s = St.summarize [ 0.2; 0.4; 0.5; 0.6; 0.8 ] in
+  let box = St.sparkbox ~lo:0. ~hi:1. s in
+  check Alcotest.int "fixed width" 41 (String.length box);
+  Alcotest.(check bool) "has median" true (String.contains box '|');
+  Alcotest.(check bool) "has quartile body" true (String.contains box '#')
+
+let test_sparkbox_clamps () =
+  let s = St.summarize [ -10.; 0.5; 20. ] in
+  let box = St.sparkbox ~lo:0. ~hi:1. s in
+  check Alcotest.int "clamped width" 41 (String.length box)
+
+(* --- experiments -------------------------------------------------------- *)
+
+let tiny_matrix =
+  lazy
+    (X.build ~machine:M.amd32 ~policies:[ E.Ws; E.Uslcws; E.Signal ] ~ps:[ 1; 2 ] ~scale:0.02
+       ~quantum:400 ())
+
+let test_matrix_get () =
+  let m = Lazy.force tiny_matrix in
+  let s = X.get m ~bench:"integerSort" ~instance:"randomSeq_int" ~policy:E.Ws ~p:1 in
+  Alcotest.(check bool) "ran" true (s.E.makespan > 0);
+  Alcotest.check_raises "missing p"
+    (Invalid_argument "Experiments.get: no run for integerSort/randomSeq_int ws P=7") (fun () ->
+      ignore (X.get m ~bench:"integerSort" ~instance:"randomSeq_int" ~policy:E.Ws ~p:7))
+
+let test_matrix_speedup_ws_is_1 () =
+  let m = Lazy.force tiny_matrix in
+  List.iter
+    (fun (bench, instance) ->
+      check (Alcotest.float 1e-9) "ws vs ws" 1. (X.speedup m ~bench ~instance ~policy:E.Ws ~p:2))
+    (X.configs m)
+
+let test_matrix_speedups_at () =
+  let m = Lazy.force tiny_matrix in
+  let sps = X.speedups_at m ~policy:E.Uslcws ~p:2 in
+  check Alcotest.int "one per config" (List.length (X.configs m)) (List.length sps);
+  Alcotest.(check bool) "all positive" true (List.for_all (fun s -> s > 0.) sps)
+
+let test_matrix_ratio () =
+  let m = Lazy.force tiny_matrix in
+  let ratios = X.ratio_vs m ~policy:E.Uslcws ~baseline:E.Ws ~p:2 (fun s -> s.E.fences) in
+  Alcotest.(check bool) "fence ratios tiny" true (List.for_all (fun r -> r < 0.5) ratios)
+
+let test_csv_export () =
+  let m = Lazy.force tiny_matrix in
+  let csv = X.to_csv m in
+  let lines = String.split_on_char '\n' csv in
+  (match lines with
+  | header :: _ -> check Alcotest.string "header" X.csv_header header
+  | [] -> Alcotest.fail "empty csv");
+  (* one row per (config, p, policy-present) + header + trailing newline *)
+  let configs = List.length (X.configs m) in
+  let expected_rows = configs * 2 (* ps *) * 3 (* policies built *) in
+  check Alcotest.int "row count" (expected_rows + 2) (List.length lines);
+  let cols = String.split_on_char ',' X.csv_header in
+  List.iter
+    (fun line ->
+      if line <> "" then
+        check Alcotest.int "column count" (List.length cols)
+          (List.length (String.split_on_char ',' line)))
+    lines
+
+let test_unstolen_range () =
+  let m = Lazy.force tiny_matrix in
+  let u = X.unstolen_at m ~policy:E.Uslcws ~p:2 in
+  Alcotest.(check bool) "fractions in [0,1]" true (List.for_all (fun f -> f >= 0. && f <= 1.) u)
+
+(* --- figures smoke -------------------------------------------------------- *)
+
+let test_figures_smoke () =
+  (* Tiny scale: just prove every printer runs and emits output. *)
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  let ctx = Harness.Figures.make_ctx ~scale:0.02 ~quantum:800 () in
+  Harness.Figures.table1 ppf;
+  Harness.Figures.fig3 ctx ppf;
+  Harness.Figures.fig5 ctx ppf;
+  Harness.Figures.summary ctx ppf;
+  Harness.Figures.ablation ctx ppf;
+  Harness.Figures.sensitivity ctx ppf;
+  Format.pp_print_flush ppf ();
+  let out = Buffer.contents buf in
+  let contains needle =
+    let nl = String.length needle and ol = String.length out in
+    let rec go i = i + nl <= ol && (String.sub out i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "output mentions %S" needle) true (contains needle))
+    [ "Table 1"; "AMD32"; "Figure 3"; "Figure 5"; "Signal" ]
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "stats",
+        [
+          Alcotest.test_case "known summary" `Quick test_summary_known;
+          Alcotest.test_case "single value" `Quick test_summary_single;
+          Alcotest.test_case "interpolation" `Quick test_summary_interpolation;
+          Alcotest.test_case "empty raises" `Quick test_summary_empty;
+          Alcotest.test_case "geomean" `Quick test_geomean;
+          Alcotest.test_case "fraction_above" `Quick test_fraction_above;
+          Alcotest.test_case "sparkbox" `Quick test_sparkbox;
+          Alcotest.test_case "sparkbox clamps" `Quick test_sparkbox_clamps;
+          prop_summary_ordered;
+          prop_mean_bounds;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "get" `Quick test_matrix_get;
+          Alcotest.test_case "ws speedup is 1" `Quick test_matrix_speedup_ws_is_1;
+          Alcotest.test_case "speedups_at" `Quick test_matrix_speedups_at;
+          Alcotest.test_case "fence ratio" `Quick test_matrix_ratio;
+          Alcotest.test_case "unstolen range" `Quick test_unstolen_range;
+          Alcotest.test_case "csv export" `Quick test_csv_export;
+        ] );
+      ("figures", [ Alcotest.test_case "printers run" `Slow test_figures_smoke ]);
+    ]

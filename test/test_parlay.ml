@@ -1,0 +1,394 @@
+(* The Parlay-style toolkit: each primitive against its sequential
+   specification, plus property-based tests for the sorts (including
+   stability) run inside a real multi-worker pool. *)
+
+open Lcws
+module S = Scheduler
+module P = Parallel
+
+let check = Alcotest.check
+
+let pool = lazy (S.Pool.create ~num_workers:4 ~variant:S.Signal ())
+
+let in_pool f = S.Pool.run (Lazy.force pool) f
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+
+let int_array = QCheck2.Gen.(array_size (int_range 0 500) (int_range (-1000) 1000))
+
+(* --- tabulate / map / iter ------------------------------------------- *)
+
+let test_tabulate () =
+  in_pool (fun () ->
+      check (Alcotest.array Alcotest.int) "squares"
+        (Array.init 1000 (fun i -> i * i))
+        (P.tabulate 1000 (fun i -> i * i));
+      check (Alcotest.array Alcotest.int) "empty" [||] (P.tabulate 0 (fun i -> i)))
+
+let prop_map =
+  qtest "map = Array.map" int_array (fun a ->
+      in_pool (fun () -> P.map (fun x -> (2 * x) + 1) a) = Array.map (fun x -> (2 * x) + 1) a)
+
+let prop_mapi =
+  qtest "mapi = Array.mapi" int_array (fun a ->
+      in_pool (fun () -> P.mapi (fun i x -> i - x) a) = Array.mapi (fun i x -> i - x) a)
+
+let test_iteri_coverage () =
+  in_pool (fun () ->
+      let n = 10_000 in
+      let hits = Array.make n 0 in
+      P.iteri ~grain:16 (fun i _ -> hits.(i) <- hits.(i) + 1) (Array.make n ());
+      Alcotest.(check bool) "all once" true (Array.for_all (( = ) 1) hits))
+
+(* --- reduce / scan ---------------------------------------------------- *)
+
+let prop_reduce_sum =
+  qtest "reduce (+) = fold_left" int_array (fun a ->
+      in_pool (fun () -> P.reduce ( + ) 0 a) = Array.fold_left ( + ) 0 a)
+
+let prop_reduce_max =
+  qtest "reduce max" int_array (fun a ->
+      in_pool (fun () -> P.reduce max min_int a) = Array.fold_left max min_int a)
+
+let prop_map_reduce =
+  qtest "map_reduce" int_array (fun a ->
+      in_pool (fun () -> P.map_reduce abs ( + ) 0 a)
+      = Array.fold_left (fun acc x -> acc + abs x) 0 a)
+
+let seq_exclusive_scan op zero a =
+  let n = Array.length a in
+  let out = Array.make n zero in
+  let acc = ref zero in
+  for i = 0 to n - 1 do
+    out.(i) <- !acc;
+    acc := op !acc a.(i)
+  done;
+  (out, !acc)
+
+let prop_scan =
+  qtest "exclusive scan" int_array (fun a ->
+      let got, total = in_pool (fun () -> P.scan ( + ) 0 a) in
+      let expected, etotal = seq_exclusive_scan ( + ) 0 a in
+      got = expected && total = etotal)
+
+let prop_scan_inclusive =
+  qtest "inclusive scan" int_array (fun a ->
+      let got = in_pool (fun () -> P.scan_inclusive ( + ) 0 a) in
+      let ex, _ = seq_exclusive_scan ( + ) 0 a in
+      got = Array.mapi (fun i p -> p + a.(i)) ex)
+
+let test_scan_grains () =
+  in_pool (fun () ->
+      let a = Array.init 10_000 (fun i -> i mod 17) in
+      let expected, _ = seq_exclusive_scan ( + ) 0 a in
+      List.iter
+        (fun g ->
+          let got, _ = P.scan ~grain:g ( + ) 0 a in
+          check (Alcotest.array Alcotest.int) (Printf.sprintf "grain %d" g) expected got)
+        [ 1; 3; 64; 100_000 ])
+
+(* --- filter / pack / flatten ------------------------------------------ *)
+
+let prop_filter =
+  qtest "filter = Array filter" int_array (fun a ->
+      let f x = x mod 3 = 0 in
+      in_pool (fun () -> P.filter f a)
+      = Array.of_list (List.filter f (Array.to_list a)))
+
+let prop_pack_index =
+  qtest "pack_index finds positions" int_array (fun a ->
+      let got = in_pool (fun () -> P.pack_index (fun i x -> (i + x) mod 2 = 0) a) in
+      let expected =
+        Array.to_list a
+        |> List.mapi (fun i x -> (i, x))
+        |> List.filter (fun (i, x) -> (i + x) mod 2 = 0)
+        |> List.map fst |> Array.of_list
+      in
+      got = expected)
+
+let prop_pack =
+  qtest "pack by flags" int_array (fun a ->
+      let flags = Array.map (fun x -> x > 0) a in
+      in_pool (fun () -> P.pack flags a)
+      = Array.of_list (List.filter (fun x -> x > 0) (Array.to_list a)))
+
+let prop_flatten =
+  qtest "flatten = concat"
+    QCheck2.Gen.(array_size (int_range 0 20) (array_size (int_range 0 30) (int_range 0 100)))
+    (fun parts ->
+      in_pool (fun () -> P.flatten parts) = Array.concat (Array.to_list parts))
+
+let prop_filter_mapi =
+  qtest "filter_mapi" int_array (fun a ->
+      let f i x = if x > i then Some (x - i) else None in
+      let got = in_pool (fun () -> P.filter_mapi f a) in
+      let expected =
+        Array.to_list a |> List.mapi f |> List.filter_map Fun.id |> Array.of_list
+      in
+      got = expected)
+
+(* --- min/max index, counts -------------------------------------------- *)
+
+let nonempty_array = QCheck2.Gen.(array_size (int_range 1 300) (int_range (-500) 500))
+
+let prop_min_index =
+  qtest "min_index finds first minimum" nonempty_array (fun a ->
+      let i = in_pool (fun () -> P.min_index compare a) in
+      let m = Array.fold_left min a.(0) a in
+      a.(i) = m && Array.for_all (fun j -> j >= i || a.(j) <> m) (Array.init (Array.length a) Fun.id))
+
+let prop_max_index =
+  qtest "max_index finds maximum" nonempty_array (fun a ->
+      let i = in_pool (fun () -> P.max_index compare a) in
+      a.(i) = Array.fold_left max a.(0) a)
+
+let prop_count =
+  qtest "count" int_array (fun a ->
+      in_pool (fun () -> P.count (fun x -> x < 0) a)
+      = List.length (List.filter (fun x -> x < 0) (Array.to_list a)))
+
+let prop_any_all =
+  qtest "any_of / all_of" int_array (fun a ->
+      let p x = x mod 5 = 0 in
+      in_pool (fun () -> P.any_of p a) = Array.exists p a
+      && in_pool (fun () -> P.all_of p a) = Array.for_all p a)
+
+(* --- binary search ----------------------------------------------------- *)
+
+let prop_bounds =
+  qtest "lower/upper bound"
+    QCheck2.Gen.(pair int_array (int_range (-1000) 1000))
+    (fun (a, x) ->
+      Array.sort compare a;
+      let n = Array.length a in
+      let lb = P.lower_bound compare a ~lo:0 ~hi:n x in
+      let ub = P.upper_bound compare a ~lo:0 ~hi:n x in
+      let ok_lb =
+        (lb = n || a.(lb) >= x) && (lb = 0 || a.(lb - 1) < x)
+      in
+      let ok_ub = (ub = n || a.(ub) > x) && (ub = 0 || a.(ub - 1) <= x) in
+      ok_lb && ok_ub && lb <= ub)
+
+(* --- sorts -------------------------------------------------------------- *)
+
+let prop_merge_sort =
+  qtest "merge_sort = stable_sort" int_array (fun a ->
+      let expected = Array.copy a in
+      Array.stable_sort compare expected;
+      in_pool (fun () -> Psort.merge_sort compare a) = expected)
+
+let prop_merge_sort_stability =
+  qtest "merge_sort stability"
+    QCheck2.Gen.(array_size (int_range 0 400) (int_range 0 10))
+    (fun keys ->
+      (* Pair each key with its index; sort by key only; equal keys must
+         keep index order. *)
+      let a = Array.mapi (fun i k -> (k, i)) keys in
+      let sorted = in_pool (fun () -> Psort.merge_sort (fun (k1, _) (k2, _) -> compare k1 k2) a) in
+      let ok = ref true in
+      for i = 0 to Array.length sorted - 2 do
+        let k1, v1 = sorted.(i) and k2, v2 = sorted.(i + 1) in
+        if k1 = k2 && v1 > v2 then ok := false
+      done;
+      !ok)
+
+let prop_merge =
+  qtest "parallel merge"
+    QCheck2.Gen.(pair int_array int_array)
+    (fun (a, b) ->
+      Array.sort compare a;
+      Array.sort compare b;
+      let expected = Array.append a b in
+      Array.sort compare expected;
+      in_pool (fun () -> Psort.merge compare a b) = expected)
+
+let prop_radix_sort =
+  qtest "radix_sort = sort"
+    QCheck2.Gen.(array_size (int_range 0 500) (int_range 0 ((1 lsl 16) - 1)))
+    (fun a ->
+      let expected = Array.copy a in
+      Array.sort compare expected;
+      in_pool (fun () -> Psort.radix_sort ~bits:16 a) = expected)
+
+let prop_radix_sort_by_stability =
+  qtest "radix_sort_by stability"
+    QCheck2.Gen.(array_size (int_range 0 400) (int_range 0 255))
+    (fun keys ->
+      let a = Array.mapi (fun i k -> (k, i)) keys in
+      let sorted = in_pool (fun () -> Psort.radix_sort_by ~key:fst ~bits:8 a) in
+      let ok = ref true in
+      for i = 0 to Array.length sorted - 2 do
+        let k1, v1 = sorted.(i) and k2, v2 = sorted.(i + 1) in
+        if k1 > k2 then ok := false;
+        if k1 = k2 && v1 > v2 then ok := false
+      done;
+      !ok)
+
+let prop_sample_sort =
+  qtest "sample_sort sorts"
+    QCheck2.Gen.(array_size (int_range 0 2_000) (int_range (-10_000) 10_000))
+    (fun a ->
+      let expected = Array.copy a in
+      Array.sort compare expected;
+      in_pool (fun () -> Sample_sort.sort compare a) = expected)
+
+let test_sample_sort_large () =
+  (* Big enough to take the multi-bucket path (n >= 8192). *)
+  in_pool (fun () ->
+      let a = Prandom.ints ~seed:11 100_000 ~bound:1_000_000 in
+      let expected = Array.copy a in
+      Array.sort compare expected;
+      Alcotest.(check bool) "multi-bucket path" true (Sample_sort.num_buckets 100_000 > 1);
+      check (Alcotest.array Alcotest.int) "sorted" expected (Sample_sort.sort compare a))
+
+let test_sample_sort_all_equal () =
+  in_pool (fun () ->
+      let a = Array.make 20_000 7 in
+      check (Alcotest.array Alcotest.int) "degenerate pivots" a (Sample_sort.sort compare a))
+
+(* --- collect ------------------------------------------------------------- *)
+
+let prop_count_by =
+  qtest "count_by = Hashtbl counting"
+    QCheck2.Gen.(array_size (int_range 0 1_000) (int_range 0 63))
+    (fun keys ->
+      let got = in_pool (fun () -> Collect.count_by ~key:Fun.id ~bits:6 keys) in
+      let tbl = Hashtbl.create 64 in
+      Array.iter
+        (fun k -> Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+        keys;
+      Array.length got = Hashtbl.length tbl
+      && Array.for_all (fun (k, c) -> Hashtbl.find_opt tbl k = Some c) got
+      && Psort.is_sorted (fun (a, _) (b, _) -> compare a b) got)
+
+let prop_group_by_stable =
+  qtest "group_by preserves in-group order"
+    QCheck2.Gen.(array_size (int_range 0 500) (int_range 0 15))
+    (fun keys ->
+      let pairs = Array.mapi (fun i k -> (k, i)) keys in
+      let groups = in_pool (fun () -> Collect.group_by ~key:fst ~bits:4 pairs) in
+      Array.for_all
+        (fun (k, members) ->
+          Array.for_all (fun (k', _) -> k' = k) members
+          && Psort.is_sorted (fun (_, i) (_, j) -> compare i j) members)
+        groups)
+
+let prop_collect_reduce_sum =
+  qtest "collect_reduce sums per key"
+    QCheck2.Gen.(array_size (int_range 0 800) (pair (int_range 0 31) (int_range (-50) 50)))
+    (fun pairs ->
+      let got =
+        in_pool (fun () ->
+            Collect.collect_reduce ~key:fst ~value:snd ~op:( + ) ~zero:0 ~bits:5 pairs)
+      in
+      let tbl = Hashtbl.create 32 in
+      Array.iter
+        (fun (k, v) -> Hashtbl.replace tbl k (v + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+        pairs;
+      Array.length got = Hashtbl.length tbl
+      && Array.for_all (fun (k, s) -> Hashtbl.find_opt tbl k = Some s) got)
+
+let test_histogram_by () =
+  in_pool (fun () ->
+      let keys = [| 1; 3; 3; 0; 1; 3 |] in
+      check (Alcotest.array Alcotest.int) "dense histogram" [| 1; 2; 0; 3 |]
+        (Collect.histogram_by ~key:Fun.id ~bits:2 ~buckets:4 keys))
+
+let test_merge_sort_inplace () =
+  in_pool (fun () ->
+      let a = Array.init 50_000 (fun i -> (i * 7919) mod 1000) in
+      let expected = Array.copy a in
+      Array.stable_sort compare expected;
+      Psort.merge_sort_inplace compare a;
+      check (Alcotest.array Alcotest.int) "inplace" expected a)
+
+let test_is_sorted () =
+  Alcotest.(check bool) "sorted" true (Psort.is_sorted compare [| 1; 2; 2; 3 |]);
+  Alcotest.(check bool) "unsorted" false (Psort.is_sorted compare [| 2; 1 |]);
+  Alcotest.(check bool) "empty" true (Psort.is_sorted compare [||])
+
+(* --- prandom ------------------------------------------------------------ *)
+
+let test_prandom_deterministic () =
+  let a = Prandom.ints ~seed:9 1000 ~bound:50 in
+  let b = Prandom.ints ~seed:9 1000 ~bound:50 in
+  check (Alcotest.array Alcotest.int) "same seed same data" a b;
+  Alcotest.(check bool) "bounds" true (Array.for_all (fun x -> x >= 0 && x < 50) a)
+
+let test_prandom_permutation () =
+  let p = Prandom.permutation ~seed:3 500 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  check (Alcotest.array Alcotest.int) "is permutation" (Array.init 500 Fun.id) sorted
+
+let test_prandom_almost_sorted () =
+  let a = Prandom.almost_sorted ~seed:3 1000 ~swaps:10 in
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check (Alcotest.array Alcotest.int) "still a permutation" (Array.init 1000 Fun.id) sorted;
+  (* Few swaps leave most positions fixed. *)
+  let fixed = ref 0 in
+  Array.iteri (fun i x -> if i = x then incr fixed) a;
+  Alcotest.(check bool) "mostly sorted" true (!fixed > 900)
+
+let test_exponential_bounds () =
+  let a = Prandom.exponential_ints ~seed:3 5000 ~bound:1024 in
+  Alcotest.(check bool) "bounds" true (Array.for_all (fun x -> x >= 0 && x < 1024) a);
+  (* Exponential: small values dominate. *)
+  let small = Array.fold_left (fun acc x -> if x < 64 then acc + 1 else acc) 0 a in
+  Alcotest.(check bool) "skewed small" true (small > 2500)
+
+let () =
+  let finally () = if Lazy.is_val pool then S.Pool.shutdown (Lazy.force pool) in
+  Fun.protect ~finally (fun () ->
+      Alcotest.run "parlay"
+        [
+          ( "tabulate/map",
+            [
+              Alcotest.test_case "tabulate" `Quick test_tabulate;
+              Alcotest.test_case "iteri coverage" `Quick test_iteri_coverage;
+              prop_map;
+              prop_mapi;
+            ] );
+          ( "reduce/scan",
+            [
+              Alcotest.test_case "scan grains" `Quick test_scan_grains;
+              prop_reduce_sum;
+              prop_reduce_max;
+              prop_map_reduce;
+              prop_scan;
+              prop_scan_inclusive;
+            ] );
+          ( "filter/pack",
+            [ prop_filter; prop_pack_index; prop_pack; prop_flatten; prop_filter_mapi ] );
+          ("select", [ prop_min_index; prop_max_index; prop_count; prop_any_all ]);
+          ("search", [ prop_bounds ]);
+          ( "sort",
+            [
+              Alcotest.test_case "merge_sort_inplace" `Quick test_merge_sort_inplace;
+              Alcotest.test_case "is_sorted" `Quick test_is_sorted;
+              prop_merge_sort;
+              prop_merge_sort_stability;
+              prop_merge;
+              prop_radix_sort;
+              prop_radix_sort_by_stability;
+              Alcotest.test_case "sample_sort large" `Quick test_sample_sort_large;
+              Alcotest.test_case "sample_sort all-equal" `Quick test_sample_sort_all_equal;
+              prop_sample_sort;
+            ] );
+          ( "collect",
+            [
+              Alcotest.test_case "histogram_by" `Quick test_histogram_by;
+              prop_count_by;
+              prop_group_by_stable;
+              prop_collect_reduce_sum;
+            ] );
+          ( "prandom",
+            [
+              Alcotest.test_case "deterministic" `Quick test_prandom_deterministic;
+              Alcotest.test_case "permutation" `Quick test_prandom_permutation;
+              Alcotest.test_case "almost_sorted" `Quick test_prandom_almost_sorted;
+              Alcotest.test_case "exponential" `Quick test_exponential_bounds;
+            ] );
+        ])

@@ -1,0 +1,438 @@
+(* The PBBS-like benchmark suite: every instance's own checker at small
+   scale under a real multi-worker pool, plus targeted unit tests of the
+   underlying algorithms against sequential references. *)
+
+open Lcws
+module S = Scheduler
+module T = Pbbs.Suite_types
+
+let check = Alcotest.check
+
+let pool = lazy (S.Pool.create ~num_workers:3 ~variant:S.Signal ())
+
+let in_pool f = S.Pool.run (Lazy.force pool) f
+
+let qtest ?(count = 30) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+
+(* --- whole-suite conformance ------------------------------------------ *)
+
+let suite_cases =
+  List.concat_map
+    (fun (b : T.bench) ->
+      List.map
+        (fun (inst : T.instance) ->
+          Alcotest.test_case
+            (Printf.sprintf "%s/%s" b.T.bname inst.T.iname)
+            `Quick
+            (fun () ->
+              let p = inst.T.prepare ~scale:0.04 in
+              in_pool p.T.run;
+              Alcotest.(check bool) "self-check" true (p.T.check ())))
+        b.T.instances)
+    Pbbs.Suite.all
+
+(* Every scheduler variant must produce correct results on the quick
+   subset — the suite's conformance contract, not just Signal's. *)
+let variant_sweep_cases =
+  List.map
+    (fun variant ->
+      Alcotest.test_case (S.variant_name variant) `Quick (fun () ->
+          let pool = S.Pool.create ~num_workers:3 ~variant () in
+          Fun.protect
+            ~finally:(fun () -> S.Pool.shutdown pool)
+            (fun () ->
+              List.iter
+                (fun (b : T.bench) ->
+                  List.iter
+                    (fun (inst : T.instance) ->
+                      let p = inst.T.prepare ~scale:0.03 in
+                      S.Pool.run pool p.T.run;
+                      Alcotest.(check bool)
+                        (Printf.sprintf "%s/%s" b.T.bname inst.T.iname)
+                        true (p.T.check ()))
+                    b.T.instances)
+                Pbbs.Suite.quick)))
+    S.all_variants
+
+(* --- graphs ------------------------------------------------------------- *)
+
+let test_graph_of_edges () =
+  let g = Pbbs.Graph.of_edges ~n:4 [| (0, 1); (0, 2); (1, 3); (3, 0) |] in
+  check Alcotest.int "n" 4 (Pbbs.Graph.num_vertices g);
+  check Alcotest.int "m" 4 (Pbbs.Graph.num_edges g);
+  check Alcotest.int "deg 0" 2 (Pbbs.Graph.degree g 0);
+  check Alcotest.int "deg 2" 0 (Pbbs.Graph.degree g 2);
+  let ns = ref [] in
+  Pbbs.Graph.iter_neighbors g 0 (fun v -> ns := v :: !ns);
+  check (Alcotest.list Alcotest.int) "neighbors of 0" [ 2; 1 ] !ns
+
+let test_graph_symmetrize () =
+  let g = Pbbs.Graph.symmetrize ~n:3 [| (0, 1); (1, 0); (0, 1); (2, 2) |] in
+  (* duplicates and self-loops removed; both directions present *)
+  check Alcotest.int "m" 2 (Pbbs.Graph.num_edges g);
+  check Alcotest.int "deg 0" 1 (Pbbs.Graph.degree g 0);
+  check Alcotest.int "deg 1" 1 (Pbbs.Graph.degree g 1);
+  check Alcotest.int "deg 2" 0 (Pbbs.Graph.degree g 2)
+
+let test_graph_symmetric_property () =
+  let g = Pbbs.Graph.rmat ~seed:5 ~scale:8 ~edge_factor:4 () in
+  let ok = ref true in
+  for u = 0 to Pbbs.Graph.num_vertices g - 1 do
+    Pbbs.Graph.iter_neighbors g u (fun v ->
+        let back = ref false in
+        Pbbs.Graph.iter_neighbors g v (fun w -> if w = u then back := true);
+        if not !back then ok := false)
+  done;
+  Alcotest.(check bool) "rmat is symmetric" true !ok
+
+let test_grid2d_structure () =
+  let side = 5 in
+  let g = Pbbs.Graph.grid2d ~side in
+  check Alcotest.int "n" 25 (Pbbs.Graph.num_vertices g);
+  (* 4 corners of degree 2, edges of degree 3, interior degree 4 *)
+  let degs = Array.init 25 (Pbbs.Graph.degree g) in
+  let count d = Array.fold_left (fun a x -> if x = d then a + 1 else a) 0 degs in
+  check Alcotest.int "corners" 4 (count 2);
+  check Alcotest.int "borders" 12 (count 3);
+  check Alcotest.int "interior" 9 (count 4)
+
+let test_edge_list () =
+  let g = Pbbs.Graph.grid2d ~side:3 in
+  let edges = Pbbs.Graph.edge_list g in
+  (* 3x3 grid: 12 undirected edges *)
+  check Alcotest.int "edges" 12 (Array.length edges);
+  Alcotest.(check bool) "u < v" true (Array.for_all (fun (u, v) -> u < v) edges)
+
+(* --- BFS ----------------------------------------------------------------- *)
+
+let prop_bfs_distances =
+  qtest "bfs distances = sequential" QCheck2.Gen.(int_range 1 1000) (fun seed ->
+      let g = Pbbs.Graph.random_graph ~seed ~n:200 ~degree:3 () in
+      let parents = in_pool (fun () -> Pbbs.Bfs.bfs g ~source:0) in
+      Pbbs.Bfs.check g ~source:0 parents)
+
+let test_bfs_line () =
+  (* Deterministic line graph: distance i from source 0. *)
+  let n = 50 in
+  let g = Pbbs.Graph.symmetrize ~n (Array.init (n - 1) (fun i -> (i, i + 1))) in
+  let parents = in_pool (fun () -> Pbbs.Bfs.bfs g ~source:0) in
+  let dist = Pbbs.Bfs.distances_from_parents g ~source:0 parents in
+  Array.iteri (fun i d -> check Alcotest.int (Printf.sprintf "dist %d" i) i d) dist
+
+let prop_back_forward_bfs =
+  qtest "backForwardBFS = sequential distances" QCheck2.Gen.(int_range 1 500) (fun seed ->
+      let g = Pbbs.Graph.random_graph ~seed ~n:300 ~degree:4 () in
+      let parents = in_pool (fun () -> Pbbs.Bfs.bfs_back_forward g ~source:0) in
+      Pbbs.Bfs.check g ~source:0 parents)
+
+let test_back_forward_on_grid () =
+  (* Dense frontiers force the bottom-up path. *)
+  let g = Pbbs.Graph.grid2d ~side:20 in
+  let parents = in_pool (fun () -> Pbbs.Bfs.bfs_back_forward g ~source:0) in
+  Alcotest.(check bool) "grid distances" true (Pbbs.Bfs.check g ~source:0 parents)
+
+let test_bfs_disconnected () =
+  let g = Pbbs.Graph.symmetrize ~n:4 [| (0, 1) |] in
+  let parents = in_pool (fun () -> Pbbs.Bfs.bfs g ~source:0) in
+  check Alcotest.int "unreachable" (-1) parents.(2);
+  check Alcotest.int "unreachable" (-1) parents.(3);
+  check Alcotest.int "reached" 0 parents.(1)
+
+(* --- MIS / matching / forest --------------------------------------------- *)
+
+let prop_mis =
+  qtest "MIS independent + maximal" QCheck2.Gen.(int_range 1 500) (fun seed ->
+      let g = Pbbs.Graph.random_graph ~seed ~n:150 ~degree:4 () in
+      let mis = in_pool (fun () -> Pbbs.Maximal_independent_set.mis ~seed g) in
+      Pbbs.Maximal_independent_set.check g mis)
+
+let prop_matching =
+  qtest "matching valid + maximal" QCheck2.Gen.(int_range 1 500) (fun seed ->
+      let g = Pbbs.Graph.random_graph ~seed ~n:150 ~degree:4 () in
+      let edges = Pbbs.Graph.edge_list g in
+      let m =
+        in_pool (fun () ->
+            Pbbs.Maximal_matching.maximal_matching ~seed ~n:(Pbbs.Graph.num_vertices g) edges)
+      in
+      Pbbs.Maximal_matching.check ~n:(Pbbs.Graph.num_vertices g) edges m)
+
+let prop_spanning_forest =
+  qtest "spanning forest" QCheck2.Gen.(int_range 1 500) (fun seed ->
+      let g = Pbbs.Graph.random_graph ~seed ~n:120 ~degree:2 () in
+      let edges = Pbbs.Graph.edge_list g in
+      let f =
+        in_pool (fun () ->
+            Pbbs.Spanning_forest.spanning_forest ~seed ~n:(Pbbs.Graph.num_vertices g) edges)
+      in
+      Pbbs.Spanning_forest.check ~n:(Pbbs.Graph.num_vertices g) edges f)
+
+let test_forest_size_on_tree () =
+  (* A tree input: the forest must include every edge. *)
+  let n = 64 in
+  let edges = Array.init (n - 1) (fun i -> (i / 2, i + 1)) in
+  let f = in_pool (fun () -> Pbbs.Spanning_forest.spanning_forest ~n edges) in
+  check Alcotest.int "tree keeps all edges" (n - 1) (Array.length f)
+
+(* --- geometry -------------------------------------------------------------- *)
+
+let test_hull_square () =
+  let open Pbbs.Geometry in
+  (* 4 corners + interior points: hull must be exactly the corners. *)
+  let corners = [| { x = 0.; y = 0. }; { x = 1.; y = 0. }; { x = 1.; y = 1. }; { x = 0.; y = 1. } |] in
+  let interior = Array.init 100 (fun i -> { x = 0.1 +. (0.008 *. float_of_int i); y = 0.5 }) in
+  let pts = Array.append corners interior in
+  let hull = in_pool (fun () -> Pbbs.Convex_hull.quickhull pts) in
+  check Alcotest.int "hull size" 4 (Array.length hull);
+  Alcotest.(check bool) "checker agrees" true (Pbbs.Convex_hull.check pts hull)
+
+let test_hull_collinear () =
+  let open Pbbs.Geometry in
+  let pts = Array.init 10 (fun i -> { x = float_of_int i; y = 0. }) in
+  let hull = in_pool (fun () -> Pbbs.Convex_hull.quickhull pts) in
+  Alcotest.(check bool) "collinear ok" true (Pbbs.Convex_hull.check pts hull)
+
+let prop_hull_random =
+  qtest ~count:20 "hull checker on random points" QCheck2.Gen.(int_range 1 100) (fun seed ->
+      let pts = Pbbs.Geometry.in_sphere2d ~seed 500 in
+      let hull = in_pool (fun () -> Pbbs.Convex_hull.quickhull pts) in
+      Pbbs.Convex_hull.check pts hull)
+
+let prop_nn3d_brute_force =
+  qtest ~count:8 "3D k-d tree 1-NN = brute force" QCheck2.Gen.(int_range 1 100) (fun seed ->
+      let pts = Pbbs.Geometry.in_cube3d ~seed 300 in
+      let nn = in_pool (fun () -> Pbbs.Nearest_neighbors.Three_d.all_nearest pts) in
+      Pbbs.Nearest_neighbors.Three_d.check pts nn)
+
+let prop_nn_brute_force =
+  qtest ~count:10 "k-d tree 1-NN = brute force" QCheck2.Gen.(int_range 1 100) (fun seed ->
+      let pts = Pbbs.Geometry.in_cube2d ~seed 400 in
+      let nn = in_pool (fun () -> Pbbs.Nearest_neighbors.all_nearest pts) in
+      Pbbs.Nearest_neighbors.check pts nn)
+
+(* --- delaunay ------------------------------------------------------------------ *)
+
+let test_delaunay_square () =
+  let open Pbbs.Geometry in
+  (* Unit square + centre: any Delaunay triangulation has 4 triangles. *)
+  let pts =
+    [|
+      { x = 0.; y = 0. }; { x = 1.; y = 0. }; { x = 1.; y = 1. }; { x = 0.; y = 1. };
+      { x = 0.5; y = 0.51 };
+    |]
+  in
+  let tris = in_pool (fun () -> Pbbs.Delaunay.triangulate pts) in
+  check Alcotest.int "4 triangles" 4 (Array.length tris);
+  Alcotest.(check bool) "valid" true (Pbbs.Delaunay.check pts tris)
+
+let test_delaunay_tiny () =
+  let open Pbbs.Geometry in
+  let pts = [| { x = 0.; y = 0. }; { x = 1.; y = 0.1 }; { x = 0.3; y = 1. } |] in
+  let tris = in_pool (fun () -> Pbbs.Delaunay.triangulate pts) in
+  check Alcotest.int "single triangle" 1 (Array.length tris);
+  Alcotest.(check bool) "valid" true (Pbbs.Delaunay.check pts tris);
+  check Alcotest.int "n<3 empty" 0 (Array.length (Pbbs.Delaunay.triangulate [| { x = 0.; y = 0. } |]))
+
+let prop_delaunay =
+  qtest ~count:12 "delaunay valid on random points" QCheck2.Gen.(int_range 1 100) (fun seed ->
+      let pts = Pbbs.Geometry.in_cube2d ~seed 250 in
+      let tris = in_pool (fun () -> Pbbs.Delaunay.triangulate pts) in
+      Pbbs.Delaunay.check pts tris)
+
+(* --- text ------------------------------------------------------------------- *)
+
+let test_tokenize () =
+  let toks = Pbbs.Tokens.tokenize "hello,  world! a1 b" in
+  let strs = Array.map (Pbbs.Tokens.token_string "hello,  world! a1 b") toks in
+  check (Alcotest.array Alcotest.string) "tokens" [| "hello"; "world"; "a1"; "b" |] strs
+
+let test_tokenize_edges () =
+  check Alcotest.int "empty" 0 (Array.length (Pbbs.Tokens.tokenize ""));
+  check Alcotest.int "only separators" 0 (Array.length (Pbbs.Tokens.tokenize "  ,.; !"));
+  check Alcotest.int "single word" 1 (Array.length (Pbbs.Tokens.tokenize "word"));
+  let toks = Pbbs.Tokens.tokenize "x" in
+  check Alcotest.(pair Alcotest.int Alcotest.int) "1-char token" (0, 1) toks.(0)
+
+let test_word_counts_tiny () =
+  let counts = in_pool (fun () -> Pbbs.Word_counts.word_counts "a b a c b a") in
+  let find w =
+    match Array.find_opt (fun c -> c.Pbbs.Word_counts.word = w) counts with
+    | Some c -> c.Pbbs.Word_counts.count
+    | None -> -1
+  in
+  check Alcotest.int "a" 3 (find "a");
+  check Alcotest.int "b" 2 (find "b");
+  check Alcotest.int "c" 1 (find "c");
+  check Alcotest.int "distinct" 3 (Array.length counts)
+
+let test_suffix_array_banana () =
+  let sa = in_pool (fun () -> Pbbs.Suffix_array.suffix_array "banana") in
+  check (Alcotest.array Alcotest.int) "banana" [| 5; 3; 1; 0; 4; 2 |] sa
+
+let prop_suffix_array =
+  qtest ~count:25 "suffix array on random strings"
+    QCheck2.Gen.(string_size ~gen:(char_range 'a' 'd') (int_range 1 200))
+    (fun s ->
+      let sa = in_pool (fun () -> Pbbs.Suffix_array.suffix_array s) in
+      Pbbs.Suffix_array.check s sa)
+
+let test_lrs_banana () =
+  match in_pool (fun () -> Pbbs.Lrs.lrs "banana") with
+  | None -> Alcotest.fail "banana repeats"
+  | Some r ->
+      check Alcotest.string "ana" "ana" (Pbbs.Lrs.substring_at "banana" r.Pbbs.Lrs.offset r.Pbbs.Lrs.length)
+
+let test_lrs_no_repeat () =
+  Alcotest.(check bool) "abc has no repeat" true (in_pool (fun () -> Pbbs.Lrs.lrs "abc") = None)
+
+let prop_lrs =
+  qtest ~count:40 "lrs checker on random strings"
+    QCheck2.Gen.(string_size ~gen:(char_range 'a' 'c') (int_range 0 150))
+    (fun s ->
+      let r = in_pool (fun () -> Pbbs.Lrs.lrs s) in
+      Pbbs.Lrs.check s r)
+
+let test_lcp_known () =
+  let sa = in_pool (fun () -> Pbbs.Suffix_array.suffix_array "banana") in
+  let lcp = Pbbs.Lrs.lcp_array "banana" sa in
+  (* suffixes: a, ana, anana, banana, na, nana -> lcp 0,1,3,0,0,2 *)
+  check (Alcotest.array Alcotest.int) "banana lcp" [| 0; 1; 3; 0; 0; 2 |] lcp
+
+let test_bwt_banana () =
+  let b = in_pool (fun () -> Pbbs.Bw_transform.bwt "banana") in
+  check Alcotest.string "bwt(banana)" "annb\x00aa" b;
+  check Alcotest.string "roundtrip" "banana" (Pbbs.Bw_transform.unbwt b)
+
+let prop_bwt_roundtrip =
+  qtest ~count:40 "bwt/unbwt roundtrip"
+    QCheck2.Gen.(string_size ~gen:(char_range 'a' 'e') (int_range 0 300))
+    (fun s -> in_pool (fun () -> Pbbs.Bw_transform.unbwt (Pbbs.Bw_transform.bwt s)) = s)
+
+let prop_range_query =
+  qtest ~count:15 "range query = brute force" QCheck2.Gen.(int_range 1 100) (fun seed ->
+      let pts = Pbbs.Geometry.in_cube2d ~seed 600 in
+      let rects = Pbbs.Range_query.make_rects ~seed:(seed + 1) 80 in
+      let out = in_pool (fun () -> Pbbs.Range_query.query_all (Pbbs.Range_query.build pts) rects) in
+      Array.for_all2 (fun got r -> got = Pbbs.Range_query.brute_count pts r) out rects)
+
+let test_range_query_edges () =
+  let open Pbbs.Geometry in
+  let pts = [| { x = 0.5; y = 0.5 } |] in
+  let t = in_pool (fun () -> Pbbs.Range_query.build pts) in
+  let q xlo xhi ylo yhi = Pbbs.Range_query.query t { Pbbs.Range_query.xlo; xhi; ylo; yhi } in
+  check Alcotest.int "hit" 1 (q 0. 1. 0. 1.);
+  check Alcotest.int "exact boundary" 1 (q 0.5 0.5 0.5 0.5);
+  check Alcotest.int "miss x" 0 (q 0.6 1. 0. 1.);
+  check Alcotest.int "miss y" 0 (q 0. 1. 0.6 1.);
+  let empty = in_pool (fun () -> Pbbs.Range_query.build [||]) in
+  check Alcotest.int "empty tree" 0
+    (Pbbs.Range_query.query empty { Pbbs.Range_query.xlo = 0.; xhi = 1.; ylo = 0.; yhi = 1. })
+
+(* --- histogram / duplicates --------------------------------------------------- *)
+
+let prop_histogram =
+  qtest "histogram = sequential count"
+    QCheck2.Gen.(array_size (int_range 0 2000) (int_range 0 63))
+    (fun keys ->
+      let h = in_pool (fun () -> Pbbs.Histogram.histogram ~buckets:64 keys) in
+      Pbbs.Histogram.check_histogram ~buckets:64 keys h)
+
+let prop_remove_duplicates =
+  qtest "removeDuplicates"
+    QCheck2.Gen.(array_size (int_range 0 2000) (int_range 0 255))
+    (fun keys ->
+      let d = in_pool (fun () -> Pbbs.Remove_duplicates.remove_duplicates ~bits:8 keys) in
+      Pbbs.Remove_duplicates.check keys d)
+
+(* --- classify ------------------------------------------------------------------ *)
+
+let test_classify_learns () =
+  let ds = Pbbs.Classify.synth ~seed:5 ~n:4000 ~d:8 () in
+  let tree = in_pool (fun () -> Pbbs.Classify.train ds) in
+  let acc = Pbbs.Classify.accuracy tree ds in
+  Alcotest.(check bool) (Printf.sprintf "accuracy %.3f > 0.8" acc) true (acc > 0.8)
+
+let test_classify_pure_labels () =
+  (* All-same labels: the tree must be a single leaf predicting it. *)
+  let ds = Pbbs.Classify.synth ~seed:6 ~n:256 ~d:4 () in
+  let ds = { ds with Pbbs.Classify.labels = Array.make ds.Pbbs.Classify.n 1 } in
+  let tree = in_pool (fun () -> Pbbs.Classify.train ds) in
+  check (Alcotest.float 1e-9) "perfect" 1.0 (Pbbs.Classify.accuracy tree ds)
+
+(* --- nbody ----------------------------------------------------------------------- *)
+
+let test_nbody_two_bodies () =
+  let open Pbbs.Geometry in
+  let pts = [| { x = 0.; y = 0. }; { x = 1.; y = 0. } |] in
+  let forces = in_pool (fun () -> Pbbs.Nbody.forces pts) in
+  let fx0, fy0 = forces.(0) and fx1, fy1 = forces.(1) in
+  Alcotest.(check bool) "attract each other" true (fx0 > 0. && fx1 < 0.);
+  Alcotest.(check bool) "symmetric" true (Float.abs (fx0 +. fx1) < 1e-9);
+  Alcotest.(check bool) "no y force" true (Float.abs fy0 < 1e-9 && Float.abs fy1 < 1e-9)
+
+let () =
+  let finally () = if Lazy.is_val pool then S.Pool.shutdown (Lazy.force pool) in
+  Fun.protect ~finally (fun () ->
+      Alcotest.run "pbbs"
+        [
+          ("suite (all instances, self-checked)", suite_cases);
+          ("suite under every variant", variant_sweep_cases);
+          ( "graph",
+            [
+              Alcotest.test_case "of_edges" `Quick test_graph_of_edges;
+              Alcotest.test_case "symmetrize" `Quick test_graph_symmetrize;
+              Alcotest.test_case "rmat symmetric" `Quick test_graph_symmetric_property;
+              Alcotest.test_case "grid2d structure" `Quick test_grid2d_structure;
+              Alcotest.test_case "edge_list" `Quick test_edge_list;
+            ] );
+          ( "bfs",
+            [
+              Alcotest.test_case "line graph" `Quick test_bfs_line;
+              Alcotest.test_case "disconnected" `Quick test_bfs_disconnected;
+              Alcotest.test_case "back-forward on grid" `Quick test_back_forward_on_grid;
+              prop_bfs_distances;
+              prop_back_forward_bfs;
+            ] );
+          ("graph-algos", [ prop_mis; prop_matching; prop_spanning_forest;
+                            Alcotest.test_case "forest on tree" `Quick test_forest_size_on_tree ]);
+          ( "geometry",
+            [
+              Alcotest.test_case "hull of square" `Quick test_hull_square;
+              Alcotest.test_case "collinear" `Quick test_hull_collinear;
+              prop_hull_random;
+              prop_nn_brute_force;
+              prop_nn3d_brute_force;
+            ] );
+          ( "text",
+            [
+              Alcotest.test_case "tokenize" `Quick test_tokenize;
+              Alcotest.test_case "tokenize edges" `Quick test_tokenize_edges;
+              Alcotest.test_case "word counts tiny" `Quick test_word_counts_tiny;
+              Alcotest.test_case "suffix array banana" `Quick test_suffix_array_banana;
+              prop_suffix_array;
+            ] );
+          ("counting", [ prop_histogram; prop_remove_duplicates ]);
+          ( "strings-advanced",
+            [
+              Alcotest.test_case "lrs banana" `Quick test_lrs_banana;
+              Alcotest.test_case "lrs no repeat" `Quick test_lrs_no_repeat;
+              Alcotest.test_case "lcp banana" `Quick test_lcp_known;
+              Alcotest.test_case "bwt banana" `Quick test_bwt_banana;
+              prop_lrs;
+              prop_bwt_roundtrip;
+            ] );
+          ( "range-query",
+            [ Alcotest.test_case "edge cases" `Quick test_range_query_edges; prop_range_query ] );
+          ( "delaunay",
+            [
+              Alcotest.test_case "square + centre" `Quick test_delaunay_square;
+              Alcotest.test_case "tiny inputs" `Quick test_delaunay_tiny;
+              prop_delaunay;
+            ] );
+          ( "classify",
+            [
+              Alcotest.test_case "learns synthetic rule" `Quick test_classify_learns;
+              Alcotest.test_case "pure labels" `Quick test_classify_pure_labels;
+            ] );
+          ("nbody", [ Alcotest.test_case "two bodies" `Quick test_nbody_two_bodies ]);
+        ])

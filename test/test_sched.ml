@@ -1,0 +1,237 @@
+(* Scheduler runtime tests: correctness of fork_join / parallel_for under
+   every variant, exception propagation, pool lifecycle, counters. *)
+
+open Lcws
+module S = Scheduler
+
+let check = Alcotest.check
+
+let with_pool ?(workers = 4) variant f =
+  let pool = S.Pool.create ~num_workers:workers ~variant () in
+  Fun.protect ~finally:(fun () -> S.Pool.shutdown pool) (fun () -> f pool)
+
+let rec fib n =
+  if n < 10 then begin
+    let rec f n = if n < 2 then n else f (n - 1) + f (n - 2) in
+    f n
+  end
+  else begin
+    let a, b = S.fork_join (fun () -> fib (n - 1)) (fun () -> fib (n - 2)) in
+    a + b
+  end
+
+let test_fib variant () =
+  with_pool variant (fun pool ->
+      check Alcotest.int "fib 20" 6765 (S.Pool.run pool (fun () -> fib 20)))
+
+let test_parallel_for variant () =
+  with_pool variant (fun pool ->
+      let n = 100_000 in
+      let hits = Array.make n 0 in
+      S.Pool.run pool (fun () ->
+          S.parallel_for ~grain:64 ~start:0 ~stop:n (fun i -> hits.(i) <- hits.(i) + 1));
+      let total = Array.fold_left ( + ) 0 hits in
+      check Alcotest.int "every index exactly once" n total;
+      Alcotest.(check bool) "no double writes" true (Array.for_all (fun v -> v = 1) hits))
+
+let test_nested variant () =
+  with_pool variant (fun pool ->
+      let result =
+        S.Pool.run pool (fun () ->
+            let (a, b), (c, d) =
+              S.fork_join
+                (fun () -> S.fork_join (fun () -> fib 15) (fun () -> fib 14))
+                (fun () -> S.fork_join (fun () -> fib 13) (fun () -> fib 12))
+            in
+            a + b + c + d)
+      in
+      check Alcotest.int "nested" (610 + 377 + 233 + 144) result)
+
+let test_sequential_fallback () =
+  (* Outside a pool, the API degrades to sequential execution. *)
+  let a, b = S.fork_join (fun () -> 1) (fun () -> 2) in
+  check Alcotest.int "fork_join outside pool" 3 (a + b);
+  let acc = ref 0 in
+  S.parallel_for ~start:0 ~stop:10 (fun i -> acc := !acc + i);
+  check Alcotest.int "parallel_for outside pool" 45 !acc;
+  S.tick ();
+  check Alcotest.int "my_id outside pool" 0 (S.my_id ());
+  check Alcotest.int "num_workers outside pool" 1 (S.num_workers ())
+
+exception Boom
+
+let test_exception_left variant () =
+  with_pool variant (fun pool ->
+      Alcotest.check_raises "f raises" Boom (fun () ->
+          S.Pool.run pool (fun () ->
+              ignore (S.fork_join (fun () -> raise Boom) (fun () -> fib 12)))))
+
+let test_exception_right variant () =
+  with_pool variant (fun pool ->
+      Alcotest.check_raises "g raises" Boom (fun () ->
+          S.Pool.run pool (fun () ->
+              ignore (S.fork_join (fun () -> fib 12) (fun () -> raise Boom)))))
+
+let test_pool_reuse variant () =
+  with_pool variant (fun pool ->
+      for _ = 1 to 5 do
+        check Alcotest.int "repeated runs" 55 (S.Pool.run pool (fun () -> fib 10))
+      done)
+
+let test_one_worker variant () =
+  with_pool ~workers:1 variant (fun pool ->
+      check Alcotest.int "single worker" 6765 (S.Pool.run pool (fun () -> fib 20)))
+
+let test_counters_ws () =
+  with_pool S.Ws (fun pool ->
+      S.Pool.reset_metrics pool;
+      ignore (S.Pool.run pool (fun () -> fib 18));
+      let m = S.Pool.metrics pool in
+      Alcotest.(check bool) "WS pops pay fences" true (m.Metrics.fences > 0);
+      Alcotest.(check bool) "pushes counted" true (m.Metrics.pushes > 0);
+      check Alcotest.int "no exposures in WS" 0 m.Metrics.exposed_tasks)
+
+let test_counters_lcws_fence_light () =
+  let fences variant =
+    with_pool variant (fun pool ->
+        S.Pool.reset_metrics pool;
+        ignore (S.Pool.run pool (fun () -> fib 22));
+        let m = S.Pool.metrics pool in
+        (m.Metrics.fences, m.Metrics.pushes))
+  in
+  let ws_fences, ws_pushes = fences S.Ws in
+  let sg_fences, sg_pushes = fences S.Signal in
+  Alcotest.(check bool) "similar task counts" true
+    (float_of_int sg_pushes > 0.5 *. float_of_int ws_pushes);
+  Alcotest.(check bool)
+    (Printf.sprintf "signal fences (%d) well below WS (%d)" sg_fences ws_fences)
+    true
+    (float_of_int sg_fences < 0.05 *. float_of_int ws_fences)
+
+let test_exposure_happens () =
+  (* With more workers than 1 and enough forking, thieves must force
+     exposure on LCWS variants. On a single-core host the helpers only
+     run when the OS preempts worker 0, so grow the job until they do. *)
+  with_pool ~workers:4 S.Signal (fun pool ->
+      let rec attempt n =
+        S.Pool.reset_metrics pool;
+        ignore (S.Pool.run pool (fun () -> fib n));
+        let m = S.Pool.metrics pool in
+        if m.Metrics.signals_sent > 0 && m.Metrics.exposed_tasks > 0 then ()
+        else if n >= 34 then begin
+          Alcotest.(check bool) "signals sent" true (m.Metrics.signals_sent > 0);
+          Alcotest.(check bool) "exposures happened" true (m.Metrics.exposed_tasks > 0)
+        end
+        else attempt (n + 2)
+      in
+      attempt 24)
+
+let test_metrics_reset () =
+  with_pool S.Ws (fun pool ->
+      ignore (S.Pool.run pool (fun () -> fib 15));
+      S.Pool.reset_metrics pool;
+      let m = S.Pool.metrics pool in
+      check Alcotest.int "reset" 0 (m.Metrics.pushes + m.Metrics.fences))
+
+let test_shutdown_idempotent () =
+  let pool = S.Pool.create ~num_workers:2 ~variant:S.Signal () in
+  ignore (S.Pool.run pool (fun () -> fib 10));
+  S.Pool.shutdown pool;
+  S.Pool.shutdown pool;
+  Alcotest.check_raises "run after shutdown"
+    (Invalid_argument "Pool.run: pool was shut down") (fun () ->
+      ignore (S.Pool.run pool (fun () -> 0)))
+
+let test_create_params () =
+  (* Non-default pool parameters must work: tiny deques (enough for the
+     recursion depth), no steal sleeping, custom seed. *)
+  let pool =
+    S.Pool.create ~seed:7L ~deque_capacity:256 ~steal_sleep_us:0 ~num_workers:2
+      ~variant:S.Half ()
+  in
+  Fun.protect
+    ~finally:(fun () -> S.Pool.shutdown pool)
+    (fun () -> check Alcotest.int "fib" 6765 (S.Pool.run pool (fun () -> fib 20)));
+  Alcotest.check_raises "zero workers" (Invalid_argument "Pool.create: num_workers must be >= 1")
+    (fun () -> ignore (S.Pool.create ~num_workers:0 ~variant:S.Ws ()))
+
+let test_variant_names () =
+  List.iter
+    (fun v ->
+      check
+        Alcotest.(option string)
+        "roundtrip"
+        (Some (S.variant_name v))
+        (Option.map S.variant_name (S.variant_of_string (S.variant_name v))))
+    S.all_variants;
+  check Alcotest.(option string) "unknown" None (Option.map S.variant_name (S.variant_of_string "nope"))
+
+let test_parallel_for_grains variant () =
+  with_pool variant (fun pool ->
+      List.iter
+        (fun grain ->
+          let acc = Atomic.make 0 in
+          S.Pool.run pool (fun () ->
+              S.parallel_for ~grain ~start:5 ~stop:1005 (fun _ -> Atomic.incr acc));
+          check Alcotest.int (Printf.sprintf "grain %d" grain) 1000 (Atomic.get acc))
+        [ 1; 7; 100; 5000 ])
+
+let test_empty_range variant () =
+  with_pool variant (fun pool ->
+      S.Pool.run pool (fun () -> S.parallel_for ~start:10 ~stop:10 (fun _ -> Alcotest.fail "called"));
+      S.Pool.run pool (fun () -> S.parallel_for ~start:10 ~stop:5 (fun _ -> Alcotest.fail "called")))
+
+let test_result_types variant () =
+  with_pool variant (fun pool ->
+      let s, f =
+        S.Pool.run pool (fun () -> S.fork_join (fun () -> "left") (fun () -> 3.14))
+      in
+      check Alcotest.string "string result" "left" s;
+      check (Alcotest.float 0.0) "float result" 3.14 f)
+
+let test_oversubscribed variant () =
+  (* 8 domains on (typically) fewer cores: the schedulers must stay
+     correct and live under heavy timeslicing. *)
+  with_pool ~workers:8 variant (fun pool ->
+      let n = 200_000 in
+      let acc = Atomic.make 0 in
+      S.Pool.run pool (fun () ->
+          S.parallel_for ~grain:128 ~start:0 ~stop:n (fun _ -> Atomic.incr acc));
+      check Alcotest.int "all iterations" n (Atomic.get acc);
+      check Alcotest.int "fib" 196418 (S.Pool.run pool (fun () -> fib 27)))
+
+let per_variant name f =
+  List.map
+    (fun v -> Alcotest.test_case (Printf.sprintf "%s [%s]" name (S.variant_name v)) `Quick (f v))
+    S.all_variants
+
+let () =
+  Alcotest.run "sched"
+    [
+      ("fib", per_variant "fib 20" test_fib);
+      ("parallel_for", per_variant "coverage" test_parallel_for);
+      ("nested", per_variant "nested fork_join" test_nested);
+      ( "fallback",
+        [ Alcotest.test_case "sequential outside pool" `Quick test_sequential_fallback ] );
+      ("exceptions-left", per_variant "left raises" test_exception_left);
+      ("exceptions-right", per_variant "right raises" test_exception_right);
+      ("reuse", per_variant "pool reuse" test_pool_reuse);
+      ("one-worker", per_variant "1 worker" test_one_worker);
+      ( "counters",
+        [
+          Alcotest.test_case "WS counters" `Quick test_counters_ws;
+          Alcotest.test_case "LCWS fence-light" `Quick test_counters_lcws_fence_light;
+          Alcotest.test_case "exposure happens" `Quick test_exposure_happens;
+          Alcotest.test_case "metrics reset" `Quick test_metrics_reset;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
+          Alcotest.test_case "create params" `Quick test_create_params;
+          Alcotest.test_case "variant names" `Quick test_variant_names;
+        ] );
+      ("grains", per_variant "grain sweep" test_parallel_for_grains);
+      ("oversubscribed", per_variant "8 workers" test_oversubscribed);
+      ("empty-range", per_variant "empty ranges" test_empty_range);
+      ("results", per_variant "heterogeneous results" test_result_types);
+    ]

@@ -1,0 +1,251 @@
+(* The discrete-event simulator: Comp algebra, engine determinism and
+   conservation laws, per-policy behaviours, machine models, workload
+   registry. *)
+
+open Lcws
+module C = Sim.Comp
+module E = Sim.Engine
+module M = Sim.Cost_model
+module W = Sim.Workloads
+
+let check = Alcotest.check
+
+let qtest ?(count = 50) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+
+(* --- Comp ---------------------------------------------------------------- *)
+
+let test_comp_work () =
+  let c = C.Seq [ C.Work 10; C.Fork (C.Work 5, C.Work 7); C.pfor ~grain:2 ~n:10 (fun _ -> 3) ] in
+  check Alcotest.int "total work" (10 + 5 + 7 + 30) (C.total_work c);
+  check Alcotest.int "span" (10 + 7 + 6) (C.span c);
+  check Alcotest.int "leaves" (1 + 2 + 5) (C.num_leaves c)
+
+let test_comp_balanced () =
+  let c = C.balanced ~leaves:8 ~leaf_work:100 in
+  check Alcotest.int "work" 800 (C.total_work c);
+  check Alcotest.int "span" 100 (C.span c);
+  check Alcotest.int "leaves" 8 (C.num_leaves c)
+
+let test_comp_pfor_span () =
+  (* span of a pfor = largest leaf chunk *)
+  let c = C.pfor ~grain:4 ~n:16 (fun _ -> 5) in
+  check Alcotest.int "span" 20 (C.span c);
+  let empty = C.pfor ~n:0 (fun _ -> 5) in
+  check Alcotest.int "empty work" 0 (C.total_work empty);
+  check Alcotest.int "empty leaves" 0 (C.num_leaves empty)
+
+(* --- engine: conservation + determinism ------------------------------------ *)
+
+let small_comp = C.pfor ~grain:8 ~n:2_000 (fun i -> 40 + (i mod 13))
+
+let test_engine_work_conservation () =
+  let expected = C.total_work small_comp in
+  List.iter
+    (fun policy ->
+      let s = E.run ~machine:M.amd32 ~policy ~p:4 small_comp in
+      check Alcotest.int
+        (Printf.sprintf "work conserved under %s" (E.policy_name policy))
+        expected s.E.total_work)
+    [ E.Ws; E.Uslcws; E.Signal; E.Cons; E.Half; E.Lace; E.Private_deques ]
+
+let test_engine_deterministic () =
+  List.iter
+    (fun policy ->
+      let a = E.run ~machine:M.amd32 ~policy ~p:8 small_comp in
+      let b = E.run ~machine:M.amd32 ~policy ~p:8 small_comp in
+      check Alcotest.int "same makespan" a.E.makespan b.E.makespan;
+      check Alcotest.int "same steals" a.E.steals b.E.steals;
+      check Alcotest.int "same fences" a.E.fences b.E.fences)
+    [ E.Ws; E.Signal; E.Half ]
+
+let test_engine_seed_matters () =
+  let a = E.run ~machine:M.amd32 ~policy:E.Ws ~p:8 ~seed:1L small_comp in
+  let b = E.run ~machine:M.amd32 ~policy:E.Ws ~p:8 ~seed:2L small_comp in
+  (* Different victim choices; makespans normally differ (not required,
+     but steal patterns must at least be recorded independently). *)
+  Alcotest.(check bool) "runs complete" true (a.E.makespan > 0 && b.E.makespan > 0)
+
+let test_engine_p1_no_steals () =
+  let s = E.run ~machine:M.amd32 ~policy:E.Signal ~p:1 small_comp in
+  check Alcotest.int "no steal attempts" 0 s.E.steal_attempts;
+  check Alcotest.int "no signals" 0 s.E.signals_sent;
+  Alcotest.(check bool) "makespan >= work" true (s.E.makespan >= C.total_work small_comp)
+
+let test_engine_scaling () =
+  let big = C.pfor ~grain:16 ~n:20_000 (fun _ -> 50) in
+  let m1 = (E.run ~machine:M.amd32 ~policy:E.Ws ~p:1 big).E.makespan in
+  let m4 = (E.run ~machine:M.amd32 ~policy:E.Ws ~p:4 big).E.makespan in
+  let m16 = (E.run ~machine:M.amd32 ~policy:E.Ws ~p:16 big).E.makespan in
+  Alcotest.(check bool) "4 workers ~4x faster" true
+    (float_of_int m1 /. float_of_int m4 > 3.0);
+  Alcotest.(check bool) "16 workers faster still" true (m16 < m4)
+
+let test_lcws_fence_elimination () =
+  let ws = E.run ~machine:M.amd32 ~policy:E.Ws ~p:4 small_comp in
+  let us = E.run ~machine:M.amd32 ~policy:E.Uslcws ~p:4 small_comp in
+  Alcotest.(check bool)
+    (Printf.sprintf "uslcws fences (%d) << ws fences (%d)" us.E.fences ws.E.fences)
+    true
+    (float_of_int us.E.fences < 0.05 *. float_of_int ws.E.fences)
+
+let test_signal_latency_accounting () =
+  let s = E.run ~machine:M.amd32 ~policy:E.Signal ~p:8 small_comp in
+  Alcotest.(check bool) "some signals" true (s.E.signals_sent > 0);
+  Alcotest.(check bool) "handled <= sent" true (s.E.signals_handled <= s.E.signals_sent);
+  Alcotest.(check bool) "steals need exposure" true (s.E.steals <= s.E.exposed)
+
+let test_uslcws_exposure_only_at_boundaries () =
+  (* A single long sequential task with a forked sibling: USLCWS cannot
+     expose until the long task finishes, Signal can. The thief therefore
+     steals much earlier under Signal. *)
+  let comp = C.Fork (C.Work 500_000, C.Work 500_000) in
+  let us = E.run ~machine:M.amd32 ~policy:E.Uslcws ~p:2 comp in
+  let sg = E.run ~machine:M.amd32 ~policy:E.Signal ~p:2 comp in
+  Alcotest.(check bool)
+    (Printf.sprintf "signal (%d) beats uslcws (%d) on long tasks" sg.E.makespan us.E.makespan)
+    true
+    (sg.E.makespan < us.E.makespan);
+  (* Signal achieves near-perfect overlap: makespan close to half the work. *)
+  Alcotest.(check bool) "signal overlaps" true (sg.E.makespan < 700_000)
+
+let test_cons_requires_two_tasks () =
+  (* One forked task only: Cons never exposes (needs >= 2 private). *)
+  let comp = C.Fork (C.Work 100_000, C.Work 100_000) in
+  let s = E.run ~machine:M.amd32 ~policy:E.Cons ~p:2 comp in
+  check Alcotest.int "nothing exposed" 0 s.E.exposed;
+  (* Deep fork chains have >= 2 private tasks: Cons does expose. *)
+  let deep = C.balanced ~leaves:64 ~leaf_work:5_000 in
+  let s2 = E.run ~machine:M.amd32 ~policy:E.Cons ~p:4 deep in
+  Alcotest.(check bool) "exposes with enough tasks" true (s2.E.exposed > 0)
+
+let test_half_exposes_more () =
+  let deep = C.balanced ~leaves:256 ~leaf_work:2_000 in
+  let one = E.run ~machine:M.amd32 ~policy:E.Signal ~p:8 deep in
+  let half = E.run ~machine:M.amd32 ~policy:E.Half ~p:8 deep in
+  Alcotest.(check bool)
+    (Printf.sprintf "half exposes >= signal per handled signal (%d/%d vs %d/%d)" half.E.exposed
+       half.E.signals_handled one.E.exposed one.E.signals_handled)
+    true
+    (half.E.signals_handled = 0
+    || float_of_int half.E.exposed /. float_of_int half.E.signals_handled
+       >= float_of_int one.E.exposed /. float_of_int (max 1 one.E.signals_handled))
+
+let test_private_no_cas () =
+  let s = E.run ~machine:M.amd32 ~policy:E.Private_deques ~p:4 small_comp in
+  check Alcotest.int "private deques never CAS" 0 s.E.cas;
+  Alcotest.(check bool) "work still balanced (some transfers)" true (s.E.signals_handled > 0)
+
+let test_exposed_not_stolen () =
+  let s = { (E.run ~machine:M.amd32 ~policy:E.Signal ~p:2 small_comp) with E.exposed = 10; E.steals = 3 } in
+  check Alcotest.int "ens" 7 (E.exposed_not_stolen s)
+
+let prop_makespan_at_least_span_work =
+  qtest "makespan >= max(span, work/p)" QCheck2.Gen.(pair (int_range 1 16) (int_range 1 6))
+    (fun (p, leaves_pow) ->
+      let comp = C.balanced ~leaves:(1 lsl leaves_pow) ~leaf_work:1_000 in
+      let s = E.run ~machine:M.intel16 ~policy:E.Ws ~p comp in
+      s.E.makespan >= C.span comp
+      && s.E.makespan >= C.total_work comp / p)
+
+(* Random fork-join DAGs: work conservation and completion must hold for
+   every policy on arbitrary computation shapes, not just the curated
+   workloads. *)
+let comp_gen =
+  let open QCheck2.Gen in
+  sized_size (int_range 0 5) @@ fix (fun self n ->
+      if n = 0 then map (fun w -> C.Work w) (int_range 0 2_000)
+      else
+        oneof
+          [
+            map (fun w -> C.Work w) (int_range 0 2_000);
+            map2 (fun a b -> C.Fork (a, b)) (self (n / 2)) (self (n / 2));
+            map (fun l -> C.Seq l) (list_size (int_range 0 4) (self (n / 2)));
+            map2
+              (fun n_iters grain -> C.pfor ~grain ~n:n_iters (fun i -> 10 + (i mod 7)))
+              (int_range 0 200) (int_range 1 32);
+          ])
+
+let prop_random_dags =
+  qtest ~count:60 "random DAGs complete under every policy"
+    QCheck2.Gen.(pair comp_gen (int_range 1 8))
+    (fun (comp, p) ->
+      let work = C.total_work comp in
+      List.for_all
+        (fun policy ->
+          let s = E.run ~machine:M.intel12 ~policy ~p comp in
+          s.E.total_work = work && s.E.makespan >= 0)
+        [ E.Ws; E.Uslcws; E.Signal; E.Cons; E.Half; E.Lace; E.Private_deques ])
+
+(* --- machines --------------------------------------------------------------- *)
+
+let test_machines () =
+  check Alcotest.int "3 machines" 3 (List.length M.all);
+  check Alcotest.(option string) "find amd32" (Some "AMD32")
+    (Option.map (fun m -> m.M.name) (M.find "amd32"));
+  check Alcotest.(option string) "find none" None (Option.map (fun m -> m.M.name) (M.find "xyz"));
+  check (Alcotest.list Alcotest.int) "sweep 12" [ 1; 2; 4; 8; 12 ] (M.processor_sweep M.intel12);
+  check (Alcotest.list Alcotest.int) "sweep 32" [ 1; 2; 4; 8; 16; 32 ] (M.processor_sweep M.amd32);
+  check (Alcotest.list Alcotest.int) "sweep 16" [ 1; 2; 4; 8; 16 ] (M.processor_sweep M.intel16)
+
+let test_machine_ordering () =
+  List.iter
+    (fun (m : M.t) ->
+      Alcotest.(check bool) "fence << signal" true (m.M.fence_cost * 10 < m.M.signal_send_cost);
+      Alcotest.(check bool) "plain < fence" true (m.M.plain_op_cost < m.M.fence_cost))
+    M.all
+
+(* --- workloads ---------------------------------------------------------------- *)
+
+let test_workloads_registry () =
+  Alcotest.(check bool) "rich registry" true (List.length W.all >= 20);
+  let c = W.find ~bench:"integerSort" ~instance:"randomSeq_int" in
+  Alcotest.(check bool) "find works" true (c <> None);
+  check Alcotest.(option Alcotest.unit) "find missing" None
+    (Option.map ignore (W.find ~bench:"nope" ~instance:"nope"))
+
+let workload_cases =
+  List.map
+    (fun (c : W.config) ->
+      Alcotest.test_case (Printf.sprintf "%s/%s" c.W.bench c.W.instance) `Quick (fun () ->
+          let comp = c.W.build ~scale:0.05 in
+          let work = Sim.Comp.total_work comp in
+          Alcotest.(check bool) "has work" true (work > 0);
+          let s = E.run ~machine:M.amd32 ~policy:E.Signal ~p:2 comp in
+          check Alcotest.int "conserves work" work s.E.total_work))
+    W.all
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "comp",
+        [
+          Alcotest.test_case "work/span/leaves" `Quick test_comp_work;
+          Alcotest.test_case "balanced" `Quick test_comp_balanced;
+          Alcotest.test_case "pfor span" `Quick test_comp_pfor_span;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "work conservation" `Quick test_engine_work_conservation;
+          Alcotest.test_case "deterministic" `Quick test_engine_deterministic;
+          Alcotest.test_case "seeded" `Quick test_engine_seed_matters;
+          Alcotest.test_case "P=1 no steals" `Quick test_engine_p1_no_steals;
+          Alcotest.test_case "scaling" `Quick test_engine_scaling;
+          Alcotest.test_case "LCWS eliminates fences" `Quick test_lcws_fence_elimination;
+          Alcotest.test_case "signal accounting" `Quick test_signal_latency_accounting;
+          Alcotest.test_case "USLCWS boundary-only exposure" `Quick
+            test_uslcws_exposure_only_at_boundaries;
+          Alcotest.test_case "Cons needs two tasks" `Quick test_cons_requires_two_tasks;
+          Alcotest.test_case "Half exposes more" `Quick test_half_exposes_more;
+          Alcotest.test_case "Private deques: no CAS" `Quick test_private_no_cas;
+          Alcotest.test_case "exposed_not_stolen" `Quick test_exposed_not_stolen;
+          prop_makespan_at_least_span_work;
+          prop_random_dags;
+        ] );
+      ( "machines",
+        [
+          Alcotest.test_case "table" `Quick test_machines;
+          Alcotest.test_case "cost ordering" `Quick test_machine_ordering;
+        ] );
+      ("workloads", Alcotest.test_case "registry" `Quick test_workloads_registry :: workload_cases);
+    ]
