@@ -4,7 +4,14 @@
      lcws_bench figure --n 5 [--scale S]  — one paper figure (or table/summary)
      lcws_bench sim ...                   — one simulated configuration
      lcws_bench real ...                  — one real-engine run with counters
-     lcws_bench suite ...                 — whole PBBS-like suite, self-checked *)
+     lcws_bench suite ...                 — whole PBBS-like suite, self-checked
+     lcws_bench trace ...                 — steal/exposure latency percentiles
+                                            for all five variants (+ Perfetto
+                                            JSON export)
+
+   The [--trace FILE] / [--trace-summary] options on `sim` and `real`
+   record scheduler events (Chrome trace-event JSON, loadable in
+   Perfetto / chrome://tracing). *)
 
 open Cmdliner
 module S = Lcws.Scheduler
@@ -12,8 +19,40 @@ module E = Lcws.Sim.Engine
 module M = Lcws.Sim.Cost_model
 module W = Lcws.Sim.Workloads
 module T = Lcws.Pbbs.Suite_types
+module Tr = Lcws.Trace
 
 let ppf = Format.std_formatter
+
+(* --- tracing options ---------------------------------------------------- *)
+
+let trace_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Record scheduler events and write Chrome trace-event JSON to $(docv).")
+
+let trace_summary_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "trace-summary" ]
+        ~doc:"Record scheduler events and print counts plus latency percentiles.")
+
+(* A live tracer when either option asks for one, [Trace.null] otherwise. *)
+let make_trace ~file ~summary ~num_workers =
+  if file <> None || summary then Tr.create ~num_workers () else Tr.null
+
+let finish_trace ~file ~summary ~unit_name trace =
+  if summary && Tr.enabled trace then begin
+    Format.fprintf ppf "@.trace summary (latencies in %s):@." unit_name;
+    Tr.summary ppf trace
+  end;
+  match file with
+  | Some path when Tr.enabled trace ->
+      Lcws.Chrome_trace.write_file path trace;
+      Format.fprintf ppf "trace written to %s (open in Perfetto)@." path
+  | _ -> ()
 
 (* --- list -------------------------------------------------------------- *)
 
@@ -78,7 +117,7 @@ let sim_cmd =
   let policy = Arg.(value & opt string "signal" & info [ "policy" ] ~doc:"Scheduler policy.") in
   let machine = Arg.(value & opt string "AMD32" & info [ "machine" ] ~doc:"Machine model.") in
   let p = Arg.(value & opt int 8 & info [ "p" ] ~doc:"Worker count.") in
-  let run bench instance policy machine p scale quantum =
+  let run bench instance policy machine p scale quantum trace_file trace_summary =
     match (W.find ~bench ~instance, E.policy_of_string policy, M.find machine) with
     | None, _, _ -> Format.fprintf ppf "unknown workload %s/%s@." bench instance
     | _, None, _ -> Format.fprintf ppf "unknown policy %s@." policy
@@ -87,15 +126,19 @@ let sim_cmd =
         let comp = c.W.build ~scale in
         Format.fprintf ppf "work=%d span=%d leaves=%d@." (Lcws.Sim.Comp.total_work comp)
           (Lcws.Sim.Comp.span comp) (Lcws.Sim.Comp.num_leaves comp);
-        let s = E.run ~machine ~policy ~p ~quantum comp in
+        let trace = make_trace ~file:trace_file ~summary:trace_summary ~num_workers:p in
+        let s = E.run ~machine ~policy ~p ~quantum ~trace comp in
         Format.fprintf ppf
           "makespan=%d cycles@.fences=%d cas=%d steals=%d/%d exposed=%d taken_back=%d \
            signals=%d/%d tasks=%d idle=%d@."
           s.E.makespan s.E.fences s.E.cas s.E.steals s.E.steal_attempts s.E.exposed
-          s.E.taken_back s.E.signals_sent s.E.signals_handled s.E.tasks s.E.idle_cycles
+          s.E.taken_back s.E.signals_sent s.E.signals_handled s.E.tasks s.E.idle_cycles;
+        finish_trace ~file:trace_file ~summary:trace_summary ~unit_name:"model cycles" trace
   in
   Cmd.v (Cmd.info "sim" ~doc)
-    Term.(const run $ bench $ instance $ policy $ machine $ p $ scale_arg $ quantum_arg)
+    Term.(
+      const run $ bench $ instance $ policy $ machine $ p $ scale_arg $ quantum_arg
+      $ trace_file_arg $ trace_summary_arg)
 
 (* --- real ---------------------------------------------------------------- *)
 
@@ -107,25 +150,113 @@ let real_cmd =
   in
   let variant = Arg.(value & opt string "signal" & info [ "variant" ] ~doc:"Scheduler variant.") in
   let p = Arg.(value & opt int 4 & info [ "p" ] ~doc:"Worker count.") in
-  let run bench instance variant p scale =
-    match (Lcws.Pbbs.Suite.find ~bench ~instance, S.variant_of_string variant) with
-    | None, _ -> Format.fprintf ppf "unknown benchmark %s/%s@." bench instance
-    | _, None -> Format.fprintf ppf "unknown variant %s@." variant
-    | Some inst, Some variant ->
+  let deque =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "deque" ] ~docv:"D" ~doc:"Deque implementation: chase_lev|split|lace|private.")
+  in
+  let run bench instance variant p scale deque trace_file trace_summary =
+    let deque_impl =
+      match deque with
+      | None -> Ok None
+      | Some d -> (
+          match S.deque_impl_of_string d with
+          | Some i -> Ok (Some i)
+          | None -> Error d)
+    in
+    match (Lcws.Pbbs.Suite.find ~bench ~instance, S.variant_of_string variant, deque_impl) with
+    | None, _, _ -> Format.fprintf ppf "unknown benchmark %s/%s@." bench instance
+    | _, None, _ -> Format.fprintf ppf "unknown variant %s@." variant
+    | _, _, Error d -> Format.fprintf ppf "unknown deque %s@." d
+    | Some inst, Some variant, Ok deque ->
         let prepared = inst.T.prepare ~scale in
-        let pool = S.Pool.create ~num_workers:p ~variant () in
+        let trace = make_trace ~file:trace_file ~summary:trace_summary ~num_workers:p in
+        let pool = S.Pool.create ?deque ~trace ~num_workers:p ~variant () in
         let t0 = Unix.gettimeofday () in
         S.Pool.run pool prepared.T.run;
         let dt = Unix.gettimeofday () -. t0 in
         let ok = prepared.T.check () in
         let m = S.Pool.metrics pool in
         S.Pool.shutdown pool;
-        Format.fprintf ppf "%s/%s %s P=%d: %.3fs check=%s@.%a@." bench instance
-          (S.variant_label variant) p dt
+        Format.fprintf ppf "%s/%s %s (%s deque) P=%d: %.3fs check=%s@.%a@." bench instance
+          (S.variant_label variant) (S.Pool.deque_name pool) p dt
           (if ok then "OK" else "FAILED")
-          Lcws.Metrics.pp m
+          Lcws.Metrics.pp m;
+        if trace_summary then Format.fprintf ppf "metrics_json=%s@." (Lcws.Metrics.to_json m);
+        finish_trace ~file:trace_file ~summary:trace_summary ~unit_name:"ns" trace
   in
-  Cmd.v (Cmd.info "real" ~doc) Term.(const run $ bench $ instance $ variant $ p $ scale_arg)
+  Cmd.v (Cmd.info "real" ~doc)
+    Term.(
+      const run $ bench $ instance $ variant $ p $ scale_arg $ deque $ trace_file_arg
+      $ trace_summary_arg)
+
+(* --- trace --------------------------------------------------------------- *)
+
+let trace_cmd =
+  let doc =
+    "Run one real benchmark under all five scheduler variants with event tracing and report \
+     steal / exposure / notify-to-steal handshake latency percentiles."
+  in
+  let bench =
+    Arg.(value & opt string "integer_sort" & info [ "bench" ] ~docv:"B" ~doc:"Benchmark.")
+  in
+  let instance =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "instance" ] ~docv:"I" ~doc:"Input instance (default: the benchmark's first).")
+  in
+  let p = Arg.(value & opt int 4 & info [ "p" ] ~doc:"Worker count.") in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"PREFIX"
+          ~doc:"Also write $(docv)_<variant>.json Chrome traces (open in Perfetto).")
+  in
+  let find_config ~bench ~instance =
+    List.find_map
+      (fun (b : T.bench) ->
+        if b.T.bname <> bench then None
+        else
+          match instance with
+          | None -> ( match b.T.instances with i :: _ -> Some (b, i) | [] -> None)
+          | Some name -> (
+              match List.find_opt (fun i -> i.T.iname = name) b.T.instances with
+              | Some i -> Some (b, i)
+              | None -> None))
+      Lcws.Pbbs.Suite.all
+  in
+  let run bench instance p scale out =
+    match find_config ~bench ~instance with
+    | None ->
+        Format.fprintf ppf "unknown benchmark configuration %s%s@." bench
+          (match instance with None -> "" | Some i -> "/" ^ i)
+    | Some (b, inst) ->
+        Format.fprintf ppf "%s/%s P=%d scale=%.2f — latencies in ns@." b.T.bname inst.T.iname p
+          scale;
+        List.iter
+          (fun variant ->
+            let trace = Tr.create ~num_workers:p () in
+            let r =
+              Lcws.Harness.Real_profile.run_config ~trace ~variant ~p ~scale b inst
+            in
+            let l = Tr.latencies trace in
+            Format.fprintf ppf "@.%-7s %.3fs check=%s@." (S.variant_label variant) r.seconds
+              (if r.checked then "OK" else "FAILED");
+            Format.fprintf ppf "  steal     %a@." Lcws.Histogram.pp l.Tr.steal;
+            Format.fprintf ppf "  expose    %a@." Lcws.Histogram.pp l.Tr.expose;
+            Format.fprintf ppf "  handshake %a@." Lcws.Histogram.pp l.Tr.handshake;
+            match out with
+            | None -> ()
+            | Some prefix ->
+                let path = Printf.sprintf "%s_%s.json" prefix (S.variant_name variant) in
+                Lcws.Chrome_trace.write_file path trace;
+                Format.fprintf ppf "  trace written to %s@." path)
+          S.all_variants
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ bench $ instance $ p $ scale_arg $ out)
 
 (* --- suite --------------------------------------------------------------- *)
 
@@ -164,4 +295,4 @@ let suite_cmd =
 let () =
   let doc = "Synchronization-light work stealing (SPAA '23) — reproduction tools" in
   let info = Cmd.info "lcws_bench" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; figure_cmd; sim_cmd; real_cmd; suite_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; figure_cmd; sim_cmd; real_cmd; trace_cmd; suite_cmd ]))

@@ -18,8 +18,12 @@
     - {!Metrics}, {!Xoshiro}, {!Backoff}, {!Fastmath} — runtime support;
     - {!Split_deque}, {!Chase_lev}, {!Lace_deque}, {!Private_deque} — the
       work-stealing deques (the paper's Listing 2 and its comparators);
+    - {!Trace}, {!Histogram}, {!Chrome_trace} — low-overhead scheduler
+      event tracing, steal/exposure latency percentiles and Perfetto
+      export;
     - {!Scheduler} — the five schedulers (WS, USLCWS, Signal, Cons,
-      Half) over real domains (Listings 1 and 3);
+      Half) over real domains (Listings 1 and 3), generic over the
+      {!Deque_intf.DEQUE} signature;
     - {!Parallel}, {!Psort}, {!Prandom} — a Parlay-style algorithm
       toolkit on top of the scheduler;
     - {!Pbbs} — the PBBS-like benchmark suite;
@@ -36,6 +40,9 @@ module Split_deque = Lcws_deque.Split_deque
 module Chase_lev = Lcws_deque.Chase_lev
 module Lace_deque = Lcws_deque.Lace_deque
 module Private_deque = Lcws_deque.Private_deque
+module Trace = Lcws_trace.Trace
+module Histogram = Lcws_trace.Histogram
+module Chrome_trace = Lcws_trace.Chrome_trace
 module Scheduler = Lcws_sched.Scheduler
 module Parallel = Lcws_parlay.Seq_ops
 module Psort = Lcws_parlay.Sort

@@ -108,3 +108,46 @@ let clear t =
   let tp = Atomic.get t.top in
   Atomic.set t.bottom tp;
   Array.fill t.deq 0 (Array.length t.deq) t.dummy
+
+(* Unified first-class API: the whole deque is thief-visible, so the
+   public-part operations degenerate — exposure moves nothing and the
+   owner never needs the public fallback pop. *)
+module Deque (E : sig
+  type t
+end) : Deque_intf.DEQUE with type elt = E.t and type t = E.t t = struct
+  type elt = E.t
+
+  type nonrec t = elt t
+
+  let name = "chase_lev"
+
+  let concurrent = true
+
+  let create = create
+
+  let capacity = capacity
+
+  let push_bottom = push_bottom
+
+  let pop_bottom = pop_bottom
+
+  let pop_bottom_signal_safe = pop_bottom
+
+  let pop_public_bottom _ = None
+
+  let pop_top = steal
+
+  let update_public_bottom _ ~policy:_ = 0
+
+  let has_two_tasks _ = false (* no *private* tasks, ever *)
+
+  let private_size _ = 0
+
+  let public_size = size
+
+  let size = size
+
+  let is_empty = is_empty
+
+  let clear = clear
+end

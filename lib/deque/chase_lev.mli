@@ -35,3 +35,10 @@ val is_empty : 'a t -> bool
 
 (** Owner: drop everything (between benchmark runs). *)
 val clear : 'a t -> unit
+
+(** Adapter to the unified {!Deque_intf.DEQUE} API. The whole deque is
+    thief-visible: [pop_public_bottom] is [None], [update_public_bottom]
+    exposes nothing, and [pop_top] is {!steal}. *)
+module Deque (E : sig
+  type t
+end) : Deque_intf.DEQUE with type elt = E.t and type t = E.t t

@@ -19,3 +19,91 @@ let pp_steal_result pp_task ppf = function
   | Empty -> Format.pp_print_string ppf "Empty"
   | Abort -> Format.pp_print_string ppf "Abort"
   | Private_work -> Format.pp_print_string ppf "Private_work"
+
+(** How many private tasks an owner transfers to the public part on an
+    exposure request (paper Sections 3, 4.1.1, 4.1.2). Lives here so that
+    every deque can answer [update_public_bottom] uniformly. *)
+type exposure_policy =
+  | Expose_one  (** base/user-space/signal: one task if any is private *)
+  | Expose_conservative  (** Cons (4.1.1): one task iff >= 2 are private *)
+  | Expose_half  (** Half (4.1.2): round(r/2) tasks when r >= 3, else one *)
+
+(** First-class deque API: the operations the scheduler needs, with the
+    split-deque surface as the common denominator. Fully concurrent
+    deques (Chase-Lev) implement the public-part operations as no-ops
+    ([pop_public_bottom] = [None], [update_public_bottom] = 0) and fold
+    everything into [pop_bottom]/[pop_top]; sequential-specification
+    deques (Lace, private) set [concurrent = false] and are only legal in
+    a single-worker pool or the simulator.
+
+    Ownership contract (as for the concrete modules): one owner domain
+    for every operation except [pop_top], which any domain may call with
+    its own metrics block. *)
+module type DEQUE = sig
+  type elt
+
+  type t
+
+  (** Short identifier ("chase_lev", "split", "lace", "private"). *)
+  val name : string
+
+  (** Safe for concurrent thieves? When [false], only single-worker pools
+      (or the simulator's event-atomic execution) may use the deque. *)
+  val concurrent : bool
+
+  val create : capacity:int -> dummy:elt -> metrics:Lcws_sync.Metrics.t -> unit -> t
+
+  val capacity : t -> int
+
+  (** Owner: push below the private bottom. Raises {!Deque_full}. *)
+  val push_bottom : t -> elt -> unit
+
+  (** Owner: pop the bottom-most locally available task. *)
+  val pop_bottom : t -> elt option
+
+  (** Owner: the Section 4 decrement-first pop. On [None] the caller must
+      invoke [pop_public_bottom] next, which repairs [bot]. Equal to
+      [pop_bottom] for deques without an asynchronous exposure race. *)
+  val pop_bottom_signal_safe : t -> elt option
+
+  (** Owner: take the bottom-most *public* task, competing with thieves.
+      [None] for deques without a public part. *)
+  val pop_public_bottom : t -> elt option
+
+  (** Thief: steal the top-most public task. *)
+  val pop_top : t -> metrics:Lcws_sync.Metrics.t -> elt steal_result
+
+  (** Owner (or its signal handler): expose private work; returns the
+      number of tasks made public (0 for fully concurrent deques). *)
+  val update_public_bottom : t -> policy:exposure_policy -> int
+
+  (** Racy size estimates (plain reads; may be stale). *)
+
+  val has_two_tasks : t -> bool
+
+  val private_size : t -> int
+
+  val public_size : t -> int
+
+  val size : t -> int
+
+  val is_empty : t -> bool
+
+  (** Owner: drop everything (between benchmark runs). *)
+  val clear : t -> unit
+end
+
+(** A deque implementation packed as a first-class module. *)
+type 'a impl = (module DEQUE with type elt = 'a)
+
+(** An implementation paired with one of its instances; the existential
+    keeps the representation type abstract so the scheduler can hold any
+    deque in the same worker record. *)
+type 'a instance = Instance : (module DEQUE with type elt = 'a and type t = 'd) * 'd -> 'a instance
+
+let make (type a) ((module D) : a impl) ~capacity ~dummy ~metrics : a instance =
+  Instance ((module D), D.create ~capacity ~dummy ~metrics ())
+
+let impl_name (type a) ((module D) : a impl) = D.name
+
+let impl_concurrent (type a) ((module D) : a impl) = D.concurrent

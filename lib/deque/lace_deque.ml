@@ -16,6 +16,8 @@ let create ~capacity ~dummy () =
   if capacity < 1 then invalid_arg "Lace_deque.create";
   { dummy; deq = Array.make capacity dummy; top = 0; split = 0; bot = 0 }
 
+let capacity t = Array.length t.deq
+
 let reset_if_empty t = if t.top = t.bot then (t.top <- 0; t.split <- 0; t.bot <- 0)
 
 let push_bottom t x =
@@ -73,3 +75,94 @@ let clear t =
   t.split <- 0;
   t.bot <- 0;
   Array.fill t.deq 0 (Array.length t.deq) t.dummy
+
+(* Unified first-class API. The op_cost returned by each operation is
+   folded into the caller's Metrics block so the comparator's
+   synchronization profile stays visible outside the simulator. NOT safe
+   for concurrent thieves ([concurrent = false]): Lace's real handshake
+   protocol is out of scope, so a pool using this deque must run with a
+   single worker. *)
+type 'a lace = 'a t
+
+module Deque (E : sig
+  type t
+end) : Deque_intf.DEQUE with type elt = E.t = struct
+  module Metrics = Lcws_sync.Metrics
+
+  type elt = E.t
+
+  type t = { d : elt lace; m : Metrics.t }
+
+  let name = "lace"
+
+  let concurrent = false
+
+  let charge (m : Metrics.t) (c : op_cost) =
+    m.Metrics.fences <- m.Metrics.fences + c.fences;
+    m.Metrics.cas_ops <- m.Metrics.cas_ops + c.cas
+
+  let create ~capacity ~dummy ~metrics () = { d = create ~capacity ~dummy (); m = metrics }
+
+  let capacity t = capacity t.d
+
+  let push_bottom t x =
+    charge t.m (push_bottom t.d x);
+    t.m.Metrics.pushes <- t.m.Metrics.pushes + 1
+
+  let pop_bottom t =
+    let r, c = pop_bottom t.d in
+    charge t.m c;
+    if r <> None then t.m.Metrics.pops <- t.m.Metrics.pops + 1;
+    r
+
+  (* No asynchronous exposure: the plain pop is already signal-safe. *)
+  let pop_bottom_signal_safe = pop_bottom
+
+  (* [pop_bottom] unexposes instead of competing at the public bottom, so
+     a [None] really means the deque is empty. *)
+  let pop_public_bottom _ = None
+
+  let pop_top t ~metrics:(m : Metrics.t) =
+    m.Metrics.steal_attempts <- m.Metrics.steal_attempts + 1;
+    let r, c = pop_top t.d in
+    charge m c;
+    (match r with
+    | Deque_intf.Stolen _ -> m.Metrics.steals <- m.Metrics.steals + 1
+    | Deque_intf.Private_work ->
+        m.Metrics.private_work_hits <- m.Metrics.private_work_hits + 1
+    | Deque_intf.Empty | Deque_intf.Abort -> ());
+    r
+
+  let update_public_bottom t ~policy =
+    let r = private_size t.d in
+    let want =
+      match (policy : Deque_intf.exposure_policy) with
+      | Deque_intf.Expose_one -> if r >= 1 then 1 else 0
+      | Deque_intf.Expose_conservative -> if r >= 2 then 1 else 0
+      | Deque_intf.Expose_half ->
+          if r >= 3 then Lcws_sync.Fastmath.round_half r else if r >= 1 then 1 else 0
+    in
+    let n = ref 0 in
+    for _ = 1 to want do
+      let k, c = expose t.d in
+      charge t.m c;
+      n := !n + k
+    done;
+    if !n > 0 then begin
+      t.m.Metrics.exposures <- t.m.Metrics.exposures + 1;
+      t.m.Metrics.exposed_tasks <- t.m.Metrics.exposed_tasks + !n
+    end;
+    !n
+
+  let has_two_tasks t = private_size t.d >= 2
+
+  let private_size t = private_size t.d
+
+  let public_size t = public_size t.d
+
+  let size t = size t.d
+
+  let is_empty t = is_empty t.d
+
+  let clear t = clear t.d
+end

@@ -28,6 +28,8 @@ val no_cost : op_cost
 
 val create : capacity:int -> dummy:'a -> unit -> 'a t
 
+val capacity : 'a t -> int
+
 val push_bottom : 'a t -> 'a -> op_cost
 
 (** Owner pop. If the private region is empty but public work remains,
@@ -51,3 +53,10 @@ val size : 'a t -> int
 val is_empty : 'a t -> bool
 
 val clear : 'a t -> unit
+
+(** Adapter to the unified {!Deque_intf.DEQUE} API. Each operation's
+    {!op_cost} is folded into the caller's metrics block. [concurrent =
+    false]: only single-worker pools (or the simulator) may use it. *)
+module Deque (E : sig
+  type t
+end) : Deque_intf.DEQUE with type elt = E.t

@@ -46,3 +46,62 @@ let clear t =
   t.top <- 0;
   t.bot <- 0;
   Array.fill t.deq 0 (Array.length t.deq) t.dummy
+
+type 'a pdq = 'a t
+
+(* Unified first-class API. Everything stays private: exposure moves
+   nothing and a "steal" is really the owner-side transfer pop, so the
+   module is only legal where no true concurrency exists ([concurrent =
+   false]: single-worker pools, or the simulator's event-atomic steps). *)
+module Deque (E : sig
+  type t
+end) : Deque_intf.DEQUE with type elt = E.t = struct
+  module Metrics = Lcws_sync.Metrics
+
+  type elt = E.t
+
+  type t = { d : elt pdq; m : Metrics.t }
+
+  let name = "private"
+
+  let concurrent = false
+
+  let create ~capacity ~dummy ~metrics () = { d = create ~capacity ~dummy (); m = metrics }
+
+  let capacity t = capacity t.d
+
+  let push_bottom t x =
+    push_bottom t.d x;
+    t.m.Metrics.pushes <- t.m.Metrics.pushes + 1
+
+  let pop_bottom t =
+    let r = pop_bottom t.d in
+    if r <> None then t.m.Metrics.pops <- t.m.Metrics.pops + 1;
+    r
+
+  let pop_bottom_signal_safe = pop_bottom
+
+  let pop_public_bottom _ = None
+
+  let pop_top t ~metrics:(m : Metrics.t) =
+    m.Metrics.steal_attempts <- m.Metrics.steal_attempts + 1;
+    match pop_top t.d with
+    | Some x ->
+        m.Metrics.steals <- m.Metrics.steals + 1;
+        Deque_intf.Stolen x
+    | None -> Deque_intf.Empty
+
+  let update_public_bottom _ ~policy:_ = 0
+
+  let has_two_tasks t = size t.d >= 2
+
+  let private_size t = size t.d
+
+  let public_size _ = 0
+
+  let size t = size t.d
+
+  let is_empty t = is_empty t.d
+
+  let clear t = clear t.d
+end

@@ -24,3 +24,10 @@ val size : 'a t -> int
 val is_empty : 'a t -> bool
 
 val clear : 'a t -> unit
+
+(** Adapter to the unified {!Deque_intf.DEQUE} API. [pop_top] maps to the
+    owner-side transfer pop, so [concurrent = false]: only single-worker
+    pools (or the simulator) may use it. *)
+module Deque (E : sig
+  type t
+end) : Deque_intf.DEQUE with type elt = E.t

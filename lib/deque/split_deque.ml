@@ -12,7 +12,10 @@ module Age = struct
   let tag age = age lsr top_bits
 end
 
-type exposure_policy = Expose_one | Expose_conservative | Expose_half
+type exposure_policy = Deque_intf.exposure_policy =
+  | Expose_one
+  | Expose_conservative
+  | Expose_half
 
 type 'a t = {
   dummy : 'a;
@@ -194,3 +197,45 @@ let clear t =
   Atomic.set t.public_bot 0;
   Atomic.set t.age (Age.pack ~tag:(Age.tag old_age + 1) ~top:0);
   Array.fill t.deq 0 (Array.length t.deq) t.dummy
+
+(* Unified first-class API: the split deque is the reference shape, so
+   every operation maps one-to-one. *)
+module Deque (E : sig
+  type t
+end) : Deque_intf.DEQUE with type elt = E.t and type t = E.t t = struct
+  type elt = E.t
+
+  type nonrec t = elt t
+
+  let name = "split"
+
+  let concurrent = true
+
+  let create = create
+
+  let capacity = capacity
+
+  let push_bottom = push_bottom
+
+  let pop_bottom = pop_bottom
+
+  let pop_bottom_signal_safe = pop_bottom_signal_safe
+
+  let pop_public_bottom = pop_public_bottom
+
+  let pop_top = pop_top
+
+  let update_public_bottom = update_public_bottom
+
+  let has_two_tasks = has_two_tasks
+
+  let private_size = private_size
+
+  let public_size = public_size
+
+  let size = size
+
+  let is_empty = is_empty
+
+  let clear = clear
+end

@@ -57,7 +57,7 @@ val pop_top : 'a t -> metrics:Lcws_sync.Metrics.t -> 'a Deque_intf.steal_result
     [update_public_bottom t ~policy] transfers private tasks to the public
     part according to the variant's exposure policy and returns how many
     tasks were exposed. *)
-type exposure_policy =
+type exposure_policy = Deque_intf.exposure_policy =
   | Expose_one  (** base/user-space/signal: one task if any is private *)
   | Expose_conservative  (** Cons (4.1.1): one task iff >= 2 are private *)
   | Expose_half  (** Half (4.1.2): round(r/2) tasks when r >= 3, else one *)
@@ -86,3 +86,9 @@ module Age : sig
   val tag : int -> int
   val max_top : int
 end
+
+(** Adapter to the unified {!Deque_intf.DEQUE} API (the identity mapping;
+    the split deque defines that API's shape). *)
+module Deque (E : sig
+  type t
+end) : Deque_intf.DEQUE with type elt = E.t and type t = E.t t

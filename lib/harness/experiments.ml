@@ -29,6 +29,12 @@ let build ~machine ~policies ~ps ~scale ?(quantum = 400) ?(progress = false) () 
   if progress then Printf.eprintf "\n%!";
   { mmachine = machine; mps = ps; mconfigs = W.names; tbl }
 
+let run_traced ~machine ~policy ~p ?(quantum = 400) ~scale ~bench ~instance ~trace () =
+  match W.find ~bench ~instance with
+  | None ->
+      invalid_arg (Printf.sprintf "Experiments.run_traced: unknown workload %s/%s" bench instance)
+  | Some c -> E.run ~machine ~policy ~p ~quantum ~trace (c.W.build ~scale)
+
 let machine m = m.mmachine
 
 let ps m = m.mps

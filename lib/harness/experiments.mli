@@ -22,6 +22,22 @@ val build :
   unit ->
   matrix
 
+(** Simulate one workload configuration with a live event trace
+    ({!Lcws_trace.Trace.t}, created for at least [p] workers); timestamps
+    are virtual machine cycles. Used by the bench CLI's trace export.
+    @raise Invalid_argument on an unknown 〈bench, instance〉. *)
+val run_traced :
+  machine:M.t ->
+  policy:E.policy ->
+  p:int ->
+  ?quantum:int ->
+  scale:float ->
+  bench:string ->
+  instance:string ->
+  trace:Lcws_trace.Trace.t ->
+  unit ->
+  E.stats
+
 val machine : matrix -> M.t
 
 val ps : matrix -> int list

@@ -4,9 +4,9 @@ module Metrics = Lcws_sync.Metrics
 
 type measurement = { m : Metrics.t; seconds : float; checked : bool }
 
-let run_config ~variant ~p ~scale (bench : T.bench) (inst : T.instance) =
+let run_config ?deque ?trace ~variant ~p ~scale (bench : T.bench) (inst : T.instance) =
   let prepared = inst.T.prepare ~scale in
-  let pool = S.Pool.create ~num_workers:p ~variant () in
+  let pool = S.Pool.create ?deque ?trace ~num_workers:p ~variant () in
   let t0 = Unix.gettimeofday () in
   S.Pool.run pool prepared.T.run;
   let seconds = Unix.gettimeofday () -. t0 in

@@ -7,6 +7,27 @@
     container has a single core, so they do not measure parallel
     speedup. *)
 
+type measurement = {
+  m : Lcws_sync.Metrics.t;  (** summed per-worker counters *)
+  seconds : float;
+  checked : bool;
+}
+
+(** Run one 〈bench, instance〉 configuration on a fresh pool.
+    [deque] and [trace] are forwarded to
+    {!Lcws_sched.Scheduler.Pool.create} — pass a live
+    {!Lcws_trace.Trace.t} to record scheduler events for export or
+    latency percentiles. *)
+val run_config :
+  ?deque:Lcws_sched.Scheduler.deque_impl ->
+  ?trace:Lcws_trace.Trace.t ->
+  variant:Lcws_sched.Scheduler.variant ->
+  p:int ->
+  scale:float ->
+  Lcws_pbbs.Suite_types.bench ->
+  Lcws_pbbs.Suite_types.instance ->
+  measurement
+
 (** [run ppf] with worker counts [ps] (default [2; 4]) and problem
     [scale] (default 0.25). *)
 val run : ?ps:int list -> ?scale:float -> Format.formatter -> unit

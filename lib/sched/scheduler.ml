@@ -1,7 +1,7 @@
 module Metrics = Lcws_sync.Metrics
 module Xoshiro = Lcws_sync.Xoshiro
-module Split_deque = Lcws_deque.Split_deque
-module Chase_lev = Lcws_deque.Chase_lev
+module Backoff = Lcws_sync.Backoff
+module Trace = Lcws_trace.Trace
 open Lcws_deque.Deque_intf
 
 type variant = Ws | Uslcws | Signal | Cons | Half
@@ -35,15 +35,58 @@ let variant_of_string s =
 
 type task = unit -> unit
 
-type deque = CL of task Chase_lev.t | SD of task Split_deque.t
+(* The deque implementations, instantiated at [task] and packed as
+   first-class modules: the scheduler is generic over the DEQUE signature
+   and never matches on a concrete representation. *)
+
+module Chase_lev_deque = Lcws_deque.Chase_lev.Deque (struct
+  type t = task
+end)
+
+module Split_deque_deque = Lcws_deque.Split_deque.Deque (struct
+  type t = task
+end)
+
+module Lace_deque_deque = Lcws_deque.Lace_deque.Deque (struct
+  type t = task
+end)
+
+module Private_deque_deque = Lcws_deque.Private_deque.Deque (struct
+  type t = task
+end)
+
+type deque_impl = task impl
+
+let chase_lev_impl : deque_impl = (module Chase_lev_deque)
+
+let split_deque_impl : deque_impl = (module Split_deque_deque)
+
+let lace_impl : deque_impl = (module Lace_deque_deque)
+
+let private_impl : deque_impl = (module Private_deque_deque)
+
+let all_deque_impls = [ chase_lev_impl; split_deque_impl; lace_impl; private_impl ]
+
+let deque_impl_name = impl_name
+
+let deque_impl_of_string s =
+  let s = String.lowercase_ascii s in
+  List.find_opt (fun i -> impl_name i = s) all_deque_impls
+
+(* The paper's pairing: WS runs on Chase-Lev, every LCWS variant on the
+   split deque. *)
+let default_deque_impl = function
+  | Ws -> chase_lev_impl
+  | Uslcws | Signal | Cons | Half -> split_deque_impl
 
 type worker = {
   id : int;
   metrics : Metrics.t;
-  deque : deque;
+  deque : task instance;
   targeted : bool Atomic.t;
   signal_pending : bool Atomic.t;
   rng : Xoshiro.t;
+  backoff : Backoff.t;
 }
 
 type pool = {
@@ -58,6 +101,7 @@ type pool = {
   cond : Condition.t;
   steal_sleep_us : int;
   running : bool Atomic.t;
+  trace : Trace.t;
 }
 
 let ctx_key : (pool * worker) option Domain.DLS.key =
@@ -66,9 +110,9 @@ let ctx_key : (pool * worker) option Domain.DLS.key =
 let dummy_task : task = fun () -> ()
 
 let exposure_policy = function
-  | Uslcws | Signal -> Split_deque.Expose_one
-  | Cons -> Split_deque.Expose_conservative
-  | Half -> Split_deque.Expose_half
+  | Uslcws | Signal -> Expose_one
+  | Cons -> Expose_conservative
+  | Half -> Expose_half
   | Ws -> assert false
 
 (* Cheap conditional reset: the [Atomic.get] is a plain load; the SC store
@@ -83,18 +127,21 @@ let handle_pending pool w =
   | Signal | Cons | Half ->
       if Atomic.get w.signal_pending then begin
         Atomic.set w.signal_pending false;
-        (match w.deque with
-        | SD d ->
-            ignore (Split_deque.update_public_bottom d ~policy:(exposure_policy pool.pvariant))
-        | CL _ -> ());
-        w.metrics.signals_handled <- w.metrics.signals_handled + 1
+        let (Instance ((module D), d)) = w.deque in
+        let n = D.update_public_bottom d ~policy:(exposure_policy pool.pvariant) in
+        w.metrics.signals_handled <- w.metrics.signals_handled + 1;
+        let tr = pool.trace in
+        if Trace.enabled tr then begin
+          let time = Trace.now tr in
+          Trace.record_signal_handled tr ~worker:w.id ~time;
+          if n > 0 then Trace.record_expose tr ~worker:w.id ~time ~tasks:n
+        end
       end
   | Ws | Uslcws -> ()
 
 let push_task pool w t =
-  (match w.deque with
-  | CL d -> Chase_lev.push_bottom d t
-  | SD d -> Split_deque.push_bottom d t);
+  let (Instance ((module D), d)) = w.deque in
+  D.push_bottom d t;
   (* Signal-based variants: a fresh push means there is (new) work that can
      be exposed, so thieves may notify again (Section 4). *)
   match pool.pvariant with
@@ -106,85 +153,124 @@ let push_task pool w t =
    Section 4, a [None] from the private part *must* fall through to
    [pop_public_bottom], which repairs the decremented [bot]. *)
 let pop_own pool w =
-  match w.deque with
-  | CL d -> Chase_lev.pop_bottom d
-  | SD d -> (
-      let private_task =
-        match pool.pvariant with
-        | Signal | Half -> Split_deque.pop_bottom_signal_safe d
-        | Uslcws | Cons -> Split_deque.pop_bottom d
-        | Ws -> assert false
-      in
-      match private_task with
+  let (Instance ((module D), d)) = w.deque in
+  let private_task =
+    match pool.pvariant with
+    | Signal | Half -> D.pop_bottom_signal_safe d
+    | Ws | Uslcws | Cons -> D.pop_bottom d
+  in
+  match private_task with
+  | Some _ as r ->
+      (* USLCWS handles exposure requests at task boundaries only
+         (Listing 1 lines 8-12). *)
+      (match pool.pvariant with
+      | Uslcws ->
+          if Atomic.get w.targeted then begin
+            Atomic.set w.targeted false;
+            let n = D.update_public_bottom d ~policy:Expose_one in
+            w.metrics.signals_handled <- w.metrics.signals_handled + 1;
+            let tr = pool.trace in
+            if Trace.enabled tr then begin
+              let time = Trace.now tr in
+              Trace.record_signal_handled tr ~worker:w.id ~time;
+              if n > 0 then Trace.record_expose tr ~worker:w.id ~time ~tasks:n
+            end
+          end
+      | Ws | Signal | Cons | Half -> ());
+      r
+  | None -> (
+      match D.pop_public_bottom d with
       | Some _ as r ->
-          (* USLCWS handles exposure requests at task boundaries only
-             (Listing 1 lines 8-12). *)
-          (match pool.pvariant with
-          | Uslcws ->
-              if Atomic.get w.targeted then begin
-                Atomic.set w.targeted false;
-                ignore (Split_deque.update_public_bottom d ~policy:Split_deque.Expose_one);
-                w.metrics.signals_handled <- w.metrics.signals_handled + 1
-              end
-          | Ws | Signal | Cons | Half -> ());
+          (* A public task was consumed: previously shared work is no
+             longer accessible, allow new notifications. *)
+          reset_targeted w;
+          let tr = pool.trace in
+          if Trace.enabled tr then
+            Trace.record_pop_public tr ~worker:w.id ~time:(Trace.now tr);
           r
-      | None -> (
-          match Split_deque.pop_public_bottom d with
-          | Some _ as r ->
-              (* A public task was consumed: previously shared work is no
-                 longer accessible, allow new notifications. *)
-              reset_targeted w;
-              r
-          | None ->
-              (* Listing 1 line 17. *)
-              reset_targeted w;
-              None))
+      | None ->
+          (* Listing 1 line 17. *)
+          reset_targeted w;
+          None)
 
 (* Thief-side notification policy (Listing 1 line 22 / Listing 3). *)
 let notify pool thief victim =
-  match pool.pvariant with
-  | Ws -> ()
-  | Uslcws ->
-      Atomic.set victim.targeted true;
-      thief.metrics.signals_sent <- thief.metrics.signals_sent + 1
-  | Signal | Half ->
-      if not (Atomic.get victim.targeted) then begin
+  let notified =
+    match pool.pvariant with
+    | Ws -> false
+    | Uslcws ->
         Atomic.set victim.targeted true;
-        Atomic.set victim.signal_pending true;
-        thief.metrics.signals_sent <- thief.metrics.signals_sent + 1
-      end
-  | Cons ->
-      let has_two =
-        match victim.deque with SD d -> Split_deque.has_two_tasks d | CL _ -> false
-      in
-      if (not (Atomic.get victim.targeted)) && has_two then begin
-        Atomic.set victim.targeted true;
-        Atomic.set victim.signal_pending true;
-        thief.metrics.signals_sent <- thief.metrics.signals_sent + 1
-      end
+        thief.metrics.signals_sent <- thief.metrics.signals_sent + 1;
+        true
+    | Signal | Half ->
+        if not (Atomic.get victim.targeted) then begin
+          Atomic.set victim.targeted true;
+          Atomic.set victim.signal_pending true;
+          thief.metrics.signals_sent <- thief.metrics.signals_sent + 1;
+          true
+        end
+        else false
+    | Cons ->
+        let has_two =
+          let (Instance ((module D), d)) = victim.deque in
+          D.has_two_tasks d
+        in
+        if (not (Atomic.get victim.targeted)) && has_two then begin
+          Atomic.set victim.targeted true;
+          Atomic.set victim.signal_pending true;
+          thief.metrics.signals_sent <- thief.metrics.signals_sent + 1;
+          true
+        end
+        else false
+  in
+  if notified then begin
+    let tr = pool.trace in
+    if Trace.enabled tr then
+      Trace.record_notify tr ~thief:thief.id ~victim:victim.id ~time:(Trace.now tr)
+  end
 
-let steal_once pool w =
+(* [search_start] is the Idle_enter timestamp of the enclosing work
+   search (-1 when tracing is off), for the steal-latency histogram. *)
+let steal_once pool w ~search_start =
   if pool.nw < 2 then None
-  else
-  let victim_id = Xoshiro.other_than w.rng ~bound:pool.nw ~self:w.id in
-  let v = pool.workers.(victim_id) in
-  match v.deque with
-  | CL d -> (
-      match Chase_lev.steal d ~metrics:w.metrics with
-      | Stolen t -> Some t
-      | Empty | Abort | Private_work -> None)
-  | SD d -> (
-      match Split_deque.pop_top d ~metrics:w.metrics with
-      | Stolen t ->
-          (* The shared task is gone; future thieves may notify again. *)
-          reset_targeted v;
-          Some t
-      | Private_work ->
-          notify pool w v;
-          None
-      | Empty | Abort -> None)
+  else begin
+    let victim_id = Xoshiro.other_than w.rng ~bound:pool.nw ~self:w.id in
+    let v = pool.workers.(victim_id) in
+    let (Instance ((module D), d)) = v.deque in
+    let tr = pool.trace in
+    if Trace.enabled tr then
+      Trace.record_steal_attempt tr ~thief:w.id ~victim:victim_id ~time:(Trace.now tr);
+    match D.pop_top d ~metrics:w.metrics with
+    | Stolen t ->
+        (* The shared task is gone; future thieves may notify again. *)
+        reset_targeted v;
+        if Trace.enabled tr then
+          Trace.record_steal_ok tr ~thief:w.id ~victim:victim_id ~time:(Trace.now tr)
+            ~search_start;
+        Some t
+    | Private_work ->
+        notify pool w v;
+        None
+    | Empty ->
+        if Trace.enabled tr then
+          Trace.record_steal_empty tr ~thief:w.id ~victim:victim_id ~time:(Trace.now tr);
+        None
+    | Abort -> None
+  end
 
 let sleep_us us = if us > 0 then Unix.sleepf (float_of_int us *. 1e-6)
+
+(* One failed steal round: spin through the worker's backoff; once it
+   saturates, yield the timeslice so victims can run — vital when domains
+   outnumber cores — and start over. The policy (and its counting) lives
+   in [Backoff]; the scheduler only decides what "stronger than spinning"
+   means here. *)
+let idle_pause pool w =
+  if Backoff.saturated w.backoff then begin
+    sleep_us pool.steal_sleep_us;
+    Backoff.reset w.backoff
+  end
+  else Backoff.once w.backoff
 
 (* Helper workers' task acquisition (Listing 1's [get_task]): own deque,
    then repeated steal attempts until the job ends. *)
@@ -194,30 +280,36 @@ let get_task pool w =
     match pop_own pool w with
     | Some _ as r -> r
     | None ->
-        let rec loop tries =
-          if not (Atomic.get pool.job_active) then None
+        let tr = pool.trace in
+        let traced = Trace.enabled tr in
+        let search_start = if traced then Trace.now tr else -1 in
+        if traced then Trace.record_idle_enter tr ~worker:w.id ~time:search_start;
+        Backoff.reset w.backoff;
+        let finish r =
+          if traced then Trace.record_idle_exit tr ~worker:w.id ~time:(Trace.now tr);
+          Backoff.reset w.backoff;
+          r
+        in
+        let rec loop () =
+          if not (Atomic.get pool.job_active) then finish None
           else begin
             w.metrics.idle_loops <- w.metrics.idle_loops + 1;
-            match steal_once pool w with
-            | Some _ as r -> r
+            match steal_once pool w ~search_start with
+            | Some _ as r -> finish r
             | None ->
-                if tries >= pool.nw then begin
-                  (* A full unlucky round: yield the timeslice so victims
-                     can run — vital when domains outnumber cores. *)
-                  sleep_us pool.steal_sleep_us;
-                  loop 0
-                end
-                else begin
-                  Domain.cpu_relax ();
-                  loop (tries + 1)
-                end
+                idle_pause pool w;
+                loop ()
           end
         in
-        loop 0
+        loop ()
 
-let run_task w (t : task) =
+let run_task pool w (t : task) =
   w.metrics.tasks_run <- w.metrics.tasks_run + 1;
-  t ()
+  let tr = pool.trace in
+  let traced = Trace.enabled tr in
+  if traced then Trace.record_task_start tr ~worker:w.id ~time:(Trace.now tr);
+  t ();
+  if traced then Trace.record_task_end tr ~worker:w.id ~time:(Trace.now tr)
 
 let helper_body pool w =
   Domain.DLS.set ctx_key (Some (pool, w));
@@ -226,7 +318,7 @@ let helper_body pool w =
     match get_task pool w with
     | Some t ->
         handle_pending pool w;
-        run_task w t;
+        run_task pool w t;
         handle_pending pool w;
         work ()
     | None -> ()
@@ -248,25 +340,28 @@ let helper_body pool w =
 module Pool = struct
   type t = pool
 
-  let create ?(seed = 42L) ?(deque_capacity = 65536) ?(steal_sleep_us = 50)
-      ~num_workers ~variant () =
+  let create ?(seed = 42L) ?(deque_capacity = 65536) ?(steal_sleep_us = 50) ?deque
+      ?(trace = Trace.null) ~num_workers ~variant () =
     if num_workers < 1 then invalid_arg "Pool.create: num_workers must be >= 1";
+    let impl = match deque with Some i -> i | None -> default_deque_impl variant in
+    if (not (impl_concurrent impl)) && num_workers > 1 then
+      invalid_arg
+        (Printf.sprintf
+           "Pool.create: deque %S is a sequential specification; use num_workers:1"
+           (impl_name impl));
+    if Trace.enabled trace && Trace.num_workers trace < num_workers then
+      invalid_arg "Pool.create: trace was created for fewer workers";
     let root_rng = Xoshiro.create seed in
     let make_worker id =
       let metrics = Metrics.create () in
-      let deque =
-        match variant with
-        | Ws -> CL (Chase_lev.create ~capacity:deque_capacity ~dummy:dummy_task ~metrics ())
-        | Uslcws | Signal | Cons | Half ->
-            SD (Split_deque.create ~capacity:deque_capacity ~dummy:dummy_task ~metrics ())
-      in
       {
         id;
         metrics;
-        deque;
+        deque = make impl ~capacity:deque_capacity ~dummy:dummy_task ~metrics;
         targeted = Atomic.make false;
         signal_pending = Atomic.make false;
         rng = Xoshiro.split root_rng id;
+        backoff = Backoff.create ~min_wait:1 ~max_wait:64 ~metrics ();
       }
     in
     let pool =
@@ -282,6 +377,7 @@ module Pool = struct
         cond = Condition.create ();
         steal_sleep_us;
         running = Atomic.make false;
+        trace;
       }
     in
     pool.domains <-
@@ -329,6 +425,12 @@ module Pool = struct
 
   let variant pool = pool.pvariant
 
+  let trace pool = pool.trace
+
+  let deque_name pool =
+    let (Instance ((module D), _)) = pool.workers.(0).deque in
+    D.name
+
   let per_worker_metrics pool = Array.map (fun w -> w.metrics) pool.workers
 
   let metrics pool = Metrics.sum (per_worker_metrics pool)
@@ -368,22 +470,43 @@ let fork_join (type a b) (f : unit -> a) (g : unit -> b) : a * b =
       let fa = match f () with v -> Done v | exception e -> Failed e in
       (* Join phase: common case — pop [gtask] right back and run it
          inline; otherwise help with other work until [g] completes. *)
-      let spins = ref 0 in
+      let tr = pool.trace in
+      let traced = Trace.enabled tr in
+      let search_start = ref (-1) in
+      let idle_enter () =
+        if traced && !search_start < 0 then begin
+          let time = Trace.now tr in
+          search_start := time;
+          Trace.record_idle_enter tr ~worker:w.id ~time
+        end
+      in
+      let idle_exit () =
+        if traced && !search_start >= 0 then begin
+          Trace.record_idle_exit tr ~worker:w.id ~time:(Trace.now tr);
+          search_start := -1
+        end
+      in
+      Backoff.reset w.backoff;
       while not (Atomic.get done_) do
         handle_pending pool w;
         match pop_own pool w with
-        | Some t -> run_task w t
+        | Some t ->
+            idle_exit ();
+            Backoff.reset w.backoff;
+            run_task pool w t
         | None ->
             if not (Atomic.get done_) then begin
               w.metrics.idle_loops <- w.metrics.idle_loops + 1;
-              match steal_once pool w with
-              | Some t -> run_task w t
-              | None ->
-                  incr spins;
-                  if !spins land 63 = 0 then sleep_us pool.steal_sleep_us
-                  else Domain.cpu_relax ()
+              idle_enter ();
+              match steal_once pool w ~search_start:!search_start with
+              | Some t ->
+                  idle_exit ();
+                  Backoff.reset w.backoff;
+                  run_task pool w t
+              | None -> idle_pause pool w
             end
       done;
+      idle_exit ();
       let gb = match !slot with Some r -> r | None -> assert false in
       let a = match fa with Done v -> v | Failed e -> raise e in
       let b = match gb with Done v -> v | Failed e -> raise e in

@@ -16,6 +16,11 @@
       at least two private tasks exist;
     - {!Half}: Expose Half (Section 4.1.2) — expose [round(r/2)] tasks.
 
+    The scheduler is generic over the deque: each worker owns a
+    {!Lcws_deque.Deque_intf.instance}, a first-class module paired with
+    its state, so alternative deques ({!lace_impl}, {!private_impl}) plug
+    into the identical runtime for apples-to-apples comparison.
+
     Typical use:
     {[
       let pool = Scheduler.Pool.create ~num_workers:4 ~variant:Signal () in
@@ -39,6 +44,42 @@ val variant_label : variant -> string
 
 val variant_of_string : string -> variant option
 
+type task = unit -> unit
+
+(** {2 Pluggable deques}
+
+    A [deque_impl] is a first-class module satisfying
+    {!Lcws_deque.Deque_intf.DEQUE} at element type [task]. *)
+
+type deque_impl = task Lcws_deque.Deque_intf.impl
+
+(** Chase-Lev (the WS baseline's deque). *)
+val chase_lev_impl : deque_impl
+
+(** The paper's split deque (public/private parts); default for all LCWS
+    variants. *)
+val split_deque_impl : deque_impl
+
+(** Lace-style split deque (related work). Sequential specification:
+    usable only with [num_workers:1]. *)
+val lace_impl : deque_impl
+
+(** Fully private deque with explicit top-popping (related work).
+    Sequential specification: usable only with [num_workers:1]. *)
+val private_impl : deque_impl
+
+val all_deque_impls : deque_impl list
+
+val deque_impl_name : deque_impl -> string
+
+(** Recognizes the [deque_impl_name]s: "chase_lev", "split", "lace",
+    "private" (case-insensitive). *)
+val deque_impl_of_string : string -> deque_impl option
+
+(** The paper's pairing: [Ws] on Chase-Lev, LCWS variants on the split
+    deque. *)
+val default_deque_impl : variant -> deque_impl
+
 module Pool : sig
   type t
 
@@ -47,13 +88,23 @@ module Pool : sig
 
       @param seed deterministic seed for victim selection (default 42).
       @param deque_capacity per-worker deque slots (default 65536).
-      @param steal_sleep_us microseconds helpers sleep after a full round
-        of failed steal attempts — essential when domains outnumber cores
-        (default 50). *)
+      @param steal_sleep_us microseconds helpers sleep after their backoff
+        saturates in a failed work search — essential when domains
+        outnumber cores (default 50).
+      @param deque deque implementation for every worker (default:
+        {!default_deque_impl} of the variant).
+      @param trace event sink; pass a {!Lcws_trace.Trace.create}d tracer
+        to record scheduler events. Defaults to {!Lcws_trace.Trace.null},
+        which keeps every record call a single predictable branch.
+      @raise Invalid_argument if [deque] is a sequential specification and
+        [num_workers > 1], or if [trace] was created for fewer than
+        [num_workers] workers. *)
   val create :
     ?seed:int64 ->
     ?deque_capacity:int ->
     ?steal_sleep_us:int ->
+    ?deque:deque_impl ->
+    ?trace:Lcws_trace.Trace.t ->
     num_workers:int ->
     variant:variant ->
     unit ->
@@ -70,6 +121,13 @@ module Pool : sig
   val num_workers : t -> int
 
   val variant : t -> variant
+
+  (** The trace sink passed at [create] ({!Lcws_trace.Trace.null} if
+      none). *)
+  val trace : t -> Lcws_trace.Trace.t
+
+  (** Name of the deque implementation the pool runs on. *)
+  val deque_name : t -> string
 
   (** Sum of all per-worker counters since the last [reset_metrics]. *)
   val metrics : t -> Lcws_sync.Metrics.t

@@ -1,5 +1,6 @@
 module Xoshiro = Lcws_sync.Xoshiro
 module Pdq = Lcws_deque.Private_deque
+module Trace = Lcws_trace.Trace
 
 type policy = Ws | Uslcws | Signal | Cons | Half | Lace | Private_deques
 
@@ -64,6 +65,7 @@ type worker = {
           and is not re-probed until new work is obtained (mirrors the
           real engine's work-search loop — idle WS workers must not be
           charged a pop fence per steal round) *)
+  mutable search_start : int;  (** virtual time hunting began, -1 if not *)
   rng : Xoshiro.t;
 }
 
@@ -91,6 +93,7 @@ type sim = {
   mutable tasks : int;
   mutable idle_cycles : int;
   mutable work_done : int;
+  trace : Trace.t;  (** event sink; timestamps are virtual worker clocks *)
 }
 
 let dummy_task = { tcomp = Comp.Work 0; tcell = { cdone = true } }
@@ -114,7 +117,9 @@ let expose sim w =
     w.public_count <- w.public_count + k;
     sim.exposed <- sim.exposed + k;
     (* A volatile/plain store in the C++ implementation. *)
-    w.time <- w.time + sim.machine.plain_op_cost
+    w.time <- w.time + sim.machine.plain_op_cost;
+    if Trace.enabled sim.trace then
+      Trace.record_expose sim.trace ~worker:w.id ~time:w.time ~tasks:k
   end;
   k
 
@@ -125,6 +130,8 @@ let boundary_exposure_check sim w =
   | Uslcws | Lace ->
       if w.targeted then begin
         w.targeted <- false;
+        if Trace.enabled sim.trace then
+          Trace.record_signal_handled sim.trace ~worker:w.id ~time:w.time;
         ignore (expose sim w);
         sim.signals_handled <- sim.signals_handled + 1
       end
@@ -139,6 +146,8 @@ let boundary_exposure_check sim w =
             w.time <- w.time + sim.machine.fence_cost;
             sim.fences <- sim.fences + 1
         | None -> thief.granted <- Denied);
+        if Trace.enabled sim.trace then
+          Trace.record_signal_handled sim.trace ~worker:w.id ~time:w.time;
         sim.signals_handled <- sim.signals_handled + 1
       end
   | Ws | Signal | Cons | Half -> ()
@@ -151,6 +160,8 @@ let deliver_pending_signal sim w =
       if w.pending_signal_at >= 0 && w.pending_signal_at <= w.time then begin
         w.pending_signal_at <- -1;
         w.time <- w.time + sim.machine.signal_handle_cost;
+        if Trace.enabled sim.trace then
+          Trace.record_signal_handled sim.trace ~worker:w.id ~time:w.time;
         ignore (expose sim w);
         sim.signals_handled <- sim.signals_handled + 1
       end
@@ -216,6 +227,8 @@ let pop_own sim w =
             w.time <- w.time + (2 * sim.machine.fence_cost) + sim.machine.cas_cost;
             sim.fences <- sim.fences + 2;
             sim.cas <- sim.cas + 1;
+            if Trace.enabled sim.trace then
+              Trace.record_pop_public sim.trace ~worker:w.id ~time:w.time;
             boundary_exposure_check sim w;
             r
         | Uslcws | Signal | Cons | Half ->
@@ -232,6 +245,8 @@ let pop_own sim w =
             end;
             sim.taken_back <- sim.taken_back + 1;
             if w.targeted then w.targeted <- false;
+            if Trace.enabled sim.trace then
+              Trace.record_pop_public sim.trace ~worker:w.id ~time:w.time;
             r
         | Ws | Private_deques -> assert false
       end
@@ -259,6 +274,8 @@ let try_steal sim w =
   let v = sim.workers.(Xoshiro.other_than w.rng ~bound:sim.p ~self:w.id) in
   w.time <- w.time + sim.machine.steal_round_cost;
   sim.steal_attempts <- sim.steal_attempts + 1;
+  if Trace.enabled sim.trace then
+    Trace.record_steal_attempt sim.trace ~thief:w.id ~victim:v.id ~time:w.time;
   match sim.policy with
   | Ws ->
       if Pdq.size v.dq > 0 then begin
@@ -267,12 +284,19 @@ let try_steal sim w =
         sim.cas <- sim.cas + 1;
         let r = Pdq.pop_top v.dq in
         v.public_count <- Pdq.size v.dq;
-        if r <> None then sim.steals <- sim.steals + 1;
+        if r <> None then begin
+          sim.steals <- sim.steals + 1;
+          if Trace.enabled sim.trace then
+            Trace.record_steal_ok sim.trace ~thief:w.id ~victim:v.id ~time:w.time
+              ~search_start:w.search_start
+        end;
         r
       end
       else begin
         w.time <- w.time + sim.machine.fence_cost;
         sim.fences <- sim.fences + 1;
+        if Trace.enabled sim.trace then
+          Trace.record_steal_empty sim.trace ~thief:w.id ~victim:v.id ~time:w.time;
         None
       end
   | Private_deques ->
@@ -290,38 +314,60 @@ let try_steal sim w =
         let r = Pdq.pop_top v.dq in
         sim.steals <- sim.steals + 1;
         if v.targeted then v.targeted <- false;
+        if Trace.enabled sim.trace then
+          Trace.record_steal_ok sim.trace ~thief:w.id ~victim:v.id ~time:w.time
+            ~search_start:w.search_start;
         r
       end
       else if Pdq.size v.dq > 0 then begin
         (* PRIVATE_WORK: notify the victim. *)
-        (match sim.policy with
-        | Uslcws | Lace ->
-            v.targeted <- true;
-            w.time <- w.time + sim.machine.plain_op_cost;
-            sim.signals_sent <- sim.signals_sent + 1
-        | Signal | Half ->
-            if not v.targeted then begin
+        let notified =
+          match sim.policy with
+          | Uslcws | Lace ->
               v.targeted <- true;
-              v.pending_signal_at <- w.time + sim.machine.signal_deliver_latency;
-              w.time <- w.time + sim.machine.signal_send_cost;
-              sim.signals_sent <- sim.signals_sent + 1
-            end
-        | Cons ->
-            if (not v.targeted) && private_size v >= 2 then begin
-              v.targeted <- true;
-              v.pending_signal_at <- w.time + sim.machine.signal_deliver_latency;
-              w.time <- w.time + sim.machine.signal_send_cost;
-              sim.signals_sent <- sim.signals_sent + 1
-            end
-        | Ws | Private_deques -> ());
+              w.time <- w.time + sim.machine.plain_op_cost;
+              sim.signals_sent <- sim.signals_sent + 1;
+              true
+          | Signal | Half ->
+              if not v.targeted then begin
+                v.targeted <- true;
+                v.pending_signal_at <- w.time + sim.machine.signal_deliver_latency;
+                w.time <- w.time + sim.machine.signal_send_cost;
+                sim.signals_sent <- sim.signals_sent + 1;
+                true
+              end
+              else false
+          | Cons ->
+              if (not v.targeted) && private_size v >= 2 then begin
+                v.targeted <- true;
+                v.pending_signal_at <- w.time + sim.machine.signal_deliver_latency;
+                w.time <- w.time + sim.machine.signal_send_cost;
+                sim.signals_sent <- sim.signals_sent + 1;
+                true
+              end
+              else false
+          | Ws | Private_deques -> false
+        in
+        if notified && Trace.enabled sim.trace then
+          Trace.record_notify sim.trace ~thief:w.id ~victim:v.id ~time:w.time;
         None
       end
-      else None)
+      else begin
+        if Trace.enabled sim.trace then
+          Trace.record_steal_empty sim.trace ~thief:w.id ~victim:v.id ~time:w.time;
+        None
+      end)
 
 let start_task sim w (t : task) =
   sim.tasks <- sim.tasks + 1;
+  if w.hunting && Trace.enabled sim.trace then begin
+    Trace.record_idle_exit sim.trace ~worker:w.id ~time:w.time;
+    w.search_start <- -1
+  end;
   w.hunting <- false;
   w.time <- w.time + sim.machine.task_overhead;
+  if Trace.enabled sim.trace then
+    Trace.record_task_start sim.trace ~worker:w.id ~time:w.time;
   w.stack <- Fdo t.tcomp :: Fend t.tcell :: w.stack
 
 (* Attempt to obtain work when idle or blocked on a join: own deque once,
@@ -332,6 +378,10 @@ let acquire sim w =
   match own with
   | Some t -> start_task sim w t
   | None -> (
+      if (not w.hunting) && Trace.enabled sim.trace then begin
+        w.search_start <- w.time;
+        Trace.record_idle_enter sim.trace ~worker:w.id ~time:w.time
+      end;
       w.hunting <- true;
       match try_steal sim w with
       | Some t -> start_task sim w t
@@ -375,12 +425,16 @@ let step sim w =
   | Fend cell :: rest ->
       cell.cdone <- true;
       w.time <- w.time + sim.machine.task_overhead;
+      if Trace.enabled sim.trace then
+        Trace.record_task_end sim.trace ~worker:w.id ~time:w.time;
       w.stack <- rest;
       boundary_exposure_check sim w
   | Fjoin cell :: rest -> if cell.cdone then w.stack <- rest else acquire sim w
 
-let run ~machine ~policy ~p ?(seed = 7L) ?(quantum = 200) comp =
+let run ~machine ~policy ~p ?(seed = 7L) ?(quantum = 200) ?(trace = Trace.null) comp =
   if p < 1 then invalid_arg "Engine.run";
+  if Trace.enabled trace && Trace.num_workers trace < p then
+    invalid_arg "Engine.run: trace was created for fewer workers";
   let root_rng = Xoshiro.create seed in
   let workers =
     Array.init p (fun id ->
@@ -396,6 +450,7 @@ let run ~machine ~policy ~p ?(seed = 7L) ?(quantum = 200) comp =
           granted = No_grant;
           requested = false;
           hunting = false;
+          search_start = -1;
           rng = Xoshiro.split root_rng id;
         })
   in
@@ -417,10 +472,14 @@ let run ~machine ~policy ~p ?(seed = 7L) ?(quantum = 200) comp =
       tasks = 0;
       idle_cycles = 0;
       work_done = 0;
+      trace;
     }
   in
   let root = { cdone = false } in
   workers.(0).stack <- [ Fdo comp; Fend root ];
+  (* The root is placed directly, not via [start_task]: stamp its start
+     so task start/end events balance. *)
+  if Trace.enabled trace then Trace.record_task_start trace ~worker:0 ~time:0;
   let makespan = ref 0 in
   let guard = ref 0 in
   let max_steps = 2_000_000_000 in

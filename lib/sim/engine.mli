@@ -46,6 +46,20 @@ type stats = {
 val exposed_not_stolen : stats -> int
 
 (** [run ~machine ~policy ~p ~seed comp] simulates [comp] on [p] workers.
-    Worker 0 starts with the root; others steal. Deterministic. *)
+    Worker 0 starts with the root; others steal. Deterministic.
+
+    @param trace event sink (default {!Lcws_trace.Trace.null}); events are
+      stamped with the acting worker's {e virtual} clock, so exported
+      timelines and latency histograms are in model cycles, not
+      nanoseconds.
+    @raise Invalid_argument if [trace] was created for fewer than [p]
+      workers. *)
 val run :
-  machine:Cost_model.t -> policy:policy -> p:int -> ?seed:int64 -> ?quantum:int -> Comp.t -> stats
+  machine:Cost_model.t ->
+  policy:policy ->
+  p:int ->
+  ?seed:int64 ->
+  ?quantum:int ->
+  ?trace:Lcws_trace.Trace.t ->
+  Comp.t ->
+  stats

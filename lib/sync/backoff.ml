@@ -1,13 +1,23 @@
-type t = { min_wait : int; max_wait : int; mutable wait : int }
+type t = {
+  min_wait : int;
+  max_wait : int;
+  mutable wait : int;
+  metrics : Metrics.t option;
+}
 
-let create ?(min_wait = 1) ?(max_wait = 256) () =
+let create ?(min_wait = 1) ?(max_wait = 256) ?metrics () =
   if min_wait < 1 || max_wait < min_wait then invalid_arg "Backoff.create";
-  { min_wait; max_wait; wait = min_wait }
+  { min_wait; max_wait; wait = min_wait; metrics }
 
 let once t =
+  (match t.metrics with
+  | Some m -> m.Metrics.backoffs <- m.Metrics.backoffs + 1
+  | None -> ());
   for _ = 1 to t.wait do
     Domain.cpu_relax ()
   done;
   if t.wait < t.max_wait then t.wait <- t.wait * 2
+
+let saturated t = t.wait >= t.max_wait
 
 let reset t = t.wait <- t.min_wait

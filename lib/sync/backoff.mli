@@ -2,17 +2,26 @@
 
     Thieves that repeatedly fail to steal spin with growing pauses to avoid
     hammering victims' cache lines; this mirrors the backoff Parlay's
-    scheduler applies in its steal loop. *)
+    scheduler applies in its steal loop. The scheduler's idle loops route
+    through this module so the policy is defined once: spin with doubling
+    pauses until {!saturated}, then take a stronger measure (the
+    scheduler sleeps a timeslice) and {!reset}. *)
 
 type t
 
-(** [create ?min_wait ?max_wait ()] — waits are in [Domain.cpu_relax]
-    iterations, doubling from [min_wait] (default 1) to [max_wait]
-    (default 256). *)
-val create : ?min_wait:int -> ?max_wait:int -> unit -> t
+(** [create ?min_wait ?max_wait ?metrics ()] — waits are in
+    [Domain.cpu_relax] iterations, doubling from [min_wait] (default 1)
+    to [max_wait] (default 256). When [metrics] is given, every {!once}
+    bumps its [backoffs] counter (single-writer: pass the owning worker's
+    block). *)
+val create : ?min_wait:int -> ?max_wait:int -> ?metrics:Metrics.t -> unit -> t
 
 (** Spin for the current wait and double it (saturating). *)
 val once : t -> unit
+
+(** The wait has reached [max_wait]: spinning is no longer making
+    progress; the caller should yield/sleep and {!reset}. *)
+val saturated : t -> bool
 
 (** Reset the wait to the minimum (call after a successful operation). *)
 val reset : t -> unit

@@ -14,6 +14,7 @@ type t = {
   mutable signals_sent : int;
   mutable signals_handled : int;
   mutable idle_loops : int;
+  mutable backoffs : int;
   mutable tasks_run : int;
 }
 
@@ -34,46 +35,46 @@ let create () =
     signals_sent = 0;
     signals_handled = 0;
     idle_loops = 0;
+    backoffs = 0;
     tasks_run = 0;
   }
 
-let reset t =
-  t.fences <- 0;
-  t.cas_ops <- 0;
-  t.cas_failures <- 0;
-  t.pushes <- 0;
-  t.pops <- 0;
-  t.public_pops <- 0;
-  t.steal_attempts <- 0;
-  t.steals <- 0;
-  t.aborts <- 0;
-  t.private_work_hits <- 0;
-  t.exposures <- 0;
-  t.exposed_tasks <- 0;
-  t.signals_sent <- 0;
-  t.signals_handled <- 0;
-  t.idle_loops <- 0;
-  t.tasks_run <- 0
+(* The single authoritative field list: every generic operation (reset,
+   add, pp, JSON) is derived from it, so adding a counter means touching
+   the record, [create] and this table only. *)
+let fields : (string * (t -> int) * (t -> int -> unit)) list =
+  [
+    ("fences", (fun t -> t.fences), fun t v -> t.fences <- v);
+    ("cas_ops", (fun t -> t.cas_ops), fun t v -> t.cas_ops <- v);
+    ("cas_failures", (fun t -> t.cas_failures), fun t v -> t.cas_failures <- v);
+    ("pushes", (fun t -> t.pushes), fun t v -> t.pushes <- v);
+    ("pops", (fun t -> t.pops), fun t v -> t.pops <- v);
+    ("public_pops", (fun t -> t.public_pops), fun t v -> t.public_pops <- v);
+    ("steal_attempts", (fun t -> t.steal_attempts), fun t v -> t.steal_attempts <- v);
+    ("steals", (fun t -> t.steals), fun t v -> t.steals <- v);
+    ("aborts", (fun t -> t.aborts), fun t v -> t.aborts <- v);
+    ("private_work_hits", (fun t -> t.private_work_hits), fun t v -> t.private_work_hits <- v);
+    ("exposures", (fun t -> t.exposures), fun t v -> t.exposures <- v);
+    ("exposed_tasks", (fun t -> t.exposed_tasks), fun t v -> t.exposed_tasks <- v);
+    ("signals_sent", (fun t -> t.signals_sent), fun t v -> t.signals_sent <- v);
+    ("signals_handled", (fun t -> t.signals_handled), fun t v -> t.signals_handled <- v);
+    ("idle_loops", (fun t -> t.idle_loops), fun t v -> t.idle_loops <- v);
+    ("backoffs", (fun t -> t.backoffs), fun t v -> t.backoffs <- v);
+    ("tasks_run", (fun t -> t.tasks_run), fun t v -> t.tasks_run <- v);
+  ]
+
+let to_assoc t = List.map (fun (name, get, _) -> (name, get t)) fields
+
+let field t name =
+  match List.find_opt (fun (n, _, _) -> n = name) fields with
+  | Some (_, get, _) -> get t
+  | None -> invalid_arg (Printf.sprintf "Metrics.field: unknown field %S" name)
+
+let reset t = List.iter (fun (_, _, set) -> set t 0) fields
 
 let copy t = { t with fences = t.fences }
 
-let add into x =
-  into.fences <- into.fences + x.fences;
-  into.cas_ops <- into.cas_ops + x.cas_ops;
-  into.cas_failures <- into.cas_failures + x.cas_failures;
-  into.pushes <- into.pushes + x.pushes;
-  into.pops <- into.pops + x.pops;
-  into.public_pops <- into.public_pops + x.public_pops;
-  into.steal_attempts <- into.steal_attempts + x.steal_attempts;
-  into.steals <- into.steals + x.steals;
-  into.aborts <- into.aborts + x.aborts;
-  into.private_work_hits <- into.private_work_hits + x.private_work_hits;
-  into.exposures <- into.exposures + x.exposures;
-  into.exposed_tasks <- into.exposed_tasks + x.exposed_tasks;
-  into.signals_sent <- into.signals_sent + x.signals_sent;
-  into.signals_handled <- into.signals_handled + x.signals_handled;
-  into.idle_loops <- into.idle_loops + x.idle_loops;
-  into.tasks_run <- into.tasks_run + x.tasks_run
+let add into x = List.iter (fun (_, get, set) -> set into (get into + get x)) fields
 
 let sum arr =
   let acc = create () in
@@ -87,10 +88,21 @@ let exposed_not_stolen t =
 let ratio num den = if den = 0 then 0. else float_of_int num /. float_of_int den
 
 let pp ppf t =
-  Format.fprintf ppf
-    "@[<v>fences=%d cas=%d (fail %d)@ pushes=%d pops=%d public_pops=%d@ \
-     steal_attempts=%d steals=%d aborts=%d private_hits=%d@ exposures=%d \
-     exposed=%d signals=%d/%d idle=%d tasks=%d@]"
-    t.fences t.cas_ops t.cas_failures t.pushes t.pops t.public_pops
-    t.steal_attempts t.steals t.aborts t.private_work_hits t.exposures
-    t.exposed_tasks t.signals_sent t.signals_handled t.idle_loops t.tasks_run
+  Format.pp_open_hvbox ppf 0;
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Format.pp_print_space ppf ();
+      Format.fprintf ppf "%s=%d" name v)
+    (to_assoc t);
+  Format.pp_close_box ppf ()
+
+let to_json t =
+  let buf = Buffer.create 512 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":%d" name v))
+    (to_assoc t);
+  Buffer.add_char buf '}';
+  Buffer.contents buf

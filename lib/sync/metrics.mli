@@ -22,10 +22,19 @@ type t = {
   mutable signals_sent : int;  (** notification signals sent by thieves *)
   mutable signals_handled : int;  (** signals acted upon by victims *)
   mutable idle_loops : int;  (** scheduling-loop iterations without work *)
+  mutable backoffs : int;  (** backoff pauses taken in retry loops *)
   mutable tasks_run : int;  (** tasks executed *)
 }
 
 val create : unit -> t
+
+(** The single authoritative field list, in declaration order. [reset],
+    [add], [pp] and [to_json] are all derived from it. *)
+val to_assoc : t -> (string * int) list
+
+(** Look a counter up by its [to_assoc] name.
+    @raise Invalid_argument on an unknown name. *)
+val field : t -> string -> int
 
 val reset : t -> unit
 
@@ -46,3 +55,6 @@ val exposed_not_stolen : t -> int
 val ratio : int -> int -> float
 
 val pp : Format.formatter -> t -> unit
+
+(** One flat JSON object, fields in [to_assoc] order. *)
+val to_json : t -> string

@@ -1,0 +1,91 @@
+let arg_name = function
+  | Trace.Steal_attempt | Trace.Steal_ok | Trace.Steal_empty | Trace.Notify -> "victim"
+  | Trace.Expose -> "tasks"
+  | _ -> ""
+
+(* Trace-event timestamps are microseconds; keep nanosecond precision as
+   decimals without going through floats. *)
+let add_ts buf time =
+  let time = if time < 0 then 0 else time in
+  Buffer.add_string buf (Printf.sprintf "%d.%03d" (time / 1000) (time mod 1000))
+
+let add_event buf ~first ~tid ~time ~ph ~name ?arg () =
+  if !first then first := false else Buffer.add_char buf ',';
+  Buffer.add_string buf "{\"name\":\"";
+  Buffer.add_string buf name;
+  Buffer.add_string buf "\",\"ph\":\"";
+  Buffer.add_string buf ph;
+  Buffer.add_string buf "\",\"ts\":";
+  add_ts buf time;
+  Buffer.add_string buf ",\"pid\":0,\"tid\":";
+  Buffer.add_string buf (string_of_int tid);
+  (if ph = "i" then Buffer.add_string buf ",\"s\":\"t\"");
+  (match arg with
+  | Some (k, v) -> Buffer.add_string buf (Printf.sprintf ",\"args\":{\"%s\":%d}" k v)
+  | None -> ());
+  Buffer.add_char buf '}'
+
+let add_metadata buf ~first ~tid ~name ~value =
+  if !first then first := false else Buffer.add_char buf ',';
+  Buffer.add_string buf
+    (Printf.sprintf "{\"name\":\"%s\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+       name tid value)
+
+let duration_name = function
+  | Trace.Task_start | Trace.Task_end -> "task"
+  | Trace.Idle_enter | Trace.Idle_exit -> "idle"
+  | _ -> assert false
+
+let to_buffer buf t =
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  let first = ref true in
+  if Trace.enabled t then begin
+    add_metadata buf ~first ~tid:0 ~name:"process_name" ~value:"lcws";
+    for w = 0 to Trace.num_workers t - 1 do
+      add_metadata buf ~first ~tid:w ~name:"thread_name" ~value:(Printf.sprintf "worker %d" w)
+    done;
+    for w = 0 to Trace.num_workers t - 1 do
+      (* Stack of open "B" names, for closing/sanitizing. *)
+      let open_stack = ref [] in
+      let last_time = ref 0 in
+      Trace.iter_events t ~worker:w (fun ~time kind ~arg ->
+          last_time := time;
+          match kind with
+          | Trace.Task_start | Trace.Idle_enter ->
+              let name = duration_name kind in
+              open_stack := name :: !open_stack;
+              add_event buf ~first ~tid:w ~time ~ph:"B" ~name ()
+          | Trace.Task_end | Trace.Idle_exit -> (
+              (* An "E" whose "B" was overwritten by ring wrap is dropped. *)
+              match !open_stack with
+              | [] -> ()
+              | name :: rest ->
+                  open_stack := rest;
+                  add_event buf ~first ~tid:w ~time ~ph:"E" ~name ())
+          | _ ->
+              let name = Trace.kind_name kind in
+              let arg =
+                match arg_name kind with "" -> None | k -> Some (k, arg)
+              in
+              add_event buf ~first ~tid:w ~time ~ph:"i" ~name ?arg ());
+      (* Close whatever is still open so B/E stay balanced. *)
+      List.iter
+        (fun name -> add_event buf ~first ~tid:w ~time:!last_time ~ph:"E" ~name ())
+        !open_stack
+    done
+  end;
+  Buffer.add_string buf "]}"
+
+let to_string t =
+  let buf = Buffer.create 65536 in
+  to_buffer buf t;
+  Buffer.contents buf
+
+let write_file path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let buf = Buffer.create 65536 in
+      to_buffer buf t;
+      Buffer.output_buffer oc buf)

@@ -1,0 +1,19 @@
+(** Chrome trace-event JSON export ([chrome://tracing] / Perfetto).
+
+    One lane ([tid]) per worker under a single process. [Task_start] /
+    [Task_end] and [Idle_enter] / [Idle_exit] become nested "B"/"E"
+    duration events; everything else becomes a thread-scoped instant
+    event carrying its argument (victim id, tasks exposed). Timestamps
+    are emitted in microseconds with nanosecond decimals, as the format
+    expects.
+
+    Because the rings overwrite their oldest events, a surviving window
+    can open mid-nesting; the exporter drops unmatched "E"s at the start
+    and closes still-open "B"s at the final timestamp so the output is
+    always well-formed. *)
+
+val to_buffer : Buffer.t -> Trace.t -> unit
+
+val to_string : Trace.t -> string
+
+val write_file : string -> Trace.t -> unit

@@ -1,0 +1,97 @@
+(* 16 exact buckets, then 16 linear sub-buckets per power-of-two octave.
+   [sub_bits = 4] bounds the relative error of [percentile] by 2^-4. *)
+
+let sub_bits = 4
+
+let sub_count = 1 lsl sub_bits (* 16 *)
+
+(* Highest possible msb of a non-negative OCaml int is 62. *)
+let num_buckets = ((62 - sub_bits + 1) * sub_count) + sub_count
+
+type t = {
+  counts : int array;
+  mutable n : int;
+  mutable max_v : int;
+  mutable min_v : int;
+  mutable sum : int;
+}
+
+let create () =
+  { counts = Array.make num_buckets 0; n = 0; max_v = 0; min_v = max_int; sum = 0 }
+
+let bucket_index v =
+  let v = if v < 0 then 0 else v in
+  if v < sub_count then v
+  else
+    let msb = Lcws_sync.Fastmath.log2_floor v in
+    ((msb - sub_bits + 1) * sub_count) + ((v lsr (msb - sub_bits)) land (sub_count - 1))
+
+let bucket_bounds i =
+  if i < 2 * sub_count then (i, i)
+  else
+    let msb = (i / sub_count) + sub_bits - 1 in
+    let sub = i mod sub_count in
+    let width = 1 lsl (msb - sub_bits) in
+    let lo = (sub_count + sub) * width in
+    (lo, lo + width - 1)
+
+let add t v =
+  let v = if v < 0 then 0 else v in
+  t.counts.(bucket_index v) <- t.counts.(bucket_index v) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum + v;
+  if v > t.max_v then t.max_v <- v;
+  if v < t.min_v then t.min_v <- v
+
+let count t = t.n
+
+let max_value t = if t.n = 0 then 0 else t.max_v
+
+let min_value t = if t.n = 0 then 0 else t.min_v
+
+let mean t = if t.n = 0 then 0. else float_of_int t.sum /. float_of_int t.n
+
+let percentile t q =
+  if t.n = 0 then 0
+  else begin
+    let q = if q < 0. then 0. else if q > 1. then 1. else q in
+    let rank = int_of_float (ceil (q *. float_of_int t.n)) in
+    let rank = if rank < 1 then 1 else rank in
+    let acc = ref 0 in
+    let result = ref t.max_v in
+    (try
+       for i = 0 to num_buckets - 1 do
+         acc := !acc + t.counts.(i);
+         if !acc >= rank then begin
+           let _, hi = bucket_bounds i in
+           result := if hi > t.max_v then t.max_v else hi;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
+let merge into x =
+  for i = 0 to num_buckets - 1 do
+    into.counts.(i) <- into.counts.(i) + x.counts.(i)
+  done;
+  into.n <- into.n + x.n;
+  into.sum <- into.sum + x.sum;
+  if x.n > 0 then begin
+    if x.max_v > into.max_v then into.max_v <- x.max_v;
+    if x.min_v < into.min_v then into.min_v <- x.min_v
+  end
+
+let reset t =
+  Array.fill t.counts 0 num_buckets 0;
+  t.n <- 0;
+  t.max_v <- 0;
+  t.min_v <- max_int;
+  t.sum <- 0
+
+let pp ppf t =
+  if t.n = 0 then Format.pp_print_string ppf "n=0"
+  else
+    Format.fprintf ppf "n=%d mean=%.1f p50=%d p95=%d p99=%d max=%d" t.n (mean t)
+      (percentile t 0.50) (percentile t 0.95) (percentile t 0.99) (max_value t)

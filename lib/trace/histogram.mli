@@ -1,0 +1,49 @@
+(** Log-bucketed latency histogram (HDR-style).
+
+    Values are non-negative integers (nanoseconds on the real engine,
+    cycles in the simulator). Buckets 0..15 are exact; above that each
+    power-of-two octave is split into 16 linear sub-buckets, so the
+    relative quantization error is bounded by 1/16 at every scale while
+    the whole table stays under 1000 ints. Recording is allocation-free
+    and single-writer (one histogram per recording worker; merge for
+    reports). *)
+
+type t
+
+val create : unit -> t
+
+(** [add t v] records one observation. Negative values clamp to 0. *)
+val add : t -> int -> unit
+
+(** Number of recorded observations. *)
+val count : t -> int
+
+(** Exact extremes and mean of the recorded values (not bucketized). *)
+val max_value : t -> int
+
+val min_value : t -> int
+
+val mean : t -> float
+
+(** [percentile t q] for [q] in [0, 1]: an upper bound on the value at
+    rank [ceil (q * count)], i.e. the top of the bucket holding that rank
+    (capped at the exact maximum). 0 when empty. *)
+val percentile : t -> float -> int
+
+(** [merge into x] accumulates [x] into [into]. *)
+val merge : t -> t -> unit
+
+val reset : t -> unit
+
+(** One-line "n=… mean=… p50=… p95=… p99=… max=…" summary. *)
+val pp : Format.formatter -> t -> unit
+
+(** {2 Bucket geometry, exposed for tests} *)
+
+val bucket_index : int -> int
+
+(** [bucket_bounds i] is the inclusive value range [(lo, hi)] covered by
+    bucket [i]. *)
+val bucket_bounds : int -> int * int
+
+val num_buckets : int

@@ -1,0 +1,294 @@
+type kind =
+  | Steal_attempt
+  | Steal_ok
+  | Steal_empty
+  | Notify
+  | Signal_handled
+  | Expose
+  | Pop_public
+  | Task_start
+  | Task_end
+  | Idle_enter
+  | Idle_exit
+
+let all_kinds =
+  [
+    Steal_attempt;
+    Steal_ok;
+    Steal_empty;
+    Notify;
+    Signal_handled;
+    Expose;
+    Pop_public;
+    Task_start;
+    Task_end;
+    Idle_enter;
+    Idle_exit;
+  ]
+
+let kind_name = function
+  | Steal_attempt -> "steal_attempt"
+  | Steal_ok -> "steal_ok"
+  | Steal_empty -> "steal_empty"
+  | Notify -> "notify"
+  | Signal_handled -> "signal_handled"
+  | Expose -> "expose"
+  | Pop_public -> "pop_public"
+  | Task_start -> "task_start"
+  | Task_end -> "task_end"
+  | Idle_enter -> "idle_enter"
+  | Idle_exit -> "idle_exit"
+
+let kind_code = function
+  | Steal_attempt -> 0
+  | Steal_ok -> 1
+  | Steal_empty -> 2
+  | Notify -> 3
+  | Signal_handled -> 4
+  | Expose -> 5
+  | Pop_public -> 6
+  | Task_start -> 7
+  | Task_end -> 8
+  | Idle_enter -> 9
+  | Idle_exit -> 10
+
+let num_kinds = 11
+
+let kind_of_code = function
+  | 0 -> Steal_attempt
+  | 1 -> Steal_ok
+  | 2 -> Steal_empty
+  | 3 -> Notify
+  | 4 -> Signal_handled
+  | 5 -> Expose
+  | 6 -> Pop_public
+  | 7 -> Task_start
+  | 8 -> Task_end
+  | 9 -> Idle_enter
+  | 10 -> Idle_exit
+  | c -> invalid_arg (Printf.sprintf "Trace.kind_of_code: %d" c)
+
+(* One per worker; strictly single-writer, like Metrics. *)
+type ring = {
+  kinds : int array;
+  times : int array;
+  args : int array;
+  mask : int;
+  mutable pos : int; (* total events ever written; next slot = pos land mask *)
+}
+
+type t = {
+  on : bool;
+  clock : unit -> int;
+  rings : ring array;
+  kind_counts : int array array; (* kind_counts.(worker).(kind_code) *)
+  steal_lat : Histogram.t array; (* indexed by the recording thief *)
+  expose_lat : Histogram.t array; (* indexed by the exposing victim *)
+  handshake_lat : Histogram.t array; (* indexed by the stealing thief *)
+  notify_ts : int Atomic.t array; (* pending Notify time per victim, -1 none *)
+  handshake_ts : int Atomic.t array; (* like notify_ts, consumed at Steal_ok *)
+}
+
+let default_clock () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let null =
+  {
+    on = false;
+    clock = (fun () -> 0);
+    rings = [||];
+    kind_counts = [||];
+    steal_lat = [||];
+    expose_lat = [||];
+    handshake_lat = [||];
+    notify_ts = [||];
+    handshake_ts = [||];
+  }
+
+let create ?(capacity = 65536) ?(clock = default_clock) ~num_workers () =
+  if num_workers < 1 then invalid_arg "Trace.create: num_workers must be >= 1";
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be >= 1";
+  let cap = Lcws_sync.Fastmath.next_pow2 capacity in
+  let ring () =
+    {
+      kinds = Array.make cap 0;
+      times = Array.make cap 0;
+      args = Array.make cap 0;
+      mask = cap - 1;
+      pos = 0;
+    }
+  in
+  {
+    on = true;
+    clock;
+    rings = Array.init num_workers (fun _ -> ring ());
+    kind_counts = Array.init num_workers (fun _ -> Array.make num_kinds 0);
+    steal_lat = Array.init num_workers (fun _ -> Histogram.create ());
+    expose_lat = Array.init num_workers (fun _ -> Histogram.create ());
+    handshake_lat = Array.init num_workers (fun _ -> Histogram.create ());
+    notify_ts = Array.init num_workers (fun _ -> Atomic.make (-1));
+    handshake_ts = Array.init num_workers (fun _ -> Atomic.make (-1));
+  }
+
+let enabled t = t.on
+
+let num_workers t = Array.length t.rings
+
+let now t = if t.on then t.clock () else 0
+
+let emit_code t worker code ~time ~arg =
+  let r = t.rings.(worker) in
+  let i = r.pos land r.mask in
+  r.kinds.(i) <- code;
+  r.times.(i) <- time;
+  r.args.(i) <- arg;
+  r.pos <- r.pos + 1;
+  let kc = t.kind_counts.(worker) in
+  kc.(code) <- kc.(code) + 1
+
+let emit t ~worker ~time kind ~arg = if t.on then emit_code t worker (kind_code kind) ~time ~arg
+
+(* --- recording hooks -------------------------------------------------- *)
+
+let record_steal_attempt t ~thief ~victim ~time =
+  if t.on then emit_code t thief 0 (* Steal_attempt *) ~time ~arg:victim
+
+let record_steal_ok t ~thief ~victim ~time ~search_start =
+  if t.on then begin
+    emit_code t thief 1 (* Steal_ok *) ~time ~arg:victim;
+    if search_start >= 0 then Histogram.add t.steal_lat.(thief) (time - search_start);
+    let cell = t.handshake_ts.(victim) in
+    let ts = Atomic.get cell in
+    if ts >= 0 then begin
+      Atomic.set cell (-1);
+      Histogram.add t.handshake_lat.(thief) (time - ts)
+    end
+  end
+
+let record_steal_empty t ~thief ~victim ~time =
+  if t.on then emit_code t thief 2 (* Steal_empty *) ~time ~arg:victim
+
+let record_notify t ~thief ~victim ~time =
+  if t.on then begin
+    emit_code t thief 3 (* Notify *) ~time ~arg:victim;
+    (* Keep the *oldest* pending notification: exposure latency measures
+       how long a request waited, not how recently it was repeated. *)
+    let nc = t.notify_ts.(victim) in
+    if Atomic.get nc < 0 then Atomic.set nc time;
+    let hc = t.handshake_ts.(victim) in
+    if Atomic.get hc < 0 then Atomic.set hc time
+  end
+
+let record_signal_handled t ~worker ~time =
+  if t.on then emit_code t worker 4 (* Signal_handled *) ~time ~arg:0
+
+let record_expose t ~worker ~time ~tasks =
+  if t.on then begin
+    emit_code t worker 5 (* Expose *) ~time ~arg:tasks;
+    let cell = t.notify_ts.(worker) in
+    let ts = Atomic.get cell in
+    if ts >= 0 then begin
+      Atomic.set cell (-1);
+      Histogram.add t.expose_lat.(worker) (time - ts)
+    end
+  end
+
+let record_pop_public t ~worker ~time =
+  if t.on then emit_code t worker 6 (* Pop_public *) ~time ~arg:0
+
+let record_task_start t ~worker ~time =
+  if t.on then emit_code t worker 7 (* Task_start *) ~time ~arg:0
+
+let record_task_end t ~worker ~time =
+  if t.on then emit_code t worker 8 (* Task_end *) ~time ~arg:0
+
+let record_idle_enter t ~worker ~time =
+  if t.on then emit_code t worker 9 (* Idle_enter *) ~time ~arg:0
+
+let record_idle_exit t ~worker ~time =
+  if t.on then emit_code t worker 10 (* Idle_exit *) ~time ~arg:0
+
+(* --- reading ---------------------------------------------------------- *)
+
+let length t ~worker =
+  if not t.on then 0
+  else
+    let r = t.rings.(worker) in
+    if r.pos <= r.mask + 1 then r.pos else r.mask + 1
+
+let dropped t ~worker =
+  if not t.on then 0
+  else
+    let r = t.rings.(worker) in
+    if r.pos <= r.mask + 1 then 0 else r.pos - (r.mask + 1)
+
+let iter_events t ~worker f =
+  if t.on then begin
+    let r = t.rings.(worker) in
+    let n = length t ~worker in
+    let start = r.pos - n in
+    for j = start to r.pos - 1 do
+      let i = j land r.mask in
+      f ~time:r.times.(i) (kind_of_code r.kinds.(i)) ~arg:r.args.(i)
+    done
+  end
+
+let events t ~worker =
+  let acc = ref [] in
+  iter_events t ~worker (fun ~time kind ~arg -> acc := (time, kind, arg) :: !acc);
+  List.rev !acc
+
+let total_events t =
+  Array.fold_left (fun acc r -> acc + r.pos) 0 t.rings
+
+let counts t =
+  List.map
+    (fun k ->
+      let c = kind_code k in
+      (k, Array.fold_left (fun acc kc -> acc + kc.(c)) 0 t.kind_counts))
+    all_kinds
+
+type latencies = { steal : Histogram.t; expose : Histogram.t; handshake : Histogram.t }
+
+let merge_all hists =
+  let acc = Histogram.create () in
+  Array.iter (fun h -> Histogram.merge acc h) hists;
+  acc
+
+let latencies t =
+  {
+    steal = merge_all t.steal_lat;
+    expose = merge_all t.expose_lat;
+    handshake = merge_all t.handshake_lat;
+  }
+
+let summary ppf t =
+  if not t.on then Format.fprintf ppf "trace: disabled@."
+  else begin
+    let l = latencies t in
+    Format.fprintf ppf "trace: %d workers, %d events (%d retained)@." (num_workers t)
+      (total_events t)
+      (let n = ref 0 in
+       for w = 0 to num_workers t - 1 do
+         n := !n + length t ~worker:w
+       done;
+       !n);
+    Format.fprintf ppf "  events:";
+    List.iter
+      (fun (k, c) -> if c > 0 then Format.fprintf ppf " %s=%d" (kind_name k) c)
+      (counts t);
+    Format.fprintf ppf "@.";
+    Format.fprintf ppf "  steal latency      %a@." Histogram.pp l.steal;
+    Format.fprintf ppf "  exposure latency   %a@." Histogram.pp l.expose;
+    Format.fprintf ppf "  handshake latency  %a@." Histogram.pp l.handshake
+  end
+
+let reset t =
+  if t.on then begin
+    Array.iter (fun r -> r.pos <- 0) t.rings;
+    Array.iter (fun kc -> Array.fill kc 0 num_kinds 0) t.kind_counts;
+    Array.iter Histogram.reset t.steal_lat;
+    Array.iter Histogram.reset t.expose_lat;
+    Array.iter Histogram.reset t.handshake_lat;
+    Array.iter (fun c -> Atomic.set c (-1)) t.notify_ts;
+    Array.iter (fun c -> Atomic.set c (-1)) t.handshake_ts
+  end

@@ -1,0 +1,135 @@
+(** Low-overhead scheduler event tracing.
+
+    Each worker owns a fixed-capacity event ring of pre-allocated int
+    fields (kind, timestamp, argument) — recording performs no allocation
+    and overwrites the oldest events on wrap, so a trace can run for the
+    whole job at bounded memory. The same sink also accumulates
+    log-bucketed latency histograms for the paper's two interesting
+    delays:
+
+    - {e steal latency}: from entering the work-search loop
+      ([Idle_enter]) to a successful steal ([Steal_ok]);
+    - {e exposure latency}: from a thief's [Notify] to the victim's
+      [Expose] — the quantity Rito & Paulino bound by a constant for the
+      signal-based variants;
+    - {e handshake latency}: the full [Notify] → [Expose] → [Steal_ok]
+      round trip, thief-observed.
+
+    A disabled sink ({!null}) makes every recording function a single
+    branch with no clock read and no allocation, so instrumented hot
+    paths cost nothing when tracing is off.
+
+    Timestamps are plain ints: monotonic-ish nanoseconds from the default
+    clock on the real engine, simulated cycles in the discrete-event
+    simulator (which passes its own virtual times). Rings and histograms
+    are single-writer (each worker records only to its own lane); the
+    notify/handshake correlation cells are atomics, racy reads being
+    acceptable for observability. *)
+
+(** The event taxonomy (DESIGN.md "Observability"). *)
+type kind =
+  | Steal_attempt  (** thief probes a victim; arg = victim id *)
+  | Steal_ok  (** steal succeeded; arg = victim id *)
+  | Steal_empty  (** victim deque observed empty; arg = victim id *)
+  | Notify  (** thief requested exposure; arg = victim id *)
+  | Signal_handled  (** victim acted on a pending exposure request *)
+  | Expose  (** tasks moved to the public part; arg = #tasks *)
+  | Pop_public  (** owner took a task back from its public part *)
+  | Task_start  (** a task began running *)
+  | Task_end  (** a task finished *)
+  | Idle_enter  (** worker entered the work-search loop *)
+  | Idle_exit  (** worker left the work-search loop *)
+
+val all_kinds : kind list
+
+val kind_name : kind -> string
+
+type t
+
+(** The disabled sink: every recording call is a near-no-op. *)
+val null : t
+
+(** [create ~num_workers ()] — one ring per worker.
+
+    @param capacity events retained per worker ring, rounded up to a
+      power of two (default 65536).
+    @param clock timestamp source (default: [Unix.gettimeofday] in
+      integer nanoseconds). The simulator ignores it and passes its own
+      virtual times. *)
+val create : ?capacity:int -> ?clock:(unit -> int) -> num_workers:int -> unit -> t
+
+val enabled : t -> bool
+
+val num_workers : t -> int
+
+(** Current timestamp from the sink's clock; 0 on a disabled sink. *)
+val now : t -> int
+
+(** Raw event append to [worker]'s ring. Prefer the [record_*] helpers,
+    which also maintain the latency histograms. *)
+val emit : t -> worker:int -> time:int -> kind -> arg:int -> unit
+
+(** {2 Recording hooks}
+
+    All are no-ops on a disabled sink. [time] is the caller's timestamp
+    ({!now} on the real engine, the virtual clock in the simulator). *)
+
+val record_steal_attempt : t -> thief:int -> victim:int -> time:int -> unit
+
+(** [search_start] is the timestamp of the matching [Idle_enter] (or -1
+    to skip the steal-latency sample). *)
+val record_steal_ok : t -> thief:int -> victim:int -> time:int -> search_start:int -> unit
+
+val record_steal_empty : t -> thief:int -> victim:int -> time:int -> unit
+
+val record_notify : t -> thief:int -> victim:int -> time:int -> unit
+
+val record_signal_handled : t -> worker:int -> time:int -> unit
+
+val record_expose : t -> worker:int -> time:int -> tasks:int -> unit
+
+val record_pop_public : t -> worker:int -> time:int -> unit
+
+val record_task_start : t -> worker:int -> time:int -> unit
+
+val record_task_end : t -> worker:int -> time:int -> unit
+
+val record_idle_enter : t -> worker:int -> time:int -> unit
+
+val record_idle_exit : t -> worker:int -> time:int -> unit
+
+(** {2 Reading a trace back} *)
+
+(** Events surviving in [worker]'s ring, oldest first. *)
+val iter_events : t -> worker:int -> (time:int -> kind -> arg:int -> unit) -> unit
+
+(** [(time, kind, arg)] list, oldest first (test/report convenience). *)
+val events : t -> worker:int -> (int * kind * int) list
+
+(** Events currently held in [worker]'s ring. *)
+val length : t -> worker:int -> int
+
+(** Events overwritten by ring wrap-around in [worker]'s ring. *)
+val dropped : t -> worker:int -> int
+
+(** Total events ever recorded, all workers, including dropped ones. *)
+val total_events : t -> int
+
+(** Per-kind totals across all workers (counted at record time, so wrap
+    does not lose them). *)
+val counts : t -> (kind * int) list
+
+type latencies = {
+  steal : Histogram.t;  (** Idle_enter → Steal_ok *)
+  expose : Histogram.t;  (** Notify → Expose (the paper's exposure delay) *)
+  handshake : Histogram.t;  (** Notify → Expose → Steal_ok round trip *)
+}
+
+(** Merged across all workers; fresh histograms on every call. *)
+val latencies : t -> latencies
+
+(** Event counts plus steal/exposure/handshake latency percentiles. *)
+val summary : Format.formatter -> t -> unit
+
+(** Drop all recorded events, counters and histogram contents. *)
+val reset : t -> unit

@@ -173,6 +173,70 @@ let split_signal_safe_stress ~nthieves ~total () =
   let all = Array.append [| Array.of_list !owner_got |] thief_results in
   consume_exactly_once ~name:"split-signal-safe" ~total all
 
+(* Forces the §4 fall-through on every owner pop: each pushed item is
+   exposed immediately, so the private part is empty when
+   [pop_bottom_signal_safe] runs (decrement-first miss) and the follow-up
+   [pop_public_bottom] must repair [bot] — under thieves racing for the
+   same public task. A failed repair shows up as a corrupted size
+   invariant or a lost/duplicated item. *)
+let split_signal_safe_repair ~nthieves ~total () =
+  let m = Metrics.create () in
+  let d = Split_deque.create ~capacity:(total + 8) ~dummy:(-1) ~metrics:m () in
+  let stop = Atomic.make false in
+  let thief_results = Array.make nthieves [||] in
+  let thieves =
+    List.init nthieves (fun t ->
+        Domain.spawn (fun () ->
+            let tm = Metrics.create () in
+            let acc = ref [] in
+            while not (Atomic.get stop) do
+              (match Split_deque.pop_top d ~metrics:tm with
+              | Stolen v -> acc := v :: !acc
+              | Empty | Abort | Private_work -> ());
+              Domain.cpu_relax ()
+            done;
+            thief_results.(t) <- Array.of_list !acc))
+  in
+  let owner_got = ref [] in
+  let check_sizes () =
+    let s = Split_deque.size d in
+    let pub = Split_deque.public_size d in
+    let priv = Split_deque.private_size d in
+    if s < 0 || pub < 0 || priv < 0 || s > total then
+      Alcotest.failf "split-repair: corrupt sizes size=%d public=%d private=%d" s pub priv
+  in
+  for i = 0 to total - 1 do
+    Split_deque.push_bottom d i;
+    (* Expose straight away: the private part is empty again... *)
+    ignore (Split_deque.update_public_bottom d ~policy:Split_deque.Expose_one);
+    (* ...so this decrements [bot] below the split point and misses, *)
+    (match Split_deque.pop_bottom_signal_safe d with
+    | Some v -> owner_got := v :: !owner_got
+    | None -> (
+        (* ...and this must repair [bot] whether or not it wins the race. *)
+        match Split_deque.pop_public_bottom d with
+        | Some v -> owner_got := v :: !owner_got
+        | None -> ()));
+    check_sizes ()
+  done;
+  let rec drain () =
+    match Split_deque.pop_bottom_signal_safe d with
+    | Some v ->
+        owner_got := v :: !owner_got;
+        drain ()
+    | None -> (
+        match Split_deque.pop_public_bottom d with
+        | Some v ->
+            owner_got := v :: !owner_got;
+            drain ()
+        | None -> if not (Split_deque.is_empty d) then drain ())
+  in
+  drain ();
+  Atomic.set stop true;
+  List.iter Domain.join thieves;
+  let all = Array.append [| Array.of_list !owner_got |] thief_results in
+  consume_exactly_once ~name:"split-repair" ~total all
+
 let () =
   Alcotest.run "deque_concurrent"
     [
@@ -184,5 +248,9 @@ let () =
           Alcotest.test_case "chase-lev: 3 thieves" `Quick (cl_stress ~nthieves:3 ~total:2000);
           Alcotest.test_case "split signal-safe: 2 thieves" `Quick
             (split_signal_safe_stress ~nthieves:2 ~total:2000);
+          Alcotest.test_case "split signal-safe repair: 1 thief" `Quick
+            (split_signal_safe_repair ~nthieves:1 ~total:2000);
+          Alcotest.test_case "split signal-safe repair: 3 thieves" `Quick
+            (split_signal_safe_repair ~nthieves:3 ~total:2000);
         ] );
     ]

@@ -155,6 +155,65 @@ let test_create_params () =
   Alcotest.check_raises "zero workers" (Invalid_argument "Pool.create: num_workers must be >= 1")
     (fun () -> ignore (S.Pool.create ~num_workers:0 ~variant:S.Ws ()))
 
+let test_pluggable_deques () =
+  (* Every deque implementation plugs into the same runtime. The
+     sequential ones (lace, private) run single-worker jobs... *)
+  List.iter
+    (fun impl ->
+      let pool = S.Pool.create ~num_workers:1 ~variant:S.Uslcws ~deque:impl () in
+      Fun.protect
+        ~finally:(fun () -> S.Pool.shutdown pool)
+        (fun () ->
+          check Alcotest.int
+            (Printf.sprintf "fib on %s" (S.deque_impl_name impl))
+            6765
+            (S.Pool.run pool (fun () -> fib 20))))
+    S.all_deque_impls;
+  (* ...and the concurrent ones work cross-matched with any variant. *)
+  let pool = S.Pool.create ~num_workers:2 ~variant:S.Signal ~deque:S.chase_lev_impl () in
+  Fun.protect
+    ~finally:(fun () -> S.Pool.shutdown pool)
+    (fun () -> check Alcotest.int "signal on chase-lev" 6765 (S.Pool.run pool (fun () -> fib 20)))
+
+let test_sequential_deque_rejected () =
+  List.iter
+    (fun impl ->
+      if not (Deque_intf.impl_concurrent impl) then
+        Alcotest.check_raises
+          (Printf.sprintf "%s rejected at P=2" (S.deque_impl_name impl))
+          (Invalid_argument
+             (Printf.sprintf
+                "Pool.create: deque %S is a sequential specification; use num_workers:1"
+                (S.deque_impl_name impl)))
+          (fun () -> ignore (S.Pool.create ~num_workers:2 ~variant:S.Uslcws ~deque:impl ())))
+    S.all_deque_impls
+
+let test_deque_impl_names () =
+  List.iter
+    (fun impl ->
+      let name = S.deque_impl_name impl in
+      match S.deque_impl_of_string name with
+      | Some impl' -> check Alcotest.string "roundtrip" name (S.deque_impl_name impl')
+      | None -> Alcotest.failf "deque_impl_of_string %S failed" name)
+    S.all_deque_impls;
+  Alcotest.(check bool) "unknown" true (S.deque_impl_of_string "nope" = None);
+  check Alcotest.string "ws default" "chase_lev" (S.deque_impl_name (S.default_deque_impl S.Ws));
+  check Alcotest.string "signal default" "split"
+    (S.deque_impl_name (S.default_deque_impl S.Signal))
+
+let test_backoff_counted () =
+  (* Idle loops route through Backoff: a multi-worker run on this host
+     (helpers mostly starve) must record backoff pauses. *)
+  with_pool ~workers:4 S.Signal (fun pool ->
+      S.Pool.reset_metrics pool;
+      ignore (S.Pool.run pool (fun () -> fib 24));
+      let m = S.Pool.metrics pool in
+      Alcotest.(check bool)
+        (Printf.sprintf "backoffs recorded (%d) alongside idle loops (%d)" m.Metrics.backoffs
+           m.Metrics.idle_loops)
+        true
+        (m.Metrics.idle_loops = 0 || m.Metrics.backoffs > 0))
+
 let test_variant_names () =
   List.iter
     (fun v ->
@@ -229,6 +288,13 @@ let () =
           Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
           Alcotest.test_case "create params" `Quick test_create_params;
           Alcotest.test_case "variant names" `Quick test_variant_names;
+        ] );
+      ( "deques",
+        [
+          Alcotest.test_case "pluggable implementations" `Quick test_pluggable_deques;
+          Alcotest.test_case "sequential specs rejected" `Quick test_sequential_deque_rejected;
+          Alcotest.test_case "impl names" `Quick test_deque_impl_names;
+          Alcotest.test_case "backoff counted" `Quick test_backoff_counted;
         ] );
       ("grains", per_variant "grain sweep" test_parallel_for_grains);
       ("oversubscribed", per_variant "8 workers" test_oversubscribed);
