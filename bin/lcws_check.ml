@@ -1,0 +1,102 @@
+(* CLI for the deque interleaving checker.
+
+     lcws_check list
+     lcws_check run [scenario ...] [--mutants] [--budget N]
+     lcws_check replay <scenario> <schedule> [--out trace.json]
+
+   [run] explores the named scenarios (default: the whole catalogue plus
+   the seeded mutants) and exits non-zero if any scenario's outcome does
+   not match its expectation. [replay] re-executes one exact interleaving
+   — e.g. the schedule printed with a counterexample — and can export it
+   as a Chrome trace for chrome://tracing / Perfetto. *)
+
+module Check = Lcws.Check
+
+let usage () =
+  prerr_endline
+    "usage: lcws_check list\n\
+    \       lcws_check run [scenario ...] [--mutants] [--budget N]\n\
+    \       lcws_check replay <scenario> <schedule> [--out trace.json]";
+  exit 2
+
+let list_cmd () =
+  let line (s : Check.Explore.scenario) =
+    Printf.printf "%-26s %s%s\n" s.Check.Explore.name s.Check.Explore.descr
+      (if s.Check.Explore.expect_violation then "  [expects violation]" else "")
+  in
+  print_endline "scenarios:";
+  List.iter line Check.Scenarios.all;
+  print_endline "seeded mutants (self-test; each must yield a counterexample):";
+  List.iter line Check.Scenarios.mutants
+
+let find_or_die name =
+  match Check.Scenarios.find name with
+  | Some s -> s
+  | None ->
+      Printf.eprintf "unknown scenario %S (try `lcws_check list')\n" name;
+      exit 2
+
+let run_cmd names ~with_mutants ~budget =
+  let scenarios =
+    match names with
+    | [] ->
+        Check.Scenarios.all @ (if with_mutants then Check.Scenarios.mutants else [])
+    | names -> List.map find_or_die names
+  in
+  let max_runs = Option.map (fun b -> b * Check.Explore.default_max_runs) budget in
+  let ok = ref true in
+  List.iter
+    (fun s ->
+      let r = Check.Explore.explore ?max_runs s in
+      Format.printf "%a@." Check.Explore.pp_report r;
+      if not (Check.Explore.passed r) then ok := false)
+    scenarios;
+  if !ok then print_endline "all scenarios matched their expectations"
+  else begin
+    print_endline "MISMATCH: some scenario did not match its expectation";
+    exit 1
+  end
+
+let replay_cmd name sched_str ~out =
+  let scenario = find_or_die name in
+  let schedule =
+    try Check.Explore.schedule_of_string sched_str
+    with Invalid_argument m ->
+      prerr_endline m;
+      exit 2
+  in
+  let r = Check.Explore.replay scenario schedule ~max_steps:1000 in
+  List.iteri
+    (fun i step ->
+      Format.printf "%3d  %a@." i (Check.Explore.pp_step r.Check.Explore.lanes) step)
+    r.Check.Explore.steps;
+  (match r.Check.Explore.result with
+  | Ok () -> print_endline "oracle: ok"
+  | Error m -> Printf.printf "oracle: VIOLATION: %s\n" m);
+  match out with
+  | None -> ()
+  | Some path ->
+      Lcws.Chrome_trace.Raw.write_file path
+        (Check.Explore.steps_to_chrome ~lanes:r.Check.Explore.lanes r.Check.Explore.steps);
+      Printf.printf "wrote %s\n" path
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [ "list" ] -> list_cmd ()
+  | "run" :: rest ->
+      let rec parse names with_mutants budget = function
+        | [] -> (List.rev names, with_mutants, budget)
+        | "--mutants" :: tl -> parse names true budget tl
+        | "--budget" :: n :: tl -> (
+            match int_of_string_opt n with
+            | Some b when b >= 1 -> parse names with_mutants (Some b) tl
+            | _ -> usage ())
+        | name :: tl -> parse (name :: names) with_mutants budget tl
+      in
+      let names, with_mutants, budget = parse [] false None rest in
+      run_cmd names ~with_mutants ~budget
+  | "replay" :: name :: sched :: rest ->
+      let out = match rest with [] -> None | [ "--out"; path ] -> Some path | _ -> usage () in
+      replay_cmd name sched ~out
+  | _ -> usage ()

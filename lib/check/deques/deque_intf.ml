@@ -1,0 +1,4 @@
+(* Swap shim: the copied deque sources reference [Deque_intf] by name;
+   re-export the production one so result types, module types and the
+   [Deque_full] exception stay the *same* types across both builds. *)
+include Lcws_deque.Deque_intf

@@ -1,0 +1,385 @@
+(* Bounded exhaustive exploration of thread interleavings, DSCheck-style:
+   scenario threads run as effect-based cooperative fibers over
+   [Sim_atomic.A]; every shared access is a scheduling point; the explorer
+   enumerates schedules by depth-first search with re-execution, pruning
+   provably redundant branches with sleep sets (a lightweight cut of
+   dynamic partial-order reduction). *)
+
+(* A scheduling decision: advance thread [i] (index [Array.length threads]
+   is the signal handler once delivered), or deliver the pending signal. *)
+type choice = Thread of int | Signal
+
+type run_spec = {
+  threads : (string * (unit -> unit)) array;
+      (** concurrent bodies; by convention index 0 is the deque's owner *)
+  signal : (string * (unit -> unit)) option;
+      (** at most one asynchronous signal, delivered to thread 0: while the
+          handler runs, thread 0 is blocked (a handler is atomic with
+          respect to the thread it interrupts) but thieves keep running *)
+  check : unit -> (unit, string) result;
+      (** the oracle, run quiescently after every complete interleaving *)
+}
+
+type scenario = {
+  name : string;
+  descr : string;
+  expect_violation : bool;
+  spec : unit -> run_spec;
+}
+
+type step = { who : choice; access : Sim_atomic.access option }
+
+type violation = { message : string; steps : step list; schedule : choice list }
+
+type report = {
+  name : string;
+  expect_violation : bool;
+  runs : int;  (** executions started, including pruned ones *)
+  interleavings : int;  (** complete maximal interleavings executed *)
+  pruned : int;  (** executions abandoned as sleep-set-redundant *)
+  exhausted : bool;  (** the whole (reduced) schedule tree was covered *)
+  violation : violation option;
+}
+
+(* {2 Cooperative fibers} *)
+
+type tstate =
+  | Waiting of Sim_atomic.access * (unit, unit) Effect.Deep.continuation
+  | Finished
+
+(* Each fiber runs under a deep handler that parks (access, continuation)
+   in its cell at every [Yield]. Starting or resuming a fiber therefore
+   runs it up to its next access; the access itself happens after the
+   yield, i.e. when the *next* resume is granted. *)
+let fiber_handler cell =
+  {
+    Effect.Deep.retc = (fun () -> cell := Finished);
+    exnc = (fun e -> raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Sim_atomic.Yield access ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) -> cell := Waiting (access, k))
+        | _ -> None);
+  }
+
+type engine = {
+  spec : run_spec;
+  cells : tstate ref array;  (** length [n+1]; slot [n] is the handler *)
+  mutable delivered : bool;
+}
+
+let n_threads e = Array.length e.spec.threads
+
+let start spec =
+  let n = Array.length spec.threads in
+  let cells = Array.init (n + 1) (fun _ -> ref Finished) in
+  let e = { spec; cells; delivered = false } in
+  for i = 0 to n - 1 do
+    let _, body = spec.threads.(i) in
+    Effect.Deep.match_with body () (fiber_handler cells.(i))
+  done;
+  e
+
+let handler_active e =
+  e.delivered && (match !(e.cells.(n_threads e)) with Waiting _ -> true | Finished -> false)
+
+let all_finished e =
+  Array.for_all (fun c -> match !c with Finished -> true | Waiting _ -> false) e.cells
+
+(* Enabled choices, in a fixed deterministic order: threads by index (the
+   owner is suppressed while its signal handler runs), then the handler
+   slot, then signal delivery. Delivery is optional — schedules that never
+   take [Signal] model the signal arriving after the scenario is over. *)
+let enabled e =
+  let n = n_threads e in
+  let out = ref (if e.spec.signal <> None && not e.delivered then [ (Signal, None) ] else []) in
+  for i = n downto 0 do
+    match !(e.cells.(i)) with
+    | Waiting (a, _) -> if not (i = 0 && handler_active e) then out := (Thread i, Some a) :: !out
+    | Finished -> ()
+  done;
+  !out
+
+(* Execute one choice: resuming a fiber performs its pending access and
+   runs it to the next one; delivering the signal starts the handler fiber
+   (no access of its own — the handler's accesses are subsequent
+   [Thread n] steps). Returns the access the step performed. *)
+let exec e c =
+  match c with
+  | Signal ->
+      e.delivered <- true;
+      (match e.spec.signal with
+      | Some (_, body) -> Effect.Deep.match_with body () (fiber_handler e.cells.(n_threads e))
+      | None -> invalid_arg "Explore: Signal chosen but no signal in spec");
+      None
+  | Thread i -> (
+      match !(e.cells.(i)) with
+      | Waiting (a, k) ->
+          Effect.Deep.continue k ();
+          Some a
+      | Finished -> invalid_arg "Explore: chose a finished thread")
+
+(* {2 Sleep-set DFS by re-execution} *)
+
+(* One decision point on the current DFS path. [sleep0] is the sleep set
+   on entry (choices whose subtrees are covered by sibling branches
+   elsewhere); [tried] are siblings already fully explored here. *)
+type node = {
+  mutable chosen : choice;
+  mutable chosen_access : Sim_atomic.access option;
+  mutable to_try : choice list;
+  mutable tried : (choice * Sim_atomic.access option) list;
+  sleep0 : (choice * Sim_atomic.access option) list;
+}
+
+(* [Signal] steps and instantly-finishing handlers carry no access; treat
+   them as dependent with everything (delivery does not commute with owner
+   steps — it blocks the owner), which keeps the pruning sound. *)
+let dependent a b =
+  match (a, b) with
+  | None, _ | _, None -> true
+  | Some a, Some b -> Sim_atomic.conflict a b
+
+let filter_indep sleep a = List.filter (fun (_, a') -> not (dependent a' a)) sleep
+
+type outcome = Passed | Failed of string | Pruned_run
+
+(* Re-execute the scenario from scratch, following [prefix] (the current
+   DFS path), then extend it greedily with first-not-asleep choices,
+   materialising a new node per fresh decision. Every shared access is a
+   decision point, so nodes and steps are one-to-one. *)
+let exec_run spec_fn prefix ~max_steps =
+  Sim_atomic.reset ();
+  let steps = ref [] in
+  let new_nodes = ref [] in
+  let record who access = steps := { who; access } :: !steps in
+  let outcome =
+    try
+      let spec = Sim_atomic.quiescent spec_fn in
+      let e = start spec in
+      let rec go sleep depth prefix_rest =
+        if depth > max_steps then
+          Failed (Printf.sprintf "step budget exceeded (%d): livelock?" max_steps)
+        else if all_finished e then
+          match Sim_atomic.quiescent e.spec.check with Ok () -> Passed | Error m -> Failed m
+        else
+          let en = enabled e in
+          if en = [] then Failed "deadlock: runnable threads but no enabled choice"
+          else
+            match prefix_rest with
+            | node :: rest ->
+                let a = exec e node.chosen in
+                node.chosen_access <- a;
+                record node.chosen a;
+                go (filter_indep (node.sleep0 @ node.tried) a) (depth + 1) rest
+            | [] -> (
+                let awake =
+                  List.filter
+                    (fun (c, _) -> not (List.exists (fun (c', _) -> c' = c) sleep))
+                    en
+                in
+                match awake with
+                | [] -> Pruned_run
+                | (c, _) :: others ->
+                    let node =
+                      {
+                        chosen = c;
+                        chosen_access = None;
+                        to_try = List.map fst others;
+                        tried = [];
+                        sleep0 = sleep;
+                      }
+                    in
+                    new_nodes := node :: !new_nodes;
+                    let a = exec e c in
+                    node.chosen_access <- a;
+                    record c a;
+                    go (filter_indep sleep a) (depth + 1) [])
+      in
+      go [] 0 prefix
+    with exn -> Failed (Printf.sprintf "uncaught exception: %s" (Printexc.to_string exn))
+  in
+  (outcome, List.rev !new_nodes, List.rev !steps)
+
+(* Deepest node with an untried sibling becomes the new branch point: its
+   current choice moves to [tried] (entering the sleep set of the
+   siblings' subtrees), everything below it is discarded. *)
+let rec backtrack rev_stack =
+  match rev_stack with
+  | [] -> None
+  | nd :: rest -> (
+      match nd.to_try with
+      | [] -> backtrack rest
+      | c :: cs ->
+          nd.tried <- nd.tried @ [ (nd.chosen, nd.chosen_access) ];
+          nd.chosen <- c;
+          nd.chosen_access <- None;
+          nd.to_try <- cs;
+          Some (List.rev (nd :: rest)))
+
+let default_max_runs = 50_000
+
+(* LCWS_CHECK_BUDGET multiplies the run budget; CI's bounded pass uses the
+   default, the nightly sweep sets it high. *)
+let budget_multiplier () =
+  match Sys.getenv_opt "LCWS_CHECK_BUDGET" with
+  | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 1)
+  | None -> 1
+
+let explore ?max_runs ?(max_steps = 400) (scenario : scenario) =
+  let max_runs =
+    match max_runs with Some m -> m | None -> default_max_runs * budget_multiplier ()
+  in
+  let stack = ref [] in
+  let runs = ref 0 and pruned = ref 0 and completed = ref 0 in
+  let violation = ref None in
+  let exhausted = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    let outcome, nodes, steps = exec_run scenario.spec !stack ~max_steps in
+    stack := !stack @ nodes;
+    incr runs;
+    (match outcome with
+    | Pruned_run -> incr pruned
+    | Passed -> incr completed
+    | Failed message ->
+        incr completed;
+        violation :=
+          Some { message; steps; schedule = List.map (fun nd -> nd.chosen) !stack };
+        continue_ := false);
+    if !continue_ then begin
+      (match backtrack (List.rev !stack) with
+      | None ->
+          exhausted := true;
+          continue_ := false;
+          stack := []
+      | Some s -> stack := s);
+      if !continue_ && !runs >= max_runs then continue_ := false
+    end
+  done;
+  {
+    name = scenario.name;
+    expect_violation = scenario.expect_violation;
+    runs = !runs;
+    interleavings = !completed;
+    pruned = !pruned;
+    exhausted = !exhausted;
+    violation = !violation;
+  }
+
+(* {2 Replay} *)
+
+type replay = { result : (unit, string) result; steps : step list; lanes : string array }
+
+(* Lane names for traces: scenario threads, then the handler lane. *)
+let lanes_of spec =
+  let n = Array.length spec.threads in
+  Array.init (n + 1) (fun i ->
+      if i < n then fst spec.threads.(i)
+      else match spec.signal with Some (name, _) -> name | None -> "signal")
+
+(* Re-run one exact interleaving. After [schedule] is consumed, remaining
+   threads are finished deterministically (first enabled choice) so the
+   oracle always sees a complete execution. *)
+let replay (scenario : scenario) schedule ~max_steps =
+  Sim_atomic.reset ();
+  let steps = ref [] in
+  let lanes = ref [||] in
+  let result =
+    try
+      let spec = Sim_atomic.quiescent scenario.spec in
+      lanes := lanes_of spec;
+      let e = start spec in
+      let rec go depth sched =
+        if depth > max_steps then Error "step budget exceeded"
+        else if all_finished e then Sim_atomic.quiescent e.spec.check
+        else
+          let en = enabled e in
+          match (sched, en) with
+          | _, [] -> Error "deadlock"
+          | c :: rest, _ when List.exists (fun (c', _) -> c' = c) en ->
+              let a = exec e c in
+              steps := { who = c; access = a } :: !steps;
+              go (depth + 1) rest
+          | c :: _, _ ->
+              Error
+                (Printf.sprintf "schedule step %d not enabled (%s)" depth
+                   (match c with Thread i -> string_of_int i | Signal -> "s"))
+          | [], (c, _) :: _ ->
+              let a = exec e c in
+              steps := { who = c; access = a } :: !steps;
+              go (depth + 1) []
+      in
+      go 0 schedule
+    with exn -> Error (Printf.sprintf "uncaught exception: %s" (Printexc.to_string exn))
+  in
+  { result; steps = List.rev !steps; lanes = !lanes }
+
+(* {2 Schedules as strings} *)
+
+let choice_to_string = function Thread i -> string_of_int i | Signal -> "s"
+
+let schedule_to_string sched = String.concat "," (List.map choice_to_string sched)
+
+let schedule_of_string s =
+  if String.trim s = "" then []
+  else
+    String.split_on_char ',' s
+    |> List.map (fun tok ->
+           match String.trim tok with
+           | "s" | "S" -> Signal
+           | t -> (
+               match int_of_string_opt t with
+               | Some i when i >= 0 -> Thread i
+               | _ -> invalid_arg (Printf.sprintf "bad schedule token %S" tok)))
+
+(* {2 Reporting} *)
+
+let pp_step lanes ppf { who; access } =
+  let lane =
+    match who with
+    | Signal -> "deliver-signal"
+    | Thread i -> if i < Array.length lanes then lanes.(i) else string_of_int i
+  in
+  match access with
+  | Some a -> Format.fprintf ppf "%-16s %a" lane Sim_atomic.pp_access a
+  | None -> Format.fprintf ppf "%-16s (no access)" lane
+
+let pp_report ppf r =
+  Format.fprintf ppf "%-26s %s: %d interleavings, %d pruned, %d runs%s" r.name
+    (match r.violation with
+    | Some _ -> if r.expect_violation then "violation found (expected)" else "VIOLATION"
+    | None -> if r.expect_violation then "NO VIOLATION (one expected)" else "ok")
+    r.interleavings r.pruned r.runs
+    (if r.exhausted then ", exhausted" else ", budget hit");
+  match r.violation with
+  | None -> ()
+  | Some v ->
+      Format.fprintf ppf "@,  %s@,  schedule: %s" v.message (schedule_to_string v.schedule)
+
+(* A report "passes" when reality matches the scenario's expectation. *)
+let passed r = match r.violation with Some _ -> r.expect_violation | None -> not r.expect_violation
+
+(* {2 Chrome-trace export} *)
+
+(* One lane per scenario thread plus one for delivery; one instant event
+   per step, spaced 1us apart so Perfetto renders the order legibly. *)
+let steps_to_chrome ~lanes steps =
+  let raw = Lcws_trace.Chrome_trace.Raw.create ~process:"lcws-check" () in
+  let n = Array.length lanes in
+  Array.iteri (fun i name -> Lcws_trace.Chrome_trace.Raw.thread_name raw ~tid:i name) lanes;
+  Lcws_trace.Chrome_trace.Raw.thread_name raw ~tid:n "delivery";
+  List.iteri
+    (fun k { who; access } ->
+      let tid = match who with Thread i -> i | Signal -> n in
+      let name =
+        match (who, access) with
+        | Signal, _ -> "deliver-signal"
+        | _, Some a -> Printf.sprintf "%s %s" (Sim_atomic.kind_name a.kind) a.name
+        | _, None -> "step"
+      in
+      Lcws_trace.Chrome_trace.Raw.instant raw ~tid ~time:(k * 1000) ~name ())
+    steps;
+  raw

@@ -1,0 +1,85 @@
+(** Deterministic interleaving exploration for the deque layer.
+
+    A {!scenario} is a small concurrent script over a deque built with
+    {!Sim_atomic.A}: an array of cooperative threads (owner first), at
+    most one asynchronous signal (delivered to the owner; the handler is
+    atomic with respect to the owner but interleaves with thieves), and a
+    sequential oracle run after every complete interleaving.
+
+    {!explore} enumerates every interleaving of the threads' shared-memory
+    accesses by depth-first search with re-execution, pruning redundant
+    branches with sleep sets (accesses to different locations, or two
+    reads of the same location, commute). The search is exhaustive up to
+    the run budget; everything is deterministic, so the reported
+    interleaving counts are reproducible bit-for-bit. *)
+
+(** Advance thread [i] by one shared-memory access, or deliver the
+    pending signal. Index [Array.length threads] is the handler fiber. *)
+type choice = Thread of int | Signal
+
+type run_spec = {
+  threads : (string * (unit -> unit)) array;
+  signal : (string * (unit -> unit)) option;
+  check : unit -> (unit, string) result;
+}
+
+type scenario = {
+  name : string;
+  descr : string;
+  expect_violation : bool;
+      (** demo scenarios (and seeded mutants) are supposed to fail *)
+  spec : unit -> run_spec;
+      (** builds a fresh deque + oracle; called once per execution, under
+          {!Sim_atomic.quiescent} *)
+}
+
+type step = { who : choice; access : Sim_atomic.access option }
+
+type violation = {
+  message : string;
+  steps : step list;  (** the exact failing interleaving *)
+  schedule : choice list;  (** replayable via {!replay} *)
+}
+
+type report = {
+  name : string;
+  expect_violation : bool;
+  runs : int;
+  interleavings : int;
+  pruned : int;
+  exhausted : bool;
+  violation : violation option;
+}
+
+val default_max_runs : int
+
+(** [explore scenario] searches until a violation, exhaustion, or the run
+    budget ([?max_runs], default {!default_max_runs} times the
+    [LCWS_CHECK_BUDGET] environment multiplier). [?max_steps] bounds one
+    execution's length (livelock guard). *)
+val explore : ?max_runs:int -> ?max_steps:int -> scenario -> report
+
+type replay = { result : (unit, string) result; steps : step list; lanes : string array }
+
+(** Re-run one exact interleaving (completing it deterministically if the
+    schedule is a prefix) and report the oracle's verdict. *)
+val replay : scenario -> choice list -> max_steps:int -> replay
+
+val choice_to_string : choice -> string
+
+val schedule_to_string : choice list -> string
+
+(** Inverse of {!schedule_to_string} ("0,1,s,2").
+    @raise Invalid_argument on a malformed token. *)
+val schedule_of_string : string -> choice list
+
+val pp_step : string array -> Format.formatter -> step -> unit
+
+val pp_report : Format.formatter -> report -> unit
+
+(** Did reality match the scenario's expectation? *)
+val passed : report -> bool
+
+(** Counterexample as a Chrome trace: one lane per thread (plus one for
+    signal delivery), one instant event per access, 1us per step. *)
+val steps_to_chrome : lanes:string array -> step list -> Lcws_trace.Chrome_trace.Raw.t

@@ -1,0 +1,473 @@
+(* The scenario catalogue: each scenario is a few-step concurrent script
+   over one deque, sized so that bounded exhaustive exploration finishes
+   in well under a second, plus a sequential oracle. The oracles are the
+   work-stealing correctness conditions: every pushed task is consumed
+   exactly once (no loss, no duplication), owners pop LIFO, thieves steal
+   FIFO, and per-worker synchronization accounting stays coherent.
+
+   The split-deque scenarios are written against any [Split_deque.S], so
+   the same scripts run both the clean deque (must pass exhaustively) and
+   the seeded [Make_mutant] bugs (must each produce a counterexample) —
+   the checker's self-test. *)
+
+module Metrics = Lcws_sync.Metrics
+module Split = Lcws_sim_deque.Split_deque
+module Chase = Lcws_sim_deque.Chase_lev
+module Lace = Lcws_sim_deque.Lace_deque
+module Priv = Lcws_sim_deque.Private_deque
+
+(* {2 Oracle helpers} *)
+
+let pp_int_list xs = "[" ^ String.concat "; " (List.map string_of_int xs) ^ "]"
+
+(* No-loss / no-duplication: the tasks consumed (by anyone, including the
+   post-run drain) are exactly the multiset pushed. *)
+let exactly_once ~pushed ~got =
+  let sort = List.sort compare in
+  if sort pushed = sort got then Ok ()
+  else
+    Error
+      (Printf.sprintf "exactly-once violated: pushed %s but consumed %s" (pp_int_list pushed)
+         (pp_int_list (sort got)))
+
+let monotone cmp what xs =
+  let rec ok = function a :: (b :: _ as rest) -> cmp a b && ok rest | _ -> true in
+  if ok xs then Ok () else Error (Printf.sprintf "%s violated: %s" what (pp_int_list xs))
+
+(* Thief-FIFO: a single thief's successful steals see increasing task ids
+   (tasks are pushed in id order, steals come off the top). *)
+let increasing who xs = monotone ( < ) (who ^ " FIFO order") xs
+
+(* Owner-LIFO: the owner's pops see decreasing ids. *)
+let decreasing who xs = monotone ( > ) (who ^ " LIFO order") xs
+
+let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e
+
+let take cell x = cell := x :: !cell
+
+let taken cell = List.rev !cell
+
+(* {2 Split-deque scenarios (clean and mutant)} *)
+
+module Mk_split (S : Split.S) = struct
+  (* Fresh deque for one execution; tasks are 1..n, all still private. *)
+  let fresh ?(capacity = 8) n =
+    let d = S.create ~capacity ~dummy:0 ~metrics:(Metrics.create ()) () in
+    for i = 1 to n do
+      S.push_bottom d i
+    done;
+    d
+
+  (* Consume whatever the concurrent part left behind, owner side first.
+     Runs quiescently inside the oracle, so there is no concurrency left
+     and in particular no CAS can lose. *)
+  let drain d =
+    let out = ref [] in
+    let rec private_pops () =
+      match S.pop_bottom d with
+      | Some x ->
+          take out x;
+          private_pops ()
+      | None -> ()
+    in
+    let rec public_pops () =
+      match S.pop_public_bottom d with
+      | Some x ->
+          take out x;
+          public_pops ()
+      | None -> ()
+    in
+    let m = Metrics.create () in
+    let rec steals () =
+      match S.pop_top d ~metrics:m with
+      | Lcws_deque.Deque_intf.Stolen x ->
+          take out x;
+          steals ()
+      | Lcws_deque.Deque_intf.Abort -> steals ()
+      | Lcws_deque.Deque_intf.Empty | Lcws_deque.Deque_intf.Private_work -> ()
+    in
+    private_pops ();
+    public_pops ();
+    steals ();
+    taken out
+
+  (* A thief loop: [attempts] bounded tries, keeping only successes. *)
+  let thief d got attempts () =
+    let m = Metrics.create () in
+    for _ = 1 to attempts do
+      match S.pop_top d ~metrics:m with
+      | Lcws_deque.Deque_intf.Stolen x -> take got x
+      | Lcws_deque.Deque_intf.Empty | Lcws_deque.Deque_intf.Abort
+      | Lcws_deque.Deque_intf.Private_work ->
+          ()
+    done
+
+  (* Owner [pop_public_bottom] races one thief for the single exposed
+     task: the last-task CAS race of Listing 2, where the ABA tag is
+     load-bearing ([drop_tag_bump] must fail here). *)
+  let last_task ~name ~expect_violation =
+    {
+      Explore.name;
+      descr = "1 exposed task: owner pop_public_bottom vs one thief steal";
+      expect_violation;
+      spec =
+        (fun () ->
+          let d = fresh 1 in
+          ignore (S.update_public_bottom d ~policy:Lcws_deque.Deque_intf.Expose_one);
+          let og = ref [] and tg = ref [] in
+          {
+            Explore.threads =
+              [|
+                ( "owner",
+                  fun () -> match S.pop_public_bottom d with Some x -> take og x | None -> () );
+                ("thief", thief d tg 1);
+              |];
+            signal = None;
+            check =
+              (fun () -> exactly_once ~pushed:[ 1 ] ~got:(taken og @ taken tg @ drain d));
+          });
+    }
+
+  (* Two exposed tasks, owner takes the public bottom while a thief works
+     down from the top: exercises the Listing 2 line 11-12 fence — the
+     [public_bot] decrement must be visible before the owner reads [age]
+     ([drop_fence] must fail here). Also checks the thief's FIFO order. *)
+  let two_exposed ~name ~expect_violation =
+    {
+      Explore.name;
+      descr = "2 exposed tasks: owner pop_public_bottom vs a thief stealing twice";
+      expect_violation;
+      spec =
+        (fun () ->
+          let d = fresh 2 in
+          ignore (S.update_public_bottom d ~policy:Lcws_deque.Deque_intf.Expose_one);
+          ignore (S.update_public_bottom d ~policy:Lcws_deque.Deque_intf.Expose_one);
+          let og = ref [] and tg = ref [] in
+          {
+            Explore.threads =
+              [|
+                ( "owner",
+                  fun () -> match S.pop_public_bottom d with Some x -> take og x | None -> () );
+                ("thief", thief d tg 2);
+              |];
+            signal = None;
+            check =
+              (fun () ->
+                let* () = increasing "thief" (taken tg) in
+                exactly_once ~pushed:[ 1; 2 ] ~got:(taken og @ taken tg @ drain d));
+          });
+    }
+
+  (* The Section 4 race: a signal handler exposes work between two steps
+     of the owner's pop. With [safe = true] the owner uses the
+     decrement-first [pop_bottom_signal_safe] (+ mandatory
+     [pop_public_bottom] follow-up) and every interleaving must be
+     exactly-once; with [safe = false] it uses the plain [pop_bottom] and
+     the checker must reproduce the paper's lost-update duplication. *)
+  let signal_pop ~safe ~name ~expect_violation =
+    {
+      Explore.name;
+      descr =
+        (if safe then
+           "signal-delivered exposure vs pop_bottom_signal_safe + repair (Section 4 fix)"
+         else "signal-delivered exposure vs plain pop_bottom (the Section 4 bug, on purpose)");
+      expect_violation;
+      spec =
+        (fun () ->
+          let d = fresh 1 in
+          let og = ref [] and tg = ref [] in
+          let owner () =
+            if safe then
+              match S.pop_bottom_signal_safe d with
+              | Some x -> take og x
+              | None -> (
+                  (* Contract: a failed signal-safe pop is always followed
+                     by the public fallback, which repairs [bot]. *)
+                  match S.pop_public_bottom d with Some x -> take og x | None -> ())
+            else
+              match S.pop_bottom d with Some x -> take og x | None -> ()
+          in
+          {
+            Explore.threads = [| ("owner", owner); ("thief", thief d tg 2) |];
+            signal =
+              Some
+                ( "expose",
+                  fun () ->
+                    ignore (S.update_public_bottom d ~policy:Lcws_deque.Deque_intf.Expose_one) );
+            check =
+              (fun () -> exactly_once ~pushed:[ 1 ] ~got:(taken og @ taken tg @ drain d));
+          });
+    }
+
+  (* Single-threaded Section 4 repair path: a failed decrement-first pop
+     on an empty deque leaves [bot = -1]; [pop_public_bottom] must repair
+     it before the next push ([drop_bot_repair] must fail here — the push
+     lands at index -1). *)
+  let repair ~name ~expect_violation =
+    {
+      Explore.name;
+      descr = "empty deque: failed signal-safe pop, repair, then push/pop again";
+      expect_violation;
+      spec =
+        (fun () ->
+          let d = fresh 0 in
+          let og = ref [] in
+          let owner () =
+            (match S.pop_bottom_signal_safe d with
+            | Some x -> take og x
+            | None -> (
+                match S.pop_public_bottom d with Some x -> take og x | None -> ()));
+            S.push_bottom d 99;
+            match S.pop_bottom d with Some x -> take og x | None -> ()
+          in
+          {
+            Explore.threads = [| ("owner", owner) |];
+            signal = None;
+            check = (fun () -> exactly_once ~pushed:[ 99 ] ~got:(taken og @ drain d));
+          });
+    }
+
+  (* Expose-half (Section 4.1.2) with two racing thieves: the owner
+     publishes round(3/2) = 2 of its 3 tasks then keeps popping privately;
+     thieves take one each off the top. Checks owner-LIFO and per-thief
+     FIFO on top of exactly-once. *)
+  let expose_half ~name ~expect_violation =
+    {
+      Explore.name;
+      descr = "Expose_half of 3 tasks vs two racing thieves";
+      expect_violation;
+      spec =
+        (fun () ->
+          let d = fresh 3 in
+          let og = ref [] and t1 = ref [] and t2 = ref [] in
+          let owner () =
+            ignore (S.update_public_bottom d ~policy:Lcws_deque.Deque_intf.Expose_half);
+            match S.pop_bottom d with Some x -> take og x | None -> ()
+          in
+          {
+            Explore.threads =
+              [| ("owner", owner); ("thief1", thief d t1 1); ("thief2", thief d t2 1) |];
+            signal = None;
+            check =
+              (fun () ->
+                let* () = decreasing "owner" (taken og) in
+                let* () = increasing "thief1" (taken t1) in
+                let* () = increasing "thief2" (taken t2) in
+                exactly_once ~pushed:[ 1; 2; 3 ]
+                  ~got:(taken og @ taken t1 @ taken t2 @ drain d));
+          });
+    }
+end
+
+(* {2 Chase-Lev scenarios} *)
+
+module Chase_sim = Chase
+
+let chase_drain d =
+  let out = ref [] in
+  let m = Metrics.create () in
+  let rec pops () =
+    match Chase_sim.pop_bottom d with
+    | Some x ->
+        take out x;
+        pops ()
+    | None -> ()
+  in
+  let rec steals () =
+    match Chase_sim.steal d ~metrics:m with
+    | Lcws_deque.Deque_intf.Stolen x ->
+        take out x;
+        steals ()
+    | Lcws_deque.Deque_intf.Abort -> steals ()
+    | _ -> ()
+  in
+  pops ();
+  steals ();
+  taken out
+
+let chase_thief d got attempts () =
+  let m = Metrics.create () in
+  for _ = 1 to attempts do
+    match Chase_sim.steal d ~metrics:m with
+    | Lcws_deque.Deque_intf.Stolen x -> take got x
+    | _ -> ()
+  done
+
+(* Owner and thief race for the last element: the owner's single CAS on
+   [top]. The oracle additionally pins the owner's abort accounting — a
+   lost last-element CAS must count one [cas_failure] *and* one [abort],
+   in every interleaving. *)
+let chase_last =
+  {
+    Explore.name = "chase_lev_last";
+    descr = "1 task: owner pop_bottom vs one thief, with abort-accounting oracle";
+    expect_violation = false;
+    spec =
+      (fun () ->
+        let om = Metrics.create () in
+        let d = Chase_sim.create ~capacity:4 ~dummy:0 ~metrics:om () in
+        Chase_sim.push_bottom d 1;
+        let og = ref [] and tg = ref [] in
+        {
+          Explore.threads =
+            [|
+              ("owner", fun () -> match Chase_sim.pop_bottom d with Some x -> take og x | None -> ());
+              ("thief", chase_thief d tg 1);
+            |];
+          signal = None;
+          check =
+            (fun () ->
+              let* () =
+                if om.Metrics.cas_failures = om.Metrics.aborts then Ok ()
+                else
+                  Error
+                    (Printf.sprintf "owner aborts out of sync: %d cas_failures, %d aborts"
+                       om.Metrics.cas_failures om.Metrics.aborts)
+              in
+              exactly_once ~pushed:[ 1 ] ~got:(taken og @ taken tg @ chase_drain d));
+        });
+  }
+
+(* Circular-buffer wraparound: capacity 2, one slot already recycled, the
+   owner pushes over the wrapped index while a thief works the top. *)
+let chase_wrap =
+  {
+    Explore.name = "chase_lev_wrap";
+    descr = "capacity-2 buffer wraparound: push over a recycled slot vs a thief";
+    expect_violation = false;
+    spec =
+      (fun () ->
+        let d = Chase_sim.create ~capacity:2 ~dummy:0 ~metrics:(Metrics.create ()) () in
+        let og = ref [] and tg = ref [] in
+        Chase_sim.push_bottom d 1;
+        Chase_sim.push_bottom d 2;
+        (match Chase_sim.steal d ~metrics:(Metrics.create ()) with
+        | Lcws_deque.Deque_intf.Stolen x -> take og x
+        | _ -> failwith "setup steal failed");
+        let owner () =
+          Chase_sim.push_bottom d 3;
+          match Chase_sim.pop_bottom d with Some x -> take og x | None -> ()
+        in
+        {
+          Explore.threads = [| ("owner", owner); ("thief", chase_thief d tg 2) |];
+          signal = None;
+          check =
+            (fun () ->
+              exactly_once ~pushed:[ 1; 2; 3 ] ~got:(taken og @ taken tg @ chase_drain d));
+        });
+  }
+
+(* {2 Sequential-specification deques (single-schedule oracle scripts)} *)
+
+module Lace_sim = Lace
+module Priv_sim = Priv
+
+let lace_script =
+  {
+    Explore.name = "lace_script";
+    descr = "sequential Lace script: expose, steal, pop (with unexposure) against the oracle";
+    expect_violation = false;
+    spec =
+      (fun () ->
+        let d = Lace_sim.create ~capacity:4 ~dummy:0 () in
+        let got = ref [] in
+        let owner () =
+          ignore (Lace_sim.push_bottom d 1);
+          ignore (Lace_sim.push_bottom d 2);
+          ignore (Lace_sim.push_bottom d 3);
+          ignore (Lace_sim.expose d);
+          (match Lace_sim.pop_top d with
+          | Lcws_deque.Deque_intf.Stolen x, _ -> take got x
+          | _ -> ());
+          for _ = 1 to 3 do
+            match Lace_sim.pop_bottom d with Some x, _ -> take got x | None, _ -> ()
+          done
+        in
+        {
+          Explore.threads = [| ("owner", owner) |];
+          signal = None;
+          check =
+            (fun () ->
+              let* () =
+                if Lace_sim.private_size d + Lace_sim.public_size d = Lace_sim.size d then Ok ()
+                else Error "lace size split inconsistent"
+              in
+              exactly_once ~pushed:[ 1; 2; 3 ] ~got:(taken got));
+        });
+  }
+
+let private_script =
+  {
+    Explore.name = "private_script";
+    descr = "sequential private-deque script: owner-side transfers against the oracle";
+    expect_violation = false;
+    spec =
+      (fun () ->
+        let d = Priv_sim.create ~capacity:4 ~dummy:0 () in
+        let got = ref [] in
+        let owner () =
+          Priv_sim.push_bottom d 1;
+          Priv_sim.push_bottom d 2;
+          Priv_sim.push_bottom d 3;
+          (match Priv_sim.pop_top d with Some x -> take got x | None -> ());
+          (match Priv_sim.pop_bottom d with Some x -> take got x | None -> ());
+          (match Priv_sim.pop_top d with Some x -> take got x | None -> ());
+          match Priv_sim.pop_bottom d with Some x -> take got x | None -> ()
+        in
+        {
+          Explore.threads = [| ("owner", owner) |];
+          signal = None;
+          check =
+            (fun () ->
+              let* () = if Priv_sim.is_empty d then Ok () else Error "private deque not drained" in
+              exactly_once ~pushed:[ 1; 2; 3 ] ~got:(taken got));
+        });
+  }
+
+(* {2 Instantiations} *)
+
+module Split_sim = Split
+module Clean = Mk_split (Split_sim)
+
+module Split_drop_fence = Split.Make_mutant (struct
+  let mutation = { Split.Mutation.none with Split.Mutation.drop_fence = true }
+end)
+
+module Split_drop_tag = Split.Make_mutant (struct
+  let mutation = { Split.Mutation.none with Split.Mutation.drop_tag_bump = true }
+end)
+
+module Split_drop_repair = Split.Make_mutant (struct
+  let mutation = { Split.Mutation.none with Split.Mutation.drop_bot_repair = true }
+end)
+
+module Mutant_fence = Mk_split (Split_drop_fence)
+module Mutant_tag = Mk_split (Split_drop_tag)
+module Mutant_repair = Mk_split (Split_drop_repair)
+
+let all =
+  [
+    Clean.last_task ~name:"split_last_task" ~expect_violation:false;
+    Clean.two_exposed ~name:"split_two_exposed" ~expect_violation:false;
+    Clean.signal_pop ~safe:true ~name:"split_signal_safe" ~expect_violation:false;
+    Clean.signal_pop ~safe:false ~name:"split_signal_unsafe_demo" ~expect_violation:true;
+    Clean.repair ~name:"split_repair" ~expect_violation:false;
+    Clean.expose_half ~name:"split_expose_half" ~expect_violation:false;
+    chase_last;
+    chase_wrap;
+    lace_script;
+    private_script;
+  ]
+
+(* The checker's self-test: each seeded mutation re-introduces one
+   load-bearing line of the protocol as a bug, and the matching scenario
+   must produce a counterexample. *)
+let mutants =
+  [
+    Mutant_fence.two_exposed ~name:"mutant_drop_fence" ~expect_violation:true;
+    Mutant_tag.last_task ~name:"mutant_drop_tag_bump" ~expect_violation:true;
+    Mutant_repair.repair ~name:"mutant_drop_bot_repair" ~expect_violation:true;
+  ]
+
+let find name =
+  List.find_opt (fun (s : Explore.scenario) -> s.Explore.name = name) (all @ mutants)

@@ -1,0 +1,39 @@
+(** The scenario catalogue for the interleaving checker.
+
+    Each scenario is a few-step concurrent script over one deque with a
+    sequential oracle (exactly-once consumption, owner-LIFO, thief-FIFO,
+    coherent abort accounting), sized for sub-second exhaustive
+    exploration. The split-deque scripts are a functor over
+    {!Lcws_deque.Split_deque.S}, so the same scenarios run the clean
+    deque (must pass in every interleaving) and the seeded
+    [Make_mutant] bugs (must each yield a counterexample). *)
+
+(** Oracle building blocks, exported for tests. *)
+
+val exactly_once : pushed:int list -> got:int list -> (unit, string) result
+
+val increasing : string -> int list -> (unit, string) result
+
+val decreasing : string -> int list -> (unit, string) result
+
+module Mk_split (S : Lcws_deque.Split_deque.S) : sig
+  val last_task : name:string -> expect_violation:bool -> Explore.scenario
+
+  val two_exposed : name:string -> expect_violation:bool -> Explore.scenario
+
+  val signal_pop : safe:bool -> name:string -> expect_violation:bool -> Explore.scenario
+
+  val repair : name:string -> expect_violation:bool -> Explore.scenario
+
+  val expose_half : name:string -> expect_violation:bool -> Explore.scenario
+end
+
+(** The standing catalogue: clean deques (plus the deliberate
+    [split_signal_unsafe_demo], which reproduces the paper's Section 4
+    bug and is {e expected} to fail). *)
+val all : Explore.scenario list
+
+(** Seeded-mutation self-tests; every one must produce a violation. *)
+val mutants : Explore.scenario list
+
+val find : string -> Explore.scenario option

@@ -1,0 +1,96 @@
+(* The instrumented instantiation of [Deque_intf.ATOMIC]: every access
+   performs a [Yield] effect *before* touching memory, handing control to
+   whatever scheduler installed a handler. [Explore] uses this to turn a
+   deque compiled against this shim (lib/check/deques) into a transition
+   system whose every shared-memory access is a scheduling point. *)
+
+type kind = Load | Store | Cas | Read | Write
+
+type access = { loc : int; name : string; kind : kind }
+
+type _ Effect.t += Yield : access -> unit Effect.t
+
+let kind_name = function
+  | Load -> "load"
+  | Store -> "store"
+  | Cas -> "cas"
+  | Read -> "read"
+  | Write -> "write"
+
+let is_write = function Store | Cas | Write -> true | Load | Read -> false
+
+(* Two accesses conflict (are "dependent" in the DPOR sense) when they
+   touch the same location and at least one mutates it. Swapping two
+   adjacent non-conflicting steps cannot change any thread's observations,
+   which is what licenses the sleep-set pruning in [Explore]. *)
+let conflict a b = a.loc = b.loc && (is_write a.kind || is_write b.kind)
+
+let pp_access ppf a = Format.fprintf ppf "%s %s" (kind_name a.kind) a.name
+
+(* Location ids are allocated by a global counter so that re-running a
+   scenario from scratch (the explorer's execution model) assigns the same
+   ids, keeping schedules and sleep sets comparable across runs. *)
+let counter = ref 0
+
+let reset () = counter := 0
+
+let fresh () =
+  incr counter;
+  !counter
+
+module A : Lcws_deque.Deque_intf.ATOMIC = struct
+  type 'a t = { mutable v : 'a; loc : int; name : string }
+
+  let make ?(name = "cell") v = { v; loc = fresh (); name }
+
+  let get c =
+    Effect.perform (Yield { loc = c.loc; name = c.name; kind = Load });
+    c.v
+
+  let set c v =
+    Effect.perform (Yield { loc = c.loc; name = c.name; kind = Store });
+    c.v <- v
+
+  (* The deques use [exchange] only as a store (dropping the old value),
+     so one [Store] scheduling point models it exactly. *)
+  let exchange c v =
+    Effect.perform (Yield { loc = c.loc; name = c.name; kind = Store });
+    let old = c.v in
+    c.v <- v;
+    old
+
+  (* Physical equality, like [Atomic.compare_and_set]; the deques only
+     store immediates in their atomics. *)
+  let compare_and_set c old nu =
+    Effect.perform (Yield { loc = c.loc; name = c.name; kind = Cas });
+    if c.v == old then begin
+      c.v <- nu;
+      true
+    end
+    else false
+
+  type 'a plain = { mutable pv : 'a; ploc : int; pname : string }
+
+  let plain ?(name = "cell") v = { pv = v; ploc = fresh (); pname = name }
+
+  let read c =
+    Effect.perform (Yield { loc = c.ploc; name = c.pname; kind = Read });
+    c.pv
+
+  let write c v =
+    Effect.perform (Yield { loc = c.ploc; name = c.pname; kind = Write });
+    c.pv <- v
+end
+
+(* Run [f] with every [Yield] auto-continued: scenario setup, oracles and
+   drains use the same instrumented deque but are not part of the explored
+   concurrency, so their accesses must not reach the explorer. *)
+let quiescent f =
+  Effect.Deep.try_with f ()
+    {
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield _ -> Some (fun (k : (a, _) Effect.Deep.continuation) -> Effect.Deep.continue k ())
+          | _ -> None);
+    }

@@ -1,0 +1,36 @@
+(** Instrumented memory accesses for the interleaving checker.
+
+    {!A} satisfies {!Lcws_deque.Deque_intf.ATOMIC} but performs the
+    {!Yield} effect immediately {e before} every load, store, CAS, plain
+    read and plain write. A deque compiled against it becomes a
+    transition system: whoever handles [Yield] decides, access by access,
+    which thread advances — which is exactly what {!Explore} does. *)
+
+type kind = Load | Store | Cas | Read | Write
+
+(** One shared-memory access about to happen: which cell (a per-run unique
+    [loc], plus the [?name] given at creation) and how. *)
+type access = { loc : int; name : string; kind : kind }
+
+type _ Effect.t += Yield : access -> unit Effect.t
+
+val kind_name : kind -> string
+
+val is_write : kind -> bool
+
+(** [conflict a b]: same location and at least one write — the dependence
+    relation that drives sleep-set pruning. *)
+val conflict : access -> access -> bool
+
+val pp_access : Format.formatter -> access -> unit
+
+(** Reset the location-id counter; the explorer calls this before every
+    re-execution so ids are stable across runs of one scenario. *)
+val reset : unit -> unit
+
+module A : Lcws_deque.Deque_intf.ATOMIC
+
+(** [quiescent f] runs [f] with every [Yield] auto-continued — for
+    scenario setup, oracle checks and drains, whose accesses are not part
+    of the explored concurrency. *)
+val quiescent : (unit -> 'a) -> 'a

@@ -1,0 +1,5 @@
+(* Forwarder: the checker's public face keeps [Lcws_check.Sim_atomic]
+   (and hence [Lcws.Check.Sim_atomic]) stable even though the
+   implementation lives one library lower so that [lib/check/deques] can
+   depend on it without a cycle. *)
+include Lcws_check_sim.Sim_atomic

@@ -29,6 +29,9 @@
     - {!Pbbs} — the PBBS-like benchmark suite;
     - {!Sim} — the deterministic multiprocessor simulator used for the
       speedup figures, with the Table 1 machine models;
+    - {!Check} — the deterministic interleaving checker for the deque
+      layer (bounded exhaustive exploration with sleep-set pruning,
+      counterexample replay, seeded-mutation self-tests);
     - {!Harness} — experiment matrices, statistics and figure printers. *)
 
 module Metrics = Lcws_sync.Metrics
@@ -84,6 +87,12 @@ module Sim = struct
   module Comp = Lcws_sim.Comp
   module Engine = Lcws_sim.Engine
   module Workloads = Lcws_sim.Workloads
+end
+
+module Check = struct
+  module Sim_atomic = Lcws_check.Sim_atomic
+  module Explore = Lcws_check.Explore
+  module Scenarios = Lcws_check.Scenarios
 end
 
 module Harness = struct

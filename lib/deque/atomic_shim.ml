@@ -1,0 +1,49 @@
+(* Real memory accesses for the deque layer: the zero-cost instantiation
+   of [Deque_intf.ATOMIC].
+
+   The deque sources are written against a module named [Atomic_shim]
+   and compiled *twice*: here against this module, whose accessors are
+   [external] re-declarations of the compiler's atomic primitives, and a
+   second time in lib/check/deques against the instrumented shim that
+   yields to the interleaving checker's schedule enumerator. Swapping
+   the module at build time — instead of abstracting over a functor
+   parameter — matters because the compilers (without flambda) never
+   inline functor bodies: a [Make (Real_atomic)] path turns every
+   [Atomic.get] into an indirect call, which triples the cost of the
+   owner's synchronization-free fast path. The [external] declarations
+   below compile to the same [%atomic_load]/[%atomic_cas]/[%field0]
+   instructions the deques used before the checker existed.
+
+   [plain] cells model unsynchronized owner fields with racy readers
+   (the split deque's [bot]); here they are bare [ref]s, read and
+   written with the same primitives as [(!)] and [(:=)]. [?name] labels
+   a cell in checker counterexample traces and is dropped here.
+
+   Deliberately NO .mli: dune's dev profile compiles interface-sealed
+   modules with -opaque, which hides the implementation info callers
+   need to turn [set] into its inline exchange — the very cost this
+   module exists to avoid. The inferred interface re-exports the
+   externals as externals, so call sites inline either way; conformance
+   to [Deque_intf.ATOMIC] is asserted in deque_intf.ml. *)
+
+type 'a t = 'a Atomic.t
+
+let make ?name:_ v = Atomic.make v
+
+external get : 'a t -> 'a = "%atomic_load"
+
+external exchange : 'a t -> 'a -> 'a = "%atomic_exchange"
+
+(* Same definition as [Stdlib.Atomic.set]: an SC exchange with the old
+   value dropped. *)
+let set r v = ignore (exchange r v)
+
+external compare_and_set : 'a t -> 'a -> 'a -> bool = "%atomic_cas"
+
+type 'a plain = 'a ref
+
+let plain ?name:_ v = ref v
+
+external read : 'a plain -> 'a = "%field0"
+
+external write : 'a plain -> 'a -> unit = "%setfield0"

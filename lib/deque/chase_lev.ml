@@ -1,12 +1,27 @@
 module Metrics = Lcws_sync.Metrics
 open Deque_intf
 
+(* [A] is the build-time atomic swap point: the real primitive shim
+   here, the instrumented one when this source is re-compiled in
+   lib/check/deques for the interleaving checker. *)
+module A = Atomic_shim
+
+module type S = Deque_intf.CHASE_LEV
+
+(* Atomic store, spelled as an exchange: [A.exchange] is an [external]
+   and inlines from the cmi even under the dev profile's [-opaque] (a
+   cross-module [A.set] call would not); this [aset] is tiny enough for
+   the classic-mode inliner to flatten within this unit, so a store
+   costs exactly the [caml_atomic_exchange] the stdlib's [Atomic.set]
+   costs. *)
+let aset c v = ignore (A.exchange c v)
+
 type 'a t = {
   dummy : 'a;
   deq : 'a array; (* circular; slot i lives at i land mask *)
   mask : int;
-  top : int Atomic.t;
-  bottom : int Atomic.t;
+  top : int A.t;
+  bottom : int A.t;
   metrics : Metrics.t;
 }
 
@@ -17,76 +32,81 @@ let create ~capacity ~dummy ~metrics () =
     dummy;
     deq = Array.make cap dummy;
     mask = cap - 1;
-    top = Atomic.make 0;
-    bottom = Atomic.make 0;
+    top = A.make ~name:"top" 0;
+    bottom = A.make ~name:"bottom" 0;
     metrics;
   }
 
 let capacity t = Array.length t.deq
 
 let push_bottom t x =
-  let b = Atomic.get t.bottom in
-  let tp = Atomic.get t.top in
+  let b = A.get t.bottom in
+  let tp = A.get t.top in
   if b - tp >= Array.length t.deq then raise Deque_full;
   t.deq.(b land t.mask) <- x;
   (* Release store in C11; OCaml's [Atomic.set] is SC, so the baseline pays
      at least the fence the real WS implementation pays here on non-TSO. *)
-  Atomic.set t.bottom (b + 1);
+  aset t.bottom (b + 1);
   t.metrics.pushes <- t.metrics.pushes + 1
 
 let pop_bottom t =
   (* Cheap emptiness pre-check: only the owner pushes, so an empty deque
      observed by the owner stays empty — skip the fence entirely (the
      standard optimization; without it every idle probe costs a fence). *)
-  let b0 = Atomic.get t.bottom in
-  let tp0 = Atomic.get t.top in
+  let b0 = A.get t.bottom in
+  let tp0 = A.get t.top in
   if b0 <= tp0 then None
   else begin
-  let b = Atomic.get t.bottom - 1 in
-  Atomic.set t.bottom b;
-  (* The store above doubles as the algorithm's seq-cst fence separating
-     the [bottom] decrement from the [top] load. *)
-  t.metrics.fences <- t.metrics.fences + 1;
-  let tp = Atomic.get t.top in
-  if b < tp then begin
-    (* Deque was empty; restore. *)
-    Atomic.set t.bottom tp;
-    None
-  end
-  else begin
-    let x = t.deq.(b land t.mask) in
-    if b > tp then begin
-      t.metrics.pops <- t.metrics.pops + 1;
-      Some x
+    (* Only the owner writes [bottom], so [b0] is still current — no
+       second load. *)
+    let b = b0 - 1 in
+    aset t.bottom b;
+    (* The store above doubles as the algorithm's seq-cst fence separating
+       the [bottom] decrement from the [top] load. *)
+    t.metrics.fences <- t.metrics.fences + 1;
+    let tp = A.get t.top in
+    if b < tp then begin
+      (* Deque was empty; restore. *)
+      aset t.bottom tp;
+      None
     end
     else begin
-      (* Single element left: race thieves for it. *)
-      t.metrics.cas_ops <- t.metrics.cas_ops + 1;
-      let won = Atomic.compare_and_set t.top tp (tp + 1) in
-      Atomic.set t.bottom (tp + 1);
-      if won then begin
+      let x = t.deq.(b land t.mask) in
+      if b > tp then begin
         t.metrics.pops <- t.metrics.pops + 1;
         Some x
       end
       else begin
-        t.metrics.cas_failures <- t.metrics.cas_failures + 1;
-        None
+        (* Single element left: race thieves for it. *)
+        t.metrics.cas_ops <- t.metrics.cas_ops + 1;
+        let won = A.compare_and_set t.top tp (tp + 1) in
+        aset t.bottom (tp + 1);
+        if won then begin
+          t.metrics.pops <- t.metrics.pops + 1;
+          Some x
+        end
+        else begin
+          (* The owner lost its own bottom to a thief: an abort, same as
+             the split deque's accounting for a lost last-task race. *)
+          t.metrics.cas_failures <- t.metrics.cas_failures + 1;
+          t.metrics.aborts <- t.metrics.aborts + 1;
+          None
+        end
       end
     end
-  end
   end
 
 let steal t ~metrics:m =
   m.Metrics.steal_attempts <- m.Metrics.steal_attempts + 1;
-  let tp = Atomic.get t.top in
+  let tp = A.get t.top in
   (* Seq-cst fence between the [top] and [bottom] loads in C11; OCaml's SC
      atomics already order them, count it as the algorithm's fence. *)
   m.fences <- m.fences + 1;
-  let b = Atomic.get t.bottom in
+  let b = A.get t.bottom in
   if tp < b then begin
     let x = t.deq.(tp land t.mask) in
     m.cas_ops <- m.cas_ops + 1;
-    if Atomic.compare_and_set t.top tp (tp + 1) then begin
+    if A.compare_and_set t.top tp (tp + 1) then begin
       m.steals <- m.steals + 1;
       Stolen x
     end
@@ -99,14 +119,14 @@ let steal t ~metrics:m =
   else Empty
 
 let size t =
-  let n = Atomic.get t.bottom - Atomic.get t.top in
+  let n = A.get t.bottom - A.get t.top in
   if n < 0 then 0 else n
 
 let is_empty t = size t = 0
 
 let clear t =
-  let tp = Atomic.get t.top in
-  Atomic.set t.bottom tp;
+  let tp = A.get t.top in
+  aset t.bottom tp;
   Array.fill t.deq 0 (Array.length t.deq) t.dummy
 
 (* Unified first-class API: the whole deque is thief-visible, so the

@@ -7,38 +7,16 @@
     synchronization the paper's split deque eliminates for local
     operations (cf. Attiya et al.'s lower bound).
 
+    Written against {!Deque_intf.ATOMIC} through the build-time
+    [Atomic_shim] swap so the interleaving checker in [lib/check] can
+    re-compile it with instrumented atomics and explore owner/thief
+    schedules (including circular buffer wraparound) deterministically;
+    the flat API below is the zero-cost real-atomic build.
+
     Ownership contract: one owner domain for [push_bottom]/[pop_bottom];
     any domain may [steal]. *)
 
-type 'a t
+(** Per-operation contracts are documented on {!Deque_intf.CHASE_LEV}. *)
+module type S = Deque_intf.CHASE_LEV
 
-val create : capacity:int -> dummy:'a -> metrics:Lcws_sync.Metrics.t -> unit -> 'a t
-
-val capacity : 'a t -> int
-
-(** Owner: push; release-store of [bottom] (no fence counted, matching the
-    C11 implementation). Raises {!Deque_intf.Deque_full} when full. *)
-val push_bottom : 'a t -> 'a -> unit
-
-(** Owner: pop; one seq-cst fence always, one CAS when taking the last
-    element. *)
-val pop_bottom : 'a t -> 'a option
-
-(** Thief: one seq-cst fence plus one CAS on a non-empty deque. Never
-    returns [Private_work]. *)
-val steal : 'a t -> metrics:Lcws_sync.Metrics.t -> 'a Deque_intf.steal_result
-
-(** Racy size estimate. *)
-val size : 'a t -> int
-
-val is_empty : 'a t -> bool
-
-(** Owner: drop everything (between benchmark runs). *)
-val clear : 'a t -> unit
-
-(** Adapter to the unified {!Deque_intf.DEQUE} API. The whole deque is
-    thief-visible: [pop_public_bottom] is [None], [update_public_bottom]
-    exposes nothing, and [pop_top] is {!steal}. *)
-module Deque (E : sig
-  type t
-end) : Deque_intf.DEQUE with type elt = E.t and type t = E.t t
+include S

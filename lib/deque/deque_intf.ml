@@ -28,6 +28,58 @@ type exposure_policy =
   | Expose_conservative  (** Cons (4.1.1): one task iff >= 2 are private *)
   | Expose_half  (** Half (4.1.2): round(r/2) tasks when r >= 3, else one *)
 
+(** The memory-access vocabulary of the deques. Every deque source is
+    written against a module named [Atomic_shim] with this signature and
+    compiled twice — a build-time functor — so the same algorithm text
+    runs in two modes:
+
+    - {!Atomic_shim} (this library): ['a t] is ['a Atomic.t] and
+      ['a plain] is ['a ref], with accessors that are [external]
+      re-declarations of the compiler primitives — the zero-cost
+      instantiation the scheduler uses (a runtime functor would defeat
+      inlining of [Atomic.get] without flambda; see [atomic_shim.ml]);
+    - [Lcws_check_sim.Sim_atomic.A] (re-compiled in [lib/check/deques]):
+      every access first yields to a cooperative schedule enumerator,
+      turning the deque into input for the deterministic interleaving
+      checker.
+
+    [plain] cells model unsynchronized owner fields with racy readers
+    (the split deque's [bot]); the checker needs interleaving points at
+    those accesses too, because the paper's Section 4 signal race lives
+    exactly between a plain read and a plain write. [?name] labels the
+    cell in counterexample traces and costs nothing in the real build. *)
+module type ATOMIC = sig
+  type 'a t
+
+  val make : ?name:string -> 'a -> 'a t
+
+  val get : 'a t -> 'a
+
+  val set : 'a t -> 'a -> unit
+
+  (** SC swap; [set x v] = [ignore (exchange x v)]. The deques' store
+      sites go through [exchange] because in the real shim it is an
+      [external] — inlined from the cmi even under dune's dev-profile
+      [-opaque], where a cross-module [set] degrades to a generic
+      application. *)
+  val exchange : 'a t -> 'a -> 'a
+
+  val compare_and_set : 'a t -> 'a -> 'a -> bool
+
+  type 'a plain
+
+  val plain : ?name:string -> 'a -> 'a plain
+
+  val read : 'a plain -> 'a
+
+  val write : 'a plain -> 'a -> unit
+end
+
+(* The production shim satisfies the signature; asserted here (not in
+   atomic_shim.mli, where the constraint would hide the [external]
+   declarations that make the real accesses free). *)
+module _ : ATOMIC = Atomic_shim
+
 (** First-class deque API: the operations the scheduler needs, with the
     split-deque surface as the common denominator. Fully concurrent
     deques (Chase-Lev) implement the public-part operations as no-ops
@@ -91,6 +143,158 @@ module type DEQUE = sig
 
   (** Owner: drop everything (between benchmark runs). *)
   val clear : t -> unit
+end
+
+(** {2 Per-deque operation signatures}
+
+    One module type per deque flavour, shared (by path, not by copy)
+    between the real build and the instrumented re-compilation in
+    [lib/check/deques]. Centralised here because [deque_intf] has no
+    interface file, so the four [.mli]s can alias these instead of
+    restating them. *)
+
+(** The LCWS split deque (Listing 2 + the Section 4 fix). See
+    [split_deque.mli] for the ownership contract. *)
+module type SPLIT = sig
+  type 'a t
+
+  val create : capacity:int -> dummy:'a -> metrics:Lcws_sync.Metrics.t -> unit -> 'a t
+
+  val capacity : 'a t -> int
+
+  (** Owner: push a task below the bottom of the private part.
+      Synchronization-free. Raises {!Deque_full} when out of slots. *)
+  val push_bottom : 'a t -> 'a -> unit
+
+  (** Owner: take the bottom-most private task, if any.
+      Synchronization-free. The guard is [bot <= public_bot] — not [=] —
+      so the window between a failed [pop_bottom_signal_safe] and the
+      [pop_public_bottom] repair (where [bot < public_bot]) cannot
+      re-pop an exposed task. *)
+  val pop_bottom : 'a t -> 'a option
+
+  (** Owner: the Section 4 decrement-first variant, safe against an
+      asynchronous [update_public_bottom]. On [None] the caller must
+      invoke [pop_public_bottom] next (which repairs [bot]). *)
+  val pop_bottom_signal_safe : 'a t -> 'a option
+
+  (** Owner: take the bottom-most *public* task, competing with thieves.
+      Two seq-cst fences per call, one CAS when racing for the last
+      public task; repairs [bot] when the deque is empty. *)
+  val pop_public_bottom : 'a t -> 'a option
+
+  (** Thief: steal the top-most public task; one CAS on success/abort. *)
+  val pop_top : 'a t -> metrics:Lcws_sync.Metrics.t -> 'a steal_result
+
+  (** Owner (or its signal handler): expose private work per [policy];
+      returns the number of tasks made public. *)
+  val update_public_bottom : 'a t -> policy:exposure_policy -> int
+
+  val has_two_tasks : 'a t -> bool
+
+  val private_size : 'a t -> int
+
+  val public_size : 'a t -> int
+
+  val size : 'a t -> int
+
+  val is_empty : 'a t -> bool
+
+  val clear : 'a t -> unit
+
+  module Deque (E : sig
+    type t
+  end) : DEQUE with type elt = E.t and type t = E.t t
+end
+
+(** The Chase-Lev baseline deque. *)
+module type CHASE_LEV = sig
+  type 'a t
+
+  val create : capacity:int -> dummy:'a -> metrics:Lcws_sync.Metrics.t -> unit -> 'a t
+
+  val capacity : 'a t -> int
+
+  val push_bottom : 'a t -> 'a -> unit
+
+  (** Owner pop; one seq-cst fence always, one CAS on the last element.
+      Losing that CAS counts both a [cas_failure] and an [abort]. *)
+  val pop_bottom : 'a t -> 'a option
+
+  val steal : 'a t -> metrics:Lcws_sync.Metrics.t -> 'a steal_result
+
+  val size : 'a t -> int
+
+  val is_empty : 'a t -> bool
+
+  val clear : 'a t -> unit
+
+  module Deque (E : sig
+    type t
+  end) : DEQUE with type elt = E.t and type t = E.t t
+end
+
+(** Synchronization events a Lace operation performed, for the
+    simulator's cost accounting (re-exported as [Lace_deque.op_cost]). *)
+type lace_cost = { fences : int; cas : int }
+
+(** The Lace split-deque-with-unexposure sequential specification. *)
+module type LACE = sig
+  type 'a t
+
+  val create : capacity:int -> dummy:'a -> unit -> 'a t
+
+  val capacity : 'a t -> int
+
+  val push_bottom : 'a t -> 'a -> lace_cost
+
+  (** Owner pop; unexposes (with sync cost) when only public work remains. *)
+  val pop_bottom : 'a t -> 'a option * lace_cost
+
+  val pop_top : 'a t -> 'a steal_result * lace_cost
+
+  (** Owner: answer a pending work request by exposing one task. *)
+  val expose : 'a t -> int * lace_cost
+
+  val private_size : 'a t -> int
+
+  val public_size : 'a t -> int
+
+  val size : 'a t -> int
+
+  val is_empty : 'a t -> bool
+
+  val clear : 'a t -> unit
+
+  module Deque (E : sig
+    type t
+  end) : DEQUE with type elt = E.t
+end
+
+(** The fully private deque (explicit-transfer load balancing). *)
+module type PRIVATE = sig
+  type 'a t
+
+  val create : capacity:int -> dummy:'a -> unit -> 'a t
+
+  val capacity : 'a t -> int
+
+  val push_bottom : 'a t -> 'a -> unit
+
+  val pop_bottom : 'a t -> 'a option
+
+  (** Owner-side removal from the top (answers a transfer request). *)
+  val pop_top : 'a t -> 'a option
+
+  val size : 'a t -> int
+
+  val is_empty : 'a t -> bool
+
+  val clear : 'a t -> unit
+
+  module Deque (E : sig
+    type t
+  end) : DEQUE with type elt = E.t
 end
 
 (** A deque implementation packed as a first-class module. *)

@@ -1,79 +1,101 @@
 open Deque_intf
 
-type op_cost = { fences : int; cas : int }
+(* [A] is the build-time atomic swap point: the real primitive shim
+   here, the instrumented one when this source is re-compiled in
+   lib/check/deques for the interleaving checker. *)
+module A = Atomic_shim
+
+type op_cost = Deque_intf.lace_cost = { fences : int; cas : int }
 
 let no_cost = { fences = 0; cas = 0 }
+
+module type S = Deque_intf.LACE
 
 type 'a t = {
   dummy : 'a;
   deq : 'a array;
-  mutable top : int; (* first public task *)
-  mutable split : int; (* public region is [top, split) *)
-  mutable bot : int; (* private region is [split, bot) *)
+  top : int A.plain; (* first public task *)
+  split : int A.plain; (* public region is [top, split) *)
+  bot : int A.plain; (* private region is [split, bot) *)
 }
 
 let create ~capacity ~dummy () =
   if capacity < 1 then invalid_arg "Lace_deque.create";
-  { dummy; deq = Array.make capacity dummy; top = 0; split = 0; bot = 0 }
+  {
+    dummy;
+    deq = Array.make capacity dummy;
+    top = A.plain ~name:"top" 0;
+    split = A.plain ~name:"split" 0;
+    bot = A.plain ~name:"bot" 0;
+  }
 
 let capacity t = Array.length t.deq
 
-let reset_if_empty t = if t.top = t.bot then (t.top <- 0; t.split <- 0; t.bot <- 0)
+let reset_if_empty t =
+  if A.read t.top = A.read t.bot then begin
+    A.write t.top 0;
+    A.write t.split 0;
+    A.write t.bot 0
+  end
 
 let push_bottom t x =
-  if t.bot >= Array.length t.deq then raise Deque_full;
-  t.deq.(t.bot) <- x;
-  t.bot <- t.bot + 1;
+  let b = A.read t.bot in
+  if b >= Array.length t.deq then raise Deque_full;
+  t.deq.(b) <- x;
+  A.write t.bot (b + 1);
   no_cost
 
 let pop_bottom t =
-  if t.bot > t.split then begin
+  if A.read t.bot > A.read t.split then begin
     (* Private pop: synchronization-free, as in LCWS. *)
-    t.bot <- t.bot - 1;
-    let x = t.deq.(t.bot) in
+    let b = A.read t.bot - 1 in
+    A.write t.bot b;
+    let x = t.deq.(b) in
     reset_if_empty t;
     (Some x, no_cost)
   end
-  else if t.split > t.top then begin
+  else if A.read t.split > A.read t.top then begin
     (* Unexpose: Lace's owner moves the split point back before taking the
        task; doing so safely costs a fence (and a CAS-equivalent check
        against racing thieves in the real implementation). *)
-    t.split <- t.split - 1;
-    t.bot <- t.bot - 1;
-    let x = t.deq.(t.bot) in
+    A.write t.split (A.read t.split - 1);
+    let b = A.read t.bot - 1 in
+    A.write t.bot b;
+    let x = t.deq.(b) in
     reset_if_empty t;
     (Some x, { fences = 2; cas = 1 })
   end
   else (None, no_cost)
 
 let pop_top t =
-  if t.split > t.top then begin
-    let x = t.deq.(t.top) in
-    t.top <- t.top + 1;
+  if A.read t.split > A.read t.top then begin
+    let tp = A.read t.top in
+    let x = t.deq.(tp) in
+    A.write t.top (tp + 1);
     (Stolen x, { fences = 0; cas = 1 })
   end
-  else if t.bot > t.split then (Private_work, no_cost)
+  else if A.read t.bot > A.read t.split then (Private_work, no_cost)
   else (Empty, no_cost)
 
 let expose t =
-  if t.bot > t.split then begin
-    t.split <- t.split + 1;
+  if A.read t.bot > A.read t.split then begin
+    A.write t.split (A.read t.split + 1);
     (1, { fences = 1; cas = 0 })
   end
   else (0, no_cost)
 
-let private_size t = t.bot - t.split
+let private_size t = A.read t.bot - A.read t.split
 
-let public_size t = t.split - t.top
+let public_size t = A.read t.split - A.read t.top
 
-let size t = t.bot - t.top
+let size t = A.read t.bot - A.read t.top
 
 let is_empty t = size t = 0
 
 let clear t =
-  t.top <- 0;
-  t.split <- 0;
-  t.bot <- 0;
+  A.write t.top 0;
+  A.write t.split 0;
+  A.write t.bot 0;
   Array.fill t.deq 0 (Array.length t.deq) t.dummy
 
 (* Unified first-class API. The op_cost returned by each operation is

@@ -17,46 +17,19 @@
     through the returned {!op_cost} so the simulator can charge it. It is
     not safe for shared-memory concurrency (Lace's real implementation
     needs a handshake protocol that is out of scope; the evaluation never
-    runs Lace on the shared-memory engine). *)
+    runs Lace on the shared-memory engine).
 
-type 'a t
+    Functorized over {!Deque_intf.ATOMIC} (fields become instrumented
+    plain cells) so the interleaving checker can script it against the
+    sequential oracle; the flat API is the zero-cost real-atomic
+    instantiation. *)
 
 (** Synchronization events an operation performed, for cost accounting. *)
-type op_cost = { fences : int; cas : int }
+type op_cost = Deque_intf.lace_cost = { fences : int; cas : int }
 
 val no_cost : op_cost
 
-val create : capacity:int -> dummy:'a -> unit -> 'a t
+(** Per-operation contracts are documented on {!Deque_intf.LACE}. *)
+module type S = Deque_intf.LACE
 
-val capacity : 'a t -> int
-
-val push_bottom : 'a t -> 'a -> op_cost
-
-(** Owner pop. If the private region is empty but public work remains,
-    the owner unexposes one task (a fence, per Lace's [shrink_shared])
-    and takes it. *)
-val pop_bottom : 'a t -> 'a option * op_cost
-
-(** Thief steal from the top of the public region. *)
-val pop_top : 'a t -> ('a Deque_intf.steal_result * op_cost)
-
-(** Owner: answer a pending work request by exposing one task (Lace's
-    owners check a [splitreq] flag when they access the deque). *)
-val expose : 'a t -> int * op_cost
-
-val private_size : 'a t -> int
-
-val public_size : 'a t -> int
-
-val size : 'a t -> int
-
-val is_empty : 'a t -> bool
-
-val clear : 'a t -> unit
-
-(** Adapter to the unified {!Deque_intf.DEQUE} API. Each operation's
-    {!op_cost} is folded into the caller's metrics block. [concurrent =
-    false]: only single-worker pools (or the simulator) may use it. *)
-module Deque (E : sig
-  type t
-end) : Deque_intf.DEQUE with type elt = E.t
+include S

@@ -1,50 +1,66 @@
 open Deque_intf
 
+(* [A] is the build-time atomic swap point: the real primitive shim
+   here, the instrumented one when this source is re-compiled in
+   lib/check/deques for the interleaving checker. *)
+module A = Atomic_shim
+
+module type S = Deque_intf.PRIVATE
+
 type 'a t = {
   dummy : 'a;
   deq : 'a array;
   mask : int;
-  mutable top : int;
-  mutable bot : int;
+  top : int A.plain;
+  bot : int A.plain;
 }
 
 let create ~capacity ~dummy () =
   if capacity < 1 then invalid_arg "Private_deque.create";
   let cap = Lcws_sync.Fastmath.next_pow2 capacity in
-  { dummy; deq = Array.make cap dummy; mask = cap - 1; top = 0; bot = 0 }
+  {
+    dummy;
+    deq = Array.make cap dummy;
+    mask = cap - 1;
+    top = A.plain ~name:"top" 0;
+    bot = A.plain ~name:"bot" 0;
+  }
 
 let capacity t = Array.length t.deq
 
-let size t = t.bot - t.top
+let size t = A.read t.bot - A.read t.top
 
 let is_empty t = size t = 0
 
 let push_bottom t x =
   if size t >= Array.length t.deq then raise Deque_full;
-  t.deq.(t.bot land t.mask) <- x;
-  t.bot <- t.bot + 1
+  let b = A.read t.bot in
+  t.deq.(b land t.mask) <- x;
+  A.write t.bot (b + 1)
 
 let pop_bottom t =
   if size t = 0 then None
   else begin
-    t.bot <- t.bot - 1;
-    let x = t.deq.(t.bot land t.mask) in
-    t.deq.(t.bot land t.mask) <- t.dummy;
+    let b = A.read t.bot - 1 in
+    A.write t.bot b;
+    let x = t.deq.(b land t.mask) in
+    t.deq.(b land t.mask) <- t.dummy;
     Some x
   end
 
 let pop_top t =
   if size t = 0 then None
   else begin
-    let x = t.deq.(t.top land t.mask) in
-    t.deq.(t.top land t.mask) <- t.dummy;
-    t.top <- t.top + 1;
+    let tp = A.read t.top in
+    let x = t.deq.(tp land t.mask) in
+    t.deq.(tp land t.mask) <- t.dummy;
+    A.write t.top (tp + 1);
     Some x
   end
 
 let clear t =
-  t.top <- 0;
-  t.bot <- 0;
+  A.write t.top 0;
+  A.write t.bot 0;
   Array.fill t.deq 0 (Array.length t.deq) t.dummy
 
 type 'a pdq = 'a t

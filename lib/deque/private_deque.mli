@@ -3,31 +3,14 @@
     No field is shared: load balancing happens through explicit transfer
     messages handled by the owner, so every operation is
     synchronization-free. Used by the simulator's [Private] policy (the
-    related-work comparator) and as a reference model in tests. *)
+    related-work comparator) and as a reference model in tests.
 
-type 'a t
+    Functorized over {!Deque_intf.ATOMIC} (fields become instrumented
+    plain cells) for uniformity with the other deques and for the
+    interleaving checker's sequential oracle scripts; the flat API is the
+    zero-cost real-atomic build. *)
 
-val create : capacity:int -> dummy:'a -> unit -> 'a t
+(** Per-operation contracts are documented on {!Deque_intf.PRIVATE}. *)
+module type S = Deque_intf.PRIVATE
 
-val capacity : 'a t -> int
-
-val push_bottom : 'a t -> 'a -> unit
-
-val pop_bottom : 'a t -> 'a option
-
-(** Owner-side removal from the top, used to answer a thief's transfer
-    request. *)
-val pop_top : 'a t -> 'a option
-
-val size : 'a t -> int
-
-val is_empty : 'a t -> bool
-
-val clear : 'a t -> unit
-
-(** Adapter to the unified {!Deque_intf.DEQUE} API. [pop_top] maps to the
-    owner-side transfer pop, so [concurrent = false]: only single-worker
-    pools (or the simulator) may use it. *)
-module Deque (E : sig
-  type t
-end) : Deque_intf.DEQUE with type elt = E.t
+include S

@@ -1,29 +1,72 @@
 module Metrics = Lcws_sync.Metrics
+
+(* [A] is the build-time atomic swap point: here the primitive-exposing
+   real shim; in lib/check/deques this same source is re-compiled against
+   the instrumented shim so every access below becomes a scheduling point
+   for the interleaving checker. *)
+module A = Atomic_shim
 open Deque_intf
 
 (* [age] packs a 31-bit ABA tag and a 32-bit top index in one immediate so
    one [compare_and_set] updates both, mirroring the paper's two-field
-   [age_t] updated by a double-word CAS. *)
+   [age_t] updated by a double-word CAS. The tag is masked on [pack] so
+   that after 2^31 bumps it wraps instead of overflowing into the OCaml
+   sign bit (which would make packed ages negative and, on the wrap
+   boundary, collide with in-flight CAS expectations). *)
 module Age = struct
   let top_bits = 32
   let max_top = (1 lsl top_bits) - 1
-  let pack ~tag ~top = (tag lsl top_bits) lor (top land max_top)
+  let tag_bits = 31
+  let max_tag = (1 lsl tag_bits) - 1
+  let pack ~tag ~top = (tag land max_tag) lsl top_bits lor (top land max_top)
   let top age = age land max_top
   let tag age = age lsr top_bits
 end
+
+(* Atomic store, spelled as an exchange: [A.exchange] is an [external]
+   and inlines from the cmi even under the dev profile's [-opaque] (a
+   cross-module [A.set] call would not); this [aset] is tiny enough for
+   the classic-mode inliner to flatten within this unit, so a store
+   costs exactly the [caml_atomic_exchange] the stdlib's [Atomic.set]
+   costs. *)
+let aset c v = ignore (A.exchange c v)
 
 type exposure_policy = Deque_intf.exposure_policy =
   | Expose_one
   | Expose_conservative
   | Expose_half
 
+(* Seeded mutations for the interleaving checker's self-test: each knob
+   re-introduces one of the protocol's load-bearing lines as a bug, and
+   lib/check must find a counterexample for every one of them. All three
+   knobs live inside [pop_public_bottom]; the flat production API passes
+   {!Mutation.none} to the shared text, so the owner's hot operations
+   carry no mutation branches at all and [Make_mutant] differs from the
+   real deque in exactly the knocked-out line. *)
+module Mutation = struct
+  type t = {
+    drop_fence : bool;
+        (** hoist the [age] load above the [public_bot] store in
+            [pop_public_bottom] — the reordering the Listing 2 line 11-12
+            fence forbids *)
+    drop_bot_repair : bool;
+        (** skip the Section 4 [bot <- 0] repair after a failed
+            decrement-first pop on an empty deque *)
+    drop_tag_bump : bool;
+        (** do not bump the ABA tag when the owner resets the deque in
+            the last-task race *)
+  }
+
+  let none = { drop_fence = false; drop_bot_repair = false; drop_tag_bump = false }
+end
+
 type 'a t = {
   dummy : 'a;
   deq : 'a array;
-  mutable bot : int; (* owner-only; plain field, racy thief reads are heuristic *)
-  public_bot : int Atomic.t; (* owner writes, thieves read *)
-  age : int Atomic.t; (* packed (tag, top) *)
-  fence_cell : int Atomic.t; (* target of explicit seq-cst fences *)
+  bot : int A.plain; (* owner-only writes; racy thief reads are heuristic *)
+  public_bot : int A.t; (* owner writes, thieves read *)
+  age : int A.t; (* packed (tag, top) *)
+  fence_cell : int A.t; (* target of explicit seq-cst fences *)
   metrics : Metrics.t; (* owner's counters *)
 }
 
@@ -32,10 +75,10 @@ let create ~capacity ~dummy ~metrics () =
   {
     dummy;
     deq = Array.make capacity dummy;
-    bot = 0;
-    public_bot = Atomic.make 0;
-    age = Atomic.make (Age.pack ~tag:0 ~top:0);
-    fence_cell = Atomic.make 0;
+    bot = A.plain ~name:"bot" 0;
+    public_bot = A.make ~name:"public_bot" 0;
+    age = A.make ~name:"age" 0;
+    fence_cell = A.make ~name:"fence" 0;
     metrics;
   }
 
@@ -44,21 +87,25 @@ let capacity t = Array.length t.deq
 (* OCaml has no [Atomic.fence]; an SC store to a private cell compiles to
    the same full barrier and is never contended. *)
 let fence t =
-  Atomic.set t.fence_cell 0;
+  aset t.fence_cell 0;
   t.metrics.fences <- t.metrics.fences + 1
 
 let push_bottom t x =
-  let b = t.bot in
+  let b = A.read t.bot in
   if b >= Array.length t.deq then raise Deque_full;
   t.deq.(b) <- x;
-  t.bot <- b + 1;
+  A.write t.bot (b + 1);
   t.metrics.pushes <- t.metrics.pushes + 1
 
 let pop_bottom t =
-  if t.bot = Atomic.get t.public_bot then None
+  (* [<=], not [=]: between a failed [pop_bottom_signal_safe] and the
+     [pop_public_bottom] repair, [bot] sits below [public_bot]; an
+     equality guard would let this pop re-take an exposed slot that a
+     thief may already own. *)
+  if A.read t.bot <= A.get t.public_bot then None
   else begin
-    let b = t.bot - 1 in
-    t.bot <- b;
+    let b = A.read t.bot - 1 in
+    A.write t.bot b;
     t.metrics.pops <- t.metrics.pops + 1;
     Some t.deq.(b)
   end
@@ -67,48 +114,54 @@ let pop_bottom_signal_safe t =
   (* Section 4: decrement first so a concurrent exposure cannot observe the
      stale [bot] and hand the same task to a thief. On failure [bot] stays
      decremented; [pop_public_bottom] repairs it. *)
-  let b = t.bot - 1 in
-  t.bot <- b;
-  if b < Atomic.get t.public_bot then None
+  let b = A.read t.bot - 1 in
+  A.write t.bot b;
+  if b < A.get t.public_bot then None
   else begin
     t.metrics.pops <- t.metrics.pops + 1;
     Some t.deq.(b)
   end
 
-let pop_public_bottom t =
-  let pb0 = Atomic.get t.public_bot in
+let pop_public_bottom_mutant (mutation : Mutation.t) t =
+  let pb0 = A.get t.public_bot in
   if pb0 = 0 then begin
     (* Section 4 amendment: repair [bot] after a failed decrement-first
        [pop_bottom] when there is no public work either. *)
-    t.bot <- 0;
+    if not mutation.drop_bot_repair then A.write t.bot 0;
     None
   end
   else begin
     let pb = pb0 - 1 in
+    (* [drop_fence] models the missing Listing 2 line 11-12 barrier as
+       the reordering it would license: the [age] load drifts above the
+       [public_bot] store, so the owner can act on a stale [top] while
+       thieves still see the undecremented boundary. *)
+    let stale_age = if mutation.drop_fence then Some (A.get t.age) else None in
     (* Listing 2 lines 11-12: the decrement must become visible to thieves
        before we read [age]; [Atomic.set] is an SC store (full fence). *)
-    Atomic.set t.public_bot pb;
+    aset t.public_bot pb;
     t.metrics.fences <- t.metrics.fences + 1;
     let task = t.deq.(pb) in
-    let old_age = Atomic.get t.age in
+    let old_age = match stale_age with Some a -> a | None -> A.get t.age in
     let top = Age.top old_age in
     if pb > top then begin
-      t.bot <- pb;
+      A.write t.bot pb;
       fence t (* line 27 *);
       t.metrics.public_pops <- t.metrics.public_pops + 1;
       Some task
     end
     else begin
       (* Racing thieves for the last public task. *)
-      t.bot <- 0;
-      let new_age = Age.pack ~tag:(Age.tag old_age + 1) ~top:0 in
+      A.write t.bot 0;
+      let bump = if mutation.drop_tag_bump then 0 else 1 in
+      let new_age = Age.pack ~tag:(Age.tag old_age + bump) ~top:0 in
       let local_bot = pb in
-      Atomic.set t.public_bot 0;
+      aset t.public_bot 0;
       let won =
         local_bot = top
         && begin
              t.metrics.cas_ops <- t.metrics.cas_ops + 1;
-             let ok = Atomic.compare_and_set t.age old_age new_age in
+             let ok = A.compare_and_set t.age old_age new_age in
              if not ok then t.metrics.cas_failures <- t.metrics.cas_failures + 1;
              ok
            end
@@ -119,7 +172,7 @@ let pop_public_bottom t =
           Some task
         end
         else begin
-          Atomic.set t.age new_age;
+          aset t.age new_age;
           None
         end
       in
@@ -128,16 +181,18 @@ let pop_public_bottom t =
     end
   end
 
+let pop_public_bottom t = pop_public_bottom_mutant Mutation.none t
+
 let pop_top t ~metrics:m =
   m.Metrics.steal_attempts <- m.Metrics.steal_attempts + 1;
-  let old_age = Atomic.get t.age in
+  let old_age = A.get t.age in
   let top = Age.top old_age in
-  let pb = Atomic.get t.public_bot in
+  let pb = A.get t.public_bot in
   if pb > top then begin
     let task = t.deq.(top) in
     let new_age = Age.pack ~tag:(Age.tag old_age) ~top:(top + 1) in
     m.cas_ops <- m.cas_ops + 1;
-    if Atomic.compare_and_set t.age old_age new_age then begin
+    if A.compare_and_set t.age old_age new_age then begin
       m.steals <- m.steals + 1;
       Stolen task
     end
@@ -147,7 +202,7 @@ let pop_top t ~metrics:m =
       Abort
     end
   end
-  else if t.bot > pb then begin
+  else if A.read t.bot > pb then begin
     (* Listing 2 line 39 has the comparison inverted (see DESIGN.md §2.6);
        private work exists exactly when [bot > public_bot]. *)
     m.private_work_hits <- m.private_work_hits + 1;
@@ -156,8 +211,8 @@ let pop_top t ~metrics:m =
   else Empty
 
 let update_public_bottom t ~policy =
-  let pb = Atomic.get t.public_bot in
-  let r = t.bot - pb in
+  let pb = A.get t.public_bot in
+  let r = A.read t.bot - pb in
   let n =
     match policy with
     | Expose_one -> if r >= 1 then 1 else 0
@@ -169,33 +224,33 @@ let update_public_bottom t ~policy =
     (* SC store: publishes both the slot contents written by [push_bottom]
        and the new boundary. The C++ original is a volatile store; on x86
        both are a plain MOV on the owner's hot path only when exposing. *)
-    Atomic.set t.public_bot (pb + n);
+    aset t.public_bot (pb + n);
     t.metrics.exposures <- t.metrics.exposures + 1;
     t.metrics.exposed_tasks <- t.metrics.exposed_tasks + n
   end;
   n
 
-let has_two_tasks t = t.bot - Atomic.get t.public_bot >= 2
+let has_two_tasks t = A.read t.bot - A.get t.public_bot >= 2
 
 let private_size t =
-  let n = t.bot - Atomic.get t.public_bot in
+  let n = A.read t.bot - A.get t.public_bot in
   if n < 0 then 0 else n
 
 let public_size t =
-  let n = Atomic.get t.public_bot - Age.top (Atomic.get t.age) in
+  let n = A.get t.public_bot - Age.top (A.get t.age) in
   if n < 0 then 0 else n
 
 let size t =
-  let n = t.bot - Age.top (Atomic.get t.age) in
+  let n = A.read t.bot - Age.top (A.get t.age) in
   if n < 0 then 0 else n
 
 let is_empty t = size t = 0
 
 let clear t =
-  let old_age = Atomic.get t.age in
-  t.bot <- 0;
-  Atomic.set t.public_bot 0;
-  Atomic.set t.age (Age.pack ~tag:(Age.tag old_age + 1) ~top:0);
+  let old_age = A.get t.age in
+  A.write t.bot 0;
+  aset t.public_bot 0;
+  aset t.age (Age.pack ~tag:(Age.tag old_age + 1) ~top:0);
   Array.fill t.deq 0 (Array.length t.deq) t.dummy
 
 (* Unified first-class API: the split deque is the reference shape, so
@@ -238,4 +293,52 @@ end) : Deque_intf.DEQUE with type elt = E.t and type t = E.t t = struct
   let is_empty = is_empty
 
   let clear = clear
+end
+
+module type S = Deque_intf.SPLIT
+
+(* Re-export of the flat implementation with one knocked-out protocol
+   line per [M.mutation] knob: only [pop_public_bottom] changes, so a
+   mutant is the production algorithm text minus exactly one line. *)
+module Make_mutant (M : sig
+  val mutation : Mutation.t
+end) : S = struct
+  type nonrec 'a t = 'a t
+
+  let create = create
+
+  let capacity = capacity
+
+  let push_bottom = push_bottom
+
+  let pop_bottom = pop_bottom
+
+  let pop_bottom_signal_safe = pop_bottom_signal_safe
+
+  let pop_public_bottom t = pop_public_bottom_mutant M.mutation t
+
+  let pop_top = pop_top
+
+  let update_public_bottom = update_public_bottom
+
+  let has_two_tasks = has_two_tasks
+
+  let private_size = private_size
+
+  let public_size = public_size
+
+  let size = size
+
+  let is_empty = is_empty
+
+  let clear = clear
+
+  module Deque (E : sig
+    type t
+  end) =
+  struct
+    include Deque (E)
+
+    let pop_public_bottom t = pop_public_bottom_mutant M.mutation t
+  end
 end

@@ -8,87 +8,69 @@
     CAS per successful steal. The [age] word packs [(tag, top)] so a single
     compare-and-set both advances [top] and defeats the ABA problem.
 
+    The source is written against {!Deque_intf.ATOMIC} through the
+    build-time [Atomic_shim] swap: compiled here against the real
+    primitive shim it is the lock-free deque (zero abstraction cost; see
+    [atomic_shim.ml]); re-compiled in [lib/check/deques] against an
+    instrumented atomic it yields to a schedule enumerator at every
+    load, store, CAS and plain [bot] access. The per-operation contracts
+    are documented on {!Deque_intf.SPLIT}.
+
     Ownership contract: exactly one domain (the owner) may call
-    [push_bottom], [pop_bottom], [pop_bottom_unsafe_fixed],
+    [push_bottom], [pop_bottom], [pop_bottom_signal_safe],
     [pop_public_bottom] and [update_public_bottom]. Any domain may call
     [pop_top]. Thieves pass their own {!Lcws_sync.Metrics.t} so that every
     counter field stays single-writer. *)
 
-type 'a t
+(** Expose the packed age encoding for white-box tests. [pack] masks the
+    tag to {!Age.max_tag} (31 bits) so ABA bumps wrap instead of
+    overflowing into the sign bit. *)
+module Age : sig
+  val pack : tag:int -> top:int -> int
 
-(** [create ~capacity ~dummy ~metrics ()] — [dummy] fills empty slots (it
-    is never returned), [metrics] is the owner's counter block. Capacity
-    bounds the *live* extent \[0, bot); the fork-join discipline keeps it
-    proportional to the recursion depth. *)
-val create : capacity:int -> dummy:'a -> metrics:Lcws_sync.Metrics.t -> unit -> 'a t
+  val top : int -> int
 
-val capacity : 'a t -> int
+  val tag : int -> int
 
-(** Owner: push a task below the bottom of the private part.
-    Synchronization-free. Raises {!Deque_intf.Deque_full} when out of
-    slots. *)
-val push_bottom : 'a t -> 'a -> unit
+  val max_top : int
 
-(** Owner: take the bottom-most private task, if any. Synchronization-free.
-    This is the *original* Listing 2 version ([bot == public_bot]
-    comparison first), used by the user-space, Conservative and Expose-Half
-    variants. *)
-val pop_bottom : 'a t -> 'a option
+  val max_tag : int
+end
 
-(** Owner: the Section 4 signal-safe variant that decrements [bot] before
-    comparing ([--bot < public_bot]), closing the data race with an
-    asynchronous [update_public_bottom]. On [None] the caller must invoke
-    [pop_public_bottom] next (which repairs [bot]), exactly as the
-    scheduler of Listing 1 does. *)
-val pop_bottom_signal_safe : 'a t -> 'a option
+(** Seeded protocol mutations, used only by the interleaving checker's
+    self-test (each one must produce a counterexample; see
+    [lib/check/scenarios.ml]). *)
+module Mutation : sig
+  type t = {
+    drop_fence : bool;
+        (** hoist the [age] load above the [public_bot] store in
+            [pop_public_bottom] — the reordering the Listing 2 line 11-12
+            fence forbids *)
+    drop_bot_repair : bool;
+        (** skip the Section 4 [bot <- 0] repair after a failed
+            decrement-first pop on an empty deque *)
+    drop_tag_bump : bool;
+        (** do not bump the ABA tag when the owner resets the deque in
+            the last-task race *)
+  }
 
-(** Owner: take the bottom-most task of the *public* part, competing with
-    thieves. Two seq-cst fences per call (Listing 2 lines 12 and 27), plus
-    one CAS when racing for the last public task. Resets [bot] to 0 when
-    the deque empties (including the Section 4 amendment: also when
-    [public_bot] is already 0). *)
-val pop_public_bottom : 'a t -> 'a option
+  val none : t
+end
 
-(** Thief: try to steal the top-most public task. [metrics] is the thief's
-    own counter block. One CAS on success or abort; no fences. *)
-val pop_top : 'a t -> metrics:Lcws_sync.Metrics.t -> 'a Deque_intf.steal_result
-
-(** Owner (or its signal handler): expose work.
-    [update_public_bottom t ~policy] transfers private tasks to the public
-    part according to the variant's exposure policy and returns how many
-    tasks were exposed. *)
 type exposure_policy = Deque_intf.exposure_policy =
   | Expose_one  (** base/user-space/signal: one task if any is private *)
   | Expose_conservative  (** Cons (4.1.1): one task iff >= 2 are private *)
   | Expose_half  (** Half (4.1.2): round(r/2) tasks when r >= 3, else one *)
 
-val update_public_bottom : 'a t -> policy:exposure_policy -> int
+module type S = Deque_intf.SPLIT
 
-(** Thief-side racy size estimates (plain reads; may be stale). *)
+(** The checker's entry point for seeded-bug variants: the production
+    algorithm text with one protocol line knocked out per {!Mutation}
+    knob (all three live in [pop_public_bottom]; every other operation
+    is shared with the flat API below). *)
+module Make_mutant (M : sig
+  val mutation : Mutation.t
+end) : S
 
-val has_two_tasks : 'a t -> bool
-
-val private_size : 'a t -> int
-
-val public_size : 'a t -> int
-
-val size : 'a t -> int
-
-val is_empty : 'a t -> bool
-
-(** Owner: drop everything (between benchmark runs). *)
-val clear : 'a t -> unit
-
-(** Expose the packed age encoding for white-box tests. *)
-module Age : sig
-  val pack : tag:int -> top:int -> int
-  val top : int -> int
-  val tag : int -> int
-  val max_top : int
-end
-
-(** Adapter to the unified {!Deque_intf.DEQUE} API (the identity mapping;
-    the split deque defines that API's shape). *)
-module Deque (E : sig
-  type t
-end) : Deque_intf.DEQUE with type elt = E.t and type t = E.t t
+(** The real deque: the flat implementation with {!Mutation.none}. *)
+include S

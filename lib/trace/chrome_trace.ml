@@ -89,3 +89,34 @@ let write_file path t =
       let buf = Buffer.create 65536 in
       to_buffer buf t;
       Buffer.output_buffer oc buf)
+
+(* Generic trace-event emission for producers that are not the scheduler's
+   event rings — notably lib/check's interleaving counterexamples, which
+   have synthetic timestamps (one microsecond per exploration step) and
+   lane names that are scenario thread names rather than worker ids. *)
+module Raw = struct
+  type t = { buf : Buffer.t; first : bool ref }
+
+  let create ?(process = "lcws") () =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    let first = ref true in
+    add_metadata buf ~first ~tid:0 ~name:"process_name" ~value:process;
+    { buf; first }
+
+  let thread_name t ~tid name = add_metadata t.buf ~first:t.first ~tid ~name:"thread_name" ~value:name
+
+  let instant t ~tid ~time ~name ?arg () = add_event t.buf ~first:t.first ~tid ~time ~ph:"i" ~name ?arg ()
+
+  let duration t ~tid ~start ~stop ~name =
+    add_event t.buf ~first:t.first ~tid ~time:start ~ph:"B" ~name ();
+    add_event t.buf ~first:t.first ~tid ~time:stop ~ph:"E" ~name ()
+
+  let to_string t = Buffer.contents t.buf ^ "]}"
+
+  let write_file path t =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (to_string t))
+end

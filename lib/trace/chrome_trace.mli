@@ -17,3 +17,25 @@ val to_buffer : Buffer.t -> Trace.t -> unit
 val to_string : Trace.t -> string
 
 val write_file : string -> Trace.t -> unit
+
+(** Generic trace-event emission for producers outside the scheduler's
+    event rings (e.g. the interleaving checker's counterexample export).
+    Events are appended in call order; timestamps are nanoseconds. *)
+module Raw : sig
+  type t
+
+  val create : ?process:string -> unit -> t
+
+  (** Label lane [tid]. *)
+  val thread_name : t -> tid:int -> string -> unit
+
+  (** Thread-scoped instant event. *)
+  val instant : t -> tid:int -> time:int -> name:string -> ?arg:string * int -> unit -> unit
+
+  (** A matched "B"/"E" pair. *)
+  val duration : t -> tid:int -> start:int -> stop:int -> name:string -> unit
+
+  val to_string : t -> string
+
+  val write_file : string -> t -> unit
+end

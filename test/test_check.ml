@@ -1,0 +1,145 @@
+(* The interleaving checker's own test suite: clean deques must pass
+   exhaustively, the deliberate Section 4 demo and every seeded mutation
+   must produce a counterexample, exploration must be deterministic, and
+   counterexamples must replay and export. This is the bounded-depth
+   checker pass that runs inside `dune runtest`; the CI nightly sweep
+   re-runs the same scenarios with a larger LCWS_CHECK_BUDGET. *)
+
+open Lcws
+module E = Check.Explore
+module S = Check.Scenarios
+
+let find name =
+  match S.find name with Some s -> s | None -> Alcotest.failf "no scenario %S" name
+
+(* Every clean scenario passes in *every* interleaving, and the reduced
+   schedule tree is fully covered within the default budget. *)
+let test_clean_exhaustive () =
+  List.iter
+    (fun (s : E.scenario) ->
+      if not s.E.expect_violation then begin
+        let r = E.explore s in
+        (match r.E.violation with
+        | Some v ->
+            Alcotest.failf "%s: unexpected violation: %s (schedule %s)" r.E.name v.E.message
+              (E.schedule_to_string v.E.schedule)
+        | None -> ());
+        Alcotest.(check bool) (s.E.name ^ " exhausted") true r.E.exhausted;
+        Alcotest.(check bool) (s.E.name ^ " explored") true (r.E.interleavings > 0)
+      end)
+    S.all
+
+(* The catalogue's expected-violation entry is the paper's Section 4 bug
+   run on purpose (plain pop_bottom vs signal-delivered exposure): the
+   checker must reproduce the lost update the signal-safe pop fixes. *)
+let test_section4_demo_fails () =
+  List.iter
+    (fun (s : E.scenario) ->
+      if s.E.expect_violation then
+        let r = E.explore s in
+        Alcotest.(check bool) (s.E.name ^ " violation found") true (r.E.violation <> None))
+    S.all
+
+(* Self-test: each seeded mutation (dropped Listing 2 line 11-12 fence,
+   dropped Section 4 bot repair, dropped ABA tag bump) is caught. *)
+let test_mutants_caught () =
+  Alcotest.(check int) "three seeded mutants" 3 (List.length S.mutants);
+  List.iter
+    (fun (s : E.scenario) ->
+      let r = E.explore s in
+      match r.E.violation with
+      | None -> Alcotest.failf "seeded mutant %s not caught" r.E.name
+      | Some _ -> ())
+    S.mutants
+
+(* Exploration is deterministic: identical counts on repeated runs. *)
+let test_deterministic_counts () =
+  List.iter
+    (fun name ->
+      let s = find name in
+      let r1 = E.explore s and r2 = E.explore s in
+      Alcotest.(check int) (name ^ " interleavings") r1.E.interleavings r2.E.interleavings;
+      Alcotest.(check int) (name ^ " runs") r1.E.runs r2.E.runs;
+      Alcotest.(check int) (name ^ " pruned") r1.E.pruned r2.E.pruned;
+      Alcotest.(check bool) (name ^ " exhausted") r1.E.exhausted r2.E.exhausted)
+    [ "split_two_exposed"; "split_signal_safe"; "chase_lev_wrap" ]
+
+(* A counterexample's schedule replays to the same oracle verdict. *)
+let test_replay_reproduces () =
+  let s = find "mutant_drop_tag_bump" in
+  let r = E.explore s in
+  match r.E.violation with
+  | None -> Alcotest.fail "expected a violation to replay"
+  | Some v -> (
+      let rp = E.replay s v.E.schedule ~max_steps:1000 in
+      match rp.E.result with
+      | Ok () -> Alcotest.fail "replay did not reproduce the violation"
+      | Error m -> Alcotest.(check string) "same verdict" v.E.message m)
+
+let test_schedule_string_roundtrip () =
+  let sched = [ E.Thread 0; E.Thread 1; E.Signal; E.Thread 2; E.Thread 0 ] in
+  Alcotest.(check string) "to_string" "0,1,s,2,0" (E.schedule_to_string sched);
+  Alcotest.(check bool) "roundtrip" true (E.schedule_of_string "0,1,s,2,0" = sched);
+  Alcotest.(check bool) "empty" true (E.schedule_of_string "" = []);
+  Alcotest.check_raises "bad token" (Invalid_argument "bad schedule token \"x\"") (fun () ->
+      ignore (E.schedule_of_string "0,x"))
+
+(* Counterexample steps export as a well-formed Chrome trace with one
+   lane per scenario thread. *)
+let test_chrome_export () =
+  let s = find "mutant_drop_fence" in
+  let r = E.explore s in
+  match r.E.violation with
+  | None -> Alcotest.fail "expected a violation to export"
+  | Some v ->
+      let rp = E.replay s v.E.schedule ~max_steps:1000 in
+      let json = Chrome_trace.Raw.to_string (E.steps_to_chrome ~lanes:rp.E.lanes rp.E.steps) in
+      let has sub =
+        let nh = String.length json and nn = String.length sub in
+        let rec go i = i + nn <= nh && (String.sub json i nn = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "traceEvents" true (has "traceEvents");
+      Alcotest.(check bool) "owner lane" true (has "owner");
+      Alcotest.(check bool) "thief lane" true (has "thief")
+
+(* The run budget bounds the search and is reported as non-exhaustion. *)
+let test_budget_bounds () =
+  let s = find "split_signal_safe" in
+  let r = E.explore ~max_runs:3 s in
+  Alcotest.(check int) "stopped at budget" 3 r.E.runs;
+  Alcotest.(check bool) "not exhausted" false r.E.exhausted;
+  Alcotest.(check bool) "no false positive" true (r.E.violation = None)
+
+(* Oracle helpers behave as documented. *)
+let test_oracles () =
+  Alcotest.(check bool) "exactly-once ok" true
+    (S.exactly_once ~pushed:[ 2; 1 ] ~got:[ 1; 2 ] = Ok ());
+  Alcotest.(check bool) "duplication caught" true
+    (Result.is_error (S.exactly_once ~pushed:[ 1 ] ~got:[ 1; 1 ]));
+  Alcotest.(check bool) "loss caught" true
+    (Result.is_error (S.exactly_once ~pushed:[ 1; 2 ] ~got:[ 2 ]));
+  Alcotest.(check bool) "increasing ok" true (S.increasing "t" [ 1; 3; 7 ] = Ok ());
+  Alcotest.(check bool) "increasing violated" true
+    (Result.is_error (S.increasing "t" [ 1; 3; 2 ]));
+  Alcotest.(check bool) "decreasing ok" true (S.decreasing "o" [ 7; 3; 1 ] = Ok ())
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "explorer",
+        [
+          Alcotest.test_case "clean scenarios pass exhaustively" `Quick test_clean_exhaustive;
+          Alcotest.test_case "Section 4 demo reproduces the bug" `Quick test_section4_demo_fails;
+          Alcotest.test_case "seeded mutants are caught" `Quick test_mutants_caught;
+          Alcotest.test_case "deterministic interleaving counts" `Quick test_deterministic_counts;
+          Alcotest.test_case "budget bounds the search" `Quick test_budget_bounds;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "counterexample replays" `Quick test_replay_reproduces;
+          Alcotest.test_case "schedule string roundtrip" `Quick test_schedule_string_roundtrip;
+          Alcotest.test_case "chrome export" `Quick test_chrome_export;
+        ] );
+      ("oracles", [ Alcotest.test_case "helpers" `Quick test_oracles ]);
+    ]

@@ -205,6 +205,45 @@ let test_age_packing () =
   check Alcotest.int "max top" max_top (top b);
   check Alcotest.int "tag 0" 0 (tag b)
 
+(* Regression: the ABA tag occupies 31 bits and must wrap cleanly at the
+   boundary instead of overflowing into the [top] field or growing
+   without bound — [pack] masks the tag, and tag/top round-trip right up
+   to (and across) the wrap. *)
+let test_age_tag_wrap () =
+  let open Split_deque.Age in
+  let at_max = pack ~tag:max_tag ~top:7 in
+  check Alcotest.int "top at max tag" 7 (top at_max);
+  check Alcotest.int "tag at max tag" max_tag (tag at_max);
+  let wrapped = pack ~tag:(max_tag + 1) ~top:7 in
+  check Alcotest.int "tag wraps to 0" 0 (tag wrapped);
+  check Alcotest.int "top preserved across wrap" 7 (top wrapped);
+  check Alcotest.int "wrap aliases tag 0" (pack ~tag:0 ~top:7) wrapped;
+  (* a bump from the boundary still changes the packed word *)
+  Alcotest.(check bool) "bump at boundary visible" true (at_max <> wrapped)
+
+(* Regression: [pop_bottom]'s emptiness guard must be [bot <= public_bot],
+   not [=]. In the window after a failed decrement-first pop (Section 4),
+   [bot] sits strictly below [public_bot]; an equality guard would let
+   the owner re-pop a task it has already exposed to thieves. *)
+let test_split_pop_bottom_underflow_guard () =
+  let d, _ = mk_split () in
+  Split_deque.push_bottom d 1;
+  Split_deque.push_bottom d 2;
+  ignore (Split_deque.update_public_bottom d ~policy:Expose_one);
+  ignore (Split_deque.update_public_bottom d ~policy:Expose_one);
+  (* both tasks public: the decrement-first pop fails and leaves bot = 1
+     below public_bot = 2 *)
+  check Alcotest.(option int) "signal-safe pop fails" None (Split_deque.pop_bottom_signal_safe d);
+  check Alcotest.(option int) "private pop must not re-take exposed work" None
+    (Split_deque.pop_bottom d);
+  (* the public side still holds both tasks, newest first *)
+  check Alcotest.(option int) "public pop 2" (Some 2) (Split_deque.pop_public_bottom d);
+  check Alcotest.(option int) "public pop 1" (Some 1) (Split_deque.pop_public_bottom d);
+  check Alcotest.(option int) "public empty" None (Split_deque.pop_public_bottom d);
+  (* bot is repaired; the deque is reusable *)
+  Split_deque.push_bottom d 3;
+  check Alcotest.(option int) "reusable after repair" (Some 3) (Split_deque.pop_bottom d)
+
 (* --- model-based qcheck: split deque vs reference list ---------------- *)
 
 (* Reference model: (private_list_newest_first, public_list_newest_first).
@@ -432,6 +471,9 @@ let () =
             test_split_index_reset_recycles_capacity;
           Alcotest.test_case "clear" `Quick test_split_clear;
           Alcotest.test_case "age packing" `Quick test_age_packing;
+          Alcotest.test_case "age tag wrap boundary" `Quick test_age_tag_wrap;
+          Alcotest.test_case "pop_bottom underflow guard" `Quick
+            test_split_pop_bottom_underflow_guard;
           prop_split_model;
         ] );
       ( "chase_lev",

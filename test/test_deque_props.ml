@@ -1,0 +1,97 @@
+(* Property tests for the size-accounting invariants of the unified
+   DEQUE API, across all four implementations: after any legal operation
+   sequence, [private_size + public_size = size], every size estimate is
+   non-negative, [is_empty] agrees with [size], and [clear] zeroes all
+   three — including right after a [Deque_full] and right after the
+   Section 4 signal-safe-pop/public-pop pair. *)
+
+open Lcws
+open Lcws.Deque_intf
+
+let qtest ?(count = 500) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+
+(* Operations are drawn as small ints so shrinking stays useful. The
+   owner contract is respected by construction: [pop_public_bottom] is
+   only issued through the signal-safe pair (a standalone one is illegal
+   while private work exists — it is the Section 4 repair path and
+   resets [bot]). *)
+type op = Push | Pop | Pop_safe_pair | Steal | Expose of exposure_policy | Clear
+
+let op_of_int = function
+  | 0 | 1 | 2 | 3 -> Push
+  | 4 | 5 -> Pop
+  | 6 -> Pop_safe_pair
+  | 7 | 8 -> Steal
+  | 9 -> Expose Expose_one
+  | 10 -> Expose Expose_conservative
+  | 11 -> Expose Expose_half
+  | _ -> Clear
+
+let gen_ops = QCheck2.Gen.(list_size (int_range 0 80) (int_range 0 12))
+
+let run_ops (type d) (module D : DEQUE with type elt = int and type t = d) ops =
+  let owner_m = Metrics.create () and thief_m = Metrics.create () in
+  let d = D.create ~capacity:8 ~dummy:0 ~metrics:owner_m () in
+  let counter = ref 0 in
+  let invariants tag =
+    let priv = D.private_size d and pub = D.public_size d and size = D.size d in
+    if priv < 0 || pub < 0 || size < 0 then
+      QCheck2.Test.fail_reportf "%s: negative size after %s: %d/%d/%d" D.name tag priv pub size;
+    if priv + pub <> size then
+      QCheck2.Test.fail_reportf "%s: size split broken after %s: %d + %d <> %d" D.name tag priv
+        pub size;
+    if D.is_empty d <> (size = 0) then
+      QCheck2.Test.fail_reportf "%s: is_empty disagrees with size %d after %s" D.name size tag
+  in
+  List.iter
+    (fun i ->
+      (match op_of_int i with
+      | Push -> (
+          incr counter;
+          try D.push_bottom d !counter
+          with Deque_full -> invariants "Deque_full")
+      | Pop -> ignore (D.pop_bottom d)
+      | Pop_safe_pair -> (
+          (* The Section 4 contract: a failed decrement-first pop is
+             always followed by the public fallback, which repairs. *)
+          match D.pop_bottom_signal_safe d with
+          | Some _ -> ()
+          | None -> ignore (D.pop_public_bottom d))
+      | Steal -> ignore (D.pop_top d ~metrics:thief_m)
+      | Expose policy -> ignore (D.update_public_bottom d ~policy)
+      | Clear ->
+          D.clear d;
+          if D.size d <> 0 || D.private_size d <> 0 || D.public_size d <> 0 then
+            QCheck2.Test.fail_reportf "%s: clear left a non-zero size" D.name);
+      invariants "op")
+    ops;
+  true
+
+module Split_d = Split_deque.Deque (struct
+  type t = int
+end)
+
+module Chase_d = Chase_lev.Deque (struct
+  type t = int
+end)
+
+module Lace_d = Lace_deque.Deque (struct
+  type t = int
+end)
+
+module Private_d = Private_deque.Deque (struct
+  type t = int
+end)
+
+let () =
+  Alcotest.run "deque_props"
+    [
+      ( "size invariants",
+        [
+          qtest "split" gen_ops (run_ops (module Split_d));
+          qtest "chase_lev" gen_ops (run_ops (module Chase_d));
+          qtest "lace" gen_ops (run_ops (module Lace_d));
+          qtest "private" gen_ops (run_ops (module Private_d));
+        ] );
+    ]
