@@ -1,0 +1,435 @@
+(* Reproducible microbenchmark suite for the scheduler hot paths.
+
+   Where bench/main.exe regenerates the paper's simulator figures, this
+   executable measures the *real* multi-domain engine: fork/join cost
+   (ns/op and minor words/op — the quantity the per-worker frame pool
+   exists to shrink), parallel_for throughput under lazy binary
+   splitting, reduce and scan throughput through the Parlay layer, and a
+   steal-heavy skewed spawn chain. Each bench sweeps scheduler variant x
+   deque implementation x worker count and appends one JSON record; the
+   whole run is dumped as a single machine-readable file (default
+   BENCH_PR4.json, schema "lcws-bench-suite/1") so runs can be diffed
+   across commits.
+
+   Usage: dune exec bench/suite.exe -- [options]
+     --out PATH      output file (default BENCH_PR4.json)
+     --quick         tiny sizes: smoke-test the suite itself (CI)
+     --workers N     worker count for the parallel configurations
+                     (default 2)
+     --validate FILE parse FILE and check it against the schema instead
+                     of running benchmarks; exit 1 on violation *)
+
+module S = Lcws_sched.Scheduler
+module Metrics = Lcws_sync.Metrics
+module P = Lcws_parlay.Seq_ops
+
+(* {1 Measurement} *)
+
+type sample = {
+  bench : string;
+  variant : S.variant;
+  deque : S.deque_impl;
+  workers : int;
+  ops : int; (* unit of account: joins, iterations, elements... *)
+  elapsed_ns : float;
+  minor_words : float;
+  metrics : Metrics.t;
+}
+
+(* One timed configuration: a fresh pool per sample keeps deque capacity
+   and frame pools cold-start-comparable across variants; [job] runs
+   once untimed to warm frame pools and code paths, then [reps] timed
+   runs are summed. *)
+let run_config ~bench ~variant ~deque ~workers ~ops ~reps job =
+  let pool = S.Pool.create ~num_workers:workers ~variant ~deque () in
+  Fun.protect
+    ~finally:(fun () -> S.Pool.shutdown pool)
+    (fun () ->
+      S.Pool.run pool job;
+      S.Pool.reset_metrics pool;
+      let w0 = Gc.minor_words () in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to reps do
+        S.Pool.run pool job
+      done;
+      let elapsed_ns = (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int reps in
+      let minor_words = (Gc.minor_words () -. w0) /. float_of_int reps in
+      {
+        bench;
+        variant;
+        deque;
+        workers;
+        ops;
+        elapsed_ns;
+        minor_words;
+        metrics = S.Pool.metrics pool;
+      })
+
+(* {1 The benchmarks} *)
+
+let noop () = ()
+
+(* Allocation-light fork/join: a chain of un-stolen joins on worker 0.
+   ns/op and minor words/op are the headline numbers of the frame
+   pool. *)
+let bench_fork_join ~calls ~variant ~deque ~workers =
+  run_config ~bench:"fork_join" ~variant ~deque ~workers ~ops:calls ~reps:3 (fun () ->
+      for _ = 1 to calls do
+        S.fork_join_unit noop noop
+      done)
+
+(* Lazy-split loop over a trivial body: throughput in iterations/s, and
+   the split/push counters show the task-creation collapse. *)
+let bench_parallel_for ~n ~variant ~deque ~workers =
+  let acc = Array.make 64 0 in
+  run_config ~bench:"parallel_for" ~variant ~deque ~workers ~ops:n ~reps:3 (fun () ->
+      S.parallel_for ~grain:256 ~start:0 ~stop:n (fun i ->
+          let slot = i land 63 in
+          acc.(slot) <- acc.(slot) + i))
+
+let bench_reduce ~n ~variant ~deque ~workers =
+  let a = Array.init n (fun i -> float_of_int (i land 1023) *. 0.5) in
+  run_config ~bench:"reduce" ~variant ~deque ~workers ~ops:n ~reps:3 (fun () ->
+      ignore (Sys.opaque_identity (P.reduce ( +. ) 0. a)))
+
+let bench_scan ~n ~variant ~deque ~workers =
+  let a = Array.init n (fun i -> i land 255) in
+  run_config ~bench:"scan" ~variant ~deque ~workers ~ops:n ~reps:3 (fun () ->
+      ignore (Sys.opaque_identity (P.scan ( + ) 0 a)))
+
+(* Steal-heavy skew: the left branch is a leaf, the right branch carries
+   the whole remaining chain, so helpers make progress only by stealing
+   — the exposure handshake runs constantly. *)
+let rec skew_chain depth =
+  if depth > 0 then
+    S.fork_join_unit (fun () -> ignore (Sys.opaque_identity depth)) (fun () -> skew_chain (depth - 1))
+
+let bench_steal_heavy ~depth ~variant ~deque ~workers =
+  run_config ~bench:"steal_heavy" ~variant ~deque ~workers ~ops:depth ~reps:3 (fun () ->
+      skew_chain depth)
+
+(* {1 JSON emission} *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let sample_to_json s =
+  let ops_f = float_of_int s.ops in
+  Printf.sprintf
+    "    {\"bench\": %S, \"variant\": %S, \"deque\": %S, \"workers\": %d, \"ops\": %d,\n\
+    \     \"ns_per_op\": %.3f, \"minor_words_per_op\": %.3f, \"items_per_s\": %.1f,\n\
+    \     \"metrics\": %s}"
+    s.bench (S.variant_name s.variant) (S.deque_impl_name s.deque) s.workers s.ops
+    (s.elapsed_ns /. ops_f)
+    (s.minor_words /. ops_f)
+    (ops_f /. (s.elapsed_ns /. 1e9))
+    (Metrics.to_json s.metrics)
+
+let suite_to_json ~quick samples =
+  let b = Buffer.create 16384 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"lcws-bench-suite/1\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"quick\": %b,\n" quick);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"host\": {\"ocaml\": \"%s\", \"word_size\": %d, \"recommended_domains\": %d, \"os_type\": \"%s\"},\n"
+       (json_escape Sys.ocaml_version) Sys.word_size
+       (Domain.recommended_domain_count ())
+       (json_escape Sys.os_type));
+  Buffer.add_string b "  \"results\": [\n";
+  Buffer.add_string b (String.concat ",\n" (List.map sample_to_json samples));
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b
+
+(* {1 Validation: a minimal JSON reader}
+
+   Just enough JSON to load the suite's own output back and check the
+   schema contract; strings with escapes, numbers, bools, null, arrays,
+   objects. Used by --validate (the CI smoke job). *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  exception Malformed of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Malformed (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then s.[!pos] else '\255' in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | ' ' | '\t' | '\n' | '\r' ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c = if peek () = c then advance () else fail (Printf.sprintf "expected %c" c) in
+    let literal lit v =
+      if !pos + String.length lit <= n && String.sub s !pos (String.length lit) = lit then begin
+        pos := !pos + String.length lit;
+        v
+      end
+      else fail ("expected " ^ lit)
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            (match peek () with
+            | '"' -> Buffer.add_char b '"'
+            | '\\' -> Buffer.add_char b '\\'
+            | '/' -> Buffer.add_char b '/'
+            | 'n' -> Buffer.add_char b '\n'
+            | 't' -> Buffer.add_char b '\t'
+            | 'r' -> Buffer.add_char b '\r'
+            | 'b' -> Buffer.add_char b '\b'
+            | 'f' -> Buffer.add_char b '\012'
+            | 'u' ->
+                if !pos + 4 >= n then fail "bad \\u escape";
+                (* Keep the raw escape; the validator never inspects
+                   non-ASCII content. *)
+                Buffer.add_string b (String.sub s (!pos - 1) 6);
+                pos := !pos + 4
+            | c -> fail (Printf.sprintf "bad escape \\%c" c));
+            advance ();
+            go ()
+        | c ->
+            Buffer.add_char b c;
+            advance ();
+            go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let parse_number () =
+      let start = !pos in
+      let num_char = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && num_char s.[!pos] do
+        advance ()
+      done;
+      if !pos = start then fail "expected number";
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> f
+      | None -> fail "malformed number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let rec members acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | ',' ->
+                  advance ();
+                  members ((k, v) :: acc)
+              | '}' ->
+                  advance ();
+                  Obj (List.rev ((k, v) :: acc))
+              | _ -> fail "expected , or }"
+            in
+            members []
+          end
+      | '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = ']' then begin
+            advance ();
+            List []
+          end
+          else begin
+            let rec items acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | ',' ->
+                  advance ();
+                  items (v :: acc)
+              | ']' ->
+                  advance ();
+                  List (List.rev (v :: acc))
+              | _ -> fail "expected , or ]"
+            in
+            items []
+          end
+      | '"' -> Str (parse_string ())
+      | 't' -> literal "true" (Bool true)
+      | 'f' -> literal "false" (Bool false)
+      | 'n' -> literal "null" Null
+      | _ -> Num (parse_number ())
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+end
+
+(* The schema contract the CI smoke job enforces: schema id, every
+   variant present in the fork_join bench, and each result carrying the
+   required well-typed fields. *)
+let validate path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let raw = really_input_string ic len in
+  close_in ic;
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  (match Json.parse raw with
+  | exception Json.Malformed m -> err "not valid JSON: %s" m
+  | json -> (
+      (match Json.member "schema" json with
+      | Some (Json.Str "lcws-bench-suite/1") -> ()
+      | _ -> err "missing or wrong \"schema\" (want \"lcws-bench-suite/1\")");
+      (match Json.member "host" json with
+      | Some (Json.Obj _) -> ()
+      | _ -> err "missing \"host\" object");
+      match Json.member "results" json with
+      | Some (Json.List results) ->
+          if results = [] then err "empty \"results\"";
+          List.iteri
+            (fun i r ->
+              List.iter
+                (fun k ->
+                  match Json.member k r with
+                  | Some (Json.Num _) -> ()
+                  | _ -> err "result %d: missing numeric %S" i k)
+                [ "workers"; "ops"; "ns_per_op"; "minor_words_per_op"; "items_per_s" ];
+              List.iter
+                (fun k ->
+                  match Json.member k r with
+                  | Some (Json.Str _) -> ()
+                  | _ -> err "result %d: missing string %S" i k)
+                [ "bench"; "variant"; "deque" ];
+              match Json.member "metrics" r with
+              | Some (Json.Obj _) -> ()
+              | _ -> err "result %d: missing \"metrics\" object" i)
+            results;
+          List.iter
+            (fun v ->
+              let name = S.variant_name v in
+              let covered =
+                List.exists
+                  (fun r ->
+                    Json.member "bench" r = Some (Json.Str "fork_join")
+                    && Json.member "variant" r = Some (Json.Str name))
+                  results
+              in
+              if not covered then err "variant %S has no fork_join result" name)
+            S.all_variants
+      | _ -> err "missing \"results\" array"));
+  match List.rev !errors with
+  | [] ->
+      Printf.printf "%s: valid (schema lcws-bench-suite/1)\n" path;
+      0
+  | es ->
+      List.iter (fun m -> Printf.eprintf "%s: %s\n" path m) es;
+      1
+
+(* {1 Driver} *)
+
+let concurrent_impls = [ S.chase_lev_impl; S.split_deque_impl ]
+
+let () =
+  let out = ref "BENCH_PR4.json" in
+  let quick = ref false in
+  let workers = ref 2 in
+  let validate_path = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--out" :: path :: rest ->
+        out := path;
+        parse rest
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | "--workers" :: v :: rest ->
+        workers := max 2 (int_of_string v);
+        parse rest
+    | "--validate" :: path :: rest ->
+        validate_path := Some path;
+        parse rest
+    | a :: _ -> failwith ("unknown argument " ^ a)
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match !validate_path with
+  | Some path -> exit (validate path)
+  | None ->
+      let q = !quick in
+      let w = !workers in
+      let fj_calls = if q then 5_000 else 200_000 in
+      let loop_n = if q then 50_000 else 2_000_000 in
+      let reduce_n = if q then 50_000 else 1_000_000 in
+      let scan_n = if q then 20_000 else 500_000 in
+      let skew_depth = if q then 2_000 else 20_000 in
+      let t0 = Unix.gettimeofday () in
+      let samples = ref [] in
+      let note s = samples := s :: !samples in
+      List.iter
+        (fun variant ->
+          Printf.printf "[%s]%!" (S.variant_name variant);
+          (* fork_join is the deque-sensitive hot path: sweep every
+             implementation at P=1 (the sequential specifications
+             included) and the concurrent ones at P=w. *)
+          List.iter
+            (fun deque -> note (bench_fork_join ~calls:fj_calls ~variant ~deque ~workers:1))
+            S.all_deque_impls;
+          List.iter
+            (fun deque -> note (bench_fork_join ~calls:fj_calls ~variant ~deque ~workers:w))
+            concurrent_impls;
+          Printf.printf " fork_join%!";
+          (* The remaining benches run on the variant's default deque. *)
+          let deque = S.default_deque_impl variant in
+          List.iter
+            (fun workers ->
+              note (bench_parallel_for ~n:loop_n ~variant ~deque ~workers);
+              note (bench_reduce ~n:reduce_n ~variant ~deque ~workers);
+              note (bench_scan ~n:scan_n ~variant ~deque ~workers))
+            [ 1; w ];
+          Printf.printf " loops%!";
+          note (bench_steal_heavy ~depth:skew_depth ~variant ~deque ~workers:w);
+          Printf.printf " steal_heavy\n%!")
+        S.all_variants;
+      let json = suite_to_json ~quick:q (List.rev !samples) in
+      let oc = open_out !out in
+      output_string oc json;
+      close_out oc;
+      Printf.printf "wrote %s (%d results) in %.1fs\n" !out (List.length !samples)
+        (Unix.gettimeofday () -. t0)

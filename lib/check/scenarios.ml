@@ -424,6 +424,74 @@ let private_script =
         });
   }
 
+(* {2 Join-frame recycling scenarios}
+
+   The scheduler's fork/join frames (lib/sched) are recycled through a
+   per-worker pool: on the stolen path the executor writes the frame's
+   result slot and then flips the completion word with an SC store, and
+   the owner may only reset and reuse the frame after it has observed
+   that flip. These scripts model the two-word protocol directly on
+   simulated cells — [state] as an atomic, [result] as a plain slot —
+   because the scheduler itself is compiled against the real atomics,
+   not the yielding shim. [frame_protocol ~wait:false] seeds the
+   recycled-too-early bug (owner consumes and reuses the frame without
+   waiting): the checker must find an interleaving where the owner reads
+   a stale result or the late completion clobbers the frame's next
+   use. *)
+
+let frame_protocol ~wait ~name ~expect_violation =
+  let module A = Sim_atomic.A in
+  {
+    Explore.name;
+    descr =
+      (if wait then "join-frame recycling: owner waits for the completion flag before reuse"
+       else "join-frame recycling without the completion wait (recycled-too-early bug, on purpose)");
+    expect_violation;
+    spec =
+      (fun () ->
+        let state = A.make ~name:"frame.state" 0 in
+        let result = A.plain ~name:"frame.result" 0 in
+        let r1 = ref (-1) and r2 = ref (-1) in
+        (* The thief side of [exec_frame]: publish the result, then flip
+           the flag (program order; the sim is sequentially consistent). *)
+        let thief () =
+          A.write result 42;
+          A.set state 1
+        in
+        let owner () =
+          (* Bounded stand-in for the owner's helping loop: poll the flag
+             a few times; giving up (slow thief) is a legal outcome. *)
+          let polls = ref 0 in
+          if wait then
+            while A.get state = 0 && !polls < 6 do
+              incr polls
+            done;
+          if (not wait) || A.get state <> 0 then begin
+            r1 := A.read result;
+            (* Release: reset to pending, clear the slot... *)
+            A.set state 0;
+            A.write result 0;
+            (* ...and immediately reuse the frame for an unrelated
+               un-stolen fork whose child writes 99 inline. *)
+            A.write result 99;
+            r2 := A.read result
+          end
+        in
+        {
+          Explore.threads = [| ("owner", owner); ("thief", thief) |];
+          signal = None;
+          check =
+            (fun () ->
+              if !r1 < 0 then Ok () (* gave up waiting: frame never consumed *)
+              else if !r1 = 42 && !r2 = 99 then Ok ()
+              else
+                Error
+                  (Printf.sprintf
+                     "frame recycled too early: joined result %d, next use read %d (want 42 then 99)"
+                     !r1 !r2));
+        });
+  }
+
 (* {2 Instantiations} *)
 
 module Split_sim = Split
@@ -457,6 +525,7 @@ let all =
     chase_wrap;
     lace_script;
     private_script;
+    frame_protocol ~wait:true ~name:"frame_reuse" ~expect_violation:false;
   ]
 
 (* The checker's self-test: each seeded mutation re-introduces one
@@ -467,6 +536,7 @@ let mutants =
     Mutant_fence.two_exposed ~name:"mutant_drop_fence" ~expect_violation:true;
     Mutant_tag.last_task ~name:"mutant_drop_tag_bump" ~expect_violation:true;
     Mutant_repair.repair ~name:"mutant_drop_bot_repair" ~expect_violation:true;
+    frame_protocol ~wait:false ~name:"mutant_frame_recycle_early" ~expect_violation:true;
   ]
 
 let find name =

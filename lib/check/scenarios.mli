@@ -28,6 +28,13 @@ module Mk_split (S : Lcws_deque.Split_deque.S) : sig
   val expose_half : name:string -> expect_violation:bool -> Explore.scenario
 end
 
+(** The scheduler's join-frame recycling protocol (result slot + SC
+    completion word), modeled directly on simulated cells. [wait:true] is
+    the real protocol (owner reuses the frame only after observing the
+    completion flag); [wait:false] seeds the recycled-too-early bug and
+    must yield a counterexample. *)
+val frame_protocol : wait:bool -> name:string -> expect_violation:bool -> Explore.scenario
+
 (** The standing catalogue: clean deques (plus the deliberate
     [split_signal_unsafe_demo], which reproduces the paper's Section 4
     bug and is {e expected} to fail). *)

@@ -38,6 +38,7 @@ module Metrics = Lcws_sync.Metrics
 module Xoshiro = Lcws_sync.Xoshiro
 module Backoff = Lcws_sync.Backoff
 module Fastmath = Lcws_sync.Fastmath
+module Padding = Lcws_sync.Padding
 module Deque_intf = Lcws_deque.Deque_intf
 module Split_deque = Lcws_deque.Split_deque
 module Chase_lev = Lcws_deque.Chase_lev

@@ -28,7 +28,13 @@
 
 type 'a t = 'a Atomic.t
 
-let make ?name:_ v = Atomic.make v
+(* Thief-visible words ([top]/[age], [public_bot], owner fence cells)
+   each get their own cache line: adjacent workers' deques are created
+   back-to-back, and an unpadded 1-word atomic would share its line —
+   and therefore every thief CAS and owner SC store — with a
+   neighbour's. The primitives below only ever touch field 0, so the
+   widened block is free at access time. *)
+let make ?name:_ v = Lcws_sync.Padding.atomic v
 
 external get : 'a t -> 'a = "%atomic_load"
 
@@ -42,7 +48,9 @@ external compare_and_set : 'a t -> 'a -> 'a -> bool = "%atomic_cas"
 
 type 'a plain = 'a ref
 
-let plain ?name:_ v = ref v
+(* [bot] is owner-written but racily thief-read ([pop_top]'s
+   private-work heuristic), so it gets a line of its own too. *)
+let plain ?name:_ v = Lcws_sync.Padding.plain v
 
 external read : 'a plain -> 'a = "%field0"
 

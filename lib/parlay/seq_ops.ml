@@ -21,11 +21,15 @@ let iteri ?grain f a =
 
 let iter ?grain f a = iteri ?grain (fun _ x -> f x) a
 
-let rec reduce_range op zero a grain lo hi =
+(* The workhorse behind every reduction here: fold [f i] over an index
+   range, splitting by fork/join down to grain-sized sequential leaves.
+   Nothing is materialized per element, so reductions whose input is a
+   function of the index (not an array) run allocation-free. *)
+let rec mr_range f op zero grain lo hi =
   if hi - lo <= grain then begin
     let acc = ref zero in
     for i = lo to hi - 1 do
-      acc := op !acc a.(i)
+      acc := op !acc (f i)
     done;
     S.tick ();
     !acc
@@ -34,46 +38,26 @@ let rec reduce_range op zero a grain lo hi =
     let mid = lo + ((hi - lo) / 2) in
     let l, r =
       S.fork_join
-        (fun () -> reduce_range op zero a grain lo mid)
-        (fun () -> reduce_range op zero a grain mid hi)
+        (fun () -> mr_range f op zero grain lo mid)
+        (fun () -> mr_range f op zero grain mid hi)
     in
     op l r
+  end
+
+let map_reduce_range ?grain f op zero ~lo ~hi =
+  if hi <= lo then zero
+  else begin
+    let grain = match grain with Some g -> max 1 g | None -> default_grain (hi - lo) in
+    mr_range f op zero grain lo hi
   end
 
 let reduce ?grain op zero a =
   let n = Array.length a in
-  if n = 0 then zero
-  else begin
-    let grain = match grain with Some g -> max 1 g | None -> default_grain n in
-    reduce_range op zero a grain 0 n
-  end
-
-let rec map_reduce_range f op zero a grain lo hi =
-  if hi - lo <= grain then begin
-    let acc = ref zero in
-    for i = lo to hi - 1 do
-      acc := op !acc (f a.(i))
-    done;
-    S.tick ();
-    !acc
-  end
-  else begin
-    let mid = lo + ((hi - lo) / 2) in
-    let l, r =
-      S.fork_join
-        (fun () -> map_reduce_range f op zero a grain lo mid)
-        (fun () -> map_reduce_range f op zero a grain mid hi)
-    in
-    op l r
-  end
+  if n = 0 then zero else map_reduce_range ?grain (fun i -> a.(i)) op zero ~lo:0 ~hi:n
 
 let map_reduce ?grain f op zero a =
   let n = Array.length a in
-  if n = 0 then zero
-  else begin
-    let grain = match grain with Some g -> max 1 g | None -> default_grain n in
-    map_reduce_range f op zero a grain 0 n
-  end
+  if n = 0 then zero else map_reduce_range ?grain (fun i -> f a.(i)) op zero ~lo:0 ~hi:n
 
 (* Two-pass blocked exclusive scan: per-block sums, a (short) sequential
    scan over them, then per-block prefix rewrites. *)
@@ -134,8 +118,32 @@ let filter_mapi ?grain f a =
   if n = 0 then [||]
   else begin
     let mapped = tabulate ?grain n (fun i -> f i a.(i)) in
-    let flags = tabulate ?grain n (fun i -> match mapped.(i) with Some _ -> 1 | None -> 0) in
-    let pos, total = scan ?grain ( + ) 0 flags in
+    (* Fused blocked compaction: the flag pass is folded into the
+       block-count pass (no n-element flags array), and each block
+       compacts into [out] by walking [mapped] from its own offset (no
+       n-element positions array either) — one count traversal and one
+       write traversal over [mapped], two O(n) temporaries fewer than
+       going through a full [scan]. *)
+    let block =
+      match grain with Some g -> max 1 g | None -> max 1 (min 4096 (default_grain n * 4))
+    in
+    let nblocks = (n + block - 1) / block in
+    let counts =
+      tabulate ~grain:1 nblocks (fun b ->
+          let lo = b * block and hi = min n ((b + 1) * block) in
+          let c = ref 0 in
+          for i = lo to hi - 1 do
+            match mapped.(i) with Some _ -> incr c | None -> ()
+          done;
+          !c)
+    in
+    let offsets = Array.make nblocks 0 in
+    let total = ref 0 in
+    for b = 0 to nblocks - 1 do
+      offsets.(b) <- !total;
+      total := !total + counts.(b)
+    done;
+    let total = !total in
     if total = 0 then [||]
     else begin
       let first =
@@ -143,8 +151,17 @@ let filter_mapi ?grain f a =
         find 0
       in
       let out = Array.make total first in
-      S.parallel_for ?grain ~start:0 ~stop:n (fun i ->
-          match mapped.(i) with Some x -> out.(pos.(i)) <- x | None -> ());
+      S.parallel_for ~grain:1 ~start:0 ~stop:nblocks (fun b ->
+          let lo = b * block and hi = min n ((b + 1) * block) in
+          let j = ref offsets.(b) in
+          for i = lo to hi - 1 do
+            match mapped.(i) with
+            | Some x ->
+                out.(!j) <- x;
+                incr j
+            | None -> ()
+          done;
+          S.tick ());
       out
     end
   end
@@ -175,15 +192,19 @@ let flatten parts =
     out
   end
 
+(* Reduce over the index range directly — the former version tabulated
+   an n-element identity index array just to reduce it away again. *)
 let extreme_index keep cmp a =
   let n = Array.length a in
   if n = 0 then invalid_arg "Seq_ops.extreme_index: empty array";
-  let idx = tabulate n (fun i -> i) in
   let pick i j =
     let c = cmp a.(i) a.(j) in
     if keep c then i else if c = 0 then min i j else j
   in
-  reduce (fun i j -> if i < 0 then j else if j < 0 then i else pick i j) (-1) idx
+  map_reduce_range
+    (fun i -> i)
+    (fun i j -> if i < 0 then j else if j < 0 then i else pick i j)
+    (-1) ~lo:0 ~hi:n
 
 let min_index cmp a = extreme_index (fun c -> c < 0) cmp a
 

@@ -29,6 +29,15 @@ val reduce : ?grain:int -> ('a -> 'a -> 'a) -> 'a -> 'a array -> 'a
     intermediate array. *)
 val map_reduce : ?grain:int -> ('a -> 'b) -> ('b -> 'b -> 'b) -> 'b -> 'a array -> 'b
 
+(** [map_reduce_range f op zero ~lo ~hi] folds [f i] over the index range
+    [lo <= i < hi] with [op] (associative, identity [zero]), splitting in
+    parallel down to grain-sized sequential leaves. Nothing is
+    materialized per element, so index-function reductions (e.g.
+    {!min_index}) run without any O(n) temporaries. [zero] is returned
+    when the range is empty. *)
+val map_reduce_range :
+  ?grain:int -> (int -> 'a) -> ('a -> 'a -> 'a) -> 'a -> lo:int -> hi:int -> 'a
+
 (** [scan op zero a] is the exclusive prefix scan: returns [(s, total)]
     where [s.(i) = fold op zero a.(0..i-1)]. Two-pass blocked algorithm. *)
 val scan : ?grain:int -> ('a -> 'a -> 'a) -> 'a -> 'a array -> 'a array * 'a
@@ -41,7 +50,9 @@ val pack : ?grain:int -> bool array -> 'a array -> 'a array
 
 val filter : ?grain:int -> ('a -> bool) -> 'a array -> 'a array
 
-(** [filter_mapi f a] keeps the [Some] results of [f i a.(i)], in order. *)
+(** [filter_mapi f a] keeps the [Some] results of [f i a.(i)], in order.
+    Blocked compaction fusing the flag pass into the block-count pass:
+    no per-element flags or positions arrays are materialized. *)
 val filter_mapi : ?grain:int -> (int -> 'a -> 'b option) -> 'a array -> 'b array
 
 (** Indices [i] with [p i a.(i)], in order. *)

@@ -1,6 +1,7 @@
 module Metrics = Lcws_sync.Metrics
 module Xoshiro = Lcws_sync.Xoshiro
 module Backoff = Lcws_sync.Backoff
+module Padding = Lcws_sync.Padding
 module Trace = Lcws_trace.Trace
 open Lcws_deque.Deque_intf
 
@@ -34,6 +35,8 @@ let variant_of_string s =
   | _ -> None
 
 type task = unit -> unit
+
+let dummy_task : task = fun () -> ()
 
 (* The deque implementations, instantiated at [task] and packed as
    first-class modules: the scheduler is generic over the DEQUE signature
@@ -79,6 +82,69 @@ let default_deque_impl = function
   | Ws -> chase_lev_impl
   | Uslcws | Signal | Cons | Half -> split_deque_impl
 
+(* {2 Join frames}
+
+   One [fork_join] needs a result slot and a completion word for its
+   child. Allocating them per call (plus a closure to tie them
+   together) puts heap traffic and write barriers on the hot path of
+   every fork — exactly the per-fork overhead the LCWS design is meant
+   to avoid paying. Instead each worker keeps a LIFO pool of reusable
+   frames:
+
+   - [fn] holds the child closure for this use of the frame ([Obj.t] so
+     one frame serves every result type; the callers re-type it with
+     the locally-abstract types of their [fork_join]);
+   - [task] is a trampoline closure allocated once per frame, pushed on
+     the deque in place of a per-call closure; a thief that steals it
+     runs the frame's current [fn] and publishes into the frame;
+   - [state]/[result] are only ever touched on the stolen path: the
+     un-stolen fast path pops [task] straight back (identity test
+     against the frame) and runs [fn] inline with plain accesses only.
+
+   Frame discipline is strictly LIFO per worker: nested forks — and
+   tasks run while helping, which fork in turn — acquire above and
+   release before their parent does, so acquire/release is a pointer
+   bump. A frame is recycled only after its child's outcome has been
+   consumed, which the stolen path orders through the SC [state] flag
+   ([lib/check]'s frame scenarios explore exactly this protocol,
+   including a seeded recycled-too-early mutant). [state] sits in its
+   own cache line so a thief's completion store does not collide with
+   neighbouring frames of the victim's pool. *)
+
+type frame = {
+  state : int Atomic.t; (* frame_pending / frame_done / frame_exn; padded *)
+  mutable result : Obj.t; (* child outcome; valid once state flips *)
+  mutable fn : Obj.t; (* the (unit -> _) child of the current use *)
+  mutable task : task; (* preallocated trampoline for this frame *)
+}
+
+let frame_pending = 0
+
+let frame_done = 1
+
+let frame_exn = 2
+
+let unit_obj = Obj.repr ()
+
+(* Runs on whoever took the frame's task — the stolen path. The result
+   write must be visible before the flag flip; [Atomic.set] is an SC
+   store, so the owner's read of [state] orders the read of [result]. *)
+let exec_frame fr =
+  match (Obj.obj fr.fn : unit -> Obj.t) () with
+  | v ->
+      fr.result <- v;
+      Atomic.set fr.state frame_done
+  | exception e ->
+      fr.result <- Obj.repr e;
+      Atomic.set fr.state frame_exn
+
+let make_frame () =
+  let fr = { state = Padding.atomic frame_pending; result = unit_obj; fn = unit_obj; task = dummy_task } in
+  fr.task <- (fun () -> exec_frame fr);
+  fr
+
+let initial_frames = 64
+
 type worker = {
   id : int;
   metrics : Metrics.t;
@@ -87,7 +153,31 @@ type worker = {
   signal_pending : bool Atomic.t;
   rng : Xoshiro.t;
   backoff : Backoff.t;
+  mutable frames : frame array; (* the worker's LIFO frame pool... *)
+  mutable frame_top : int; (* ...and its stack pointer *)
 }
+
+let acquire_frame w =
+  let top = w.frame_top in
+  if top = Array.length w.frames then begin
+    (* Double the pool. Existing frames keep their identity — each is
+       aliased by its own trampoline and possibly live in the deque. *)
+    let n = Array.length w.frames in
+    w.frames <- Array.init (2 * n) (fun i -> if i < n then w.frames.(i) else make_frame ())
+  end;
+  let fr = w.frames.(top) in
+  w.frame_top <- top + 1;
+  fr
+
+(* Only legal once the frame's child outcome has been consumed (or the
+   push that would have exposed it failed): the caller guarantees no
+   thief can still touch [fr]. *)
+let release_frame w fr =
+  fr.fn <- unit_obj;
+  fr.result <- unit_obj;
+  let top = w.frame_top - 1 in
+  assert (w.frames.(top) == fr);
+  w.frame_top <- top
 
 type pool = {
   pvariant : variant;
@@ -106,8 +196,6 @@ type pool = {
 
 let ctx_key : (pool * worker) option Domain.DLS.key =
   Domain.DLS.new_key (fun () -> None)
-
-let dummy_task : task = fun () -> ()
 
 let exposure_policy = function
   | Uslcws | Signal -> Expose_one
@@ -358,10 +446,15 @@ module Pool = struct
         id;
         metrics;
         deque = make impl ~capacity:deque_capacity ~dummy:dummy_task ~metrics;
-        targeted = Atomic.make false;
-        signal_pending = Atomic.make false;
+        (* Thief-written flags get a cache line each: a notify to one
+           worker must not invalidate the line a neighbour's flag (or an
+           adjacent worker record's fields) lives on. *)
+        targeted = Padding.atomic false;
+        signal_pending = Padding.atomic false;
         rng = Xoshiro.split root_rng id;
         backoff = Backoff.create ~min_wait:1 ~max_wait:64 ~metrics ();
+        frames = Array.init initial_frames (fun _ -> make_frame ());
+        frame_top = 0;
       }
     in
     let pool =
@@ -448,7 +541,96 @@ let my_id () = match Domain.DLS.get ctx_key with None -> 0 | Some (_, w) -> w.id
 let num_workers () =
   match Domain.DLS.get ctx_key with None -> 1 | Some (pool, _) -> pool.nw
 
-type 'a outcome = Done of 'a | Failed of exn
+(* The slow join path: [fr]'s child left our deque (a thief has it, or
+   exposure moved it public and someone raced us to it). Help with other
+   work until the frame's completion flag flips, then consume the
+   outcome and recycle the frame. *)
+let join_frame_stolen pool w fr : Obj.t =
+  let tr = pool.trace in
+  let traced = Trace.enabled tr in
+  let search_start = ref (-1) in
+  let idle_enter () =
+    if traced && !search_start < 0 then begin
+      let time = Trace.now tr in
+      search_start := time;
+      Trace.record_idle_enter tr ~worker:w.id ~time
+    end
+  in
+  let idle_exit () =
+    if traced && !search_start >= 0 then begin
+      Trace.record_idle_exit tr ~worker:w.id ~time:(Trace.now tr);
+      search_start := -1
+    end
+  in
+  Backoff.reset w.backoff;
+  while Atomic.get fr.state = frame_pending do
+    handle_pending pool w;
+    match pop_own pool w with
+    | Some t ->
+        idle_exit ();
+        Backoff.reset w.backoff;
+        run_task pool w t
+    | None ->
+        if Atomic.get fr.state = frame_pending then begin
+          w.metrics.idle_loops <- w.metrics.idle_loops + 1;
+          idle_enter ();
+          match steal_once pool w ~search_start:!search_start with
+          | Some t ->
+              idle_exit ();
+              Backoff.reset w.backoff;
+              run_task pool w t
+          | None -> idle_pause pool w
+        end
+  done;
+  idle_exit ();
+  (* The SC read of [state] above ordered the executor's [result] write
+     before this read. Reset state so the recycled frame is pending. *)
+  let st = Atomic.get fr.state in
+  let r = fr.result in
+  Atomic.set fr.state frame_pending;
+  release_frame w fr;
+  if st = frame_exn then raise (Obj.obj r : exn) else r
+
+(* Join on [fr] after the owner's own branch finished: the common case
+   pops the frame's task straight back off the private bottom and runs
+   the child inline — the frame's [state]/[result] are never touched, so
+   an un-stolen fork/join does zero SC round trips and allocates nothing
+   beyond its branch closures. *)
+let rec join_frame pool w fr : Obj.t =
+  (* One poll per join keeps the exposure-latency bound of the
+     signal-based variants through fork-heavy recursions (the pre-frame
+     code polled here too, via its wait loop's first iteration). *)
+  handle_pending pool w;
+  match pop_own pool w with
+  | Some t ->
+      if t == fr.task then begin
+        w.metrics.tasks_run <- w.metrics.tasks_run + 1;
+        let tr = pool.trace in
+        let traced = Trace.enabled tr in
+        if traced then Trace.record_task_start tr ~worker:w.id ~time:(Trace.now tr);
+        match (Obj.obj fr.fn : unit -> Obj.t) () with
+        | v ->
+            if traced then Trace.record_task_end tr ~worker:w.id ~time:(Trace.now tr);
+            release_frame w fr;
+            v
+        | exception e ->
+            if traced then Trace.record_task_end tr ~worker:w.id ~time:(Trace.now tr);
+            release_frame w fr;
+            raise e
+      end
+      else begin
+        (* Not ours: helping re-entered the scheduler under this join and
+           left other work above our frame's task. Run it and retry. *)
+        run_task pool w t;
+        join_frame pool w fr
+      end
+  | None -> join_frame_stolen pool w fr
+
+(* Join-and-discard for the [f]-raised path: [f]'s exception has
+   priority, but the child must still be joined — its outcome consumed
+   or the task run — before the frame can recycle. *)
+let join_frame_discard pool w fr =
+  match join_frame pool w fr with _ -> () | exception _ -> ()
 
 let fork_join (type a b) (f : unit -> a) (g : unit -> b) : a * b =
   match Domain.DLS.get ctx_key with
@@ -457,84 +639,122 @@ let fork_join (type a b) (f : unit -> a) (g : unit -> b) : a * b =
       let b = g () in
       (a, b)
   | Some (pool, w) ->
-      let done_ = Atomic.make false in
-      let slot : b outcome option ref = ref None in
-      let gtask () =
-        (match g () with
-        | v -> slot := Some (Done v)
-        | exception e -> slot := Some (Failed e));
-        (* Publish the slot write before the flag (SC store). *)
-        Atomic.set done_ true
-      in
-      push_task pool w gtask;
-      let fa = match f () with v -> Done v | exception e -> Failed e in
-      (* Join phase: common case — pop [gtask] right back and run it
-         inline; otherwise help with other work until [g] completes. *)
-      let tr = pool.trace in
-      let traced = Trace.enabled tr in
-      let search_start = ref (-1) in
-      let idle_enter () =
-        if traced && !search_start < 0 then begin
-          let time = Trace.now tr in
-          search_start := time;
-          Trace.record_idle_enter tr ~worker:w.id ~time
-        end
-      in
-      let idle_exit () =
-        if traced && !search_start >= 0 then begin
-          Trace.record_idle_exit tr ~worker:w.id ~time:(Trace.now tr);
-          search_start := -1
-        end
-      in
-      Backoff.reset w.backoff;
-      while not (Atomic.get done_) do
-        handle_pending pool w;
-        match pop_own pool w with
-        | Some t ->
-            idle_exit ();
-            Backoff.reset w.backoff;
-            run_task pool w t
-        | None ->
-            if not (Atomic.get done_) then begin
-              w.metrics.idle_loops <- w.metrics.idle_loops + 1;
-              idle_enter ();
-              match steal_once pool w ~search_start:!search_start with
-              | Some t ->
-                  idle_exit ();
-                  Backoff.reset w.backoff;
-                  run_task pool w t
-              | None -> idle_pause pool w
-            end
-      done;
-      idle_exit ();
-      let gb = match !slot with Some r -> r | None -> assert false in
-      let a = match fa with Done v -> v | Failed e -> raise e in
-      let b = match gb with Done v -> v | Failed e -> raise e in
-      (a, b)
+      let fr = acquire_frame w in
+      (* [g]'s result travels through the frame's [Obj.t] slot; the
+         boxing closure is the only per-call allocation besides the
+         result tuple. *)
+      fr.fn <- Obj.repr (fun () -> Obj.repr (g ()));
+      (match push_task pool w fr.task with
+      | () -> ()
+      | exception e ->
+          (* Deque rejected the push (capacity): nothing was exposed, the
+             frame can recycle immediately. *)
+          release_frame w fr;
+          raise e);
+      (match f () with
+      | a ->
+          let b : b = Obj.obj (join_frame pool w fr) in
+          (a, b)
+      | exception e ->
+          join_frame_discard pool w fr;
+          raise e)
 
-let fork_join_unit f g =
-  let (() : unit), (() : unit) = fork_join f g in
-  ()
+(* Specialized: no result boxing, no tuple — the un-stolen fast path
+   allocates only [fn]'s closure (and nothing at all when [g] is a
+   top-level function wrapped by a constant closure). *)
+let fork_join_unit (f : unit -> unit) (g : unit -> unit) : unit =
+  match Domain.DLS.get ctx_key with
+  | None ->
+      f ();
+      g ()
+  | Some (pool, w) ->
+      let fr = acquire_frame w in
+      fr.fn <- Obj.repr (fun () -> g (); unit_obj);
+      (match push_task pool w fr.task with
+      | () -> ()
+      | exception e ->
+          release_frame w fr;
+          raise e);
+      (match f () with
+      | () -> ignore (join_frame pool w fr)
+      | exception e ->
+          join_frame_discard pool w fr;
+          raise e)
+
+(* {2 Lazy binary splitting}
+
+   [parallel_for] used to split its range eagerly into a balanced tree
+   of n/grain leaf tasks: O(n/grain) pushes (and frame uses) even when
+   nothing is ever stolen. The lazy discipline below iterates the range
+   sequentially one grain-sized chunk at a time and only forks the
+   remaining right half off as a stealable task when observed demand
+   asks for it — which collapses task creation to zero at P = 1 and to
+   O(#steals x log(n/grain)) under load, while a stolen half re-enters
+   the same discipline on the thief. The split-off half is pushed
+   through the ordinary [fork_join_unit], so it follows the variant's
+   normal exposure protocol (private push, thief notify, expose at the
+   next poll — the poll each chunk boundary already provides). *)
+
+(* Demand heuristic: split only when the pool actually has thieves and
+   our deque holds nothing they could take. Both reads are cheap ([nw]
+   is immutable, [is_empty] reads the owner-local size words); a deque
+   that still holds unstolen tasks means supply already outruns demand
+   and splitting further would just recreate the eager behaviour. *)
+let want_split pool w =
+  pool.nw > 1
+  &&
+  let (Instance ((module D), d)) = w.deque in
+  D.is_empty d
+
+let rec lazy_for pool w grain body lo hi =
+  if hi - lo <= grain then begin
+    for i = lo to hi - 1 do
+      body i
+    done;
+    (* Poll point: bounds the latency of work-exposure requests for
+       loop computations (the paper's constant-time guarantee). *)
+    handle_pending pool w
+  end
+  else if want_split pool w then begin
+    let mid = lo + ((hi - lo) / 2) in
+    w.metrics.splits <- w.metrics.splits + 1;
+    let tr = pool.trace in
+    if Trace.enabled tr then
+      Trace.record_split tr ~worker:w.id ~time:(Trace.now tr) ~iters:(hi - mid);
+    fork_join_unit
+      (fun () -> lazy_for_enter grain body lo mid)
+      (fun () -> lazy_for_enter grain body mid hi)
+  end
+  else begin
+    (* hi - lo > grain, so [mid < hi]: progress is guaranteed. *)
+    let mid = lo + grain in
+    for i = lo to mid - 1 do
+      body i
+    done;
+    handle_pending pool w;
+    lazy_for pool w grain body mid hi
+  end
+
+(* A split half can run on whichever worker took it: rebind the context
+   from the executing domain rather than capturing the splitter's. *)
+and lazy_for_enter grain body lo hi =
+  match Domain.DLS.get ctx_key with
+  | None ->
+      for i = lo to hi - 1 do
+        body i
+      done
+  | Some (pool, w) -> lazy_for pool w grain body lo hi
 
 let parallel_for ?grain ~start ~stop body =
   let n = stop - start in
   if n > 0 then begin
-    let p = num_workers () in
-    let default_grain = max 1 (min 2048 (n / (8 * p))) in
-    let grain = match grain with Some g -> max 1 g | None -> default_grain in
-    let rec go lo hi =
-      if hi - lo <= grain then begin
-        for i = lo to hi - 1 do
+    match Domain.DLS.get ctx_key with
+    | None ->
+        for i = start to stop - 1 do
           body i
-        done;
-        (* Poll point: bounds the latency of work-exposure requests for
-           loop computations (the paper's constant-time guarantee). *)
-        tick ()
-      end
-      else begin
-        let mid = lo + ((hi - lo) / 2) in
-        fork_join_unit (fun () -> go lo mid) (fun () -> go mid hi)
-      end
-    in
-    go start stop
+        done
+    | Some (pool, w) ->
+        let default_grain = max 1 (min 2048 (n / (8 * pool.nw))) in
+        let grain = match grain with Some g -> max 1 g | None -> default_grain in
+        lazy_for pool w grain body start stop
   end

@@ -145,16 +145,33 @@ end
 (** [fork_join f g] runs [f] and [g] in parallel and returns both results.
     [g] is pushed on the calling worker's deque (stealable); [f] runs
     immediately (work-first). While waiting for a stolen [g], the worker
-    helps: it executes tasks from its own deque or steals. *)
+    helps: it executes tasks from its own deque or steals.
+
+    The join state (result slot + completion word) comes from a
+    per-worker pool of reusable frames rather than fresh allocations:
+    when [g] was not stolen — the overwhelmingly common case — the
+    worker pops it straight back and runs it inline without touching the
+    frame's atomic at all, so an un-stolen fork/join costs no SC round
+    trip and only a few words of short-lived allocation (the branch
+    closures and, for [fork_join], the result tuple). *)
 val fork_join : (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
 
+(** Like {!fork_join} for unit branches, skipping the result boxing and
+    tuple: with top-level (constant-closure) branches the un-stolen path
+    allocates nothing. *)
 val fork_join_unit : (unit -> unit) -> (unit -> unit) -> unit
 
 (** [parallel_for ?grain ~start ~stop body] applies [body i] for
-    [start <= i < stop] by balanced binary splitting; leaves of at most
-    [grain] iterations run sequentially, with a {!tick} poll point per
-    leaf (this is what makes exposure-request handling constant-time for
-    loop-shaped computations). *)
+    [start <= i < stop] by {e lazy binary splitting}: the calling worker
+    iterates its range sequentially one grain-sized chunk at a time
+    (with a {!tick}-equivalent poll point per chunk — this is what makes
+    exposure-request handling constant-time for loop-shaped
+    computations), and forks the remaining right half off as a stealable
+    task only when its deque is empty and other workers exist, i.e. when
+    observed demand could not otherwise be met. An un-stolen loop on one
+    worker therefore creates no tasks at all (versus O(n/grain) for the
+    former eager splitting), and under load task creation is
+    proportional to the number of steals. *)
 val parallel_for : ?grain:int -> start:int -> stop:int -> (int -> unit) -> unit
 
 (** Poll point: on signal-based variants, handle a pending work-exposure

@@ -16,6 +16,7 @@ type t = {
   mutable idle_loops : int;
   mutable backoffs : int;
   mutable tasks_run : int;
+  mutable splits : int;
 }
 
 let create () =
@@ -37,6 +38,7 @@ let create () =
     idle_loops = 0;
     backoffs = 0;
     tasks_run = 0;
+    splits = 0;
   }
 
 (* The single authoritative field list: every generic operation (reset,
@@ -61,6 +63,7 @@ let fields : (string * (t -> int) * (t -> int -> unit)) list =
     ("idle_loops", (fun t -> t.idle_loops), fun t v -> t.idle_loops <- v);
     ("backoffs", (fun t -> t.backoffs), fun t v -> t.backoffs <- v);
     ("tasks_run", (fun t -> t.tasks_run), fun t v -> t.tasks_run <- v);
+    ("splits", (fun t -> t.splits), fun t v -> t.splits <- v);
   ]
 
 let to_assoc t = List.map (fun (name, get, _) -> (name, get t)) fields

@@ -24,6 +24,7 @@ type t = {
   mutable idle_loops : int;  (** scheduling-loop iterations without work *)
   mutable backoffs : int;  (** backoff pauses taken in retry loops *)
   mutable tasks_run : int;  (** tasks executed *)
+  mutable splits : int;  (** lazy loop ranges split into a stealable half *)
 }
 
 val create : unit -> t

@@ -1,0 +1,40 @@
+(* Cache-line padding for thief-visible cells.
+
+   OCaml gives no control over object placement: consecutive
+   [Atomic.make] calls typically land adjacent in the minor heap and are
+   then evacuated adjacently by the compacting major collector, so the
+   per-worker flags of neighbouring workers — or a deque's [top]/[age]
+   word and its neighbour's — end up sharing a cache line. Every CAS or
+   SC store by one worker then invalidates the line under every other
+   worker polling its own cell: false sharing, the classic
+   work-stealing scalability bug (Gu, Napier & Sun measure exactly this
+   cache traffic dominating fine-grained workloads).
+
+   The fix is the multicore-magic trick: re-allocate the 1-word cell
+   inside a cache-line-sized block. All OCaml atomic primitives
+   ([%atomic_load], [%atomic_cas], ...) and [ref] accessors operate on
+   field 0 and never consult the block size, so a widened block behaves
+   identically — the trailing fields are dead ballast the GC scans and
+   ignores ([Obj.new_block] initializes them to [()]).
+
+   128 bytes, not 64: adjacent-line prefetchers on current x86 pull
+   cache lines in pairs, so a 64-byte pad still ping-pongs with one
+   neighbour. *)
+
+let cache_line_words = 16 (* 128 bytes on 64-bit *)
+
+let copy_as_padded (type a) (v : a) : a =
+  let o = Obj.repr v in
+  if (not (Obj.is_block o)) || Obj.tag o >= Obj.no_scan_tag || Obj.size o >= cache_line_words
+  then v
+  else begin
+    let n = Obj.new_block (Obj.tag o) cache_line_words in
+    for i = 0 to Obj.size o - 1 do
+      Obj.set_field n i (Obj.field o i)
+    done;
+    Obj.obj n
+  end
+
+let atomic v = copy_as_padded (Atomic.make v)
+
+let plain v = copy_as_padded (ref v)

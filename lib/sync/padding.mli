@@ -1,0 +1,26 @@
+(** Cache-line padding for thief-visible cells.
+
+    OCaml offers no placement control, so independently-allocated 1-word
+    atomics (per-worker flags, deque [top]/[age] words) end up adjacent
+    in the heap and false-share cache lines across workers. These
+    helpers re-allocate such cells inside a cache-line-sized block; all
+    atomic and [ref] primitives operate on field 0 only, so the widened
+    block is behaviourally identical. *)
+
+(** Words per padded block: 16 on 64-bit (128 bytes — two 64-byte lines,
+    because adjacent-line prefetchers pull lines in pairs). *)
+val cache_line_words : int
+
+(** [copy_as_padded v] returns a copy of the heap block [v] widened to
+    {!cache_line_words} words (extra fields hold [()]). Immediates,
+    non-scannable blocks and already-large blocks are returned
+    unchanged. Only safe for values accessed through field offsets
+    (atomics, refs, records) — not for arrays or values whose consumers
+    call [Obj.size]/[Array.length]. *)
+val copy_as_padded : 'a -> 'a
+
+(** [atomic v] is [Atomic.make v] in its own cache line. *)
+val atomic : 'a -> 'a Atomic.t
+
+(** [plain v] is [ref v] in its own cache line. *)
+val plain : 'a -> 'a ref

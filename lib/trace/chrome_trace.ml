@@ -1,6 +1,7 @@
 let arg_name = function
   | Trace.Steal_attempt | Trace.Steal_ok | Trace.Steal_empty | Trace.Notify -> "victim"
   | Trace.Expose -> "tasks"
+  | Trace.Split -> "iterations"
   | _ -> ""
 
 (* Trace-event timestamps are microseconds; keep nanosecond precision as

@@ -10,6 +10,7 @@ type kind =
   | Task_end
   | Idle_enter
   | Idle_exit
+  | Split
 
 let all_kinds =
   [
@@ -24,6 +25,7 @@ let all_kinds =
     Task_end;
     Idle_enter;
     Idle_exit;
+    Split;
   ]
 
 let kind_name = function
@@ -38,6 +40,7 @@ let kind_name = function
   | Task_end -> "task_end"
   | Idle_enter -> "idle_enter"
   | Idle_exit -> "idle_exit"
+  | Split -> "split"
 
 let kind_code = function
   | Steal_attempt -> 0
@@ -51,8 +54,9 @@ let kind_code = function
   | Task_end -> 8
   | Idle_enter -> 9
   | Idle_exit -> 10
+  | Split -> 11
 
-let num_kinds = 11
+let num_kinds = 12
 
 let kind_of_code = function
   | 0 -> Steal_attempt
@@ -66,6 +70,7 @@ let kind_of_code = function
   | 8 -> Task_end
   | 9 -> Idle_enter
   | 10 -> Idle_exit
+  | 11 -> Split
   | c -> invalid_arg (Printf.sprintf "Trace.kind_of_code: %d" c)
 
 (* One per worker; strictly single-writer, like Metrics. *)
@@ -125,8 +130,10 @@ let create ?(capacity = 65536) ?(clock = default_clock) ~num_workers () =
     steal_lat = Array.init num_workers (fun _ -> Histogram.create ());
     expose_lat = Array.init num_workers (fun _ -> Histogram.create ());
     handshake_lat = Array.init num_workers (fun _ -> Histogram.create ());
-    notify_ts = Array.init num_workers (fun _ -> Atomic.make (-1));
-    handshake_ts = Array.init num_workers (fun _ -> Atomic.make (-1));
+    (* Cross-worker correlation cells (thief writes, victim consumes):
+       one cache line each, or neighbouring victims' cells false-share. *)
+    notify_ts = Array.init num_workers (fun _ -> Lcws_sync.Padding.atomic (-1));
+    handshake_ts = Array.init num_workers (fun _ -> Lcws_sync.Padding.atomic (-1));
   }
 
 let enabled t = t.on
@@ -206,6 +213,9 @@ let record_idle_enter t ~worker ~time =
 
 let record_idle_exit t ~worker ~time =
   if t.on then emit_code t worker 10 (* Idle_exit *) ~time ~arg:0
+
+let record_split t ~worker ~time ~iters =
+  if t.on then emit_code t worker 11 (* Split *) ~time ~arg:iters
 
 (* --- reading ---------------------------------------------------------- *)
 

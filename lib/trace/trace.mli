@@ -39,6 +39,7 @@ type kind =
   | Task_end  (** a task finished *)
   | Idle_enter  (** worker entered the work-search loop *)
   | Idle_exit  (** worker left the work-search loop *)
+  | Split  (** lazy loop split off a stealable half; arg = #iterations *)
 
 val all_kinds : kind list
 
@@ -97,6 +98,10 @@ val record_task_end : t -> worker:int -> time:int -> unit
 val record_idle_enter : t -> worker:int -> time:int -> unit
 
 val record_idle_exit : t -> worker:int -> time:int -> unit
+
+(** A lazy [parallel_for] split off a stealable right half of [iters]
+    iterations in response to observed demand. *)
+val record_split : t -> worker:int -> time:int -> iters:int -> unit
 
 (** {2 Reading a trace back} *)
 
