@@ -1,0 +1,147 @@
+(* Chaos CLI: seeded fault-injection runs against the real scheduler.
+
+     lcws_chaos plans
+     lcws_chaos run [--wseed S] [--plan PRESET|SPEC] [--variant V]
+                    [--deque D] [--workers N] [-v]
+     lcws_chaos sweep [--seeds N] [--start-seed S] [--plans a,b,c]
+                      [--variants v1,v2] [--workers N] [--out FILE] [-v]
+
+   [run] replays one case; its repro line is exactly what [sweep] prints
+   for a failure, so a red CI job reduces to copying one line. --plan
+   accepts a preset name or a Fault.plan_of_string spec such as
+   "seed=7,drop=0.5,delay=0.3:6". [sweep] exits non-zero if any case in
+   the matrix fails and writes the failing repro lines to --out. *)
+
+module Chaos = Lcws.Chaos
+module Fault = Lcws.Fault
+module Scheduler = Lcws.Scheduler
+
+let usage () =
+  prerr_endline
+    "usage: lcws_chaos plans\n\
+    \       lcws_chaos run [--wseed S] [--plan PRESET|SPEC] [--variant V] [--deque D]\n\
+    \                      [--workers N] [-v]\n\
+    \       lcws_chaos sweep [--seeds N] [--start-seed S] [--plans a,b,c]\n\
+    \                        [--variants v1,v2] [--workers N] [--out FILE] [-v]";
+  exit 2
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 2) fmt
+
+let plan_arg ~seed s =
+  match Fault.preset ~seed s with
+  | Some p -> p
+  | None -> (
+      match Fault.plan_of_string s with
+      | Ok p -> p
+      | Error m -> die "--plan %S: not a preset (%s) and not a spec: %s" s
+                     (String.concat "," Fault.preset_names) m)
+
+let variant_arg s =
+  match Scheduler.variant_of_string s with
+  | Some v -> v
+  | None -> die "unknown variant %S" s
+
+let deque_arg s =
+  match Scheduler.deque_impl_of_string s with
+  | Some d -> d
+  | None -> die "unknown deque %S" s
+
+let plans_cmd () =
+  List.iter
+    (fun name ->
+      match Fault.preset name with
+      | Some p -> Printf.printf "%-8s %s\n" name (Fault.plan_to_string p)
+      | None -> ())
+    Fault.preset_names
+
+let run_cmd args =
+  let wseed = ref 1L and plan = ref "mixed" and variant = ref "signal" in
+  let deque = ref None and workers = ref 4 and verbose = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--wseed" :: s :: tl ->
+        wseed := (match Int64.of_string_opt s with Some s -> s | None -> usage ());
+        parse tl
+    | "--plan" :: s :: tl -> plan := s; parse tl
+    | "--variant" :: s :: tl -> variant := s; parse tl
+    | "--deque" :: s :: tl -> deque := Some s; parse tl
+    | "--workers" :: s :: tl ->
+        workers := (match int_of_string_opt s with Some n when n >= 1 -> n | _ -> usage ());
+        parse tl
+    | "-v" :: tl -> verbose := true; parse tl
+    | _ -> usage ()
+  in
+  parse args;
+  let variant = variant_arg !variant in
+  let deque =
+    match !deque with Some d -> deque_arg d | None -> Scheduler.default_deque_impl variant
+  in
+  let plan = plan_arg ~seed:!wseed !plan in
+  let r = Chaos.run_one ~variant ~deque ~num_workers:!workers ~plan ~wseed:!wseed () in
+  Format.printf "%a@." Chaos.pp_report r;
+  if !verbose then begin
+    Printf.printf "workload: %s\n" (Chaos.dag_stats (Chaos.gen_dag !wseed));
+    Format.printf "%a@." Lcws.Metrics.pp r.Chaos.metrics
+  end;
+  if not (Chaos.ok r) then exit 1
+
+let sweep_cmd args =
+  let seeds = ref 10 and start_seed = ref 1L and workers = ref 4 in
+  let plans = ref None and variants = ref None and out = ref None and verbose = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--seeds" :: s :: tl ->
+        seeds := (match int_of_string_opt s with Some n when n >= 1 -> n | _ -> usage ());
+        parse tl
+    | "--start-seed" :: s :: tl ->
+        start_seed := (match Int64.of_string_opt s with Some s -> s | None -> usage ());
+        parse tl
+    | "--plans" :: s :: tl -> plans := Some (String.split_on_char ',' s); parse tl
+    | "--variants" :: s :: tl -> variants := Some (String.split_on_char ',' s); parse tl
+    | "--workers" :: s :: tl ->
+        workers := (match int_of_string_opt s with Some n when n >= 1 -> n | _ -> usage ());
+        parse tl
+    | "--out" :: s :: tl -> out := Some s; parse tl
+    | "-v" :: tl -> verbose := true; parse tl
+    | _ -> usage ()
+  in
+  parse args;
+  let seeds = List.init !seeds (fun i -> Int64.add !start_seed (Int64.of_int i)) in
+  let variants = Option.map (List.map variant_arg) !variants in
+  let plans =
+    Option.map
+      (fun names -> List.map (fun n -> (n, plan_arg ~seed:0L n)) names)
+      !plans
+  in
+  (* Named plans are re-seeded per workload seed inside the sweep only
+     when defaulted; explicit --plans keep their given seeds, so replace
+     the seed here per seed batch for the same coverage. *)
+  let progress = if !verbose then print_endline else fun _ -> () in
+  let cases = ref 0 in
+  let progress line = incr cases; progress line in
+  let failures =
+    List.concat_map
+      (fun wseed ->
+        let plans =
+          Option.map (List.map (fun (n, p) -> (n, { p with Fault.seed = wseed }))) plans
+        in
+        Lcws.Chaos.sweep ~num_workers:!workers ?variants ?plans ~progress ~seeds:[ wseed ] ())
+      seeds
+  in
+  Printf.printf "chaos sweep: %d cases, %d failures\n" !cases (List.length failures);
+  List.iter (fun r -> Format.printf "%a@." Chaos.pp_report r) failures;
+  (match !out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      List.iter (fun (r : Chaos.report) -> output_string oc (r.Chaos.repro ^ "\n")) failures;
+      close_out oc;
+      if failures <> [] then Printf.printf "failing repro lines written to %s\n" path);
+  if failures <> [] then exit 1
+
+let () =
+  match Array.to_list Sys.argv |> List.tl with
+  | [ "plans" ] -> plans_cmd ()
+  | "run" :: rest -> run_cmd rest
+  | "sweep" :: rest -> sweep_cmd rest
+  | _ -> usage ()

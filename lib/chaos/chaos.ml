@@ -1,0 +1,239 @@
+module Metrics = Lcws_sync.Metrics
+module Xoshiro = Lcws_sync.Xoshiro
+module Fault = Lcws_fault.Fault
+module Scheduler = Lcws_sched.Scheduler
+
+(* --- workloads -------------------------------------------------------- *)
+
+type dag = Leaf of int | Fork of dag * dag | Loop of int * int
+
+(* A cheap avalanche hash: the checksum must be commutative (chunks run
+   in any order, on any worker) yet sensitive to every contribution, so
+   plain summing of raw indices — where dropping iteration 3 and running
+   iteration 1 twice cancels out — is not enough. *)
+let mix x =
+  let x = x lxor (x lsr 33) in
+  let x = x * 0x2545F4914F6CDD1D in
+  x lxor (x lsr 29)
+
+(* A little opaque spin per unit of work widens the race windows the
+   fault plans aim at; without it most runs finish before a single
+   signal is ever pending. *)
+let spin n =
+  let s = ref 0 in
+  for i = 1 to n do
+    s := !s + i
+  done;
+  ignore (Sys.opaque_identity !s)
+
+let gen_dag seed =
+  let rng = Xoshiro.create seed in
+  let budget = ref (24 + Xoshiro.int rng 40) in
+  let leaf () =
+    if Xoshiro.int rng 3 = 0 then Loop (1 + Xoshiro.int rng 256, Xoshiro.int rng 1_000_000)
+    else Leaf (Xoshiro.int rng 1_000_000)
+  in
+  let rec go depth =
+    decr budget;
+    if depth >= 8 || !budget <= 0 then leaf ()
+    else
+      match Xoshiro.int rng 5 with
+      | 0 | 1 -> leaf ()
+      | _ -> Fork (go (depth + 1), go (depth + 1))
+  in
+  (* Always fork at the root: a chaos case with no parallelism at all
+     exercises nothing. *)
+  Fork (go 1, go 1)
+
+let rec seq_eval = function
+  | Leaf v -> mix v
+  | Loop (n, salt) ->
+      let s = ref 0 in
+      for i = 0 to n - 1 do
+        s := !s + mix (salt + i)
+      done;
+      !s
+  | Fork (l, r) -> seq_eval l + seq_eval r
+
+let dag_stats dag =
+  let rec go (leaves, forks, loops, iters) = function
+    | Leaf _ -> (leaves + 1, forks, loops, iters)
+    | Loop (n, _) -> (leaves, forks, loops + 1, iters + n)
+    | Fork (l, r) ->
+        let leaves, forks, loops, iters = go (go (leaves, forks, loops, iters) l) r in
+        (leaves, forks + 1, loops, iters)
+  in
+  let leaves, forks, loops, iters = go (0, 0, 0, 0) dag in
+  Printf.sprintf "%d leaves, %d forks, %d loops (%d iters)" leaves forks loops iters
+
+(* Per-worker accumulator slots, one cache line apart. The final sum
+   runs on worker 0 after every fork has joined, so the helpers' plain
+   writes are ordered by the frames' completion flags. *)
+let par_eval ~num_workers dag =
+  let stride = 16 in
+  let acc = Array.make (num_workers * stride) 0 in
+  let bump v =
+    let i = Scheduler.my_id () * stride in
+    acc.(i) <- acc.(i) + v
+  in
+  let rec go = function
+    | Leaf v ->
+        spin 64;
+        bump (mix v)
+    | Loop (n, salt) ->
+        (* Small grain: many chunk boundaries = many poll and
+           cancellation points. *)
+        Scheduler.parallel_for ~grain:8 ~start:0 ~stop:n (fun i ->
+            spin 8;
+            bump (mix (salt + i)))
+    | Fork (l, r) -> Scheduler.fork_join_unit (fun () -> go l) (fun () -> go r)
+  in
+  go dag;
+  Array.fold_left ( + ) 0 acc
+
+(* --- one run ---------------------------------------------------------- *)
+
+type outcome = Completed of int | Raised of exn
+
+type report = {
+  repro : string;
+  outcome : outcome;
+  oracle : int;
+  errors : string list;
+  metrics : Metrics.t;
+}
+
+let ok r = r.errors = []
+
+let outcome_to_string = function
+  | Completed c -> Printf.sprintf "completed (checksum %d)" c
+  | Raised e -> "raised " ^ Printexc.to_string e
+
+let pp_report ppf r =
+  Format.fprintf ppf "%s: %s%s" r.repro (outcome_to_string r.outcome)
+    (if ok r then "" else "\n  FAIL: " ^ String.concat "\n  FAIL: " r.errors)
+
+let admissible (plan : Fault.plan) ~oracle = function
+  | Completed c ->
+      if c = oracle then [] else [ Printf.sprintf "checksum %d <> oracle %d" c oracle ]
+  | Raised (Fault.Injected (w, k)) -> (
+      match plan.inject_exn with
+      | Some (w', k') when w' = w && k' = k -> []
+      | _ -> [ Printf.sprintf "Injected(%d,%d) was not in the plan" w k ])
+  | Raised Scheduler.Cancelled ->
+      if plan.cancel_at <> None then []
+      else [ "Cancelled raised but the plan never requests cancellation" ]
+  | Raised e -> [ "unexpected exception " ^ Printexc.to_string e ]
+
+(* The balance sheet must hold for every admissible outcome — normal,
+   injected or cancelled — because exceptional unwinding still joins
+   every frame and consumes every pushed task. *)
+let balance ~split (m : Metrics.t) =
+  let errs = ref [] in
+  let check cond fmt =
+    Printf.ksprintf (fun msg -> if not cond then errs := msg :: !errs) fmt
+  in
+  check (m.steals <= m.steal_attempts) "steals %d > steal_attempts %d" m.steals m.steal_attempts;
+  check
+    (m.pushes = m.pops + m.public_pops + m.steals)
+    "pushes %d <> pops %d + public_pops %d + steals %d" m.pushes m.pops m.public_pops m.steals;
+  check (m.tasks_run <= m.pushes) "tasks_run %d > pushes %d" m.tasks_run m.pushes;
+  check
+    (m.signals_handled + m.signals_dropped <= m.signals_sent)
+    "signals handled %d + dropped %d > sent %d" m.signals_handled m.signals_dropped
+    m.signals_sent;
+  if split then
+    check
+      (m.steals + m.public_pops <= m.exposed_tasks)
+      "steals %d + public_pops %d > exposed_tasks %d" m.steals m.public_pops m.exposed_tasks;
+  List.rev !errs
+
+let integrity pool ~split =
+  let errs = ref [] in
+  let check cond fmt =
+    Printf.ksprintf (fun msg -> if not cond then errs := msg :: !errs) fmt
+  in
+  let outstanding = Scheduler.Pool.outstanding_tasks pool in
+  let frames = Scheduler.Pool.frames_in_use pool in
+  check (outstanding = 0) "%d tasks left in deques" outstanding;
+  check (frames = 0) "%d join frames not recycled" frames;
+  (match Scheduler.Pool.check_deque_invariants pool with
+  | Ok () -> ()
+  | Error m -> errs := m :: !errs);
+  List.rev !errs @ balance ~split (Scheduler.Pool.metrics pool)
+
+let repro_line ~variant ~deque ~num_workers ~(plan : Fault.plan) ~wseed =
+  Printf.sprintf "wseed=%Ld plan=\"%s\" variant=%s deque=%s workers=%d" wseed
+    (Fault.plan_to_string plan)
+    (Scheduler.variant_name variant)
+    (Scheduler.deque_impl_name deque)
+    num_workers
+
+let run_one ~variant ~deque ~num_workers ~plan ~wseed () =
+  let repro = repro_line ~variant ~deque ~num_workers ~plan ~wseed in
+  let dag = gen_dag wseed in
+  let oracle = seq_eval dag in
+  let split = Scheduler.deque_impl_name deque = "split" in
+  let pool = Scheduler.Pool.create ~num_workers ~variant ~deque ~fault:plan () in
+  let outcome =
+    match Scheduler.Pool.run pool (fun () -> par_eval ~num_workers dag) with
+    | c -> Completed c
+    | exception e -> Raised e
+  in
+  let errors = admissible plan ~oracle outcome @ integrity pool ~split in
+  Scheduler.Pool.shutdown pool;
+  (* Post-shutdown: the drain must have found nothing (a completed or
+     exceptionally-unwound job leaves no orphan tasks behind). *)
+  let m = Scheduler.Pool.metrics pool in
+  let errors =
+    if m.drained_tasks = 0 then errors
+    else errors @ [ Printf.sprintf "shutdown drained %d orphan tasks" m.drained_tasks ]
+  in
+  { repro; outcome; oracle; errors; metrics = m }
+
+(* --- sweeps ----------------------------------------------------------- *)
+
+let default_plans ~seed =
+  List.filter_map
+    (fun name -> Option.map (fun p -> (name, p)) (Fault.preset ~seed name))
+    Fault.preset_names
+
+let sweep ?(num_workers = 4) ?(variants = Scheduler.all_variants) ?deques ?plans
+    ?(progress = fun _ -> ()) ~seeds () =
+  let failures = ref [] in
+  List.iter
+    (fun wseed ->
+      List.iter
+        (fun variant ->
+          let deques =
+            match deques with
+            | Some ds -> ds
+            | None -> (
+                (* The paper's pairing, plus WS exercised on the split
+                   deque so the owner-side public path sees chaos too. *)
+                match variant with
+                | Scheduler.Ws -> [ Scheduler.chase_lev_impl; Scheduler.split_deque_impl ]
+                | _ -> [ Scheduler.default_deque_impl variant ])
+          in
+          List.iter
+            (fun deque ->
+              if (not (Lcws_deque.Deque_intf.impl_concurrent deque)) && num_workers > 1 then
+                (* Sequential-specification deques only run single-worker. *)
+                ()
+              else
+                let plans =
+                  match plans with Some ps -> ps | None -> default_plans ~seed:wseed
+                in
+                List.iter
+                  (fun (pname, plan) ->
+                    let r = run_one ~variant ~deque ~num_workers ~plan ~wseed () in
+                    progress
+                      (Printf.sprintf "[%s] %s: %s%s" pname r.repro
+                         (outcome_to_string r.outcome)
+                         (if ok r then "" else "  FAIL"));
+                    if not (ok r) then failures := r :: !failures)
+                  plans)
+            deques)
+        variants)
+    seeds;
+  List.rev !failures

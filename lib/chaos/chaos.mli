@@ -1,0 +1,81 @@
+(** Chaos harness: seeded random workloads under seeded fault plans.
+
+    One chaos run draws a random fork/loop DAG from a workload seed,
+    computes its checksum sequentially (the oracle), then runs it on a
+    real pool — any variant, any deque — under a {!Lcws_fault.Fault.plan}
+    and checks that
+
+    - the outcome is {e admissible}: the checksum equals the oracle, or
+      the run raised exactly the planned {!Lcws_fault.Fault.Injected}
+      exception, or it raised {!Lcws_sched.Scheduler.Cancelled} and the
+      plan (or the sweep) actually requested cancellation — nothing else;
+    - the pool is {e intact} afterwards: no task left in any deque, every
+      join frame recycled, the deque size accessors consistent, and the
+      metrics balance sheet exact (pushes = pops + public pops + steals;
+      steals never exceed attempts; split-deque steals and public pops
+      never exceed exposed tasks; handled + dropped signals never exceed
+      sent ones).
+
+    Every failing case reduces to one repro line —
+    [(workload seed, plan, variant, deque, workers)] — that replays the
+    identical fault decisions; the chaos CLI and the CI chaos job consume
+    and emit those lines. *)
+
+module Fault = Lcws_fault.Fault
+module Scheduler = Lcws_sched.Scheduler
+
+(** A checksum DAG: leaves and loop iterations fold hashed values into a
+    commutative sum, forks run both sides through [fork_join_unit], loops
+    through [parallel_for]. *)
+type dag = Leaf of int | Fork of dag * dag | Loop of int * int
+
+(** [gen_dag seed] — deterministic, a few dozen nodes. *)
+val gen_dag : int64 -> dag
+
+(** Sequential oracle checksum. *)
+val seq_eval : dag -> int
+
+(** Descriptive stats for logs. *)
+val dag_stats : dag -> string
+
+type outcome = Completed of int | Raised of exn
+
+type report = {
+  repro : string;  (** one replayable line identifying the case *)
+  outcome : outcome;
+  oracle : int;
+  errors : string list;  (** empty iff the run was admissible and intact *)
+  metrics : Lcws_sync.Metrics.t;  (** pool totals for the run *)
+}
+
+val ok : report -> bool
+
+val pp_report : Format.formatter -> report -> unit
+
+(** Run one seeded case. [wseed] seeds the workload DAG; the fault
+    decisions come from [plan.seed]. The pool is created and shut down
+    inside, and post-shutdown invariants (drain empty, frames recycled)
+    are part of the report. *)
+val run_one :
+  variant:Scheduler.variant ->
+  deque:Scheduler.deque_impl ->
+  num_workers:int ->
+  plan:Fault.plan ->
+  wseed:int64 ->
+  unit ->
+  report
+
+(** [sweep ~seeds ()] runs the full matrix: every listed variant (default
+    all five) on its default deque (plus the split deque for [Ws] when
+    [deques] is not given), every plan (default: every preset, each
+    re-seeded per case), every workload seed. Returns the failing
+    reports. [progress] (default ignore) sees one line per case. *)
+val sweep :
+  ?num_workers:int ->
+  ?variants:Scheduler.variant list ->
+  ?deques:Scheduler.deque_impl list ->
+  ?plans:(string * Fault.plan) list ->
+  ?progress:(string -> unit) ->
+  seeds:int64 list ->
+  unit ->
+  report list

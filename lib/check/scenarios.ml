@@ -492,6 +492,94 @@ let frame_protocol ~wait ~name ~expect_violation =
         });
   }
 
+(* {2 Cancellation-protocol scenarios}
+
+   The scheduler's [parallel_for] failure discipline (lib/sched): when a
+   body chunk raises, the first failure wins a CAS on the loop scope's
+   flag and parks its exception in the scope; every sibling re-reads the
+   flag at each chunk boundary and skips its remaining chunks once the
+   flag is set. Two details are load-bearing and modeled here. First,
+   the single CAS: exactly one failer may write the exception slot, or a
+   later failure clobbers the one the caller is about to re-raise.
+   Second, the {e fresh} read per chunk: if the flag were a plain field,
+   hoisting the read out of the chunk loop (which the compiler may do
+   for non-atomic loads) lets a sibling keep completing chunks long
+   after cancellation. The oracle pins the bound the scheduler
+   documents: once the flag is set, at most the one in-flight chunk
+   completes. [fault_protocol ~fresh_read:false] seeds exactly that
+   hoisted stale read and must yield a counterexample. *)
+
+let fault_protocol ~fresh_read ~name ~expect_violation =
+  let module A = Sim_atomic.A in
+  {
+    Explore.name;
+    descr =
+      (if fresh_read then
+         "loop-scope cancellation: first failure wins the CAS, siblings re-read the flag \
+          at every chunk boundary"
+       else
+         "loop-scope cancellation with the flag read hoisted out of the chunk loop \
+          (stale non-atomic read, on purpose)");
+    expect_violation;
+    spec =
+      (fun () ->
+        let lflag = A.make ~name:"scope.lflag" 0 in
+        let lexn = A.plain ~name:"scope.lexn" 0 in
+        let chunks = A.plain ~name:"chunks_done" 0 in
+        let at_cancel = A.plain ~name:"chunks_at_cancel" (-1) in
+        (* A sibling worker running three chunks of the loop body. *)
+        let owner () =
+          if fresh_read then begin
+            let stop = ref false in
+            for _ = 1 to 3 do
+              if (not !stop) && A.get lflag = 0 then A.write chunks (A.read chunks + 1)
+              else stop := true
+            done
+          end
+          else begin
+            (* Seeded bug: the cancellation flag is read once, before the
+               loop, as if it were an ordinary field the compiler hoisted. *)
+            let cancelled = A.get lflag in
+            for _ = 1 to 3 do
+              if cancelled = 0 then A.write chunks (A.read chunks + 1)
+            done
+          end
+        in
+        (* Two chunks failing concurrently: each tries to win the scope's
+           CAS; only the winner parks its exception. [at_cancel] records
+           how far the sibling had progressed when the flag went up, read
+           {e after} the CAS so the oracle's bound is meaningful. *)
+        let failer id () =
+          if A.compare_and_set lflag 0 1 then begin
+            A.write lexn id;
+            A.write at_cancel (A.read chunks)
+          end
+        in
+        {
+          Explore.threads =
+            [| ("owner", owner); ("failer1", failer 1); ("failer2", failer 2) |];
+          signal = None;
+          check =
+            (fun () ->
+              let exn_id = A.read lexn in
+              let final = A.read chunks and at_c = A.read at_cancel in
+              if A.get lflag <> 1 then Error "both failers ran but the flag is not set"
+              else if exn_id <> 1 && exn_id <> 2 then
+                Error
+                  (Printf.sprintf "exception slot holds %d: not exactly one CAS winner"
+                     exn_id)
+              else if at_c < 0 then Error "winner never recorded the cancellation point"
+              else if final - at_c > 1 then
+                Error
+                  (Printf.sprintf
+                     "stale cancellation read: %d more chunks completed after the flag \
+                      was set (at %d, final %d; at most the one in-flight chunk may \
+                      finish)"
+                     (final - at_c) at_c final)
+              else Ok ());
+        });
+  }
+
 (* {2 Instantiations} *)
 
 module Split_sim = Split
@@ -526,6 +614,7 @@ let all =
     lace_script;
     private_script;
     frame_protocol ~wait:true ~name:"frame_reuse" ~expect_violation:false;
+    fault_protocol ~fresh_read:true ~name:"fault_protocol" ~expect_violation:false;
   ]
 
 (* The checker's self-test: each seeded mutation re-introduces one
@@ -537,6 +626,7 @@ let mutants =
     Mutant_tag.last_task ~name:"mutant_drop_tag_bump" ~expect_violation:true;
     Mutant_repair.repair ~name:"mutant_drop_bot_repair" ~expect_violation:true;
     frame_protocol ~wait:false ~name:"mutant_frame_recycle_early" ~expect_violation:true;
+    fault_protocol ~fresh_read:false ~name:"mutant_cancel_stale_read" ~expect_violation:true;
   ]
 
 let find name =

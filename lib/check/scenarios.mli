@@ -35,6 +35,14 @@ end
     must yield a counterexample. *)
 val frame_protocol : wait:bool -> name:string -> expect_violation:bool -> Explore.scenario
 
+(** The scheduler's loop-scope cancellation protocol (first-failure-wins
+    CAS + per-chunk flag re-read), modeled on simulated cells.
+    [fresh_read:true] is the real protocol; [fresh_read:false] seeds the
+    flag read hoisted out of the chunk loop — the classic stale
+    non-atomic read — and must yield a counterexample. *)
+val fault_protocol :
+  fresh_read:bool -> name:string -> expect_violation:bool -> Explore.scenario
+
 (** The standing catalogue: clean deques (plus the deliberate
     [split_signal_unsafe_demo], which reproduces the paper's Section 4
     bug and is {e expected} to fail). *)

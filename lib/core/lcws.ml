@@ -29,6 +29,10 @@
     - {!Pbbs} — the PBBS-like benchmark suite;
     - {!Sim} — the deterministic multiprocessor simulator used for the
       speedup figures, with the Table 1 machine models;
+    - {!Fault}, {!Chaos} — deterministic seeded fault injection threaded
+      through the scheduler's poll points, and the chaos harness that
+      runs random DAG workloads under fault plans against a sequential
+      oracle;
     - {!Check} — the deterministic interleaving checker for the deque
       layer (bounded exhaustive exploration with sleep-set pruning,
       counterexample replay, seeded-mutation self-tests);
@@ -47,7 +51,9 @@ module Private_deque = Lcws_deque.Private_deque
 module Trace = Lcws_trace.Trace
 module Histogram = Lcws_trace.Histogram
 module Chrome_trace = Lcws_trace.Chrome_trace
+module Fault = Lcws_fault.Fault
 module Scheduler = Lcws_sched.Scheduler
+module Chaos = Lcws_chaos.Chaos
 module Parallel = Lcws_parlay.Seq_ops
 module Psort = Lcws_parlay.Sort
 module Sample_sort = Lcws_parlay.Sample_sort

@@ -311,3 +311,25 @@ let make (type a) ((module D) : a impl) ~capacity ~dummy ~metrics : a instance =
 let impl_name (type a) ((module D) : a impl) = D.name
 
 let impl_concurrent (type a) ((module D) : a impl) = D.concurrent
+
+(** Check the size-accessor invariants of an instance, valid for every
+    implementation whenever the owner is at rest (no operation in
+    flight): the parts are non-negative, they add up to [size],
+    [is_empty] agrees with [size = 0], and [has_two_tasks] never claims
+    two private tasks that [private_size] cannot see. Property tests and
+    the chaos harness call this between operations / after runs; a
+    violation message names the accessors that disagree. *)
+let check_size_invariants (type a) (Instance ((module D), d) : a instance) =
+  let priv = D.private_size d in
+  let pub = D.public_size d in
+  let size = D.size d in
+  let err fmt = Printf.ksprintf (fun m -> Error (D.name ^ ": " ^ m)) fmt in
+  if priv < 0 then err "private_size = %d < 0" priv
+  else if pub < 0 then err "public_size = %d < 0" pub
+  else if size <> priv + pub then
+    err "size = %d but private_size + public_size = %d + %d" size priv pub
+  else if D.is_empty d <> (size = 0) then
+    err "is_empty = %b but size = %d" (D.is_empty d) size
+  else if D.has_two_tasks d && priv < 2 then
+    err "has_two_tasks = true but private_size = %d" priv
+  else Ok ()

@@ -1,0 +1,255 @@
+module Metrics = Lcws_sync.Metrics
+module Xoshiro = Lcws_sync.Xoshiro
+
+exception Injected of int * int
+
+let () =
+  Printexc.register_printer (function
+    | Injected (w, k) -> Some (Printf.sprintf "Lcws_fault.Fault.Injected(worker %d, task %d)" w k)
+    | _ -> None)
+
+type plan = {
+  seed : int64;
+  stall_prob : float;
+  stall_polls : int;
+  drop_signal_prob : float;
+  delay_signal_prob : float;
+  delay_polls : int;
+  steal_fail_prob : float;
+  inject_exn : (int * int) option;
+  cancel_at : (int * int) option;
+}
+
+let no_faults =
+  {
+    seed = 0L;
+    stall_prob = 0.;
+    stall_polls = 4;
+    drop_signal_prob = 0.;
+    delay_signal_prob = 0.;
+    delay_polls = 4;
+    steal_fail_prob = 0.;
+    inject_exn = None;
+    cancel_at = None;
+  }
+
+(* --- plan <-> string -------------------------------------------------- *)
+
+(* %h round-trips doubles exactly and stays locale-proof; plans live in
+   failing-seed artifacts, so exact replay matters more than prettiness.
+   Probabilities from presets are short decimals anyway. *)
+let prob_to_string p = if Float.is_integer (p *. 100.) then Printf.sprintf "%g" p else Printf.sprintf "%h" p
+
+let plan_to_string p =
+  let buf = Buffer.create 64 in
+  let sep () = if Buffer.length buf > 0 then Buffer.add_char buf ',' in
+  let addf fmt = sep (); Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "seed=%Ld" p.seed;
+  if p.stall_prob > 0. then addf "stall=%s:%d" (prob_to_string p.stall_prob) p.stall_polls;
+  if p.drop_signal_prob > 0. then addf "drop=%s" (prob_to_string p.drop_signal_prob);
+  if p.delay_signal_prob > 0. then
+    addf "delay=%s:%d" (prob_to_string p.delay_signal_prob) p.delay_polls;
+  if p.steal_fail_prob > 0. then addf "steal_fail=%s" (prob_to_string p.steal_fail_prob);
+  (match p.inject_exn with Some (w, k) -> addf "inject=%d:%d" w k | None -> ());
+  (match p.cancel_at with Some (w, n) -> addf "cancel=%d:%d" w n | None -> ());
+  Buffer.contents buf
+
+let plan_of_string s =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let parse_prob key v =
+    match float_of_string_opt v with
+    | Some f when f >= 0. && f <= 1. -> Ok f
+    | _ -> fail "%s: probability expected in [0,1], got %S" key v
+  in
+  let parse_pair key v =
+    match String.split_on_char ':' v with
+    | [ a; b ] -> (
+        match (int_of_string_opt a, int_of_string_opt b) with
+        | Some a, Some b -> Ok (a, b)
+        | _ -> fail "%s: expected INT:INT, got %S" key v)
+    | _ -> fail "%s: expected INT:INT, got %S" key v
+  in
+  let parse_prob_pair key v =
+    match String.split_on_char ':' v with
+    | [ a; b ] -> (
+        match (float_of_string_opt a, int_of_string_opt b) with
+        | Some a, Some b when a >= 0. && a <= 1. && b > 0 -> Ok (a, b)
+        | _ -> fail "%s: expected PROB:POLLS, got %S" key v)
+    | _ -> fail "%s: expected PROB:POLLS, got %S" key v
+  in
+  let rec go plan = function
+    | [] -> Ok plan
+    | kv :: rest -> (
+        let k, v =
+          match String.index_opt kv '=' with
+          | Some i -> (String.sub kv 0 i, String.sub kv (i + 1) (String.length kv - i - 1))
+          | None -> (kv, "")
+        in
+        let ( let* ) r f = match r with Ok x -> f x | Error _ as e -> e in
+        match String.trim k with
+        | "seed" -> (
+            match Int64.of_string_opt v with
+            | Some seed -> go { plan with seed } rest
+            | None -> fail "seed: expected an integer, got %S" v)
+        | "stall" ->
+            let* stall_prob, stall_polls = parse_prob_pair "stall" v in
+            go { plan with stall_prob; stall_polls } rest
+        | "drop" ->
+            let* drop_signal_prob = parse_prob "drop" v in
+            go { plan with drop_signal_prob } rest
+        | "delay" ->
+            let* delay_signal_prob, delay_polls = parse_prob_pair "delay" v in
+            go { plan with delay_signal_prob; delay_polls } rest
+        | "steal_fail" ->
+            let* steal_fail_prob = parse_prob "steal_fail" v in
+            go { plan with steal_fail_prob } rest
+        | "inject" ->
+            let* wk = parse_pair "inject" v in
+            go { plan with inject_exn = Some wk } rest
+        | "cancel" ->
+            let* wn = parse_pair "cancel" v in
+            go { plan with cancel_at = Some wn } rest
+        | "" -> go plan rest
+        | k -> fail "unknown plan field %S" k)
+  in
+  go no_faults (String.split_on_char ',' (String.trim s))
+
+let preset ?(seed = 1L) name =
+  let p = { no_faults with seed } in
+  match name with
+  | "none" -> Some p
+  | "storm" -> Some { p with drop_signal_prob = 0.5; delay_signal_prob = 0.3; delay_polls = 8 }
+  | "stall" -> Some { p with stall_prob = 0.05; stall_polls = 16 }
+  | "steal" -> Some { p with steal_fail_prob = 0.5 }
+  | "exn" -> Some { p with inject_exn = Some (0, 5) }
+  | "cancel" -> Some { p with cancel_at = Some (0, 50) }
+  | "mixed" ->
+      Some
+        {
+          p with
+          stall_prob = 0.02;
+          stall_polls = 8;
+          drop_signal_prob = 0.3;
+          delay_signal_prob = 0.2;
+          delay_polls = 6;
+          steal_fail_prob = 0.2;
+        }
+  | _ -> None
+
+let preset_names = [ "none"; "storm"; "stall"; "steal"; "exn"; "cancel"; "mixed" ]
+
+(* --- runtime state ---------------------------------------------------- *)
+
+(* Per worker; touched only from that worker's domain, so plain fields. *)
+type wstate = {
+  rng : Xoshiro.t;
+  mutable polls : int;  (** poll points seen (for cancel_at) *)
+  mutable tasks : int;  (** task executions seen (for inject_exn) *)
+  mutable stall_left : int;  (** remaining polls in the current stall *)
+  mutable delay_left : int;  (** remaining polls the pending signal stays deferred *)
+}
+
+type t = { p : plan; workers : wstate array }
+
+let none = { p = no_faults; workers = [||] }
+
+let active t = t.workers <> [||]
+
+let plan t = t.p
+
+let create p ~num_workers =
+  if num_workers < 1 then invalid_arg "Fault.create: num_workers must be >= 1";
+  let root = Xoshiro.create p.seed in
+  (* Offset the split index so worker i's fault stream differs from the
+     scheduler's victim-selection stream for the same (seed, i). *)
+  let workers =
+    Array.init num_workers (fun i ->
+        {
+          rng = Xoshiro.split root (i + 0x5eed);
+          polls = 0;
+          tasks = 0;
+          stall_left = 0;
+          delay_left = 0;
+        })
+  in
+  { p; workers }
+
+let roll rng prob = prob > 0. && Xoshiro.float rng < prob
+
+type poll_action = Pass | Stalled | Cancel_job
+
+let poll t ~worker ~metrics:(m : Metrics.t) =
+  let w = t.workers.(worker) in
+  w.polls <- w.polls + 1;
+  if w.delay_left > 0 then w.delay_left <- w.delay_left - 1;
+  match t.p.cancel_at with
+  | Some (cw, n) when cw = worker && w.polls = n -> Cancel_job
+  | _ ->
+      if w.stall_left > 0 then begin
+        w.stall_left <- w.stall_left - 1;
+        m.stalls <- m.stalls + 1;
+        Stalled
+      end
+      else if roll w.rng t.p.stall_prob then begin
+        (* This poll is the first stalled one. *)
+        w.stall_left <- Xoshiro.int w.rng t.p.stall_polls;
+        m.stalls <- m.stalls + 1;
+        Stalled
+      end
+      else Pass
+
+type signal_action = Handle | Defer | Drop
+
+let on_signal t ~worker ~metrics:(m : Metrics.t) =
+  let w = t.workers.(worker) in
+  if w.stall_left > 0 || w.delay_left > 0 then begin
+    m.signals_delayed <- m.signals_delayed + 1;
+    Defer
+  end
+  else if roll w.rng t.p.drop_signal_prob then begin
+    m.signals_dropped <- m.signals_dropped + 1;
+    Drop
+  end
+  else if roll w.rng t.p.delay_signal_prob then begin
+    w.delay_left <- t.p.delay_polls;
+    m.signals_delayed <- m.signals_delayed + 1;
+    Defer
+  end
+  else Handle
+
+let steal_veto t ~thief ~metrics:(m : Metrics.t) =
+  let w = t.workers.(thief) in
+  if roll w.rng t.p.steal_fail_prob then begin
+    m.steal_vetoes <- m.steal_vetoes + 1;
+    true
+  end
+  else false
+
+let inject_now t ~worker ~metrics:(m : Metrics.t) =
+  match t.p.inject_exn with
+  | None -> None
+  | Some (iw, k) ->
+      if iw <> worker then None
+      else begin
+        let w = t.workers.(worker) in
+        w.tasks <- w.tasks + 1;
+        if w.tasks = k then begin
+          m.exns_injected <- m.exns_injected + 1;
+          Some (worker, k)
+        end
+        else None
+      end
+
+(* --- trace codes ------------------------------------------------------ *)
+
+let code_stall = 1
+
+let code_drop_signal = 2
+
+let code_delay_signal = 3
+
+let code_steal_veto = 4
+
+let code_inject = 5
+
+let code_cancel = 6

@@ -1,0 +1,131 @@
+(** Deterministic, seeded fault injection for the scheduler.
+
+    The LCWS protocol trades synchronization for a delicate
+    worker-to-worker handshake: exposure requests, signal delivery,
+    split-pointer repair. A {!plan} describes a reproducible adversary
+    for that handshake — every decision is drawn from a per-worker
+    xoshiro stream split from the plan's seed, and depends only on that
+    worker's own event counts, so a failing chaos run is replayable from
+    [(seed, plan, variant, deque, workers)] alone, independent of real
+    thread timing.
+
+    Faults on offer (all probabilities in [\[0, 1\]]):
+    - {e signal drop}: a pending exposure signal is discarded and the
+      victim's [targeted] flag cleared, forcing thieves through the
+      Section 4 re-request path;
+    - {e signal delay}: handling of a pending signal is deferred for a
+      bounded number of poll points;
+    - {e stall}: a worker treats its next N poll points as if it had
+      been preempted (no signal handling, a short spin);
+    - {e steal veto}: a thief's steal attempt is forced to fail
+      spuriously, as if it had lost a CAS race;
+    - {e exception injection}: the k-th task execution on a chosen
+      worker raises {!Injected} inside the task body, so it propagates
+      through the ordinary frame machinery to the [fork_join] caller;
+    - {e cancellation}: after the n-th poll on a chosen worker, the
+      whole job is cancelled as if [Pool.shutdown] had raced it.
+
+    A {!none} / inactive [t] compiles the scheduler's hooks down to one
+    predictable branch on a plain [bool] field (same discipline as
+    {!Lcws_trace.Trace.null}); the acceptance bar is that the bench
+    suite cannot tell the difference. *)
+
+(** Raised inside a task body by exception injection. The payload is
+    [(worker, k)]: the k-th task execution on [worker]. *)
+exception Injected of int * int
+
+type plan = {
+  seed : int64;  (** root of every per-worker decision stream *)
+  stall_prob : float;  (** P(a poll point starts a stall) *)
+  stall_polls : int;  (** max polls a stall lasts (uniform in [1..n]) *)
+  drop_signal_prob : float;  (** P(a pending signal is dropped) *)
+  delay_signal_prob : float;  (** P(a pending signal's handling is deferred) *)
+  delay_polls : int;  (** polls a delayed signal stays deferred *)
+  steal_fail_prob : float;  (** P(a steal attempt is vetoed) *)
+  inject_exn : (int * int) option;
+      (** [(worker, k)]: raise {!Injected} in worker's k-th task (1-based) *)
+  cancel_at : (int * int) option;
+      (** [(worker, n)]: request job cancellation at worker's n-th poll *)
+}
+
+(** All probabilities 0, no injection, no cancellation. *)
+val no_faults : plan
+
+(** Round-trippable [k=v] encoding, e.g.
+    ["seed=7,stall=0.2:8,drop=0.5,delay=0.3:6,steal_fail=0.1,inject=0:3,cancel=1:40"].
+    Fields at their [no_faults] value are omitted. *)
+val plan_to_string : plan -> string
+
+(** Inverse of {!plan_to_string}; unknown keys and malformed values are
+    reported, omitted keys default to {!no_faults}'s fields. *)
+val plan_of_string : string -> (plan, string) result
+
+(** Named plans for CLI / CI sweeps: ["none"], ["storm"] (drop + delay
+    heavy), ["stall"], ["steal"], ["exn"], ["cancel"], ["mixed"]. *)
+val preset : ?seed:int64 -> string -> plan option
+
+val preset_names : string list
+
+type t
+
+(** The inactive layer: every hook is a single-branch no-op. *)
+val none : t
+
+val create : plan -> num_workers:int -> t
+
+(** [active t] is cheap enough for hot-path guards, but the scheduler
+    caches it in a plain pool field anyway. *)
+val active : t -> bool
+
+(** The plan behind [t] ({!no_faults} for {!none}). *)
+val plan : t -> plan
+
+(** {2 Hooks}
+
+    Each hook must be called from the worker's own domain with its own
+    [metrics] block (single-writer counting, like the deques). All are
+    deterministic functions of the plan and the per-worker call
+    history. *)
+
+type poll_action =
+  | Pass
+  | Stalled  (** skip this poll's signal handling; burn a short spin *)
+  | Cancel_job  (** the plan requests job cancellation now *)
+
+(** One poll point on [worker]. Counts the poll; may start or continue a
+    stall ([metrics.stalls]) or fire the plan's cancellation. *)
+val poll : t -> worker:int -> metrics:Lcws_sync.Metrics.t -> poll_action
+
+type signal_action =
+  | Handle
+  | Defer  (** leave the signal pending for a later poll *)
+  | Drop  (** discard it and clear [targeted]: thieves must re-request *)
+
+(** Called when [worker] observes a pending exposure signal. Updates
+    [metrics.signals_dropped] / [metrics.signals_delayed]. *)
+val on_signal : t -> worker:int -> metrics:Lcws_sync.Metrics.t -> signal_action
+
+(** Should [thief]'s next steal attempt fail spuriously?
+    ([metrics.steal_vetoes]) *)
+val steal_veto : t -> thief:int -> metrics:Lcws_sync.Metrics.t -> bool
+
+(** Counts one task execution on [worker]; [Some (w, k)] means the
+    caller must raise [Injected (w, k)] inside the task body
+    ([metrics.exns_injected]). *)
+val inject_now : t -> worker:int -> metrics:Lcws_sync.Metrics.t -> (int * int) option
+
+(** {2 Trace codes}
+
+    Argument values for {!Lcws_trace.Trace.record_fault}. *)
+
+val code_stall : int
+
+val code_drop_signal : int
+
+val code_delay_signal : int
+
+val code_steal_veto : int
+
+val code_inject : int
+
+val code_cancel : int

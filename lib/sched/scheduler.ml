@@ -3,7 +3,15 @@ module Xoshiro = Lcws_sync.Xoshiro
 module Backoff = Lcws_sync.Backoff
 module Padding = Lcws_sync.Padding
 module Trace = Lcws_trace.Trace
+module Fault = Lcws_fault.Fault
 open Lcws_deque.Deque_intf
+
+exception Cancelled
+
+let () =
+  Printexc.register_printer (function
+    | Cancelled -> Some "Lcws.Scheduler.Cancelled"
+    | _ -> None)
 
 type variant = Ws | Uslcws | Signal | Cons | Half
 
@@ -126,23 +134,6 @@ let frame_exn = 2
 
 let unit_obj = Obj.repr ()
 
-(* Runs on whoever took the frame's task — the stolen path. The result
-   write must be visible before the flag flip; [Atomic.set] is an SC
-   store, so the owner's read of [state] orders the read of [result]. *)
-let exec_frame fr =
-  match (Obj.obj fr.fn : unit -> Obj.t) () with
-  | v ->
-      fr.result <- v;
-      Atomic.set fr.state frame_done
-  | exception e ->
-      fr.result <- Obj.repr e;
-      Atomic.set fr.state frame_exn
-
-let make_frame () =
-  let fr = { state = Padding.atomic frame_pending; result = unit_obj; fn = unit_obj; task = dummy_task } in
-  fr.task <- (fun () -> exec_frame fr);
-  fr
-
 let initial_frames = 64
 
 type worker = {
@@ -156,6 +147,107 @@ type worker = {
   mutable frames : frame array; (* the worker's LIFO frame pool... *)
   mutable frame_top : int; (* ...and its stack pointer *)
 }
+
+type pool = {
+  pvariant : variant;
+  nw : int;
+  workers : worker array;
+  mutable domains : unit Domain.t list;
+  job_active : bool Atomic.t;
+  stop : bool Atomic.t;
+  gen : int Atomic.t;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  steal_sleep_us : int;
+  running : bool Atomic.t;
+  trace : Trace.t;
+  fault : Fault.t;
+  fault_on : bool; (* [Fault.active fault], cached as a plain immutable
+                      field so every hook guard is one predictable load
+                      and branch (same discipline as [Trace.t.on]) *)
+  cancel_requested : bool Atomic.t; (* cancel the in-flight job; set by
+                                       [Pool.cancel], [Pool.shutdown] and
+                                       the fault layer, cleared at the
+                                       start of the next [Pool.run] *)
+}
+
+let ctx_key : (pool * worker) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let request_cancel pool =
+  if not (Atomic.get pool.cancel_requested) then Atomic.set pool.cancel_requested true
+
+let record_fault pool w code =
+  let tr = pool.trace in
+  if Trace.enabled tr then Trace.record_fault tr ~worker:w.id ~time:(Trace.now tr) ~code
+
+(* One fault-layer poll point; [true] means this poll is stalled and the
+   caller must skip its signal handling. Only reached when
+   [pool.fault_on]. *)
+let fault_poll pool w =
+  match Fault.poll pool.fault ~worker:w.id ~metrics:w.metrics with
+  | Fault.Pass -> false
+  | Fault.Stalled ->
+      record_fault pool w Fault.code_stall;
+      (* Burn a timeslice-ish amount of nothing: long enough for thieves
+         to observe an unresponsive victim, short enough to keep chaos
+         runs fast. *)
+      for _ = 1 to 64 do
+        Domain.cpu_relax ()
+      done;
+      true
+  | Fault.Cancel_job ->
+      record_fault pool w Fault.code_cancel;
+      request_cancel pool;
+      false
+
+(* {2 Frame execution}
+
+   [exec_frame] runs on whoever took the frame's task — the stolen path.
+   The result write must be visible before the flag flip; [Atomic.set]
+   is an SC store, so the owner's read of [state] orders the read of
+   [result]. An exception — the child's own, an injected one, or
+   [Cancelled] — is published through the same flag ([frame_exn]), so a
+   failing child still completes its frame and the owner's join can
+   never hang on it.
+
+   This is also the stolen path's cancellation and injection point: the
+   context lookup only happens here (never on the un-stolen inline
+   path), so the fork/join fast path stays free of it. *)
+let exec_frame fr =
+  let ctx = Domain.DLS.get ctx_key in
+  let run () =
+    (match ctx with
+    | Some (pool, w) ->
+        if Atomic.get pool.cancel_requested then raise Cancelled;
+        if pool.fault_on then begin
+          match Fault.inject_now pool.fault ~worker:w.id ~metrics:w.metrics with
+          | Some (iw, k) ->
+              record_fault pool w Fault.code_inject;
+              raise (Fault.Injected (iw, k))
+          | None -> ()
+        end
+    | None -> ());
+    (Obj.obj fr.fn : unit -> Obj.t) ()
+  in
+  match run () with
+  | v ->
+      fr.result <- v;
+      Atomic.set fr.state frame_done
+  | exception e ->
+      (match ctx with
+      | Some (pool, w) ->
+          w.metrics.task_exns <- w.metrics.task_exns + 1;
+          let tr = pool.trace in
+          if Trace.enabled tr then Trace.record_task_exn tr ~worker:w.id ~time:(Trace.now tr)
+      | None -> ());
+      fr.result <- Obj.repr e;
+      Atomic.set fr.state frame_exn
+
+let make_frame () =
+  let fr = { state = Padding.atomic frame_pending; result = unit_obj; fn = unit_obj; task = dummy_task } in
+  fr.task <- (fun () -> exec_frame fr);
+  fr
 
 let acquire_frame w =
   let top = w.frame_top in
@@ -179,24 +271,6 @@ let release_frame w fr =
   assert (w.frames.(top) == fr);
   w.frame_top <- top
 
-type pool = {
-  pvariant : variant;
-  nw : int;
-  workers : worker array;
-  mutable domains : unit Domain.t list;
-  job_active : bool Atomic.t;
-  stop : bool Atomic.t;
-  gen : int Atomic.t;
-  mutex : Mutex.t;
-  cond : Condition.t;
-  steal_sleep_us : int;
-  running : bool Atomic.t;
-  trace : Trace.t;
-}
-
-let ctx_key : (pool * worker) option Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> None)
-
 let exposure_policy = function
   | Uslcws | Signal -> Expose_one
   | Cons -> Expose_conservative
@@ -209,23 +283,48 @@ let reset_targeted w = if Atomic.get w.targeted then Atomic.set w.targeted false
 
 (* The body of the paper's signal handler (Listing 3): transfer work to
    the public part of the split deque. Runs on the victim's own domain at
-   poll points — our stand-in for in-handler execution (DESIGN.md §2.2). *)
+   poll points — our stand-in for in-handler execution (DESIGN.md §2.2).
+
+   The fault layer intercepts here, at the protocol level rather than
+   under the deque's atomics: a poll may be stalled (the victim behaves
+   as if preempted), and a pending signal may be dropped — clearing
+   [targeted] so thieves go through the Section 4 re-request path — or
+   deferred to a later poll. When no plan is installed this adds exactly
+   one load-and-branch on [fault_on]. *)
+let handle_signal pool w =
+  Atomic.set w.signal_pending false;
+  let (Instance ((module D), d)) = w.deque in
+  let n = D.update_public_bottom d ~policy:(exposure_policy pool.pvariant) in
+  w.metrics.signals_handled <- w.metrics.signals_handled + 1;
+  let tr = pool.trace in
+  if Trace.enabled tr then begin
+    let time = Trace.now tr in
+    Trace.record_signal_handled tr ~worker:w.id ~time;
+    if n > 0 then Trace.record_expose tr ~worker:w.id ~time ~tasks:n
+  end
+
 let handle_pending pool w =
-  match pool.pvariant with
-  | Signal | Cons | Half ->
-      if Atomic.get w.signal_pending then begin
-        Atomic.set w.signal_pending false;
-        let (Instance ((module D), d)) = w.deque in
-        let n = D.update_public_bottom d ~policy:(exposure_policy pool.pvariant) in
-        w.metrics.signals_handled <- w.metrics.signals_handled + 1;
-        let tr = pool.trace in
-        if Trace.enabled tr then begin
-          let time = Trace.now tr in
-          Trace.record_signal_handled tr ~worker:w.id ~time;
-          if n > 0 then Trace.record_expose tr ~worker:w.id ~time ~tasks:n
-        end
-      end
-  | Ws | Uslcws -> ()
+  let stalled = pool.fault_on && fault_poll pool w in
+  if not stalled then
+    match pool.pvariant with
+    | Signal | Cons | Half ->
+        if Atomic.get w.signal_pending then
+          if not pool.fault_on then handle_signal pool w
+          else begin
+            match Fault.on_signal pool.fault ~worker:w.id ~metrics:w.metrics with
+            | Fault.Handle -> handle_signal pool w
+            | Fault.Defer -> record_fault pool w Fault.code_delay_signal
+            | Fault.Drop ->
+                (* The request evaporates: pending cleared, [targeted]
+                   reset so the thief's next probe may notify again. The
+                   thief sees [Private_work] and re-requests — worst case
+                   the victim drains its own deque privately, so progress
+                   never depends on a dropped signal. *)
+                Atomic.set w.signal_pending false;
+                reset_targeted w;
+                record_fault pool w Fault.code_drop_signal
+          end
+    | Ws | Uslcws -> ()
 
 let push_task pool w t =
   let (Instance ((module D), d)) = w.deque in
@@ -321,6 +420,13 @@ let notify pool thief victim =
    search (-1 when tracing is off), for the steal-latency histogram. *)
 let steal_once pool w ~search_start =
   if pool.nw < 2 then None
+  else if pool.fault_on && Fault.steal_veto pool.fault ~thief:w.id ~metrics:w.metrics then begin
+    (* A spurious failure, as if the top CAS lost a race. Vetoed before
+       victim selection and before the deque counts a [steal_attempt],
+       so the metrics balance checks stay exact. *)
+    record_fault pool w Fault.code_steal_veto;
+    None
+  end
   else begin
     let victim_id = Xoshiro.other_than w.rng ~bound:pool.nw ~self:w.id in
     let v = pool.workers.(victim_id) in
@@ -429,8 +535,11 @@ module Pool = struct
   type t = pool
 
   let create ?(seed = 42L) ?(deque_capacity = 65536) ?(steal_sleep_us = 50) ?deque
-      ?(trace = Trace.null) ~num_workers ~variant () =
+      ?(trace = Trace.null) ?fault:fault_plan ~num_workers ~variant () =
     if num_workers < 1 then invalid_arg "Pool.create: num_workers must be >= 1";
+    let fault =
+      match fault_plan with None -> Fault.none | Some p -> Fault.create p ~num_workers
+    in
     let impl = match deque with Some i -> i | None -> default_deque_impl variant in
     if (not (impl_concurrent impl)) && num_workers > 1 then
       invalid_arg
@@ -471,6 +580,9 @@ module Pool = struct
         steal_sleep_us;
         running = Atomic.make false;
         trace;
+        fault;
+        fault_on = Fault.active fault;
+        cancel_requested = Atomic.make false;
       }
     in
     pool.domains <-
@@ -486,6 +598,10 @@ module Pool = struct
     let w0 = pool.workers.(0) in
     let saved = Domain.DLS.get ctx_key in
     Domain.DLS.set ctx_key (Some (pool, w0));
+    (* A previous job's cancellation (a fault plan's, or an explicit
+       [cancel] that landed after the job ended) must not bleed into
+       this one. *)
+    Atomic.set pool.cancel_requested false;
     Atomic.set pool.job_active true;
     Mutex.lock pool.mutex;
     Atomic.incr pool.gen;
@@ -504,14 +620,33 @@ module Pool = struct
         finish ();
         raise e
 
+  let cancel pool = request_cancel pool
+
+  (* Idempotent: the CAS elects one caller to do the work; later (or
+     concurrent) calls return immediately. Cancellation is requested
+     first so an in-flight job unwinds through its cancellation points
+     instead of being waited out; the helpers are then joined, after
+     which the drain below runs with no concurrent deque owners. *)
   let shutdown pool =
-    if not (Atomic.get pool.stop) then begin
-      Atomic.set pool.stop true;
+    if Atomic.compare_and_set pool.stop false true then begin
+      request_cancel pool;
       Mutex.lock pool.mutex;
       Condition.broadcast pool.cond;
       Mutex.unlock pool.mutex;
       List.iter Domain.join pool.domains;
-      pool.domains <- []
+      pool.domains <- [];
+      (* Every completed job joins all its frames, so the deques are
+         normally empty here; this sweep is the backstop that restores
+         the pool's invariants if a job was torn down abnormally. *)
+      Array.iter
+        (fun w ->
+          let (Instance ((module D), d)) = w.deque in
+          let n = D.size d in
+          if n > 0 then begin
+            w.metrics.drained_tasks <- w.metrics.drained_tasks + n;
+            D.clear d
+          end)
+        pool.workers
     end
 
   let num_workers pool = pool.nw
@@ -529,6 +664,31 @@ module Pool = struct
   let metrics pool = Metrics.sum (per_worker_metrics pool)
 
   let reset_metrics pool = Array.iter (fun w -> Metrics.reset w.metrics) pool.workers
+
+  (* Quiescent-state introspection (racy but exact between jobs): the
+     chaos harness asserts both are 0 after every run, including runs
+     that ended in an injected exception or a cancellation. *)
+
+  let outstanding_tasks pool =
+    Array.fold_left
+      (fun acc w ->
+        let (Instance ((module D), d)) = w.deque in
+        acc + D.size d)
+      0 pool.workers
+
+  let frames_in_use pool = Array.fold_left (fun acc w -> acc + w.frame_top) 0 pool.workers
+
+  let check_deque_invariants pool =
+    let rec go i =
+      if i >= pool.nw then Ok ()
+      else
+        match check_size_invariants pool.workers.(i).deque with
+        | Ok () -> go (i + 1)
+        | Error m -> Error (Printf.sprintf "worker %d: %s" i m)
+    in
+    go 0
+
+  let fault_plan pool = if pool.fault_on then Some (Fault.plan pool.fault) else None
 end
 
 let tick () =
@@ -537,6 +697,13 @@ let tick () =
   | Some (pool, w) -> handle_pending pool w
 
 let my_id () = match Domain.DLS.get ctx_key with None -> 0 | Some (_, w) -> w.id
+
+let cancelled () =
+  match Domain.DLS.get ctx_key with
+  | None -> false
+  | Some (pool, _) -> Atomic.get pool.cancel_requested
+
+let check_cancel () = if cancelled () then raise Cancelled
 
 let num_workers () =
   match Domain.DLS.get ctx_key with None -> 1 | Some (pool, _) -> pool.nw
@@ -604,17 +771,40 @@ let rec join_frame pool w fr : Obj.t =
   match pop_own pool w with
   | Some t ->
       if t == fr.task then begin
+        if Atomic.get pool.cancel_requested then begin
+          (* The child never left our private part, so nothing is
+             exposed and the frame can recycle without running it. *)
+          release_frame w fr;
+          let tr = pool.trace in
+          if Trace.enabled tr then
+            Trace.record_cancel tr ~worker:w.id ~time:(Trace.now tr) ~chunks:0;
+          raise Cancelled
+        end;
         w.metrics.tasks_run <- w.metrics.tasks_run + 1;
         let tr = pool.trace in
         let traced = Trace.enabled tr in
         if traced then Trace.record_task_start tr ~worker:w.id ~time:(Trace.now tr);
-        match (Obj.obj fr.fn : unit -> Obj.t) () with
+        match
+          (* The inline twin of [exec_frame]'s injection point, so the
+             k-th task of a worker raises whether or not it was stolen.
+             Written without an intermediate closure: this is the
+             fork/join fast path and must not allocate. *)
+          (if pool.fault_on then
+             match Fault.inject_now pool.fault ~worker:w.id ~metrics:w.metrics with
+             | Some (iw, k) ->
+                 record_fault pool w Fault.code_inject;
+                 raise (Fault.Injected (iw, k))
+             | None -> ());
+          (Obj.obj fr.fn : unit -> Obj.t) ()
+        with
         | v ->
             if traced then Trace.record_task_end tr ~worker:w.id ~time:(Trace.now tr);
             release_frame w fr;
             v
         | exception e ->
             if traced then Trace.record_task_end tr ~worker:w.id ~time:(Trace.now tr);
+            w.metrics.task_exns <- w.metrics.task_exns + 1;
+            if traced then Trace.record_task_exn tr ~worker:w.id ~time:(Trace.now tr);
             release_frame w fr;
             raise e
       end
@@ -706,11 +896,49 @@ let want_split pool w =
   let (Instance ((module D), d)) = w.deque in
   D.is_empty d
 
-let rec lazy_for pool w grain body lo hi =
+(* Failure scope of one [parallel_for] call. When a body chunk raises,
+   the first failure wins the [lflag] CAS and parks its exception;
+   sibling chunks — wherever they run — observe the flag at their chunk
+   boundary and skip silently. The scope is per loop call, not
+   pool-global: a caller that catches the loop's exception and starts a
+   second loop must not inherit a stale flag.
+
+   [lexn] is plain: the winner writes it inside a chunk whose enclosing
+   frame completion (an SC store) happens-before the owner's join, and
+   [parallel_for] only reads it after every split half has joined. *)
+type loop_scope = {
+  lflag : bool Atomic.t; (* some chunk raised; siblings skip *)
+  mutable lexn : exn option; (* the winning exception *)
+}
+
+(* One grain-sized chunk under the scope's discipline. Pool-level
+   cancellation ([Pool.cancel] / shutdown / a fault plan) outranks the
+   scope and raises [Cancelled] — it must unwind the whole job, not just
+   this loop. *)
+let run_chunk pool w scope body lo hi =
+  if Atomic.get pool.cancel_requested then begin
+    w.metrics.cancelled_chunks <- w.metrics.cancelled_chunks + 1;
+    let tr = pool.trace in
+    if Trace.enabled tr then Trace.record_cancel tr ~worker:w.id ~time:(Trace.now tr) ~chunks:1;
+    raise Cancelled
+  end
+  else if Atomic.get scope.lflag then begin
+    w.metrics.cancelled_chunks <- w.metrics.cancelled_chunks + 1;
+    let tr = pool.trace in
+    if Trace.enabled tr then Trace.record_cancel tr ~worker:w.id ~time:(Trace.now tr) ~chunks:1
+  end
+  else
+    match
+      for i = lo to hi - 1 do
+        body i
+      done
+    with
+    | () -> ()
+    | exception e -> if Atomic.compare_and_set scope.lflag false true then scope.lexn <- Some e
+
+let rec lazy_for pool w scope grain body lo hi =
   if hi - lo <= grain then begin
-    for i = lo to hi - 1 do
-      body i
-    done;
+    run_chunk pool w scope body lo hi;
     (* Poll point: bounds the latency of work-exposure requests for
        loop computations (the paper's constant-time guarantee). *)
     handle_pending pool w
@@ -722,28 +950,26 @@ let rec lazy_for pool w grain body lo hi =
     if Trace.enabled tr then
       Trace.record_split tr ~worker:w.id ~time:(Trace.now tr) ~iters:(hi - mid);
     fork_join_unit
-      (fun () -> lazy_for_enter grain body lo mid)
-      (fun () -> lazy_for_enter grain body mid hi)
+      (fun () -> lazy_for_enter scope grain body lo mid)
+      (fun () -> lazy_for_enter scope grain body mid hi)
   end
   else begin
     (* hi - lo > grain, so [mid < hi]: progress is guaranteed. *)
     let mid = lo + grain in
-    for i = lo to mid - 1 do
-      body i
-    done;
+    run_chunk pool w scope body lo mid;
     handle_pending pool w;
-    lazy_for pool w grain body mid hi
+    lazy_for pool w scope grain body mid hi
   end
 
 (* A split half can run on whichever worker took it: rebind the context
    from the executing domain rather than capturing the splitter's. *)
-and lazy_for_enter grain body lo hi =
+and lazy_for_enter scope grain body lo hi =
   match Domain.DLS.get ctx_key with
   | None ->
       for i = lo to hi - 1 do
         body i
       done
-  | Some (pool, w) -> lazy_for pool w grain body lo hi
+  | Some (pool, w) -> lazy_for pool w scope grain body lo hi
 
 let parallel_for ?grain ~start ~stop body =
   let n = stop - start in
@@ -756,5 +982,10 @@ let parallel_for ?grain ~start ~stop body =
     | Some (pool, w) ->
         let default_grain = max 1 (min 2048 (n / (8 * pool.nw))) in
         let grain = match grain with Some g -> max 1 g | None -> default_grain in
-        lazy_for pool w grain body start stop
+        let scope = { lflag = Atomic.make false; lexn = None } in
+        lazy_for pool w scope grain body start stop;
+        (* Every split half has joined (each went through
+           [fork_join_unit]), so the winner's [lexn] write is visible. *)
+        if Atomic.get scope.lflag then
+          match scope.lexn with Some e -> raise e | None -> assert false
   end

@@ -31,6 +31,19 @@
       Scheduler.Pool.shutdown pool
     ]} *)
 
+(** Raised out of a job (or a cancellation point inside one) when the
+    running job was cancelled — by {!Pool.cancel}, by {!Pool.shutdown}
+    racing an in-flight job, or by a fault plan's [cancel_at].
+
+    Cancellation is cooperative and best-effort: it is observed at
+    {!parallel_for} chunk boundaries, at fork/join joins, on the stolen
+    execution path, and wherever user code calls {!check_cancel}. A job
+    with none of those (one long sequential computation) is not
+    cancellable. Cancellation never breaks the frame protocol: a
+    cancelled child still completes its join frame — exceptionally — so
+    joins cannot hang and the frame pool fully recycles. *)
+exception Cancelled
+
 type variant = Ws | Uslcws | Signal | Cons | Half
 
 val all_variants : variant list
@@ -96,6 +109,11 @@ module Pool : sig
       @param trace event sink; pass a {!Lcws_trace.Trace.create}d tracer
         to record scheduler events. Defaults to {!Lcws_trace.Trace.null},
         which keeps every record call a single predictable branch.
+      @param fault a deterministic fault plan ({!Lcws_fault.Fault.plan})
+        to thread through the scheduler's poll points, signal handling,
+        steal attempts and task execution. Omitted (the default), every
+        fault hook compiles down to one load-and-branch on a plain bool
+        — benchmarks cannot tell the difference.
       @raise Invalid_argument if [deque] is a sequential specification and
         [num_workers > 1], or if [trace] was created for fewer than
         [num_workers] workers. *)
@@ -105,6 +123,7 @@ module Pool : sig
     ?steal_sleep_us:int ->
     ?deque:deque_impl ->
     ?trace:Lcws_trace.Trace.t ->
+    ?fault:Lcws_fault.Fault.plan ->
     num_workers:int ->
     variant:variant ->
     unit ->
@@ -112,10 +131,25 @@ module Pool : sig
 
   (** Execute a parallel job. The callback runs as worker 0 and may use
       {!fork_join}, {!parallel_for}, {!tick}. Exceptions raised by the job
-      propagate. Not reentrant; one job at a time. *)
+      propagate: an exception in a forked branch — wherever it ran —
+      reaches the [fork_join] caller, an exception in a [parallel_for]
+      body cancels the loop's remaining chunks and re-raises at the loop
+      (first failure wins), and both ultimately unwind out of [run] with
+      every frame joined and every deque empty. Not reentrant; one job at
+      a time. Any pending cancellation request is cleared on entry. *)
   val run : t -> (unit -> 'a) -> 'a
 
-  (** Terminate and join the helper domains. The pool is unusable after. *)
+  (** Request cancellation of the in-flight job: its cancellation points
+      raise {!Cancelled}, which unwinds out of {!run}. A no-op between
+      jobs (the flag is cleared when the next job starts). Safe from any
+      domain. *)
+  val cancel : t -> unit
+
+  (** Terminate and join the helper domains. Cancels the in-flight job
+      (if any) first, waits for it to unwind, then drains any leftover
+      deque tasks (counted in [drained_tasks]). Idempotent and safe to
+      race from several domains: exactly one caller tears the pool down.
+      The pool is unusable after. *)
   val shutdown : t -> unit
 
   val num_workers : t -> int
@@ -135,6 +169,28 @@ module Pool : sig
   val per_worker_metrics : t -> Lcws_sync.Metrics.t array
 
   val reset_metrics : t -> unit
+
+  (** {2 Quiescent-state introspection}
+
+      Exact when no job is running (between {!run}s or after
+      {!shutdown}); racy snapshots otherwise. The chaos harness asserts
+      both are 0 after every run, including runs that ended in an
+      injected exception or a cancellation. *)
+
+  (** Tasks currently sitting in the workers' deques. *)
+  val outstanding_tasks : t -> int
+
+  (** Join frames currently acquired across all workers' frame pools; 0
+      means every fork/join fully recycled its frame. *)
+  val frames_in_use : t -> int
+
+  (** {!Lcws_deque.Deque_intf.check_size_invariants} over every worker's
+      deque; the error names the worker and the accessors that
+      disagree. *)
+  val check_deque_invariants : t -> (unit, string) result
+
+  (** The fault plan passed at [create], if any. *)
+  val fault_plan : t -> Lcws_fault.Fault.plan option
 end
 
 (** {2 Operations available inside [Pool.run]}
@@ -153,7 +209,13 @@ end
     worker pops it straight back and runs it inline without touching the
     frame's atomic at all, so an un-stolen fork/join costs no SC round
     trip and only a few words of short-lived allocation (the branch
-    closures and, for [fork_join], the result tuple). *)
+    closures and, for [fork_join], the result tuple).
+
+    Exception safety: if [g] raises — inline, or on a thief — the
+    exception is carried through the frame and re-raised here after the
+    join. If [f] raises, [g] is still joined (its outcome discarded) and
+    [f]'s exception wins. Either way the frame is recycled and nothing
+    is left in any deque. *)
 val fork_join : (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
 
 (** Like {!fork_join} for unit branches, skipping the result boxing and
@@ -182,6 +244,14 @@ val tick : unit -> unit
 
 (** Worker id of the calling domain (0 when outside a pool). *)
 val my_id : unit -> int
+
+(** Has cancellation of the current job been requested? [false] outside
+    a pool. Long sequential task bodies can poll this to stop early. *)
+val cancelled : unit -> bool
+
+(** Raise {!Cancelled} if {!cancelled}[ ()] — an explicit cancellation
+    point for long sequential sections, pairing with {!tick}. *)
+val check_cancel : unit -> unit
 
 (** Number of workers of the enclosing pool (1 outside). *)
 val num_workers : unit -> int

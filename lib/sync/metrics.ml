@@ -17,6 +17,14 @@ type t = {
   mutable backoffs : int;
   mutable tasks_run : int;
   mutable splits : int;
+  mutable stalls : int;
+  mutable signals_dropped : int;
+  mutable signals_delayed : int;
+  mutable steal_vetoes : int;
+  mutable exns_injected : int;
+  mutable task_exns : int;
+  mutable cancelled_chunks : int;
+  mutable drained_tasks : int;
 }
 
 let create () =
@@ -39,6 +47,14 @@ let create () =
     backoffs = 0;
     tasks_run = 0;
     splits = 0;
+    stalls = 0;
+    signals_dropped = 0;
+    signals_delayed = 0;
+    steal_vetoes = 0;
+    exns_injected = 0;
+    task_exns = 0;
+    cancelled_chunks = 0;
+    drained_tasks = 0;
   }
 
 (* The single authoritative field list: every generic operation (reset,
@@ -64,6 +80,14 @@ let fields : (string * (t -> int) * (t -> int -> unit)) list =
     ("backoffs", (fun t -> t.backoffs), fun t v -> t.backoffs <- v);
     ("tasks_run", (fun t -> t.tasks_run), fun t v -> t.tasks_run <- v);
     ("splits", (fun t -> t.splits), fun t v -> t.splits <- v);
+    ("stalls", (fun t -> t.stalls), fun t v -> t.stalls <- v);
+    ("signals_dropped", (fun t -> t.signals_dropped), fun t v -> t.signals_dropped <- v);
+    ("signals_delayed", (fun t -> t.signals_delayed), fun t v -> t.signals_delayed <- v);
+    ("steal_vetoes", (fun t -> t.steal_vetoes), fun t v -> t.steal_vetoes <- v);
+    ("exns_injected", (fun t -> t.exns_injected), fun t v -> t.exns_injected <- v);
+    ("task_exns", (fun t -> t.task_exns), fun t v -> t.task_exns <- v);
+    ("cancelled_chunks", (fun t -> t.cancelled_chunks), fun t v -> t.cancelled_chunks <- v);
+    ("drained_tasks", (fun t -> t.drained_tasks), fun t v -> t.drained_tasks <- v);
   ]
 
 let to_assoc t = List.map (fun (name, get, _) -> (name, get t)) fields

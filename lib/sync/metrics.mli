@@ -25,6 +25,14 @@ type t = {
   mutable backoffs : int;  (** backoff pauses taken in retry loops *)
   mutable tasks_run : int;  (** tasks executed *)
   mutable splits : int;  (** lazy loop ranges split into a stealable half *)
+  mutable stalls : int;  (** fault layer: poll points spent stalled *)
+  mutable signals_dropped : int;  (** fault layer: exposure signals dropped *)
+  mutable signals_delayed : int;  (** fault layer: signal handlings deferred *)
+  mutable steal_vetoes : int;  (** fault layer: steal attempts forced to fail *)
+  mutable exns_injected : int;  (** fault layer: exceptions injected into tasks *)
+  mutable task_exns : int;  (** tasks that completed exceptionally *)
+  mutable cancelled_chunks : int;  (** loop chunks skipped by cancellation *)
+  mutable drained_tasks : int;  (** tasks discarded by a shutdown drain *)
 }
 
 val create : unit -> t

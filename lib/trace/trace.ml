@@ -11,6 +11,9 @@ type kind =
   | Idle_enter
   | Idle_exit
   | Split
+  | Fault
+  | Cancel
+  | Task_exn
 
 let all_kinds =
   [
@@ -26,6 +29,9 @@ let all_kinds =
     Idle_enter;
     Idle_exit;
     Split;
+    Fault;
+    Cancel;
+    Task_exn;
   ]
 
 let kind_name = function
@@ -41,6 +47,9 @@ let kind_name = function
   | Idle_enter -> "idle_enter"
   | Idle_exit -> "idle_exit"
   | Split -> "split"
+  | Fault -> "fault"
+  | Cancel -> "cancel"
+  | Task_exn -> "task_exn"
 
 let kind_code = function
   | Steal_attempt -> 0
@@ -55,8 +64,11 @@ let kind_code = function
   | Idle_enter -> 9
   | Idle_exit -> 10
   | Split -> 11
+  | Fault -> 12
+  | Cancel -> 13
+  | Task_exn -> 14
 
-let num_kinds = 12
+let num_kinds = 15
 
 let kind_of_code = function
   | 0 -> Steal_attempt
@@ -71,6 +83,9 @@ let kind_of_code = function
   | 9 -> Idle_enter
   | 10 -> Idle_exit
   | 11 -> Split
+  | 12 -> Fault
+  | 13 -> Cancel
+  | 14 -> Task_exn
   | c -> invalid_arg (Printf.sprintf "Trace.kind_of_code: %d" c)
 
 (* One per worker; strictly single-writer, like Metrics. *)
@@ -94,7 +109,14 @@ type t = {
   handshake_ts : int Atomic.t array; (* like notify_ts, consumed at Steal_ok *)
 }
 
-let default_clock () = int_of_float (Unix.gettimeofday () *. 1e9)
+(* Monotonic nanoseconds as a native int. The previous implementation
+   truncated [Unix.gettimeofday () *. 1e9] through a float: at ~1.7e18 ns
+   since the epoch a double's 52-bit mantissa quantizes to ~512 ns steps
+   and the wall clock can step backwards, so distinct events drew equal —
+   or decreasing — timestamps. [Monotonic_clock] (bechamel's
+   clock_gettime(CLOCK_MONOTONIC) binding, already a dependency) stays in
+   integers end to end; 63 bits of ns cover ~292 years of uptime. *)
+let default_clock () = Int64.to_int (Monotonic_clock.now ())
 
 let null =
   {
@@ -216,6 +238,15 @@ let record_idle_exit t ~worker ~time =
 
 let record_split t ~worker ~time ~iters =
   if t.on then emit_code t worker 11 (* Split *) ~time ~arg:iters
+
+let record_fault t ~worker ~time ~code =
+  if t.on then emit_code t worker 12 (* Fault *) ~time ~arg:code
+
+let record_cancel t ~worker ~time ~chunks =
+  if t.on then emit_code t worker 13 (* Cancel *) ~time ~arg:chunks
+
+let record_task_exn t ~worker ~time =
+  if t.on then emit_code t worker 14 (* Task_exn *) ~time ~arg:0
 
 (* --- reading ---------------------------------------------------------- *)
 

@@ -19,9 +19,10 @@
     branch with no clock read and no allocation, so instrumented hot
     paths cost nothing when tracing is off.
 
-    Timestamps are plain ints: monotonic-ish nanoseconds from the default
-    clock on the real engine, simulated cycles in the discrete-event
-    simulator (which passes its own virtual times). Rings and histograms
+    Timestamps are plain ints: monotonic nanoseconds
+    ([clock_gettime(CLOCK_MONOTONIC)], integer arithmetic end to end)
+    from the default clock on the real engine, simulated cycles in the
+    discrete-event simulator (which passes its own virtual times). Rings and histograms
     are single-writer (each worker records only to its own lane); the
     notify/handshake correlation cells are atomics, racy reads being
     acceptable for observability. *)
@@ -40,6 +41,9 @@ type kind =
   | Idle_enter  (** worker entered the work-search loop *)
   | Idle_exit  (** worker left the work-search loop *)
   | Split  (** lazy loop split off a stealable half; arg = #iterations *)
+  | Fault  (** fault layer fired; arg = fault code (the fault layer's) *)
+  | Cancel  (** cancellation observed; arg = loop chunks skipped *)
+  | Task_exn  (** a task completed exceptionally *)
 
 val all_kinds : kind list
 
@@ -54,9 +58,9 @@ val null : t
 
     @param capacity events retained per worker ring, rounded up to a
       power of two (default 65536).
-    @param clock timestamp source (default: [Unix.gettimeofday] in
-      integer nanoseconds). The simulator ignores it and passes its own
-      virtual times. *)
+    @param clock timestamp source (default: [clock_gettime(MONOTONIC)]
+      in integer nanoseconds, no float rounding anywhere). The simulator
+      ignores it and passes its own virtual times. *)
 val create : ?capacity:int -> ?clock:(unit -> int) -> num_workers:int -> unit -> t
 
 val enabled : t -> bool
@@ -102,6 +106,17 @@ val record_idle_exit : t -> worker:int -> time:int -> unit
 (** A lazy [parallel_for] split off a stealable right half of [iters]
     iterations in response to observed demand. *)
 val record_split : t -> worker:int -> time:int -> iters:int -> unit
+
+(** The fault-injection layer fired on [worker]; [code] identifies the
+    fault kind ({!Lcws_sync} keeps the codes with the plan). *)
+val record_fault : t -> worker:int -> time:int -> code:int -> unit
+
+(** [worker] observed a cancellation request and skipped [chunks] loop
+    chunks (0 when the observation point is not a loop). *)
+val record_cancel : t -> worker:int -> time:int -> chunks:int -> unit
+
+(** A task on [worker] completed by raising. *)
+val record_task_exn : t -> worker:int -> time:int -> unit
 
 (** {2 Reading a trace back} *)
 

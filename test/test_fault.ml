@@ -1,0 +1,362 @@
+(* Fault-injection layer and exception-safe scheduler: seeded plans
+   round-trip and replay deterministically; random (variant x deque x
+   plan x DAG) chaos cases match the sequential oracle or raise exactly
+   the planned exception with every invariant intact; the five variants
+   survive signal-storm and stall plans; and exceptions anywhere — a
+   parallel_for body, the stolen half of a fork_join, a shutdown racing
+   the job — unwind with empty deques and a fully recycled frame pool. *)
+
+open Lcws
+module S = Scheduler
+module F = Fault
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+
+let with_pool ?deque ?fault ?trace ~num_workers ~variant f =
+  let pool = S.Pool.create ?deque ?fault ?trace ~num_workers ~variant () in
+  Fun.protect ~finally:(fun () -> S.Pool.shutdown pool) (fun () -> f pool)
+
+(* Quiescent integrity: nothing left in any deque, every join frame back
+   in its pool, size accessors coherent. Checked after every exceptional
+   unwind — this is the heart of the exception-safety contract. *)
+let quiescent ?(tag = "") pool =
+  let tag = if tag = "" then "" else tag ^ ": " in
+  Alcotest.(check int) (tag ^ "no outstanding tasks") 0 (S.Pool.outstanding_tasks pool);
+  Alcotest.(check int) (tag ^ "no frames in use") 0 (S.Pool.frames_in_use pool);
+  match S.Pool.check_deque_invariants pool with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "%sdeque invariants: %s" tag m
+
+let noop () = ()
+
+let rec fib n =
+  if n < 2 then n
+  else
+    let a, b = S.fork_join (fun () -> fib (n - 1)) (fun () -> fib (n - 2)) in
+    a + b
+
+exception Boom of int
+
+(* {2 Plans: encoding round-trip} *)
+
+(* Probabilities are drawn as eighths so the textual encoding is exact. *)
+let gen_plan_ints = QCheck2.Gen.(list_size (return 10) (int_range 0 8))
+
+let plan_of_ints l =
+  match l with
+  | [ a; b; c; d; e; f; g; h; i; j ] ->
+      let prob k = float_of_int (k mod 5) /. 8.0 in
+      let stall_prob = prob b and delay_signal_prob = prob e in
+      {
+        F.seed = Int64.of_int ((a * 8191) + b + 1);
+        stall_prob;
+        (* A zero-probability fault's polls field is rightly dropped by
+           the encoding, so only pair it with a live probability. *)
+        stall_polls = (if stall_prob = 0. then F.no_faults.F.stall_polls else 1 + c);
+        drop_signal_prob = prob d;
+        delay_signal_prob;
+        delay_polls = (if delay_signal_prob = 0. then F.no_faults.F.delay_polls else 1 + f);
+        steal_fail_prob = prob g;
+        inject_exn = (if h mod 3 = 0 then Some (h mod 4, 1 + i) else None);
+        cancel_at = (if i mod 3 = 0 then Some (j mod 4, 1 + (j * 7)) else None);
+      }
+  | _ -> F.no_faults
+
+let prop_plan_roundtrip l =
+  let p = plan_of_ints l in
+  match F.plan_of_string (F.plan_to_string p) with
+  | Ok p' ->
+      if p = p' then true
+      else
+        QCheck2.Test.fail_reportf "round-trip changed the plan: %s -> %s" (F.plan_to_string p)
+          (F.plan_to_string p')
+  | Error m -> QCheck2.Test.fail_reportf "%S did not parse back: %s" (F.plan_to_string p) m
+
+let test_presets_roundtrip () =
+  List.iter
+    (fun name ->
+      match F.preset ~seed:17L name with
+      | None -> Alcotest.failf "preset %S missing" name
+      | Some p -> (
+          match F.plan_of_string (F.plan_to_string p) with
+          | Ok p' -> Alcotest.(check bool) (name ^ " round-trips") true (p = p')
+          | Error m -> Alcotest.failf "preset %s: %s" name m))
+    F.preset_names
+
+(* {2 Random chaos cases (the QCheck property)}
+
+   Everything about a case — scheduler variant, deque, fault plan and
+   workload DAG — is derived from one integer through a xoshiro stream,
+   so a shrunk counterexample is a one-number repro and the failure
+   message carries the full [Chaos] repro line. The oracle inside
+   [Chaos.run_one] is the property: result = sequential checksum, or
+   exactly the planned [Injected]/[Cancelled]; metrics balanced; deques
+   empty; frames recycled. *)
+
+let gen_case = QCheck2.Gen.int_range 1 1_000_000
+
+let case_of_int c =
+  let rng = Xoshiro.create (Int64.of_int c) in
+  let variant = List.nth S.all_variants (Xoshiro.int rng 5) in
+  let deque =
+    (* The paper's pairing, with WS also exercised on the split deque. *)
+    if variant = S.Ws && Xoshiro.int rng 2 = 0 then S.split_deque_impl
+    else S.default_deque_impl variant
+  in
+  let prob n = float_of_int (Xoshiro.int rng n) /. 4.0 in
+  let plan =
+    {
+      F.seed = Int64.of_int (c lxor 0x5eed);
+      stall_prob = prob 2;
+      stall_polls = 1 + Xoshiro.int rng 8;
+      drop_signal_prob = prob 3;
+      delay_signal_prob = prob 3;
+      delay_polls = 1 + Xoshiro.int rng 8;
+      steal_fail_prob = prob 3;
+      inject_exn =
+        (if Xoshiro.int rng 3 = 0 then Some (Xoshiro.int rng 3, 1 + Xoshiro.int rng 8) else None);
+      cancel_at =
+        (if Xoshiro.int rng 3 = 0 then Some (Xoshiro.int rng 3, 1 + Xoshiro.int rng 64) else None);
+    }
+  in
+  (variant, deque, plan, Int64.of_int c)
+
+let prop_chaos_case c =
+  let variant, deque, plan, wseed = case_of_int c in
+  let r = Chaos.run_one ~variant ~deque ~num_workers:3 ~plan ~wseed () in
+  if Chaos.ok r then true
+  else QCheck2.Test.fail_reportf "%s" (Format.asprintf "%a" Chaos.pp_report r)
+
+(* {2 Chaos stress: storm and stall plans over all five variants} *)
+
+let test_storm_and_stall_sweep () =
+  List.iter
+    (fun wseed ->
+      let plans =
+        List.filter_map
+          (fun n -> Option.map (fun p -> (n, p)) (F.preset ~seed:wseed n))
+          [ "storm"; "stall" ]
+      in
+      let failures = Chaos.sweep ~num_workers:4 ~plans ~seeds:[ wseed ] () in
+      List.iter
+        (fun r -> Alcotest.failf "%s" (Format.asprintf "%a" Chaos.pp_report r))
+        failures)
+    [ 1L; 2L; 3L; 4L ]
+
+(* {2 Deterministic replay (the acceptance demo)}
+
+   With one worker the schedule is sequential, so the plan's k-th-task
+   injection is exactly reproducible: two fresh pools with the same
+   (seed, plan, variant, deque) raise the identical exception, and after
+   the unwind the deques are empty and the frame pool fully recycled. *)
+
+let test_seeded_injection_replays () =
+  let plan = { F.no_faults with F.seed = 42L; inject_exn = Some (0, 5) } in
+  let run_once () =
+    with_pool ~fault:plan ~num_workers:1 ~variant:S.Signal (fun pool ->
+        let e =
+          match
+            S.Pool.run pool (fun () ->
+                for _ = 1 to 10 do
+                  S.fork_join_unit noop noop
+                done)
+          with
+          | () -> Alcotest.fail "expected the planned injection"
+          | exception e -> e
+        in
+        quiescent ~tag:"after injection" pool;
+        let m = S.Pool.metrics pool in
+        Alcotest.(check int) "one exception injected" 1 m.Metrics.exns_injected;
+        Alcotest.(check bool) "plan retrievable" true (S.Pool.fault_plan pool = Some plan);
+        e)
+  in
+  let e1 = run_once () and e2 = run_once () in
+  (match e1 with
+  | F.Injected (0, 5) -> ()
+  | e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e));
+  Alcotest.(check bool) "replay raises the identical exception" true (e1 = e2)
+
+(* {2 Exception-safety regressions} *)
+
+let test_parallel_for_body_raises () =
+  with_pool ~num_workers:4 ~variant:S.Signal (fun pool ->
+      (match
+         S.Pool.run pool (fun () ->
+             S.parallel_for ~grain:4 ~start:0 ~stop:100_000 (fun i ->
+                 if i = 12_345 then raise (Boom i)))
+       with
+      | () -> Alcotest.fail "expected Boom to propagate"
+      | exception Boom 12345 -> ()
+      | exception e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e));
+      quiescent ~tag:"after loop-body exn" pool;
+      (* The first failure won the scope's CAS, so the remaining chunks
+         — the owner's own and any thief's — were skipped, not run. *)
+      let m = S.Pool.metrics pool in
+      Alcotest.(check bool) "remaining chunks were skipped" true (m.Metrics.cancelled_chunks > 0);
+      (* The pool still computes correctly afterwards. *)
+      let v = S.Pool.run pool (fun () -> fib 15) in
+      Alcotest.(check int) "pool usable after" 610 v)
+
+(* The stolen half: injection on a helper worker can only ever fire
+   inside a task that worker stole, so the exception demonstrably
+   crosses from the thief, through the frame's completion word, back to
+   the forking worker's join. Steal timing is real, so we retry the job
+   until worker 1 has stolen at least once (in practice: immediately). *)
+let test_injected_on_stolen_path () =
+  let plan = { F.no_faults with F.seed = 9L; inject_exn = Some (1, 1) } in
+  with_pool ~fault:plan ~num_workers:4 ~variant:S.Signal (fun pool ->
+      let rec attempt k =
+        if k > 20 then Alcotest.fail "worker 1 never stole a task in 20 jobs"
+        else
+          match S.Pool.run pool (fun () -> fib 20) with
+          | _ ->
+              quiescent pool;
+              attempt (k + 1)
+          | exception F.Injected (1, 1) -> quiescent ~tag:"after stolen-half exn" pool
+          | exception e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+      in
+      attempt 1)
+
+(* Frame pool integrity under an exception storm: after a few hundred
+   failing forks the frames are all back, and the un-stolen fast path is
+   still within its minor-word budget (no leak, no degraded reuse). *)
+let test_frame_pool_after_exn_storm () =
+  with_pool ~num_workers:2 ~variant:S.Uslcws (fun pool ->
+      S.Pool.run pool (fun () ->
+          for i = 1 to 200 do
+            match S.fork_join_unit (fun () -> raise (Boom i)) noop with
+            | () -> Alcotest.fail "Boom swallowed"
+            | exception Boom _ -> ()
+          done);
+      quiescent ~tag:"after exn storm" pool;
+      S.Pool.run pool (fun () ->
+          for _ = 1 to 1_000 do
+            S.fork_join_unit noop noop
+          done;
+          let calls = 5_000 in
+          let before = Gc.minor_words () in
+          for _ = 1 to calls do
+            S.fork_join_unit noop noop
+          done;
+          let per_call = (Gc.minor_words () -. before) /. float_of_int calls in
+          if per_call > 16.0 then
+            Alcotest.failf "fast path allocates %.1f minor words/call after the storm" per_call);
+      quiescent pool)
+
+(* {2 Cancellation} *)
+
+let test_cancel_from_other_domain () =
+  with_pool ~num_workers:2 ~variant:S.Half (fun pool ->
+      let started = Atomic.make false in
+      let canceller =
+        Domain.spawn (fun () ->
+            while not (Atomic.get started) do
+              Domain.cpu_relax ()
+            done;
+            S.Pool.cancel pool)
+      in
+      (match
+         S.Pool.run pool (fun () ->
+             S.parallel_for ~grain:1 ~start:0 ~stop:1_000_000_000 (fun _ ->
+                 Atomic.set started true))
+       with
+      | () -> Alcotest.fail "a billion-iteration loop outran cancellation"
+      | exception S.Cancelled -> ()
+      | exception e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e));
+      Domain.join canceller;
+      quiescent ~tag:"after cancel" pool;
+      let m = S.Pool.metrics pool in
+      Alcotest.(check bool) "chunks were skipped" true (m.Metrics.cancelled_chunks > 0);
+      (* The request is cleared on the next run: the pool is reusable. *)
+      let v = S.Pool.run pool (fun () -> fib 12) in
+      Alcotest.(check int) "pool usable after cancel" 144 v)
+
+(* Shutdown racing an in-flight job: the job unwinds with [Cancelled],
+   and a second shutdown (here: [with_pool]'s finally) is a no-op. *)
+let test_shutdown_cancels_inflight () =
+  let pool = S.Pool.create ~num_workers:4 ~variant:S.Signal () in
+  let started = Atomic.make false in
+  let stopper =
+    Domain.spawn (fun () ->
+        while not (Atomic.get started) do
+          Domain.cpu_relax ()
+        done;
+        S.Pool.shutdown pool)
+  in
+  (match
+     S.Pool.run pool (fun () ->
+         S.parallel_for ~grain:1 ~start:0 ~stop:1_000_000_000 (fun _ ->
+             Atomic.set started true))
+   with
+  | () -> Alcotest.fail "job survived shutdown"
+  | exception S.Cancelled -> ()
+  | exception e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e));
+  Domain.join stopper;
+  quiescent ~tag:"after shutdown" pool;
+  Alcotest.(check int) "nothing was orphaned" 0 (S.Pool.metrics pool).Metrics.drained_tasks;
+  (* Idempotent: tearing down again from this domain must be a no-op. *)
+  S.Pool.shutdown pool;
+  S.Pool.shutdown pool
+
+(* The fault plan's own cancellation trigger, driven purely by worker
+   0's poll count: deterministic on one worker. *)
+let test_plan_cancel_fires () =
+  let plan = { F.no_faults with F.seed = 5L; cancel_at = Some (0, 10) } in
+  with_pool ~fault:plan ~num_workers:1 ~variant:S.Cons (fun pool ->
+      (match
+         S.Pool.run pool (fun () ->
+             S.parallel_for ~grain:1 ~start:0 ~stop:1_000_000 (fun _ -> ()))
+       with
+      | () -> Alcotest.fail "plan cancellation never fired"
+      | exception S.Cancelled -> ()
+      | exception e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e));
+      quiescent ~tag:"after plan cancel" pool)
+
+(* {2 Observability: faults land in Metrics and Trace} *)
+
+let test_faults_visible () =
+  let plan = { F.no_faults with F.seed = 3L; steal_fail_prob = 0.5 } in
+  let trace = Trace.create ~capacity:65536 ~num_workers:4 () in
+  with_pool ~fault:plan ~trace ~num_workers:4 ~variant:S.Signal (fun pool ->
+      let v = S.Pool.run pool (fun () -> fib 21) in
+      Alcotest.(check int) "vetoed steals still compute" 10946 v;
+      let m = S.Pool.metrics pool in
+      Alcotest.(check bool) "steal vetoes counted" true (m.Metrics.steal_vetoes > 0);
+      Alcotest.(check bool) "vetoes within attempts" true
+        (m.Metrics.steal_vetoes <= m.Metrics.steal_attempts);
+      let faults = List.assoc Trace.Fault (Trace.counts trace) in
+      Alcotest.(check int) "every veto traced" m.Metrics.steal_vetoes faults)
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "plans",
+        [
+          qtest "encoding round-trips" gen_plan_ints prop_plan_roundtrip;
+          Alcotest.test_case "presets round-trip" `Quick test_presets_roundtrip;
+        ] );
+      ( "chaos",
+        [
+          qtest ~count:30 "random case meets the oracle" gen_case prop_chaos_case;
+          Alcotest.test_case "storm + stall over all variants" `Quick test_storm_and_stall_sweep;
+        ] );
+      ( "exceptions",
+        [
+          Alcotest.test_case "seeded injection replays exactly" `Quick
+            test_seeded_injection_replays;
+          Alcotest.test_case "parallel_for body raises" `Quick test_parallel_for_body_raises;
+          Alcotest.test_case "stolen-half injection propagates" `Quick
+            test_injected_on_stolen_path;
+          Alcotest.test_case "frame pool survives an exn storm" `Quick
+            test_frame_pool_after_exn_storm;
+        ] );
+      ( "cancellation",
+        [
+          Alcotest.test_case "cancel from another domain" `Quick test_cancel_from_other_domain;
+          Alcotest.test_case "shutdown cancels in-flight job" `Quick
+            test_shutdown_cancels_inflight;
+          Alcotest.test_case "plan-driven cancellation" `Quick test_plan_cancel_fires;
+        ] );
+      ("observability", [ Alcotest.test_case "metrics + trace" `Quick test_faults_visible ]);
+    ]

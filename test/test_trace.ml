@@ -96,6 +96,24 @@ let ring_wraparound () =
   let attempts = List.assoc Trace.Steal_attempt (Trace.counts t) in
   Alcotest.(check int) "kind count" 20 attempts
 
+(* Regression: the default clock used to truncate a float of seconds to
+   an int, collapsing every timestamp in the same second to one value
+   (all latencies measured 0). It must be an integer monotonic clock
+   with visibly sub-second resolution. *)
+let default_clock_monotonic () =
+  let t = Trace.create ~capacity:8 ~num_workers:1 () in
+  let a = Trace.now t in
+  let prev = ref a in
+  for _ = 1 to 10_000 do
+    let v = Trace.now t in
+    if v < !prev then Alcotest.failf "clock went backwards: %d after %d" v !prev;
+    prev := v
+  done;
+  Unix.sleepf 0.002;
+  let b = Trace.now t in
+  if b - a < 100_000 then
+    Alcotest.failf "clock advanced only %d over >= 2ms (sub-second truncation?)" (b - a)
+
 let null_is_disabled () =
   let t = Trace.null in
   Alcotest.(check bool) "disabled" false (Trace.enabled t);
@@ -393,6 +411,7 @@ let () =
       ( "ring",
         [
           Alcotest.test_case "wraparound" `Quick ring_wraparound;
+          Alcotest.test_case "default clock monotonic" `Quick default_clock_monotonic;
           Alcotest.test_case "null sink" `Quick null_is_disabled;
           Alcotest.test_case "latency correlation" `Quick latency_correlation;
         ] );
