@@ -75,7 +75,7 @@ let noop () = ()
 let bench_fork_join ~calls ~variant ~deque ~workers =
   run_config ~bench:"fork_join" ~variant ~deque ~workers ~ops:calls ~reps:3 (fun () ->
       for _ = 1 to calls do
-        S.fork_join_unit noop noop
+        S.Ops.fork_join_unit noop noop
       done)
 
 (* Lazy-split loop over a trivial body: throughput in iterations/s, and
@@ -83,7 +83,7 @@ let bench_fork_join ~calls ~variant ~deque ~workers =
 let bench_parallel_for ~n ~variant ~deque ~workers =
   let acc = Array.make 64 0 in
   run_config ~bench:"parallel_for" ~variant ~deque ~workers ~ops:n ~reps:3 (fun () ->
-      S.parallel_for ~grain:256 ~start:0 ~stop:n (fun i ->
+      S.Ops.parallel_for ~grain:256 ~start:0 ~stop:n (fun i ->
           let slot = i land 63 in
           acc.(slot) <- acc.(slot) + i))
 
@@ -102,11 +102,63 @@ let bench_scan ~n ~variant ~deque ~workers =
    — the exposure handshake runs constantly. *)
 let rec skew_chain depth =
   if depth > 0 then
-    S.fork_join_unit (fun () -> ignore (Sys.opaque_identity depth)) (fun () -> skew_chain (depth - 1))
+    S.Ops.fork_join_unit (fun () -> ignore (Sys.opaque_identity depth)) (fun () -> skew_chain (depth - 1))
 
 let bench_steal_heavy ~depth ~variant ~deque ~workers =
   run_config ~bench:"steal_heavy" ~variant ~deque ~workers ~ops:depth ~reps:3 (fun () ->
       skew_chain depth)
+
+(* Fiber suspension: a chain of spawn+await pairs at the root, each one
+   a full park — capture, one-shot resume, continuation re-run. ns/op
+   prices the Suspend/resume handshake itself. *)
+let bench_future ~calls ~variant ~deque ~workers =
+  run_config ~bench:"future" ~variant ~deque ~workers ~ops:calls ~reps:3 (fun () ->
+      for i = 1 to calls do
+        ignore (Sys.opaque_identity (S.Future.await (S.Future.spawn (fun () -> i))))
+      done)
+
+(* External submission: the bench thread feeds the pool through the
+   MPSC injector in batches and awaits each batch, with no Pool.run in
+   flight — the service count keeps helpers serving, and at P=1 the
+   awaiting thread elects itself driver of worker 0. ns/op prices
+   inject + drain + fiber run + external wakeup. Not a [run_config]
+   job: the whole point is running *outside* the pool. *)
+let bench_submit ~calls ~batch ~variant ~deque ~workers =
+  let pool = S.Pool.create ~num_workers:workers ~variant ~deque () in
+  Fun.protect
+    ~finally:(fun () -> S.Pool.shutdown pool)
+    (fun () ->
+      let job () =
+        let rec go k =
+          if k < calls then begin
+            let b = min batch (calls - k) in
+            let futs = List.init b (fun i -> S.Pool.submit pool (fun () -> k + i)) in
+            List.iter (fun fu -> ignore (Sys.opaque_identity (S.Future.await fu))) futs;
+            go (k + b)
+          end
+        in
+        go 0
+      in
+      job ();
+      S.Pool.reset_metrics pool;
+      let w0 = Gc.minor_words () in
+      let t0 = Unix.gettimeofday () in
+      let reps = 3 in
+      for _ = 1 to reps do
+        job ()
+      done;
+      let elapsed_ns = (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int reps in
+      let minor_words = (Gc.minor_words () -. w0) /. float_of_int reps in
+      {
+        bench = "submit";
+        variant;
+        deque;
+        workers;
+        ops = calls;
+        elapsed_ns;
+        minor_words;
+        metrics = S.Pool.metrics pool;
+      })
 
 (* {1 JSON emission} *)
 
@@ -399,6 +451,8 @@ let () =
       let reduce_n = if q then 50_000 else 1_000_000 in
       let scan_n = if q then 20_000 else 500_000 in
       let skew_depth = if q then 2_000 else 20_000 in
+      let fut_calls = if q then 2_000 else 50_000 in
+      let submit_calls = if q then 1_000 else 20_000 in
       let t0 = Unix.gettimeofday () in
       let samples = ref [] in
       let note s = samples := s :: !samples in
@@ -425,7 +479,12 @@ let () =
             [ 1; w ];
           Printf.printf " loops%!";
           note (bench_steal_heavy ~depth:skew_depth ~variant ~deque ~workers:w);
-          Printf.printf " steal_heavy\n%!")
+          Printf.printf " steal_heavy%!";
+          note (bench_future ~calls:fut_calls ~variant ~deque ~workers:w);
+          List.iter
+            (fun workers -> note (bench_submit ~calls:submit_calls ~batch:64 ~variant ~deque ~workers))
+            [ 1; w ];
+          Printf.printf " futures\n%!")
         S.all_variants;
       let json = suite_to_json ~quick:q (List.rev !samples) in
       let oc = open_out !out in

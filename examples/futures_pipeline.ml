@@ -1,0 +1,97 @@
+(* Futures pipeline: the effects-based task API (DESIGN.md §3.6).
+
+   Three stages:
+   1. an unstructured dependency DAG built from [Future.spawn]/[await]
+      inside one job — awaits park the fiber, never the worker;
+   2. a race between two search strategies via [Future.first], with the
+      loser cancelled cooperatively at its next [parallel_for] grain;
+   3. external submission: producer domains feed a running pool through
+      [Pool.submit] with no [Pool.run] on the consumer side at all.
+
+     dune exec examples/futures_pipeline.exe -- [workers] [variant]
+
+   Variants: ws | user | signal | cons | half *)
+
+open Lcws
+module Ops = Scheduler.Ops
+module Future = Scheduler.Future
+
+(* Stage 1: a diamond DAG — [left] and [right] run in parallel, [top]
+   consumes both. Each await that finds its input still pending parks
+   the awaiting fiber; its worker moves on to other tasks. *)
+let diamond () =
+  let base = Future.spawn (fun () -> Array.init 100_000 (fun i -> i land 255)) in
+  let left =
+    Future.spawn (fun () ->
+        let a = Future.await base in
+        let s = ref 0 in
+        Ops.parallel_for ~start:0 ~stop:(Array.length a) (fun i ->
+            if a.(i) land 1 = 0 then incr s);
+        !s)
+  in
+  let right =
+    Future.spawn (fun () ->
+        let a = Future.await base in
+        Array.fold_left (fun acc x -> acc lxor x) 0 a)
+  in
+  let evens, parity = Future.await (Future.both left right) in
+  (evens, parity)
+
+(* Stage 2: race two strategies for the same answer. [Future.first]
+   cancels the loser; its parallel_for stops at the next grain instead
+   of running to completion. *)
+let race n =
+  let count pred label iters =
+    Future.spawn (fun () ->
+        let hits = Atomic.make 0 in
+        for _ = 1 to iters do
+          Ops.parallel_for ~start:0 ~stop:n (fun i ->
+              if pred i then ignore (Atomic.fetch_and_add hits 1))
+        done;
+        (label, Atomic.get hits / iters))
+  in
+  (* Same predicate, but the "slow" strategy grinds 64 redundant passes:
+     the fast one settles first and cancellation reclaims the workers. *)
+  let fast = count (fun i -> i mod 7 = 0) "fast" 1 in
+  let slow = count (fun i -> i mod 7 = 0) "slow" 64 in
+  Future.await (Future.first fast slow)
+
+let () =
+  let workers = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 4 in
+  let variant =
+    if Array.length Sys.argv > 2 then
+      Option.value ~default:Scheduler.Signal (Scheduler.variant_of_string Sys.argv.(2))
+    else Scheduler.Signal
+  in
+  Printf.printf "pool: %d workers, %s scheduler\n%!" workers (Scheduler.variant_label variant);
+  let pool = Scheduler.Pool.create ~num_workers:workers ~variant () in
+
+  (* 1. Diamond DAG of futures inside one job. *)
+  let evens, parity = Scheduler.Pool.run pool diamond in
+  Printf.printf "diamond: evens=%d parity=%d\n%!" evens parity;
+
+  (* 2. Race + cancellation. *)
+  let winner, hits = Scheduler.Pool.run pool (fun () -> race 1_000_000) in
+  Printf.printf "race: %s strategy won, %d multiples of 7\n%!" winner hits;
+
+  (* 3. External submission: two producer domains push work into the
+     pool; this thread awaits the futures. Nobody calls Pool.run — with
+     every worker idle, an awaiting thread elects itself driver. *)
+  let producer lo =
+    Domain.spawn (fun () ->
+        List.init 8 (fun k ->
+            let j = lo + k in
+            Scheduler.Pool.submit pool (fun () ->
+                let s = ref 0 in
+                Ops.parallel_for ~start:0 ~stop:10_000 (fun i -> s := !s + ((i * j) land 7));
+                !s)))
+  in
+  let d1 = producer 0 and d2 = producer 8 in
+  let futs = Domain.join d1 @ Domain.join d2 in
+  let total = List.fold_left (fun acc f -> acc + Future.await f) 0 futs in
+  Printf.printf "submit: 16 external jobs, total=%d\n%!" total;
+
+  let m = Scheduler.Pool.metrics pool in
+  Printf.printf "futures=%d suspends=%d resumes=%d submits=%d steals=%d\n" m.Metrics.futures
+    m.Metrics.suspends m.Metrics.resumes m.Metrics.submits m.Metrics.steals;
+  Scheduler.Pool.shutdown pool

@@ -14,7 +14,7 @@ let rec fib n =
     f n
   end
   else begin
-    let a, b = Scheduler.fork_join (fun () -> fib (n - 1)) (fun () -> fib (n - 2)) in
+    let a, b = Scheduler.Ops.fork_join (fun () -> fib (n - 1)) (fun () -> fib (n - 2)) in
     a + b
   end
 

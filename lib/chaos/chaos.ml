@@ -5,7 +5,7 @@ module Scheduler = Lcws_sched.Scheduler
 
 (* --- workloads -------------------------------------------------------- *)
 
-type dag = Leaf of int | Fork of dag * dag | Loop of int * int
+type dag = Leaf of int | Fork of dag * dag | Loop of int * int | Fut of dag * dag
 
 (* A cheap avalanche hash: the checksum must be commutative (chunks run
    in any order, on any worker) yet sensitive to every contribution, so
@@ -37,8 +37,9 @@ let gen_dag seed =
     decr budget;
     if depth >= 8 || !budget <= 0 then leaf ()
     else
-      match Xoshiro.int rng 5 with
+      match Xoshiro.int rng 6 with
       | 0 | 1 -> leaf ()
+      | 2 -> Fut (go (depth + 1), go (depth + 1))
       | _ -> Fork (go (depth + 1), go (depth + 1))
   in
   (* Always fork at the root: a chaos case with no parallelism at all
@@ -54,17 +55,26 @@ let rec seq_eval = function
       done;
       !s
   | Fork (l, r) -> seq_eval l + seq_eval r
+  | Fut (l, r) -> seq_eval l + seq_eval r
 
 let dag_stats dag =
-  let rec go (leaves, forks, loops, iters) = function
-    | Leaf _ -> (leaves + 1, forks, loops, iters)
-    | Loop (n, _) -> (leaves, forks, loops + 1, iters + n)
+  let rec go (leaves, forks, loops, iters, futs) = function
+    | Leaf _ -> (leaves + 1, forks, loops, iters, futs)
+    | Loop (n, _) -> (leaves, forks, loops + 1, iters + n, futs)
     | Fork (l, r) ->
-        let leaves, forks, loops, iters = go (go (leaves, forks, loops, iters) l) r in
-        (leaves, forks + 1, loops, iters)
+        let leaves, forks, loops, iters, futs =
+          go (go (leaves, forks, loops, iters, futs) l) r
+        in
+        (leaves, forks + 1, loops, iters, futs)
+    | Fut (l, r) ->
+        let leaves, forks, loops, iters, futs =
+          go (go (leaves, forks, loops, iters, futs) l) r
+        in
+        (leaves, forks, loops, iters, futs + 1)
   in
-  let leaves, forks, loops, iters = go (0, 0, 0, 0) dag in
-  Printf.sprintf "%d leaves, %d forks, %d loops (%d iters)" leaves forks loops iters
+  let leaves, forks, loops, iters, futs = go (0, 0, 0, 0, 0) dag in
+  Printf.sprintf "%d leaves, %d forks, %d loops (%d iters), %d futures" leaves forks loops
+    iters futs
 
 (* Per-worker accumulator slots, one cache line apart. The final sum
    runs on worker 0 after every fork has joined, so the helpers' plain
@@ -73,7 +83,7 @@ let par_eval ~num_workers dag =
   let stride = 16 in
   let acc = Array.make (num_workers * stride) 0 in
   let bump v =
-    let i = Scheduler.my_id () * stride in
+    let i = Scheduler.Ops.my_id () * stride in
     acc.(i) <- acc.(i) + v
   in
   let rec go = function
@@ -83,10 +93,22 @@ let par_eval ~num_workers dag =
     | Loop (n, salt) ->
         (* Small grain: many chunk boundaries = many poll and
            cancellation points. *)
-        Scheduler.parallel_for ~grain:8 ~start:0 ~stop:n (fun i ->
+        Scheduler.Ops.parallel_for ~grain:8 ~start:0 ~stop:n (fun i ->
             spin 8;
             bump (mix (salt + i)))
-    | Fork (l, r) -> Scheduler.fork_join_unit (fun () -> go l) (fun () -> go r)
+    | Fork (l, r) -> Scheduler.Ops.fork_join_unit (fun () -> go l) (fun () -> go r)
+    | Fut (l, r) ->
+        let fu = Scheduler.Future.spawn (fun () -> go l) in
+        (* The future must be joined on every path: an exception out of
+           [r] (injected, or cancellation) with [fu] still queued would
+           leave an orphan fiber task in a deque, tripping the
+           post-shutdown drain check. Mirrors fork_join's join-and-
+           discard of the stolen half when the first branch raises. *)
+        (match go r with
+        | () -> Scheduler.Future.await fu
+        | exception e ->
+            (try Scheduler.Future.await fu with _ -> ());
+            raise e)
   in
   go dag;
   Array.fold_left ( + ) 0 acc

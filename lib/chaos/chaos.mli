@@ -26,8 +26,12 @@ module Scheduler = Lcws_sched.Scheduler
 
 (** A checksum DAG: leaves and loop iterations fold hashed values into a
     commutative sum, forks run both sides through [fork_join_unit], loops
-    through [parallel_for]. *)
-type dag = Leaf of int | Fork of dag * dag | Loop of int * int
+    through [parallel_for], and [Fut (l, r)] spawns [l] as a
+    {!Lcws_sched.Scheduler.Future} fiber, evaluates [r], then awaits [l]
+    — so sweeps exercise the suspension protocol (park, one-shot resume,
+    cross-worker migration) under the same fault plans and oracles as
+    the fork/loop paths. *)
+type dag = Leaf of int | Fork of dag * dag | Loop of int * int | Fut of dag * dag
 
 (** [gen_dag seed] — deterministic, a few dozen nodes. *)
 val gen_dag : int64 -> dag

@@ -580,6 +580,98 @@ let fault_protocol ~fresh_read ~name ~expect_violation =
         });
   }
 
+(* {2 Suspension-protocol scenarios}
+
+   The scheduler's fiber suspension handshake (lib/sched): a fiber parks
+   at a [Suspend] effect by registering a one-shot resume closure on the
+   future it awaits, and the completer publishes the future's payload
+   {e before} flipping the state word, then claims the registered waiter
+   with a CAS and fires the resume — which reads the payload on whatever
+   worker it lands on. Three details are load-bearing and modeled here
+   on simulated cells. First, publication order: the plain result slot
+   must be written before the SC state flip, or a resumed continuation
+   reads an unwritten slot. Second, the one-shot claim CAS: both the
+   completer and the suspender's post-registration re-check (the
+   [finished] probe) may try to fire the resume, and exactly one must
+   win or the continuation runs twice. Third, the re-check itself: if
+   completion slipped in between the fast-path state probe and the
+   waiter registration, the suspender self-resumes — drop that and the
+   wakeup is lost. [suspend_protocol ~publish:false] seeds the ISSUE's
+   mutant — resume fired without re-publishing the frame state — and
+   must yield an interleaving where the continuation wakes to a stale
+   slot. *)
+
+let suspend_protocol ~publish ~name ~expect_violation =
+  let module A = Sim_atomic.A in
+  {
+    Explore.name;
+    descr =
+      (if publish then
+         "fiber suspension: publish payload, flip state, claim the one-shot waiter, resume"
+       else
+         "fiber suspension with the resume fired before the payload publish (stale frame \
+          state, on purpose)");
+    expect_violation;
+    spec =
+      (fun () ->
+        let fstate = A.make ~name:"future.state" 0 in
+        let fresult = A.plain ~name:"future.result" 0 in
+        let waiter = A.make ~name:"future.waiter" 0 in
+        let resumes = A.plain ~name:"resumes" 0 in
+        let got = A.plain ~name:"resumed_value" (-1) in
+        (* Running the parked continuation: it reads the frame state the
+           completer was supposed to have re-published. *)
+        let resume () =
+          A.write resumes (A.read resumes + 1);
+          A.write got (A.read fresult)
+        in
+        let suspender () =
+          if A.get fstate = 1 then begin
+            (* [try_await] fast path: already done, no park. *)
+            A.write resumes (A.read resumes + 1);
+            A.write got (A.read fresult)
+          end
+          else begin
+            (* Park: register the one-shot resume... *)
+            A.set waiter 1;
+            (* ...then the [finished] re-check: completion may have won
+               the race with the registration, in which case the
+               suspender must claim its own waiter and self-resume. *)
+            if A.get fstate = 1 && A.compare_and_set waiter 1 2 then resume ()
+          end
+        in
+        let completer () =
+          if publish then begin
+            A.write fresult 42;
+            A.set fstate 1;
+            if A.compare_and_set waiter 1 2 then resume ()
+          end
+          else begin
+            (* Seeded bug: fire the registered resume first and publish
+               the frame state after — the continuation can wake on
+               another worker before the payload write lands. *)
+            if A.compare_and_set waiter 1 2 then resume ();
+            A.write fresult 42;
+            A.set fstate 1
+          end
+        in
+        {
+          Explore.threads = [| ("fiber", suspender); ("completer", completer) |];
+          signal = None;
+          check =
+            (fun () ->
+              let n = A.read resumes and v = A.read got in
+              if n <> 1 then
+                Error
+                  (Printf.sprintf "continuation resumed %d times (must be exactly once)" n)
+              else if v <> 42 then
+                Error
+                  (Printf.sprintf
+                     "resume observed unpublished frame state: read %d, want 42" v)
+              else Ok ());
+        });
+  }
+
 (* {2 Instantiations} *)
 
 module Split_sim = Split
@@ -615,6 +707,7 @@ let all =
     private_script;
     frame_protocol ~wait:true ~name:"frame_reuse" ~expect_violation:false;
     fault_protocol ~fresh_read:true ~name:"fault_protocol" ~expect_violation:false;
+    suspend_protocol ~publish:true ~name:"suspend_protocol" ~expect_violation:false;
   ]
 
 (* The checker's self-test: each seeded mutation re-introduces one
@@ -627,6 +720,7 @@ let mutants =
     Mutant_repair.repair ~name:"mutant_drop_bot_repair" ~expect_violation:true;
     frame_protocol ~wait:false ~name:"mutant_frame_recycle_early" ~expect_violation:true;
     fault_protocol ~fresh_read:false ~name:"mutant_cancel_stale_read" ~expect_violation:true;
+    suspend_protocol ~publish:false ~name:"mutant_resume_unpublished" ~expect_violation:true;
   ]
 
 let find name =

@@ -43,6 +43,14 @@ val frame_protocol : wait:bool -> name:string -> expect_violation:bool -> Explor
 val fault_protocol :
   fresh_read:bool -> name:string -> expect_violation:bool -> Explore.scenario
 
+(** The scheduler's fiber suspension handshake (payload publish before
+    the SC state flip, one-shot waiter-claim CAS, post-registration
+    completion re-check), modeled on simulated cells. [publish:true] is
+    the real protocol; [publish:false] seeds the resume fired without
+    re-publishing the frame state and must yield a counterexample. *)
+val suspend_protocol :
+  publish:bool -> name:string -> expect_violation:bool -> Explore.scenario
+
 (** The standing catalogue: clean deques (plus the deliberate
     [split_signal_unsafe_demo], which reproduces the paper's Section 4
     bug and is {e expected} to fail). *)

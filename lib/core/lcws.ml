@@ -6,12 +6,20 @@
 
       let () =
         let pool = Scheduler.Pool.create ~num_workers:4 ~variant:Scheduler.Signal () in
+        (* Structured parallelism ({!Scheduler.Ops}) and effects-based
+           futures inside a job: *)
         let total =
           Scheduler.Pool.run pool (fun () ->
-            Parallel.map_reduce (fun x -> x * x) ( + ) 0 (Array.init 1_000 Fun.id))
+            let f = Scheduler.Future.spawn (fun () -> 40 + 2) in
+            let s =
+              Parallel.map_reduce (fun x -> x * x) ( + ) 0 (Array.init 1_000 Fun.id)
+            in
+            s + Scheduler.Future.await f)
         in
-        Scheduler.Pool.shutdown pool;
-        Printf.printf "%d\n" total
+        (* External submission — any thread, no [Pool.run] required: *)
+        let f = Scheduler.Pool.submit pool (fun () -> total * 2) in
+        Printf.printf "%d %d\n" total (Scheduler.Future.await f);
+        Scheduler.Pool.shutdown pool
     ]}
 
     Layers, bottom-up:
@@ -23,7 +31,10 @@
       export;
     - {!Scheduler} — the five schedulers (WS, USLCWS, Signal, Cons,
       Half) over real domains (Listings 1 and 3), generic over the
-      {!Deque_intf.DEQUE} signature;
+      {!Deque_intf.DEQUE} signature; its effects-based task core
+      ({!Scheduler.Ops} for structured fork/join and loops,
+      {!Scheduler.Future} for suspendable fibers with cancellation,
+      [Pool.submit] for external submission);
     - {!Parallel}, {!Psort}, {!Prandom} — a Parlay-style algorithm
       toolkit on top of the scheduler;
     - {!Pbbs} — the PBBS-like benchmark suite;
@@ -34,13 +45,15 @@
       runs random DAG workloads under fault plans against a sequential
       oracle;
     - {!Check} — the deterministic interleaving checker for the deque
-      layer (bounded exhaustive exploration with sleep-set pruning,
-      counterexample replay, seeded-mutation self-tests);
+      and protocol layers (bounded exhaustive exploration with
+      sleep-set pruning, counterexample replay, seeded-mutation
+      self-tests, incl. the fiber park/resume handshake);
     - {!Harness} — experiment matrices, statistics and figure printers. *)
 
 module Metrics = Lcws_sync.Metrics
 module Xoshiro = Lcws_sync.Xoshiro
 module Backoff = Lcws_sync.Backoff
+module Injector = Lcws_sync.Injector
 module Fastmath = Lcws_sync.Fastmath
 module Padding = Lcws_sync.Padding
 module Deque_intf = Lcws_deque.Deque_intf

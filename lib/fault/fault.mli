@@ -28,7 +28,17 @@
     A {!none} / inactive [t] compiles the scheduler's hooks down to one
     predictable branch on a plain [bool] field (same discipline as
     {!Lcws_trace.Trace.null}); the acceptance bar is that the bench
-    suite cannot tell the difference. *)
+    suite cannot tell the difference.
+
+    Fiber suspension points are poll points: the scheduler runs {!poll}
+    inside its [Suspend] effect handler (a parking fiber can stall or
+    observe a plan-driven cancellation right between capturing its
+    continuation and registering the resume) and {!inject_now} at fiber
+    entry, so a spawned or submitted task can be made to raise
+    {!Injected} before its body runs. No new plan field is involved —
+    the same seeded streams now simply cover the park/resume handshake
+    too, and chaos DAGs with future nodes replay identically from the
+    same repro line. *)
 
 (** Raised inside a task body by exception injection. The payload is
     [(worker, k)]: the k-th task execution on [worker]. *)

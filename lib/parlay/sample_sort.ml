@@ -35,22 +35,22 @@ let sort ?(seed = 1) cmp a =
       let block_size = (n + nblocks - 1) / nblocks in
       let buckets = Seq_ops.tabulate n (fun i -> bucket_of a.(i)) in
       let counts = Array.make (nblocks * nb) 0 in
-      S.parallel_for ~grain:1 ~start:0 ~stop:nblocks (fun b ->
+      S.Ops.parallel_for ~grain:1 ~start:0 ~stop:nblocks (fun b ->
           let lo = b * block_size and hi = min n ((b + 1) * block_size) in
           let base = b * nb in
           for i = lo to hi - 1 do
             let k = buckets.(i) in
             counts.(base + k) <- counts.(base + k) + 1
           done;
-          S.tick ());
+          S.Ops.tick ());
       let flat = Array.make (nb * nblocks) 0 in
-      S.parallel_for ~grain:4 ~start:0 ~stop:nb (fun k ->
+      S.Ops.parallel_for ~grain:4 ~start:0 ~stop:nb (fun k ->
           for b = 0 to nblocks - 1 do
             flat.((k * nblocks) + b) <- counts.((b * nb) + k)
           done);
       let offsets, _total = Seq_ops.scan ( + ) 0 flat in
       let out = Array.make n a.(0) in
-      S.parallel_for ~grain:1 ~start:0 ~stop:nblocks (fun b ->
+      S.Ops.parallel_for ~grain:1 ~start:0 ~stop:nblocks (fun b ->
           let lo = b * block_size and hi = min n ((b + 1) * block_size) in
           let pos = Array.make nb 0 in
           for k = 0 to nb - 1 do
@@ -61,7 +61,7 @@ let sort ?(seed = 1) cmp a =
             out.(pos.(k)) <- a.(i);
             pos.(k) <- pos.(k) + 1
           done;
-          S.tick ());
+          S.Ops.tick ());
       (* Bucket boundaries, then sort each bucket independently. *)
       let bucket_sizes = Array.make nb 0 in
       for b = 0 to nblocks - 1 do
@@ -70,7 +70,7 @@ let sort ?(seed = 1) cmp a =
         done
       done;
       let bucket_offsets, _ = Seq_ops.scan ( + ) 0 bucket_sizes in
-      S.parallel_for ~grain:1 ~start:0 ~stop:nb (fun k ->
+      S.Ops.parallel_for ~grain:1 ~start:0 ~stop:nb (fun k ->
           let lo = bucket_offsets.(k) in
           let len = bucket_sizes.(k) in
           if len > 1 then begin
@@ -78,7 +78,7 @@ let sort ?(seed = 1) cmp a =
             Array.sort cmp slice;
             Array.blit slice 0 out lo len
           end;
-          S.tick ());
+          S.Ops.tick ());
       out
     end
   end

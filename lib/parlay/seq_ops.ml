@@ -1,14 +1,14 @@
 module S = Lcws_sched.Scheduler
 
 let default_grain n =
-  let p = S.num_workers () in
+  let p = S.Ops.num_workers () in
   max 1 (min 2048 (n / (8 * p)))
 
 let tabulate ?grain n f =
   if n <= 0 then [||]
   else begin
     let a = Array.make n (f 0) in
-    S.parallel_for ?grain ~start:1 ~stop:n (fun i -> a.(i) <- f i);
+    S.Ops.parallel_for ?grain ~start:1 ~stop:n (fun i -> a.(i) <- f i);
     a
   end
 
@@ -17,7 +17,7 @@ let mapi ?grain f a = tabulate ?grain (Array.length a) (fun i -> f i a.(i))
 let map ?grain f a = tabulate ?grain (Array.length a) (fun i -> f a.(i))
 
 let iteri ?grain f a =
-  S.parallel_for ?grain ~start:0 ~stop:(Array.length a) (fun i -> f i a.(i))
+  S.Ops.parallel_for ?grain ~start:0 ~stop:(Array.length a) (fun i -> f i a.(i))
 
 let iter ?grain f a = iteri ?grain (fun _ x -> f x) a
 
@@ -31,13 +31,13 @@ let rec mr_range f op zero grain lo hi =
     for i = lo to hi - 1 do
       acc := op !acc (f i)
     done;
-    S.tick ();
+    S.Ops.tick ();
     !acc
   end
   else begin
     let mid = lo + ((hi - lo) / 2) in
     let l, r =
-      S.fork_join
+      S.Ops.fork_join
         (fun () -> mr_range f op zero grain lo mid)
         (fun () -> mr_range f op zero grain mid hi)
     in
@@ -83,14 +83,14 @@ let scan ?grain op zero a =
       total := op !total block_sums.(b)
     done;
     let out = Array.make n zero in
-    S.parallel_for ~grain:1 ~start:0 ~stop:nblocks (fun b ->
+    S.Ops.parallel_for ~grain:1 ~start:0 ~stop:nblocks (fun b ->
         let lo = b * block and hi = min n ((b + 1) * block) in
         let acc = ref offsets.(b) in
         for i = lo to hi - 1 do
           out.(i) <- !acc;
           acc := op !acc a.(i)
         done;
-        S.tick ());
+        S.Ops.tick ());
     (out, !total)
   end
 
@@ -107,7 +107,7 @@ let pack_index ?grain p a =
     if total = 0 then [||]
     else begin
       let out = Array.make total 0 in
-      S.parallel_for ?grain ~start:0 ~stop:n (fun i ->
+      S.Ops.parallel_for ?grain ~start:0 ~stop:n (fun i ->
           if flags.(i) = 1 then out.(pos.(i)) <- i);
       out
     end
@@ -151,7 +151,7 @@ let filter_mapi ?grain f a =
         find 0
       in
       let out = Array.make total first in
-      S.parallel_for ~grain:1 ~start:0 ~stop:nblocks (fun b ->
+      S.Ops.parallel_for ~grain:1 ~start:0 ~stop:nblocks (fun b ->
           let lo = b * block and hi = min n ((b + 1) * block) in
           let j = ref offsets.(b) in
           for i = lo to hi - 1 do
@@ -161,7 +161,7 @@ let filter_mapi ?grain f a =
                 incr j
             | None -> ()
           done;
-          S.tick ());
+          S.Ops.tick ());
       out
     end
   end
@@ -182,13 +182,13 @@ let flatten parts =
       find 0
     in
     let out = Array.make total first in
-    S.parallel_for ~grain:1 ~start:0 ~stop:(Array.length parts) (fun p ->
+    S.Ops.parallel_for ~grain:1 ~start:0 ~stop:(Array.length parts) (fun p ->
         let part = parts.(p) in
         let off = offs.(p) in
         for j = 0 to Array.length part - 1 do
           out.(off + j) <- part.(j)
         done;
-        S.tick ());
+        S.Ops.tick ());
     out
   end
 

@@ -31,14 +31,14 @@ let rec pmerge cmp grain src dst ~l1 ~h1 ~l2 ~h2 ~dlo =
   let n1 = h1 - l1 and n2 = h2 - l2 in
   if n1 + n2 <= grain then begin
     seq_merge cmp src ~l1 ~h1 ~l2 ~h2 dst ~dlo;
-    S.tick ()
+    S.Ops.tick ()
   end
   else if n1 >= n2 then begin
     let m1 = (l1 + h1) / 2 in
     let pivot = src.(m1) in
     (* Second-run elements equal to the pivot stay on the right. *)
     let m2 = Seq_ops.lower_bound cmp src ~lo:l2 ~hi:h2 pivot in
-    S.fork_join_unit
+    S.Ops.fork_join_unit
       (fun () -> pmerge cmp grain src dst ~l1 ~h1:m1 ~l2 ~h2:m2 ~dlo)
       (fun () ->
         pmerge cmp grain src dst ~l1:m1 ~h1 ~l2:m2 ~h2
@@ -49,7 +49,7 @@ let rec pmerge cmp grain src dst ~l1 ~h1 ~l2 ~h2 ~dlo =
     let pivot = src.(m2) in
     (* First-run elements equal to the pivot stay on the left. *)
     let m1 = Seq_ops.upper_bound cmp src ~lo:l1 ~hi:h1 pivot in
-    S.fork_join_unit
+    S.Ops.fork_join_unit
       (fun () -> pmerge cmp grain src dst ~l1 ~h1:m1 ~l2 ~h2:m2 ~dlo)
       (fun () ->
         pmerge cmp grain src dst ~l1:m1 ~h1 ~l2:m2 ~h2
@@ -83,11 +83,11 @@ let rec sort_rec cmp grain s d lo hi ~to_dst =
       seq_sort_range cmp d lo hi
     end
     else seq_sort_range cmp s lo hi;
-    S.tick ()
+    S.Ops.tick ()
   end
   else begin
     let mid = lo + ((hi - lo) / 2) in
-    S.fork_join_unit
+    S.Ops.fork_join_unit
       (fun () -> sort_rec cmp grain s d lo mid ~to_dst:(not to_dst))
       (fun () -> sort_rec cmp grain s d mid hi ~to_dst:(not to_dst));
     if to_dst then pmerge cmp grain s d ~l1:lo ~h1:mid ~l2:mid ~h2:hi ~dlo:lo
@@ -130,23 +130,23 @@ let radix_sort_by ?grain ~key ~bits a =
       let digit x = (key x lsr shift) land (radix - 1) in
       (* Per-block digit counts. *)
       let counts = Array.make (nblocks * radix) 0 in
-      S.parallel_for ~grain:1 ~start:0 ~stop:nblocks (fun b ->
+      S.Ops.parallel_for ~grain:1 ~start:0 ~stop:nblocks (fun b ->
           let lo = b * block_size and hi = min n ((b + 1) * block_size) in
           let base = b * radix in
           for i = lo to hi - 1 do
             let dg = digit s.(i) in
             counts.(base + dg) <- counts.(base + dg) + 1
           done;
-          S.tick ());
+          S.Ops.tick ());
       (* Column-major (digit-major) exclusive scan gives each block its
          write offset per digit; scatter is then stable. *)
       let flat = Array.make (radix * nblocks) 0 in
-      S.parallel_for ~grain:16 ~start:0 ~stop:radix (fun dg ->
+      S.Ops.parallel_for ~grain:16 ~start:0 ~stop:radix (fun dg ->
           for b = 0 to nblocks - 1 do
             flat.((dg * nblocks) + b) <- counts.((b * radix) + dg)
           done);
       let offsets, _total = Seq_ops.scan ( + ) 0 flat in
-      S.parallel_for ~grain:1 ~start:0 ~stop:nblocks (fun b ->
+      S.Ops.parallel_for ~grain:1 ~start:0 ~stop:nblocks (fun b ->
           let lo = b * block_size and hi = min n ((b + 1) * block_size) in
           let pos = Array.make radix 0 in
           for dg = 0 to radix - 1 do
@@ -157,7 +157,7 @@ let radix_sort_by ?grain ~key ~bits a =
             d.(pos.(dg)) <- s.(i);
             pos.(dg) <- pos.(dg) + 1
           done;
-          S.tick ());
+          S.Ops.tick ());
       src := d;
       dst := s
     done;

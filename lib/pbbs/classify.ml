@@ -72,7 +72,7 @@ let train ?(max_depth = 8) ?(min_leaf = 16) ds =
                 end
                 else right_pos := !right_pos + ds.labels.(r))
               rows;
-            S.tick ();
+            S.Ops.tick ();
             let right_tot = total - !left_tot in
             let w = float_of_int total in
             let impurity =
@@ -93,7 +93,7 @@ let train ?(max_depth = 8) ?(min_leaf = 16) ds =
         let left = P.Seq_ops.filter (fun r -> feature ds r j < t) rows in
         let right = P.Seq_ops.filter (fun r -> feature ds r j >= t) rows in
         let lt, ge =
-          S.fork_join (fun () -> grow left (depth + 1)) (fun () -> grow right (depth + 1))
+          S.Ops.fork_join (fun () -> grow left (depth + 1)) (fun () -> grow right (depth + 1))
         in
         Tnode { feat = j; thresh = t; lt; ge }
       end

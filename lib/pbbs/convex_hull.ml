@@ -34,7 +34,7 @@ let quickhull (pts : point2d array) =
         let left1 = P.Seq_ops.filter (fun i -> cross pa pc pts.(i) > 0.) cands in
         let left2 = P.Seq_ops.filter (fun i -> cross pc pb pts.(i) > 0.) cands in
         let h1, h2 =
-          S.fork_join (fun () -> hull a c left1) (fun () -> hull c b left2)
+          S.Ops.fork_join (fun () -> hull a c left1) (fun () -> hull c b left2)
         in
         h1 @ (c :: h2)
       end
@@ -42,7 +42,7 @@ let quickhull (pts : point2d array) =
     let pl = pts.(l) and pr = pts.(r) in
     let upper = P.Seq_ops.filter (fun i -> cross pl pr pts.(i) > 0.) idx in
     let lower = P.Seq_ops.filter (fun i -> cross pr pl pts.(i) > 0.) idx in
-    let hu, hl = S.fork_join (fun () -> hull l r upper) (fun () -> hull r l lower) in
+    let hu, hl = S.Ops.fork_join (fun () -> hull l r upper) (fun () -> hull r l lower) in
     (* The l→upper→r→lower cycle is clockwise; reverse it for CCW. *)
     Array.of_list (List.rev ((l :: hu) @ (r :: hl)))
   end

@@ -19,7 +19,7 @@ let histogram ~buckets keys =
             let k = keys.(i) in
             counts.(k) <- counts.(k) + 1
           done;
-          S.tick ();
+          S.Ops.tick ();
           counts)
     in
     P.Seq_ops.tabulate buckets (fun k ->

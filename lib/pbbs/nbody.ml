@@ -62,9 +62,9 @@ let build (pts : point2d array) =
         let qx, qy = centers.(q) in
         children.(q) <- Some (go parts.(q) qx qy h2 (depth + 1))
       in
-      S.fork_join_unit
-        (fun () -> S.fork_join_unit (fun () -> build_q 0) (fun () -> build_q 1))
-        (fun () -> S.fork_join_unit (fun () -> build_q 2) (fun () -> build_q 3));
+      S.Ops.fork_join_unit
+        (fun () -> S.Ops.fork_join_unit (fun () -> build_q 0) (fun () -> build_q 1))
+        (fun () -> S.Ops.fork_join_unit (fun () -> build_q 2) (fun () -> build_q 3));
       let kids = Array.map Option.get children in
       let m = Array.fold_left (fun a c -> a +. c.mass) 0. kids in
       let gx = if m = 0. then cx else Array.fold_left (fun a c -> a +. (c.mass *. c.cx)) 0. kids /. m in

@@ -26,7 +26,7 @@ let build (pts : point2d array) =
       let left = Array.sub sorted 0 mid in
       let right = Array.sub sorted mid (Array.length sorted - mid) in
       let next = 1 - axis in
-      let l, r = S.fork_join (fun () -> go left next) (fun () -> go right next) in
+      let l, r = S.Ops.fork_join (fun () -> go left next) (fun () -> go right next) in
       Split { axis; pivot; left = l; right = r }
     end
   in
@@ -107,7 +107,7 @@ module Three_d = struct
         let left = Array.sub sorted 0 mid in
         let right = Array.sub sorted mid (Array.length sorted - mid) in
         let next = (axis + 1) mod 3 in
-        let l, r = S.fork_join (fun () -> go left next) (fun () -> go right next) in
+        let l, r = S.Ops.fork_join (fun () -> go left next) (fun () -> go right next) in
         Split3 { axis; pivot; left = l; right = r }
       end
     in

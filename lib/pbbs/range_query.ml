@@ -33,7 +33,7 @@ let build (pts : point2d array) =
     let half = run / 2 in
     let cur = Array.copy prev in
     let nruns = (n + run - 1) / run in
-    S.parallel_for ~grain:1 ~start:0 ~stop:nruns (fun r ->
+    S.Ops.parallel_for ~grain:1 ~start:0 ~stop:nruns (fun r ->
         let lo = r * run in
         let mid = min n (lo + half) in
         let hi = min n (lo + run) in
@@ -62,7 +62,7 @@ let build (pts : point2d array) =
             incr k
           done
         end;
-        S.tick ());
+        S.Ops.tick ());
     levels.(l) <- cur
   done;
   { n; levels; xs }

@@ -146,7 +146,25 @@ type worker = {
   backoff : Backoff.t;
   mutable frames : frame array; (* the worker's LIFO frame pool... *)
   mutable frame_top : int; (* ...and its stack pointer *)
+  mutable sched_depth : int;
+      (* how many scheduler frames (fork_join branches, join-frame
+         children, loop chunks) the worker is currently executing
+         inside. A fiber may only capture its continuation at depth 0:
+         anything deeper closes over worker-local state — the LIFO
+         frame pool, the loop scope — that cannot migrate to another
+         domain. Saved and reset to 0 around every task a worker runs,
+         because each task starts a fresh delimited computation. *)
+  mutable fscope : bool Atomic.t;
+      (* cancellation flag of the fiber currently executing on this
+         worker ([no_fscope] when the current task has none). Installed
+         by the fiber's task body, restored by [run_task]'s bracket when
+         the step ends — whether by completing or by suspending. *)
 }
+
+(* An externally submitted item: the task to run, and what to do with it
+   if the pool shuts down before any worker drained it (complete the
+   attached future with [Cancelled] so external awaiters never hang). *)
+type injected = { ij_run : task; ij_abort : unit -> unit }
 
 type pool = {
   pvariant : variant;
@@ -169,6 +187,14 @@ type pool = {
                                        [Pool.cancel], [Pool.shutdown] and
                                        the fault layer, cleared at the
                                        start of the next [Pool.run] *)
+  injector : injected Lcws_sync.Injector.t;
+      (* external-submission queue, drained at the workers' steal
+         points; [is_empty] is one atomic load so an idle probe costs
+         nothing measurable *)
+  service : int Atomic.t;
+      (* externally submitted futures not yet completed. Helpers serve
+         the pool while a job is active OR this is non-zero, so
+         [Pool.submit] works between [Pool.run]s too. *)
 }
 
 let ctx_key : (pool * worker) option Domain.DLS.key =
@@ -228,7 +254,21 @@ let exec_frame fr =
           | None -> ()
         end
     | None -> ());
-    (Obj.obj fr.fn : unit -> Obj.t) ()
+    (* The child runs at scheduler depth: a continuation captured under
+       it would close over this worker's frame pool, so [Suspend] is
+       refused (and [Future.await] helps instead of parking) until the
+       child returns. *)
+    (match ctx with Some (_, w) -> w.sched_depth <- w.sched_depth + 1 | None -> ());
+    let leave () =
+      match ctx with Some (_, w) -> w.sched_depth <- w.sched_depth - 1 | None -> ()
+    in
+    match (Obj.obj fr.fn : unit -> Obj.t) () with
+    | v ->
+        leave ();
+        v
+    | exception e ->
+        leave ();
+        raise e
   in
   match run () with
   | v ->
@@ -466,10 +506,229 @@ let idle_pause pool w =
   end
   else Backoff.once w.backoff
 
+(* Wake parked helpers: bump the generation they wait on and broadcast.
+   Used by [Pool.run] (job start) and by external submissions arriving
+   while the pool sits between jobs. *)
+let wake_helpers pool =
+  Mutex.lock pool.mutex;
+  Atomic.incr pool.gen;
+  Condition.broadcast pool.cond;
+  Mutex.unlock pool.mutex
+
+let inject pool entry =
+  Lcws_sync.Injector.push pool.injector entry;
+  wake_helpers pool
+
+(* One steal-point probe of the external-submission queue. A drained
+   task is pushed onto the drainer's own deque rather than run directly,
+   so it flows through the ordinary push/pop/steal protocol (exposure
+   signals, metrics balance, tracing) like any other task — the injector
+   is a source of work, not a second scheduling regime. *)
+let drain_injector pool w =
+  if Lcws_sync.Injector.is_empty pool.injector then false
+  else
+    match Lcws_sync.Injector.pop pool.injector with
+    | None -> false
+    | Some entry ->
+        w.metrics.submits <- w.metrics.submits + 1;
+        let tr = pool.trace in
+        if Trace.enabled tr then Trace.record_submit tr ~worker:w.id ~time:(Trace.now tr);
+        push_task pool w entry.ij_run;
+        true
+
+(* {2 The effects-based task core}
+
+   Every task a worker executes runs inside an effect handler (one
+   static handler value, installed by [run_task]; no per-task handler
+   allocation). User code can then:
+
+   - [perform (Fork t)]: push [t] on the current worker's deque — the
+     primitive [fork_join] is sugar over;
+   - [perform (Suspend register)]: capture the current continuation [k]
+     as a {e fiber}, call [register resume] where [resume] schedules
+     [k]'s resumption (at most once — extra calls are ignored), and
+     return the worker to its run loop without blocking. [resume] is
+     safe from any thread: from a worker of the same pool it pushes the
+     resumption on that worker's deque; from anywhere else it goes
+     through the external-submission injector.
+
+   Suspension is only legal at scheduler depth 0 (not under a
+   [fork_join] branch or a [parallel_for] chunk): a continuation
+   captured there would close over the worker's LIFO frame pool and
+   could not migrate. [Future.await] respects this automatically by
+   helping instead of parking; a direct [Suspend] at depth > 0 is
+   refused with [Invalid_argument] delivered at the perform site. *)
+
+type _ Effect.t +=
+  | Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+  | Fork : task -> unit Effect.t
+
+(* The scope installed when the current task has no fiber cancellation
+   flag of its own. Never set: plain tasks are cancelled only through
+   the pool-level flag. *)
+let no_fscope = Atomic.make false
+
+let record_resume pool w =
+  w.metrics.resumes <- w.metrics.resumes + 1;
+  let tr = pool.trace in
+  if Trace.enabled tr then Trace.record_resume tr ~worker:w.id ~time:(Trace.now tr)
+
+(* Schedule a parked continuation's resumption. The resumption is an
+   ordinary deque task: it re-installs the fiber's cancellation scope
+   and continues [k] on whichever worker picked it up ([run_task]'s
+   bracket restores that worker's previous scope when the step ends).
+   [scope] rides along because the resuming worker is in general not
+   the one that parked. *)
+let schedule_resume pool scope k =
+  let t () =
+    match Domain.DLS.get ctx_key with
+    | Some (_, w) ->
+        record_resume pool w;
+        w.fscope <- scope;
+        Effect.Deep.continue k ()
+    | None -> Effect.Deep.continue k ()
+  in
+  match Domain.DLS.get ctx_key with
+  | Some (pool', w) when pool' == pool -> push_task pool' w t
+  | _ ->
+      inject pool
+        {
+          ij_run = t;
+          ij_abort =
+            (fun () -> try Effect.Deep.discontinue k Cancelled with _ -> ());
+        }
+
+(* The one-shot resume closure handed to [Suspend]'s register callback:
+   the CAS makes double-resume (a completion racing a cancellation, a
+   buggy event source firing twice) a silent no-op instead of a
+   [Continuation_already_resumed] crash on the second caller. *)
+let make_resume pool scope k =
+  let claimed = Atomic.make false in
+  fun () -> if Atomic.compare_and_set claimed false true then schedule_resume pool scope k
+
+let fiber_effc : type b. b Effect.t -> ((b, unit) Effect.Deep.continuation -> unit) option =
+  function
+  | Suspend register ->
+      Some
+        (fun k ->
+          match Domain.DLS.get ctx_key with
+          | Some (pool, w) when w.sched_depth = 0 ->
+              w.metrics.suspends <- w.metrics.suspends + 1;
+              let tr = pool.trace in
+              if Trace.enabled tr then
+                Trace.record_suspend tr ~worker:w.id ~time:(Trace.now tr);
+              (* Suspension points are fault poll points: a plan may
+                 stall here (stretching the window between registering
+                 the waiter and the completion that resumes it) or fire
+                 its cancellation. *)
+              if pool.fault_on then ignore (fault_poll pool w);
+              let resume = make_resume pool w.fscope k in
+              (match register resume with
+              | () -> ()
+              | exception e -> Effect.Deep.discontinue k e)
+          | Some _ ->
+              Effect.Deep.discontinue k
+                (Invalid_argument
+                   "Scheduler: Suspend inside a fork_join branch or parallel_for chunk")
+          | None ->
+              Effect.Deep.discontinue k (Invalid_argument "Scheduler: Suspend outside a pool"))
+  | Fork t ->
+      Some
+        (fun k ->
+          (match Domain.DLS.get ctx_key with
+          | Some (pool, w) -> push_task pool w t
+          | None -> t ());
+          Effect.Deep.continue k ())
+  | _ -> None
+
+(* One handler value for the whole program: installing it is just the
+   [match_with] frame, no allocation per task. *)
+let fiber_handler : (unit, unit) Effect.Deep.handler =
+  { retc = (fun () -> ()); exnc = (fun e -> raise e); effc = fiber_effc }
+
+let run_fiber (body : unit -> unit) = Effect.Deep.match_with body () fiber_handler
+
+(* Execute one task as one fiber step. The bracket saves and restores
+   the worker's scheduler depth and cancellation scope around the
+   delimited computation: a task starts a fresh context (depth 0, no
+   scope) even when run from a helping loop nested under a join, and
+   whatever scope the task installed for itself dies with the step —
+   which ends either by completing or by suspending. *)
+let run_task pool w (t : task) =
+  w.metrics.tasks_run <- w.metrics.tasks_run + 1;
+  let tr = pool.trace in
+  let traced = Trace.enabled tr in
+  if traced then Trace.record_task_start tr ~worker:w.id ~time:(Trace.now tr);
+  let saved_depth = w.sched_depth and saved_scope = w.fscope in
+  w.sched_depth <- 0;
+  w.fscope <- no_fscope;
+  let leave () =
+    w.sched_depth <- saved_depth;
+    w.fscope <- saved_scope;
+    if traced then Trace.record_task_end tr ~worker:w.id ~time:(Trace.now tr)
+  in
+  match run_fiber t with
+  | () -> leave ()
+  | exception e ->
+      leave ();
+      raise e
+
+(* The worker run loop shared by every blocking point — helping a join
+   whose child was stolen, awaiting a future from a non-suspendable
+   context, driving a suspended root fiber to completion: run own and
+   stolen tasks (and drain external submissions) until [done_ ()]. *)
+let help_while pool w done_ =
+  let tr = pool.trace in
+  let traced = Trace.enabled tr in
+  let search_start = ref (-1) in
+  let idle_enter () =
+    if traced && !search_start < 0 then begin
+      let time = Trace.now tr in
+      search_start := time;
+      Trace.record_idle_enter tr ~worker:w.id ~time
+    end
+  in
+  let idle_exit () =
+    if traced && !search_start >= 0 then begin
+      Trace.record_idle_exit tr ~worker:w.id ~time:(Trace.now tr);
+      search_start := -1
+    end
+  in
+  Backoff.reset w.backoff;
+  while not (done_ ()) do
+    handle_pending pool w;
+    match pop_own pool w with
+    | Some t ->
+        idle_exit ();
+        Backoff.reset w.backoff;
+        run_task pool w t
+    | None ->
+        if not (done_ ()) then begin
+          w.metrics.idle_loops <- w.metrics.idle_loops + 1;
+          idle_enter ();
+          if drain_injector pool w then idle_exit ()
+          else
+            match steal_once pool w ~search_start:!search_start with
+            | Some t ->
+                idle_exit ();
+                Backoff.reset w.backoff;
+                run_task pool w t
+            | None -> idle_pause pool w
+        end
+  done;
+  idle_exit ()
+
+(* Do the helpers have a reason to be awake? A running job, or
+   externally submitted futures not yet completed. *)
+let serving pool =
+  (not (Atomic.get pool.stop))
+  && (Atomic.get pool.job_active || Atomic.get pool.service > 0)
+
 (* Helper workers' task acquisition (Listing 1's [get_task]): own deque,
-   then repeated steal attempts until the job ends. *)
+   then the injector and repeated steal attempts, until neither a job
+   nor outstanding submissions remain. *)
 let get_task pool w =
-  if not (Atomic.get pool.job_active) then None
+  if not (serving pool) then None
   else
     match pop_own pool w with
     | Some _ as r -> r
@@ -485,25 +744,22 @@ let get_task pool w =
           r
         in
         let rec loop () =
-          if not (Atomic.get pool.job_active) then finish None
+          if not (serving pool) then finish None
           else begin
             w.metrics.idle_loops <- w.metrics.idle_loops + 1;
-            match steal_once pool w ~search_start with
-            | Some _ as r -> finish r
-            | None ->
-                idle_pause pool w;
-                loop ()
+            if drain_injector pool w then
+              match pop_own pool w with
+              | Some _ as r -> finish r
+              | None -> loop () (* someone stole the drained task already *)
+            else
+              match steal_once pool w ~search_start with
+              | Some _ as r -> finish r
+              | None ->
+                  idle_pause pool w;
+                  loop ()
           end
         in
         loop ()
-
-let run_task pool w (t : task) =
-  w.metrics.tasks_run <- w.metrics.tasks_run + 1;
-  let tr = pool.trace in
-  let traced = Trace.enabled tr in
-  if traced then Trace.record_task_start tr ~worker:w.id ~time:(Trace.now tr);
-  t ();
-  if traced then Trace.record_task_end tr ~worker:w.id ~time:(Trace.now tr)
 
 let helper_body pool w =
   Domain.DLS.set ctx_key (Some (pool, w));
@@ -530,6 +786,311 @@ let helper_body pool w =
     end
   in
   wait_loop ()
+
+(* Ambient [Suspend]: park the current fiber. From a worker at scheduler
+   depth 0 this performs the effect; deeper (inside a fork_join branch
+   or a loop chunk) the continuation cannot legally be captured, so the
+   worker helps with other work until resumed — same observable
+   semantics, no parking. Outside any pool the calling thread blocks on
+   a condvar until [resume] fires (the degenerate one-thread
+   scheduler). *)
+let suspend (register : (unit -> unit) -> unit) : unit =
+  match Domain.DLS.get ctx_key with
+  | Some (_, w) when w.sched_depth = 0 -> Effect.perform (Suspend register)
+  | Some (pool, w) ->
+      let resumed = Atomic.make false in
+      register (fun () -> Atomic.set resumed true);
+      help_while pool w (fun () -> Atomic.get resumed)
+  | None ->
+      let m = Mutex.create () in
+      let c = Condition.create () in
+      let resumed = ref false in
+      register (fun () ->
+          Mutex.lock m;
+          resumed := true;
+          Condition.signal c;
+          Mutex.unlock m);
+      Mutex.lock m;
+      while not !resumed do
+        Condition.wait c m
+      done;
+      Mutex.unlock m
+
+(* Ambient [Fork]: push a task on the calling worker's deque (run
+   immediately outside a pool). Equivalent to [perform (Fork t)] from
+   under the handler, without requiring one. *)
+let fork (t : task) : unit =
+  match Domain.DLS.get ctx_key with
+  | Some (pool, w) -> push_task pool w t
+  | None -> t ()
+
+(* {2 Futures}
+
+   The state machine is one atomic word per future:
+
+   {v Pending [w1; ...; wn]  --complete-->  Done result v}
+
+   Waiters CAS themselves into the pending list; the completer CASes the
+   [Done] in (exactly one completion wins — a cancellation racing the
+   computation's own finish resolves here) and then runs every waiter
+   callback, FIFO. A waiter that arrives after completion runs
+   immediately on its own thread. Everything else — parking fibers,
+   external blocking, combinators — is built from [add_waiter] +
+   [complete]. *)
+module Future = struct
+  type 'a state =
+    | Pending of (unit -> unit) list (* waiter callbacks, newest first *)
+    | Done of ('a, exn) result
+
+  type 'a t = {
+    st : 'a state Atomic.t;
+    fcancel : bool Atomic.t;
+        (* the fiber scope: installed as [w.fscope] while the future's
+           computation runs, observed by [Ops.cancelled] and by
+           [parallel_for] chunks through the loop scope *)
+    fpool : pool option;
+        (* where the computation (or, for a combinator, its inputs)
+           runs: lets an external awaiter drive worker 0 when no job is
+           in flight — a single-worker pool has no helper domains at
+           all, so without this an external await could hang *)
+    fservice : bool; (* completion decrements [fpool]'s service count *)
+  }
+
+  let make ?pool:fpool ?(service = false) () =
+    { st = Atomic.make (Pending []); fcancel = Atomic.make false; fpool; fservice = service }
+
+  let of_result r =
+    { st = Atomic.make (Done r); fcancel = Atomic.make false; fpool = None; fservice = false }
+
+  let rec add_waiter fut cb =
+    match Atomic.get fut.st with
+    | Done _ -> cb ()
+    | Pending ws as old ->
+        if Atomic.compare_and_set fut.st old (Pending (cb :: ws)) then ()
+        else add_waiter fut cb
+
+  (* [true] iff this call won the completion race. *)
+  let rec complete fut r =
+    match Atomic.get fut.st with
+    | Done _ -> false
+    | Pending ws as old ->
+        if Atomic.compare_and_set fut.st old (Done r) then begin
+          (if fut.fservice then
+             match fut.fpool with
+             | Some p -> ignore (Atomic.fetch_and_add p.service (-1))
+             | None -> ());
+          List.iter (fun cb -> cb ()) (List.rev ws);
+          true
+        end
+        else complete fut r
+
+  let try_await fut = match Atomic.get fut.st with Done r -> Some r | Pending _ -> None
+
+  let is_done fut = match Atomic.get fut.st with Done _ -> true | Pending _ -> false
+
+  let unwrap = function Ok v -> v | Error e -> raise e
+
+  let finished fut =
+    match Atomic.get fut.st with Done r -> unwrap r | Pending _ -> assert false
+
+  (* The task body a future's computation runs as: one fresh fiber. It
+     installs the future's cancellation flag as the worker's scope
+     ([run_task]'s bracket uninstalls it when the step ends), observes
+     cancellation and exception injection before starting, and
+     publishes its outcome through [complete] — waking every waiter,
+     wherever it parked. Nothing after a potential suspension point may
+     touch the worker captured here: the fiber can migrate, so
+     post-[f] code re-reads the context. *)
+  let fiber_task (type a) fut (f : unit -> a) : task =
+   fun () ->
+    match Domain.DLS.get ctx_key with
+    | Some (pool, w) ->
+        w.fscope <- fut.fcancel;
+        let r =
+          if Atomic.get pool.cancel_requested || Atomic.get fut.fcancel then Error Cancelled
+          else begin
+            match
+              if pool.fault_on then
+                Fault.inject_now pool.fault ~worker:w.id ~metrics:w.metrics
+              else None
+            with
+            | Some (iw, k) ->
+                record_fault pool w Fault.code_inject;
+                Error (Fault.Injected (iw, k))
+            | None -> ( match f () with v -> Ok v | exception e -> Error e)
+          end
+        in
+        (match r with
+        | Ok _ -> ()
+        | Error _ -> (
+            (* re-read: [f] may have suspended and resumed elsewhere *)
+            match Domain.DLS.get ctx_key with
+            | Some (pool', w') ->
+                w'.metrics.task_exns <- w'.metrics.task_exns + 1;
+                let tr = pool'.trace in
+                if Trace.enabled tr then
+                  Trace.record_task_exn tr ~worker:w'.id ~time:(Trace.now tr)
+            | None -> ()));
+        ignore (complete fut r)
+    | None -> ignore (complete fut (match f () with v -> Ok v | exception e -> Error e))
+
+  let spawn (f : unit -> 'a) : 'a t =
+    match Domain.DLS.get ctx_key with
+    | None -> of_result (match f () with v -> Ok v | exception e -> Error e)
+    | Some (pool, w) ->
+        let fut = make ~pool () in
+        w.metrics.futures <- w.metrics.futures + 1;
+        push_task pool w (fiber_task fut f);
+        fut
+
+  let cancel fut =
+    Atomic.set fut.fcancel true;
+    ignore (complete fut (Error Cancelled))
+
+  (* External blocking await with self-driving: if the future's pool has
+     no job in flight, the awaiting thread elects itself the driver (the
+     same exclusivity word [Pool.run] uses) and schedules on worker 0
+     until the future settles. Losers of the election park on the
+     pool's condvar; the winner broadcasts when it releases, so pending
+     externals chain as drivers. *)
+  let block_on_pool pool fut =
+    add_waiter fut (fun () ->
+        Mutex.lock pool.mutex;
+        Condition.broadcast pool.cond;
+        Mutex.unlock pool.mutex);
+    let rec wait_loop () =
+      if is_done fut || Atomic.get pool.stop then ()
+      else if Atomic.compare_and_set pool.running false true then begin
+        let w0 = pool.workers.(0) in
+        let saved = Domain.DLS.get ctx_key in
+        Domain.DLS.set ctx_key (Some (pool, w0));
+        let leave () =
+          Domain.DLS.set ctx_key saved;
+          Atomic.set pool.running false;
+          Mutex.lock pool.mutex;
+          Condition.broadcast pool.cond;
+          Mutex.unlock pool.mutex
+        in
+        (match help_while pool w0 (fun () -> is_done fut || Atomic.get pool.stop) with
+        | () -> leave ()
+        | exception e ->
+            leave ();
+            raise e);
+        wait_loop ()
+      end
+      else begin
+        Mutex.lock pool.mutex;
+        if (not (is_done fut)) && Atomic.get pool.running && not (Atomic.get pool.stop)
+        then Condition.wait pool.cond pool.mutex;
+        Mutex.unlock pool.mutex;
+        wait_loop ()
+      end
+    in
+    wait_loop ();
+    match Atomic.get fut.st with
+    | Done r -> unwrap r
+    | Pending _ -> raise Cancelled (* the pool shut down under us *)
+
+  (* Plain condvar blocking for pool-less futures (only reachable for
+     already-settled sequential-fallback futures and hand-built ones). *)
+  let block_plain fut =
+    let m = Mutex.create () in
+    let c = Condition.create () in
+    add_waiter fut (fun () ->
+        Mutex.lock m;
+        Condition.broadcast c;
+        Mutex.unlock m);
+    Mutex.lock m;
+    while not (is_done fut) do
+      Condition.wait c m
+    done;
+    Mutex.unlock m;
+    finished fut
+
+  let await (fut : 'a t) : 'a =
+    match Atomic.get fut.st with
+    | Done r -> unwrap r
+    | Pending _ -> (
+        match Domain.DLS.get ctx_key with
+        | Some (_, w) when w.sched_depth = 0 ->
+            (* Fiber context: park. If the future completed between the
+               [Pending] read and the register call, [add_waiter] runs
+               the resume immediately and the continuation lands on the
+               worker's own deque — no lost wakeup. *)
+            Effect.perform (Suspend (fun resume -> add_waiter fut resume));
+            finished fut
+        | Some (pool, w) ->
+            (* Under a fork_join branch or loop chunk: the continuation
+               cannot be captured, so help until the future settles. *)
+            help_while pool w (fun () -> is_done fut);
+            finished fut
+        | None -> (
+            match fut.fpool with Some pool -> block_on_pool pool fut | None -> block_plain fut))
+
+  let inherited a b = match a.fpool with Some _ as p -> p | None -> b.fpool
+
+  let both (a : 'a t) (b : 'b t) : ('a * 'b) t =
+    let fut =
+      { st = Atomic.make (Pending []); fcancel = Atomic.make false;
+        fpool = inherited a b; fservice = false }
+    in
+    let remaining = Atomic.make 2 in
+    let arm () =
+      if Atomic.fetch_and_add remaining (-1) = 1 then begin
+        let ra = match Atomic.get a.st with Done r -> r | Pending _ -> assert false in
+        let rb = match Atomic.get b.st with Done r -> r | Pending _ -> assert false in
+        ignore
+          (complete fut
+             (match (ra, rb) with
+             | Ok x, Ok y -> Ok (x, y)
+             | Error e, _ -> Error e
+             | _, Error e -> Error e))
+      end
+    in
+    add_waiter a arm;
+    add_waiter b arm;
+    fut
+
+  let first (a : 'a t) (b : 'a t) : 'a t =
+    let fut =
+      { st = Atomic.make (Pending []); fcancel = Atomic.make false;
+        fpool = inherited a b; fservice = false }
+    in
+    let settle r loser = if complete fut r then cancel loser in
+    add_waiter a (fun () ->
+        match Atomic.get a.st with Done r -> settle r b | Pending _ -> ());
+    add_waiter b (fun () ->
+        match Atomic.get b.st with Done r -> settle r a | Pending _ -> ());
+    fut
+
+  let all (futs : 'a t list) : 'a list t =
+    match futs with
+    | [] -> of_result (Ok [])
+    | f0 :: _ ->
+        let fut =
+          { st = Atomic.make (Pending []); fcancel = Atomic.make false;
+            fpool = f0.fpool; fservice = false }
+        in
+        let remaining = Atomic.make (List.length futs) in
+        let arm () =
+          if Atomic.fetch_and_add remaining (-1) = 1 then begin
+            (* first error in list order wins, matching [fork_join]'s
+               left-to-right exception priority *)
+            let rec collect = function
+              | [] -> Ok []
+              | f :: rest -> (
+                  match Atomic.get f.st with
+                  | Done (Ok v) -> (
+                      match collect rest with Ok vs -> Ok (v :: vs) | Error e -> Error e)
+                  | Done (Error e) -> Error e
+                  | Pending _ -> assert false)
+            in
+            ignore (complete fut (collect futs))
+          end
+        in
+        List.iter (fun f -> add_waiter f arm) futs;
+        fut
+end
 
 module Pool = struct
   type t = pool
@@ -564,6 +1125,8 @@ module Pool = struct
         backoff = Backoff.create ~min_wait:1 ~max_wait:64 ~metrics ();
         frames = Array.init initial_frames (fun _ -> make_frame ());
         frame_top = 0;
+        sched_depth = 0;
+        fscope = no_fscope;
       }
     in
     let pool =
@@ -583,6 +1146,8 @@ module Pool = struct
         fault;
         fault_on = Fault.active fault;
         cancel_requested = Atomic.make false;
+        injector = Lcws_sync.Injector.create ();
+        service = Atomic.make 0;
       }
     in
     pool.domains <-
@@ -593,11 +1158,25 @@ module Pool = struct
 
   let run pool f =
     if Atomic.get pool.stop then invalid_arg "Pool.run: pool was shut down";
+    (* Re-entrancy: from one of this pool's own workers, [run] can never
+       be correct — the calling domain already *is* a worker, and
+       impersonating worker 0 on top of it would give two domains the
+       same deque. (When a job is active the [running] CAS below also
+       catches this, but a submitted task executing between jobs would
+       otherwise slip through.) *)
+    (match Domain.DLS.get ctx_key with
+    | Some (pool', _) when pool' == pool ->
+        invalid_arg
+          "Pool.run: called from inside one of this pool's own workers (use Future.spawn \
+           or Pool.submit instead)"
+    | _ -> ());
     if not (Atomic.compare_and_set pool.running false true) then
       invalid_arg "Pool.run: a job is already running";
     let w0 = pool.workers.(0) in
     let saved = Domain.DLS.get ctx_key in
     Domain.DLS.set ctx_key (Some (pool, w0));
+    w0.sched_depth <- 0;
+    w0.fscope <- no_fscope;
     (* A previous job's cancellation (a fault plan's, or an explicit
        [cancel] that landed after the job ended) must not bleed into
        this one. *)
@@ -610,15 +1189,65 @@ module Pool = struct
     let finish () =
       Atomic.set pool.job_active false;
       Domain.DLS.set ctx_key saved;
-      Atomic.set pool.running false
+      Atomic.set pool.running false;
+      (* External awaiters may be parked on the pool's condvar waiting
+         for the driver seat we just vacated. *)
+      Mutex.lock pool.mutex;
+      Condition.broadcast pool.cond;
+      Mutex.unlock pool.mutex
     in
-    match f () with
-    | v ->
-        finish ();
-        v
+    (* The job is a root fiber: [f] runs under the effect handler, so it
+       may suspend ([Future.await] at top level parks instead of
+       spinning). If it does, worker 0 keeps scheduling — running its
+       own deque, stolen work and external submissions — until the
+       root's continuation, wherever it resumed, publishes the
+       outcome. *)
+    let root_done = Atomic.make false in
+    let outcome = ref None in
+    let root () =
+      (match f () with
+      | v -> outcome := Some (Ok v)
+      | exception e -> outcome := Some (Error (e, Printexc.get_raw_backtrace ())));
+      Atomic.set root_done true
+    in
+    (match run_fiber root with
+    | () -> ()
     | exception e ->
+        (* unreachable in practice: [root] catches everything *)
         finish ();
-        raise e
+        raise e);
+    if not (Atomic.get root_done) then
+      help_while pool w0 (fun () -> Atomic.get root_done);
+    finish ();
+    match !outcome with
+    | Some (Ok v) -> v
+    | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+    | None -> assert false
+
+  (* Thread-safe external (or worker-side) submission: the task runs as
+     a fiber on the pool; the future can be awaited from anywhere. From
+     a worker of this pool the task goes straight onto that worker's
+     deque; from any other thread it goes through the MPSC injector,
+     which workers drain at their steal points. The service count keeps
+     helpers scheduling for the future even with no [run] in flight. *)
+  let submit (type a) pool (f : unit -> a) : a Future.t =
+    if Atomic.get pool.stop then invalid_arg "Pool.submit: pool was shut down";
+    let fut = Future.make ~pool ~service:true () in
+    Atomic.incr pool.service;
+    (match Domain.DLS.get ctx_key with
+    | Some (pool', w) when pool' == pool ->
+        w.metrics.submits <- w.metrics.submits + 1;
+        w.metrics.futures <- w.metrics.futures + 1;
+        let tr = pool.trace in
+        if Trace.enabled tr then Trace.record_submit tr ~worker:w.id ~time:(Trace.now tr);
+        push_task pool' w (Future.fiber_task fut f)
+    | _ ->
+        inject pool
+          {
+            ij_run = Future.fiber_task fut f;
+            ij_abort = (fun () -> ignore (Future.complete fut (Error Cancelled)));
+          });
+    fut
 
   let cancel pool = request_cancel pool
 
@@ -635,6 +1264,22 @@ module Pool = struct
       Mutex.unlock pool.mutex;
       List.iter Domain.join pool.domains;
       pool.domains <- [];
+      (* Wait out the driver seat — a [run] caller unwinding through its
+         cancellation points, or an external awaiter driving worker 0.
+         Both observe [stop] and release; holding the seat through the
+         sweep below means no concurrent deque owner. *)
+      while not (Atomic.compare_and_set pool.running false true) do
+        Domain.cpu_relax ()
+      done;
+      (* Externally submitted tasks that never reached a worker: abort
+         them, completing their futures with [Cancelled] so external
+         awaiters unwind instead of hanging. *)
+      (match Lcws_sync.Injector.drain pool.injector with
+      | [] -> ()
+      | entries ->
+          let w0 = pool.workers.(0) in
+          w0.metrics.drained_tasks <- w0.metrics.drained_tasks + List.length entries;
+          List.iter (fun e -> e.ij_abort ()) entries);
       (* Every completed job joins all its frames, so the deques are
          normally empty here; this sweep is the backstop that restores
          the pool's invariants if a job was torn down abnormally. *)
@@ -646,7 +1291,12 @@ module Pool = struct
             w.metrics.drained_tasks <- w.metrics.drained_tasks + n;
             D.clear d
           end)
-        pool.workers
+        pool.workers;
+      Atomic.set pool.running false;
+      (* Wake any external awaiters still parked on the condvar. *)
+      Mutex.lock pool.mutex;
+      Condition.broadcast pool.cond;
+      Mutex.unlock pool.mutex
     end
 
   let num_workers pool = pool.nw
@@ -674,7 +1324,8 @@ module Pool = struct
       (fun acc w ->
         let (Instance ((module D), d)) = w.deque in
         acc + D.size d)
-      0 pool.workers
+      (Lcws_sync.Injector.size pool.injector)
+      pool.workers
 
   let frames_in_use pool = Array.fold_left (fun acc w -> acc + w.frame_top) 0 pool.workers
 
@@ -701,7 +1352,7 @@ let my_id () = match Domain.DLS.get ctx_key with None -> 0 | Some (_, w) -> w.id
 let cancelled () =
   match Domain.DLS.get ctx_key with
   | None -> false
-  | Some (pool, _) -> Atomic.get pool.cancel_requested
+  | Some (pool, w) -> Atomic.get pool.cancel_requested || Atomic.get w.fscope
 
 let check_cancel () = if cancelled () then raise Cancelled
 
@@ -788,14 +1439,23 @@ let rec join_frame pool w fr : Obj.t =
           (* The inline twin of [exec_frame]'s injection point, so the
              k-th task of a worker raises whether or not it was stolen.
              Written without an intermediate closure: this is the
-             fork/join fast path and must not allocate. *)
+             fork/join fast path and must not allocate. The depth bump
+             (two plain int stores) marks the child as a scheduler
+             frame, under which suspension is refused. *)
           (if pool.fault_on then
              match Fault.inject_now pool.fault ~worker:w.id ~metrics:w.metrics with
              | Some (iw, k) ->
                  record_fault pool w Fault.code_inject;
                  raise (Fault.Injected (iw, k))
              | None -> ());
-          (Obj.obj fr.fn : unit -> Obj.t) ()
+          w.sched_depth <- w.sched_depth + 1;
+          (match (Obj.obj fr.fn : unit -> Obj.t) () with
+          | v ->
+              w.sched_depth <- w.sched_depth - 1;
+              v
+          | exception e ->
+              w.sched_depth <- w.sched_depth - 1;
+              raise e)
         with
         | v ->
             if traced then Trace.record_task_end tr ~worker:w.id ~time:(Trace.now tr);
@@ -841,7 +1501,18 @@ let fork_join (type a b) (f : unit -> a) (g : unit -> b) : a * b =
              frame can recycle immediately. *)
           release_frame w fr;
           raise e);
-      (match f () with
+      (match
+         (* [f] runs at scheduler depth: its continuation includes this
+            join, which closes over [w], so it must not migrate. *)
+         w.sched_depth <- w.sched_depth + 1;
+         (match f () with
+         | a ->
+             w.sched_depth <- w.sched_depth - 1;
+             a
+         | exception e ->
+             w.sched_depth <- w.sched_depth - 1;
+             raise e)
+       with
       | a ->
           let b : b = Obj.obj (join_frame pool w fr) in
           (a, b)
@@ -865,7 +1536,14 @@ let fork_join_unit (f : unit -> unit) (g : unit -> unit) : unit =
       | exception e ->
           release_frame w fr;
           raise e);
-      (match f () with
+      (match
+         w.sched_depth <- w.sched_depth + 1;
+         (match f () with
+         | () -> w.sched_depth <- w.sched_depth - 1
+         | exception e ->
+             w.sched_depth <- w.sched_depth - 1;
+             raise e)
+       with
       | () -> ignore (join_frame pool w fr)
       | exception e ->
           join_frame_discard pool w fr;
@@ -909,14 +1587,21 @@ let want_split pool w =
 type loop_scope = {
   lflag : bool Atomic.t; (* some chunk raised; siblings skip *)
   mutable lexn : exn option; (* the winning exception *)
+  lcancel : bool Atomic.t;
+      (* the spawning fiber's cancellation flag, captured at
+         [parallel_for] entry: [Future.cancel] on the enclosing fiber
+         cancels the loop's chunks wherever they run — the split halves
+         carry the scope in their closures, so a thief executing one
+         observes the same flag the owner does *)
 }
 
 (* One grain-sized chunk under the scope's discipline. Pool-level
-   cancellation ([Pool.cancel] / shutdown / a fault plan) outranks the
-   scope and raises [Cancelled] — it must unwind the whole job, not just
-   this loop. *)
+   cancellation ([Pool.cancel] / shutdown / a fault plan) and fiber
+   cancellation (the loop scope's [lcancel]) outrank the exception flag
+   and raise [Cancelled] — they must unwind the whole computation, not
+   just this loop. *)
 let run_chunk pool w scope body lo hi =
-  if Atomic.get pool.cancel_requested then begin
+  if Atomic.get pool.cancel_requested || Atomic.get scope.lcancel then begin
     w.metrics.cancelled_chunks <- w.metrics.cancelled_chunks + 1;
     let tr = pool.trace in
     if Trace.enabled tr then Trace.record_cancel tr ~worker:w.id ~time:(Trace.now tr) ~chunks:1;
@@ -929,9 +1614,17 @@ let run_chunk pool w scope body lo hi =
   end
   else
     match
-      for i = lo to hi - 1 do
-        body i
-      done
+      (* chunk bodies are scheduler frames: no suspension inside *)
+      w.sched_depth <- w.sched_depth + 1;
+      (match
+         for i = lo to hi - 1 do
+           body i
+         done
+       with
+      | () -> w.sched_depth <- w.sched_depth - 1
+      | exception e ->
+          w.sched_depth <- w.sched_depth - 1;
+          raise e)
     with
     | () -> ()
     | exception e -> if Atomic.compare_and_set scope.lflag false true then scope.lexn <- Some e
@@ -982,10 +1675,35 @@ let parallel_for ?grain ~start ~stop body =
     | Some (pool, w) ->
         let default_grain = max 1 (min 2048 (n / (8 * pool.nw))) in
         let grain = match grain with Some g -> max 1 g | None -> default_grain in
-        let scope = { lflag = Atomic.make false; lexn = None } in
+        let scope = { lflag = Atomic.make false; lexn = None; lcancel = w.fscope } in
         lazy_for pool w scope grain body start stop;
         (* Every split half has joined (each went through
            [fork_join_unit]), so the winner's [lexn] write is visible. *)
         if Atomic.get scope.lflag then
           match scope.lexn with Some e -> raise e | None -> assert false
   end
+
+(* The documented ambient surface. The bare top-level names above
+   predate it and survive as deprecated aliases (see the .mli); new code
+   uses [Scheduler.Ops]. *)
+module Ops = struct
+  let fork_join = fork_join
+
+  let fork_join_unit = fork_join_unit
+
+  let parallel_for = parallel_for
+
+  let tick = tick
+
+  let my_id = my_id
+
+  let cancelled = cancelled
+
+  let check_cancel = check_cancel
+
+  let num_workers = num_workers
+
+  let suspend = suspend
+
+  let fork = fork
+end

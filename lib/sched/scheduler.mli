@@ -59,6 +59,37 @@ val variant_of_string : string -> variant option
 
 type task = unit -> unit
 
+(** {2 The effects-based task core}
+
+    Every task a worker executes runs inside an effect handler (one
+    static handler, installed by the worker run loop — no per-task
+    allocation, so the fork/join fast path keeps its minor-word budget).
+    Code running on a worker may perform:
+
+    - [Fork t]: push [t] on the current worker's deque, continue
+      immediately. The primitive {!fork_join} is sugar over this shape.
+    - [Suspend register]: capture the current continuation as a parked
+      {e fiber} and return the worker to its run loop. [register] is
+      called with a [resume] closure that schedules the fiber's
+      resumption; it is one-shot (extra calls are silently ignored) and
+      safe from any thread — from a worker of the same pool it pushes
+      the resumption on that worker's deque, from anywhere else it goes
+      through the external-submission injector that workers drain at
+      their steal points.
+
+    Suspension is only legal at scheduler depth 0: inside a
+    {!fork_join} branch or a {!parallel_for} chunk the continuation
+    would close over worker-local scheduler state (the join-frame pool,
+    the loop scope) and cannot migrate, so a [Suspend] performed there
+    is refused with [Invalid_argument] raised at the perform site.
+    {!Future.await} and {!Ops.suspend} degrade gracefully instead:
+    at depth > 0 they {e help} (run other tasks on the spot) until
+    resumed, with the same observable semantics. *)
+
+type _ Effect.t +=
+  | Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+  | Fork : task -> unit Effect.t
+
 (** {2 Pluggable deques}
 
     A [deque_impl] is a first-class module satisfying
@@ -92,6 +123,67 @@ val deque_impl_of_string : string -> deque_impl option
 (** The paper's pairing: [Ws] on Chase-Lev, LCWS variants on the split
     deque. *)
 val default_deque_impl : variant -> deque_impl
+
+(** {2 Futures}
+
+    A first-class handle on an asynchronous computation. The state
+    machine is one atomic word: [Pending waiters] until exactly one
+    completion — the computation's own outcome, or a {!cancel} — CASes
+    in [Done result] and wakes every waiter.
+
+    Created by {!spawn} (from inside a job) or {!Pool.submit} (from
+    anywhere, including non-worker threads); awaited from anywhere:
+
+    - a fiber at suspension-legal depth parks its continuation and
+      frees its worker;
+    - a worker inside a [fork_join] branch or loop chunk helps with
+      other tasks until the future settles;
+    - an external thread blocks — and, when the pool has no job in
+      flight, elects itself the driver of worker 0 so progress never
+      depends on a [Pool.run] being active (essential for
+      single-worker pools, which have no helper domains). *)
+module Future : sig
+  type 'a t
+
+  (** Start [f] as a fiber on the calling worker's pool: the task is
+      pushed on the calling worker's deque, stealable like any other.
+      Outside a pool, [f] runs immediately (sequential fallback) and
+      the future is born settled.
+
+      Futures spawned inside a job should be awaited (or cancelled)
+      before the job returns; a spawned task still sitting in a deque
+      when the pool shuts down is drained, its future never
+      completing. *)
+  val spawn : (unit -> 'a) -> 'a t
+
+  (** Wait for the future's result; re-raises its exception. See the
+      module header for what "wait" means in each context. *)
+  val await : 'a t -> 'a
+
+  (** [Some result] if settled, [None] while pending; never blocks. *)
+  val try_await : 'a t -> ('a, exn) result option
+
+  (** Request cancellation: completes the future {e now} with
+      {!Cancelled} (if it was still pending — first completion wins)
+      and raises the fiber's cancellation flag, which the running
+      computation observes at its cancellation points
+      ({!parallel_for} chunk boundaries, {!Ops.cancelled} /
+      {!Ops.check_cancel}) and unwinds. Cancellation of the
+      computation itself is therefore cooperative and best-effort,
+      exactly like the PR 5 loop-scope protocol it rides. *)
+  val cancel : 'a t -> unit
+
+  (** Both results, or the first error (left-to-right priority, like
+      {!fork_join}). *)
+  val both : 'a t -> 'b t -> ('a * 'b) t
+
+  (** Whichever settles first wins; the loser is {!cancel}led. *)
+  val first : 'a t -> 'a t -> 'a t
+
+  (** All results in order, or the first error in list order. An empty
+      list is already settled with [[]]. *)
+  val all : 'a t list -> 'a list t
+end
 
 module Pool : sig
   type t
@@ -129,15 +221,36 @@ module Pool : sig
     unit ->
     t
 
-  (** Execute a parallel job. The callback runs as worker 0 and may use
-      {!fork_join}, {!parallel_for}, {!tick}. Exceptions raised by the job
-      propagate: an exception in a forked branch — wherever it ran —
-      reaches the [fork_join] caller, an exception in a [parallel_for]
-      body cancels the loop's remaining chunks and re-raises at the loop
-      (first failure wins), and both ultimately unwind out of [run] with
-      every frame joined and every deque empty. Not reentrant; one job at
-      a time. Any pending cancellation request is cleared on entry. *)
+  (** Execute a parallel job. The callback runs as worker 0's root
+      fiber — under the effect handler, so it may use the whole {!Ops}
+      surface including {!Future.await} at top level (the root parks
+      and worker 0 keeps scheduling until its continuation completes,
+      wherever it resumed). Exceptions raised by the job propagate: an
+      exception in a forked branch — wherever it ran — reaches the
+      [fork_join] caller, an exception in a [parallel_for] body cancels
+      the loop's remaining chunks and re-raises at the loop (first
+      failure wins), and both ultimately unwind out of [run] with every
+      frame joined and every deque empty. One job at a time; any
+      pending cancellation request is cleared on entry.
+
+      Not reentrant: calling [run] from one of this pool's own workers
+      (e.g. from a submitted task) raises [Invalid_argument]
+      immediately — the calling domain already is a worker, and
+      impersonating worker 0 on top of it would hand two domains the
+      same deque. Use {!Future.spawn} or {!submit} there instead.
+      Nesting across {e distinct} pools is fine. *)
   val run : t -> (unit -> 'a) -> 'a
+
+  (** [submit pool f] schedules [f] as a fiber on [pool] from any
+      thread — a worker of this pool (direct deque push), a worker of
+      another pool, or a plain non-worker thread (MPSC injector,
+      drained by workers at their steal points; parked helpers are
+      woken). No [run] needs to be active: helpers serve the pool
+      while submitted futures are outstanding, and on a single-worker
+      pool an external {!Future.await} drives worker 0 itself. Raises
+      [Invalid_argument] after {!shutdown}; tasks still in the injector
+      at shutdown have their futures completed with {!Cancelled}. *)
+  val submit : t -> (unit -> 'a) -> 'a Future.t
 
   (** Request cancellation of the in-flight job: its cancellation points
       raise {!Cancelled}, which unwinds out of {!run}. A no-op between
@@ -193,65 +306,100 @@ module Pool : sig
   val fault_plan : t -> Lcws_fault.Fault.plan option
 end
 
-(** {2 Operations available inside [Pool.run]}
+(** {2 The ambient operations: [Ops]}
 
-    Each also works outside a pool (sequential fallback), so library code
-    can be written once. *)
+    The documented surface for code running inside a job (or anywhere —
+    each operation has a sensible sequential fallback outside a pool, so
+    library code can be written once). The historical bare top-level
+    names below are thin deprecated aliases of these. *)
 
-(** [fork_join f g] runs [f] and [g] in parallel and returns both results.
-    [g] is pushed on the calling worker's deque (stealable); [f] runs
-    immediately (work-first). While waiting for a stolen [g], the worker
-    helps: it executes tasks from its own deque or steals.
+module Ops : sig
+  (** [fork_join f g] runs [f] and [g] in parallel and returns both
+      results. [g] is pushed on the calling worker's deque (stealable);
+      [f] runs immediately (work-first). While waiting for a stolen
+      [g], the worker helps: it executes tasks from its own deque or
+      steals. The join state comes from a per-worker pool of reusable
+      frames; when [g] was not stolen — the overwhelmingly common case
+      — the worker pops it straight back and runs it inline without
+      touching the frame's atomic at all. Exception safety: if [g]
+      raises — inline, or on a thief — the exception is carried through
+      the frame and re-raised here after the join; if [f] raises, [g]
+      is still joined (its outcome discarded) and [f]'s exception
+      wins. *)
+  val fork_join : (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
 
-    The join state (result slot + completion word) comes from a
-    per-worker pool of reusable frames rather than fresh allocations:
-    when [g] was not stolen — the overwhelmingly common case — the
-    worker pops it straight back and runs it inline without touching the
-    frame's atomic at all, so an un-stolen fork/join costs no SC round
-    trip and only a few words of short-lived allocation (the branch
-    closures and, for [fork_join], the result tuple).
+  (** Like {!fork_join} for unit branches, skipping the result boxing
+      and tuple: with top-level (constant-closure) branches the
+      un-stolen path allocates nothing. *)
+  val fork_join_unit : (unit -> unit) -> (unit -> unit) -> unit
 
-    Exception safety: if [g] raises — inline, or on a thief — the
-    exception is carried through the frame and re-raised here after the
-    join. If [f] raises, [g] is still joined (its outcome discarded) and
-    [f]'s exception wins. Either way the frame is recycled and nothing
-    is left in any deque. *)
+  (** [parallel_for ?grain ~start ~stop body] applies [body i] for
+      [start <= i < stop] by lazy binary splitting: the calling worker
+      iterates one grain-sized chunk at a time (with a {!tick} poll per
+      chunk) and forks the remaining right half off as a stealable task
+      only when observed demand asks for it. Chunk boundaries are
+      cancellation points for both the pool-level flag and the
+      enclosing fiber's ({!Future.cancel}). *)
+  val parallel_for : ?grain:int -> start:int -> stop:int -> (int -> unit) -> unit
+
+  (** Poll point: on signal-based variants, handle a pending
+      work-exposure request (the body of the paper's signal handler).
+      Constant time; a no-op on [Ws]/[Uslcws] and outside pools. Long
+      sequential tasks should call this periodically. *)
+  val tick : unit -> unit
+
+  (** Worker id of the calling domain (0 when outside a pool). *)
+  val my_id : unit -> int
+
+  (** Has cancellation been requested — of the current job
+      ({!Pool.cancel}), or of the enclosing fiber ({!Future.cancel})?
+      [false] outside a pool. Long sequential task bodies can poll this
+      to stop early. *)
+  val cancelled : unit -> bool
+
+  (** Raise {!Cancelled} if {!cancelled}[ ()] — an explicit
+      cancellation point for long sequential sections, pairing with
+      {!tick}. *)
+  val check_cancel : unit -> unit
+
+  (** Number of workers of the enclosing pool (1 outside). *)
+  val num_workers : unit -> int
+
+  (** [suspend register] parks the current fiber; [register] receives
+      the one-shot [resume] closure (see the effects section above).
+      At suspension-illegal depth the worker helps until resumed
+      instead of parking; outside a pool the calling thread blocks on
+      a condvar until [resume] fires. *)
+  val suspend : ((unit -> unit) -> unit) -> unit
+
+  (** [fork t] pushes [t] on the calling worker's deque — fire and
+      forget, join it yourself (e.g. through a {!Future}). Runs [t]
+      immediately outside a pool. *)
+  val fork : task -> unit
+end
+
+(** {2 Deprecated bare aliases}
+
+    The pre-[Ops] ambient surface, kept so existing code keeps
+    compiling. New code should use {!Ops} (in-tree code already does;
+    CI builds the examples with deprecation warnings as errors). *)
+
 val fork_join : (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
+[@@ocaml.deprecated "Use Scheduler.Ops.fork_join"]
 
-(** Like {!fork_join} for unit branches, skipping the result boxing and
-    tuple: with top-level (constant-closure) branches the un-stolen path
-    allocates nothing. *)
 val fork_join_unit : (unit -> unit) -> (unit -> unit) -> unit
+[@@ocaml.deprecated "Use Scheduler.Ops.fork_join_unit"]
 
-(** [parallel_for ?grain ~start ~stop body] applies [body i] for
-    [start <= i < stop] by {e lazy binary splitting}: the calling worker
-    iterates its range sequentially one grain-sized chunk at a time
-    (with a {!tick}-equivalent poll point per chunk — this is what makes
-    exposure-request handling constant-time for loop-shaped
-    computations), and forks the remaining right half off as a stealable
-    task only when its deque is empty and other workers exist, i.e. when
-    observed demand could not otherwise be met. An un-stolen loop on one
-    worker therefore creates no tasks at all (versus O(n/grain) for the
-    former eager splitting), and under load task creation is
-    proportional to the number of steals. *)
 val parallel_for : ?grain:int -> start:int -> stop:int -> (int -> unit) -> unit
+[@@ocaml.deprecated "Use Scheduler.Ops.parallel_for"]
 
-(** Poll point: on signal-based variants, handle a pending work-exposure
-    request (the body of the paper's signal handler). Constant time; a
-    no-op on [Ws]/[Uslcws] and outside pools. Long sequential tasks
-    should call this periodically. *)
-val tick : unit -> unit
+val tick : unit -> unit [@@ocaml.deprecated "Use Scheduler.Ops.tick"]
 
-(** Worker id of the calling domain (0 when outside a pool). *)
-val my_id : unit -> int
+val my_id : unit -> int [@@ocaml.deprecated "Use Scheduler.Ops.my_id"]
 
-(** Has cancellation of the current job been requested? [false] outside
-    a pool. Long sequential task bodies can poll this to stop early. *)
-val cancelled : unit -> bool
+val cancelled : unit -> bool [@@ocaml.deprecated "Use Scheduler.Ops.cancelled"]
 
-(** Raise {!Cancelled} if {!cancelled}[ ()] — an explicit cancellation
-    point for long sequential sections, pairing with {!tick}. *)
-val check_cancel : unit -> unit
+val check_cancel : unit -> unit [@@ocaml.deprecated "Use Scheduler.Ops.check_cancel"]
 
-(** Number of workers of the enclosing pool (1 outside). *)
-val num_workers : unit -> int
+val num_workers : unit -> int [@@ocaml.deprecated "Use Scheduler.Ops.num_workers"]
+

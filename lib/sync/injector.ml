@@ -1,0 +1,53 @@
+(* Two-list FIFO under a mutex, plus an atomic size word maintained
+   inside the critical section so [is_empty] — the only operation on a
+   worker's hot path — is a single load with no lock traffic. *)
+
+type 'a t = {
+  mutex : Mutex.t;
+  mutable front : 'a list; (* next to pop, oldest first *)
+  mutable back : 'a list; (* newest first; reversed into [front] *)
+  approx_size : int Atomic.t;
+}
+
+let create () =
+  { mutex = Mutex.create (); front = []; back = []; approx_size = Padding.atomic 0 }
+
+let push t x =
+  Mutex.lock t.mutex;
+  t.back <- x :: t.back;
+  Atomic.incr t.approx_size;
+  Mutex.unlock t.mutex
+
+let pop t =
+  if Atomic.get t.approx_size = 0 then None
+  else begin
+    Mutex.lock t.mutex;
+    (match t.front with
+    | [] ->
+        t.front <- List.rev t.back;
+        t.back <- []
+    | _ :: _ -> ());
+    let r =
+      match t.front with
+      | [] -> None
+      | x :: rest ->
+          t.front <- rest;
+          Atomic.decr t.approx_size;
+          Some x
+    in
+    Mutex.unlock t.mutex;
+    r
+  end
+
+let drain t =
+  Mutex.lock t.mutex;
+  let all = t.front @ List.rev t.back in
+  t.front <- [];
+  t.back <- [];
+  Atomic.set t.approx_size 0;
+  Mutex.unlock t.mutex;
+  all
+
+let size t = Atomic.get t.approx_size
+
+let is_empty t = Atomic.get t.approx_size = 0

@@ -1,0 +1,31 @@
+(** External-submission queue (the scheduler's MPSC injector).
+
+    Producers are arbitrary threads calling {!push} ([Pool.submit], and
+    fiber resumptions arriving from outside the pool); consumers are the
+    pool's workers, which {!pop} one item at a time at their steal
+    points. A mutex-protected two-list queue is deliberately boring —
+    submission is the slow path by definition — but the hot path is the
+    {e empty probe}: workers ask "anything to drain?" on every failed
+    steal round, and that must not touch the lock. {!is_empty} reads one
+    atomic size word and nothing else.
+
+    FIFO across producers in lock-acquisition order; {!pop} is safe from
+    any number of threads (the consumers' single-drainer discipline is
+    the scheduler's business, not this queue's). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+
+(** Take everything at once, FIFO order (shutdown drains). *)
+val drain : 'a t -> 'a list
+
+(** Exact count (racy by nature, like any concurrent size). *)
+val size : 'a t -> int
+
+(** One atomic load, no lock: the workers' steal-point probe. *)
+val is_empty : 'a t -> bool

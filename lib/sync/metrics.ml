@@ -25,6 +25,10 @@ type t = {
   mutable task_exns : int;
   mutable cancelled_chunks : int;
   mutable drained_tasks : int;
+  mutable submits : int;
+  mutable suspends : int;
+  mutable resumes : int;
+  mutable futures : int;
 }
 
 let create () =
@@ -55,6 +59,10 @@ let create () =
     task_exns = 0;
     cancelled_chunks = 0;
     drained_tasks = 0;
+    submits = 0;
+    suspends = 0;
+    resumes = 0;
+    futures = 0;
   }
 
 (* The single authoritative field list: every generic operation (reset,
@@ -88,6 +96,10 @@ let fields : (string * (t -> int) * (t -> int -> unit)) list =
     ("task_exns", (fun t -> t.task_exns), fun t v -> t.task_exns <- v);
     ("cancelled_chunks", (fun t -> t.cancelled_chunks), fun t v -> t.cancelled_chunks <- v);
     ("drained_tasks", (fun t -> t.drained_tasks), fun t v -> t.drained_tasks <- v);
+    ("submits", (fun t -> t.submits), fun t v -> t.submits <- v);
+    ("suspends", (fun t -> t.suspends), fun t v -> t.suspends <- v);
+    ("resumes", (fun t -> t.resumes), fun t v -> t.resumes <- v);
+    ("futures", (fun t -> t.futures), fun t v -> t.futures <- v);
   ]
 
 let to_assoc t = List.map (fun (name, get, _) -> (name, get t)) fields

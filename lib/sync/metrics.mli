@@ -33,6 +33,10 @@ type t = {
   mutable task_exns : int;  (** tasks that completed exceptionally *)
   mutable cancelled_chunks : int;  (** loop chunks skipped by cancellation *)
   mutable drained_tasks : int;  (** tasks discarded by a shutdown drain *)
+  mutable submits : int;  (** externally submitted tasks absorbed by this worker *)
+  mutable suspends : int;  (** fibers parked at a [Suspend] effect *)
+  mutable resumes : int;  (** parked fibers resumed on this worker *)
+  mutable futures : int;  (** futures spawned by this worker *)
 }
 
 val create : unit -> t

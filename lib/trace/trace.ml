@@ -14,6 +14,9 @@ type kind =
   | Fault
   | Cancel
   | Task_exn
+  | Submit
+  | Suspend
+  | Resume
 
 let all_kinds =
   [
@@ -32,6 +35,9 @@ let all_kinds =
     Fault;
     Cancel;
     Task_exn;
+    Submit;
+    Suspend;
+    Resume;
   ]
 
 let kind_name = function
@@ -50,6 +56,9 @@ let kind_name = function
   | Fault -> "fault"
   | Cancel -> "cancel"
   | Task_exn -> "task_exn"
+  | Submit -> "submit"
+  | Suspend -> "suspend"
+  | Resume -> "resume"
 
 let kind_code = function
   | Steal_attempt -> 0
@@ -67,8 +76,11 @@ let kind_code = function
   | Fault -> 12
   | Cancel -> 13
   | Task_exn -> 14
+  | Submit -> 15
+  | Suspend -> 16
+  | Resume -> 17
 
-let num_kinds = 15
+let num_kinds = 18
 
 let kind_of_code = function
   | 0 -> Steal_attempt
@@ -86,6 +98,9 @@ let kind_of_code = function
   | 12 -> Fault
   | 13 -> Cancel
   | 14 -> Task_exn
+  | 15 -> Submit
+  | 16 -> Suspend
+  | 17 -> Resume
   | c -> invalid_arg (Printf.sprintf "Trace.kind_of_code: %d" c)
 
 (* One per worker; strictly single-writer, like Metrics. *)
@@ -247,6 +262,15 @@ let record_cancel t ~worker ~time ~chunks =
 
 let record_task_exn t ~worker ~time =
   if t.on then emit_code t worker 14 (* Task_exn *) ~time ~arg:0
+
+let record_submit t ~worker ~time =
+  if t.on then emit_code t worker 15 (* Submit *) ~time ~arg:0
+
+let record_suspend t ~worker ~time =
+  if t.on then emit_code t worker 16 (* Suspend *) ~time ~arg:0
+
+let record_resume t ~worker ~time =
+  if t.on then emit_code t worker 17 (* Resume *) ~time ~arg:0
 
 (* --- reading ---------------------------------------------------------- *)
 

@@ -44,6 +44,9 @@ type kind =
   | Fault  (** fault layer fired; arg = fault code (the fault layer's) *)
   | Cancel  (** cancellation observed; arg = loop chunks skipped *)
   | Task_exn  (** a task completed exceptionally *)
+  | Submit  (** an externally submitted task entered a worker's deque *)
+  | Suspend  (** a fiber parked its continuation at a [Suspend] effect *)
+  | Resume  (** a parked fiber's continuation resumed on this worker *)
 
 val all_kinds : kind list
 
@@ -117,6 +120,17 @@ val record_cancel : t -> worker:int -> time:int -> chunks:int -> unit
 
 (** A task on [worker] completed by raising. *)
 val record_task_exn : t -> worker:int -> time:int -> unit
+
+(** An externally submitted task was drained from the injector into
+    [worker]'s deque (recorded at drain time so rings stay
+    single-writer — the submitting thread has no lane). *)
+val record_submit : t -> worker:int -> time:int -> unit
+
+(** A fiber running on [worker] parked its continuation. *)
+val record_suspend : t -> worker:int -> time:int -> unit
+
+(** A parked continuation was resumed on [worker]. *)
+val record_resume : t -> worker:int -> time:int -> unit
 
 (** {2 Reading a trace back} *)
 

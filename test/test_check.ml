@@ -43,9 +43,10 @@ let test_section4_demo_fails () =
 (* Self-test: each seeded mutation (dropped Listing 2 line 11-12 fence,
    dropped Section 4 bot repair, dropped ABA tag bump, join frame
    recycled before its completion flag, cancellation flag read hoisted
-   out of the chunk loop) is caught. *)
+   out of the chunk loop, fiber resume fired without re-publishing the
+   frame state) is caught. *)
 let test_mutants_caught () =
-  Alcotest.(check int) "five seeded mutants" 5 (List.length S.mutants);
+  Alcotest.(check int) "six seeded mutants" 6 (List.length S.mutants);
   List.iter
     (fun (s : E.scenario) ->
       let r = E.explore s in

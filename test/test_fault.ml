@@ -33,7 +33,7 @@ let noop () = ()
 let rec fib n =
   if n < 2 then n
   else
-    let a, b = S.fork_join (fun () -> fib (n - 1)) (fun () -> fib (n - 2)) in
+    let a, b = S.Ops.fork_join (fun () -> fib (n - 1)) (fun () -> fib (n - 2)) in
     a + b
 
 exception Boom of int
@@ -159,7 +159,7 @@ let test_seeded_injection_replays () =
           match
             S.Pool.run pool (fun () ->
                 for _ = 1 to 10 do
-                  S.fork_join_unit noop noop
+                  S.Ops.fork_join_unit noop noop
                 done)
           with
           | () -> Alcotest.fail "expected the planned injection"
@@ -183,7 +183,7 @@ let test_parallel_for_body_raises () =
   with_pool ~num_workers:4 ~variant:S.Signal (fun pool ->
       (match
          S.Pool.run pool (fun () ->
-             S.parallel_for ~grain:4 ~start:0 ~stop:100_000 (fun i ->
+             S.Ops.parallel_for ~grain:4 ~start:0 ~stop:100_000 (fun i ->
                  if i = 12_345 then raise (Boom i)))
        with
       | () -> Alcotest.fail "expected Boom to propagate"
@@ -225,19 +225,19 @@ let test_frame_pool_after_exn_storm () =
   with_pool ~num_workers:2 ~variant:S.Uslcws (fun pool ->
       S.Pool.run pool (fun () ->
           for i = 1 to 200 do
-            match S.fork_join_unit (fun () -> raise (Boom i)) noop with
+            match S.Ops.fork_join_unit (fun () -> raise (Boom i)) noop with
             | () -> Alcotest.fail "Boom swallowed"
             | exception Boom _ -> ()
           done);
       quiescent ~tag:"after exn storm" pool;
       S.Pool.run pool (fun () ->
           for _ = 1 to 1_000 do
-            S.fork_join_unit noop noop
+            S.Ops.fork_join_unit noop noop
           done;
           let calls = 5_000 in
           let before = Gc.minor_words () in
           for _ = 1 to calls do
-            S.fork_join_unit noop noop
+            S.Ops.fork_join_unit noop noop
           done;
           let per_call = (Gc.minor_words () -. before) /. float_of_int calls in
           if per_call > 16.0 then
@@ -258,7 +258,7 @@ let test_cancel_from_other_domain () =
       in
       (match
          S.Pool.run pool (fun () ->
-             S.parallel_for ~grain:1 ~start:0 ~stop:1_000_000_000 (fun _ ->
+             S.Ops.parallel_for ~grain:1 ~start:0 ~stop:1_000_000_000 (fun _ ->
                  Atomic.set started true))
        with
       | () -> Alcotest.fail "a billion-iteration loop outran cancellation"
@@ -286,7 +286,7 @@ let test_shutdown_cancels_inflight () =
   in
   (match
      S.Pool.run pool (fun () ->
-         S.parallel_for ~grain:1 ~start:0 ~stop:1_000_000_000 (fun _ ->
+         S.Ops.parallel_for ~grain:1 ~start:0 ~stop:1_000_000_000 (fun _ ->
              Atomic.set started true))
    with
   | () -> Alcotest.fail "job survived shutdown"
@@ -306,7 +306,7 @@ let test_plan_cancel_fires () =
   with_pool ~fault:plan ~num_workers:1 ~variant:S.Cons (fun pool ->
       (match
          S.Pool.run pool (fun () ->
-             S.parallel_for ~grain:1 ~start:0 ~stop:1_000_000 (fun _ -> ()))
+             S.Ops.parallel_for ~grain:1 ~start:0 ~stop:1_000_000 (fun _ -> ()))
        with
       | () -> Alcotest.fail "plan cancellation never fired"
       | exception S.Cancelled -> ()

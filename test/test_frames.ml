@@ -29,12 +29,12 @@ let test_unstolen_alloc_budget () =
       S.Pool.run pool (fun () ->
           (* Warm up: fault in the frame pool and any lazy setup. *)
           for _ = 1 to 1_000 do
-            S.fork_join_unit noop noop
+            S.Ops.fork_join_unit noop noop
           done;
           let calls = 10_000 in
           let before = Gc.minor_words () in
           for _ = 1 to calls do
-            S.fork_join_unit noop noop
+            S.Ops.fork_join_unit noop noop
           done;
           let per_call = (Gc.minor_words () -. before) /. float_of_int calls in
           if per_call > 16.0 then
@@ -52,7 +52,7 @@ let test_p1_loop_pushes_nothing () =
       S.Pool.reset_metrics pool;
       let hits = ref 0 in
       S.Pool.run pool (fun () ->
-          S.parallel_for ~grain:16 ~start:0 ~stop:100_000 (fun _ -> incr hits));
+          S.Ops.parallel_for ~grain:16 ~start:0 ~stop:100_000 (fun _ -> incr hits));
       Alcotest.(check int) "all iterations ran" 100_000 !hits;
       let m = S.Pool.metrics pool in
       if m.Metrics.pushes > 2 then
@@ -67,7 +67,7 @@ let test_multiworker_loop_splits () =
       let n = 1 lsl 16 in
       let hits = Array.make n 0 in
       S.Pool.run pool (fun () ->
-          S.parallel_for ~grain:64 ~start:0 ~stop:n (fun i ->
+          S.Ops.parallel_for ~grain:64 ~start:0 ~stop:n (fun i ->
               hits.(i) <- hits.(i) + 1;
               (* enough work per iteration that thieves get a window *)
               ignore (Sys.opaque_identity (ref i))));
@@ -94,7 +94,7 @@ let test_lazy_for_matches_sequential () =
               let got = Atomic.make 0 in
               let counted = Atomic.make 0 in
               S.Pool.run pool (fun () ->
-                  S.parallel_for ~grain ~start ~stop (fun i ->
+                  S.Ops.parallel_for ~grain ~start ~stop (fun i ->
                       ignore (Atomic.fetch_and_add got (i * i));
                       Atomic.incr counted));
               Alcotest.(check int)
@@ -114,7 +114,7 @@ let test_lazy_for_exception () =
   with_pool ~num_workers:2 ~variant:S.Signal (fun pool ->
       (match
          S.Pool.run pool (fun () ->
-             S.parallel_for ~grain:8 ~start:0 ~stop:10_000 (fun i ->
+             S.Ops.parallel_for ~grain:8 ~start:0 ~stop:10_000 (fun i ->
                  if i = 5_000 then raise (Boom i)))
        with
       | () -> Alcotest.fail "expected Boom to propagate"
@@ -132,7 +132,7 @@ let test_lazy_for_exception () =
 let rec spawn_chain depth =
   if depth = 0 then 1
   else
-    let a, b = S.fork_join (fun () -> spawn_chain (depth - 1)) (fun () -> 1) in
+    let a, b = S.Ops.fork_join (fun () -> spawn_chain (depth - 1)) (fun () -> 1) in
     a + b
 
 (* A depth-500 right-leaning fork chain holds 500 frames live at once on
@@ -151,19 +151,19 @@ let test_exn_children_recycle_frames () =
       S.Pool.run pool (fun () ->
           for i = 1 to 200 do
             (* left branch raises; the child's result must be discarded *)
-            (match S.fork_join (fun () -> raise (Boom i)) (fun () -> i) with
+            (match S.Ops.fork_join (fun () -> raise (Boom i)) (fun () -> i) with
             | _ -> Alcotest.fail "left Boom swallowed"
             | exception Boom j -> Alcotest.(check int) "left exn wins" i j);
             (* right (stealable) branch raises *)
-            (match S.fork_join (fun () -> i) (fun () -> raise (Boom (-i))) with
+            (match S.Ops.fork_join (fun () -> i) (fun () -> raise (Boom (-i))) with
             | _ -> Alcotest.fail "right Boom swallowed"
             | exception Boom j -> Alcotest.(check int) "right exn surfaces" (-i) j);
             (* both raise: the left branch's exception has priority *)
-            (match S.fork_join_unit (fun () -> raise (Boom i)) (fun () -> raise (Boom 0)) with
+            (match S.Ops.fork_join_unit (fun () -> raise (Boom i)) (fun () -> raise (Boom 0)) with
             | () -> Alcotest.fail "double Boom swallowed"
             | exception Boom j -> Alcotest.(check int) "left exn has priority" i j);
             (* and the frames still work for nested successful joins *)
-            let a, b = S.fork_join (fun () -> spawn_chain 5) (fun () -> spawn_chain 3) in
+            let a, b = S.Ops.fork_join (fun () -> spawn_chain 5) (fun () -> spawn_chain 3) in
             Alcotest.(check int) "nested after exceptions" (6 + 4) (a + b)
           done))
 
@@ -173,7 +173,7 @@ let test_exn_children_recycle_frames () =
 let rec fib n =
   if n < 2 then n
   else
-    let a, b = S.fork_join (fun () -> fib (n - 1)) (fun () -> fib (n - 2)) in
+    let a, b = S.Ops.fork_join (fun () -> fib (n - 1)) (fun () -> fib (n - 2)) in
     a + b
 
 let test_stolen_frames_all_variants () =

@@ -1,0 +1,622 @@
+(* The effects-based task API: futures (spawn/await/cancel and the
+   combinators), suspension legality at every scheduler depth, external
+   submission through Pool.submit — from plain threads and from other
+   domains, with and without a job in flight, down to the single-worker
+   driver-election path — Pool.run re-entrancy, the direct Suspend/Fork
+   effects, a QCheck random await/cancel DAG property against the
+   sequential oracle, and deterministic fault-plan replays across
+   suspension points. *)
+
+open Lcws
+module S = Scheduler
+module F = Fault
+
+let qtest ?(count = 60) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+
+let with_pool ?deque ?fault ?trace ~num_workers ~variant f =
+  let pool = S.Pool.create ?deque ?fault ?trace ~num_workers ~variant () in
+  Fun.protect ~finally:(fun () -> S.Pool.shutdown pool) (fun () -> f pool)
+
+let quiescent ?(tag = "") pool =
+  let tag = if tag = "" then "" else tag ^ ": " in
+  Alcotest.(check int) (tag ^ "no outstanding tasks") 0 (S.Pool.outstanding_tasks pool);
+  Alcotest.(check int) (tag ^ "no frames in use") 0 (S.Pool.frames_in_use pool);
+  match S.Pool.check_deque_invariants pool with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "%sdeque invariants: %s" tag m
+
+let mix x =
+  let x = x lxor (x lsr 33) in
+  let x = x * 0x2545F4914F6CDD1D in
+  x lxor (x lsr 29)
+
+let spin n =
+  let s = ref 0 in
+  for i = 1 to n do
+    s := !s + i
+  done;
+  ignore (Sys.opaque_identity !s)
+
+(* A cancelled future settles immediately, but its fiber task stays
+   queued until some worker pops it (and finds nothing left to do).
+   Tests that cancel must therefore drain before the root returns, or
+   the quiescence check races the pop. Needs num_workers >= 2: the
+   spinning root occupies worker 0, the tick keeps signal-based
+   exposure alive for the stealing helpers. *)
+let drain_in_job pool =
+  while S.Pool.outstanding_tasks pool > 0 do
+    S.Ops.tick ();
+    (* The stragglers sit *below* the live frames in the owner's LIFO
+       deque, so only thieves can reach them. A no-op spawn/await cycle
+       parks the root and gives the owner real task boundaries — on
+       variants that expose only there (Uslcws), that is what lets the
+       helpers steal the stragglers out. *)
+    ignore (S.Future.await (S.Future.spawn (fun () -> ())));
+    Domain.cpu_relax ()
+  done
+
+(* Every (variant, deque, workers) combination the scheduler supports:
+   the five variants on their default deques at 1 and 3 workers, WS also
+   on the split deque, and the two sequential-specification deques
+   single-worker. *)
+let full_matrix =
+  List.concat_map
+    (fun variant ->
+      List.concat_map
+        (fun nw -> [ (variant, S.default_deque_impl variant, nw) ])
+        [ 1; 3 ])
+    S.all_variants
+  @ [ (S.Ws, S.split_deque_impl, 3); (S.Ws, S.lace_impl, 1); (S.Ws, S.private_impl, 1) ]
+
+(* {2 Futures inside a job} *)
+
+(* spawn/await across the whole matrix: a fan of fibers awaited at the
+   root (suspension-legal depth: the root parks, worker 0 schedules). *)
+let test_spawn_await_matrix () =
+  List.iter
+    (fun (variant, deque, num_workers) ->
+      with_pool ~deque ~num_workers ~variant (fun pool ->
+          let n = 40 in
+          let got =
+            S.Pool.run pool (fun () ->
+                let futs = List.init n (fun i -> S.Future.spawn (fun () -> mix i)) in
+                List.fold_left (fun acc fu -> acc + S.Future.await fu) 0 futs)
+          in
+          let want = List.fold_left (fun acc i -> acc + mix i) 0 (List.init n Fun.id) in
+          Alcotest.(check int)
+            (Printf.sprintf "%s/%s/%d checksum" (S.variant_name variant)
+               (S.deque_impl_name deque) num_workers)
+            want got;
+          quiescent pool))
+    full_matrix
+
+(* await at depth > 0 (inside a fork_join branch) helps instead of
+   parking; the result is the same. *)
+let test_await_inside_fork_join () =
+  with_pool ~num_workers:3 ~variant:S.Signal (fun pool ->
+      let got =
+        S.Pool.run pool (fun () ->
+            let fu = S.Future.spawn (fun () -> mix 7) in
+            let a, b =
+              S.Ops.fork_join
+                (fun () -> S.Future.await fu + mix 1)
+                (fun () -> S.Future.await fu + mix 2)
+            in
+            a + b)
+      in
+      Alcotest.(check int) "both branches awaited" ((2 * mix 7) + mix 1 + mix 2) got;
+      quiescent pool)
+
+(* Fibers fork and loop like any task; their nested parallelism is
+   stealable. *)
+let test_fiber_runs_parallel_work () =
+  with_pool ~num_workers:4 ~variant:S.Uslcws (fun pool ->
+      let got =
+        S.Pool.run pool (fun () ->
+            let fu =
+              S.Future.spawn (fun () ->
+                  let acc = Atomic.make 0 in
+                  S.Ops.parallel_for ~grain:4 ~start:0 ~stop:100 (fun i ->
+                      ignore (Atomic.fetch_and_add acc (mix i)));
+                  Atomic.get acc)
+            in
+            S.Future.await fu)
+      in
+      let want = List.fold_left (fun a i -> a + mix i) 0 (List.init 100 Fun.id) in
+      Alcotest.(check int) "loop inside a fiber" want got;
+      quiescent pool)
+
+let test_try_await () =
+  with_pool ~num_workers:2 ~variant:S.Signal (fun pool ->
+      S.Pool.run pool (fun () ->
+          let gate = Atomic.make false in
+          let fu =
+            S.Future.spawn (fun () ->
+                while not (Atomic.get gate) do
+                  Domain.cpu_relax ()
+                done;
+                31)
+          in
+          (* Pending: the fiber is gated, so try_await must not block. *)
+          (match S.Future.try_await fu with
+          | None -> ()
+          | Some _ -> Alcotest.fail "future settled before its gate opened");
+          Atomic.set gate true;
+          Alcotest.(check int) "await after gate" 31 (S.Future.await fu);
+          match S.Future.try_await fu with
+          | Some (Ok 31) -> ()
+          | _ -> Alcotest.fail "try_await after completion");
+      quiescent pool)
+
+let test_fiber_exception_propagates () =
+  with_pool ~num_workers:2 ~variant:S.Cons (fun pool ->
+      (match
+         S.Pool.run pool (fun () ->
+             S.Future.await (S.Future.spawn (fun () -> failwith "fiber boom")))
+       with
+      | _ -> Alcotest.fail "expected the fiber's exception"
+      | exception Failure m -> Alcotest.(check string) "message" "fiber boom" m);
+      quiescent ~tag:"after fiber exn" pool)
+
+(* {2 Cancellation} *)
+
+let test_cancel_pending () =
+  with_pool ~num_workers:2 ~variant:S.Signal (fun pool ->
+      S.Pool.run pool (fun () ->
+          let gate = Atomic.make false in
+          let fu =
+            S.Future.spawn (fun () ->
+                while not (Atomic.get gate) do
+                  Domain.cpu_relax ()
+                done)
+          in
+          S.Future.cancel fu;
+          (match S.Future.await fu with
+          | () -> Alcotest.fail "cancelled future completed normally"
+          | exception S.Cancelled -> ());
+          (* First completion won: a late cancel of a settled future is
+             a no-op, and the stored outcome does not change. *)
+          let fu2 = S.Future.spawn (fun () -> 5) in
+          Alcotest.(check int) "before cancel" 5 (S.Future.await fu2);
+          S.Future.cancel fu2;
+          Alcotest.(check int) "after cancel" 5 (S.Future.await fu2);
+          Atomic.set gate true;
+          drain_in_job pool);
+      quiescent pool)
+
+(* Cooperative cancellation: a running fiber's loop observes the fiber's
+   cancellation flag at chunk boundaries and unwinds (the PR 5 protocol,
+   scoped to the fiber). *)
+let test_cancel_running_fiber_loop () =
+  with_pool ~num_workers:2 ~variant:S.Signal (fun pool ->
+      S.Pool.run pool (fun () ->
+          let started = Atomic.make false in
+          let unwound = Atomic.make false in
+          let fu =
+            S.Future.spawn (fun () ->
+                Fun.protect
+                  ~finally:(fun () -> Atomic.set unwound true)
+                  (fun () ->
+                    S.Ops.parallel_for ~grain:1 ~start:0 ~stop:1_000_000 (fun i ->
+                        if i = 0 then Atomic.set started true;
+                        spin 50)))
+          in
+          while not (Atomic.get started) do
+            S.Ops.tick ();
+            Domain.cpu_relax ()
+          done;
+          S.Future.cancel fu;
+          (match S.Future.await fu with
+          | () -> () (* the fiber may legitimately win the race *)
+          | exception S.Cancelled -> ());
+          (* [cancel] settles the future before the fiber has finished
+             unwinding its loop on the other worker: wait that out, then
+             drain, so the quiescence check does not race it. *)
+          while not (Atomic.get unwound) do
+            S.Ops.tick ();
+            Domain.cpu_relax ()
+          done;
+          drain_in_job pool);
+      quiescent ~tag:"after mid-loop cancel" pool;
+      let m = S.Pool.metrics pool in
+      Alcotest.(check bool) "suspension protocol exercised" true (m.Metrics.futures > 0))
+
+let test_combinators () =
+  with_pool ~num_workers:3 ~variant:S.Half (fun pool ->
+      S.Pool.run pool (fun () ->
+          let a, b =
+            S.Future.(await (both (spawn (fun () -> 3)) (spawn (fun () -> "x"))))
+          in
+          Alcotest.(check int) "both left" 3 a;
+          Alcotest.(check string) "both right" "x" b;
+          (* both: the left error has priority over the right value. The
+             right fiber is joined separately — [both]'s future settles
+             on the first error, before the right task need have run. *)
+          let fl = S.Future.spawn (fun () -> failwith "left") in
+          let fr = S.Future.spawn (fun () -> 1) in
+          (match S.Future.(await (both fl fr)) with
+          | _ -> Alcotest.fail "expected left error"
+          | exception Failure m -> Alcotest.(check string) "left error wins" "left" m);
+          Alcotest.(check int) "right still joins" 1 (S.Future.await fr);
+          (* first: whichever settles wins, the loser is cancelled. *)
+          let gate = Atomic.make false in
+          let slow =
+            S.Future.spawn (fun () ->
+                while not (Atomic.get gate) do
+                  Domain.cpu_relax ()
+                done;
+                99)
+          in
+          let quick = S.Future.spawn (fun () -> 7) in
+          Alcotest.(check int) "first" 7 S.Future.(await (first quick slow));
+          Atomic.set gate true;
+          (match S.Future.await slow with
+          | _ -> () (* already past the gate when cancel landed *)
+          | exception S.Cancelled -> ());
+          (* all: results in list order; empty list already settled. *)
+          let l = S.Future.(await (all (List.init 5 (fun i -> spawn (fun () -> i * i))))) in
+          Alcotest.(check (list int)) "all" [ 0; 1; 4; 9; 16 ] l;
+          Alcotest.(check (list int)) "all []" [] S.Future.(await (all []));
+          drain_in_job pool);
+      quiescent pool)
+
+(* {2 Sequential fallback} *)
+
+let test_outside_pool_fallback () =
+  (* No pool anywhere: spawn runs immediately, futures are born settled,
+     combinators still work, and Ops.suspend round-trips through a
+     synchronous resume. *)
+  let fu = S.Future.spawn (fun () -> mix 3) in
+  Alcotest.(check int) "spawn outside pool" (mix 3) (S.Future.await fu);
+  (match S.Future.try_await fu with
+  | Some (Ok _) -> ()
+  | _ -> Alcotest.fail "outside-pool future must be born settled");
+  let a, b = S.Future.(await (both (spawn (fun () -> 1)) (spawn (fun () -> 2)))) in
+  Alcotest.(check (pair int int)) "both outside pool" (1, 2) (a, b);
+  S.Ops.suspend (fun resume -> resume ());
+  S.Ops.fork (fun () -> ())
+
+(* {2 Direct effects} *)
+
+let test_fork_effect () =
+  with_pool ~num_workers:2 ~variant:S.Signal (fun pool ->
+      let hits = Atomic.make 0 in
+      S.Pool.run pool (fun () ->
+          let fu = S.Future.spawn (fun () -> Atomic.incr hits) in
+          Effect.perform (S.Fork (fun () -> Atomic.incr hits));
+          S.Future.await fu;
+          (* The forked task has no join handle: drain it by helping
+             until the deques go quiet. *)
+          while Atomic.get hits < 2 do
+            S.Ops.tick ();
+            Domain.cpu_relax ()
+          done);
+      Alcotest.(check int) "both ran" 2 (Atomic.get hits);
+      quiescent pool)
+
+let test_suspend_effect_direct () =
+  with_pool ~num_workers:2 ~variant:S.Signal (fun pool ->
+      let order = ref [] in
+      S.Pool.run pool (fun () ->
+          order := `Before :: !order;
+          Effect.perform (S.Suspend (fun resume -> resume ()));
+          order := `After :: !order);
+      Alcotest.(check bool) "resumed in order" true (List.rev !order = [ `Before; `After ]);
+      quiescent pool)
+
+(* Suspension is illegal at depth > 0: a raw Suspend performed inside a
+   fork_join branch is refused at the perform site. (Future.await and
+   Ops.suspend degrade to helping instead — covered above.) *)
+let test_suspend_illegal_depth () =
+  with_pool ~num_workers:2 ~variant:S.Signal (fun pool ->
+      (match
+         S.Pool.run pool (fun () ->
+             S.Ops.fork_join_unit
+               (fun () -> Effect.perform (S.Suspend (fun resume -> resume ())))
+               (fun () -> ()))
+       with
+      | () -> Alcotest.fail "Suspend inside a fork_join branch must be refused"
+      | exception Invalid_argument _ -> ());
+      quiescent ~tag:"after illegal suspend" pool)
+
+(* {2 Pool.run re-entrancy} *)
+
+let test_run_reentrancy_refused () =
+  with_pool ~num_workers:2 ~variant:S.Signal (fun pool ->
+      (match S.Pool.run pool (fun () -> S.Pool.run pool (fun () -> 1)) with
+      | _ -> Alcotest.fail "nested Pool.run on the same pool must be refused"
+      | exception Invalid_argument m ->
+          Alcotest.(check bool) "names the re-entrancy" true
+            (String.length m >= 8 && String.sub m 0 8 = "Pool.run"));
+      quiescent ~tag:"after refused re-entry" pool;
+      (* The refusal must leave the pool fully usable. *)
+      Alcotest.(check int) "pool still works" 42 (S.Pool.run pool (fun () -> 42)))
+
+(* Nesting across *distinct* pools stays legal: an inner pool driven
+   from inside an outer pool's job. *)
+let test_nested_distinct_pools () =
+  with_pool ~num_workers:2 ~variant:S.Signal (fun outer ->
+      with_pool ~num_workers:1 ~variant:S.Ws (fun inner ->
+          let got = S.Pool.run outer (fun () -> S.Pool.run inner (fun () -> mix 9)) in
+          Alcotest.(check int) "inner result" (mix 9) got))
+
+(* {2 External submission} *)
+
+(* No job in flight: the submitting thread itself must drive the pool
+   (driver election), including on a single-worker pool where there are
+   no helper domains at all. *)
+let test_submit_idle_pool () =
+  List.iter
+    (fun num_workers ->
+      with_pool ~num_workers ~variant:S.Signal (fun pool ->
+          let futs = List.init 20 (fun i -> S.Pool.submit pool (fun () -> mix i)) in
+          List.iteri
+            (fun i fu ->
+              Alcotest.(check int)
+                (Printf.sprintf "submit %d (nw=%d)" i num_workers)
+                (mix i) (S.Future.await fu))
+            futs;
+          quiescent pool))
+    [ 1; 2; 4 ]
+
+(* Submitted tasks are full fibers: they can fork, loop, spawn and
+   await. *)
+let test_submit_runs_parallel_work () =
+  with_pool ~num_workers:3 ~variant:S.Uslcws (fun pool ->
+      let fu =
+        S.Pool.submit pool (fun () ->
+            let a, b = S.Ops.fork_join (fun () -> mix 1) (fun () -> mix 2) in
+            a + b + S.Future.await (S.Future.spawn (fun () -> mix 3)))
+      in
+      Alcotest.(check int) "submitted fiber" (mix 1 + mix 2 + mix 3) (S.Future.await fu);
+      quiescent pool)
+
+(* Concurrent external submitters on separate domains, no run in
+   flight: the injector is MPSC and the service count keeps every
+   worker scheduling until all futures settle. *)
+let test_submit_from_domains () =
+  with_pool ~num_workers:3 ~variant:S.Signal (fun pool ->
+      let per = 25 in
+      let submitter d =
+        Domain.spawn (fun () ->
+            let futs = List.init per (fun i -> S.Pool.submit pool (fun () -> mix ((d * per) + i))) in
+            List.fold_left (fun acc fu -> acc + S.Future.await fu) 0 futs)
+      in
+      let d1 = submitter 0 and d2 = submitter 1 in
+      let got = Domain.join d1 + Domain.join d2 in
+      let want = List.fold_left (fun a i -> a + mix i) 0 (List.init (2 * per) Fun.id) in
+      Alcotest.(check int) "all submissions served" want got;
+      let m = S.Pool.metrics pool in
+      Alcotest.(check int) "every submission drained once" (2 * per) m.Metrics.submits;
+      quiescent pool)
+
+(* Submission racing a live job: workers drain the injector at their
+   steal points, so external futures settle while Pool.run is still
+   going. *)
+let test_submit_during_run () =
+  with_pool ~num_workers:3 ~variant:S.Signal (fun pool ->
+      let stop = Atomic.make false in
+      let ext =
+        Domain.spawn (fun () ->
+            let acc = ref 0 in
+            let i = ref 0 in
+            while not (Atomic.get stop) do
+              acc := !acc + S.Future.await (S.Pool.submit pool (fun () -> mix !i));
+              incr i
+            done;
+            (!i, !acc))
+      in
+      let inside =
+        S.Pool.run pool (fun () ->
+            let acc = Atomic.make 0 in
+            S.Ops.parallel_for ~grain:8 ~start:0 ~stop:2_000 (fun i ->
+                spin 20;
+                ignore (Atomic.fetch_and_add acc (mix i)));
+            Atomic.get acc)
+      in
+      Atomic.set stop true;
+      let n_ext, got_ext = Domain.join ext in
+      let want_inside = List.fold_left (fun a i -> a + mix i) 0 (List.init 2_000 Fun.id) in
+      let want_ext = List.fold_left (fun a i -> a + mix i) 0 (List.init n_ext Fun.id) in
+      Alcotest.(check int) "job checksum" want_inside inside;
+      Alcotest.(check int) "external checksum" want_ext got_ext;
+      quiescent pool)
+
+(* submit from a worker of the pool itself: no injector round trip, the
+   fiber goes straight onto the calling worker's deque. *)
+let test_submit_from_worker () =
+  with_pool ~num_workers:2 ~variant:S.Signal (fun pool ->
+      let got =
+        S.Pool.run pool (fun () -> S.Future.await (S.Pool.submit pool (fun () -> mix 4)))
+      in
+      Alcotest.(check int) "worker-side submit" (mix 4) got;
+      quiescent pool)
+
+let test_submit_after_shutdown () =
+  let pool = S.Pool.create ~num_workers:2 ~variant:S.Signal () in
+  S.Pool.shutdown pool;
+  match S.Pool.submit pool (fun () -> 1) with
+  | _ -> Alcotest.fail "submit after shutdown must be refused"
+  | exception Invalid_argument _ -> ()
+
+(* Suspension events are observable: counters balance and the trace
+   carries Submit/Suspend/Resume. *)
+let test_suspension_observability () =
+  let trace = Trace.create ~num_workers:2 () in
+  with_pool ~trace ~num_workers:2 ~variant:S.Signal (fun pool ->
+      let fu = S.Pool.submit pool (fun () -> mix 11) in
+      Alcotest.(check int) "result" (mix 11) (S.Future.await fu);
+      ignore
+        (S.Pool.run pool (fun () ->
+             S.Future.await (S.Future.spawn (fun () -> spin 1000; mix 12))));
+      let m = S.Pool.metrics pool in
+      (* The spawn inside the job counts under [futures]; the external
+         submission only under [submits] (it was not spawned by a
+         worker). *)
+      Alcotest.(check bool) "futures counted" true (m.Metrics.futures >= 1);
+      Alcotest.(check int) "submit counted" 1 m.Metrics.submits;
+      Alcotest.(check bool) "resumes never exceed suspends" true
+        (m.Metrics.resumes <= m.Metrics.suspends);
+      let count k =
+        List.assoc_opt k (Trace.counts trace) |> Option.value ~default:0
+      in
+      Alcotest.(check int) "Submit traced" 1 (count Trace.Submit);
+      Alcotest.(check bool) "Suspend/Resume traced in balance" true
+        (count Trace.Resume <= count Trace.Suspend))
+
+(* {2 Random await/cancel DAGs vs the sequential oracle} *)
+
+(* Chaos DAGs now contain Fut nodes, so the fault-free chaos oracle
+   doubles as the future-layer property: par_eval (with its spawns,
+   parks, migrations and resumes) must reproduce seq_eval's checksum on
+   every variant, and leave the pool intact. *)
+let prop_future_dag_matches_oracle case =
+  let rng = Xoshiro.create (Int64.of_int case) in
+  let variant = List.nth S.all_variants (Xoshiro.int rng 5) in
+  let r =
+    Chaos.run_one ~variant
+      ~deque:(S.default_deque_impl variant)
+      ~num_workers:(1 + Xoshiro.int rng 3)
+      ~plan:F.no_faults
+      ~wseed:(Int64.of_int (case lxor 0xfada))
+      ()
+  in
+  if Chaos.ok r then true
+  else
+    QCheck2.Test.fail_reportf "%a" (fun ppf -> Format.fprintf ppf "%a" Chaos.pp_report) r
+
+(* Random cancellation storm: spawn a wave of gated fibers, cancel a
+   seeded subset, open the gate, await everything. Each await must
+   return the fiber's true value or raise Cancelled — cancelled futures
+   may race their own completion — and the pool must come out intact. *)
+let prop_random_cancel_storm case =
+  let rng = Xoshiro.create (Int64.of_int (case lxor 0xca9ce1)) in
+  let variant = List.nth S.all_variants (Xoshiro.int rng 5) in
+  (* >= 2 workers: the root drains the cancelled stragglers by spinning
+     while the helpers steal (see [drain_in_job]). *)
+  let num_workers = 2 + Xoshiro.int rng 2 in
+  let n = 8 + Xoshiro.int rng 16 in
+  let pool = S.Pool.create ~num_workers ~variant () in
+  Fun.protect ~finally:(fun () -> S.Pool.shutdown pool) @@ fun () ->
+  let cancel_mask = Array.init n (fun _ -> Xoshiro.int rng 2 = 0) in
+  let errors =
+    S.Pool.run pool (fun () ->
+        let gate = Atomic.make false in
+        let futs =
+          Array.init n (fun i ->
+              S.Future.spawn (fun () ->
+                  while not (Atomic.get gate) do
+                    Domain.cpu_relax ()
+                  done;
+                  spin (Xoshiro.int rng 64);
+                  mix i))
+        in
+        Array.iteri (fun i fu -> if cancel_mask.(i) then S.Future.cancel fu) futs;
+        Atomic.set gate true;
+        let errs = ref [] in
+        Array.iteri
+          (fun i fu ->
+            match S.Future.await fu with
+            | v ->
+                if v <> mix i then errs := Printf.sprintf "future %d: wrong value" i :: !errs
+            | exception S.Cancelled ->
+                if not cancel_mask.(i) then
+                  errs := Printf.sprintf "future %d: cancelled but never asked" i :: !errs
+            | exception e ->
+                errs := Printf.sprintf "future %d: %s" i (Printexc.to_string e) :: !errs)
+          futs;
+        drain_in_job pool;
+        !errs)
+  in
+  let errors =
+    if S.Pool.outstanding_tasks pool = 0 then errors else "tasks left in deques" :: errors
+  in
+  if errors = [] then true
+  else QCheck2.Test.fail_reportf "case %d: %s" case (String.concat "; " errors)
+
+(* {2 Seeded faults across suspension points} *)
+
+(* Deterministic replays of the fault presets over future-heavy DAGs:
+   Fault.poll runs inside the Suspend handler and Fault.inject_now at
+   fiber entry, so storms and stalls now land between park and resume.
+   Admissibility and integrity are Chaos.run_one's oracle; determinism
+   is the plan's seed. *)
+let test_faults_across_suspension_points () =
+  List.iter
+    (fun (pname, wseed) ->
+      match F.preset ~seed:(Int64.of_int (97 * wseed)) pname with
+      | None -> Alcotest.failf "preset %S missing" pname
+      | Some plan ->
+          let run () =
+            Chaos.run_one ~variant:S.Signal ~deque:S.split_deque_impl ~num_workers:3 ~plan
+              ~wseed:(Int64.of_int wseed) ()
+          in
+          let r1 = run () in
+          if not (Chaos.ok r1) then
+            Alcotest.failf "[%s] %s" pname (Format.asprintf "%a" Chaos.pp_report r1);
+          let r2 = run () in
+          Alcotest.(check bool)
+            (Printf.sprintf "[%s] seeded replay is deterministic" pname)
+            true
+            (r1.Chaos.outcome = r2.Chaos.outcome))
+    [ ("storm", 2); ("storm", 11); ("stall", 5); ("exn", 3); ("mixed", 23); ("cancel", 7) ]
+
+let () =
+  Alcotest.run "future"
+    [
+      ( "futures",
+        [
+          Alcotest.test_case "spawn/await across the matrix" `Quick test_spawn_await_matrix;
+          Alcotest.test_case "await inside fork_join helps" `Quick test_await_inside_fork_join;
+          Alcotest.test_case "fiber runs parallel work" `Quick test_fiber_runs_parallel_work;
+          Alcotest.test_case "try_await never blocks" `Quick test_try_await;
+          Alcotest.test_case "fiber exception propagates" `Quick
+            test_fiber_exception_propagates;
+          Alcotest.test_case "combinators" `Quick test_combinators;
+          Alcotest.test_case "sequential fallback outside pools" `Quick
+            test_outside_pool_fallback;
+        ] );
+      ( "cancellation",
+        [
+          Alcotest.test_case "cancel pending, first completion wins" `Quick
+            test_cancel_pending;
+          Alcotest.test_case "cancel a running fiber's loop" `Quick
+            test_cancel_running_fiber_loop;
+        ] );
+      ( "effects",
+        [
+          Alcotest.test_case "Fork effect" `Quick test_fork_effect;
+          Alcotest.test_case "Suspend effect round-trips" `Quick test_suspend_effect_direct;
+          Alcotest.test_case "Suspend refused at depth > 0" `Quick test_suspend_illegal_depth;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "run re-entrancy refused" `Quick test_run_reentrancy_refused;
+          Alcotest.test_case "nested distinct pools" `Quick test_nested_distinct_pools;
+          Alcotest.test_case "submit to an idle pool (driver election)" `Quick
+            test_submit_idle_pool;
+          Alcotest.test_case "submitted fibers parallelize" `Quick
+            test_submit_runs_parallel_work;
+          Alcotest.test_case "MPSC submit from two domains" `Quick test_submit_from_domains;
+          Alcotest.test_case "submit during a live run" `Quick test_submit_during_run;
+          Alcotest.test_case "submit from a worker" `Quick test_submit_from_worker;
+          Alcotest.test_case "submit after shutdown refused" `Quick
+            test_submit_after_shutdown;
+          Alcotest.test_case "suspension observability" `Quick test_suspension_observability;
+        ] );
+      ( "properties",
+        [
+          qtest "random future DAG matches the sequential oracle"
+            QCheck2.Gen.(int_range 1 1_000_000)
+            prop_future_dag_matches_oracle;
+          qtest ~count:40 "random cancel storm is admissible"
+            QCheck2.Gen.(int_range 1 1_000_000)
+            prop_random_cancel_storm;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "seeded fault plans across suspension points" `Quick
+            test_faults_across_suspension_points;
+        ] );
+    ]

@@ -16,7 +16,7 @@ let rec fib n =
     f n
   end
   else begin
-    let a, b = S.fork_join (fun () -> fib (n - 1)) (fun () -> fib (n - 2)) in
+    let a, b = S.Ops.fork_join (fun () -> fib (n - 1)) (fun () -> fib (n - 2)) in
     a + b
   end
 
@@ -29,7 +29,7 @@ let test_parallel_for variant () =
       let n = 100_000 in
       let hits = Array.make n 0 in
       S.Pool.run pool (fun () ->
-          S.parallel_for ~grain:64 ~start:0 ~stop:n (fun i -> hits.(i) <- hits.(i) + 1));
+          S.Ops.parallel_for ~grain:64 ~start:0 ~stop:n (fun i -> hits.(i) <- hits.(i) + 1));
       let total = Array.fold_left ( + ) 0 hits in
       check Alcotest.int "every index exactly once" n total;
       Alcotest.(check bool) "no double writes" true (Array.for_all (fun v -> v = 1) hits))
@@ -39,9 +39,9 @@ let test_nested variant () =
       let result =
         S.Pool.run pool (fun () ->
             let (a, b), (c, d) =
-              S.fork_join
-                (fun () -> S.fork_join (fun () -> fib 15) (fun () -> fib 14))
-                (fun () -> S.fork_join (fun () -> fib 13) (fun () -> fib 12))
+              S.Ops.fork_join
+                (fun () -> S.Ops.fork_join (fun () -> fib 15) (fun () -> fib 14))
+                (fun () -> S.Ops.fork_join (fun () -> fib 13) (fun () -> fib 12))
             in
             a + b + c + d)
       in
@@ -49,14 +49,14 @@ let test_nested variant () =
 
 let test_sequential_fallback () =
   (* Outside a pool, the API degrades to sequential execution. *)
-  let a, b = S.fork_join (fun () -> 1) (fun () -> 2) in
+  let a, b = S.Ops.fork_join (fun () -> 1) (fun () -> 2) in
   check Alcotest.int "fork_join outside pool" 3 (a + b);
   let acc = ref 0 in
-  S.parallel_for ~start:0 ~stop:10 (fun i -> acc := !acc + i);
+  S.Ops.parallel_for ~start:0 ~stop:10 (fun i -> acc := !acc + i);
   check Alcotest.int "parallel_for outside pool" 45 !acc;
-  S.tick ();
-  check Alcotest.int "my_id outside pool" 0 (S.my_id ());
-  check Alcotest.int "num_workers outside pool" 1 (S.num_workers ())
+  S.Ops.tick ();
+  check Alcotest.int "my_id outside pool" 0 (S.Ops.my_id ());
+  check Alcotest.int "num_workers outside pool" 1 (S.Ops.num_workers ())
 
 exception Boom
 
@@ -64,13 +64,13 @@ let test_exception_left variant () =
   with_pool variant (fun pool ->
       Alcotest.check_raises "f raises" Boom (fun () ->
           S.Pool.run pool (fun () ->
-              ignore (S.fork_join (fun () -> raise Boom) (fun () -> fib 12)))))
+              ignore (S.Ops.fork_join (fun () -> raise Boom) (fun () -> fib 12)))))
 
 let test_exception_right variant () =
   with_pool variant (fun pool ->
       Alcotest.check_raises "g raises" Boom (fun () ->
           S.Pool.run pool (fun () ->
-              ignore (S.fork_join (fun () -> fib 12) (fun () -> raise Boom)))))
+              ignore (S.Ops.fork_join (fun () -> fib 12) (fun () -> raise Boom)))))
 
 let test_pool_reuse variant () =
   with_pool variant (fun pool ->
@@ -231,19 +231,19 @@ let test_parallel_for_grains variant () =
         (fun grain ->
           let acc = Atomic.make 0 in
           S.Pool.run pool (fun () ->
-              S.parallel_for ~grain ~start:5 ~stop:1005 (fun _ -> Atomic.incr acc));
+              S.Ops.parallel_for ~grain ~start:5 ~stop:1005 (fun _ -> Atomic.incr acc));
           check Alcotest.int (Printf.sprintf "grain %d" grain) 1000 (Atomic.get acc))
         [ 1; 7; 100; 5000 ])
 
 let test_empty_range variant () =
   with_pool variant (fun pool ->
-      S.Pool.run pool (fun () -> S.parallel_for ~start:10 ~stop:10 (fun _ -> Alcotest.fail "called"));
-      S.Pool.run pool (fun () -> S.parallel_for ~start:10 ~stop:5 (fun _ -> Alcotest.fail "called")))
+      S.Pool.run pool (fun () -> S.Ops.parallel_for ~start:10 ~stop:10 (fun _ -> Alcotest.fail "called"));
+      S.Pool.run pool (fun () -> S.Ops.parallel_for ~start:10 ~stop:5 (fun _ -> Alcotest.fail "called")))
 
 let test_result_types variant () =
   with_pool variant (fun pool ->
       let s, f =
-        S.Pool.run pool (fun () -> S.fork_join (fun () -> "left") (fun () -> 3.14))
+        S.Pool.run pool (fun () -> S.Ops.fork_join (fun () -> "left") (fun () -> 3.14))
       in
       check Alcotest.string "string result" "left" s;
       check (Alcotest.float 0.0) "float result" 3.14 f)
@@ -255,7 +255,7 @@ let test_oversubscribed variant () =
       let n = 200_000 in
       let acc = Atomic.make 0 in
       S.Pool.run pool (fun () ->
-          S.parallel_for ~grain:128 ~start:0 ~stop:n (fun _ -> Atomic.incr acc));
+          S.Ops.parallel_for ~grain:128 ~start:0 ~stop:n (fun _ -> Atomic.incr acc));
       check Alcotest.int "all iterations" n (Atomic.get acc);
       check Alcotest.int "fib" 196418 (S.Pool.run pool (fun () -> fib 27)))
 

@@ -353,7 +353,7 @@ let chrome_export_unbalanced () =
 let rec fib n =
   if n < 2 then n
   else
-    let a, b = Scheduler.fork_join (fun () -> fib (n - 1)) (fun () -> fib (n - 2)) in
+    let a, b = Scheduler.Ops.fork_join (fun () -> fib (n - 1)) (fun () -> fib (n - 2)) in
     a + b
 
 let scheduler_traced variant () =
