@@ -1,54 +1,84 @@
-(* CLI for the deque interleaving checker.
+(* CLI for the interleaving checker (deque and scheduler levels).
 
      lcws_check list
-     lcws_check run [scenario ...] [--mutants] [--budget N]
+     lcws_check run [scenario ...] [--mutants] [--budget N] [--preempt N]
+                    [--trace-dir DIR]
      lcws_check replay <scenario> <schedule> [--out trace.json]
 
-   [run] explores the named scenarios (default: the whole catalogue plus
-   the seeded mutants) and exits non-zero if any scenario's outcome does
-   not match its expectation. [replay] re-executes one exact interleaving
-   — e.g. the schedule printed with a counterexample — and can export it
-   as a Chrome trace for chrome://tracing / Perfetto. *)
+   [run] explores the named scenarios (default: both catalogues — raw
+   deque scripts and the mini-scheduler protocol scenarios — plus, with
+   --mutants, the seeded self-test mutants) and exits non-zero if any
+   scenario's outcome does not match its expectation. [--preempt N]
+   forces a preemption bound on every scenario (0 forces the unbounded
+   sleep-set search, overriding the scheduler scenarios' default
+   bounds); [--trace-dir DIR] re-executes each counterexample and drops
+   it there as a Chrome trace, which CI uploads as an artifact.
+   [replay] re-executes one exact interleaving — e.g. the schedule
+   printed with a counterexample — and can export it likewise. *)
 
 module Check = Lcws.Check
 
 let usage () =
   prerr_endline
     "usage: lcws_check list\n\
-    \       lcws_check run [scenario ...] [--mutants] [--budget N]\n\
+    \       lcws_check run [scenario ...] [--mutants] [--budget N] [--preempt N]\n\
+    \                      [--trace-dir DIR]\n\
     \       lcws_check replay <scenario> <schedule> [--out trace.json]";
   exit 2
 
 let list_cmd () =
   let line (s : Check.Explore.scenario) =
-    Printf.printf "%-26s %s%s\n" s.Check.Explore.name s.Check.Explore.descr
+    Printf.printf "%-28s %s%s\n" s.Check.Explore.name s.Check.Explore.descr
       (if s.Check.Explore.expect_violation then "  [expects violation]" else "")
   in
-  print_endline "scenarios:";
+  print_endline "deque scenarios:";
   List.iter line Check.Scenarios.all;
+  print_endline "scheduler scenarios (mini-scheduler over the real protocol kernels):";
+  List.iter line Check.Sched_scenarios.all;
   print_endline "seeded mutants (self-test; each must yield a counterexample):";
-  List.iter line Check.Scenarios.mutants
+  List.iter line Check.Scenarios.mutants;
+  List.iter line Check.Sched_scenarios.mutants
+
+let find name =
+  match Check.Scenarios.find name with
+  | Some _ as s -> s
+  | None -> Check.Sched_scenarios.find name
 
 let find_or_die name =
-  match Check.Scenarios.find name with
+  match find name with
   | Some s -> s
   | None ->
       Printf.eprintf "unknown scenario %S (try `lcws_check list')\n" name;
       exit 2
 
-let run_cmd names ~with_mutants ~budget =
+(* Re-execute a counterexample and drop it as a Chrome trace named after
+   the scenario, for chrome://tracing / Perfetto. *)
+let dump_trace dir (s : Check.Explore.scenario) (v : Check.Explore.violation) =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let rp = Check.Explore.replay s v.Check.Explore.schedule ~max_steps:1000 in
+  let path = Filename.concat dir (s.Check.Explore.name ^ ".trace.json") in
+  Lcws.Chrome_trace.Raw.write_file path
+    (Check.Explore.steps_to_chrome ~lanes:rp.Check.Explore.lanes rp.Check.Explore.steps);
+  Printf.printf "  trace: %s\n" path
+
+let run_cmd names ~with_mutants ~budget ~preempt ~trace_dir =
   let scenarios =
     match names with
     | [] ->
-        Check.Scenarios.all @ (if with_mutants then Check.Scenarios.mutants else [])
+        Check.Scenarios.all @ Check.Sched_scenarios.all
+        @ (if with_mutants then Check.Scenarios.mutants @ Check.Sched_scenarios.mutants
+           else [])
     | names -> List.map find_or_die names
   in
   let max_runs = Option.map (fun b -> b * Check.Explore.default_max_runs) budget in
   let ok = ref true in
   List.iter
-    (fun s ->
-      let r = Check.Explore.explore ?max_runs s in
+    (fun (s : Check.Explore.scenario) ->
+      let r = Check.Explore.explore ?max_runs ?preempt s in
       Format.printf "%a@." Check.Explore.pp_report r;
+      (match (r.Check.Explore.violation, trace_dir) with
+      | Some v, Some dir when not s.Check.Explore.expect_violation -> dump_trace dir s v
+      | _ -> ());
       if not (Check.Explore.passed r) then ok := false)
     scenarios;
   if !ok then print_endline "all scenarios matched their expectations"
@@ -85,17 +115,25 @@ let () =
   match args with
   | [ "list" ] -> list_cmd ()
   | "run" :: rest ->
-      let rec parse names with_mutants budget = function
-        | [] -> (List.rev names, with_mutants, budget)
-        | "--mutants" :: tl -> parse names true budget tl
+      let rec parse names with_mutants budget preempt trace_dir = function
+        | [] -> (List.rev names, with_mutants, budget, preempt, trace_dir)
+        | "--mutants" :: tl -> parse names true budget preempt trace_dir tl
         | "--budget" :: n :: tl -> (
             match int_of_string_opt n with
-            | Some b when b >= 1 -> parse names with_mutants (Some b) tl
+            | Some b when b >= 1 -> parse names with_mutants (Some b) preempt trace_dir tl
             | _ -> usage ())
-        | name :: tl -> parse (name :: names) with_mutants budget tl
+        | "--preempt" :: n :: tl -> (
+            match int_of_string_opt n with
+            | Some p -> parse names with_mutants budget (Some p) trace_dir tl
+            | None -> usage ())
+        | "--trace-dir" :: dir :: tl ->
+            parse names with_mutants budget preempt (Some dir) tl
+        | name :: tl -> parse (name :: names) with_mutants budget preempt trace_dir tl
       in
-      let names, with_mutants, budget = parse [] false None rest in
-      run_cmd names ~with_mutants ~budget
+      let names, with_mutants, budget, preempt, trace_dir =
+        parse [] false None None None rest
+      in
+      run_cmd names ~with_mutants ~budget ~preempt ~trace_dir
   | "replay" :: name :: sched :: rest ->
       let out = match rest with [] -> None | [ "--out"; path ] -> Some path | _ -> usage () in
       replay_cmd name sched ~out

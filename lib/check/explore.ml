@@ -3,11 +3,24 @@
    [Sim_atomic.A]; every shared access is a scheduling point; the explorer
    enumerates schedules by depth-first search with re-execution, pruning
    provably redundant branches with sleep sets (a lightweight cut of
-   dynamic partial-order reduction). *)
+   dynamic partial-order reduction).
+
+   Two search modes:
+   - unbounded (the default): sleep-set-reduced full enumeration;
+   - preemption-bounded (CHESS-style): only schedules with at most [k]
+     preemptions — switching away from a lane that could still run — are
+     executed. Most real concurrency bugs need very few preemptions, so a
+     small bound covers the interesting schedules of scenarios whose full
+     trees are out of reach (the scheduler-level ones). Sleep sets are
+     disabled in bounded mode: the bound already cuts the tree, and
+     pruning a branch whose sibling is itself preemption-filtered would
+     be unsound. *)
 
 (* A scheduling decision: advance thread [i] (index [Array.length threads]
    is the signal handler once delivered), or deliver the pending signal. *)
 type choice = Thread of int | Signal
+
+type step = { who : choice; access : Sim_atomic.access option }
 
 type run_spec = {
   threads : (string * (unit -> unit)) array;
@@ -16,6 +29,10 @@ type run_spec = {
       (** at most one asynchronous signal, delivered to thread 0: while the
           handler runs, thread 0 is blocked (a handler is atomic with
           respect to the thread it interrupts) but thieves keep running *)
+  invariant : (step -> (unit, string) result) option;
+      (** evaluated quiescently after {e every} executed step, observing
+          post-access memory: a structural property that must hold at
+          every scheduling point, not only at the end of the run *)
   check : unit -> (unit, string) result;
       (** the oracle, run quiescently after every complete interleaving *)
 }
@@ -24,10 +41,11 @@ type scenario = {
   name : string;
   descr : string;
   expect_violation : bool;
+  preempt : int option;
+      (** default preemption bound for this scenario; [None] = unbounded.
+          Overridable by [LCWS_CHECK_PREEMPT] and [explore ~preempt]. *)
   spec : unit -> run_spec;
 }
-
-type step = { who : choice; access : Sim_atomic.access option }
 
 type violation = { message : string; steps : step list; schedule : choice list }
 
@@ -37,7 +55,8 @@ type report = {
   runs : int;  (** executions started, including pruned ones *)
   interleavings : int;  (** complete maximal interleavings executed *)
   pruned : int;  (** executions abandoned as sleep-set-redundant *)
-  exhausted : bool;  (** the whole (reduced) schedule tree was covered *)
+  exhausted : bool;  (** the whole (reduced/bounded) schedule tree was covered *)
+  preempt_bound : int option;  (** the bound the search actually ran under *)
   violation : violation option;
 }
 
@@ -146,12 +165,41 @@ let filter_indep sleep a = List.filter (fun (_, a') -> not (dependent a' a)) sle
 
 type outcome = Passed | Failed of string | Pruned_run
 
+(* Evaluate the per-step invariant (if any) on the step just executed.
+   The fiber's continuation has already applied the access's memory
+   effect and parked before the next one, so the callback observes
+   post-access state — including transient intermediate states no
+   complete-run oracle could see. *)
+let step_violation spec step =
+  match spec.invariant with
+  | None -> None
+  | Some inv -> (
+      match Sim_atomic.quiescent (fun () -> inv step) with
+      | Ok () -> None
+      | Error m -> Some (Failed ("invariant violated: " ^ m)))
+
+(* Did picking [c] preempt? Only if the previously-run lane is a
+   *different* lane that is still enabled: switching away from a finished
+   or blocked lane is forced, not a preemption (CHESS's definition). *)
+let is_preempt prev en c =
+  match prev with
+  | None -> false
+  | Some p -> c <> p && List.exists (fun (c', _) -> c' = p) en
+
 (* Re-execute the scenario from scratch, following [prefix] (the current
    DFS path), then extend it greedily with first-not-asleep choices,
    materialising a new node per fresh decision. Every shared access is a
-   decision point, so nodes and steps are one-to-one. *)
-let exec_run spec_fn prefix ~max_steps =
+   decision point, so nodes and steps are one-to-one.
+
+   [max_preempts = Some k] enables bounded mode: choices that would spend
+   a preemption when none is left are filtered out of both the greedy
+   pick and [to_try] (so backtracking never revisits them), and sleep
+   sets are disabled. The filter can never empty a nonempty enabled set:
+   if the previous lane is still enabled it is itself admissible, and if
+   it is not, no choice counts as a preemption. *)
+let exec_run spec_fn prefix ~max_steps ~max_preempts =
   Sim_atomic.reset ();
+  let bounded = max_preempts <> None in
   let steps = ref [] in
   let new_nodes = ref [] in
   let record who access = steps := { who; access } :: !steps in
@@ -159,7 +207,7 @@ let exec_run spec_fn prefix ~max_steps =
     try
       let spec = Sim_atomic.quiescent spec_fn in
       let e = start spec in
-      let rec go sleep depth prefix_rest =
+      let rec go sleep prev left depth prefix_rest =
         if depth > max_steps then
           Failed (Printf.sprintf "step budget exceeded (%d): livelock?" max_steps)
         else if all_finished e then
@@ -170,14 +218,25 @@ let exec_run spec_fn prefix ~max_steps =
           else
             match prefix_rest with
             | node :: rest ->
+                let pre = is_preempt prev en node.chosen in
                 let a = exec e node.chosen in
                 node.chosen_access <- a;
                 record node.chosen a;
-                go (filter_indep (node.sleep0 @ node.tried) a) (depth + 1) rest
+                let next_sleep =
+                  if bounded then [] else filter_indep (node.sleep0 @ node.tried) a
+                in
+                (match step_violation spec { who = node.chosen; access = a } with
+                | Some f -> f
+                | None ->
+                    go next_sleep (Some node.chosen)
+                      (if pre then left - 1 else left)
+                      (depth + 1) rest)
             | [] -> (
                 let awake =
                   List.filter
-                    (fun (c, _) -> not (List.exists (fun (c', _) -> c' = c) sleep))
+                    (fun (c, _) ->
+                      (left > 0 || not (is_preempt prev en c))
+                      && not (List.exists (fun (c', _) -> c' = c) sleep))
                     en
                 in
                 match awake with
@@ -193,12 +252,17 @@ let exec_run spec_fn prefix ~max_steps =
                       }
                     in
                     new_nodes := node :: !new_nodes;
+                    let pre = is_preempt prev en c in
                     let a = exec e c in
                     node.chosen_access <- a;
                     record c a;
-                    go (filter_indep sleep a) (depth + 1) [])
+                    let next_sleep = if bounded then [] else filter_indep sleep a in
+                    (match step_violation spec { who = c; access = a } with
+                    | Some f -> f
+                    | None ->
+                        go next_sleep (Some c) (if pre then left - 1 else left) (depth + 1) []))
       in
-      go [] 0 prefix
+      go [] None (match max_preempts with Some k -> k | None -> max_int) 0 prefix
     with exn -> Failed (Printf.sprintf "uncaught exception: %s" (Printexc.to_string exn))
   in
   (outcome, List.rev !new_nodes, List.rev !steps)
@@ -228,17 +292,37 @@ let budget_multiplier () =
   | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 1)
   | None -> 1
 
-let explore ?max_runs ?(max_steps = 400) (scenario : scenario) =
+(* LCWS_CHECK_PREEMPT overrides every scenario's default preemption
+   bound: a positive value bounds, zero or negative forces unbounded.
+   (The nightly sweep sets 0 to lift the per-push bounds.) *)
+let env_preempt () =
+  match Sys.getenv_opt "LCWS_CHECK_PREEMPT" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> Some (Some n)
+      | Some _ -> Some None
+      | None -> None)
+
+(* Precedence for the effective bound: explicit [~preempt] (<= 0 means
+   unbounded) > LCWS_CHECK_PREEMPT > the scenario's own default. *)
+let effective_preempt ?preempt (scenario : scenario) =
+  match preempt with
+  | Some p -> if p > 0 then Some p else None
+  | None -> ( match env_preempt () with Some o -> o | None -> scenario.preempt)
+
+let explore ?max_runs ?(max_steps = 400) ?preempt (scenario : scenario) =
   let max_runs =
     match max_runs with Some m -> m | None -> default_max_runs * budget_multiplier ()
   in
+  let max_preempts = effective_preempt ?preempt scenario in
   let stack = ref [] in
   let runs = ref 0 and pruned = ref 0 and completed = ref 0 in
   let violation = ref None in
   let exhausted = ref false in
   let continue_ = ref true in
   while !continue_ do
-    let outcome, nodes, steps = exec_run scenario.spec !stack ~max_steps in
+    let outcome, nodes, steps = exec_run scenario.spec !stack ~max_steps ~max_preempts in
     stack := !stack @ nodes;
     incr runs;
     (match outcome with
@@ -266,6 +350,7 @@ let explore ?max_runs ?(max_steps = 400) (scenario : scenario) =
     interleavings = !completed;
     pruned = !pruned;
     exhausted = !exhausted;
+    preempt_bound = max_preempts;
     violation = !violation;
   }
 
@@ -280,9 +365,17 @@ let lanes_of spec =
       if i < n then fst spec.threads.(i)
       else match spec.signal with Some (name, _) -> name | None -> "signal")
 
+(* Lane names without running the search: build one (quiescent) instance
+   of the spec and read them off. *)
+let scenario_lanes (scenario : scenario) =
+  Sim_atomic.reset ();
+  lanes_of (Sim_atomic.quiescent scenario.spec)
+
 (* Re-run one exact interleaving. After [schedule] is consumed, remaining
    threads are finished deterministically (first enabled choice) so the
-   oracle always sees a complete execution. *)
+   oracle always sees a complete execution. The per-step invariant is
+   evaluated here too, so replaying an invariant counterexample fails at
+   the same step it failed during exploration. *)
 let replay (scenario : scenario) schedule ~max_steps =
   Sim_atomic.reset ();
   let steps = ref [] in
@@ -292,6 +385,14 @@ let replay (scenario : scenario) schedule ~max_steps =
       let spec = Sim_atomic.quiescent scenario.spec in
       lanes := lanes_of spec;
       let e = start spec in
+      let take c depth =
+        let a = exec e c in
+        let step = { who = c; access = a } in
+        steps := step :: !steps;
+        match step_violation spec step with
+        | Some (Failed m) -> Error m
+        | Some _ | None -> Ok (depth + 1)
+      in
       let rec go depth sched =
         if depth > max_steps then Error "step budget exceeded"
         else if all_finished e then Sim_atomic.quiescent e.spec.check
@@ -299,18 +400,14 @@ let replay (scenario : scenario) schedule ~max_steps =
           let en = enabled e in
           match (sched, en) with
           | _, [] -> Error "deadlock"
-          | c :: rest, _ when List.exists (fun (c', _) -> c' = c) en ->
-              let a = exec e c in
-              steps := { who = c; access = a } :: !steps;
-              go (depth + 1) rest
+          | c :: rest, _ when List.exists (fun (c', _) -> c' = c) en -> (
+              match take c depth with Error _ as err -> err | Ok depth -> go depth rest)
           | c :: _, _ ->
               Error
                 (Printf.sprintf "schedule step %d not enabled (%s)" depth
                    (match c with Thread i -> string_of_int i | Signal -> "s"))
-          | [], (c, _) :: _ ->
-              let a = exec e c in
-              steps := { who = c; access = a } :: !steps;
-              go (depth + 1) []
+          | [], (c, _) :: _ -> (
+              match take c depth with Error _ as err -> err | Ok depth -> go depth [])
       in
       go 0 schedule
     with exn -> Error (Printf.sprintf "uncaught exception: %s" (Printexc.to_string exn))
@@ -347,13 +444,47 @@ let pp_step lanes ppf { who; access } =
   | Some a -> Format.fprintf ppf "%-16s %a" lane Sim_atomic.pp_access a
   | None -> Format.fprintf ppf "%-16s (no access)" lane
 
+(* Columnar rendering of an interleaving: one column per lane, one row
+   per step, each access printed in its lane's column — the
+   read-the-race-at-a-glance format interleaving papers use. *)
+let pp_trace ~lanes ppf steps =
+  let ncols = Array.length lanes in
+  if ncols = 0 then ()
+  else begin
+    let cell { who; access } =
+      let col = match who with Thread i -> min i (ncols - 1) | Signal -> ncols - 1 in
+      let txt =
+        match access with
+        | Some a -> Format.asprintf "%a" Sim_atomic.pp_access a
+        | None -> ( match who with Signal -> "deliver!" | Thread _ -> "(start)")
+      in
+      (col, txt)
+    in
+    let cells = List.map cell steps in
+    let width = Array.map String.length lanes in
+    List.iter (fun (c, t) -> width.(c) <- max width.(c) (String.length t)) cells;
+    Format.fprintf ppf "@[<v>%4s" "step";
+    Array.iteri (fun i l -> Format.fprintf ppf "  %-*s" width.(i) l) lanes;
+    List.iteri
+      (fun k (c, t) ->
+        Format.fprintf ppf "@,%4d" k;
+        Array.iteri
+          (fun i _ -> Format.fprintf ppf "  %-*s" width.(i) (if i = c then t else "."))
+          lanes)
+      cells;
+    Format.fprintf ppf "@]"
+  end
+
 let pp_report ppf r =
-  Format.fprintf ppf "%-26s %s: %d interleavings, %d pruned, %d runs%s" r.name
+  Format.fprintf ppf "%-26s %s: %d interleavings, %d pruned, %d runs%s%s" r.name
     (match r.violation with
     | Some _ -> if r.expect_violation then "violation found (expected)" else "VIOLATION"
     | None -> if r.expect_violation then "NO VIOLATION (one expected)" else "ok")
     r.interleavings r.pruned r.runs
-    (if r.exhausted then ", exhausted" else ", budget hit");
+    (if r.exhausted then ", exhausted" else ", budget hit")
+    (match r.preempt_bound with
+    | Some k -> Printf.sprintf ", preempt<=%d" k
+    | None -> "");
   match r.violation with
   | None -> ()
   | Some v ->

@@ -1,25 +1,38 @@
-(** Deterministic interleaving exploration for the deque layer.
+(** Deterministic interleaving exploration for the deque and scheduler
+    protocol layers.
 
-    A {!scenario} is a small concurrent script over a deque built with
+    A {!scenario} is a small concurrent script over structures built with
     {!Sim_atomic.A}: an array of cooperative threads (owner first), at
     most one asynchronous signal (delivered to the owner; the handler is
-    atomic with respect to the owner but interleaves with thieves), and a
-    sequential oracle run after every complete interleaving.
+    atomic with respect to the owner but interleaves with thieves), an
+    optional per-step {e invariant} evaluated at every scheduling point,
+    and a sequential oracle run after every complete interleaving.
 
     {!explore} enumerates every interleaving of the threads' shared-memory
     accesses by depth-first search with re-execution, pruning redundant
     branches with sleep sets (accesses to different locations, or two
-    reads of the same location, commute). The search is exhaustive up to
-    the run budget; everything is deterministic, so the reported
-    interleaving counts are reproducible bit-for-bit. *)
+    reads of the same location, commute). Alternatively the search can be
+    {e preemption-bounded} (CHESS-style): only schedules with at most [k]
+    involuntary context switches are run, which covers the schedules most
+    likely to expose bugs in scenarios whose full trees are intractable.
+    Everything is deterministic, so the reported interleaving counts are
+    reproducible bit-for-bit. *)
 
 (** Advance thread [i] by one shared-memory access, or deliver the
     pending signal. Index [Array.length threads] is the handler fiber. *)
 type choice = Thread of int | Signal
 
+(** One executed scheduling step: who ran, and which access it performed
+    ([None] for signal delivery, which has no access of its own). *)
+type step = { who : choice; access : Sim_atomic.access option }
+
 type run_spec = {
   threads : (string * (unit -> unit)) array;
   signal : (string * (unit -> unit)) option;
+  invariant : (step -> (unit, string) result) option;
+      (** checked quiescently after every executed step; it observes
+          post-access memory, so it sees transient intermediate states
+          the end-of-run oracle cannot *)
   check : unit -> (unit, string) result;
 }
 
@@ -28,12 +41,14 @@ type scenario = {
   descr : string;
   expect_violation : bool;
       (** demo scenarios (and seeded mutants) are supposed to fail *)
+  preempt : int option;
+      (** this scenario's default preemption bound ([None] = unbounded
+          sleep-set search); [LCWS_CHECK_PREEMPT] and [explore ~preempt]
+          override it *)
   spec : unit -> run_spec;
-      (** builds a fresh deque + oracle; called once per execution, under
-          {!Sim_atomic.quiescent} *)
+      (** builds fresh structures + oracle; called once per execution,
+          under {!Sim_atomic.quiescent} *)
 }
-
-type step = { who : choice; access : Sim_atomic.access option }
 
 type violation = {
   message : string;
@@ -48,6 +63,7 @@ type report = {
   interleavings : int;
   pruned : int;
   exhausted : bool;
+  preempt_bound : int option;  (** the bound this search ran under *)
   violation : violation option;
 }
 
@@ -56,14 +72,23 @@ val default_max_runs : int
 (** [explore scenario] searches until a violation, exhaustion, or the run
     budget ([?max_runs], default {!default_max_runs} times the
     [LCWS_CHECK_BUDGET] environment multiplier). [?max_steps] bounds one
-    execution's length (livelock guard). *)
-val explore : ?max_runs:int -> ?max_steps:int -> scenario -> report
+    execution's length (livelock guard). [?preempt] forces a preemption
+    bound ([<= 0] forces unbounded); when absent, [LCWS_CHECK_PREEMPT]
+    (positive bounds, [0] or negative forces unbounded) and then the
+    scenario's own [preempt] field decide. *)
+val explore : ?max_runs:int -> ?max_steps:int -> ?preempt:int -> scenario -> report
 
 type replay = { result : (unit, string) result; steps : step list; lanes : string array }
 
 (** Re-run one exact interleaving (completing it deterministically if the
-    schedule is a prefix) and report the oracle's verdict. *)
+    schedule is a prefix) and report the verdict — the per-step invariant
+    is evaluated too, so an invariant counterexample fails at the same
+    step it failed during exploration. *)
 val replay : scenario -> choice list -> max_steps:int -> replay
+
+(** Lane names (threads then handler) without running the search — for
+    rendering a violation's steps with {!pp_trace}. *)
+val scenario_lanes : scenario -> string array
 
 val choice_to_string : choice -> string
 
@@ -74,6 +99,10 @@ val schedule_to_string : choice list -> string
 val schedule_of_string : string -> choice list
 
 val pp_step : string array -> Format.formatter -> step -> unit
+
+(** Columnar trace: one column per lane, one row per step, each access in
+    its lane's column. *)
+val pp_trace : lanes:string array -> Format.formatter -> step list -> unit
 
 val pp_report : Format.formatter -> report -> unit
 

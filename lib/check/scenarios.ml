@@ -5,10 +5,15 @@
    exactly once (no loss, no duplication), owners pop LIFO, thieves steal
    FIFO, and per-worker synchronization accounting stays coherent.
 
-   The split-deque scenarios are written against any [Split_deque.S], so
-   the same scripts run both the clean deque (must pass exhaustively) and
-   the seeded [Make_mutant] bugs (must each produce a counterexample) —
-   the checker's self-test. *)
+   The deque scenarios are written against any [S] of their family (with
+   the representation equation exposed), so the same scripts run both the
+   clean deque (must pass exhaustively) and the seeded [Make_mutant] bugs
+   (must each produce a counterexample) — the checker's self-test.
+
+   On top of the end-of-run oracles, every deque scenario carries an
+   executable ownership invariant ([Explore.run_spec.invariant]): the
+   CSL ownership discipline of its family, asserted at every scheduling
+   point of every interleaving. *)
 
 module Metrics = Lcws_sync.Metrics
 module Split = Lcws_sim_deque.Split_deque
@@ -47,9 +52,106 @@ let take cell x = cell := x :: !cell
 
 let taken cell = List.rev !cell
 
+(* {2 Executable ownership invariants}
+
+   The Chase-Lev-style ownership rules of each deque family, written as
+   per-scheduling-point assertion callbacks. Each combines an
+   access-discipline check — which lane may mutate which cell, and with
+   which primitive — with a state check read off the live deque (the
+   callback runs quiescently, after the step's memory effect has been
+   applied, so it also observes transient intermediate states). Clean
+   deques must satisfy them at every step of every interleaving; the
+   per-family seeded mutants must trip them. *)
+
+module SA = Sim_atomic.A
+
+(* Owner-side lanes: thread 0 and (when a signal is in play) the handler
+   lane at index [threads] — the handler interrupts the owner, so it
+   mutates with the owner's rights. *)
+let owner_lane ~threads (who : Explore.choice) =
+  match who with Explore.Signal -> true | Explore.Thread i -> i = 0 || i = threads
+
+(* Split deque: [bot] and [public_bot] are owner-written only; [top]
+   lives in the packed [age] word, which thieves advance only by CAS (a
+   plain store to [age] is the owner's lost-last-race reset); and within
+   one ABA tag the top index never decreases — a rewind without a tag
+   bump is exactly the reuse the tag exists to disambiguate. *)
+let split_invariant ~threads (d : _ Split.t) =
+  let last = ref (SA.get d.Split.age) in
+  fun (step : Explore.step) ->
+    let* () =
+      match step.Explore.access with
+      | None -> Ok ()
+      | Some a ->
+          let owner = owner_lane ~threads step.Explore.who in
+          if
+            Sim_atomic.is_write a.Sim_atomic.kind
+            && (a.Sim_atomic.name = "bot" || a.Sim_atomic.name = "public_bot")
+            && not owner
+          then
+            Error
+              (Printf.sprintf "split: thief lane wrote owner-only cell %S" a.Sim_atomic.name)
+          else if
+            a.Sim_atomic.name = "age" && a.Sim_atomic.kind = Sim_atomic.Store && not owner
+          then Error "split: thief stored age (thieves may only CAS it)"
+          else Ok ()
+    in
+    let age = SA.get d.Split.age in
+    let prev = !last in
+    last := age;
+    if Split.Age.tag age = Split.Age.tag prev && Split.Age.top age < Split.Age.top prev then
+      Error
+        (Printf.sprintf "split: top rewound %d -> %d without a tag bump" (Split.Age.top prev)
+           (Split.Age.top age))
+    else Ok ()
+
+(* Chase-Lev: [top] is claimed only through CAS — by anyone; the clean
+   algorithm has no plain store to it — and is monotone nondecreasing;
+   [bottom] is owner-written only. (No [top <= bottom] check: the
+   owner's decrement-then-recheck pop makes that transiently false even
+   in correct runs.) *)
+let chase_invariant ~threads (d : _ Chase.t) =
+  let last = ref (SA.get d.Chase.top) in
+  fun (step : Explore.step) ->
+    let* () =
+      match step.Explore.access with
+      | None -> Ok ()
+      | Some a ->
+          if a.Sim_atomic.name = "top" && a.Sim_atomic.kind = Sim_atomic.Store then
+            Error "chase_lev: plain store to top (claims must CAS)"
+          else if
+            Sim_atomic.is_write a.Sim_atomic.kind
+            && a.Sim_atomic.name = "bottom"
+            && not (owner_lane ~threads step.Explore.who)
+          then Error "chase_lev: thief lane wrote owner-only cell \"bottom\""
+          else Ok ()
+    in
+    let tp = SA.get d.Chase.top in
+    let prev = !last in
+    last := tp;
+    if tp < prev then Error (Printf.sprintf "chase_lev: top rewound %d -> %d" prev tp)
+    else Ok ()
+
+(* Lace: the three boundaries partition the buffer — public region
+   [top, split), private region [split, bot) — so [0 <= top <= split <=
+   bot] holds at every scheduling point (hand-checked to hold at every
+   intermediate write of the clean operations, including unexpose and
+   the empty-reset). *)
+let lace_invariant (d : _ Lace.t) (_ : Explore.step) =
+  let tp = SA.read d.Lace.top and sp = SA.read d.Lace.split and b = SA.read d.Lace.bot in
+  if 0 <= tp && tp <= sp && sp <= b then Ok ()
+  else Error (Printf.sprintf "lace: region bounds violated: top=%d split=%d bot=%d" tp sp b)
+
+(* Private deque: no sharing, but the indices must still bound a region:
+   [0 <= top <= bot]. *)
+let private_invariant (d : _ Priv.t) (_ : Explore.step) =
+  let tp = SA.read d.Priv.top and b = SA.read d.Priv.bot in
+  if 0 <= tp && tp <= b then Ok ()
+  else Error (Printf.sprintf "private: region bounds violated: top=%d bot=%d" tp b)
+
 (* {2 Split-deque scenarios (clean and mutant)} *)
 
-module Mk_split (S : Split.S) = struct
+module Mk_split (S : Split.S with type 'a t = 'a Split.t) = struct
   (* Fresh deque for one execution; tasks are 1..n, all still private. *)
   let fresh ?(capacity = 8) n =
     let d = S.create ~capacity ~dummy:0 ~metrics:(Metrics.create ()) () in
@@ -110,6 +212,7 @@ module Mk_split (S : Split.S) = struct
       Explore.name;
       descr = "1 exposed task: owner pop_public_bottom vs one thief steal";
       expect_violation;
+      preempt = None;
       spec =
         (fun () ->
           let d = fresh 1 in
@@ -123,6 +226,7 @@ module Mk_split (S : Split.S) = struct
                 ("thief", thief d tg 1);
               |];
             signal = None;
+            invariant = Some (split_invariant ~threads:2 d);
             check =
               (fun () -> exactly_once ~pushed:[ 1 ] ~got:(taken og @ taken tg @ drain d));
           });
@@ -137,6 +241,7 @@ module Mk_split (S : Split.S) = struct
       Explore.name;
       descr = "2 exposed tasks: owner pop_public_bottom vs a thief stealing twice";
       expect_violation;
+      preempt = None;
       spec =
         (fun () ->
           let d = fresh 2 in
@@ -151,6 +256,7 @@ module Mk_split (S : Split.S) = struct
                 ("thief", thief d tg 2);
               |];
             signal = None;
+            invariant = Some (split_invariant ~threads:2 d);
             check =
               (fun () ->
                 let* () = increasing "thief" (taken tg) in
@@ -172,6 +278,7 @@ module Mk_split (S : Split.S) = struct
            "signal-delivered exposure vs pop_bottom_signal_safe + repair (Section 4 fix)"
          else "signal-delivered exposure vs plain pop_bottom (the Section 4 bug, on purpose)");
       expect_violation;
+      preempt = None;
       spec =
         (fun () ->
           let d = fresh 1 in
@@ -194,6 +301,7 @@ module Mk_split (S : Split.S) = struct
                 ( "expose",
                   fun () ->
                     ignore (S.update_public_bottom d ~policy:Lcws_deque.Deque_intf.Expose_one) );
+            invariant = Some (split_invariant ~threads:2 d);
             check =
               (fun () -> exactly_once ~pushed:[ 1 ] ~got:(taken og @ taken tg @ drain d));
           });
@@ -208,6 +316,7 @@ module Mk_split (S : Split.S) = struct
       Explore.name;
       descr = "empty deque: failed signal-safe pop, repair, then push/pop again";
       expect_violation;
+      preempt = None;
       spec =
         (fun () ->
           let d = fresh 0 in
@@ -223,6 +332,7 @@ module Mk_split (S : Split.S) = struct
           {
             Explore.threads = [| ("owner", owner) |];
             signal = None;
+            invariant = Some (split_invariant ~threads:1 d);
             check = (fun () -> exactly_once ~pushed:[ 99 ] ~got:(taken og @ drain d));
           });
     }
@@ -236,6 +346,7 @@ module Mk_split (S : Split.S) = struct
       Explore.name;
       descr = "Expose_half of 3 tasks vs two racing thieves";
       expect_violation;
+      preempt = None;
       spec =
         (fun () ->
           let d = fresh 3 in
@@ -248,6 +359,7 @@ module Mk_split (S : Split.S) = struct
             Explore.threads =
               [| ("owner", owner); ("thief1", thief d t1 1); ("thief2", thief d t2 1) |];
             signal = None;
+            invariant = Some (split_invariant ~threads:3 d);
             check =
               (fun () ->
                 let* () = decreasing "owner" (taken og) in
@@ -259,170 +371,237 @@ module Mk_split (S : Split.S) = struct
     }
 end
 
-(* {2 Chase-Lev scenarios} *)
+(* {2 Chase-Lev scenarios (clean and mutant)} *)
 
-module Chase_sim = Chase
+module Mk_chase (C : Chase.S with type 'a t = 'a Chase.t) = struct
+  let drain d =
+    let out = ref [] in
+    let m = Metrics.create () in
+    let rec pops () =
+      match C.pop_bottom d with
+      | Some x ->
+          take out x;
+          pops ()
+      | None -> ()
+    in
+    let rec steals () =
+      match C.steal d ~metrics:m with
+      | Lcws_deque.Deque_intf.Stolen x ->
+          take out x;
+          steals ()
+      | Lcws_deque.Deque_intf.Abort -> steals ()
+      | _ -> ()
+    in
+    pops ();
+    steals ();
+    taken out
 
-let chase_drain d =
-  let out = ref [] in
-  let m = Metrics.create () in
-  let rec pops () =
-    match Chase_sim.pop_bottom d with
-    | Some x ->
-        take out x;
-        pops ()
-    | None -> ()
-  in
-  let rec steals () =
-    match Chase_sim.steal d ~metrics:m with
-    | Lcws_deque.Deque_intf.Stolen x ->
-        take out x;
-        steals ()
-    | Lcws_deque.Deque_intf.Abort -> steals ()
-    | _ -> ()
-  in
-  pops ();
-  steals ();
-  taken out
+  let thief d got attempts () =
+    let m = Metrics.create () in
+    for _ = 1 to attempts do
+      match C.steal d ~metrics:m with
+      | Lcws_deque.Deque_intf.Stolen x -> take got x
+      | _ -> ()
+    done
 
-let chase_thief d got attempts () =
-  let m = Metrics.create () in
-  for _ = 1 to attempts do
-    match Chase_sim.steal d ~metrics:m with
-    | Lcws_deque.Deque_intf.Stolen x -> take got x
-    | _ -> ()
-  done
+  (* Owner and thief race for the last element: the owner's single CAS on
+     [top]. The oracle additionally pins the owner's abort accounting — a
+     lost last-element CAS must count one [cas_failure] *and* one [abort],
+     in every interleaving. The ownership invariant makes this scenario
+     the catcher for [steal_store_top]: the mutant thief's plain store to
+     [top] trips the claims-must-CAS rule at the step it executes. *)
+  let last_task ~name ~expect_violation =
+    {
+      Explore.name;
+      descr = "1 task: owner pop_bottom vs one thief, with abort-accounting oracle";
+      expect_violation;
+      preempt = None;
+      spec =
+        (fun () ->
+          let om = Metrics.create () in
+          let d = C.create ~capacity:4 ~dummy:0 ~metrics:om () in
+          C.push_bottom d 1;
+          let og = ref [] and tg = ref [] in
+          {
+            Explore.threads =
+              [|
+                ("owner", fun () -> match C.pop_bottom d with Some x -> take og x | None -> ());
+                ("thief", thief d tg 1);
+              |];
+            signal = None;
+            invariant = Some (chase_invariant ~threads:2 d);
+            check =
+              (fun () ->
+                let* () =
+                  if om.Metrics.cas_failures = om.Metrics.aborts then Ok ()
+                  else
+                    Error
+                      (Printf.sprintf "owner aborts out of sync: %d cas_failures, %d aborts"
+                         om.Metrics.cas_failures om.Metrics.aborts)
+                in
+                exactly_once ~pushed:[ 1 ] ~got:(taken og @ taken tg @ drain d));
+          });
+    }
 
-(* Owner and thief race for the last element: the owner's single CAS on
-   [top]. The oracle additionally pins the owner's abort accounting — a
-   lost last-element CAS must count one [cas_failure] *and* one [abort],
-   in every interleaving. *)
-let chase_last =
-  {
-    Explore.name = "chase_lev_last";
-    descr = "1 task: owner pop_bottom vs one thief, with abort-accounting oracle";
-    expect_violation = false;
-    spec =
-      (fun () ->
-        let om = Metrics.create () in
-        let d = Chase_sim.create ~capacity:4 ~dummy:0 ~metrics:om () in
-        Chase_sim.push_bottom d 1;
-        let og = ref [] and tg = ref [] in
-        {
-          Explore.threads =
-            [|
-              ("owner", fun () -> match Chase_sim.pop_bottom d with Some x -> take og x | None -> ());
-              ("thief", chase_thief d tg 1);
-            |];
-          signal = None;
-          check =
-            (fun () ->
-              let* () =
-                if om.Metrics.cas_failures = om.Metrics.aborts then Ok ()
-                else
-                  Error
-                    (Printf.sprintf "owner aborts out of sync: %d cas_failures, %d aborts"
-                       om.Metrics.cas_failures om.Metrics.aborts)
-              in
-              exactly_once ~pushed:[ 1 ] ~got:(taken og @ taken tg @ chase_drain d));
-        });
-  }
-
-(* Circular-buffer wraparound: capacity 2, one slot already recycled, the
-   owner pushes over the wrapped index while a thief works the top. *)
-let chase_wrap =
-  {
-    Explore.name = "chase_lev_wrap";
-    descr = "capacity-2 buffer wraparound: push over a recycled slot vs a thief";
-    expect_violation = false;
-    spec =
-      (fun () ->
-        let d = Chase_sim.create ~capacity:2 ~dummy:0 ~metrics:(Metrics.create ()) () in
-        let og = ref [] and tg = ref [] in
-        Chase_sim.push_bottom d 1;
-        Chase_sim.push_bottom d 2;
-        (match Chase_sim.steal d ~metrics:(Metrics.create ()) with
-        | Lcws_deque.Deque_intf.Stolen x -> take og x
-        | _ -> failwith "setup steal failed");
-        let owner () =
-          Chase_sim.push_bottom d 3;
-          match Chase_sim.pop_bottom d with Some x -> take og x | None -> ()
-        in
-        {
-          Explore.threads = [| ("owner", owner); ("thief", chase_thief d tg 2) |];
-          signal = None;
-          check =
-            (fun () ->
-              exactly_once ~pushed:[ 1; 2; 3 ] ~got:(taken og @ taken tg @ chase_drain d));
-        });
-  }
+  (* Circular-buffer wraparound: capacity 2, one slot already recycled, the
+     owner pushes over the wrapped index while a thief works the top. *)
+  let wrap ~name ~expect_violation =
+    {
+      Explore.name;
+      descr = "capacity-2 buffer wraparound: push over a recycled slot vs a thief";
+      expect_violation;
+      preempt = None;
+      spec =
+        (fun () ->
+          let d = C.create ~capacity:2 ~dummy:0 ~metrics:(Metrics.create ()) () in
+          let og = ref [] and tg = ref [] in
+          C.push_bottom d 1;
+          C.push_bottom d 2;
+          (match C.steal d ~metrics:(Metrics.create ()) with
+          | Lcws_deque.Deque_intf.Stolen x -> take og x
+          | _ -> failwith "setup steal failed");
+          let owner () =
+            C.push_bottom d 3;
+            match C.pop_bottom d with Some x -> take og x | None -> ()
+          in
+          {
+            Explore.threads = [| ("owner", owner); ("thief", thief d tg 2) |];
+            signal = None;
+            invariant = Some (chase_invariant ~threads:2 d);
+            check =
+              (fun () ->
+                exactly_once ~pushed:[ 1; 2; 3 ] ~got:(taken og @ taken tg @ drain d));
+          });
+    }
+end
 
 (* {2 Sequential-specification deques (single-schedule oracle scripts)} *)
 
-module Lace_sim = Lace
-module Priv_sim = Priv
+module Mk_lace (L : Lace.S with type 'a t = 'a Lace.t) = struct
+  let script ~name ~expect_violation =
+    {
+      Explore.name;
+      descr = "sequential Lace script: expose, steal, pop (with unexposure) against the oracle";
+      expect_violation;
+      preempt = None;
+      spec =
+        (fun () ->
+          let d = L.create ~capacity:4 ~dummy:0 () in
+          let got = ref [] in
+          let owner () =
+            ignore (L.push_bottom d 1);
+            ignore (L.push_bottom d 2);
+            ignore (L.push_bottom d 3);
+            ignore (L.expose d);
+            (match L.pop_top d with
+            | Lcws_deque.Deque_intf.Stolen x, _ -> take got x
+            | _ -> ());
+            for _ = 1 to 3 do
+              match L.pop_bottom d with Some x, _ -> take got x | None, _ -> ()
+            done
+          in
+          {
+            Explore.threads = [| ("owner", owner) |];
+            signal = None;
+            invariant = Some (lace_invariant d);
+            check =
+              (fun () ->
+                let* () =
+                  if L.private_size d + L.public_size d = L.size d then Ok ()
+                  else Error "lace size split inconsistent"
+                in
+                exactly_once ~pushed:[ 1; 2; 3 ] ~got:(taken got));
+          });
+    }
 
-let lace_script =
-  {
-    Explore.name = "lace_script";
-    descr = "sequential Lace script: expose, steal, pop (with unexposure) against the oracle";
-    expect_violation = false;
-    spec =
-      (fun () ->
-        let d = Lace_sim.create ~capacity:4 ~dummy:0 () in
-        let got = ref [] in
-        let owner () =
-          ignore (Lace_sim.push_bottom d 1);
-          ignore (Lace_sim.push_bottom d 2);
-          ignore (Lace_sim.push_bottom d 3);
-          ignore (Lace_sim.expose d);
-          (match Lace_sim.pop_top d with
-          | Lcws_deque.Deque_intf.Stolen x, _ -> take got x
-          | _ -> ());
-          for _ = 1 to 3 do
-            match Lace_sim.pop_bottom d with Some x, _ -> take got x | None, _ -> ()
-          done
-        in
-        {
-          Explore.threads = [| ("owner", owner) |];
-          signal = None;
-          check =
-            (fun () ->
-              let* () =
-                if Lace_sim.private_size d + Lace_sim.public_size d = Lace_sim.size d then Ok ()
-                else Error "lace size split inconsistent"
-              in
-              exactly_once ~pushed:[ 1; 2; 3 ] ~got:(taken got));
-        });
-  }
+  (* The private-work guard: a second expose with nothing left to publish
+     must refuse. The [expose_unchecked] mutant pushes [split] past [bot]
+     instead, and the region-bounds invariant trips at that very write. *)
+  let double_expose ~name ~expect_violation =
+    {
+      Explore.name;
+      descr = "expose with and then without private work: the private-work guard must refuse";
+      expect_violation;
+      preempt = None;
+      spec =
+        (fun () ->
+          let d = L.create ~capacity:4 ~dummy:0 () in
+          let got = ref [] in
+          let owner () =
+            ignore (L.push_bottom d 1);
+            ignore (L.expose d);
+            ignore (L.expose d);
+            (match L.pop_top d with
+            | Lcws_deque.Deque_intf.Stolen x, _ -> take got x
+            | _ -> ());
+            match L.pop_bottom d with Some x, _ -> take got x | None, _ -> ()
+          in
+          {
+            Explore.threads = [| ("owner", owner) |];
+            signal = None;
+            invariant = Some (lace_invariant d);
+            check = (fun () -> exactly_once ~pushed:[ 1 ] ~got:(taken got));
+          });
+    }
+end
 
-let private_script =
-  {
-    Explore.name = "private_script";
-    descr = "sequential private-deque script: owner-side transfers against the oracle";
-    expect_violation = false;
-    spec =
-      (fun () ->
-        let d = Priv_sim.create ~capacity:4 ~dummy:0 () in
-        let got = ref [] in
-        let owner () =
-          Priv_sim.push_bottom d 1;
-          Priv_sim.push_bottom d 2;
-          Priv_sim.push_bottom d 3;
-          (match Priv_sim.pop_top d with Some x -> take got x | None -> ());
-          (match Priv_sim.pop_bottom d with Some x -> take got x | None -> ());
-          (match Priv_sim.pop_top d with Some x -> take got x | None -> ());
-          match Priv_sim.pop_bottom d with Some x -> take got x | None -> ()
-        in
-        {
-          Explore.threads = [| ("owner", owner) |];
-          signal = None;
-          check =
-            (fun () ->
-              let* () = if Priv_sim.is_empty d then Ok () else Error "private deque not drained" in
-              exactly_once ~pushed:[ 1; 2; 3 ] ~got:(taken got));
-        });
-  }
+module Mk_priv (P : Priv.S with type 'a t = 'a Priv.t) = struct
+  let script ~name ~expect_violation =
+    {
+      Explore.name;
+      descr = "sequential private-deque script: owner-side transfers against the oracle";
+      expect_violation;
+      preempt = None;
+      spec =
+        (fun () ->
+          let d = P.create ~capacity:4 ~dummy:0 () in
+          let got = ref [] in
+          let owner () =
+            P.push_bottom d 1;
+            P.push_bottom d 2;
+            P.push_bottom d 3;
+            (match P.pop_top d with Some x -> take got x | None -> ());
+            (match P.pop_bottom d with Some x -> take got x | None -> ());
+            (match P.pop_top d with Some x -> take got x | None -> ());
+            match P.pop_bottom d with Some x -> take got x | None -> ()
+          in
+          {
+            Explore.threads = [| ("owner", owner) |];
+            signal = None;
+            invariant = Some (private_invariant d);
+            check =
+              (fun () ->
+                let* () = if P.is_empty d then Ok () else Error "private deque not drained" in
+                exactly_once ~pushed:[ 1; 2; 3 ] ~got:(taken got));
+          });
+    }
+
+  (* The emptiness guard: a pop from an empty deque must refuse. The
+     [pop_unchecked] mutant decrements [bot] below [top] instead, and the
+     region-bounds invariant trips at that very write. *)
+  let underflow ~name ~expect_violation =
+    {
+      Explore.name;
+      descr = "pop from an empty deque must refuse: the emptiness guard";
+      expect_violation;
+      preempt = None;
+      spec =
+        (fun () ->
+          let d = P.create ~capacity:4 ~dummy:0 () in
+          let got = ref [] in
+          let owner () =
+            P.push_bottom d 1;
+            (match P.pop_bottom d with Some x -> take got x | None -> ());
+            match P.pop_bottom d with Some x -> take got x | None -> ()
+          in
+          {
+            Explore.threads = [| ("owner", owner) |];
+            signal = None;
+            invariant = Some (private_invariant d);
+            check = (fun () -> exactly_once ~pushed:[ 1 ] ~got:(taken got));
+          });
+    }
+end
 
 (* {2 Join-frame recycling scenarios}
 
@@ -447,6 +626,7 @@ let frame_protocol ~wait ~name ~expect_violation =
       (if wait then "join-frame recycling: owner waits for the completion flag before reuse"
        else "join-frame recycling without the completion wait (recycled-too-early bug, on purpose)");
     expect_violation;
+    preempt = None;
     spec =
       (fun () ->
         let state = A.make ~name:"frame.state" 0 in
@@ -479,7 +659,7 @@ let frame_protocol ~wait ~name ~expect_violation =
         in
         {
           Explore.threads = [| ("owner", owner); ("thief", thief) |];
-          signal = None;
+          signal = None; invariant = None;
           check =
             (fun () ->
               if !r1 < 0 then Ok () (* gave up waiting: frame never consumed *)
@@ -521,6 +701,7 @@ let fault_protocol ~fresh_read ~name ~expect_violation =
          "loop-scope cancellation with the flag read hoisted out of the chunk loop \
           (stale non-atomic read, on purpose)");
     expect_violation;
+    preempt = None;
     spec =
       (fun () ->
         let lflag = A.make ~name:"scope.lflag" 0 in
@@ -558,7 +739,7 @@ let fault_protocol ~fresh_read ~name ~expect_violation =
         {
           Explore.threads =
             [| ("owner", owner); ("failer1", failer 1); ("failer2", failer 2) |];
-          signal = None;
+          signal = None; invariant = None;
           check =
             (fun () ->
               let exn_id = A.read lexn in
@@ -612,6 +793,7 @@ let suspend_protocol ~publish ~name ~expect_violation =
          "fiber suspension with the resume fired before the payload publish (stale frame \
           state, on purpose)");
     expect_violation;
+    preempt = None;
     spec =
       (fun () ->
         let fstate = A.make ~name:"future.state" 0 in
@@ -657,7 +839,7 @@ let suspend_protocol ~publish ~name ~expect_violation =
         in
         {
           Explore.threads = [| ("fiber", suspender); ("completer", completer) |];
-          signal = None;
+          signal = None; invariant = None;
           check =
             (fun () ->
               let n = A.read resumes and v = A.read got in
@@ -692,6 +874,27 @@ end)
 module Mutant_fence = Mk_split (Split_drop_fence)
 module Mutant_tag = Mk_split (Split_drop_tag)
 module Mutant_repair = Mk_split (Split_drop_repair)
+module Chase_clean = Mk_chase (Chase)
+
+module Chase_store_top = Chase.Make_mutant (struct
+  let mutation = Chase.Mutation.steal_store_top
+end)
+
+module Mutant_chase = Mk_chase (Chase_store_top)
+module Lace_clean = Mk_lace (Lace)
+
+module Lace_unchecked = Lace.Make_mutant (struct
+  let mutation = Lace.Mutation.expose_unchecked
+end)
+
+module Mutant_lace = Mk_lace (Lace_unchecked)
+module Priv_clean = Mk_priv (Priv)
+
+module Priv_unchecked = Priv.Make_mutant (struct
+  let mutation = Priv.Mutation.pop_unchecked
+end)
+
+module Mutant_priv = Mk_priv (Priv_unchecked)
 
 let all =
   [
@@ -701,10 +904,12 @@ let all =
     Clean.signal_pop ~safe:false ~name:"split_signal_unsafe_demo" ~expect_violation:true;
     Clean.repair ~name:"split_repair" ~expect_violation:false;
     Clean.expose_half ~name:"split_expose_half" ~expect_violation:false;
-    chase_last;
-    chase_wrap;
-    lace_script;
-    private_script;
+    Chase_clean.last_task ~name:"chase_lev_last" ~expect_violation:false;
+    Chase_clean.wrap ~name:"chase_lev_wrap" ~expect_violation:false;
+    Lace_clean.script ~name:"lace_script" ~expect_violation:false;
+    Lace_clean.double_expose ~name:"lace_double_expose" ~expect_violation:false;
+    Priv_clean.script ~name:"private_script" ~expect_violation:false;
+    Priv_clean.underflow ~name:"private_underflow" ~expect_violation:false;
     frame_protocol ~wait:true ~name:"frame_reuse" ~expect_violation:false;
     fault_protocol ~fresh_read:true ~name:"fault_protocol" ~expect_violation:false;
     suspend_protocol ~publish:true ~name:"suspend_protocol" ~expect_violation:false;
@@ -712,7 +917,9 @@ let all =
 
 (* The checker's self-test: each seeded mutation re-introduces one
    load-bearing line of the protocol as a bug, and the matching scenario
-   must produce a counterexample. *)
+   must produce a counterexample. The last three are the per-family
+   invariant mutants: their counterexamples come from the ownership
+   invariants, not the end-of-run oracles. *)
 let mutants =
   [
     Mutant_fence.two_exposed ~name:"mutant_drop_fence" ~expect_violation:true;
@@ -721,6 +928,9 @@ let mutants =
     frame_protocol ~wait:false ~name:"mutant_frame_recycle_early" ~expect_violation:true;
     fault_protocol ~fresh_read:false ~name:"mutant_cancel_stale_read" ~expect_violation:true;
     suspend_protocol ~publish:false ~name:"mutant_resume_unpublished" ~expect_violation:true;
+    Mutant_chase.last_task ~name:"mutant_chase_steal_store" ~expect_violation:true;
+    Mutant_lace.double_expose ~name:"mutant_lace_expose_unchecked" ~expect_violation:true;
+    Mutant_priv.underflow ~name:"mutant_private_pop_underflow" ~expect_violation:true;
   ]
 
 let find name =

@@ -16,7 +16,9 @@ val increasing : string -> int list -> (unit, string) result
 
 val decreasing : string -> int list -> (unit, string) result
 
-module Mk_split (S : Lcws_deque.Split_deque.S) : sig
+module Mk_split
+    (S : Lcws_deque.Split_deque.S
+           with type 'a t = 'a Lcws_sim_deque.Split_deque.t) : sig
   val last_task : name:string -> expect_violation:bool -> Explore.scenario
 
   val two_exposed : name:string -> expect_violation:bool -> Explore.scenario

@@ -1,0 +1,4 @@
+(* Swap shim: in this library every protocol-kernel memory access goes
+   through the instrumented atomics, which perform [Sim_atomic.Yield]
+   before each load/store/CAS/plain access. *)
+include Lcws_check_sim.Sim_atomic.A

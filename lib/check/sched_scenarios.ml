@@ -1,0 +1,363 @@
+(* Scheduler-level scenarios: the deterministic mini-scheduler of
+   [lib/check/sched_model] drives the *real* protocol kernels
+   (sched_protocol.ml, recompiled in that library against the yielding
+   shim) and the *real* split-deque code, so the explorer enumerates
+   interleavings of the shipped frame/scope/future/injector protocols —
+   not of a hand-written model of them.
+
+   These trees are deeper than the deque scripts', so every scenario
+   carries a small default preemption bound (CHESS-style): the per-push
+   CI pass explores all schedules with few involuntary switches, which
+   is where these protocols' bugs live, and the nightly sweep lifts the
+   bound with LCWS_CHECK_PREEMPT=0. Each seeded kernel mutation below
+   is caught *within* the bounded search — that is the self-test.
+
+   Joins in the model are bounded, so [Gave_up] is a legal outcome the
+   oracles account for (the schedule may simply never run the thief). *)
+
+module E = Explore
+module SA = Sim_atomic.A
+module M = Lcws_sched_model.Sched_model
+module P = Lcws_sched_model.Sched_protocol
+
+let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e
+
+(* Small default bound: enough switches for every seeded-mutant
+   counterexample below (none needs more than two), small enough that
+   the bounded trees stay sub-second. *)
+let bound = Some 3
+
+(* {2 Frame publication racing a steal}
+
+   One fork/join whose child is stolen: the thief runs the frame's
+   trampoline — the real [Frame.publish_with] — while the owner joins
+   through pop-back / completion-flag paths. The protocol under test is
+   result-then-flag publication order; [flip] seeds the early flag flip
+   and the owner's consume can read the stale result. *)
+let frame_steal ~flip ~name ~expect_violation =
+  let mut = if flip then P.Frame.{ early_flip = true } else P.Frame.clean in
+  {
+    E.name;
+    descr =
+      "fork/steal/join of one frame child: the result must be published before the \
+       completion flag"
+      ^ if flip then " (early flip seeded, on purpose)" else "";
+    expect_violation;
+    preempt = bound;
+    spec =
+      (fun () ->
+        let w = M.make_worker ~frame_mutation:mut 0 in
+        let thief = M.make_worker 1 in
+        let outcome = ref None in
+        let owner () =
+          let fr = M.fork w (fun () -> Obj.repr 42) in
+          ignore (M.expose w);
+          outcome := Some (M.join w fr)
+        in
+        let thief_fn () =
+          match M.try_steal ~thief w with Some t -> t () | None -> ()
+        in
+        {
+          E.threads = [| ("owner", owner); ("thief", thief_fn) |];
+          signal = None;
+          invariant = None;
+          check =
+            (fun () ->
+              match !outcome with
+              | None -> Error "owner never joined"
+              | Some (M.Value v) ->
+                  let n : int = Obj.obj v in
+                  let* () =
+                    if n = 42 then Ok ()
+                    else
+                      Error
+                        (Printf.sprintf
+                           "frame: join consumed a stale result %d (want 42)" n)
+                  in
+                  if M.frames_in_use w = 0 then Ok ()
+                  else Error "frame: joined frame was not released"
+              | Some (M.Exn e) ->
+                  Error ("frame: join raised " ^ Printexc.to_string e)
+              | Some M.Gave_up ->
+                  (* Legal: the schedule starved the thief. The frame must
+                     then still be accounted as in flight. *)
+                  if M.frames_in_use w = 1 then Ok ()
+                  else Error "frame: gave-up join must leave the frame acquired");
+        });
+  }
+
+(* {2 Scope failure election racing a fiber cancel}
+
+   Two chunks of one parallel loop gate and fail concurrently while a
+   third lane requests fiber cancellation — the real
+   [Scope.gate]/[fail_with] protocol. The per-step invariant is the
+   election's whole point: once an exception wins the slot, no later
+   failure may replace it. [clobber] seeds the CAS-less version. *)
+exception Chunk_failed of int
+
+let scope_cancel ~clobber ~name ~expect_violation =
+  let mut = if clobber then P.Scope.{ clobber = true } else P.Scope.clean in
+  {
+    E.name;
+    descr =
+      "loop-scope first-failure election racing a fiber cancel: the winning exception \
+       must never be clobbered"
+      ^ if clobber then " (election skipped, on purpose)" else "";
+    expect_violation;
+    preempt = bound;
+    spec =
+      (fun () ->
+        let pool_cancel = SA.make ~name:"pool_cancel" false in
+        let fiber_cancel = SA.make ~name:"fiber_cancel" false in
+        let scope = P.Scope.make ~name:"scope" ~cancel:fiber_cancel () in
+        let chunk i () =
+          match P.Scope.gate scope ~pool_cancel with
+          | P.Scope.Run -> P.Scope.fail_with mut scope (Chunk_failed i)
+          | P.Scope.Skip | P.Scope.Cancel -> ()
+        in
+        let canceller () = ignore (SA.exchange fiber_cancel true) in
+        let invariant =
+          let last = ref None in
+          fun (_ : E.step) ->
+            let cur = P.Scope.failure scope in
+            match (!last, cur) with
+            | Some e, Some e' when not (e == e') ->
+                Error "scope: winning exception clobbered by a later failure"
+            | _ ->
+                last := cur;
+                Ok ()
+        in
+        {
+          E.threads =
+            [| ("chunk-a", chunk 1); ("chunk-b", chunk 2); ("cancel", canceller) |];
+          signal = None;
+          invariant = Some invariant;
+          check =
+            (fun () ->
+              if P.Scope.failed scope then
+                match P.Scope.failure scope with
+                | Some (Chunk_failed _) -> Ok ()
+                | Some e ->
+                    Error ("scope: unexpected exception " ^ Printexc.to_string e)
+                | None -> Error "scope: flag set but no exception recorded"
+              else Ok ());
+        });
+  }
+
+(* {2 Future completion racing cancel and waiter registration}
+
+   The one-word Pending→Done machine under its three real clients at
+   once: the computation completing, a canceller completing with the
+   cancellation outcome, and a waiter registering. Exactly one
+   completion may win, and the waiter must run exactly once — whether
+   the winner runs it or it ran itself on late registration.
+   [blind] seeds the store-instead-of-CAS completion: two winners, or a
+   freshly registered waiter silently dropped. *)
+exception Cancelled
+
+let future_race ~blind ~name ~expect_violation =
+  let mut = if blind then P.Future_core.{ blind_complete = true } else P.Future_core.clean in
+  {
+    E.name;
+    descr =
+      "future completion CAS racing a cancel and a waiter registration: one winner, \
+       the waiter resumes exactly once"
+      ^ if blind then " (completion published blind, on purpose)" else "";
+    expect_violation;
+    preempt = bound;
+    spec =
+      (fun () ->
+        let fut = P.Future_core.make ~name:"fut" () in
+        let wins = ref 0 and resumes = ref 0 in
+        let settle = function
+          | None -> ()
+          | Some waiters ->
+              incr wins;
+              List.iter (fun f -> f ()) waiters
+        in
+        let completer () = settle (P.Future_core.complete_with mut fut (Ok 1)) in
+        let canceller () =
+          P.Future_core.request_cancel fut;
+          settle (P.Future_core.complete fut (Error Cancelled))
+        in
+        let waiter () = P.Future_core.add_waiter fut (fun () -> incr resumes) in
+        {
+          E.threads =
+            [| ("complete", completer); ("cancel", canceller); ("waiter", waiter) |];
+          signal = None;
+          invariant = None;
+          check =
+            (fun () ->
+              let* () =
+                if !wins = 1 then Ok ()
+                else
+                  Error
+                    (Printf.sprintf "future: %d completions won (want exactly 1)" !wins)
+              in
+              let* () =
+                if !resumes = 1 then Ok ()
+                else
+                  Error
+                    (Printf.sprintf "future: waiter resumed %d times (want exactly 1)"
+                       !resumes)
+              in
+              let* () =
+                if P.Future_core.is_done fut then Ok ()
+                else Error "future: not done after both completers ran"
+              in
+              if P.Future_core.cancel_requested fut then Ok ()
+              else Error "future: cancellation request lost");
+        });
+  }
+
+(* {2 Injector drain racing submits}
+
+   Two producers push while a consumer drains — the real CAS
+   functional-queue injector, including the back→front swing. Oracle:
+   nothing lost or duplicated, and each producer's entries drain in its
+   push order. [blind] seeds the store-published swing, which silently
+   drops a push that landed since the read. *)
+let injector_drain ~blind ~name ~expect_violation =
+  let mut = if blind then P.Injector.{ blind_swing = true } else P.Injector.clean in
+  {
+    E.name;
+    descr =
+      "MPSC injector: two producers racing the consumer's drain; exactly-once and \
+       per-producer FIFO"
+      ^ if blind then " (back-to-front swing published blind, on purpose)" else "";
+    expect_violation;
+    preempt = bound;
+    spec =
+      (fun () ->
+        let q = P.Injector.create ~name:"injector" () in
+        let got = ref [] in
+        let prod_a () =
+          ignore (P.Injector.push q 1);
+          ignore (P.Injector.push q 2)
+        in
+        let prod_b () = ignore (P.Injector.push q 3) in
+        let consumer () =
+          for _ = 1 to 3 do
+            match P.Injector.pop_with mut q with
+            | Some x -> got := x :: !got
+            | None -> ()
+          done
+        in
+        {
+          E.threads =
+            [| ("producer-a", prod_a); ("producer-b", prod_b); ("consumer", consumer) |];
+          signal = None;
+          invariant = None;
+          check =
+            (fun () ->
+              (* Quiescent drain of the leftovers: with no concurrent
+                 pushes the seeded blind swing is indistinguishable from
+                 the CAS, so the oracle's own pops cannot mask it. *)
+              let rec drain acc =
+                match P.Injector.pop_with mut q with
+                | Some x -> drain (x :: acc)
+                | None -> List.rev acc
+              in
+              let order = List.rev !got @ drain [] in
+              let* () = Scenarios.exactly_once ~pushed:[ 1; 2; 3 ] ~got:order in
+              let* () =
+                Scenarios.increasing "producer-a"
+                  (List.filter (fun x -> x <> 3) order)
+              in
+              let* () =
+                if P.Injector.size q = 0 && P.Injector.is_empty q then Ok ()
+                else Error "injector: drained queue reports residual size"
+              in
+              match P.Injector.close q with
+              | [] -> Ok ()
+              | l ->
+                  Error
+                    (Printf.sprintf "injector: close found %d entries after full drain"
+                       (List.length l)));
+        });
+  }
+
+(* {2 Shutdown racing an in-flight submission}
+
+   The protocol the atomic-close injector exists for: a submitter's
+   stop-check-then-push racing the pool's close-and-abort sweep and a
+   worker's drain. Every accepted entry must settle exactly once — run
+   by the drainer, or aborted (by the sweep, or by the submitter when
+   its push is refused). [abort:false] seeds the shutdown that closes
+   but drops the sweep, stranding an undrained entry. *)
+let shutdown_race ~abort ~name ~expect_violation =
+  {
+    E.name;
+    descr =
+      "pool shutdown racing submit and drain: every accepted entry runs or aborts \
+       exactly once"
+      ^ if abort then "" else " (abort sweep dropped, on purpose)";
+    expect_violation;
+    preempt = bound;
+    spec =
+      (fun () ->
+        let p = M.make_pool () in
+        let w = M.make_worker 0 in
+        let ran = ref 0 and aborted = ref 0 in
+        let submitted = ref None in
+        let submitter () =
+          let entry =
+            M.{ ij_run = (fun () -> incr ran); ij_abort = (fun () -> incr aborted) }
+          in
+          submitted := Some (M.submit p entry)
+        in
+        let drainer () =
+          if M.drain p w then
+            match M.pop_own w with Some t -> t () | None -> ()
+        in
+        let closer () = M.shutdown ~skip_abort:(not abort) p in
+        {
+          E.threads =
+            [| ("submit", submitter); ("drain", drainer); ("shutdown", closer) |];
+          signal = None;
+          invariant = None;
+          check =
+            (fun () ->
+              let* () =
+                if P.Injector.is_closed p.M.injector then Ok ()
+                else Error "shutdown: injector left open"
+              in
+              match !submitted with
+              | None -> Error "shutdown: submitter never ran"
+              | Some M.Rejected ->
+                  if !ran = 0 && !aborted = 0 then Ok ()
+                  else Error "shutdown: rejected entry still ran or aborted"
+              | Some M.Accepted ->
+                  if !ran + !aborted = 1 then Ok ()
+                  else
+                    Error
+                      (Printf.sprintf
+                         "shutdown: accepted entry settled %d times (ran %d, aborted \
+                          %d; want exactly once)"
+                         (!ran + !aborted) !ran !aborted));
+        });
+  }
+
+(* {2 The catalogue} *)
+
+let all =
+  [
+    frame_steal ~flip:false ~name:"sched_frame_steal" ~expect_violation:false;
+    scope_cancel ~clobber:false ~name:"sched_scope_cancel" ~expect_violation:false;
+    future_race ~blind:false ~name:"sched_future_race" ~expect_violation:false;
+    injector_drain ~blind:false ~name:"sched_injector_drain" ~expect_violation:false;
+    shutdown_race ~abort:true ~name:"sched_shutdown_race" ~expect_violation:false;
+  ]
+
+(* Self-test: one seeded kernel mutation per protocol, each caught within
+   the default preemption bound. *)
+let mutants =
+  [
+    frame_steal ~flip:true ~name:"mutant_frame_flip_first" ~expect_violation:true;
+    scope_cancel ~clobber:true ~name:"mutant_scope_clobber" ~expect_violation:true;
+    future_race ~blind:true ~name:"mutant_future_blind_complete" ~expect_violation:true;
+    injector_drain ~blind:true ~name:"mutant_injector_blind_pop" ~expect_violation:true;
+    shutdown_race ~abort:false ~name:"mutant_shutdown_drop_abort" ~expect_violation:true;
+  ]
+
+let find name = List.find_opt (fun (s : E.scenario) -> s.E.name = name) (all @ mutants)

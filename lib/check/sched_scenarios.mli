@@ -1,0 +1,30 @@
+(** Scheduler-level scenarios for the interleaving checker.
+
+    Where {!Scenarios} scripts raw deque operations, these scenarios run
+    the {e mini-scheduler} of [lib/check/sched_model]: 2–3 model workers
+    executing the scheduler's real protocol kernels
+    ([lib/sched/sched_protocol.ml], recompiled against the yielding
+    shim) over the real split-deque code — frame publish/reuse racing a
+    steal, first-failure-wins scopes racing a cancel, future completion
+    racing cancellation and waiter registration, the injector's drain
+    racing submits, and shutdown racing an in-flight submission.
+
+    Every scenario carries a small default preemption bound (its trees
+    are deeper than the deque scripts'); the nightly sweep lifts it with
+    [LCWS_CHECK_PREEMPT=0]. Each seeded kernel mutation is caught within
+    the bounded search. *)
+
+exception Chunk_failed of int
+
+exception Cancelled
+
+(** The clean catalogue: every scenario passes in every explored
+    interleaving. *)
+val all : Explore.scenario list
+
+(** Seeded kernel mutations (early flag flip, CAS-less failure election,
+    blind future completion, blind injector swing, dropped shutdown
+    abort sweep); every one must produce a counterexample. *)
+val mutants : Explore.scenario list
+
+val find : string -> Explore.scenario option

@@ -32,7 +32,21 @@ let pp_access ppf a = Format.fprintf ppf "%s %s" (kind_name a.kind) a.name
    ids, keeping schedules and sleep sets comparable across runs. *)
 let counter = ref 0
 
-let reset () = counter := 0
+(* Dynamically-scoped prefix applied to every cell name at creation:
+   scenarios building several identical structures (one per model
+   worker) wrap each construction in [with_prefix "w0."] etc., so
+   traces and per-deque invariant callbacks can tell the copies
+   apart. *)
+let prefix = ref ""
+
+let reset () =
+  counter := 0;
+  prefix := ""
+
+let with_prefix p f =
+  let saved = !prefix in
+  prefix := saved ^ p;
+  Fun.protect ~finally:(fun () -> prefix := saved) f
 
 let fresh () =
   incr counter;
@@ -41,7 +55,7 @@ let fresh () =
 module A : Lcws_deque.Deque_intf.ATOMIC = struct
   type 'a t = { mutable v : 'a; loc : int; name : string }
 
-  let make ?(name = "cell") v = { v; loc = fresh (); name }
+  let make ?(name = "cell") v = { v; loc = fresh (); name = !prefix ^ name }
 
   let get c =
     Effect.perform (Yield { loc = c.loc; name = c.name; kind = Load });
@@ -71,7 +85,7 @@ module A : Lcws_deque.Deque_intf.ATOMIC = struct
 
   type 'a plain = { mutable pv : 'a; ploc : int; pname : string }
 
-  let plain ?(name = "cell") v = { pv = v; ploc = fresh (); pname = name }
+  let plain ?(name = "cell") v = { pv = v; ploc = fresh (); pname = !prefix ^ name }
 
   let read c =
     Effect.perform (Yield { loc = c.ploc; name = c.pname; kind = Read });

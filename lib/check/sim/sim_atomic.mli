@@ -24,9 +24,18 @@ val conflict : access -> access -> bool
 
 val pp_access : Format.formatter -> access -> unit
 
-(** Reset the location-id counter; the explorer calls this before every
-    re-execution so ids are stable across runs of one scenario. *)
+(** Reset the location-id counter (and clear any name prefix); the
+    explorer calls this before every re-execution so ids are stable
+    across runs of one scenario. *)
 val reset : unit -> unit
+
+(** [with_prefix p f] runs [f] with [p] appended to the dynamically
+    scoped prefix that {!A.make}/plain-cell creation prepend to cell
+    names — e.g. [with_prefix "w0." ...] names a worker's cells
+    ["w0.top"], ["w0.bot"], so multi-structure scenarios get
+    distinguishable traces and per-structure invariants. Nests; the
+    previous prefix is restored on exit. *)
+val with_prefix : string -> (unit -> 'a) -> 'a
 
 module A : Lcws_deque.Deque_intf.ATOMIC
 

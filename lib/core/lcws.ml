@@ -53,7 +53,7 @@
 module Metrics = Lcws_sync.Metrics
 module Xoshiro = Lcws_sync.Xoshiro
 module Backoff = Lcws_sync.Backoff
-module Injector = Lcws_sync.Injector
+module Injector = Lcws_sched.Sched_protocol.Injector
 module Fastmath = Lcws_sync.Fastmath
 module Padding = Lcws_sync.Padding
 module Deque_intf = Lcws_deque.Deque_intf
@@ -113,6 +113,8 @@ module Check = struct
   module Sim_atomic = Lcws_check.Sim_atomic
   module Explore = Lcws_check.Explore
   module Scenarios = Lcws_check.Scenarios
+  module Sched_scenarios = Lcws_check.Sched_scenarios
+  module Sched_model = Lcws_sched_model.Sched_model
 end
 
 module Harness = struct

@@ -171,3 +171,75 @@ end) : Deque_intf.DEQUE with type elt = E.t and type t = E.t t = struct
 
   let clear = clear
 end
+
+(* {2 Seeded mutants} *)
+
+(* Single-line protocol breakages for the interleaving checker's
+   self-test (lib/check/scenarios.ml): each must produce a
+   counterexample. *)
+module Mutation = struct
+  type t = {
+    steal_store_top : bool;
+        (* the thief publishes its claim with a plain store instead of
+           the CAS — two racing consumers can both take one slot *)
+  }
+
+  let clean = { steal_store_top = false }
+
+  let steal_store_top = { steal_store_top = true }
+end
+
+(* [steal] with the knocked-out line: everything up to the claim is the
+   production text; the claim itself is a blind store, so a concurrent
+   steal (or the owner's last-task CAS) that already took [tp] is
+   silently overwritten. *)
+let steal_mutant (mu : Mutation.t) t ~metrics:(m : Metrics.t) =
+  if not mu.Mutation.steal_store_top then steal t ~metrics:m
+  else begin
+    m.Metrics.steal_attempts <- m.Metrics.steal_attempts + 1;
+    let tp = A.get t.top in
+    m.fences <- m.fences + 1;
+    let b = A.get t.bottom in
+    if tp < b then begin
+      let x = t.deq.(tp land t.mask) in
+      m.cas_ops <- m.cas_ops + 1;
+      aset t.top (tp + 1);
+      m.steals <- m.steals + 1;
+      Stolen x
+    end
+    else Empty
+  end
+
+(* The production algorithm text with the mutated [steal]. The type
+   equality keeps mutant deques interoperable with the flat API, which
+   the checker's ownership invariants rely on to read the raw cells. *)
+module Make_mutant (M : sig
+  val mutation : Mutation.t
+end) : S with type 'a t = 'a t = struct
+  type nonrec 'a t = 'a t
+
+  let create = create
+
+  let capacity = capacity
+
+  let push_bottom = push_bottom
+
+  let pop_bottom = pop_bottom
+
+  let steal t ~metrics = steal_mutant M.mutation t ~metrics
+
+  let size = size
+
+  let is_empty = is_empty
+
+  let clear = clear
+
+  module Deque (E : sig
+    type t
+  end) =
+  struct
+    include Deque (E)
+
+    let pop_top t ~metrics = steal_mutant M.mutation t ~metrics
+  end
+end

@@ -19,4 +19,27 @@
 (** Per-operation contracts are documented on {!Deque_intf.CHASE_LEV}. *)
 module type S = Deque_intf.CHASE_LEV
 
+(** Seeded protocol mutations, used only by the interleaving checker's
+    self-test (each one must produce a counterexample; see
+    [lib/check/scenarios.ml]). *)
+module Mutation : sig
+  type t = {
+    steal_store_top : bool;
+        (** the thief publishes its claim on [top] with a plain store
+            instead of the CAS — two racing consumers can both take one
+            slot *)
+  }
+
+  val clean : t
+
+  val steal_store_top : t
+end
+
+(** The checker's entry point for seeded-bug variants: the production
+    algorithm text with the mutated [steal]. *)
+module Make_mutant (M : sig
+  val mutation : Mutation.t
+end) : S
+
+(** The real deque: the flat implementation with {!Mutation.clean}. *)
 include S

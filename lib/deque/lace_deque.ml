@@ -188,3 +188,61 @@ end) : Deque_intf.DEQUE with type elt = E.t = struct
 
   let clear t = clear t.d
 end
+
+(* {2 Seeded mutants} *)
+
+(* Single-line protocol breakages for the interleaving checker's
+   self-test (lib/check/scenarios.ml). *)
+module Mutation = struct
+  type t = {
+    expose_unchecked : bool;
+        (* expose without the private-work guard: [split] can run past
+           [bot], publishing slots that hold no task *)
+  }
+
+  let clean = { expose_unchecked = false }
+
+  let expose_unchecked = { expose_unchecked = true }
+end
+
+(* [expose] minus the [bot > split] guard. *)
+let expose_mutant (mu : Mutation.t) t =
+  if not mu.Mutation.expose_unchecked then expose t
+  else begin
+    A.write t.split (A.read t.split + 1);
+    (1, { fences = 1; cas = 0 })
+  end
+
+(* The production text with the mutated [expose]; the type equality lets
+   the checker's invariants read the raw split/top/bot cells of a mutant
+   deque. The unified [Deque] member stays the clean one — the checker
+   drives Lace mutants through the flat API only. *)
+module Make_mutant (M : sig
+  val mutation : Mutation.t
+end) : S with type 'a t = 'a t = struct
+  type nonrec 'a t = 'a t
+
+  let create = create
+
+  let capacity = capacity
+
+  let push_bottom = push_bottom
+
+  let pop_bottom = pop_bottom
+
+  let pop_top = pop_top
+
+  let expose t = expose_mutant M.mutation t
+
+  let private_size = private_size
+
+  let public_size = public_size
+
+  let size = size
+
+  let is_empty = is_empty
+
+  let clear = clear
+
+  module Deque = Deque
+end

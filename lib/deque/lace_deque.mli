@@ -32,4 +32,26 @@ val no_cost : op_cost
 (** Per-operation contracts are documented on {!Deque_intf.LACE}. *)
 module type S = Deque_intf.LACE
 
+(** Seeded protocol mutations, used only by the interleaving checker's
+    self-test (each one must produce a counterexample; see
+    [lib/check/scenarios.ml]). *)
+module Mutation : sig
+  type t = {
+    expose_unchecked : bool;
+        (** expose without the private-work guard: [split] can run past
+            [bot] *)
+  }
+
+  val clean : t
+
+  val expose_unchecked : t
+end
+
+(** The checker's entry point for seeded-bug variants: the production
+    algorithm text with the mutated [expose]. *)
+module Make_mutant (M : sig
+  val mutation : Mutation.t
+end) : S
+
+(** The real deque: the flat implementation with {!Mutation.clean}. *)
 include S

@@ -121,3 +121,58 @@ end) : Deque_intf.DEQUE with type elt = E.t = struct
 
   let clear t = clear t.d
 end
+
+(* {2 Seeded mutants} *)
+
+(* Single-line protocol breakages for the interleaving checker's
+   self-test (lib/check/scenarios.ml). *)
+module Mutation = struct
+  type t = {
+    pop_unchecked : bool;
+        (* pop without the emptiness guard: [bot] can sink below [top],
+           conjuring tasks out of empty slots *)
+  }
+
+  let clean = { pop_unchecked = false }
+
+  let pop_unchecked = { pop_unchecked = true }
+end
+
+(* [pop_bottom] minus the [size t = 0] guard. *)
+let pop_bottom_mutant (mu : Mutation.t) t =
+  if not mu.Mutation.pop_unchecked then pop_bottom t
+  else begin
+    let b = A.read t.bot - 1 in
+    A.write t.bot b;
+    let x = t.deq.(b land t.mask) in
+    t.deq.(b land t.mask) <- t.dummy;
+    Some x
+  end
+
+(* The production text with the mutated [pop_bottom]; the type equality
+   lets the checker's invariants read a mutant deque's raw top/bot
+   cells. The unified [Deque] member stays the clean one — the checker
+   drives private-deque mutants through the flat API only. *)
+module Make_mutant (M : sig
+  val mutation : Mutation.t
+end) : S with type 'a t = 'a t = struct
+  type nonrec 'a t = 'a t
+
+  let create = create
+
+  let capacity = capacity
+
+  let push_bottom = push_bottom
+
+  let pop_bottom t = pop_bottom_mutant M.mutation t
+
+  let pop_top = pop_top
+
+  let size = size
+
+  let is_empty = is_empty
+
+  let clear = clear
+
+  module Deque = Deque
+end

@@ -13,4 +13,26 @@
 (** Per-operation contracts are documented on {!Deque_intf.PRIVATE}. *)
 module type S = Deque_intf.PRIVATE
 
+(** Seeded protocol mutations, used only by the interleaving checker's
+    self-test (each one must produce a counterexample; see
+    [lib/check/scenarios.ml]). *)
+module Mutation : sig
+  type t = {
+    pop_unchecked : bool;
+        (** pop without the emptiness guard: [bot] can sink below
+            [top] *)
+  }
+
+  val clean : t
+
+  val pop_unchecked : t
+end
+
+(** The checker's entry point for seeded-bug variants: the production
+    algorithm text with the mutated [pop_bottom]. *)
+module Make_mutant (M : sig
+  val mutation : Mutation.t
+end) : S
+
+(** The real deque: the flat implementation with {!Mutation.clean}. *)
 include S

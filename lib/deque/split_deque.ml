@@ -300,9 +300,13 @@ module type S = Deque_intf.SPLIT
 (* Re-export of the flat implementation with one knocked-out protocol
    line per [M.mutation] knob: only [pop_public_bottom] changes, so a
    mutant is the production algorithm text minus exactly one line. *)
+(* The type equality keeps mutant deques interoperable with the flat
+   API, which the checker's ownership invariants rely on to read the raw
+   cells (visible only in the instrumented re-compilation, where no .mli
+   seals them). *)
 module Make_mutant (M : sig
   val mutation : Mutation.t
-end) : S = struct
+end) : S with type 'a t = 'a t = struct
   type nonrec 'a t = 'a t
 
   let create = create

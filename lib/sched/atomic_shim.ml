@@ -1,0 +1,14 @@
+(* The scheduler-side instantiation of the build-time atomic swap point
+   (see [lib/deque/atomic_shim.ml] and {!Lcws_deque.Deque_intf.ATOMIC}):
+   the protocol kernels in this library ([sched_protocol.ml]) are
+   written against the bare module name [Atomic_shim], so
+   [lib/check/sched_model] can re-compile the identical sources against
+   the effect-yielding [Sim_atomic.A] and hand the real scheduler
+   protocols to the interleaving explorer.
+
+   [include] re-exports the production shim's [external] declarations
+   as externals, so every access here still compiles to the atomic
+   primitives. Deliberately no .mli, for the same reason as the deque
+   shim: a signature would hide the externals behind ordinary value
+   descriptions and cost a call per access under [-opaque]. *)
+include Lcws_deque.Atomic_shim

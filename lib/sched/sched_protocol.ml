@@ -1,0 +1,354 @@
+(** The scheduler's synchronization protocols, isolated from its policy.
+
+    Everything in this file is *protocol*: the exact sequence of atomic
+    and plain accesses by which the scheduler's layers communicate
+    across domains — a join frame publishing its child's outcome to a
+    waiting owner, a loop scope electing the first failing chunk, a
+    future's Pending→Done state machine racing waiter registration and
+    cancellation, the external-submission injector racing shutdown.
+    Policy — who runs what when, metrics, tracing, backoff — stays in
+    [scheduler.ml].
+
+    The split matters because this file is compiled twice, like the
+    deque sources (see [atomic_shim.ml]): once here against the
+    zero-cost production shim, and once in [lib/check/sched_model]
+    against the effect-yielding [Sim_atomic.A], where a deterministic
+    mini-scheduler runs these very kernels under the interleaving
+    explorer. The checker therefore exercises the shipped protocol
+    code, not a model of it.
+
+    Each kernel carries a [mutation] record of seeded-bug knobs (same
+    scheme as [Split_deque.Mutation]): a [*_with] entry point takes the
+    knobs, the production names are the knobs-off specialization. The
+    mutants exist so the checker's scenarios can prove they would catch
+    the corresponding real bug; production code never passes them.
+
+    No .mli on purpose: the record fields and state constants are the
+    protocol's ABI with the scheduler (and with the checker's invariant
+    callbacks), and hiding them behind [-opaque] would cost calls on
+    the fork/join fast path. *)
+
+module A = Atomic_shim
+
+(** {2 Join frames}
+
+    The result slot and completion word of one [fork_join] child. The
+    cells and their ordering are the whole protocol:
+
+    - the executor (a thief, or whoever drained the task) writes
+      [result] {e then} flips [state] with an SC store — the owner's SC
+      read of [state] orders the read of [result] after the write;
+    - the owner consumes the outcome and resets [state] to pending, at
+      which point (and not before) the frame may be recycled;
+    - the un-stolen fast path never touches [state]/[result] at all: it
+      pops the trampoline back by physical identity and runs [fn]
+      inline with plain accesses only.
+
+    [task] is the preallocated trampoline the scheduler pushes in place
+    of a per-call closure; it is scheduler wiring, not protocol state,
+    and parametrized so the model scheduler can use its own task
+    representation. *)
+module Frame = struct
+  let pending = 0
+
+  let done_ = 1
+
+  let exn_ = 2
+
+  type 'task t = {
+    state : int A.t; (* pending / done_ / exn_; padded, SC *)
+    result : Obj.t A.plain; (* child outcome; valid once [state] flips *)
+    fn : Obj.t A.plain; (* the (unit -> Obj.t) child of the current use *)
+    mutable task : 'task; (* preallocated trampoline for this frame *)
+  }
+
+  (** Seeded bugs. [early_flip]: publish the completion flag {e before}
+      the result write — the owner can consume a stale result. *)
+  type mutation = { early_flip : bool }
+
+  let clean = { early_flip = false }
+
+  let unit_obj = Obj.repr ()
+
+  let make ?name ~task () =
+    let cell s = match name with None -> s | Some p -> p ^ "." ^ s in
+    {
+      state = A.make ~name:(cell "state") pending;
+      result = A.plain ~name:(cell "result") unit_obj;
+      fn = A.plain ~name:(cell "fn") unit_obj;
+      task;
+    }
+
+  (** Owner, before pushing the trampoline: install this use's child. *)
+  let set_fn fr (f : unit -> Obj.t) = A.write fr.fn (Obj.repr f)
+
+  let fn fr : unit -> Obj.t = Obj.obj (A.read fr.fn)
+
+  let publish_value_with m fr v =
+    if m.early_flip then begin
+      ignore (A.exchange fr.state done_);
+      A.write fr.result v
+    end
+    else begin
+      A.write fr.result v;
+      ignore (A.exchange fr.state done_)
+    end
+
+  let publish_exn_with m fr e =
+    if m.early_flip then begin
+      ignore (A.exchange fr.state exn_);
+      A.write fr.result (Obj.repr e)
+    end
+    else begin
+      A.write fr.result (Obj.repr e);
+      ignore (A.exchange fr.state exn_)
+    end
+
+  let publish_value fr v = publish_value_with clean fr v
+
+  let publish_exn fr e = publish_exn_with clean fr e
+
+  (** Executor: run the installed child and publish its outcome —
+      result or exception — through the flag, so a failing child still
+      completes its frame and the owner's join can never hang. *)
+  let publish_with m fr =
+    match fn fr () with
+    | v -> publish_value_with m fr v
+    | exception e -> publish_exn_with m fr e
+
+  let publish fr = publish_with clean fr
+
+  let is_pending fr = A.get fr.state = pending
+
+  (** Owner, once [is_pending] is false: take the outcome and reset the
+      frame to pending for recycling. The SC read of [state] orders the
+      executor's [result] write before the [result] read here. *)
+  let consume fr =
+    let st = A.get fr.state in
+    let r = A.read fr.result in
+    ignore (A.exchange fr.state pending);
+    if st = exn_ then Error (Obj.obj r : exn) else Ok r
+
+  (** Owner, on release: drop the use's references so a pooled frame
+      does not leak its last child's closure and result. *)
+  let scrub fr =
+    A.write fr.fn unit_obj;
+    A.write fr.result unit_obj
+end
+
+(** {2 Loop scopes}
+
+    The first-failure-wins protocol of one [parallel_for] call. A chunk
+    that raises CASes [flag] and — only if it won — parks its exception
+    in [exn_slot]; sibling chunks observe the flag at their boundary
+    and skip. [cancel] is the enclosing fiber's cancellation flag,
+    captured at loop entry and carried by every split half, so
+    cancelling the fiber cancels chunks wherever they run.
+
+    [exn_slot] is deliberately plain: the winner writes it inside a
+    chunk whose enclosing frame completion (an SC store) happens-before
+    the owner's join, and the loop only reads it after every half has
+    joined. The checker's scenario explores exactly this reasoning. *)
+module Scope = struct
+  type t = {
+    flag : bool A.t; (* some chunk raised; siblings skip *)
+    exn_slot : exn option A.plain; (* the winning exception *)
+    cancel : bool A.t; (* the enclosing fiber's cancellation flag *)
+  }
+
+  (** Seeded bugs. [clobber]: skip the election — set the flag with a
+      plain store and write the slot unconditionally, so a second
+      failure overwrites the first one's exception. *)
+  type mutation = { clobber : bool }
+
+  let clean = { clobber = false }
+
+  let make ?name ~cancel () =
+    let cell s = match name with None -> s | Some p -> p ^ "." ^ s in
+    {
+      flag = A.make ~name:(cell "flag") false;
+      exn_slot = A.plain ~name:(cell "exn") None;
+      cancel;
+    }
+
+  let fail_with m t e =
+    if m.clobber then begin
+      ignore (A.exchange t.flag true);
+      A.write t.exn_slot (Some e)
+    end
+    else if A.compare_and_set t.flag false true then A.write t.exn_slot (Some e)
+
+  let fail t e = fail_with clean t e
+
+  (** What a chunk boundary decides. Pool- and fiber-level cancellation
+      outrank the failure flag: they unwind the whole computation
+      ([Cancel] means raise), where a sibling's failure merely skips
+      the chunk ([Skip]). *)
+  type gate = Run | Skip | Cancel
+
+  let gate t ~pool_cancel =
+    if A.get pool_cancel || A.get t.cancel then Cancel
+    else if A.get t.flag then Skip
+    else Run
+
+  let failed t = A.get t.flag
+
+  let failure t = A.read t.exn_slot
+end
+
+(** {2 Future cores}
+
+    The one-word state machine of a future:
+
+    {v Pending [w1; ...; wn]  --complete-->  Done result v}
+
+    Waiters CAS themselves into the pending list; the completer CASes
+    the [Done] in — exactly one completion wins, which is where a
+    cancellation racing the computation's own finish resolves — and
+    receives the waiter list, FIFO, to run. A waiter arriving after
+    completion runs immediately on its own thread. [cancel] is the
+    fiber scope the scheduler installs while the future's computation
+    runs; requesting cancellation sets it independently of the
+    completion race. *)
+module Future_core = struct
+  type 'a state =
+    | Pending of (unit -> unit) list (* waiter callbacks, newest first *)
+    | Done of ('a, exn) result
+
+  type 'a t = { st : 'a state A.t; cancel : bool A.t }
+
+  (** Seeded bugs. [blind_complete]: publish [Done] with a plain store
+      instead of the CAS — a waiter that registered between the read
+      and the store is dropped (never resumed), and a racing second
+      completer "wins" too. *)
+  type mutation = { blind_complete : bool }
+
+  let clean = { blind_complete = false }
+
+  let make ?name () =
+    let cell s = match name with None -> s | Some p -> p ^ "." ^ s in
+    {
+      st = A.make ~name:(cell "st") (Pending []);
+      cancel = A.make ~name:(cell "cancel") false;
+    }
+
+  let rec add_waiter t cb =
+    match A.get t.st with
+    | Done _ -> cb ()
+    | Pending ws as old ->
+        if A.compare_and_set t.st old (Pending (cb :: ws)) then () else add_waiter t cb
+
+  (** [Some waiters] (in FIFO registration order) iff this call won the
+      completion race; the caller is now responsible for running
+      them. *)
+  let rec complete_with m t r =
+    match A.get t.st with
+    | Done _ -> None
+    | Pending ws as old ->
+        if m.blind_complete then begin
+          A.set t.st (Done r);
+          Some (List.rev ws)
+        end
+        else if A.compare_and_set t.st old (Done r) then Some (List.rev ws)
+        else complete_with m t r
+
+  let complete t r = complete_with clean t r
+
+  let peek t = match A.get t.st with Done r -> Some r | Pending _ -> None
+
+  let is_done t = match A.get t.st with Done _ -> true | Pending _ -> false
+
+  let cancel_cell t = t.cancel
+
+  let request_cancel t = ignore (A.exchange t.cancel true)
+
+  let cancel_requested t = A.get t.cancel
+end
+
+(** {2 The external-submission injector}
+
+    A lock-free multi-producer queue with an atomic close: the whole
+    state — a front/back functional queue plus a [closed] flag — lives
+    in one cell, updated by CAS on physically fresh records (no ABA).
+
+    [close] is the shutdown linearization point and the reason this
+    replaced the old mutex two-list injector: it atomically marks the
+    queue closed {e and} returns every entry not yet drained, while any
+    [push] serialized after it is refused ([false]) so the submitter
+    aborts the entry itself. Under the old scheme, a submit's
+    stop-check-then-push racing shutdown's drain could strand an entry
+    — pushed after the drain, never run, never aborted. The checker's
+    shutdown scenario enumerates exactly those interleavings.
+
+    CAS loops here are safe under the explorer's bounded exploration: a
+    failed CAS means another lane's update landed, so every retry
+    follows global progress (a spinlock would instead livelock the
+    DFS). *)
+module Injector = struct
+  type 'a state = {
+    front : 'a list; (* next out, oldest first *)
+    back : 'a list; (* incoming, newest first *)
+    closed : bool;
+  }
+
+  type 'a t = 'a state A.t
+
+  (** Seeded bugs. [blind_swing]: publish the back→front swing with a
+      plain store instead of the CAS — a push that landed since the
+      read is overwritten, and its entry silently lost. *)
+  type mutation = { blind_swing : bool }
+
+  let clean = { blind_swing = false }
+
+  let create ?name () = A.make ?name { front = []; back = []; closed = false }
+
+  (** [false] iff the injector is closed: the entry was {e not}
+      enqueued and the submitter must dispose of it. *)
+  let rec push t x =
+    let s = A.get t in
+    if s.closed then false
+    else if A.compare_and_set t s { s with back = x :: s.back } then true
+    else push t x
+
+  let rec pop_with m t =
+    let s = A.get t in
+    match s.front with
+    | x :: front' ->
+        if A.compare_and_set t s { s with front = front' } then Some x else pop_with m t
+    | [] -> (
+        match s.back with
+        | [] -> None
+        | back ->
+            let swung = { s with front = List.rev back; back = [] } in
+            if m.blind_swing then begin
+              A.set t swung;
+              pop_with m t
+            end
+            else begin
+              ignore (A.compare_and_set t s swung);
+              (* won or lost, the state moved: re-read. *)
+              pop_with m t
+            end)
+
+  let pop t = pop_with clean t
+
+  (** Atomically mark the injector closed and take every entry still
+      queued, oldest first. Idempotent: later calls return []. After
+      this, [push] refuses, so no entry can slip in behind the
+      drain. *)
+  let rec close t =
+    let s = A.get t in
+    if s.closed then []
+    else if A.compare_and_set t s { front = []; back = []; closed = true } then
+      s.front @ List.rev s.back
+    else close t
+
+  let size t =
+    let s = A.get t in
+    List.length s.front + List.length s.back
+
+  let is_empty t =
+    match A.get t with { front = []; back = []; _ } -> true | _ -> false
+
+  let is_closed t = (A.get t).closed
+end

@@ -119,18 +119,18 @@ let default_deque_impl = function
    own cache line so a thief's completion store does not collide with
    neighbouring frames of the victim's pool. *)
 
-type frame = {
-  state : int Atomic.t; (* frame_pending / frame_done / frame_exn; padded *)
-  mutable result : Obj.t; (* child outcome; valid once state flips *)
-  mutable fn : Obj.t; (* the (unit -> _) child of the current use *)
-  mutable task : task; (* preallocated trampoline for this frame *)
-}
+(* The cells and the publish/consume ordering live in
+   [Sched_protocol.Frame] — written against the [Atomic_shim] swap
+   point, so [lib/check/sched_model] explores the very same protocol
+   code. This file keeps what is scheduler policy, not protocol: the
+   per-worker LIFO pool, the trampoline wiring, metrics, tracing. *)
 
-let frame_pending = 0
+module Frame = Sched_protocol.Frame
+module Scope = Sched_protocol.Scope
+module Future_core = Sched_protocol.Future_core
+module Injector = Sched_protocol.Injector
 
-let frame_done = 1
-
-let frame_exn = 2
+type frame = task Frame.t
 
 let unit_obj = Obj.repr ()
 
@@ -178,6 +178,10 @@ type pool = {
   cond : Condition.t;
   steal_sleep_us : int;
   running : bool Atomic.t;
+  ext_driver : bool Atomic.t;
+      (* the current holder of [running] is an external awaiter
+         transiently driving worker 0 ([Future.block_on_pool]), not a
+         [Pool.run] job: [run] waits the seat out instead of refusing *)
   trace : Trace.t;
   fault : Fault.t;
   fault_on : bool; (* [Fault.active fault], cached as a plain immutable
@@ -187,10 +191,11 @@ type pool = {
                                        [Pool.cancel], [Pool.shutdown] and
                                        the fault layer, cleared at the
                                        start of the next [Pool.run] *)
-  injector : injected Lcws_sync.Injector.t;
-      (* external-submission queue, drained at the workers' steal
-         points; [is_empty] is one atomic load so an idle probe costs
-         nothing measurable *)
+  injector : injected Injector.t;
+      (* external-submission queue ([Sched_protocol.Injector]: one
+         atomic cell holding a functional queue plus a closed flag),
+         drained at the workers' steal points; [is_empty] is one atomic
+         load so an idle probe costs nothing measurable *)
   service : int Atomic.t;
       (* externally submitted futures not yet completed. Helpers serve
          the pool while a job is active OR this is non-zero, so
@@ -262,7 +267,7 @@ let exec_frame fr =
     let leave () =
       match ctx with Some (_, w) -> w.sched_depth <- w.sched_depth - 1 | None -> ()
     in
-    match (Obj.obj fr.fn : unit -> Obj.t) () with
+    match Frame.fn fr () with
     | v ->
         leave ();
         v
@@ -271,9 +276,7 @@ let exec_frame fr =
         raise e
   in
   match run () with
-  | v ->
-      fr.result <- v;
-      Atomic.set fr.state frame_done
+  | v -> Frame.publish_value fr v
   | exception e ->
       (match ctx with
       | Some (pool, w) ->
@@ -281,12 +284,11 @@ let exec_frame fr =
           let tr = pool.trace in
           if Trace.enabled tr then Trace.record_task_exn tr ~worker:w.id ~time:(Trace.now tr)
       | None -> ());
-      fr.result <- Obj.repr e;
-      Atomic.set fr.state frame_exn
+      Frame.publish_exn fr e
 
 let make_frame () =
-  let fr = { state = Padding.atomic frame_pending; result = unit_obj; fn = unit_obj; task = dummy_task } in
-  fr.task <- (fun () -> exec_frame fr);
+  let fr = Frame.make ~task:dummy_task () in
+  fr.Frame.task <- (fun () -> exec_frame fr);
   fr
 
 let acquire_frame w =
@@ -305,8 +307,7 @@ let acquire_frame w =
    push that would have exposed it failed): the caller guarantees no
    thief can still touch [fr]. *)
 let release_frame w fr =
-  fr.fn <- unit_obj;
-  fr.result <- unit_obj;
+  Frame.scrub fr;
   let top = w.frame_top - 1 in
   assert (w.frames.(top) == fr);
   w.frame_top <- top
@@ -515,9 +516,13 @@ let wake_helpers pool =
   Condition.broadcast pool.cond;
   Mutex.unlock pool.mutex
 
+(* Enqueue an external entry — or, if the injector is already closed
+   (shutdown's [close] won the race), abort it right here. The close is
+   the linearization point: an entry is either drained by a worker,
+   returned to [shutdown]'s abort sweep, or refused and aborted by its
+   own submitter — never stranded between a stop check and a drain. *)
 let inject pool entry =
-  Lcws_sync.Injector.push pool.injector entry;
-  wake_helpers pool
+  if Injector.push pool.injector entry then wake_helpers pool else entry.ij_abort ()
 
 (* One steal-point probe of the external-submission queue. A drained
    task is pushed onto the drainer's own deque rather than run directly,
@@ -525,9 +530,9 @@ let inject pool entry =
    signals, metrics balance, tracing) like any other task — the injector
    is a source of work, not a second scheduling regime. *)
 let drain_injector pool w =
-  if Lcws_sync.Injector.is_empty pool.injector then false
+  if Injector.is_empty pool.injector then false
   else
-    match Lcws_sync.Injector.pop pool.injector with
+    match Injector.pop pool.injector with
     | None -> false
     | Some entry ->
         w.metrics.submits <- w.metrics.submits + 1;
@@ -838,16 +843,13 @@ let fork (t : task) : unit =
    external blocking, combinators — is built from [add_waiter] +
    [complete]. *)
 module Future = struct
-  type 'a state =
-    | Pending of (unit -> unit) list (* waiter callbacks, newest first *)
-    | Done of ('a, exn) result
-
   type 'a t = {
-    st : 'a state Atomic.t;
-    fcancel : bool Atomic.t;
-        (* the fiber scope: installed as [w.fscope] while the future's
-           computation runs, observed by [Ops.cancelled] and by
-           [parallel_for] chunks through the loop scope *)
+    core : 'a Future_core.t;
+        (* the Pending→Done state machine and the fiber cancellation
+           flag ([Sched_protocol.Future_core]); the flag is installed
+           as [w.fscope] while the future's computation runs, observed
+           by [Ops.cancelled] and by [parallel_for] chunks through the
+           loop scope *)
     fpool : pool option;
         (* where the computation (or, for a combinator, its inputs)
            runs: lets an external awaiter drive worker 0 when no job is
@@ -857,41 +859,36 @@ module Future = struct
   }
 
   let make ?pool:fpool ?(service = false) () =
-    { st = Atomic.make (Pending []); fcancel = Atomic.make false; fpool; fservice = service }
+    { core = Future_core.make (); fpool; fservice = service }
 
   let of_result r =
-    { st = Atomic.make (Done r); fcancel = Atomic.make false; fpool = None; fservice = false }
+    let core = Future_core.make () in
+    ignore (Future_core.complete core r);
+    { core; fpool = None; fservice = false }
 
-  let rec add_waiter fut cb =
-    match Atomic.get fut.st with
-    | Done _ -> cb ()
-    | Pending ws as old ->
-        if Atomic.compare_and_set fut.st old (Pending (cb :: ws)) then ()
-        else add_waiter fut cb
+  let add_waiter fut cb = Future_core.add_waiter fut.core cb
 
-  (* [true] iff this call won the completion race. *)
-  let rec complete fut r =
-    match Atomic.get fut.st with
-    | Done _ -> false
-    | Pending ws as old ->
-        if Atomic.compare_and_set fut.st old (Done r) then begin
-          (if fut.fservice then
-             match fut.fpool with
-             | Some p -> ignore (Atomic.fetch_and_add p.service (-1))
-             | None -> ());
-          List.iter (fun cb -> cb ()) (List.rev ws);
-          true
-        end
-        else complete fut r
+  (* [true] iff this call won the completion race; the kernel hands the
+     winner its waiter list (FIFO) to run. *)
+  let complete fut r =
+    match Future_core.complete fut.core r with
+    | None -> false
+    | Some ws ->
+        (if fut.fservice then
+           match fut.fpool with
+           | Some p -> ignore (Atomic.fetch_and_add p.service (-1))
+           | None -> ());
+        List.iter (fun cb -> cb ()) ws;
+        true
 
-  let try_await fut = match Atomic.get fut.st with Done r -> Some r | Pending _ -> None
+  let try_await fut = Future_core.peek fut.core
 
-  let is_done fut = match Atomic.get fut.st with Done _ -> true | Pending _ -> false
+  let is_done fut = Future_core.is_done fut.core
 
   let unwrap = function Ok v -> v | Error e -> raise e
 
   let finished fut =
-    match Atomic.get fut.st with Done r -> unwrap r | Pending _ -> assert false
+    match Future_core.peek fut.core with Some r -> unwrap r | None -> assert false
 
   (* The task body a future's computation runs as: one fresh fiber. It
      installs the future's cancellation flag as the worker's scope
@@ -905,9 +902,10 @@ module Future = struct
    fun () ->
     match Domain.DLS.get ctx_key with
     | Some (pool, w) ->
-        w.fscope <- fut.fcancel;
+        w.fscope <- Future_core.cancel_cell fut.core;
         let r =
-          if Atomic.get pool.cancel_requested || Atomic.get fut.fcancel then Error Cancelled
+          if Atomic.get pool.cancel_requested || Future_core.cancel_requested fut.core
+          then Error Cancelled
           else begin
             match
               if pool.fault_on then
@@ -944,7 +942,7 @@ module Future = struct
         fut
 
   let cancel fut =
-    Atomic.set fut.fcancel true;
+    Future_core.request_cancel fut.core;
     ignore (complete fut (Error Cancelled))
 
   (* External blocking await with self-driving: if the future's pool has
@@ -961,11 +959,13 @@ module Future = struct
     let rec wait_loop () =
       if is_done fut || Atomic.get pool.stop then ()
       else if Atomic.compare_and_set pool.running false true then begin
+        Atomic.set pool.ext_driver true;
         let w0 = pool.workers.(0) in
         let saved = Domain.DLS.get ctx_key in
         Domain.DLS.set ctx_key (Some (pool, w0));
         let leave () =
           Domain.DLS.set ctx_key saved;
+          Atomic.set pool.ext_driver false;
           Atomic.set pool.running false;
           Mutex.lock pool.mutex;
           Condition.broadcast pool.cond;
@@ -987,9 +987,9 @@ module Future = struct
       end
     in
     wait_loop ();
-    match Atomic.get fut.st with
-    | Done r -> unwrap r
-    | Pending _ -> raise Cancelled (* the pool shut down under us *)
+    match Future_core.peek fut.core with
+    | Some r -> unwrap r
+    | None -> raise Cancelled (* the pool shut down under us *)
 
   (* Plain condvar blocking for pool-less futures (only reachable for
      already-settled sequential-fallback futures and hand-built ones). *)
@@ -1008,9 +1008,9 @@ module Future = struct
     finished fut
 
   let await (fut : 'a t) : 'a =
-    match Atomic.get fut.st with
-    | Done r -> unwrap r
-    | Pending _ -> (
+    match Future_core.peek fut.core with
+    | Some r -> unwrap r
+    | None -> (
         match Domain.DLS.get ctx_key with
         | Some (_, w) when w.sched_depth = 0 ->
             (* Fiber context: park. If the future completed between the
@@ -1030,15 +1030,12 @@ module Future = struct
   let inherited a b = match a.fpool with Some _ as p -> p | None -> b.fpool
 
   let both (a : 'a t) (b : 'b t) : ('a * 'b) t =
-    let fut =
-      { st = Atomic.make (Pending []); fcancel = Atomic.make false;
-        fpool = inherited a b; fservice = false }
-    in
+    let fut = { core = Future_core.make (); fpool = inherited a b; fservice = false } in
     let remaining = Atomic.make 2 in
     let arm () =
       if Atomic.fetch_and_add remaining (-1) = 1 then begin
-        let ra = match Atomic.get a.st with Done r -> r | Pending _ -> assert false in
-        let rb = match Atomic.get b.st with Done r -> r | Pending _ -> assert false in
+        let ra = match Future_core.peek a.core with Some r -> r | None -> assert false in
+        let rb = match Future_core.peek b.core with Some r -> r | None -> assert false in
         ignore
           (complete fut
              (match (ra, rb) with
@@ -1052,25 +1049,19 @@ module Future = struct
     fut
 
   let first (a : 'a t) (b : 'a t) : 'a t =
-    let fut =
-      { st = Atomic.make (Pending []); fcancel = Atomic.make false;
-        fpool = inherited a b; fservice = false }
-    in
+    let fut = { core = Future_core.make (); fpool = inherited a b; fservice = false } in
     let settle r loser = if complete fut r then cancel loser in
     add_waiter a (fun () ->
-        match Atomic.get a.st with Done r -> settle r b | Pending _ -> ());
+        match Future_core.peek a.core with Some r -> settle r b | None -> ());
     add_waiter b (fun () ->
-        match Atomic.get b.st with Done r -> settle r a | Pending _ -> ());
+        match Future_core.peek b.core with Some r -> settle r a | None -> ());
     fut
 
   let all (futs : 'a t list) : 'a list t =
     match futs with
     | [] -> of_result (Ok [])
     | f0 :: _ ->
-        let fut =
-          { st = Atomic.make (Pending []); fcancel = Atomic.make false;
-            fpool = f0.fpool; fservice = false }
-        in
+        let fut = { core = Future_core.make (); fpool = f0.fpool; fservice = false } in
         let remaining = Atomic.make (List.length futs) in
         let arm () =
           if Atomic.fetch_and_add remaining (-1) = 1 then begin
@@ -1079,11 +1070,11 @@ module Future = struct
             let rec collect = function
               | [] -> Ok []
               | f :: rest -> (
-                  match Atomic.get f.st with
-                  | Done (Ok v) -> (
+                  match Future_core.peek f.core with
+                  | Some (Ok v) -> (
                       match collect rest with Ok vs -> Ok (v :: vs) | Error e -> Error e)
-                  | Done (Error e) -> Error e
-                  | Pending _ -> assert false)
+                  | Some (Error e) -> Error e
+                  | None -> assert false)
             in
             ignore (complete fut (collect futs))
           end
@@ -1142,11 +1133,12 @@ module Pool = struct
         cond = Condition.create ();
         steal_sleep_us;
         running = Atomic.make false;
+        ext_driver = Atomic.make false;
         trace;
         fault;
         fault_on = Fault.active fault;
         cancel_requested = Atomic.make false;
-        injector = Lcws_sync.Injector.create ();
+        injector = Injector.create ();
         service = Atomic.make 0;
       }
     in
@@ -1170,8 +1162,27 @@ module Pool = struct
           "Pool.run: called from inside one of this pool's own workers (use Future.spawn \
            or Pool.submit instead)"
     | _ -> ());
-    if not (Atomic.compare_and_set pool.running false true) then
-      invalid_arg "Pool.run: a job is already running";
+    (* Take the driver seat. An external awaiter holding it
+       ([Future.block_on_pool]) releases as soon as its future settles,
+       so that collision is waited out on the pool's condvar (the
+       driver broadcasts on release); only a genuinely concurrent [run]
+       — seat held with [ext_driver] unset — is refused. *)
+    let rec acquire_seat () =
+      if Atomic.get pool.stop then invalid_arg "Pool.run: pool was shut down";
+      if Atomic.compare_and_set pool.running false true then ()
+      else if Atomic.get pool.ext_driver then begin
+        Mutex.lock pool.mutex;
+        if Atomic.get pool.running && Atomic.get pool.ext_driver
+           && not (Atomic.get pool.stop)
+        then Condition.wait pool.cond pool.mutex;
+        Mutex.unlock pool.mutex;
+        acquire_seat ()
+      end
+      else if Atomic.get pool.running then
+        invalid_arg "Pool.run: a job is already running"
+      else acquire_seat ()
+    in
+    acquire_seat ();
     let w0 = pool.workers.(0) in
     let saved = Domain.DLS.get ctx_key in
     Domain.DLS.set ctx_key (Some (pool, w0));
@@ -1271,10 +1282,13 @@ module Pool = struct
       while not (Atomic.compare_and_set pool.running false true) do
         Domain.cpu_relax ()
       done;
-      (* Externally submitted tasks that never reached a worker: abort
-         them, completing their futures with [Cancelled] so external
-         awaiters unwind instead of hanging. *)
-      (match Lcws_sync.Injector.drain pool.injector with
+      (* Close the injector: atomically refuse all future pushes and
+         take every entry that never reached a worker, aborting each
+         (their futures complete with [Cancelled]) so external awaiters
+         unwind instead of hanging. A submit racing this very close
+         either got in — and is drained here — or is refused and
+         aborted by [inject] itself; no entry is stranded. *)
+      (match Injector.close pool.injector with
       | [] -> ()
       | entries ->
           let w0 = pool.workers.(0) in
@@ -1324,7 +1338,7 @@ module Pool = struct
       (fun acc w ->
         let (Instance ((module D), d)) = w.deque in
         acc + D.size d)
-      (Lcws_sync.Injector.size pool.injector)
+      (Injector.size pool.injector)
       pool.workers
 
   let frames_in_use pool = Array.fold_left (fun acc w -> acc + w.frame_top) 0 pool.workers
@@ -1381,7 +1395,7 @@ let join_frame_stolen pool w fr : Obj.t =
     end
   in
   Backoff.reset w.backoff;
-  while Atomic.get fr.state = frame_pending do
+  while Frame.is_pending fr do
     handle_pending pool w;
     match pop_own pool w with
     | Some t ->
@@ -1389,7 +1403,7 @@ let join_frame_stolen pool w fr : Obj.t =
         Backoff.reset w.backoff;
         run_task pool w t
     | None ->
-        if Atomic.get fr.state = frame_pending then begin
+        if Frame.is_pending fr then begin
           w.metrics.idle_loops <- w.metrics.idle_loops + 1;
           idle_enter ();
           match steal_once pool w ~search_start:!search_start with
@@ -1401,13 +1415,12 @@ let join_frame_stolen pool w fr : Obj.t =
         end
   done;
   idle_exit ();
-  (* The SC read of [state] above ordered the executor's [result] write
-     before this read. Reset state so the recycled frame is pending. *)
-  let st = Atomic.get fr.state in
-  let r = fr.result in
-  Atomic.set fr.state frame_pending;
+  (* [consume]'s SC read of [state] orders the executor's [result]
+     write before its [result] read, and resets the frame to pending
+     for recycling. *)
+  let r = Frame.consume fr in
   release_frame w fr;
-  if st = frame_exn then raise (Obj.obj r : exn) else r
+  match r with Ok v -> v | Error e -> raise e
 
 (* Join on [fr] after the owner's own branch finished: the common case
    pops the frame's task straight back off the private bottom and runs
@@ -1421,7 +1434,7 @@ let rec join_frame pool w fr : Obj.t =
   handle_pending pool w;
   match pop_own pool w with
   | Some t ->
-      if t == fr.task then begin
+      if t == fr.Frame.task then begin
         if Atomic.get pool.cancel_requested then begin
           (* The child never left our private part, so nothing is
              exposed and the frame can recycle without running it. *)
@@ -1449,7 +1462,7 @@ let rec join_frame pool w fr : Obj.t =
                  raise (Fault.Injected (iw, k))
              | None -> ());
           w.sched_depth <- w.sched_depth + 1;
-          (match (Obj.obj fr.fn : unit -> Obj.t) () with
+          (match Frame.fn fr () with
           | v ->
               w.sched_depth <- w.sched_depth - 1;
               v
@@ -1493,8 +1506,8 @@ let fork_join (type a b) (f : unit -> a) (g : unit -> b) : a * b =
       (* [g]'s result travels through the frame's [Obj.t] slot; the
          boxing closure is the only per-call allocation besides the
          result tuple. *)
-      fr.fn <- Obj.repr (fun () -> Obj.repr (g ()));
-      (match push_task pool w fr.task with
+      Frame.set_fn fr (fun () -> Obj.repr (g ()));
+      (match push_task pool w fr.Frame.task with
       | () -> ()
       | exception e ->
           (* Deque rejected the push (capacity): nothing was exposed, the
@@ -1530,8 +1543,8 @@ let fork_join_unit (f : unit -> unit) (g : unit -> unit) : unit =
       g ()
   | Some (pool, w) ->
       let fr = acquire_frame w in
-      fr.fn <- Obj.repr (fun () -> g (); unit_obj);
-      (match push_task pool w fr.task with
+      Frame.set_fn fr (fun () -> g (); unit_obj);
+      (match push_task pool w fr.Frame.task with
       | () -> ()
       | exception e ->
           release_frame w fr;
@@ -1574,60 +1587,52 @@ let want_split pool w =
   let (Instance ((module D), d)) = w.deque in
   D.is_empty d
 
-(* Failure scope of one [parallel_for] call. When a body chunk raises,
-   the first failure wins the [lflag] CAS and parks its exception;
-   sibling chunks — wherever they run — observe the flag at their chunk
-   boundary and skip silently. The scope is per loop call, not
-   pool-global: a caller that catches the loop's exception and starts a
-   second loop must not inherit a stale flag.
-
-   [lexn] is plain: the winner writes it inside a chunk whose enclosing
-   frame completion (an SC store) happens-before the owner's join, and
-   [parallel_for] only reads it after every split half has joined. *)
-type loop_scope = {
-  lflag : bool Atomic.t; (* some chunk raised; siblings skip *)
-  mutable lexn : exn option; (* the winning exception *)
-  lcancel : bool Atomic.t;
-      (* the spawning fiber's cancellation flag, captured at
-         [parallel_for] entry: [Future.cancel] on the enclosing fiber
-         cancels the loop's chunks wherever they run — the split halves
-         carry the scope in their closures, so a thief executing one
-         observes the same flag the owner does *)
-}
+(* Failure scope of one [parallel_for] call ([Sched_protocol.Scope]).
+   When a body chunk raises, the first failure wins the flag CAS and
+   parks its exception; sibling chunks — wherever they run — observe
+   the flag at their chunk boundary and skip silently. The scope is per
+   loop call, not pool-global: a caller that catches the loop's
+   exception and starts a second loop must not inherit a stale flag.
+   The scope's cancel cell is the spawning fiber's cancellation flag,
+   captured at [parallel_for] entry: [Future.cancel] on the enclosing
+   fiber cancels the loop's chunks wherever they run — the split halves
+   carry the scope in their closures, so a thief executing one observes
+   the same flag the owner does. *)
 
 (* One grain-sized chunk under the scope's discipline. Pool-level
    cancellation ([Pool.cancel] / shutdown / a fault plan) and fiber
-   cancellation (the loop scope's [lcancel]) outrank the exception flag
+   cancellation (the scope's cancel cell) outrank the exception flag
    and raise [Cancelled] — they must unwind the whole computation, not
    just this loop. *)
 let run_chunk pool w scope body lo hi =
-  if Atomic.get pool.cancel_requested || Atomic.get scope.lcancel then begin
-    w.metrics.cancelled_chunks <- w.metrics.cancelled_chunks + 1;
-    let tr = pool.trace in
-    if Trace.enabled tr then Trace.record_cancel tr ~worker:w.id ~time:(Trace.now tr) ~chunks:1;
-    raise Cancelled
-  end
-  else if Atomic.get scope.lflag then begin
-    w.metrics.cancelled_chunks <- w.metrics.cancelled_chunks + 1;
-    let tr = pool.trace in
-    if Trace.enabled tr then Trace.record_cancel tr ~worker:w.id ~time:(Trace.now tr) ~chunks:1
-  end
-  else
-    match
-      (* chunk bodies are scheduler frames: no suspension inside *)
-      w.sched_depth <- w.sched_depth + 1;
-      (match
-         for i = lo to hi - 1 do
-           body i
-         done
-       with
-      | () -> w.sched_depth <- w.sched_depth - 1
-      | exception e ->
-          w.sched_depth <- w.sched_depth - 1;
-          raise e)
-    with
-    | () -> ()
-    | exception e -> if Atomic.compare_and_set scope.lflag false true then scope.lexn <- Some e
+  match Scope.gate scope ~pool_cancel:pool.cancel_requested with
+  | Scope.Cancel ->
+      w.metrics.cancelled_chunks <- w.metrics.cancelled_chunks + 1;
+      let tr = pool.trace in
+      if Trace.enabled tr then
+        Trace.record_cancel tr ~worker:w.id ~time:(Trace.now tr) ~chunks:1;
+      raise Cancelled
+  | Scope.Skip ->
+      w.metrics.cancelled_chunks <- w.metrics.cancelled_chunks + 1;
+      let tr = pool.trace in
+      if Trace.enabled tr then
+        Trace.record_cancel tr ~worker:w.id ~time:(Trace.now tr) ~chunks:1
+  | Scope.Run -> (
+      match
+        (* chunk bodies are scheduler frames: no suspension inside *)
+        w.sched_depth <- w.sched_depth + 1;
+        (match
+           for i = lo to hi - 1 do
+             body i
+           done
+         with
+        | () -> w.sched_depth <- w.sched_depth - 1
+        | exception e ->
+            w.sched_depth <- w.sched_depth - 1;
+            raise e)
+      with
+      | () -> ()
+      | exception e -> Scope.fail scope e)
 
 let rec lazy_for pool w scope grain body lo hi =
   if hi - lo <= grain then begin
@@ -1675,12 +1680,13 @@ let parallel_for ?grain ~start ~stop body =
     | Some (pool, w) ->
         let default_grain = max 1 (min 2048 (n / (8 * pool.nw))) in
         let grain = match grain with Some g -> max 1 g | None -> default_grain in
-        let scope = { lflag = Atomic.make false; lexn = None; lcancel = w.fscope } in
+        let scope = Scope.make ~cancel:w.fscope () in
         lazy_for pool w scope grain body start stop;
         (* Every split half has joined (each went through
-           [fork_join_unit]), so the winner's [lexn] write is visible. *)
-        if Atomic.get scope.lflag then
-          match scope.lexn with Some e -> raise e | None -> assert false
+           [fork_join_unit]), so the winner's exception write is
+           visible. *)
+        if Scope.failed scope then
+          match Scope.failure scope with Some e -> raise e | None -> assert false
   end
 
 (* The documented ambient surface. The bare top-level names above

@@ -1,0 +1,33 @@
+(* One seed for every QCheck suite in the repo. The chaos layer already
+   has single-knob reproducibility (lcws_chaos --wseed); this is the
+   tests' equivalent: LCWS_TEST_SEED pins the generator state of every
+   property in every suite, and a run that drew a fresh seed announces
+   the one-line repro, so a CI property failure replays locally without
+   reverse-engineering QCheck's reported seed per test case. *)
+
+let seed =
+  lazy
+    (match Option.bind (Sys.getenv_opt "LCWS_TEST_SEED") int_of_string_opt with
+    | Some s -> s
+    | None ->
+        Random.self_init ();
+        Random.bits ())
+
+(* Announced once per executable, and only if a property actually runs
+   (the module is linked into non-QCheck test binaries too). *)
+let announced = ref false
+
+let rand () =
+  let s = Lazy.force seed in
+  if not !announced then begin
+    announced := true;
+    Printf.eprintf "[seedutil] QCheck seed: rerun with LCWS_TEST_SEED=%d\n%!" s
+  end;
+  Random.State.make [| s |]
+
+(* Drop-in for the per-file [qtest] helpers: same QCheck2-to-alcotest
+   wrapping, but drawing from the pinned state. Each property gets its
+   own generator state seeded identically, so suites stay reproducible
+   independent of alcotest's execution order. *)
+let qtest ?count name gen prop =
+  QCheck_alcotest.to_alcotest ~rand:(rand ()) (QCheck2.Test.make ~name ?count gen prop)

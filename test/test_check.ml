@@ -8,9 +8,15 @@
 open Lcws
 module E = Check.Explore
 module S = Check.Scenarios
+module SS = Check.Sched_scenarios
 
 let find name =
-  match S.find name with Some s -> s | None -> Alcotest.failf "no scenario %S" name
+  match S.find name with
+  | Some s -> s
+  | None -> (
+      match SS.find name with
+      | Some s -> s
+      | None -> Alcotest.failf "no scenario %S" name)
 
 (* Every clean scenario passes in *every* interleaving, and the reduced
    schedule tree is fully covered within the default budget. *)
@@ -40,13 +46,15 @@ let test_section4_demo_fails () =
         Alcotest.(check bool) (s.E.name ^ " violation found") true (r.E.violation <> None))
     S.all
 
-(* Self-test: each seeded mutation (dropped Listing 2 line 11-12 fence,
-   dropped Section 4 bot repair, dropped ABA tag bump, join frame
+(* Self-test: each seeded deque mutation (dropped Listing 2 line 11-12
+   fence, dropped Section 4 bot repair, dropped ABA tag bump, join frame
    recycled before its completion flag, cancellation flag read hoisted
    out of the chunk loop, fiber resume fired without re-publishing the
-   frame state) is caught. *)
+   frame state, Chase-Lev steal claiming top with a plain store, Lace
+   expose without the private-work guard, private-deque pop without the
+   emptiness guard) is caught. *)
 let test_mutants_caught () =
-  Alcotest.(check int) "six seeded mutants" 6 (List.length S.mutants);
+  Alcotest.(check int) "nine seeded deque mutants" 9 (List.length S.mutants);
   List.iter
     (fun (s : E.scenario) ->
       let r = E.explore s in
@@ -54,6 +62,100 @@ let test_mutants_caught () =
       | None -> Alcotest.failf "seeded mutant %s not caught" r.E.name
       | Some _ -> ())
     S.mutants
+
+(* {2 Scheduler-level scenarios: the mini-scheduler over the real
+   protocol kernels} *)
+
+(* Clean scheduler scenarios pass every schedule of their (preemption-
+   bounded by default) trees. *)
+let test_sched_clean () =
+  List.iter
+    (fun (s : E.scenario) ->
+      let r = E.explore s in
+      (match r.E.violation with
+      | Some v ->
+          Alcotest.failf "%s: unexpected violation: %s (schedule %s)" r.E.name v.E.message
+            (E.schedule_to_string v.E.schedule)
+      | None -> ());
+      (* The scenario ships a default bound; whether this run used it
+         depends on LCWS_CHECK_PREEMPT (the nightly sweep lifts it, and
+         an unbounded tree may legitimately hit the run budget instead
+         of exhausting). *)
+      if r.E.preempt_bound <> None then
+        Alcotest.(check bool) (s.E.name ^ " exhausted") true r.E.exhausted;
+      Alcotest.(check bool) (s.E.name ^ " carries a default bound") true (s.E.preempt <> None))
+    SS.all
+
+(* Each seeded kernel mutation (early frame flag flip, CAS-less scope
+   failure election, blind future completion, blind injector swing,
+   dropped shutdown abort sweep) is caught *within* the scenario's small
+   default preemption bound — the whole point of CHESS-style search. *)
+let test_sched_mutants_caught () =
+  Alcotest.(check int) "five seeded scheduler mutants" 5 (List.length SS.mutants);
+  Alcotest.(check int)
+    "fourteen seeded mutants in total" 14
+    (List.length S.mutants + List.length SS.mutants);
+  List.iter
+    (fun (s : E.scenario) ->
+      let r = E.explore s in
+      match r.E.violation with
+      | None -> Alcotest.failf "seeded scheduler mutant %s not caught" r.E.name
+      | Some _ -> ())
+    SS.mutants
+
+(* [~preempt] forces the bound: [0] lifts a scenario's default (the
+   nightly sweep's LCWS_CHECK_PREEMPT=0 path), a positive value imposes
+   one. The bounded and unbounded searches must agree on clean code. *)
+let test_preempt_override () =
+  let s = find "sched_future_race" in
+  let bounded = E.explore ~preempt:1 s in
+  Alcotest.(check bool) "bound reported" true (bounded.E.preempt_bound = Some 1);
+  Alcotest.(check bool) "bounded clean" true (bounded.E.violation = None);
+  let unbounded = E.explore ~preempt:0 s in
+  Alcotest.(check bool) "bound lifted" true (unbounded.E.preempt_bound = None);
+  Alcotest.(check bool) "unbounded exhausted" true unbounded.E.exhausted;
+  Alcotest.(check bool) "unbounded clean" true (unbounded.E.violation = None)
+
+(* {2 Executable ownership invariants} *)
+
+let violation_message (r : E.report) =
+  match r.E.violation with
+  | Some v -> v.E.message
+  | None -> Alcotest.failf "%s: expected a violation" r.E.name
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let check_invariant_message name needle msg =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s caught by invariant (%S in %S)" name needle msg)
+    true
+    (contains msg "invariant violated" && contains msg needle)
+
+(* One seeded invariant-violating mutant per deque family is detected by
+   the per-scheduling-point ownership assertions (not merely by the
+   end-of-run oracle). For chase/lace/private the exploration's first
+   counterexample is the invariant's; for split, the tag-bump mutant's
+   duplication oracle can fire first in DFS order, so the thief-steals-
+   first interleaving — where only the same-tag top rewind is wrong — is
+   pinned by replay. *)
+let test_family_invariant_mutants () =
+  List.iter
+    (fun (scenario, needle) ->
+      let r = E.explore (find scenario) in
+      check_invariant_message scenario needle (violation_message r))
+    [
+      ("mutant_chase_steal_store", "chase_lev:");
+      ("mutant_lace_expose_unchecked", "lace:");
+      ("mutant_private_pop_underflow", "private:");
+    ];
+  let s = find "mutant_drop_tag_bump" in
+  let rp = E.replay s [ E.Thread 1; E.Thread 1; E.Thread 1 ] ~max_steps:1000 in
+  match rp.E.result with
+  | Error m -> check_invariant_message "mutant_drop_tag_bump" "without a tag bump" m
+  | Ok () -> Alcotest.fail "split tag-bump rewind not caught by the ownership invariant"
 
 (* Exploration is deterministic: identical counts on repeated runs. *)
 let test_deterministic_counts () =
@@ -137,6 +239,18 @@ let () =
           Alcotest.test_case "seeded mutants are caught" `Quick test_mutants_caught;
           Alcotest.test_case "deterministic interleaving counts" `Quick test_deterministic_counts;
           Alcotest.test_case "budget bounds the search" `Quick test_budget_bounds;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "clean scheduler scenarios pass" `Quick test_sched_clean;
+          Alcotest.test_case "seeded kernel mutants are caught" `Quick
+            test_sched_mutants_caught;
+          Alcotest.test_case "preemption bound override" `Quick test_preempt_override;
+        ] );
+      ( "invariants",
+        [
+          Alcotest.test_case "one invariant mutant per deque family" `Quick
+            test_family_invariant_mutants;
         ] );
       ( "replay",
         [

@@ -8,8 +8,8 @@
 open Lcws
 open Lcws.Deque_intf
 
-let qtest ?(count = 500) name gen prop =
-  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+(* Seed plumbing unified behind LCWS_TEST_SEED (see seedutil.ml). *)
+let qtest ?(count = 500) name gen prop = Seedutil.qtest ~count name gen prop
 
 (* Operations are drawn as small ints so shrinking stays useful. The
    owner contract is respected by construction: [pop_public_bottom] is

@@ -10,8 +10,8 @@ open Lcws
 module S = Scheduler
 module F = Fault
 
-let qtest ?(count = 100) name gen prop =
-  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+(* Seed plumbing unified behind LCWS_TEST_SEED (see seedutil.ml). *)
+let qtest ?(count = 100) name gen prop = Seedutil.qtest ~count name gen prop
 
 let with_pool ?deque ?fault ?trace ~num_workers ~variant f =
   let pool = S.Pool.create ?deque ?fault ?trace ~num_workers ~variant () in

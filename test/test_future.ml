@@ -11,8 +11,8 @@ open Lcws
 module S = Scheduler
 module F = Fault
 
-let qtest ?(count = 60) name gen prop =
-  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+(* Seed plumbing unified behind LCWS_TEST_SEED (see seedutil.ml). *)
+let qtest ?(count = 60) name gen prop = Seedutil.qtest ~count name gen prop
 
 let with_pool ?deque ?fault ?trace ~num_workers ~variant f =
   let pool = S.Pool.create ?deque ?fault ?trace ~num_workers ~variant () in
@@ -258,6 +258,81 @@ let test_combinators () =
           let l = S.Future.(await (all (List.init 5 (fun i -> spawn (fun () -> i * i))))) in
           Alcotest.(check (list int)) "all" [ 0; 1; 4; 9; 16 ] l;
           Alcotest.(check (list int)) "all []" [] S.Future.(await (all []));
+          drain_in_job pool);
+      quiescent pool)
+
+(* Combinator edge cases: [all []] settles with no pool at all, [first]
+   where both sides are cancelled, [both] where one side raises while
+   the other is parked on a suspension, and [try_await] on a cancelled
+   still-pending future. *)
+let test_combinator_edge_cases () =
+  (* [all []] is already settled and never touches a pool. *)
+  (match S.Future.try_await (S.Future.all []) with
+  | Some (Ok []) -> ()
+  | _ -> Alcotest.fail "all [] must settle immediately, without a pool");
+  with_pool ~num_workers:3 ~variant:S.Half (fun pool ->
+      S.Pool.run pool (fun () ->
+          (* try_await on a cancelled pending future: the cancellation
+             is the completion, and try_await reports it without
+             blocking even though the computation never ran. *)
+          let gate = Atomic.make false in
+          let pend =
+            S.Future.spawn (fun () ->
+                while not (Atomic.get gate) do
+                  Domain.cpu_relax ()
+                done;
+                1)
+          in
+          S.Future.cancel pend;
+          (match S.Future.try_await pend with
+          | Some (Error S.Cancelled) -> ()
+          | Some (Ok _) -> Alcotest.fail "cancelled pending future reported a value"
+          | Some (Error e) -> Alcotest.failf "unexpected error %s" (Printexc.to_string e)
+          | None -> Alcotest.fail "try_await found a cancelled future still pending");
+          Atomic.set gate true;
+          (* first where both sides are cancelled: the race's winner is
+             a cancellation, so the combined future must raise
+             [Cancelled] rather than hang or invent a value. *)
+          let ga = Atomic.make false and gb = Atomic.make false in
+          let spin g v =
+            S.Future.spawn (fun () ->
+                while not (Atomic.get g) do
+                  Domain.cpu_relax ()
+                done;
+                v)
+          in
+          let a = spin ga 1 and b = spin gb 2 in
+          let f = S.Future.first a b in
+          S.Future.cancel a;
+          S.Future.cancel b;
+          (match S.Future.await f with
+          | _ -> Alcotest.fail "first of two cancelled futures must raise"
+          | exception S.Cancelled -> ());
+          Atomic.set ga true;
+          Atomic.set gb true;
+          (* both where the left side raises and the right side is
+             parked on an await: [both] still joins both sides (the
+             suspension resumes first), and the raising side's error
+             wins with left priority. *)
+          let gate2 = Atomic.make false in
+          let trigger =
+            S.Future.spawn (fun () ->
+                while not (Atomic.get gate2) do
+                  Domain.cpu_relax ()
+                done;
+                5)
+          in
+          let susp = S.Future.spawn (fun () -> S.Future.await trigger + 1) in
+          let bad =
+            S.Future.spawn (fun () ->
+                Atomic.set gate2 true;
+                failwith "boom")
+          in
+          (match S.Future.(await (both bad susp)) with
+          | _ -> Alcotest.fail "expected the raising side's error"
+          | exception Failure m ->
+              Alcotest.(check string) "raising side wins over the suspended one" "boom" m);
+          Alcotest.(check int) "suspended side still joins" 6 (S.Future.await susp);
           drain_in_job pool);
       quiescent pool)
 
@@ -574,6 +649,7 @@ let () =
           Alcotest.test_case "fiber exception propagates" `Quick
             test_fiber_exception_propagates;
           Alcotest.test_case "combinators" `Quick test_combinators;
+          Alcotest.test_case "combinator edge cases" `Quick test_combinator_edge_cases;
           Alcotest.test_case "sequential fallback outside pools" `Quick
             test_outside_pool_fallback;
         ] );

@@ -1,0 +1,170 @@
+(* The external-submission injector (Sched_protocol.Injector): the
+   lock-free multi-producer queue with an atomic close that the pool's
+   submit/shutdown protocol rests on. Until now it was covered only
+   indirectly through test_future's submit tests; here it is tested
+   directly — a sequential model-conformance property, multi-domain
+   producers racing a drainer, size-probe consistency, and the
+   close/refusal contract (the shutdown linearization point: every
+   accepted entry is either drained or returned by [close], and a
+   refused push is the submitter's to dispose of). *)
+
+open Lcws
+module I = Injector
+
+let qtest ?(count = 200) name gen prop = Seedutil.qtest ~count name gen prop
+
+(* {2 Sequential model conformance}
+
+   Any single-domain push/pop sequence behaves as a FIFO queue: pops
+   come out in push order, [None] exactly when the model is empty. *)
+
+let prop_model_conformance ops =
+  let q = I.create () in
+  let model = Queue.create () in
+  let next = ref 0 in
+  List.for_all
+    (fun op ->
+      if op then begin
+        let x = !next in
+        incr next;
+        Queue.add x model;
+        I.push q x
+      end
+      else
+        match (I.pop q, Queue.take_opt model) with
+        | None, None -> true
+        | Some x, Some y -> x = y
+        | Some _, None | None, Some _ -> false)
+    ops
+
+(* {2 Size-probe consistency}
+
+   After any sequence: [size] equals the model's length, [is_empty]
+   agrees with [size = 0], and both are non-negative by construction. *)
+
+let prop_size_probe ops =
+  let q = I.create () in
+  let expected = ref 0 in
+  List.for_all
+    (fun op ->
+      (if op then begin
+         ignore (I.push q !expected);
+         incr expected
+       end
+       else
+         match I.pop q with
+         | Some _ ->
+             decr expected;
+             ()
+         | None -> ());
+      I.size q = !expected && I.is_empty q = (!expected = 0))
+    ops
+
+(* {2 Multi-domain submit vs drain}
+
+   [producers] domains each push an id-tagged run of entries while the
+   main domain drains; after joining the producers the drain finishes
+   quiescently. Oracle: exactly-once over all entries, and each
+   producer's entries appear in its push order (the queue is FIFO per
+   producer; cross-producer order is whatever the race decided). *)
+
+let test_mpsc_drain () =
+  let producers = 4 and per = 100 in
+  let q = I.create () in
+  let tag p i = (p * 1000) + i in
+  let doms =
+    List.init producers (fun p ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              if not (I.push q (tag p i)) then failwith "push refused on an open injector"
+            done))
+  in
+  let got = ref [] in
+  let remaining = ref (producers * per) in
+  while !remaining > 0 do
+    match I.pop q with
+    | Some x ->
+        got := x :: !got;
+        decr remaining
+    | None -> Domain.cpu_relax ()
+  done;
+  List.iter Domain.join doms;
+  let order = List.rev !got in
+  Alcotest.(check int) "nothing lost or duplicated" (producers * per) (List.length order);
+  Alcotest.(check bool)
+    "all entries present" true
+    (List.sort compare order
+    = List.sort compare (List.concat_map (fun p -> List.init per (tag p)) (List.init producers Fun.id)));
+  List.iteri
+    (fun p () ->
+      let mine = List.filter (fun x -> x / 1000 = p) order in
+      Alcotest.(check bool)
+        (Printf.sprintf "producer %d FIFO" p)
+        true
+        (mine = List.sort compare mine))
+    (List.init producers (fun _ -> ()))
+
+(* {2 Close: the shutdown linearization point} *)
+
+(* Quiescent contract: close returns the undrained entries oldest
+   first, later pushes are refused, pops find nothing, and a second
+   close is a no-op. *)
+let test_close_contract () =
+  let q = I.create () in
+  List.iter (fun x -> ignore (I.push q x)) [ 1; 2; 3; 4 ];
+  Alcotest.(check (option int)) "drained one" (Some 1) (I.pop q);
+  Alcotest.(check (list int)) "close returns the rest, oldest first" [ 2; 3; 4 ] (I.close q);
+  Alcotest.(check bool) "closed" true (I.is_closed q);
+  Alcotest.(check bool) "push refused after close" false (I.push q 5);
+  Alcotest.(check (option int)) "pop after close finds nothing" None (I.pop q);
+  Alcotest.(check (list int)) "close is idempotent" [] (I.close q);
+  Alcotest.(check int) "closed size" 0 (I.size q)
+
+(* Racing pushes against a concurrent close: every accepted push is
+   either popped by the drain or returned by [close]; every refused
+   push is in neither — the exactly-once/refused dichotomy the pool's
+   submit protocol needs so no future is stranded. *)
+let test_close_race () =
+  let rounds = 50 in
+  for _ = 1 to rounds do
+    let q = I.create () in
+    let n = 64 in
+    let accepted = Array.make n false in
+    let producer =
+      Domain.spawn (fun () ->
+          for i = 0 to n - 1 do
+            accepted.(i) <- I.push q i
+          done)
+    in
+    let drained = ref [] in
+    for _ = 1 to 8 do
+      match I.pop q with Some x -> drained := x :: !drained | None -> Domain.cpu_relax ()
+    done;
+    let closed = I.close q in
+    Domain.join producer;
+    Alcotest.(check bool) "post-close pushes refused" true (not (I.push q n));
+    let settled = List.sort compare (!drained @ closed) in
+    let expected =
+      List.sort compare
+        (List.filteri (fun i _ -> accepted.(i)) (List.init n Fun.id))
+    in
+    Alcotest.(check (list int)) "accepted entries settle exactly once" expected settled
+  done
+
+let () =
+  Alcotest.run "injector"
+    [
+      ( "model",
+        [
+          qtest "sequential push/pop matches the FIFO model"
+            QCheck2.Gen.(list bool)
+            prop_model_conformance;
+          qtest "size probe stays consistent" QCheck2.Gen.(list bool) prop_size_probe;
+        ] );
+      ( "concurrent",
+        [
+          Alcotest.test_case "multi-domain submit vs drain" `Quick test_mpsc_drain;
+          Alcotest.test_case "close races a producer" `Quick test_close_race;
+        ] );
+      ("close", [ Alcotest.test_case "quiescent close contract" `Quick test_close_contract ]);
+    ]
