@@ -5,7 +5,10 @@
    (ns/op and minor words/op — the quantity the per-worker frame pool
    exists to shrink), parallel_for throughput under lazy binary
    splitting, reduce and scan throughput through the Parlay layer, and a
-   steal-heavy skewed spawn chain. Each bench sweeps scheduler variant x
+   steal-heavy skewed spawn chain — plus an idle-CPU probe that proves
+   a quiet pool parks on its doorbell instead of spinning (the
+   [--validate] schema check enforces its near-zero idle-loop budget).
+   Each bench sweeps scheduler variant x
    deque implementation x worker count and appends one JSON record; the
    whole run is dumped as a single machine-readable file (default
    BENCH_PR4.json, schema "lcws-bench-suite/1") so runs can be diffed
@@ -158,6 +161,45 @@ let bench_submit ~calls ~batch ~variant ~deque ~workers =
         elapsed_ns;
         minor_words;
         metrics = S.Pool.metrics pool;
+      })
+
+(* Idle-CPU probe: workers inside an active but quiet job must park on
+   the pool's doorbell, not spin. The root sleeps through a settling
+   pause (helpers saturate their backoff and enter the lot), then sleeps
+   through the measured window; both snapshots are taken *inside* the
+   job, before the end-of-job doorbell wakes everyone for one more
+   fruitless search. The reported [idle_loops] is rewritten to the
+   window-only delta (so the settle phase's bounded backoff spinning is
+   excluded) while [parks] stays cumulative — the validator wants proof
+   the helpers actually parked. Headline number: window idle_loops, ~0
+   with parking, millions/s under the old saturated-backoff sleep loop.
+   [ops] is the window in milliseconds so the derived per-op fields
+   stay finite. *)
+let bench_idle_cpu ~window_ms ~variant ~deque ~workers =
+  let pool = S.Pool.create ~num_workers:workers ~variant ~deque () in
+  Fun.protect
+    ~finally:(fun () -> S.Pool.shutdown pool)
+    (fun () ->
+      let snap = ref (Metrics.create ()) in
+      let elapsed = ref 0. in
+      S.Pool.run pool (fun () ->
+          Unix.sleepf 0.2;
+          let before = S.Pool.metrics pool in
+          let t0 = Unix.gettimeofday () in
+          Unix.sleepf (float_of_int window_ms /. 1000.);
+          elapsed := Unix.gettimeofday () -. t0;
+          let after = S.Pool.metrics pool in
+          after.Metrics.idle_loops <- after.Metrics.idle_loops - before.Metrics.idle_loops;
+          snap := after);
+      {
+        bench = "idle_cpu";
+        variant;
+        deque;
+        workers;
+        ops = window_ms;
+        elapsed_ns = !elapsed *. 1e9;
+        minor_words = 0.;
+        metrics = !snap;
       })
 
 (* {1 JSON emission} *)
@@ -397,15 +439,39 @@ let validate path =
           List.iter
             (fun v ->
               let name = S.variant_name v in
-              let covered =
+              let covered bench =
                 List.exists
                   (fun r ->
-                    Json.member "bench" r = Some (Json.Str "fork_join")
+                    Json.member "bench" r = Some (Json.Str bench)
                     && Json.member "variant" r = Some (Json.Str name))
                   results
               in
-              if not covered then err "variant %S has no fork_join result" name)
-            S.all_variants
+              if not (covered "fork_join") then err "variant %S has no fork_join result" name;
+              if not (covered "idle_cpu") then err "variant %S has no idle_cpu result" name)
+            S.all_variants;
+          (* The parking acceptance bar: during an idle_cpu probe's
+             quiet window every idle worker must be parked, so the
+             pool-wide idle-loop count stays near zero (the pre-parking
+             spin loop clocked millions per second here). The bound is
+             loose — a few late parkers may each run a handful of
+             search rounds — but catches any regression to spinning. *)
+          List.iteri
+            (fun i r ->
+              if Json.member "bench" r = Some (Json.Str "idle_cpu") then
+                match Json.member "metrics" r with
+                | Some m -> (
+                    (match Json.member "idle_loops" m with
+                    | Some (Json.Num loops) ->
+                        if loops > 2000. then
+                          err "result %d: idle_cpu probe spun (%.0f idle loops in the quiet window)" i
+                            loops
+                    | _ -> err "result %d: idle_cpu metrics lack \"idle_loops\"" i);
+                    match Json.member "parks" m with
+                    | Some (Json.Num parks) ->
+                        if parks < 1. then err "result %d: idle_cpu probe recorded no parks" i
+                    | _ -> err "result %d: idle_cpu metrics lack \"parks\"" i)
+                | None -> ())
+            results
       | _ -> err "missing \"results\" array"));
   match List.rev !errors with
   | [] ->
@@ -453,6 +519,7 @@ let () =
       let skew_depth = if q then 2_000 else 20_000 in
       let fut_calls = if q then 2_000 else 50_000 in
       let submit_calls = if q then 1_000 else 20_000 in
+      let idle_window_ms = if q then 250 else 500 in
       let t0 = Unix.gettimeofday () in
       let samples = ref [] in
       let note s = samples := s :: !samples in
@@ -484,7 +551,9 @@ let () =
           List.iter
             (fun workers -> note (bench_submit ~calls:submit_calls ~batch:64 ~variant ~deque ~workers))
             [ 1; w ];
-          Printf.printf " futures\n%!")
+          Printf.printf " futures%!";
+          note (bench_idle_cpu ~window_ms:idle_window_ms ~variant ~deque ~workers:w);
+          Printf.printf " idle_cpu\n%!")
         S.all_variants;
       let json = suite_to_json ~quick:q (List.rev !samples) in
       let oc = open_out !out in

@@ -338,6 +338,112 @@ let shutdown_race ~abort ~name ~expect_violation =
         });
   }
 
+(* {2 Worker parking racing a task publication}
+
+   The idle-worker park/wake protocol ([Sched_protocol.Park]): a parker
+   announces itself (parked-count increment), re-checks for work, and
+   blocks on a wake generation; a publisher stores a task and rings the
+   doorbell — one load of the parked count, a generation bump only if
+   somebody announced. The explorer enumerates every interleaving of
+   the two, which is exactly the Dekker argument the protocol rests on:
+   either the publisher's load sees the announce (ring fires), or the
+   announce came later and the parker's re-check sees the published
+   task. [skip] seeds the lost-wakeup mutant — announce straight to
+   block, no re-check — whose counterexample is the fully sequential
+   publisher-then-parker schedule (zero preemptions).
+
+   The parker composes the kernel's primitive steps rather than calling
+   [park_with]: the model's stand-in for blocking is a bounded spin on
+   [should_block], and when that spin expires the parker must stay
+   *announced* — a real sleeper still holds its slot in the parked
+   count, so a publisher arriving later sees it and bumps. Retracting
+   on expiry (as [park_with] does around a returning [block]) would
+   make the late publisher's ring legitimately see zero and the oracle
+   would flag the clean kernel. An expired parker also skips the
+   post-wake re-check: it models a worker asleep forever, and letting
+   it consume the task on the way out would mask the seeded mutant. *)
+let park_wake ~skip ~name ~expect_violation =
+  let mut = if skip then P.Park.{ skip_recheck = true } else P.Park.clean in
+  {
+    E.name;
+    descr =
+      "idle-worker park racing a task publication: the announce/re-check order must \
+       close the lost-wakeup window"
+      ^ if skip then " (re-check skipped, on purpose)" else "";
+    expect_violation;
+    preempt = bound;
+    spec =
+      (fun () ->
+        let park = P.Park.make ~name:"park" () in
+        let work = SA.make ~name:"work" false in
+        let consumed = ref false in
+        let lost = ref false in
+        let ticket_r = ref 0 in
+        (* Acquire, never observe: the re-check that justifies refusing
+           to block must take responsibility for the task it saw. *)
+        let acquire () = SA.compare_and_set work true false in
+        let parker () =
+          let ticket = P.Park.announce park in
+          ticket_r := ticket;
+          if (not mut.P.Park.skip_recheck) && acquire () then begin
+            P.Park.retract park;
+            consumed := true
+          end
+          else begin
+            let spins = ref 0 in
+            while P.Park.should_block park ~ticket && !spins < 2 do
+              incr spins
+            done;
+            if P.Park.should_block park ~ticket then
+              (* Still told to block after the bounded spin: the model's
+                 "asleep forever". No retract, no consumption. *)
+              lost := true
+            else begin
+              P.Park.retract park;
+              if acquire () then consumed := true
+            end
+          end
+        in
+        let publisher () =
+          SA.set work true;
+          (* The owner-side ring: one load of the parked count; the
+             generation bump (under the dock mutex in the real pool)
+             only when somebody announced. *)
+          if P.Park.ring park then P.Park.bump park
+        in
+        {
+          E.threads = [| ("parker", parker); ("publisher", publisher) |];
+          signal = None;
+          invariant = None;
+          check =
+            (fun () ->
+              let expected_parked = if !lost then 1 else 0 in
+              let* () =
+                if P.Park.parked park = expected_parked then Ok ()
+                else
+                  Error
+                    (Printf.sprintf "park: parked count %d at quiescence (want %d)"
+                       (P.Park.parked park) expected_parked)
+              in
+              let* () =
+                match (!consumed, SA.get work) with
+                | true, true -> Error "park: task both consumed and still published"
+                | false, false -> Error "park: task vanished without a consumer"
+                | _ -> Ok ()
+              in
+              (* The oracle: a parker asleep past the spin bound is only
+                 a lost wakeup if nothing will ever wake it — the task
+                 is still published and the generation never moved. An
+                 expiry with a later bump is the model artifact of a
+                 slow doorbell, not a protocol violation. *)
+              if !lost && SA.get work && P.Park.should_block park ~ticket:!ticket_r
+              then
+                Error
+                  "park: lost wakeup — parker blocked forever while a task is published"
+              else Ok ());
+        });
+  }
+
 (* {2 The catalogue} *)
 
 let all =
@@ -347,6 +453,7 @@ let all =
     future_race ~blind:false ~name:"sched_future_race" ~expect_violation:false;
     injector_drain ~blind:false ~name:"sched_injector_drain" ~expect_violation:false;
     shutdown_race ~abort:true ~name:"sched_shutdown_race" ~expect_violation:false;
+    park_wake ~skip:false ~name:"sched_park_wake" ~expect_violation:false;
   ]
 
 (* Self-test: one seeded kernel mutation per protocol, each caught within
@@ -358,6 +465,7 @@ let mutants =
     future_race ~blind:true ~name:"mutant_future_blind_complete" ~expect_violation:true;
     injector_drain ~blind:true ~name:"mutant_injector_blind_pop" ~expect_violation:true;
     shutdown_race ~abort:false ~name:"mutant_shutdown_drop_abort" ~expect_violation:true;
+    park_wake ~skip:true ~name:"mutant_park_skip_recheck" ~expect_violation:true;
   ]
 
 let find name = List.find_opt (fun (s : E.scenario) -> s.E.name = name) (all @ mutants)

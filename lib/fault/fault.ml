@@ -134,9 +134,24 @@ let preset ?(seed = 1L) name =
           delay_polls = 6;
           steal_fail_prob = 0.2;
         }
+  | "park_storm" ->
+      (* The parking adversary: steal vetoes starve idle workers into
+         the lot, stalls land on the park poll point (stretching the
+         window between the last failed sweep and the block), and
+         delayed signals stretch the notify → expose → doorbell chain a
+         parker's wake depends on. *)
+      Some
+        {
+          p with
+          stall_prob = 0.08;
+          stall_polls = 12;
+          steal_fail_prob = 0.35;
+          delay_signal_prob = 0.2;
+          delay_polls = 8;
+        }
   | _ -> None
 
-let preset_names = [ "none"; "storm"; "stall"; "steal"; "exn"; "cancel"; "mixed" ]
+let preset_names = [ "none"; "storm"; "stall"; "steal"; "exn"; "cancel"; "mixed"; "park_storm" ]
 
 (* --- runtime state ---------------------------------------------------- *)
 

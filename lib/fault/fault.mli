@@ -38,7 +38,17 @@
     {!Injected} before its body runs. No new plan field is involved —
     the same seeded streams now simply cover the park/resume handshake
     too, and chaos DAGs with future nodes replay identically from the
-    same repro line. *)
+    same repro line.
+
+    The worker-parking entry is a poll point too: {!poll} runs just
+    before a worker announces itself in the pool's parking lot, so a
+    stall planted there stretches the most delicate window of the
+    wake protocol — between the last failed work search and the block
+    on the doorbell — and a plan-driven cancellation can divert the
+    park entirely (the worker skips the block and lets its caller
+    observe the cancel). A stalled would-be parker spins visibly
+    ([metrics.stalls]) instead of sleeping, exactly like a preempted
+    victim. *)
 
 (** Raised inside a task body by exception injection. The payload is
     [(worker, k)]: the k-th task execution on [worker]. *)
@@ -71,7 +81,10 @@ val plan_to_string : plan -> string
 val plan_of_string : string -> (plan, string) result
 
 (** Named plans for CLI / CI sweeps: ["none"], ["storm"] (drop + delay
-    heavy), ["stall"], ["steal"], ["exn"], ["cancel"], ["mixed"]. *)
+    heavy), ["stall"], ["steal"], ["exn"], ["cancel"], ["mixed"],
+    ["park_storm"] (steal vetoes plus stalls on the park poll point:
+    drives workers into the parking lot and stretches the lost-wakeup
+    window the doorbell protocol closes). *)
 val preset : ?seed:int64 -> string -> plan option
 
 val preset_names : string list

@@ -283,7 +283,19 @@ end
     CAS loops here are safe under the explorer's bounded exploration: a
     failed CAS means another lane's update landed, so every retry
     follows global progress (a spinlock would instead livelock the
-    DFS). *)
+    DFS).
+
+    {b Park-side invariant} (see {!Park}): a worker deciding whether it
+    may park must re-check the injector by {e acquiring} — [pop], whose
+    CAS linearizes the take — never by {e observing} ([is_empty]).
+    Observation creates no obligation: a worker that sees "non-empty",
+    declines to take the entry, and loops can interleave with every
+    other worker doing the same, and once all of them eventually park
+    the entry has been observed by everyone and owned by no one — the
+    submitter's doorbell rang before anyone announced, so nobody is
+    woken for it. A successful [pop] in the re-check instead transfers
+    the entry to the re-checking worker, which then must not park until
+    it has scheduled it. *)
 module Injector = struct
   type 'a state = {
     front : 'a list; (* next out, oldest first *)
@@ -351,4 +363,112 @@ module Injector = struct
     match A.get t with { front = []; back = []; _ } -> true | _ -> false
 
   let is_closed t = (A.get t).closed
+end
+
+(** {2 The parking protocol}
+
+    The word-level half of in-job worker parking (the condvar half is
+    [Parking_lot] in lib/sync, which this kernel never sees — it would
+    be meaningless under the simulation shim). Two cells:
+
+    - [parked]: how many workers have {e announced} intent to park.
+      Incremented before the parker's final work re-check, decremented
+      when it leaves the lot (woken or re-check hit). This is the word
+      the producer side loads — once — on every doorbell site; with
+      nobody parked the ring is that single load and nothing else.
+    - [gen]: the wake generation. A parker captures it as its ticket at
+      announce time and blocks only while the generation still equals
+      the ticket; a waker advances it (under the dock mutex) to
+      invalidate every outstanding ticket.
+
+    Lost-wakeup freedom is a Dekker-style argument over the SC total
+    order of four accesses — the producer's task-publish store P and
+    parked-count load L, the parker's announce increment I and re-check
+    load R, with P before L and I before R program-ordered:
+
+    - if L reads the count {e after} I, the producer sees [parked > 0]
+      and rings (generation bump + signal), so the parker cannot sleep
+      through it — the bump happens under the same mutex as the
+      parker's predicate check;
+    - if L reads the count {e before} I, then P precedes L precedes I
+      precedes R in the SC order, so the re-check R observes the
+      published task and the parker retracts instead of blocking.
+
+    Dropping the re-check (the [skip_recheck] mutant) breaks the second
+    leg: the task is published, the producer saw [parked = 0], and the
+    parker blocks anyway — the classic lost wakeup. The checker's
+    park/wake scenario must catch exactly this.
+
+    The re-check itself must {e acquire} work, not observe it — see the
+    park-side invariant note on {!Injector}. *)
+module Park = struct
+  type t = {
+    parked : int A.t; (* announced parkers; producer side loads this *)
+    gen : int A.t; (* wake generation; parker tickets against it *)
+  }
+
+  (** Seeded bugs. [skip_recheck]: announce and block without the final
+      work re-check — reopens the publish-before-announce lost-wakeup
+      window the protocol exists to close. *)
+  type mutation = { skip_recheck : bool }
+
+  let clean = { skip_recheck = false }
+
+  let make ?name () =
+    let cell s = match name with None -> s | Some p -> p ^ "." ^ s in
+    { parked = A.make ~name:(cell "parked") 0; gen = A.make ~name:(cell "gen") 0 }
+
+  (* The shim has no fetch_and_add; counters move by CAS loop. Safe
+     under bounded exploration: a failed CAS follows another lane's
+     landed update. *)
+  let rec cas_add c d =
+    let v = A.get c in
+    if A.compare_and_set c v (v + d) then () else cas_add c d
+
+  let parked t = A.get t.parked
+
+  (** Parker step 1: publish intent and capture the wake-generation
+      ticket. The increment must precede the work re-check — that
+      ordering is the protocol. *)
+  let announce t =
+    cas_add t.parked 1;
+    A.get t.gen
+
+  (** Parker: leave the lot (after waking, or after the re-check found
+      work). Every [announce] is balanced by exactly one [retract]. *)
+  let retract t = cas_add t.parked (-1)
+
+  (** The dock predicate: block while no wake has landed since the
+      ticket was issued. Evaluated under the dock mutex. *)
+  let should_block t ~ticket = A.get t.gen = ticket
+
+  (** Waker: invalidate every outstanding ticket. Must run under the
+      dock mutex (pass it as [Parking_lot.wake]'s [bump]) so it
+      serializes against parkers' predicate checks. *)
+  let bump t = cas_add t.gen 1
+
+  (** Producer-side doorbell guard: a single load of the parked count.
+      Returns whether a dock wake is owed; with [parked = 0] this is
+      the whole ring and the fast path pays one load. The caller must
+      have {e already published} the work the ring advertises. *)
+  let ring t = A.get t.parked > 0
+
+  (** The parker's announce → re-check → block → retract sequence, with
+      the dock abstracted as callbacks so the checker can run the exact
+      shipped sequence with a modeled dock. [recheck] must acquire (not
+      observe) any work it finds. Returns [`Found] if the re-check hit
+      and the parker never blocked, [`Woke] after a dock wake. *)
+  let park_with m t ~recheck ~block =
+    let ticket = announce t in
+    if (not m.skip_recheck) && recheck () then begin
+      retract t;
+      `Found
+    end
+    else begin
+      block ~ticket;
+      retract t;
+      `Woke
+    end
+
+  let park t ~recheck ~block = park_with clean t ~recheck ~block
 end

@@ -129,6 +129,8 @@ module Frame = Sched_protocol.Frame
 module Scope = Sched_protocol.Scope
 module Future_core = Sched_protocol.Future_core
 module Injector = Sched_protocol.Injector
+module Park = Sched_protocol.Park
+module Parking_lot = Lcws_sync.Parking_lot
 
 type frame = task Frame.t
 
@@ -173,10 +175,11 @@ type pool = {
   mutable domains : unit Domain.t list;
   job_active : bool Atomic.t;
   stop : bool Atomic.t;
-  gen : int Atomic.t;
   mutex : Mutex.t;
   cond : Condition.t;
-  steal_sleep_us : int;
+      (* [mutex]/[cond] serialize the driver-seat handshake only
+         (external awaiters waiting out [running]); worker idling — both
+         in-job and between jobs — goes through [lot]/[park] below *)
   running : bool Atomic.t;
   ext_driver : bool Atomic.t;
       (* the current holder of [running] is an external awaiter
@@ -200,13 +203,80 @@ type pool = {
       (* externally submitted futures not yet completed. Helpers serve
          the pool while a job is active OR this is non-zero, so
          [Pool.submit] works between [Pool.run]s too. *)
+  park : Park.t;
+      (* the parked-count word and wake generation
+         ([Sched_protocol.Park]): the word-level half of worker parking,
+         loaded once — and nothing else — by every doorbell site when
+         nobody is parked *)
+  lot : Parking_lot.t;
+      (* the condvar dock parked workers actually sleep on; generation
+         bumps happen under its mutex (see [Parking_lot]'s pairing
+         contract) *)
+  searchers : int Atomic.t;
+      (* workers in their post-wake search window (woken from the lot,
+         classification re-check still running). [ring_one] skips the
+         wake while this is non-zero — the searcher is already sweeping
+         every victim and the injector, so waking a second parker per
+         published task just burns a mutex+signal on the publisher and
+         a futile wake/re-park cycle on the parker. See the safety note
+         on [ring_one]. *)
 }
 
 let ctx_key : (pool * worker) option Domain.DLS.key =
   Domain.DLS.new_key (fun () -> None)
 
+(* {2 Doorbells}
+
+   Every site that makes work (or a state change a parked worker must
+   observe) available rings one of these. The fast path is the single
+   [Park.ring] load of the parked count: with nobody parked a ring is
+   that load and a not-taken branch, so the owner's push path pays no
+   synchronization for the parking machinery. When somebody *is*
+   parked, the ring bumps the wake generation under the dock mutex and
+   signals — see [Sched_protocol.Park] for the lost-wakeup argument.
+
+   [ring_one] is for a single ready task any worker may serve (a push,
+   an external submission, one exposed task). [ring_all] is mandatory
+   whenever the intended observer is a *specific* parked worker — a
+   frame completion (its owner may be the parked one), a root-fiber
+   outcome, a resume flag, shutdown: [Condition.signal] wakes an
+   arbitrary sleeper, and a generation bump alone does not wake anyone,
+   so a targeted wake delivered as a signal could be absorbed by a
+   bystander that just re-parks while the worker that needed it sleeps
+   on.
+
+   [ring_one] additionally throttles on [searchers]: while some woken
+   worker is still in its post-wake re-check, publishing another single
+   task does not wake a second parker. Without this, a busy owner with
+   a parked peer pays the dock mutex + signal on *every* push (3x on
+   the fork/join chain microbench) while the peer cycles
+   wake/steal-nothing/re-park at the same rate. Skipping is safe — no
+   lost wakeup — because the searcher observed in the count must, after
+   decrementing, either (a) acquire work and then keep running its
+   acquisition loop, whose park entry only blocks after a full failed
+   sweep, i.e. after it would have found this task; or (b) find nothing
+   and re-enter [Park.park]'s announce -> re-check, which runs after
+   our publish (publish < searchers load < its decrement < its
+   announce, at SC) and therefore sees the task. Either way the
+   published task is served or the final pre-block re-check catches it;
+   the throttle only elides wakes that would have been spurious.
+   [ring_all] is never throttled. *)
+let ring_one pool =
+  if Atomic.get pool.searchers = 0 && Park.ring pool.park then
+    Parking_lot.wake pool.lot ~all:false ~bump:(fun () -> Park.bump pool.park)
+
+let ring_all pool =
+  if Park.ring pool.park then
+    Parking_lot.wake pool.lot ~all:true ~bump:(fun () -> Park.bump pool.park)
+
 let request_cancel pool =
-  if not (Atomic.get pool.cancel_requested) then Atomic.set pool.cancel_requested true
+  if not (Atomic.get pool.cancel_requested) then begin
+    Atomic.set pool.cancel_requested true;
+    (* Parked workers have nothing to unwind, but waking them narrows
+       the window in which a cancellation must wait for task-level
+       unwinding to ring the completion doorbells. *)
+    ring_all pool
+  end
 
 let record_fault pool w code =
   let tr = pool.trace in
@@ -275,8 +345,13 @@ let exec_frame fr =
         leave ();
         raise e
   in
+  (* The frame's owner may be parked in [join_frame_stolen]: after the
+     completion flag flips, ring — all, because the wake must reach that
+     specific owner, not whichever sleeper a signal would pick. *)
   match run () with
-  | v -> Frame.publish_value fr v
+  | v ->
+      Frame.publish_value fr v;
+      (match ctx with Some (pool, _) -> ring_all pool | None -> ())
   | exception e ->
       (match ctx with
       | Some (pool, w) ->
@@ -284,7 +359,8 @@ let exec_frame fr =
           let tr = pool.trace in
           if Trace.enabled tr then Trace.record_task_exn tr ~worker:w.id ~time:(Trace.now tr)
       | None -> ());
-      Frame.publish_exn fr e
+      Frame.publish_exn fr e;
+      (match ctx with Some (pool, _) -> ring_all pool | None -> ())
 
 let make_frame () =
   let fr = Frame.make ~task:dummy_task () in
@@ -342,7 +418,12 @@ let handle_signal pool w =
     let time = Trace.now tr in
     Trace.record_signal_handled tr ~worker:w.id ~time;
     if n > 0 then Trace.record_expose tr ~worker:w.id ~time ~tasks:n
-  end
+  end;
+  (* Exposure doorbell: freshly public work may be what a parked thief
+     (the one whose notify triggered this very exposure) is waiting
+     for. One task wakes one thief; a batch ([Expose_half]) wakes
+     everyone. *)
+  if n > 0 then if n > 1 then ring_all pool else ring_one pool
 
 let handle_pending pool w =
   let stalled = pool.fault_on && fault_poll pool w in
@@ -372,9 +453,22 @@ let push_task pool w t =
   D.push_bottom d t;
   (* Signal-based variants: a fresh push means there is (new) work that can
      be exposed, so thieves may notify again (Section 4). *)
-  match pool.pvariant with
+  (match pool.pvariant with
   | Signal | Cons | Half -> reset_targeted w
-  | Ws | Uslcws -> ()
+  | Ws | Uslcws -> ());
+  (* Push doorbell. On the split deques the pushed task lands in the
+     private part, so a parked thief's sweep cannot take it yet and the
+     ring looks premature — but it is load-bearing: the wake is what
+     sends the thief back through its park re-check, whose probe of this
+     victim re-arms the exposure request ([notify ~force:true]) that a
+     stale [targeted] may have swallowed, and the resulting exposure's
+     own doorbell closes the loop. Gating this ring on
+     [D.public_size d > 0] deadlocks the signal variants whenever the
+     only awake worker blocks before its next poll (the chaos
+     future-DAG property catches it within seconds). With nobody parked
+     the ring is [Park.ring]'s single relaxed-load — the whole cost the
+     fork hot path pays for the parking machinery. *)
+  ring_one pool
 
 (* Owner-side task lookup on the own deque: private part first, then the
    public part (Listing 1 lines 7-16). For the signal-safe [pop_bottom] of
@@ -402,7 +496,8 @@ let pop_own pool w =
               let time = Trace.now tr in
               Trace.record_signal_handled tr ~worker:w.id ~time;
               if n > 0 then Trace.record_expose tr ~worker:w.id ~time ~tasks:n
-            end
+            end;
+            if n > 0 then ring_one pool (* exposure doorbell, as in [handle_signal] *)
           end
       | Ws | Signal | Cons | Half -> ());
       r
@@ -421,8 +516,21 @@ let pop_own pool w =
           reset_targeted w;
           None)
 
-(* Thief-side notification policy (Listing 1 line 22 / Listing 3). *)
-let notify pool thief victim =
+(* Thief-side notification policy (Listing 1 line 22 / Listing 3).
+
+   [force] is the park-side re-arm: the signal variants normally gate a
+   notify on [targeted] (one outstanding request per victim) and [Cons]
+   additionally on [has_two_tasks]. Both gates are mere throttles for
+   awake thieves, which retry anyway — but they are fatal to a thief
+   about to park. A stale [targeted] (a thief preempted between its
+   winning top-CAS and [reset_targeted], or an [Expose_one] whose task
+   was consumed just before the flag reset) would swallow the parker's
+   only exposure request, and with it the doorbell it needs to ever wake
+   up. A parker therefore notifies unconditionally: re-arming
+   [signal_pending] is idempotent, and the victim's next poll turns it
+   into an exposure whose doorbell sees the already-announced parked
+   count. *)
+let notify ?(force = false) pool thief victim =
   let notified =
     match pool.pvariant with
     | Ws -> false
@@ -431,7 +539,7 @@ let notify pool thief victim =
         thief.metrics.signals_sent <- thief.metrics.signals_sent + 1;
         true
     | Signal | Half ->
-        if not (Atomic.get victim.targeted) then begin
+        if force || not (Atomic.get victim.targeted) then begin
           Atomic.set victim.targeted true;
           Atomic.set victim.signal_pending true;
           thief.metrics.signals_sent <- thief.metrics.signals_sent + 1;
@@ -443,7 +551,7 @@ let notify pool thief victim =
           let (Instance ((module D), d)) = victim.deque in
           D.has_two_tasks d
         in
-        if (not (Atomic.get victim.targeted)) && has_two then begin
+        if force || ((not (Atomic.get victim.targeted)) && has_two) then begin
           Atomic.set victim.targeted true;
           Atomic.set victim.signal_pending true;
           thief.metrics.signals_sent <- thief.metrics.signals_sent + 1;
@@ -493,42 +601,29 @@ let steal_once pool w ~search_start =
     | Abort -> None
   end
 
-let sleep_us us = if us > 0 then Unix.sleepf (float_of_int us *. 1e-6)
-
-(* One failed steal round: spin through the worker's backoff; once it
-   saturates, yield the timeslice so victims can run — vital when domains
-   outnumber cores — and start over. The policy (and its counting) lives
-   in [Backoff]; the scheduler only decides what "stronger than spinning"
-   means here. *)
-let idle_pause pool w =
-  if Backoff.saturated w.backoff then begin
-    sleep_us pool.steal_sleep_us;
-    Backoff.reset w.backoff
-  end
-  else Backoff.once w.backoff
-
-(* Wake parked helpers: bump the generation they wait on and broadcast.
-   Used by [Pool.run] (job start) and by external submissions arriving
-   while the pool sits between jobs. *)
-let wake_helpers pool =
-  Mutex.lock pool.mutex;
-  Atomic.incr pool.gen;
-  Condition.broadcast pool.cond;
-  Mutex.unlock pool.mutex
-
 (* Enqueue an external entry — or, if the injector is already closed
    (shutdown's [close] won the race), abort it right here. The close is
    the linearization point: an entry is either drained by a worker,
    returned to [shutdown]'s abort sweep, or refused and aborted by its
-   own submitter — never stranded between a stop check and a drain. *)
+   own submitter — never stranded between a stop check and a drain.
+
+   The push is the publish; the doorbell after it is one load of the
+   parked count, so the [Pool.submit] hot path no longer pays a mutex
+   acquisition and a broadcast per message when every worker is busy
+   (or when none is parked between jobs). *)
 let inject pool entry =
-  if Injector.push pool.injector entry then wake_helpers pool else entry.ij_abort ()
+  if Injector.push pool.injector entry then ring_one pool else entry.ij_abort ()
 
 (* One steal-point probe of the external-submission queue. A drained
    task is pushed onto the drainer's own deque rather than run directly,
    so it flows through the ordinary push/pop/steal protocol (exposure
    signals, metrics balance, tracing) like any other task — the injector
-   is a source of work, not a second scheduling regime. *)
+   is a source of work, not a second scheduling regime.
+
+   The [is_empty] fast path is fine *here*, where the caller keeps
+   looping either way; a worker deciding whether it may park must not
+   use it — see [park_recheck] below and the park-side invariant note on
+   [Sched_protocol.Injector]. *)
 let drain_injector pool w =
   if Injector.is_empty pool.injector then false
   else
@@ -540,6 +635,156 @@ let drain_injector pool w =
         if Trace.enabled tr then Trace.record_submit tr ~worker:w.id ~time:(Trace.now tr);
         push_task pool w entry.ij_run;
         true
+
+(* {2 Parking}
+
+   The park-side work re-check ([Sched_protocol.Park]'s [recheck]
+   callback): runs between the parker's announce (parked-count
+   increment) and its block, and again after every wake. Returns [true]
+   iff blocking is not (or no longer) safe: the caller's own exit
+   condition fired, the pool is stopping, or work was found.
+
+   Work found here is *acquired*, never merely observed — a popped
+   injector entry or a stolen task lands in [w]'s own deque (through the
+   ordinary [push_task] protocol), making this worker responsible for it
+   (see the park-side invariant on [Sched_protocol.Injector]). The steal
+   sweep is deterministic over every victim — unlike the random probing
+   of the backoff loop that precedes parking — and [notify ~force:true]s
+   victims holding only private work, so the last awake thief cannot
+   park while an un-exposed victim still computes: the forced notify
+   (bypassing the [targeted] throttle, which a stale flag would
+   otherwise turn into a fatal no-op — see [notify]) pins an exposure at
+   the victim's next poll, and that exposure's doorbell sees our already
+   announced parked count. The sweep deliberately skips the fault
+   layer's steal veto: vetoes model lost races on contended steals, and
+   applying one here would manufacture the very lost wakeup the protocol
+   exists to rule out.
+
+   The sweep also skips the worker's own deque — not because it cannot
+   hold work (a previous round's re-check acquires into it), but
+   because every caller's acquisition loop starts with [pop_own], so a
+   worker provably never reaches a park attempt with a non-empty own
+   deque. Breaking that caller discipline deadlocks: a task in a parked
+   worker's private part is invisible to every thief, and the exposure
+   signal thieves would send needs a poll the parked owner never
+   runs. *)
+let park_recheck pool w ~done_ =
+  done_ ()
+  || Atomic.get pool.stop
+  || (match Injector.pop pool.injector with
+     | Some entry ->
+         w.metrics.submits <- w.metrics.submits + 1;
+         let tr = pool.trace in
+         if Trace.enabled tr then Trace.record_submit tr ~worker:w.id ~time:(Trace.now tr);
+         push_task pool w entry.ij_run;
+         true
+     | None ->
+         let tr = pool.trace in
+         let traced = Trace.enabled tr in
+         let found = ref false in
+         let i = ref 0 in
+         while (not !found) && !i < pool.nw do
+           (if !i <> w.id then begin
+              let v = pool.workers.(!i) in
+              let (Instance ((module D), d)) = v.deque in
+              if traced then
+                Trace.record_steal_attempt tr ~thief:w.id ~victim:v.id ~time:(Trace.now tr);
+              match D.pop_top d ~metrics:w.metrics with
+              | Stolen t ->
+                  reset_targeted v;
+                  if traced then
+                    Trace.record_steal_ok tr ~thief:w.id ~victim:v.id ~time:(Trace.now tr)
+                      ~search_start:(-1);
+                  push_task pool w t;
+                  found := true
+              | Private_work -> notify ~force:true pool w v
+              | Empty ->
+                  if traced then
+                    Trace.record_steal_empty tr ~thief:w.id ~victim:v.id ~time:(Trace.now tr)
+              | Abort -> ()
+            end);
+           incr i
+         done;
+         !found)
+
+(* Park [w] until a doorbell rings (or the re-check refuses the park).
+   Returns [true] iff the worker actually blocked at least once — the
+   caller should then re-stamp any in-flight steal-latency sample, and
+   may find re-check-acquired work on its own deque.
+
+   The announce → re-check → block sequence is
+   [Sched_protocol.Park.park]; the dock it blocks on is the pool's
+   [Parking_lot]. The park point is also a fault poll point: a plan may
+   stall right here — stretching the window between the last failed
+   sweep and the block, which is exactly where the seeded lost-wakeup
+   replay test plants its stall — or fire its cancellation, in which
+   case we skip this park and let the caller's loop observe it.
+
+   Wake accounting keeps [parks = wakes + spurious_wakes] exact at
+   quiescence: every block is followed by exactly one classification —
+   [wakes] when the post-wake re-check finds work (or a terminal state:
+   the doorbell was rung *for* us), [spurious_wakes] when it finds
+   nothing and the worker re-parks. *)
+let try_park pool w ~done_ =
+  if pool.fault_on && fault_poll pool w then false
+  else begin
+    let tr = pool.trace in
+    let traced = Trace.enabled tr in
+    let recheck () = park_recheck pool w ~done_ in
+    let block ~ticket =
+      w.metrics.parks <- w.metrics.parks + 1;
+      if traced then Trace.record_park tr ~worker:w.id ~time:(Trace.now tr);
+      Parking_lot.block pool.lot ~should_block:(fun () ->
+          Park.should_block pool.park ~ticket)
+    in
+    let rec go blocked =
+      match Park.park pool.park ~recheck ~block with
+      | `Found -> blocked
+      | `Woke ->
+          (* The post-wake classification sweep is the [searchers]
+             window [ring_one] throttles on (see its safety note): the
+             increment precedes the sweep, the decrement precedes any
+             re-park's announce -> re-check, so a publisher that skipped
+             its ring because it saw us here is always covered by one of
+             the two. *)
+          Atomic.incr pool.searchers;
+          let found = park_recheck pool w ~done_ in
+          Atomic.decr pool.searchers;
+          if found then begin
+            w.metrics.wakes <- w.metrics.wakes + 1;
+            if traced then Trace.record_wake tr ~worker:w.id ~time:(Trace.now tr) ~spurious:false;
+            (* Hand the search on: we are about to get busy with what we
+               acquired, and the throttle may have swallowed doorbells
+               for tasks published mid-sweep — if anyone is still
+               parked, let them take over the search. *)
+            ring_one pool;
+            true
+          end
+          else begin
+            w.metrics.spurious_wakes <- w.metrics.spurious_wakes + 1;
+            if traced then Trace.record_wake tr ~worker:w.id ~time:(Trace.now tr) ~spurious:true;
+            go true
+          end
+    in
+    go false
+  end
+
+(* One failed steal round: spin through the worker's backoff; once it
+   saturates, park in the pool's lot until a doorbell rings. This
+   replaces the old saturated-backoff [Unix.sleepf] quantum, which kept
+   every idle worker burning its core (and a fixed wake-up latency)
+   forever; a parked worker costs nothing and wakes on the doorbell
+   that publishes its next task. Returns [true] iff the worker parked. *)
+let idle_pause pool w ~done_ =
+  if Backoff.saturated w.backoff then begin
+    let parked = try_park pool w ~done_ in
+    Backoff.reset w.backoff;
+    parked
+  end
+  else begin
+    Backoff.once w.backoff;
+    false
+  end
 
 (* {2 The effects-based task core}
 
@@ -718,7 +963,12 @@ let help_while pool w done_ =
                 idle_exit ();
                 Backoff.reset w.backoff;
                 run_task pool w t
-            | None -> idle_pause pool w
+            | None ->
+                if idle_pause pool w ~done_ then
+                  (* A park elapsed: re-stamp so the steal-latency
+                     sample measures the post-park search, not the
+                     blocked time. *)
+                  if traced && !search_start >= 0 then search_start := Trace.now tr
         end
   done;
   idle_exit ()
@@ -740,35 +990,49 @@ let get_task pool w =
     | None ->
         let tr = pool.trace in
         let traced = Trace.enabled tr in
-        let search_start = if traced then Trace.now tr else -1 in
-        if traced then Trace.record_idle_enter tr ~worker:w.id ~time:search_start;
+        let t0 = if traced then Trace.now tr else -1 in
+        if traced then Trace.record_idle_enter tr ~worker:w.id ~time:t0;
         Backoff.reset w.backoff;
         let finish r =
           if traced then Trace.record_idle_exit tr ~worker:w.id ~time:(Trace.now tr);
           Backoff.reset w.backoff;
           r
         in
-        let rec loop () =
+        let done_ () = not (serving pool) in
+        (* Every round starts with [pop_own]: a park's re-check (and a
+           drain) acquires work into our *own* deque, and the park sweep
+           deliberately skips self — so any path back into this loop
+           must drain the own deque before it can possibly park again,
+           or the acquired task would sleep in a parked worker's private
+           part where no thief can see it and no exposure signal can
+           reach a poll. (Invariant: a worker never blocks in the lot
+           with a non-empty own deque.)
+
+           [search_start] is re-stamped at every acquisition round:
+           stamping it once outside the loop attributed an entire
+           multi-round idle period (worse once rounds can park) to
+           whichever steal finally succeeded, inflating the
+           steal-latency percentiles. *)
+        let rec loop search_start =
           if not (serving pool) then finish None
-          else begin
-            w.metrics.idle_loops <- w.metrics.idle_loops + 1;
-            if drain_injector pool w then
-              match pop_own pool w with
-              | Some _ as r -> finish r
-              | None -> loop () (* someone stole the drained task already *)
-            else
-              match steal_once pool w ~search_start with
-              | Some _ as r -> finish r
-              | None ->
-                  idle_pause pool w;
-                  loop ()
-          end
+          else
+            match pop_own pool w with
+            | Some _ as r -> finish r
+            | None ->
+                w.metrics.idle_loops <- w.metrics.idle_loops + 1;
+                if drain_injector pool w then loop (if traced then Trace.now tr else -1)
+                else (
+                  match steal_once pool w ~search_start with
+                  | Some _ as r -> finish r
+                  | None ->
+                      if idle_pause pool w ~done_ then
+                        loop (if traced then Trace.now tr else -1)
+                      else loop search_start)
         in
-        loop ()
+        loop t0
 
 let helper_body pool w =
   Domain.DLS.set ctx_key (Some (pool, w));
-  let last_gen = ref 0 in
   let rec work () =
     match get_task pool w with
     | Some t ->
@@ -778,19 +1042,20 @@ let helper_body pool w =
         work ()
     | None -> ()
   in
-  let rec wait_loop () =
-    Mutex.lock pool.mutex;
-    while (not (Atomic.get pool.stop)) && Atomic.get pool.gen = !last_gen do
-      Condition.wait pool.cond pool.mutex
-    done;
-    Mutex.unlock pool.mutex;
-    if not (Atomic.get pool.stop) then begin
-      last_gen := Atomic.get pool.gen;
-      work ();
-      wait_loop ()
-    end
-  in
-  wait_loop ()
+  (* Between jobs a helper parks in the same lot as in-job idlers (the
+     old scheme waited on a dedicated generation word under the pool
+     mutex, which forced every external submission through a lock and a
+     broadcast). The doorbells that end a between-jobs park: [Pool.run]
+     marking the job active, [inject] after its push, [shutdown]. A
+     helper never waits here while it has a reason to serve — [work]
+     only returns once [serving] is false — and the park re-check
+     re-reads [serving], so a job started between the two cannot be
+     slept through. *)
+  let between_jobs_done () = serving pool in
+  while not (Atomic.get pool.stop) do
+    work ();
+    if not (Atomic.get pool.stop) then ignore (try_park pool w ~done_:between_jobs_done)
+  done
 
 (* Ambient [Suspend]: park the current fiber. From a worker at scheduler
    depth 0 this performs the effect; deeper (inside a fork_join branch
@@ -804,7 +1069,12 @@ let suspend (register : (unit -> unit) -> unit) : unit =
   | Some (_, w) when w.sched_depth = 0 -> Effect.perform (Suspend register)
   | Some (pool, w) ->
       let resumed = Atomic.make false in
-      register (fun () -> Atomic.set resumed true);
+      (* ring **all**: the wake must reach this worker specifically if
+         it parked while helping (a one-sleeper signal could be absorbed
+         by a bystander). *)
+      register (fun () ->
+          Atomic.set resumed true;
+          ring_all pool);
       help_while pool w (fun () -> Atomic.get resumed)
   | None ->
       let m = Mutex.create () in
@@ -955,7 +1225,10 @@ module Future = struct
     add_waiter fut (fun () ->
         Mutex.lock pool.mutex;
         Condition.broadcast pool.cond;
-        Mutex.unlock pool.mutex);
+        Mutex.unlock pool.mutex;
+        (* the awaiting thread may be *driving* worker 0 and parked in
+           the lot rather than on the pool condvar *)
+        ring_all pool);
     let rec wait_loop () =
       if is_done fut || Atomic.get pool.stop then ()
       else if Atomic.compare_and_set pool.running false true then begin
@@ -1021,7 +1294,10 @@ module Future = struct
             finished fut
         | Some (pool, w) ->
             (* Under a fork_join branch or loop chunk: the continuation
-               cannot be captured, so help until the future settles. *)
+               cannot be captured, so help until the future settles. The
+               completion must ring this specific worker out of any park
+               it takes while helping. *)
+            add_waiter fut (fun () -> ring_all pool);
             help_while pool w (fun () -> is_done fut);
             finished fut
         | None -> (
@@ -1089,6 +1365,10 @@ module Pool = struct
   let create ?(seed = 42L) ?(deque_capacity = 65536) ?(steal_sleep_us = 50) ?deque
       ?(trace = Trace.null) ?fault:fault_plan ~num_workers ~variant () =
     if num_workers < 1 then invalid_arg "Pool.create: num_workers must be >= 1";
+    (* Accepted for compatibility; idle workers now park in the pool's
+       lot instead of sleeping a fixed quantum, so there is no sleep to
+       tune. *)
+    ignore (steal_sleep_us : int);
     let fault =
       match fault_plan with None -> Fault.none | Some p -> Fault.create p ~num_workers
     in
@@ -1128,10 +1408,8 @@ module Pool = struct
         domains = [];
         job_active = Atomic.make false;
         stop = Atomic.make false;
-        gen = Atomic.make 0;
         mutex = Mutex.create ();
         cond = Condition.create ();
-        steal_sleep_us;
         running = Atomic.make false;
         ext_driver = Atomic.make false;
         trace;
@@ -1140,6 +1418,9 @@ module Pool = struct
         cancel_requested = Atomic.make false;
         injector = Injector.create ();
         service = Atomic.make 0;
+        park = Park.make ();
+        lot = Parking_lot.create ();
+        searchers = Atomic.make 0;
       }
     in
     pool.domains <-
@@ -1193,10 +1474,10 @@ module Pool = struct
        this one. *)
     Atomic.set pool.cancel_requested false;
     Atomic.set pool.job_active true;
-    Mutex.lock pool.mutex;
-    Atomic.incr pool.gen;
-    Condition.broadcast pool.cond;
-    Mutex.unlock pool.mutex;
+    (* Job-start doorbell. Safe to gate on the parked count: a helper
+       not yet announced when we load it will re-check [serving] — which
+       reads the [job_active] store above — before blocking. *)
+    ring_all pool;
     let finish () =
       Atomic.set pool.job_active false;
       Domain.DLS.set ctx_key saved;
@@ -1219,7 +1500,11 @@ module Pool = struct
       (match f () with
       | v -> outcome := Some (Ok v)
       | exception e -> outcome := Some (Error (e, Printexc.get_raw_backtrace ())));
-      Atomic.set root_done true
+      Atomic.set root_done true;
+      (* If the root suspended, this final step may run on a helper
+         while worker 0 is parked in [help_while] below: ring it out
+         (all — the wake must reach worker 0 specifically). *)
+      ring_all pool
     in
     (match run_fiber root with
     | () -> ()
@@ -1270,6 +1555,10 @@ module Pool = struct
   let shutdown pool =
     if Atomic.compare_and_set pool.stop false true then begin
       request_cancel pool;
+      (* Explicit ring: [request_cancel] only rings when it wins the
+         cancellation race, and parked workers must observe [stop]. The
+         broadcast below serves condvar waiters (seat handshake). *)
+      ring_all pool;
       Mutex.lock pool.mutex;
       Condition.broadcast pool.cond;
       Mutex.unlock pool.mutex;
@@ -1395,6 +1684,7 @@ let join_frame_stolen pool w fr : Obj.t =
     end
   in
   Backoff.reset w.backoff;
+  let done_ () = not (Frame.is_pending fr) in
   while Frame.is_pending fr do
     handle_pending pool w;
     match pop_own pool w with
@@ -1406,12 +1696,18 @@ let join_frame_stolen pool w fr : Obj.t =
         if Frame.is_pending fr then begin
           w.metrics.idle_loops <- w.metrics.idle_loops + 1;
           idle_enter ();
-          match steal_once pool w ~search_start:!search_start with
-          | Some t ->
-              idle_exit ();
-              Backoff.reset w.backoff;
-              run_task pool w t
-          | None -> idle_pause pool w
+          if drain_injector pool w then idle_exit ()
+          else
+            match steal_once pool w ~search_start:!search_start with
+            | Some t ->
+                idle_exit ();
+                Backoff.reset w.backoff;
+                run_task pool w t
+            | None ->
+                (* [exec_frame]'s completion doorbell (ring-all) ends
+                   this park; re-stamp the steal sample after one. *)
+                if idle_pause pool w ~done_ then
+                  if traced && !search_start >= 0 then search_start := Trace.now tr
         end
   done;
   idle_exit ();

@@ -193,9 +193,13 @@ module Pool : sig
 
       @param seed deterministic seed for victim selection (default 42).
       @param deque_capacity per-worker deque slots (default 65536).
-      @param steal_sleep_us microseconds helpers sleep after their backoff
-        saturates in a failed work search — essential when domains
-        outnumber cores (default 50).
+      @param steal_sleep_us accepted for compatibility and ignored:
+        workers no longer sleep a fixed quantum when their backoff
+        saturates — they park on the pool's doorbell
+        ({!Lcws_sync.Parking_lot}) and are woken by the event that
+        publishes their next task (a push, an exposure, an external
+        submission, a completion). A quiescent pool burns no CPU and
+        wakes at condvar latency instead of a sleep quantum.
       @param deque deque implementation for every worker (default:
         {!default_deque_impl} of the variant).
       @param trace event sink; pass a {!Lcws_trace.Trace.create}d tracer

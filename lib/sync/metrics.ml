@@ -29,6 +29,9 @@ type t = {
   mutable suspends : int;
   mutable resumes : int;
   mutable futures : int;
+  mutable parks : int;
+  mutable wakes : int;
+  mutable spurious_wakes : int;
 }
 
 let create () =
@@ -63,6 +66,9 @@ let create () =
     suspends = 0;
     resumes = 0;
     futures = 0;
+    parks = 0;
+    wakes = 0;
+    spurious_wakes = 0;
   }
 
 (* The single authoritative field list: every generic operation (reset,
@@ -100,6 +106,9 @@ let fields : (string * (t -> int) * (t -> int -> unit)) list =
     ("suspends", (fun t -> t.suspends), fun t v -> t.suspends <- v);
     ("resumes", (fun t -> t.resumes), fun t v -> t.resumes <- v);
     ("futures", (fun t -> t.futures), fun t v -> t.futures <- v);
+    ("parks", (fun t -> t.parks), fun t v -> t.parks <- v);
+    ("wakes", (fun t -> t.wakes), fun t v -> t.wakes <- v);
+    ("spurious_wakes", (fun t -> t.spurious_wakes), fun t v -> t.spurious_wakes <- v);
   ]
 
 let to_assoc t = List.map (fun (name, get, _) -> (name, get t)) fields

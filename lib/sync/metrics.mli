@@ -37,6 +37,9 @@ type t = {
   mutable suspends : int;  (** fibers parked at a [Suspend] effect *)
   mutable resumes : int;  (** parked fibers resumed on this worker *)
   mutable futures : int;  (** futures spawned by this worker *)
+  mutable parks : int;  (** times this worker blocked in the parking lot *)
+  mutable wakes : int;  (** parks that ended with work found after the wake *)
+  mutable spurious_wakes : int;  (** parks whose post-wake search found nothing *)
 }
 
 val create : unit -> t

@@ -1,0 +1,20 @@
+type t = { mutex : Mutex.t; cond : Condition.t }
+
+let create () = { mutex = Mutex.create (); cond = Condition.create () }
+
+let block t ~should_block =
+  Mutex.lock t.mutex;
+  while should_block () do
+    Condition.wait t.cond t.mutex
+  done;
+  Mutex.unlock t.mutex
+
+let wake t ~all ~bump =
+  Mutex.lock t.mutex;
+  bump ();
+  Mutex.unlock t.mutex;
+  if all then Condition.broadcast t.cond else Condition.signal t.cond
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f

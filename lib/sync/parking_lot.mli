@@ -1,0 +1,45 @@
+(** A condvar "dock" for futex-style worker parking.
+
+    The lot is deliberately dumb: it owns only the mutex and condition
+    variable a parked worker sleeps on. The *protocol* that decides when
+    blocking is safe — the parked-count word, the wake-generation
+    ticket, the re-check-after-announce sequence that closes the
+    lost-wakeup window — lives in [Sched_protocol.Park] (lib/sched),
+    where the interleaving checker can explore it through the atomic
+    shim. The two halves compose through the [should_block] and [bump]
+    callbacks below, so this module never needs to see the protocol's
+    atomics and the protocol never needs to see a mutex (which the
+    checker could not model).
+
+    Pairing contract (the condvar-level half of lost-wakeup freedom):
+    the parker evaluates [should_block] {e under the lot's mutex} and
+    only then waits; the waker runs [bump] — which must falsify every
+    current ticket's [should_block] — {e under the same mutex} before
+    signalling. A waker that bumps between the parker's predicate check
+    and its wait therefore serializes either before the check (the
+    parker never blocks) or after the parker is inside [Condition.wait]
+    (the signal lands). *)
+
+type t
+
+val create : unit -> t
+
+(** [block t ~should_block] sleeps on the lot while [should_block ()]
+    holds, re-evaluating after every wakeup (spurious wakeups are
+    absorbed here). The predicate is called with the lot's mutex held,
+    so it must not block or re-enter the lot. Returns once the
+    predicate is false. *)
+val block : t -> should_block:(unit -> bool) -> unit
+
+(** [wake t ~all ~bump] runs [bump ()] under the lot's mutex, then
+    signals one sleeper ([all = false]) or broadcasts to every sleeper
+    ([all = true]). [bump] must invalidate the sleepers' blocking
+    predicate (e.g. advance the wake generation); the signal is sent
+    after the mutex is released, which is allowed for condition
+    variables and spares the woken thread an immediate mutex stall. *)
+val wake : t -> all:bool -> bump:(unit -> unit) -> unit
+
+(** [locked t f] runs [f ()] under the lot's mutex — for callers that
+    need to compose their own predicate/state updates atomically with
+    parkers (e.g. the external driver seat handshake). *)
+val locked : t -> (unit -> 'a) -> 'a

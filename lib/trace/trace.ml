@@ -17,6 +17,8 @@ type kind =
   | Submit
   | Suspend
   | Resume
+  | Park
+  | Wake
 
 let all_kinds =
   [
@@ -38,6 +40,8 @@ let all_kinds =
     Submit;
     Suspend;
     Resume;
+    Park;
+    Wake;
   ]
 
 let kind_name = function
@@ -59,6 +63,8 @@ let kind_name = function
   | Submit -> "submit"
   | Suspend -> "suspend"
   | Resume -> "resume"
+  | Park -> "park"
+  | Wake -> "wake"
 
 let kind_code = function
   | Steal_attempt -> 0
@@ -79,8 +85,10 @@ let kind_code = function
   | Submit -> 15
   | Suspend -> 16
   | Resume -> 17
+  | Park -> 18
+  | Wake -> 19
 
-let num_kinds = 18
+let num_kinds = 20
 
 let kind_of_code = function
   | 0 -> Steal_attempt
@@ -101,6 +109,8 @@ let kind_of_code = function
   | 15 -> Submit
   | 16 -> Suspend
   | 17 -> Resume
+  | 18 -> Park
+  | 19 -> Wake
   | c -> invalid_arg (Printf.sprintf "Trace.kind_of_code: %d" c)
 
 (* One per worker; strictly single-writer, like Metrics. *)
@@ -271,6 +281,12 @@ let record_suspend t ~worker ~time =
 
 let record_resume t ~worker ~time =
   if t.on then emit_code t worker 17 (* Resume *) ~time ~arg:0
+
+let record_park t ~worker ~time =
+  if t.on then emit_code t worker 18 (* Park *) ~time ~arg:0
+
+let record_wake t ~worker ~time ~spurious =
+  if t.on then emit_code t worker 19 (* Wake *) ~time ~arg:(if spurious then 1 else 0)
 
 (* --- reading ---------------------------------------------------------- *)
 

@@ -47,6 +47,8 @@ type kind =
   | Submit  (** an externally submitted task entered a worker's deque *)
   | Suspend  (** a fiber parked its continuation at a [Suspend] effect *)
   | Resume  (** a parked fiber's continuation resumed on this worker *)
+  | Park  (** worker blocked in the parking lot after a fruitless search *)
+  | Wake  (** worker returned from a park; arg = 1 iff the wake was spurious *)
 
 val all_kinds : kind list
 
@@ -131,6 +133,13 @@ val record_suspend : t -> worker:int -> time:int -> unit
 
 (** A parked continuation was resumed on [worker]. *)
 val record_resume : t -> worker:int -> time:int -> unit
+
+(** [worker] gave up searching and blocked in the parking lot. *)
+val record_park : t -> worker:int -> time:int -> unit
+
+(** [worker] returned from a park; [spurious] when its post-wake search
+    found no work (the doorbell's task was taken by someone else). *)
+val record_wake : t -> worker:int -> time:int -> spurious:bool -> unit
 
 (** {2 Reading a trace back} *)
 

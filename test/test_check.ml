@@ -88,12 +88,13 @@ let test_sched_clean () =
 
 (* Each seeded kernel mutation (early frame flag flip, CAS-less scope
    failure election, blind future completion, blind injector swing,
-   dropped shutdown abort sweep) is caught *within* the scenario's small
-   default preemption bound — the whole point of CHESS-style search. *)
+   dropped shutdown abort sweep, park without re-check) is caught
+   *within* the scenario's small default preemption bound — the whole
+   point of CHESS-style search. *)
 let test_sched_mutants_caught () =
-  Alcotest.(check int) "five seeded scheduler mutants" 5 (List.length SS.mutants);
+  Alcotest.(check int) "six seeded scheduler mutants" 6 (List.length SS.mutants);
   Alcotest.(check int)
-    "fourteen seeded mutants in total" 14
+    "fifteen seeded mutants in total" 15
     (List.length S.mutants + List.length SS.mutants);
   List.iter
     (fun (s : E.scenario) ->

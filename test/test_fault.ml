@@ -313,6 +313,48 @@ let test_plan_cancel_fires () =
       | exception e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e));
       quiescent ~tag:"after plan cancel" pool)
 
+(* {2 Stall planted in the park window}
+
+   The park entry is a fault poll point, so a stall-heavy plan lands
+   stalls exactly in the protocol's most delicate stretch — between a
+   worker's last failed work search and its block on the doorbell — and
+   the run must still compute the right answer with every wake
+   accounted for. The pool is shut down before the metrics read: only
+   then is no worker mid-park (announced, [parks] counted, its wake
+   classification still pending), so [parks = wakes + spurious_wakes]
+   is exact. Two fresh pools replay the identical seeded plan; both
+   must see stalls actually fire and parks actually happen. *)
+
+let test_stall_in_park_window () =
+  let plan = { F.no_faults with F.seed = 9L; stall_prob = 0.5; stall_polls = 4 } in
+  let run_once () =
+    let pool = S.Pool.create ~fault:plan ~num_workers:4 ~variant:S.Half () in
+    let r =
+      Fun.protect
+        ~finally:(fun () -> S.Pool.shutdown pool)
+        (fun () ->
+          let r1 = S.Pool.run pool (fun () -> fib 18) in
+          quiescent ~tag:"stalled parks, job 1" pool;
+          (* A quiet gap: the helpers' only way to wait out an idle pool
+             is the parking lot, so the second job begins by ringing
+             parked workers awake — through the same stall-prone poll. *)
+          Unix.sleepf 0.1;
+          let r2 = S.Pool.run pool (fun () -> fib 18) in
+          quiescent ~tag:"stalled parks, job 2" pool;
+          (r1, r2))
+    in
+    let m = S.Pool.metrics pool in
+    Alcotest.(check bool) "stalls fired" true (m.Metrics.stalls > 0);
+    Alcotest.(check bool) "workers parked" true (m.Metrics.parks > 0);
+    Alcotest.(check int) "every park classified" m.Metrics.parks
+      (m.Metrics.wakes + m.Metrics.spurious_wakes);
+    r
+  in
+  let (a1, a2) = run_once () and (b1, b2) = run_once () in
+  Alcotest.(check (list int)) "replay computes identically" [ 2584; 2584 ]
+    [ a1; a2 ];
+  Alcotest.(check (pair int int)) "second pool agrees" (a1, a2) (b1, b2)
+
 (* {2 Observability: faults land in Metrics and Trace} *)
 
 let test_faults_visible () =
@@ -357,6 +399,11 @@ let () =
           Alcotest.test_case "shutdown cancels in-flight job" `Quick
             test_shutdown_cancels_inflight;
           Alcotest.test_case "plan-driven cancellation" `Quick test_plan_cancel_fires;
+        ] );
+      ( "parking",
+        [
+          Alcotest.test_case "stall in the park window replays" `Quick
+            test_stall_in_park_window;
         ] );
       ("observability", [ Alcotest.test_case "metrics + trace" `Quick test_faults_visible ]);
     ]

@@ -214,6 +214,67 @@ let test_backoff_counted () =
         true
         (m.Metrics.idle_loops = 0 || m.Metrics.backoffs > 0))
 
+(* {2 Parking} *)
+
+let test_quiescent_parks variant () =
+  (* The idle-burn acceptance criterion: when an active job goes quiet,
+     every idle worker must end up parked in the pool's lot, freezing
+     the idle-loop counter — instead of the old saturated-backoff spin
+     that kept every core busy. The root sleeps while the helpers have
+     nothing to steal; after a settling pause, a quiet window must add
+     (essentially) no idle loops. *)
+  with_pool ~workers:8 variant (fun pool ->
+      S.Pool.reset_metrics pool;
+      let in_window =
+        S.Pool.run pool (fun () ->
+            Unix.sleepf 0.25;
+            let a = (S.Pool.metrics pool).Metrics.idle_loops in
+            Unix.sleepf 0.3;
+            let b = (S.Pool.metrics pool).Metrics.idle_loops in
+            b - a)
+      in
+      let m = S.Pool.metrics pool in
+      Alcotest.(check bool)
+        (Printf.sprintf "helpers parked (parks=%d)" m.Metrics.parks)
+        true (m.Metrics.parks > 0);
+      Alcotest.(check bool)
+        (Printf.sprintf "idle loops frozen in the quiet window (saw %d)" in_window)
+        true (in_window <= 8))
+
+(* Conservation law of the wake protocol: every park is classified
+   exactly once, as a productive wake or a spurious one — so at
+   quiescence [parks = wakes + spurious_wakes]. The pool is shut down
+   before the read: only then is no worker mid-park (announced and
+   counted, classification still pending). *)
+let seq_fib =
+  let rec f n = if n < 2 then n else f (n - 1) + f (n - 2) in
+  f
+
+let prop_park_balance c =
+  let rng = Xoshiro.create (Int64.of_int c) in
+  let variant = List.nth S.all_variants (Xoshiro.int rng 5) in
+  let workers = 2 + Xoshiro.int rng 4 in
+  let jobs = 1 + Xoshiro.int rng 3 in
+  let n = 14 + Xoshiro.int rng 4 in
+  let pool = S.Pool.create ~num_workers:workers ~variant () in
+  let results =
+    match List.init jobs (fun _ -> S.Pool.run pool (fun () -> fib n)) with
+    | rs -> rs
+    | exception e ->
+        S.Pool.shutdown pool;
+        raise e
+  in
+  S.Pool.shutdown pool;
+  let m = S.Pool.metrics pool in
+  if not (List.for_all (fun r -> r = seq_fib n) results) then
+    QCheck2.Test.fail_reportf "wrong fib %d on %s x%d" n (S.variant_name variant) workers
+  else if m.Metrics.parks <> m.Metrics.wakes + m.Metrics.spurious_wakes then
+    QCheck2.Test.fail_reportf
+      "park accounting leaked on %s x%d: parks=%d wakes=%d spurious=%d"
+      (S.variant_name variant) workers m.Metrics.parks m.Metrics.wakes
+      m.Metrics.spurious_wakes
+  else true
+
 let test_variant_names () =
   List.iter
     (fun v ->
@@ -300,4 +361,11 @@ let () =
       ("oversubscribed", per_variant "8 workers" test_oversubscribed);
       ("empty-range", per_variant "empty ranges" test_empty_range);
       ("results", per_variant "heterogeneous results" test_result_types);
+      ( "parking",
+        per_variant "quiescent pool parks" test_quiescent_parks
+        @ [
+            Seedutil.qtest ~count:25 "parks = wakes + spurious at quiescence"
+              QCheck2.Gen.(int_range 1 1_000_000)
+              prop_park_balance;
+          ] );
     ]
