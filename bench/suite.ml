@@ -7,11 +7,17 @@
    splitting, reduce and scan throughput through the Parlay layer, and a
    steal-heavy skewed spawn chain — plus an idle-CPU probe that proves
    a quiet pool parks on its doorbell instead of spinning (the
-   [--validate] schema check enforces its near-zero idle-loop budget).
+   [--validate] schema check enforces its near-zero idle-loop budget),
+   a steal_heavy_skew A/B pair (steal-one vs steal-half on a deep
+   spawn burst; the validator demands batched episodes on the batched
+   row and none on the pinned steal-one row), and a deterministic
+   simulator cache-miss sweep (uniform vs near-first victim selection
+   on a clustered 16-worker machine; the validator demands near-first
+   pay strictly less modeled miss cost).
    Each bench sweeps scheduler variant x
    deque implementation x worker count and appends one JSON record; the
    whole run is dumped as a single machine-readable file (default
-   BENCH_PR4.json, schema "lcws-bench-suite/1") so runs can be diffed
+   BENCH_PR4.json, schema "lcws-bench-suite/2") so runs can be diffed
    across commits.
 
    Usage: dune exec bench/suite.exe -- [options]
@@ -42,9 +48,13 @@ type sample = {
 (* One timed configuration: a fresh pool per sample keeps deque capacity
    and frame pools cold-start-comparable across variants; [job] runs
    once untimed to warm frame pools and code paths, then [reps] timed
-   runs are summed. *)
-let run_config ~bench ~variant ~deque ~workers ~ops ~reps job =
-  let pool = S.Pool.create ~num_workers:workers ~variant ~deque () in
+   runs are summed. The steal knobs default to the pool's own defaults;
+   the steal_heavy_skew A/B pair pins them explicitly. *)
+let run_config ~bench ?steal_policy ?topology ?steal_batch ~variant ~deque ~workers ~ops ~reps
+    job =
+  let pool =
+    S.Pool.create ?steal_policy ?topology ?steal_batch ~num_workers:workers ~variant ~deque ()
+  in
   Fun.protect
     ~finally:(fun () -> S.Pool.shutdown pool)
     (fun () ->
@@ -110,6 +120,33 @@ let rec skew_chain depth =
 let bench_steal_heavy ~depth ~variant ~deque ~workers =
   run_config ~bench:"steal_heavy" ~variant ~deque ~workers ~ops:depth ~reps:3 (fun () ->
       skew_chain depth)
+
+(* Steal-half showcase: the root spawns wide bursts of uneven leaf
+   fibers, so its deque runs ~[width] deep while every helper starts
+   empty — the shape one batched episode can rebalance with a single
+   claim run instead of [width] full steal round-trips. The same
+   workload runs twice, [~steal_batch:1] (classical steal-one) and
+   [~steal_batch:8]; diffing the two rows' ns/op and batch counters is
+   the real-engine half of the EXPERIMENTS.md A/B recipe. The
+   [--validate] gate pins the counters' shape: the batched row must
+   record [steals_batched > 0] (and extras on top of its episodes), the
+   steal-one row must record none. *)
+let rec skew_leaf n = if n < 2 then n else skew_leaf (n - 1) + skew_leaf (n - 2)
+
+let bench_steal_heavy_skew ~bursts ~steal_batch ~variant ~deque ~workers =
+  let width = 64 in
+  let bench = if steal_batch = 1 then "steal_heavy_skew_steal1" else "steal_heavy_skew" in
+  run_config ~bench ~steal_batch ~variant ~deque ~workers ~ops:(bursts * width) ~reps:3
+    (fun () ->
+      for _ = 1 to bursts do
+        (* Leaves in the microseconds range: heavy enough that the
+           burst outlives a helper's wake-up, so thieves see a deep
+           deque instead of the owner's leftovers. *)
+        let futs =
+          List.init width (fun i -> S.Future.spawn (fun () -> skew_leaf (15 + (i mod 6))))
+        in
+        List.iter (fun f -> ignore (Sys.opaque_identity (S.Future.await f))) futs
+      done)
 
 (* Fiber suspension: a chain of spawn+await pairs at the root, each one
    a full park — capture, one-shot resume, continuation re-run. ns/op
@@ -202,6 +239,48 @@ let bench_idle_cpu ~window_ms ~variant ~deque ~workers =
         metrics = !snap;
       })
 
+(* {1 Simulator cache-miss sweep}
+
+   The deterministic counterpart of the skew bench: one clustered
+   16-worker machine, uniform vs near-first victim selection crossed
+   with steal-one vs steal-half, all on the same seeded balanced DAG.
+   Every quantity is model cycles from a deterministic run, so the
+   "near-first pays less cache-miss cost than uniform" inequality is a
+   hard [--validate] gate, not a statistical one. *)
+
+module Sim = Lcws_sim
+module Victim_policy = Lcws_sync.Victim_policy
+
+type sim_row = {
+  sim_steal_policy : Victim_policy.policy;
+  sim_steal_batch : int;
+  sim_stats : Sim.Engine.stats;
+}
+
+(* The Chase-Lev baseline keeps the whole deque stealable, so the
+   steal-half rule actually gets [avail / 2 >= 2] episodes to batch —
+   the exposure-based policies cap [avail] at the few exposed tasks and
+   would make the batch column trivially zero. *)
+let sim_sweep_policy = Sim.Engine.Ws
+
+let sim_sweep ~quick =
+  let machine = Sim.Cost_model.intel16 in
+  let p = 16 in
+  let topology = Victim_policy.clustered ~far:4 ~cluster:4 p in
+  let leaves = if quick then 512 else 4096 in
+  let comp = Sim.Comp.balanced ~leaves ~leaf_work:400 in
+  List.concat_map
+    (fun sim_steal_batch ->
+      List.map
+        (fun sim_steal_policy ->
+          let sim_stats =
+            Sim.Engine.run ~machine ~policy:sim_sweep_policy ~p ~topology
+              ~steal_policy:sim_steal_policy ~steal_batch:sim_steal_batch comp
+          in
+          { sim_steal_policy; sim_steal_batch; sim_stats })
+        Victim_policy.all_policies)
+    [ 1; 8 ]
+
 (* {1 JSON emission} *)
 
 let json_escape s =
@@ -228,10 +307,22 @@ let sample_to_json s =
     (ops_f /. (s.elapsed_ns /. 1e9))
     (Metrics.to_json s.metrics)
 
-let suite_to_json ~quick samples =
+let sim_row_to_json r =
+  let s = r.sim_stats in
+  Printf.sprintf
+    "    {\"machine\": %S, \"policy\": %S, \"steal_policy\": %S, \"steal_batch\": %d,\n\
+    \     \"makespan\": %d, \"steals\": %d, \"steals_batched\": %d, \"tasks_migrated\": %d,\n\
+    \     \"near_steals\": %d, \"far_steals\": %d, \"cache_miss_cost\": %d}"
+    Sim.Cost_model.intel16.Sim.Cost_model.name
+    (Sim.Engine.policy_name sim_sweep_policy)
+    (Victim_policy.policy_name r.sim_steal_policy)
+    r.sim_steal_batch s.Sim.Engine.makespan s.steals s.steals_batched s.tasks_migrated
+    s.near_steals s.far_steals s.cache_miss_cost
+
+let suite_to_json ~quick samples sim_rows =
   let b = Buffer.create 16384 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"lcws-bench-suite/1\",\n";
+  Buffer.add_string b "  \"schema\": \"lcws-bench-suite/2\",\n";
   Buffer.add_string b (Printf.sprintf "  \"quick\": %b,\n" quick);
   Buffer.add_string b
     (Printf.sprintf
@@ -239,6 +330,9 @@ let suite_to_json ~quick samples =
        (json_escape Sys.ocaml_version) Sys.word_size
        (Domain.recommended_domain_count ())
        (json_escape Sys.os_type));
+  Buffer.add_string b "  \"sim_cache_miss\": [\n";
+  Buffer.add_string b (String.concat ",\n" (List.map sim_row_to_json sim_rows));
+  Buffer.add_string b "\n  ],\n";
   Buffer.add_string b "  \"results\": [\n";
   Buffer.add_string b (String.concat ",\n" (List.map sample_to_json samples));
   Buffer.add_string b "\n  ]\n}\n";
@@ -410,11 +504,47 @@ let validate path =
   | exception Json.Malformed m -> err "not valid JSON: %s" m
   | json -> (
       (match Json.member "schema" json with
-      | Some (Json.Str "lcws-bench-suite/1") -> ()
-      | _ -> err "missing or wrong \"schema\" (want \"lcws-bench-suite/1\")");
+      | Some (Json.Str "lcws-bench-suite/2") -> ()
+      | _ -> err "missing or wrong \"schema\" (want \"lcws-bench-suite/2\")");
       (match Json.member "host" json with
       | Some (Json.Obj _) -> ()
       | _ -> err "missing \"host\" object");
+      (* The steal-half acceptance bar on the simulator: for both batch
+         settings, near-first victim selection must pay strictly less
+         modeled cache-miss cost than uniform on the clustered machine,
+         and the steal-half rows must actually batch. Deterministic
+         seeded runs make these hard inequalities. *)
+      (match Json.member "sim_cache_miss" json with
+      | Some (Json.List rows) ->
+          let num k r = match Json.member k r with Some (Json.Num f) -> Some f | _ -> None in
+          let find sp b =
+            List.find_opt
+              (fun r ->
+                Json.member "steal_policy" r = Some (Json.Str sp)
+                && num "steal_batch" r = Some (float_of_int b))
+              rows
+          in
+          List.iter
+            (fun b ->
+              match (find "uniform" b, find "near_first" b) with
+              | Some u, Some nf -> (
+                  (match (num "cache_miss_cost" u, num "cache_miss_cost" nf) with
+                  | Some cu, Some cn ->
+                      if cn >= cu then
+                        err
+                          "sim sweep (batch %d): near_first miss cost %.0f not below uniform %.0f"
+                          b cn cu
+                  | _ -> err "sim sweep (batch %d): rows lack \"cache_miss_cost\"" b);
+                  if b > 1 then
+                    List.iter
+                      (fun (name, r) ->
+                        match num "steals_batched" r with
+                        | Some sb when sb >= 1. -> ()
+                        | _ -> err "sim sweep (batch %d, %s): no batched episodes" b name)
+                      [ ("uniform", u); ("near_first", nf) ])
+              | _ -> err "sim sweep: missing uniform/near_first pair for batch %d" b)
+            [ 1; 8 ]
+      | _ -> err "missing \"sim_cache_miss\" array");
       match Json.member "results" json with
       | Some (Json.List results) ->
           if results = [] then err "empty \"results\"";
@@ -447,7 +577,11 @@ let validate path =
                   results
               in
               if not (covered "fork_join") then err "variant %S has no fork_join result" name;
-              if not (covered "idle_cpu") then err "variant %S has no idle_cpu result" name)
+              if not (covered "idle_cpu") then err "variant %S has no idle_cpu result" name;
+              if not (covered "steal_heavy_skew") then
+                err "variant %S has no steal_heavy_skew result" name;
+              if not (covered "steal_heavy_skew_steal1") then
+                err "variant %S has no steal_heavy_skew_steal1 result" name)
             S.all_variants;
           (* The parking acceptance bar: during an idle_cpu probe's
              quiet window every idle worker must be parked, so the
@@ -471,11 +605,54 @@ let validate path =
                         if parks < 1. then err "result %d: idle_cpu probe recorded no parks" i
                     | _ -> err "result %d: idle_cpu metrics lack \"parks\"" i)
                 | None -> ())
-            results
+            results;
+          (* The steal-half acceptance bar on the real engine. Per-row:
+             conservation (a batched episode contributes its extras on
+             top of the per-episode count), and the pinned steal-one
+             rows must never batch — their migration count collapses to
+             the episode count. In aggregate across the batched skew
+             rows: some episode actually moved more than one task
+             (per-variant floors would be flaky on a time-sliced
+             single-core host, where a given variant's helpers may
+             never win a deep probe, but across all five variants the
+             burst shape batches reliably). *)
+          let skew_steals = ref 0. and skew_batched = ref 0. and skew_migrated = ref 0. in
+          List.iteri
+            (fun i r ->
+              let metric k =
+                match Json.member "metrics" r with
+                | Some m -> ( match Json.member k m with Some (Json.Num f) -> Some f | _ -> None)
+                | None -> None
+              in
+              match (Json.member "bench" r, metric "steals", metric "steals_batched",
+                     metric "tasks_migrated")
+              with
+              | Some (Json.Str "steal_heavy_skew"), Some steals, Some batched, Some migrated ->
+                  skew_steals := !skew_steals +. steals;
+                  skew_batched := !skew_batched +. batched;
+                  skew_migrated := !skew_migrated +. migrated;
+                  if migrated < steals +. batched then
+                    err "result %d: steal_heavy_skew migrated %.0f < episodes %.0f + batched %.0f"
+                      i migrated steals batched
+              | Some (Json.Str "steal_heavy_skew_steal1"), Some steals, Some batched,
+                Some migrated ->
+                  if batched <> 0. then
+                    err "result %d: steal_heavy_skew_steal1 batched %.0f episodes with ~steal_batch:1"
+                      i batched;
+                  if migrated <> steals then
+                    err "result %d: steal_heavy_skew_steal1 migrated %.0f over %.0f episodes" i
+                      migrated steals
+              | _ -> ())
+            results;
+          if !skew_batched < 1. then
+            err "steal_heavy_skew rows recorded no batched episodes anywhere";
+          if not (!skew_migrated > !skew_steals) then
+            err "steal_heavy_skew rows migrated %.0f tasks over %.0f episodes (no batch gain)"
+              !skew_migrated !skew_steals
       | _ -> err "missing \"results\" array"));
   match List.rev !errors with
   | [] ->
-      Printf.printf "%s: valid (schema lcws-bench-suite/1)\n" path;
+      Printf.printf "%s: valid (schema lcws-bench-suite/2)\n" path;
       0
   | es ->
       List.iter (fun m -> Printf.eprintf "%s: %s\n" path m) es;
@@ -517,6 +694,7 @@ let () =
       let reduce_n = if q then 50_000 else 1_000_000 in
       let scan_n = if q then 20_000 else 500_000 in
       let skew_depth = if q then 2_000 else 20_000 in
+      let skew_bursts = if q then 10 else 100 in
       let fut_calls = if q then 2_000 else 50_000 in
       let submit_calls = if q then 1_000 else 20_000 in
       let idle_window_ms = if q then 250 else 500 in
@@ -546,6 +724,8 @@ let () =
             [ 1; w ];
           Printf.printf " loops%!";
           note (bench_steal_heavy ~depth:skew_depth ~variant ~deque ~workers:w);
+          note (bench_steal_heavy_skew ~bursts:skew_bursts ~steal_batch:1 ~variant ~deque ~workers:w);
+          note (bench_steal_heavy_skew ~bursts:skew_bursts ~steal_batch:8 ~variant ~deque ~workers:w);
           Printf.printf " steal_heavy%!";
           note (bench_future ~calls:fut_calls ~variant ~deque ~workers:w);
           List.iter
@@ -555,7 +735,10 @@ let () =
           note (bench_idle_cpu ~window_ms:idle_window_ms ~variant ~deque ~workers:w);
           Printf.printf " idle_cpu\n%!")
         S.all_variants;
-      let json = suite_to_json ~quick:q (List.rev !samples) in
+      Printf.printf "[sim] cache-miss sweep%!";
+      let sim_rows = sim_sweep ~quick:q in
+      Printf.printf " done\n%!";
+      let json = suite_to_json ~quick:q (List.rev !samples) sim_rows in
       let oc = open_out !out in
       output_string oc json;
       close_out oc;

@@ -16,6 +16,18 @@ val increasing : string -> int list -> (unit, string) result
 
 val decreasing : string -> int list -> (unit, string) result
 
+(** The split deque's per-step ownership invariant ([bot]/[public_bot]
+    owner-written only, thieves advance [top] only by CAS on [age], no
+    top rewind within one ABA tag), exported so scheduler-level
+    scenarios can assert it through batch transfers too. [threads] is
+    the scenario's thread count (the signal-handler lane, at index
+    [threads], mutates with the owner's rights). *)
+val split_invariant :
+  threads:int ->
+  'a Lcws_sim_deque.Split_deque.t ->
+  Explore.step ->
+  (unit, string) result
+
 module Mk_split
     (S : Lcws_deque.Split_deque.S
            with type 'a t = 'a Lcws_sim_deque.Split_deque.t) : sig

@@ -444,6 +444,129 @@ let park_wake ~skip ~name ~expect_violation =
         });
   }
 
+(* {2 Batch steal (steal-half) racing the owner's public pops}
+
+   The scheduler-level shape of [steal_once] with [steal_batch > 1]: the
+   owner exposes half of a deep deque, then takes public work back from
+   the bottom while a thief batch-steals from the top, keeps the first
+   task and pushes the extras into its *own* deque — the cross-deque
+   transfer the real scheduler performs. The oracle is exactly-once over
+   both deques; the per-step invariant is the split deque's ownership
+   discipline, which must hold through every intermediate claim of the
+   batch.
+
+   [over_copy] seeds the unsound batch protocol (copy the slots, then
+   claim them all with one CAS advancing [top] by [k]): the owner's
+   plain public pop never touches [age], so a pop landing between the
+   thief's copy and its CAS is double-taken — the counterexample needs
+   one owner pop and two context switches, well inside the bound. The
+   shipped incremental protocol (one CAS per claim, [public_bot]
+   re-read in between) must survive every interleaving. *)
+
+module Split = Lcws_sim_deque.Split_deque
+
+module Split_steal_over_copy = Split.Make_mutant (struct
+  let mutation = { Split.Mutation.none with Split.Mutation.steal_over_copy = true }
+end)
+
+let steal_half ~over_copy ~name ~expect_violation =
+  let steal_many d ~limit ~into ~metrics =
+    if over_copy then Split_steal_over_copy.steal_many d ~limit ~into ~metrics
+    else Split.steal_many d ~limit ~into ~metrics
+  in
+  {
+    E.name;
+    descr =
+      "steal-half batch transfer: owner pop_public_bottom racing a thief's multi-claim \
+       steal_many, extras re-pushed into the thief's deque"
+      ^ if over_copy then " (single-CAS batch claim seeded, on purpose)" else "";
+    expect_violation;
+    preempt = bound;
+    spec =
+      (fun () ->
+        let metrics = Lcws_sync.Metrics.create () in
+        let owner_d =
+          Sim_atomic.with_prefix "w0." (fun () ->
+              Split.create ~capacity:16 ~dummy:0 ~metrics ())
+        in
+        let thief_d =
+          Sim_atomic.with_prefix "w1." (fun () ->
+              Split.create ~capacity:16 ~dummy:0 ~metrics:(Lcws_sync.Metrics.create ()) ())
+        in
+        let pushed = [ 1; 2; 3; 4 ] in
+        List.iter (fun i -> Split.push_bottom owner_d i) pushed;
+        (* Expose everything: [pop_public_bottom]'s plain-take path
+           repairs [bot <- public_bot], so the owner may only call it
+           with an empty private part ([pop_own]'s discipline). Four
+           public tasks give the thief a 2-claim window ([avail/2]). *)
+        for _ = 1 to 4 do
+          ignore (Split.update_public_bottom owner_d ~policy:Lcws_deque.Deque_intf.Expose_one)
+        done;
+        let og = ref [] and tg = ref [] in
+        (* Three owner pops walk down to slot [top+1], inside the
+           thief's 2-slot claim window ([avail/2 = 2]) — the overlap the
+           seeded single-CAS batch double-takes. *)
+        let owner () =
+          for _ = 1 to 3 do
+            match Split.pop_public_bottom owner_d with
+            | Some x -> og := x :: !og
+            | None -> ()
+          done
+        in
+        let thief_m = Lcws_sync.Metrics.create () in
+        let thief () =
+          let into = Array.make 3 0 in
+          match steal_many owner_d ~limit:4 ~into ~metrics:thief_m with
+          | Lcws_deque.Deque_intf.Stolen first, extra ->
+              (* [steal_once]'s shape: run the first task, push the rest
+                 into the thief's own deque oldest-first... *)
+              tg := first :: !tg;
+              for i = 0 to extra - 1 do
+                Split.push_bottom thief_d into.(i)
+              done;
+              (* ...where the thief's later own-pops find them. *)
+              let continue = ref true in
+              while !continue do
+                match Split.pop_bottom thief_d with
+                | Some x -> tg := x :: !tg
+                | None -> continue := false
+              done
+          | (Empty | Abort | Private_work), _ -> ()
+        in
+        let drain d =
+          let out = ref [] in
+          let m = Lcws_sync.Metrics.create () in
+          let continue = ref true in
+          while !continue do
+            match Split.pop_bottom d with
+            | Some x -> out := x :: !out
+            | None -> (
+                match Split.pop_public_bottom d with
+                | Some x -> out := x :: !out
+                | None -> (
+                    match Split.pop_top d ~metrics:m with
+                    | Lcws_deque.Deque_intf.Stolen x -> out := x :: !out
+                    | Lcws_deque.Deque_intf.Abort -> ()
+                    | Lcws_deque.Deque_intf.Empty | Lcws_deque.Deque_intf.Private_work ->
+                        continue := false))
+          done;
+          List.rev !out
+        in
+        let split_inv = Scenarios.split_invariant ~threads:2 owner_d in
+        {
+          E.threads = [| ("owner", owner); ("thief", thief) |];
+          signal = None;
+          invariant = Some split_inv;
+          check =
+            (fun () ->
+              let got = List.rev !og @ List.rev !tg @ drain owner_d @ drain thief_d in
+              let* () = Scenarios.exactly_once ~pushed ~got in
+              (* The thief's claims walk the public window top-down, so
+                 its kept-first + extras arrive oldest-first. *)
+              Scenarios.increasing "thief batch" (List.rev !tg));
+        });
+  }
+
 (* {2 The catalogue} *)
 
 let all =
@@ -454,6 +577,7 @@ let all =
     injector_drain ~blind:false ~name:"sched_injector_drain" ~expect_violation:false;
     shutdown_race ~abort:true ~name:"sched_shutdown_race" ~expect_violation:false;
     park_wake ~skip:false ~name:"sched_park_wake" ~expect_violation:false;
+    steal_half ~over_copy:false ~name:"sched_steal_half" ~expect_violation:false;
   ]
 
 (* Self-test: one seeded kernel mutation per protocol, each caught within
@@ -466,6 +590,7 @@ let mutants =
     injector_drain ~blind:true ~name:"mutant_injector_blind_pop" ~expect_violation:true;
     shutdown_race ~abort:false ~name:"mutant_shutdown_drop_abort" ~expect_violation:true;
     park_wake ~skip:true ~name:"mutant_park_skip_recheck" ~expect_violation:true;
+    steal_half ~over_copy:true ~name:"mutant_steal_over_copy" ~expect_violation:true;
   ]
 
 let find name = List.find_opt (fun (s : E.scenario) -> s.E.name = name) (all @ mutants)

@@ -118,6 +118,63 @@ let steal t ~metrics:m =
   end
   else Empty
 
+(* Batch steal. A single CAS moving [top] forward by [k] would be
+   unsound here: the owner plain-pops any slot [s] with [top < s] at its
+   post-fence read without touching [top], so a k-claim could take a
+   slot the owner already popped (DESIGN.md §3.8 has the two-thread
+   counterexample). Instead every claim beyond the first is its own
+   standard steal CAS — the previous successful CAS is an SC RMW, so it
+   both tells us the exact current [top] and orders the fresh [bottom]
+   load after it, which is the same top-read/fence/bottom-read shape the
+   single-steal proof relies on. The batch saves the per-task steal
+   round and the per-task up-front fence, not the per-task CAS. *)
+let steal_many t ~limit ~into ~metrics:(m : Metrics.t) =
+  m.Metrics.steal_attempts <- m.Metrics.steal_attempts + 1;
+  let tp = A.get t.top in
+  m.fences <- m.fences + 1;
+  let b = A.get t.bottom in
+  let avail = b - tp in
+  if avail <= 0 then (Empty, 0)
+  else begin
+    let want = min (min limit (Array.length into + 1)) (max 1 (avail / 2)) in
+    let first = t.deq.(tp land t.mask) in
+    m.cas_ops <- m.cas_ops + 1;
+    if not (A.compare_and_set t.top tp (tp + 1)) then begin
+      m.cas_failures <- m.cas_failures + 1;
+      m.aborts <- m.aborts + 1;
+      (Abort, 0)
+    end
+    else begin
+      m.steals <- m.steals + 1;
+      let n = ref 0 in
+      let continue = ref (want > 1) in
+      while !continue do
+        (* Slot [tp + 1 + !n]: the CAS above (or the previous loop
+           iteration's) proved [top = tp + 1 + !n] and fenced this
+           [bottom] load after it. *)
+        let s = tp + 1 + !n in
+        let b' = A.get t.bottom in
+        if s >= b' then continue := false
+        else begin
+          let x = t.deq.(s land t.mask) in
+          m.cas_ops <- m.cas_ops + 1;
+          if A.compare_and_set t.top s (s + 1) then begin
+            into.(!n) <- x;
+            incr n;
+            if !n + 1 >= want then continue := false
+          end
+          else begin
+            (* Another thief (or the owner's last-task CAS) moved [top];
+               keep what we have. *)
+            m.cas_failures <- m.cas_failures + 1;
+            continue := false
+          end
+        end
+      done;
+      (Stolen first, !n)
+    end
+  end
+
 let size t =
   let n = A.get t.bottom - A.get t.top in
   if n < 0 then 0 else n
@@ -156,6 +213,8 @@ end) : Deque_intf.DEQUE with type elt = E.t and type t = E.t t = struct
   let pop_public_bottom _ = None
 
   let pop_top = steal
+
+  let steal_many = steal_many
 
   let update_public_bottom _ ~policy:_ = 0
 
@@ -227,6 +286,8 @@ end) : S with type 'a t = 'a t = struct
   let pop_bottom = pop_bottom
 
   let steal t ~metrics = steal_mutant M.mutation t ~metrics
+
+  let steal_many = steal_many
 
   let size = size
 

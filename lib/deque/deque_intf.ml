@@ -125,6 +125,27 @@ module type DEQUE = sig
   (** Thief: steal the top-most public task. *)
   val pop_top : t -> metrics:Lcws_sync.Metrics.t -> elt steal_result
 
+  (** Thief: batch steal (steal-half). Claims up to
+      [max 1 (public_size / 2)] tasks — further capped by [limit] and by
+      [Array.length into + 1] — in one steal episode. The first claimed
+      task is returned through the [steal_result]; the [n] additional
+      tasks are written to [into.(0 .. n-1)] in victim order (oldest
+      first). [n = 0] whenever the result is not [Stolen], and
+      [steal_many d ~limit:1 ~into] claims exactly what [pop_top d]
+      would.
+
+      Concurrency note: for the concurrent deques each claim beyond the
+      first revalidates against the owner with its own CAS — a single
+      CAS moving [top] forward by [k] is unsound against the owner's
+      plain bottom pops (see DESIGN.md §3.8; the seeded
+      [steal_over_copy] mutant is exactly that bug). The batch still
+      saves the per-task steal round: one victim probe, one fence (and
+      zero extra fences on the split deque), one doorbell. The
+      sequential-specification deques (Lace, private) transfer the whole
+      batch in one episode natively. *)
+  val steal_many :
+    t -> limit:int -> into:elt array -> metrics:Lcws_sync.Metrics.t -> elt steal_result * int
+
   (** Owner (or its signal handler): expose private work; returns the
       number of tasks made public (0 for fully concurrent deques). *)
   val update_public_bottom : t -> policy:exposure_policy -> int
@@ -186,6 +207,12 @@ module type SPLIT = sig
   (** Thief: steal the top-most public task; one CAS on success/abort. *)
   val pop_top : 'a t -> metrics:Lcws_sync.Metrics.t -> 'a steal_result
 
+  (** Thief: batch steal of up to [max 1 (public/2)] tasks, one age CAS
+      per claimed task (no fences); first task in the result, the rest in
+      [into]. See {!DEQUE.steal_many} for the full contract. *)
+  val steal_many :
+    'a t -> limit:int -> into:'a array -> metrics:Lcws_sync.Metrics.t -> 'a steal_result * int
+
   (** Owner (or its signal handler): expose private work per [policy];
       returns the number of tasks made public. *)
   val update_public_bottom : 'a t -> policy:exposure_policy -> int
@@ -223,6 +250,13 @@ module type CHASE_LEV = sig
 
   val steal : 'a t -> metrics:Lcws_sync.Metrics.t -> 'a steal_result
 
+  (** Thief: batch steal of up to [max 1 (size/2)] tasks. One fence up
+      front, then one CAS per claimed task, each revalidated against
+      [bottom]; first task in the result, the rest in [into]. See
+      {!DEQUE.steal_many} for the full contract. *)
+  val steal_many :
+    'a t -> limit:int -> into:'a array -> metrics:Lcws_sync.Metrics.t -> 'a steal_result * int
+
   val size : 'a t -> int
 
   val is_empty : 'a t -> bool
@@ -252,6 +286,12 @@ module type LACE = sig
   val pop_bottom : 'a t -> 'a option * lace_cost
 
   val pop_top : 'a t -> 'a steal_result * lace_cost
+
+  (** Thief: batch steal of up to [max 1 (public/2)] tasks in one
+      episode — the whole batch costs a single CAS in the sequential
+      specification (Lace's group-transfer idiom). First task in the
+      result, the rest in [into]. *)
+  val steal_many : 'a t -> limit:int -> into:'a array -> ('a steal_result * int) * lace_cost
 
   (** Owner: answer a pending work request by exposing one task. *)
   val expose : 'a t -> int * lace_cost
@@ -285,6 +325,12 @@ module type PRIVATE = sig
 
   (** Owner-side removal from the top (answers a transfer request). *)
   val pop_top : 'a t -> 'a option
+
+  (** Owner-side batch removal from the top: up to [max 1 (size/2)]
+      tasks in one transfer (explicit-transfer load balancing moves the
+      batch in one message). First task in the result, the rest in
+      [into]. *)
+  val steal_many : 'a t -> limit:int -> into:'a array -> 'a option * int
 
   val size : 'a t -> int
 

@@ -77,6 +77,24 @@ let pop_top t =
   else if A.read t.bot > A.read t.split then (Private_work, no_cost)
   else (Empty, no_cost)
 
+(* Batch steal: the sequential specification transfers the whole batch
+   in one episode for a single CAS — Lace's group-transfer idiom, the
+   cost profile its expose-half split is designed for. *)
+let steal_many t ~limit ~into =
+  let tp = A.read t.top in
+  let avail = A.read t.split - tp in
+  if avail > 0 then begin
+    let want = min (min limit (Array.length into + 1)) (max 1 (avail / 2)) in
+    let first = t.deq.(tp) in
+    for i = 1 to want - 1 do
+      into.(i - 1) <- t.deq.(tp + i)
+    done;
+    A.write t.top (tp + want);
+    ((Stolen first, want - 1), { fences = 0; cas = 1 })
+  end
+  else if A.read t.bot > A.read t.split then ((Private_work, 0), no_cost)
+  else ((Empty, 0), no_cost)
+
 let expose t =
   if A.read t.bot > A.read t.split then begin
     A.write t.split (A.read t.split + 1);
@@ -155,6 +173,17 @@ end) : Deque_intf.DEQUE with type elt = E.t = struct
     | Deque_intf.Empty | Deque_intf.Abort -> ());
     r
 
+  let steal_many t ~limit ~into ~metrics:(m : Metrics.t) =
+    m.Metrics.steal_attempts <- m.Metrics.steal_attempts + 1;
+    let (r, n), c = steal_many t.d ~limit ~into in
+    charge m c;
+    (match r with
+    | Deque_intf.Stolen _ -> m.Metrics.steals <- m.Metrics.steals + 1
+    | Deque_intf.Private_work ->
+        m.Metrics.private_work_hits <- m.Metrics.private_work_hits + 1
+    | Deque_intf.Empty | Deque_intf.Abort -> ());
+    (r, n)
+
   let update_public_bottom t ~policy =
     let r = private_size t.d in
     let want =
@@ -231,6 +260,8 @@ end) : S with type 'a t = 'a t = struct
   let pop_bottom = pop_bottom
 
   let pop_top = pop_top
+
+  let steal_many = steal_many
 
   let expose t = expose_mutant M.mutation t
 

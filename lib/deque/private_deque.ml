@@ -58,6 +58,26 @@ let pop_top t =
     Some x
   end
 
+(* Owner-side batch transfer: up to half the deque moves in one
+   explicit-transfer message (no synchronization at all, like every
+   other operation here). *)
+let steal_many t ~limit ~into =
+  let avail = size t in
+  if avail = 0 then (None, 0)
+  else begin
+    let want = min (min limit (Array.length into + 1)) (max 1 (avail / 2)) in
+    let tp = A.read t.top in
+    let first = t.deq.(tp land t.mask) in
+    t.deq.(tp land t.mask) <- t.dummy;
+    for i = 1 to want - 1 do
+      let s = (tp + i) land t.mask in
+      into.(i - 1) <- t.deq.(s);
+      t.deq.(s) <- t.dummy
+    done;
+    A.write t.top (tp + want);
+    (Some first, want - 1)
+  end
+
 let clear t =
   A.write t.top 0;
   A.write t.bot 0;
@@ -106,6 +126,14 @@ end) : Deque_intf.DEQUE with type elt = E.t = struct
         m.Metrics.steals <- m.Metrics.steals + 1;
         Deque_intf.Stolen x
     | None -> Deque_intf.Empty
+
+  let steal_many t ~limit ~into ~metrics:(m : Metrics.t) =
+    m.Metrics.steal_attempts <- m.Metrics.steal_attempts + 1;
+    match steal_many t.d ~limit ~into with
+    | Some x, n ->
+        m.Metrics.steals <- m.Metrics.steals + 1;
+        (Deque_intf.Stolen x, n)
+    | None, _ -> (Deque_intf.Empty, 0)
 
   let update_public_bottom _ ~policy:_ = 0
 
@@ -167,6 +195,8 @@ end) : S with type 'a t = 'a t = struct
   let pop_bottom t = pop_bottom_mutant M.mutation t
 
   let pop_top = pop_top
+
+  let steal_many = steal_many
 
   let size = size
 

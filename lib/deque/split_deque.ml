@@ -55,9 +55,15 @@ module Mutation = struct
     drop_tag_bump : bool;
         (** do not bump the ABA tag when the owner resets the deque in
             the last-task race *)
+    steal_over_copy : bool;
+        (** batch steal claims the whole batch with one CAS advancing
+            [top] by [k] after copying the slots — the tempting native
+            protocol that double-takes a slot the owner plain-popped
+            between the copy and the CAS (DESIGN.md §3.8) *)
   }
 
-  let none = { drop_fence = false; drop_bot_repair = false; drop_tag_bump = false }
+  let none =
+    { drop_fence = false; drop_bot_repair = false; drop_tag_bump = false; steal_over_copy = false }
 end
 
 type 'a t = {
@@ -210,6 +216,110 @@ let pop_top t ~metrics:m =
   end
   else Empty
 
+(* Batch steal (steal-half). The first claim is exactly [pop_top]; every
+   further claim revalidates [public_bot] and advances [top] with its
+   own age CAS. A single CAS moving [top] forward by [k] would be
+   unsound: the owner's plain public pops (the [pb > top] branch of
+   [pop_public_bottom]) never touch [age], so a k-claim could take a
+   slot the owner already popped between the thief's reads and its CAS —
+   see DESIGN.md §3.8 and the seeded [steal_over_copy] mutant below.
+   The incremental claims are safe because each one re-reads
+   [public_bot] after the previous SC CAS: if the owner plain-took slot
+   [s], its [public_bot <- s] store precedes its [age] read, so either
+   our [public_bot] re-read observes the decrement (we stop), or our
+   claim CAS lands before the owner's [age] read and the owner's own
+   [pb > top] / last-task checks push it into the CAS race branch.
+   Thieves pay no fences here at all — one CAS per claimed task, and one
+   steal round for the whole batch. *)
+let steal_many t ~limit ~into ~metrics:(m : Metrics.t) =
+  m.Metrics.steal_attempts <- m.Metrics.steal_attempts + 1;
+  let old_age = A.get t.age in
+  let top = Age.top old_age in
+  let pb = A.get t.public_bot in
+  let avail = pb - top in
+  if avail > 0 then begin
+    let want = min (min limit (Array.length into + 1)) (max 1 (avail / 2)) in
+    let first = t.deq.(top) in
+    let new_age = Age.pack ~tag:(Age.tag old_age) ~top:(top + 1) in
+    m.cas_ops <- m.cas_ops + 1;
+    if A.compare_and_set t.age old_age new_age then begin
+      m.steals <- m.steals + 1;
+      let n = ref 0 in
+      let age = ref new_age in
+      let continue = ref (want > 1) in
+      while !continue do
+        let s = top + 1 + !n in
+        let pb' = A.get t.public_bot in
+        if s >= pb' then continue := false
+        else begin
+          let x = t.deq.(s) in
+          let next = Age.pack ~tag:(Age.tag !age) ~top:(s + 1) in
+          m.cas_ops <- m.cas_ops + 1;
+          if A.compare_and_set t.age !age next then begin
+            into.(!n) <- x;
+            incr n;
+            age := next;
+            if !n + 1 >= want then continue := false
+          end
+          else begin
+            (* Owner's last-task race or another thief; keep what we
+               have. *)
+            m.cas_failures <- m.cas_failures + 1;
+            continue := false
+          end
+        end
+      done;
+      (Stolen first, !n)
+    end
+    else begin
+      m.cas_failures <- m.cas_failures + 1;
+      m.aborts <- m.aborts + 1;
+      (Abort, 0)
+    end
+  end
+  else if A.read t.bot > pb then begin
+    m.private_work_hits <- m.private_work_hits + 1;
+    (Private_work, 0)
+  end
+  else (Empty, 0)
+
+(* The seeded batch-steal bug: copy the slots up front, then claim them
+   all with one CAS advancing [top] by [want]. Nothing revalidates
+   [public_bot] between the copy and the claim, so an owner plain pop of
+   a slot in [top+1, top+want) in that window is double-taken. *)
+let steal_many_mutant (mutation : Mutation.t) t ~limit ~into ~metrics:(m : Metrics.t) =
+  if not mutation.Mutation.steal_over_copy then steal_many t ~limit ~into ~metrics:m
+  else begin
+    m.Metrics.steal_attempts <- m.Metrics.steal_attempts + 1;
+    let old_age = A.get t.age in
+    let top = Age.top old_age in
+    let pb = A.get t.public_bot in
+    let avail = pb - top in
+    if avail > 0 then begin
+      let want = min (min limit (Array.length into + 1)) (max 1 (avail / 2)) in
+      let first = t.deq.(top) in
+      for i = 1 to want - 1 do
+        into.(i - 1) <- t.deq.(top + i)
+      done;
+      let new_age = Age.pack ~tag:(Age.tag old_age) ~top:(top + want) in
+      m.cas_ops <- m.cas_ops + 1;
+      if A.compare_and_set t.age old_age new_age then begin
+        m.steals <- m.steals + 1;
+        (Stolen first, want - 1)
+      end
+      else begin
+        m.cas_failures <- m.cas_failures + 1;
+        m.aborts <- m.aborts + 1;
+        (Abort, 0)
+      end
+    end
+    else if A.read t.bot > pb then begin
+      m.private_work_hits <- m.private_work_hits + 1;
+      (Private_work, 0)
+    end
+    else (Empty, 0)
+  end
+
 let update_public_bottom t ~policy =
   let pb = A.get t.public_bot in
   let r = A.read t.bot - pb in
@@ -280,6 +390,8 @@ end) : Deque_intf.DEQUE with type elt = E.t and type t = E.t t = struct
 
   let pop_top = pop_top
 
+  let steal_many = steal_many
+
   let update_public_bottom = update_public_bottom
 
   let has_two_tasks = has_two_tasks
@@ -323,6 +435,8 @@ end) : S with type 'a t = 'a t = struct
 
   let pop_top = pop_top
 
+  let steal_many t ~limit ~into ~metrics = steal_many_mutant M.mutation t ~limit ~into ~metrics
+
   let update_public_bottom = update_public_bottom
 
   let has_two_tasks = has_two_tasks
@@ -344,5 +458,7 @@ end) : S with type 'a t = 'a t = struct
     include Deque (E)
 
     let pop_public_bottom t = pop_public_bottom_mutant M.mutation t
+
+    let steal_many t ~limit ~into ~metrics = steal_many_mutant M.mutation t ~limit ~into ~metrics
   end
 end

@@ -52,6 +52,10 @@ module Mutation : sig
     drop_tag_bump : bool;
         (** do not bump the ABA tag when the owner resets the deque in
             the last-task race *)
+    steal_over_copy : bool;
+        (** batch steal claims its whole batch with one CAS advancing
+            [top] by [k] after copying the slots — unsound against the
+            owner's plain public pops (DESIGN.md §3.8) *)
   }
 
   val none : t

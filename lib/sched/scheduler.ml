@@ -2,6 +2,7 @@ module Metrics = Lcws_sync.Metrics
 module Xoshiro = Lcws_sync.Xoshiro
 module Backoff = Lcws_sync.Backoff
 module Padding = Lcws_sync.Padding
+module Victim_policy = Lcws_sync.Victim_policy
 module Trace = Lcws_trace.Trace
 module Fault = Lcws_fault.Fault
 open Lcws_deque.Deque_intf
@@ -145,6 +146,14 @@ type worker = {
   targeted : bool Atomic.t;
   signal_pending : bool Atomic.t;
   rng : Xoshiro.t;
+  vsel : Victim_policy.t;
+      (* victim-selection state (policy, topology distances, failure
+         streak, affinity hint); owns every draw from [rng] on the steal
+         path *)
+  steal_buf : task array;
+      (* scratch for [steal_many]'s extra tasks (beyond the one the
+         thief keeps); length [steal_batch - 1], reused on every steal
+         so the batch path allocates nothing *)
   backoff : Backoff.t;
   mutable frames : frame array; (* the worker's LIFO frame pool... *)
   mutable frame_top : int; (* ...and its stack pointer *)
@@ -171,6 +180,9 @@ type injected = { ij_run : task; ij_abort : unit -> unit }
 type pool = {
   pvariant : variant;
   nw : int;
+  steal_limit : int;
+      (* max tasks one steal episode may migrate ([Pool.create]'s
+         [steal_batch]; 1 = classical steal-one) *)
   workers : worker array;
   mutable domains : unit Domain.t list;
   job_active : bool Atomic.t;
@@ -569,36 +581,66 @@ let notify ?(force = false) pool thief victim =
    search (-1 when tracing is off), for the steal-latency histogram. *)
 let steal_once pool w ~search_start =
   if pool.nw < 2 then None
-  else if pool.fault_on && Fault.steal_veto pool.fault ~thief:w.id ~metrics:w.metrics then begin
-    (* A spurious failure, as if the top CAS lost a race. Vetoed before
-       victim selection and before the deque counts a [steal_attempt],
-       so the metrics balance checks stay exact. *)
-    record_fault pool w Fault.code_steal_veto;
-    None
-  end
   else begin
-    let victim_id = Xoshiro.other_than w.rng ~bound:pool.nw ~self:w.id in
-    let v = pool.workers.(victim_id) in
-    let (Instance ((module D), d)) = v.deque in
-    let tr = pool.trace in
-    if Trace.enabled tr then
-      Trace.record_steal_attempt tr ~thief:w.id ~victim:victim_id ~time:(Trace.now tr);
-    match D.pop_top d ~metrics:w.metrics with
-    | Stolen t ->
-        (* The shared task is gone; future thieves may notify again. *)
-        reset_targeted v;
-        if Trace.enabled tr then
-          Trace.record_steal_ok tr ~thief:w.id ~victim:victim_id ~time:(Trace.now tr)
-            ~search_start;
-        Some t
-    | Private_work ->
-        notify pool w v;
-        None
-    | Empty ->
-        if Trace.enabled tr then
-          Trace.record_steal_empty tr ~thief:w.id ~victim:victim_id ~time:(Trace.now tr);
-        None
-    | Abort -> None
+    (* The victim is chosen *before* the fault veto rolls, so a vetoed
+       probe consumes exactly the policy draw the real probe would have:
+       replays with and without the fault layer observe the same probe
+       sequence (Victim_policy's determinism contract). *)
+    let victim_id = Victim_policy.next w.vsel in
+    if pool.fault_on && Fault.steal_veto pool.fault ~thief:w.id ~metrics:w.metrics then begin
+      (* A spurious failure, as if the top CAS lost a race. Vetoed
+         before the deque counts a [steal_attempt], so the metrics
+         balance checks stay exact; the policy records a failed probe so
+         its escalation clock keeps ticking. *)
+      Victim_policy.fail w.vsel;
+      record_fault pool w Fault.code_steal_veto;
+      None
+    end
+    else begin
+      let v = pool.workers.(victim_id) in
+      let (Instance ((module D), d)) = v.deque in
+      let tr = pool.trace in
+      if Trace.enabled tr then
+        Trace.record_steal_attempt tr ~thief:w.id ~victim:victim_id ~time:(Trace.now tr);
+      match D.steal_many d ~limit:pool.steal_limit ~into:w.steal_buf ~metrics:w.metrics with
+      | Stolen t, extra ->
+          (* The shared work is gone; future thieves may notify again. *)
+          reset_targeted v;
+          Victim_policy.success w.vsel ~victim:victim_id;
+          let m = w.metrics in
+          m.tasks_migrated <- m.tasks_migrated + 1 + extra;
+          if Victim_policy.is_near w.vsel ~victim:victim_id then
+            m.near_steals <- m.near_steals + 1
+          else m.far_steals <- m.far_steals + 1;
+          if extra > 0 then begin
+            m.steals_batched <- m.steals_batched + 1;
+            (* Bulk-publish the rest of the batch through the ordinary
+               push protocol (exposure flags, doorbells), oldest first
+               so relative victim order survives in our deque. *)
+            for i = 0 to extra - 1 do
+              push_task pool w w.steal_buf.(i);
+              w.steal_buf.(i) <- dummy_task
+            done
+          end;
+          if Trace.enabled tr then begin
+            let time = Trace.now tr in
+            Trace.record_steal_ok tr ~thief:w.id ~victim:victim_id ~time ~search_start;
+            if extra > 0 then Trace.record_steal_batch tr ~thief:w.id ~time ~tasks:(1 + extra)
+          end;
+          Some t
+      | Private_work, _ ->
+          notify pool w v;
+          Victim_policy.fail w.vsel;
+          None
+      | Empty, _ ->
+          Victim_policy.fail w.vsel;
+          if Trace.enabled tr then
+            Trace.record_steal_empty tr ~thief:w.id ~victim:victim_id ~time:(Trace.now tr);
+          None
+      | Abort, _ ->
+          Victim_policy.fail w.vsel;
+          None
+    end
   end
 
 (* Enqueue an external entry — or, if the injector is already closed
@@ -689,19 +731,36 @@ let park_recheck pool w ~done_ =
               let (Instance ((module D), d)) = v.deque in
               if traced then
                 Trace.record_steal_attempt tr ~thief:w.id ~victim:v.id ~time:(Trace.now tr);
-              match D.pop_top d ~metrics:w.metrics with
-              | Stolen t ->
+              match D.steal_many d ~limit:pool.steal_limit ~into:w.steal_buf ~metrics:w.metrics
+              with
+              | Stolen t, extra ->
                   reset_targeted v;
-                  if traced then
-                    Trace.record_steal_ok tr ~thief:w.id ~victim:v.id ~time:(Trace.now tr)
-                      ~search_start:(-1);
+                  let m = w.metrics in
+                  m.tasks_migrated <- m.tasks_migrated + 1 + extra;
+                  if Victim_policy.is_near w.vsel ~victim:v.id then
+                    m.near_steals <- m.near_steals + 1
+                  else m.far_steals <- m.far_steals + 1;
+                  if extra > 0 then m.steals_batched <- m.steals_batched + 1;
+                  if traced then begin
+                    let time = Trace.now tr in
+                    Trace.record_steal_ok tr ~thief:w.id ~victim:v.id ~time ~search_start:(-1);
+                    if extra > 0 then
+                      Trace.record_steal_batch tr ~thief:w.id ~time ~tasks:(1 + extra)
+                  end;
+                  (* The kept task is acquired, not run, here: it goes
+                     through [push_task] like the extras so the caller's
+                     [pop_own] finds everything on the own deque. *)
                   push_task pool w t;
+                  for i = 0 to extra - 1 do
+                    push_task pool w w.steal_buf.(i);
+                    w.steal_buf.(i) <- dummy_task
+                  done;
                   found := true
-              | Private_work -> notify ~force:true pool w v
-              | Empty ->
+              | Private_work, _ -> notify ~force:true pool w v
+              | Empty, _ ->
                   if traced then
                     Trace.record_steal_empty tr ~thief:w.id ~victim:v.id ~time:(Trace.now tr)
-              | Abort -> ()
+              | Abort, _ -> ()
             end);
            incr i
          done;
@@ -1362,13 +1421,11 @@ end
 module Pool = struct
   type t = pool
 
-  let create ?(seed = 42L) ?(deque_capacity = 65536) ?(steal_sleep_us = 50) ?deque
-      ?(trace = Trace.null) ?fault:fault_plan ~num_workers ~variant () =
+  let create ?(seed = 42L) ?(deque_capacity = 65536) ?deque ?(trace = Trace.null)
+      ?fault:fault_plan ?(steal_policy = Victim_policy.Near_first) ?topology
+      ?(steal_batch = 8) ~num_workers ~variant () =
     if num_workers < 1 then invalid_arg "Pool.create: num_workers must be >= 1";
-    (* Accepted for compatibility; idle workers now park in the pool's
-       lot instead of sleeping a fixed quantum, so there is no sleep to
-       tune. *)
-    ignore (steal_sleep_us : int);
+    if steal_batch < 1 then invalid_arg "Pool.create: steal_batch must be >= 1";
     let fault =
       match fault_plan with None -> Fault.none | Some p -> Fault.create p ~num_workers
     in
@@ -1383,6 +1440,7 @@ module Pool = struct
     let root_rng = Xoshiro.create seed in
     let make_worker id =
       let metrics = Metrics.create () in
+      let rng = Xoshiro.split root_rng id in
       {
         id;
         metrics;
@@ -1392,7 +1450,11 @@ module Pool = struct
            adjacent worker record's fields) lives on. *)
         targeted = Padding.atomic false;
         signal_pending = Padding.atomic false;
-        rng = Xoshiro.split root_rng id;
+        rng;
+        vsel =
+          Victim_policy.create ?topology ~policy:steal_policy ~rng ~self:id ~nw:num_workers
+            ();
+        steal_buf = Array.make (steal_batch - 1) dummy_task;
         backoff = Backoff.create ~min_wait:1 ~max_wait:64 ~metrics ();
         frames = Array.init initial_frames (fun _ -> make_frame ());
         frame_top = 0;
@@ -1404,6 +1466,7 @@ module Pool = struct
       {
         pvariant = variant;
         nw = num_workers;
+        steal_limit = steal_batch;
         workers = Array.init num_workers make_worker;
         domains = [];
         job_active = Atomic.make false;

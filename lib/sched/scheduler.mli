@@ -193,15 +193,29 @@ module Pool : sig
 
       @param seed deterministic seed for victim selection (default 42).
       @param deque_capacity per-worker deque slots (default 65536).
-      @param steal_sleep_us accepted for compatibility and ignored:
-        workers no longer sleep a fixed quantum when their backoff
-        saturates — they park on the pool's doorbell
-        ({!Lcws_sync.Parking_lot}) and are woken by the event that
-        publishes their next task (a push, an exposure, an external
-        submission, a completion). A quiescent pool burns no CPU and
-        wakes at condvar latency instead of a sleep quantum.
       @param deque deque implementation for every worker (default:
         {!default_deque_impl} of the variant).
+      @param steal_policy victim-selection policy
+        ({!Lcws_sync.Victim_policy.policy}, default [Near_first]). On
+        the default flat topology every victim is at the same distance,
+        so [Near_first] degenerates to uniform probing plus the
+        last-successful-victim affinity re-probe; pass [Uniform] for
+        the exact classical stream (byte-compatible with the scheduler
+        before this knob existed) when running A/B comparisons.
+      @param topology square distance matrix: [topology.(i).(j)] is the
+        migration-cost multiplier of worker [i] stealing from worker
+        [j]. Zero exactly on the diagonal, non-negative elsewhere
+        (validated). Defaults to {!Lcws_sync.Victim_policy.flat};
+        {!Lcws_sync.Victim_policy.clustered} builds the multi-socket
+        shape. Drives [Near_first] probing and the
+        [near_steals]/[far_steals] metrics.
+      @param steal_batch upper bound on tasks migrated per steal
+        episode (default 8, must be >= 1). A thief's [steal_many] takes
+        at most [min steal_batch (ceil (exposed / 2))] tasks — the
+        classical steal-half rule capped by the batch knob. [1] gives
+        classical steal-one for A/B runs. The first task is run (or
+        kept) by the thief; the rest are pushed to its own deque
+        oldest-first, so program order is preserved for later thieves.
       @param trace event sink; pass a {!Lcws_trace.Trace.create}d tracer
         to record scheduler events. Defaults to {!Lcws_trace.Trace.null},
         which keeps every record call a single predictable branch.
@@ -216,10 +230,12 @@ module Pool : sig
   val create :
     ?seed:int64 ->
     ?deque_capacity:int ->
-    ?steal_sleep_us:int ->
     ?deque:deque_impl ->
     ?trace:Lcws_trace.Trace.t ->
     ?fault:Lcws_fault.Fault.plan ->
+    ?steal_policy:Lcws_sync.Victim_policy.policy ->
+    ?topology:int array array ->
+    ?steal_batch:int ->
     num_workers:int ->
     variant:variant ->
     unit ->

@@ -12,6 +12,8 @@ type t = {
   signal_deliver_latency : int;
   signal_handle_cost : int;
   task_overhead : int;
+  task_working_set : int;
+  cache_line_cost : int;
 }
 
 let intel12 =
@@ -29,6 +31,8 @@ let intel12 =
     signal_deliver_latency = 1300;
     signal_handle_cost = 350;
     task_overhead = 12;
+    task_working_set = 8;
+    cache_line_cost = 28;
   }
 
 let amd32 =
@@ -47,6 +51,9 @@ let amd32 =
     signal_deliver_latency = 1700;
     signal_handle_cost = 450;
     task_overhead = 14;
+    (* Cross-die HyperTransport hops make remote lines pricier. *)
+    task_working_set = 8;
+    cache_line_cost = 40;
   }
 
 let intel16 =
@@ -64,6 +71,8 @@ let intel16 =
     signal_deliver_latency = 1100;
     signal_handle_cost = 320;
     task_overhead = 11;
+    task_working_set = 8;
+    cache_line_cost = 24;
   }
 
 let all = [ intel12; amd32; intel16 ]
@@ -74,3 +83,5 @@ let find name =
 let processor_sweep m =
   let rec go p acc = if p >= m.cores then List.rev (m.cores :: acc) else go (p * 2) (p :: acc) in
   go 1 []
+
+let migration_cost m ~tasks ~distance = tasks * m.task_working_set * m.cache_line_cost * distance

@@ -24,6 +24,10 @@ type t = {
   signal_deliver_latency : int;  (** OS delivery delay before the handler runs *)
   signal_handle_cost : int;  (** handler prologue/epilogue on the victim *)
   task_overhead : int;  (** per-task scheduling bookkeeping *)
+  task_working_set : int;  (** cache lines a migrated task drags with it *)
+  cache_line_cost : int;
+      (** cycles to pull one of those lines from a victim at topology
+          distance 1; scaled linearly by the distance matrix entry *)
 }
 
 (** Table 1, row 1: 2× Intel Xeon E5-2620 v2, 12 cores / 24 threads. *)
@@ -42,3 +46,8 @@ val find : string -> t option
 (** Worker counts swept for this machine, doubling up to [cores]
     (matching the paper's x-axes, e.g. 1..32 for AMD32). *)
 val processor_sweep : t -> int list
+
+(** Modeled cycles a thief spends faulting [tasks] migrated tasks'
+    working sets across a topology [distance]:
+    [tasks * task_working_set * cache_line_cost * distance]. *)
+val migration_cost : t -> tasks:int -> distance:int -> int

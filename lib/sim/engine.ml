@@ -1,4 +1,5 @@
 module Xoshiro = Lcws_sync.Xoshiro
+module Victim_policy = Lcws_sync.Victim_policy
 module Pdq = Lcws_deque.Private_deque
 module Trace = Lcws_trace.Trace
 
@@ -39,6 +40,11 @@ type stats = {
   signals_handled : int;
   tasks : int;
   idle_cycles : int;
+  tasks_migrated : int;
+  steals_batched : int;
+  near_steals : int;
+  far_steals : int;
+  cache_miss_cost : int;
 }
 
 let exposed_not_stolen s = max 0 (s.exposed - s.steals)
@@ -66,7 +72,9 @@ type worker = {
           real engine's work-search loop — idle WS workers must not be
           charged a pop fence per steal round) *)
   mutable search_start : int;  (** virtual time hunting began, -1 if not *)
+  mutable req_victim : int;  (** Private_deques: victim of the outstanding request *)
   rng : Xoshiro.t;
+  vsel : Victim_policy.t;
 }
 
 (* Acar et al.'s request/response cells: a victim always answers, either
@@ -81,6 +89,7 @@ type sim = {
   p : int;
   workers : worker array;
   quantum : int;
+  steal_limit : int;  (** max tasks per steal episode (steal-half cap) *)
   (* global counters *)
   mutable fences : int;
   mutable cas : int;
@@ -92,6 +101,11 @@ type sim = {
   mutable signals_handled : int;
   mutable tasks : int;
   mutable idle_cycles : int;
+  mutable tasks_migrated : int;
+  mutable steals_batched : int;
+  mutable near_steals : int;
+  mutable far_steals : int;
+  mutable cache_miss_cost : int;
   mutable work_done : int;
   trace : Trace.t;  (** event sink; timestamps are virtual worker clocks *)
 }
@@ -255,23 +269,65 @@ let pop_own sim w =
         None
       end
 
+(* A steal episode moved [tasks] tasks from [v] to [w]: charge the
+   distance-scaled cache misses of dragging their working sets over,
+   and keep the locality metrics. *)
+let account_migration sim w ~victim ~tasks =
+  let distance = Victim_policy.distance w.vsel ~victim in
+  let miss = Cost_model.migration_cost sim.machine ~tasks ~distance in
+  w.time <- w.time + miss;
+  sim.cache_miss_cost <- sim.cache_miss_cost + miss;
+  sim.tasks_migrated <- sim.tasks_migrated + tasks;
+  if Victim_policy.is_near w.vsel ~victim then sim.near_steals <- sim.near_steals + 1
+  else sim.far_steals <- sim.far_steals + 1;
+  if tasks > 1 then begin
+    sim.steals_batched <- sim.steals_batched + 1;
+    if Trace.enabled sim.trace then
+      Trace.record_steal_batch sim.trace ~thief:w.id ~time:w.time ~tasks
+  end;
+  Victim_policy.success w.vsel ~victim
+
+(* Claim up to [extra] additional tasks from [v]'s public prefix after a
+   first successful claim — each claim is one more (always-successful in
+   the simulator) CAS, mirroring the incremental batch protocol of the
+   real deques — and push them into the thief's own deque. Returns the
+   number actually taken. *)
+let claim_extras sim w v ~extra =
+  let n = ref 0 in
+  let continue = ref true in
+  while !continue && !n < extra && Pdq.size v.dq > 0 do
+    match Pdq.pop_top v.dq with
+    | None -> continue := false
+    | Some t ->
+        w.time <- w.time + sim.machine.cas_cost;
+        sim.cas <- sim.cas + 1;
+        push_task sim w t;
+        incr n
+  done;
+  !n
+
 (* One steal attempt; returns the stolen task if any. *)
 let try_steal sim w =
   (match sim.policy, w.granted with
   | Private_deques, Granted t ->
       w.granted <- No_grant;
       w.requested <- false;
+      sim.steals <- sim.steals + 1;
+      if w.req_victim >= 0 then account_migration sim w ~victim:w.req_victim ~tasks:1;
+      w.req_victim <- -1;
       Some t
   | Private_deques, Denied ->
       w.granted <- No_grant;
       w.requested <- false;
+      w.req_victim <- -1;
+      Victim_policy.fail w.vsel;
       None
   | Private_deques, No_grant when w.requested ->
       (* Wait for the response; the idle pause is charged by [acquire]. *)
       None
   | _, _ when sim.p < 2 -> None
   | _, _ ->
-  let v = sim.workers.(Xoshiro.other_than w.rng ~bound:sim.p ~self:w.id) in
+  let v = sim.workers.(Victim_policy.next w.vsel) in
   w.time <- w.time + sim.machine.steal_round_cost;
   sim.steal_attempts <- sim.steal_attempts + 1;
   if Trace.enabled sim.trace then
@@ -279,22 +335,30 @@ let try_steal sim w =
   match sim.policy with
   | Ws ->
       if Pdq.size v.dq > 0 then begin
+        let avail = Pdq.size v.dq in
+        let want = min sim.steal_limit (max 1 (avail / 2)) in
         w.time <- w.time + sim.machine.fence_cost + sim.machine.cas_cost;
         sim.fences <- sim.fences + 1;
         sim.cas <- sim.cas + 1;
         let r = Pdq.pop_top v.dq in
-        v.public_count <- Pdq.size v.dq;
-        if r <> None then begin
-          sim.steals <- sim.steals + 1;
-          if Trace.enabled sim.trace then
-            Trace.record_steal_ok sim.trace ~thief:w.id ~victim:v.id ~time:w.time
-              ~search_start:w.search_start
-        end;
+        (match r with
+        | Some _ ->
+            sim.steals <- sim.steals + 1;
+            let extra = claim_extras sim w v ~extra:(want - 1) in
+            v.public_count <- Pdq.size v.dq;
+            account_migration sim w ~victim:v.id ~tasks:(1 + extra);
+            if Trace.enabled sim.trace then
+              Trace.record_steal_ok sim.trace ~thief:w.id ~victim:v.id ~time:w.time
+                ~search_start:w.search_start
+        | None ->
+            v.public_count <- Pdq.size v.dq;
+            Victim_policy.fail w.vsel);
         r
       end
       else begin
         w.time <- w.time + sim.machine.fence_cost;
         sim.fences <- sim.fences + 1;
+        Victim_policy.fail w.vsel;
         if Trace.enabled sim.trace then
           Trace.record_steal_empty sim.trace ~thief:w.id ~victim:v.id ~time:w.time;
         None
@@ -303,16 +367,24 @@ let try_steal sim w =
       if Pdq.size v.dq > 0 && v.steal_request < 0 then begin
         v.steal_request <- w.id;
         w.requested <- true;
+        w.req_victim <- v.id;
         w.time <- w.time + sim.machine.plain_op_cost
-      end;
+      end
+      else Victim_policy.fail w.vsel;
       None
   | Uslcws | Signal | Cons | Half | Lace ->
       if v.public_count > 0 then begin
+        let avail = v.public_count in
+        let want = min sim.steal_limit (max 1 (avail / 2)) in
         w.time <- w.time + sim.machine.cas_cost;
         sim.cas <- sim.cas + 1;
         v.public_count <- v.public_count - 1;
         let r = Pdq.pop_top v.dq in
         sim.steals <- sim.steals + 1;
+        let extra = min (want - 1) v.public_count in
+        let taken = claim_extras sim w v ~extra in
+        v.public_count <- v.public_count - taken;
+        account_migration sim w ~victim:v.id ~tasks:(1 + taken);
         if v.targeted then v.targeted <- false;
         if Trace.enabled sim.trace then
           Trace.record_steal_ok sim.trace ~thief:w.id ~victim:v.id ~time:w.time
@@ -431,13 +503,16 @@ let step sim w =
       boundary_exposure_check sim w
   | Fjoin cell :: rest -> if cell.cdone then w.stack <- rest else acquire sim w
 
-let run ~machine ~policy ~p ?(seed = 7L) ?(quantum = 200) ?(trace = Trace.null) comp =
+let run ~machine ~policy ~p ?(seed = 7L) ?(quantum = 200) ?(trace = Trace.null)
+    ?(steal_policy = Victim_policy.Uniform) ?topology ?(steal_batch = 1) comp =
   if p < 1 then invalid_arg "Engine.run";
+  if steal_batch < 1 then invalid_arg "Engine.run: steal_batch must be >= 1";
   if Trace.enabled trace && Trace.num_workers trace < p then
     invalid_arg "Engine.run: trace was created for fewer workers";
   let root_rng = Xoshiro.create seed in
   let workers =
     Array.init p (fun id ->
+        let rng = Xoshiro.split root_rng id in
         {
           id;
           time = 0;
@@ -451,7 +526,9 @@ let run ~machine ~policy ~p ?(seed = 7L) ?(quantum = 200) ?(trace = Trace.null) 
           requested = false;
           hunting = false;
           search_start = -1;
-          rng = Xoshiro.split root_rng id;
+          req_victim = -1;
+          rng;
+          vsel = Victim_policy.create ?topology ~policy:steal_policy ~rng ~self:id ~nw:p ();
         })
   in
   let sim =
@@ -461,6 +538,7 @@ let run ~machine ~policy ~p ?(seed = 7L) ?(quantum = 200) ?(trace = Trace.null) 
       p;
       workers;
       quantum = max 1 quantum;
+      steal_limit = steal_batch;
       fences = 0;
       cas = 0;
       steal_attempts = 0;
@@ -471,6 +549,11 @@ let run ~machine ~policy ~p ?(seed = 7L) ?(quantum = 200) ?(trace = Trace.null) 
       signals_handled = 0;
       tasks = 0;
       idle_cycles = 0;
+      tasks_migrated = 0;
+      steals_batched = 0;
+      near_steals = 0;
+      far_steals = 0;
+      cache_miss_cost = 0;
       work_done = 0;
       trace;
     }
@@ -508,4 +591,9 @@ let run ~machine ~policy ~p ?(seed = 7L) ?(quantum = 200) ?(trace = Trace.null) 
     signals_handled = sim.signals_handled;
     tasks = sim.tasks;
     idle_cycles = sim.idle_cycles;
+    tasks_migrated = sim.tasks_migrated;
+    steals_batched = sim.steals_batched;
+    near_steals = sim.near_steals;
+    far_steals = sim.far_steals;
+    cache_miss_cost = sim.cache_miss_cost;
   }

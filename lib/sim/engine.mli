@@ -39,6 +39,14 @@ type stats = {
   signals_handled : int;
   tasks : int;  (** tasks executed (forked units) *)
   idle_cycles : int;  (** cycles spent in failed steal rounds *)
+  tasks_migrated : int;  (** tasks that changed workers via a steal *)
+  steals_batched : int;  (** steal episodes that moved more than one task *)
+  near_steals : int;  (** steal episodes from a minimal-distance victim *)
+  far_steals : int;  (** steal episodes from a farther victim *)
+  cache_miss_cost : int;
+      (** total modeled cycles thieves spent faulting migrated tasks'
+          working sets across the topology
+          ({!Cost_model.migration_cost}) *)
 }
 
 (** [exposed - steals], clamped at 0 — the "exposed but not stolen"
@@ -52,8 +60,19 @@ val exposed_not_stolen : stats -> int
       stamped with the acting worker's {e virtual} clock, so exported
       timelines and latency histograms are in model cycles, not
       nanoseconds.
+    @param steal_policy victim-selection policy
+      ({!Lcws_sync.Victim_policy.policy}). Defaults to [Uniform], which
+      reproduces the engine's historical probe stream exactly.
+    @param topology distance matrix for {!Lcws_sync.Victim_policy} and
+      {!Cost_model.migration_cost} scaling (default flat — every
+      migration at distance 1).
+    @param steal_batch upper bound on tasks per steal episode (default
+      1, classical steal-one). Thieves take
+      [min steal_batch (max 1 (public / 2))] — the steal-half rule —
+      charging one CAS per claimed task and pushing the extras into
+      their own deque.
     @raise Invalid_argument if [trace] was created for fewer than [p]
-      workers. *)
+      workers, or [steal_batch < 1]. *)
 val run :
   machine:Cost_model.t ->
   policy:policy ->
@@ -61,5 +80,8 @@ val run :
   ?seed:int64 ->
   ?quantum:int ->
   ?trace:Lcws_trace.Trace.t ->
+  ?steal_policy:Lcws_sync.Victim_policy.policy ->
+  ?topology:int array array ->
+  ?steal_batch:int ->
   Comp.t ->
   stats

@@ -32,6 +32,10 @@ type t = {
   mutable parks : int;
   mutable wakes : int;
   mutable spurious_wakes : int;
+  mutable steals_batched : int;
+  mutable tasks_migrated : int;
+  mutable near_steals : int;
+  mutable far_steals : int;
 }
 
 let create () =
@@ -69,6 +73,10 @@ let create () =
     parks = 0;
     wakes = 0;
     spurious_wakes = 0;
+    steals_batched = 0;
+    tasks_migrated = 0;
+    near_steals = 0;
+    far_steals = 0;
   }
 
 (* The single authoritative field list: every generic operation (reset,
@@ -109,6 +117,10 @@ let fields : (string * (t -> int) * (t -> int -> unit)) list =
     ("parks", (fun t -> t.parks), fun t v -> t.parks <- v);
     ("wakes", (fun t -> t.wakes), fun t v -> t.wakes <- v);
     ("spurious_wakes", (fun t -> t.spurious_wakes), fun t v -> t.spurious_wakes <- v);
+    ("steals_batched", (fun t -> t.steals_batched), fun t v -> t.steals_batched <- v);
+    ("tasks_migrated", (fun t -> t.tasks_migrated), fun t v -> t.tasks_migrated <- v);
+    ("near_steals", (fun t -> t.near_steals), fun t v -> t.near_steals <- v);
+    ("far_steals", (fun t -> t.far_steals), fun t v -> t.far_steals <- v);
   ]
 
 let to_assoc t = List.map (fun (name, get, _) -> (name, get t)) fields

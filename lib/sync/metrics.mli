@@ -40,6 +40,10 @@ type t = {
   mutable parks : int;  (** times this worker blocked in the parking lot *)
   mutable wakes : int;  (** parks that ended with work found after the wake *)
   mutable spurious_wakes : int;  (** parks whose post-wake search found nothing *)
+  mutable steals_batched : int;  (** steal episodes that moved more than one task *)
+  mutable tasks_migrated : int;  (** tasks moved to this worker by its steals *)
+  mutable near_steals : int;  (** successful steals from a near victim *)
+  mutable far_steals : int;  (** successful steals from a far victim *)
 }
 
 val create : unit -> t

@@ -1,0 +1,83 @@
+(** Topology-aware victim selection for the steal path.
+
+    Uniform random victim selection treats every cache hierarchy as
+    flat; on clustered machines a steal from a far victim drags the
+    task's working set across the interconnect. This module owns the
+    per-worker probe sequence behind a policy knob:
+
+    - {!Uniform}: the classical choice — every probe draws uniformly
+      from the other workers ([Xoshiro.other_than], byte-compatible
+      with the stream the scheduler used before this module existed);
+    - {!Near_first}: probe victims at the minimal topology distance
+      first, escalate to the full victim set after [escalate_after]
+      consecutive failed probes, and re-probe the last successful
+      victim once after every success (affinity hint).
+
+    Probe-sequence determinism: [next] draws at most one RNG value and
+    the affinity re-probe draws none, so for a fixed seed the sequence
+    is a function of the [next]/[fail]/[success] call history only. The
+    scheduler calls [next] {e before} rolling a fault-injection steal
+    veto, so a vetoed probe consumes exactly the draw the real probe
+    would have — replays with and without the fault layer observe the
+    same victims. [next] never allocates. *)
+
+type policy = Uniform | Near_first
+
+val policy_name : policy -> string
+
+val policy_of_string : string -> policy option
+
+val all_policies : policy list
+
+(** {2 Topologies}
+
+    A topology is a square distance matrix: [topo.(i).(j)] is the cost
+    multiplier of migrating work from worker [j] to worker [i]. Zero
+    exactly on the diagonal, non-negative elsewhere (validated at
+    {!create}). *)
+
+(** Every pair of distinct workers at distance 1 (the default). *)
+val flat : int -> int array array
+
+(** [clustered ~cluster nw]: distance 1 within blocks of [cluster]
+    consecutive worker ids, [far] (default 4) across blocks — the shape
+    of a multi-socket or multi-CCX machine. *)
+val clustered : ?far:int -> cluster:int -> int -> int array array
+
+(** {2 Per-worker probe state} *)
+
+type t
+
+(** One per worker, created at pool startup. [rng] is the worker's
+    victim-selection stream (the policy owns all draws from it);
+    [escalate_after] (default 4) is the consecutive-failure threshold
+    beyond which {!Near_first} widens its window to every victim. *)
+val create :
+  ?topology:int array array ->
+  ?escalate_after:int ->
+  policy:policy ->
+  rng:Xoshiro.t ->
+  self:int ->
+  nw:int ->
+  unit ->
+  t
+
+(** Choose the next victim to probe. Requires [nw >= 2]. *)
+val next : t -> int
+
+(** The probe failed (empty victim, lost race, or fault veto). *)
+val fail : t -> unit
+
+(** The probe stole from [victim]: resets the failure streak and arms
+    the affinity re-probe. *)
+val success : t -> victim:int -> unit
+
+(** Topology distance from this worker to [victim]. *)
+val distance : t -> victim:int -> int
+
+(** [victim] is at the minimal distance from this worker (on a flat
+    topology: always true). Drives the near/far steal metrics. *)
+val is_near : t -> victim:int -> bool
+
+(** Last successful victim, or -1. *)
+val last_victim : t -> int

@@ -19,6 +19,7 @@ type kind =
   | Resume
   | Park
   | Wake
+  | Steal_batch
 
 let all_kinds =
   [
@@ -42,6 +43,7 @@ let all_kinds =
     Resume;
     Park;
     Wake;
+    Steal_batch;
   ]
 
 let kind_name = function
@@ -65,6 +67,7 @@ let kind_name = function
   | Resume -> "resume"
   | Park -> "park"
   | Wake -> "wake"
+  | Steal_batch -> "steal_batch"
 
 let kind_code = function
   | Steal_attempt -> 0
@@ -87,8 +90,9 @@ let kind_code = function
   | Resume -> 17
   | Park -> 18
   | Wake -> 19
+  | Steal_batch -> 20
 
-let num_kinds = 20
+let num_kinds = 21
 
 let kind_of_code = function
   | 0 -> Steal_attempt
@@ -111,6 +115,7 @@ let kind_of_code = function
   | 17 -> Resume
   | 18 -> Park
   | 19 -> Wake
+  | 20 -> Steal_batch
   | c -> invalid_arg (Printf.sprintf "Trace.kind_of_code: %d" c)
 
 (* One per worker; strictly single-writer, like Metrics. *)
@@ -287,6 +292,9 @@ let record_park t ~worker ~time =
 
 let record_wake t ~worker ~time ~spurious =
   if t.on then emit_code t worker 19 (* Wake *) ~time ~arg:(if spurious then 1 else 0)
+
+let record_steal_batch t ~thief ~time ~tasks =
+  if t.on then emit_code t thief 20 (* Steal_batch *) ~time ~arg:tasks
 
 (* --- reading ---------------------------------------------------------- *)
 

@@ -49,6 +49,7 @@ type kind =
   | Resume  (** a parked fiber's continuation resumed on this worker *)
   | Park  (** worker blocked in the parking lot after a fruitless search *)
   | Wake  (** worker returned from a park; arg = 1 iff the wake was spurious *)
+  | Steal_batch  (** a steal episode moved a batch; arg = #tasks migrated *)
 
 val all_kinds : kind list
 
@@ -140,6 +141,10 @@ val record_park : t -> worker:int -> time:int -> unit
 (** [worker] returned from a park; [spurious] when its post-wake search
     found no work (the doorbell's task was taken by someone else). *)
 val record_wake : t -> worker:int -> time:int -> spurious:bool -> unit
+
+(** A steal episode on [thief] migrated [tasks] tasks in one batch
+    (recorded in addition to the per-episode [Steal_ok]). *)
+val record_steal_batch : t -> thief:int -> time:int -> tasks:int -> unit
 
 (** {2 Reading a trace back} *)
 

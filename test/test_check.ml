@@ -88,13 +88,13 @@ let test_sched_clean () =
 
 (* Each seeded kernel mutation (early frame flag flip, CAS-less scope
    failure election, blind future completion, blind injector swing,
-   dropped shutdown abort sweep, park without re-check) is caught
-   *within* the scenario's small default preemption bound — the whole
-   point of CHESS-style search. *)
+   dropped shutdown abort sweep, park without re-check, single-CAS batch
+   steal claim) is caught *within* the scenario's small default
+   preemption bound — the whole point of CHESS-style search. *)
 let test_sched_mutants_caught () =
-  Alcotest.(check int) "six seeded scheduler mutants" 6 (List.length SS.mutants);
+  Alcotest.(check int) "seven seeded scheduler mutants" 7 (List.length SS.mutants);
   Alcotest.(check int)
-    "fifteen seeded mutants in total" 15
+    "sixteen seeded mutants in total" 16
     (List.length S.mutants + List.length SS.mutants);
   List.iter
     (fun (s : E.scenario) ->

@@ -3,7 +3,16 @@
    sequence, [private_size + public_size = size], every size estimate is
    non-negative, [is_empty] agrees with [size], and [clear] zeroes all
    three — including right after a [Deque_full] and right after the
-   Section 4 signal-safe-pop/public-pop pair. *)
+   Section 4 signal-safe-pop/public-pop pair.
+
+   On top of the size split, the sequences thread an exactly-once ledger:
+   every task a consuming operation returns (pops, steals and
+   [steal_many] batches alike) must still be live in the deque, and a
+   final drain must account for every task ever pushed — no loss, no
+   duplication. [steal_many] additionally must respect the steal-half
+   contract: at most [max 1 (available / 2)] tasks per episode, never
+   more than [limit], never more than [into] can hold, and [~limit:1]
+   degenerates to the classical single steal. *)
 
 open Lcws
 open Lcws.Deque_intf
@@ -16,7 +25,14 @@ let qtest ?(count = 500) name gen prop = Seedutil.qtest ~count name gen prop
    only issued through the signal-safe pair (a standalone one is illegal
    while private work exists — it is the Section 4 repair path and
    resets [bot]). *)
-type op = Push | Pop | Pop_safe_pair | Steal | Expose of exposure_policy | Clear
+type op =
+  | Push
+  | Pop
+  | Pop_safe_pair
+  | Steal
+  | Steal_many of int  (* the batch limit *)
+  | Expose of exposure_policy
+  | Clear
 
 let op_of_int = function
   | 0 | 1 | 2 | 3 -> Push
@@ -26,14 +42,28 @@ let op_of_int = function
   | 9 -> Expose Expose_one
   | 10 -> Expose Expose_conservative
   | 11 -> Expose Expose_half
+  | 12 -> Steal_many 4
+  | 13 -> Steal_many 1
   | _ -> Clear
 
-let gen_ops = QCheck2.Gen.(list_size (int_range 0 80) (int_range 0 12))
+let gen_ops = QCheck2.Gen.(list_size (int_range 0 80) (int_range 0 14))
+
+let rec remove_first x = function
+  | [] -> []
+  | y :: rest -> if x = y then rest else y :: remove_first x rest
 
 let run_ops (type d) (module D : DEQUE with type elt = int and type t = d) ops =
   let owner_m = Metrics.create () and thief_m = Metrics.create () in
   let d = D.create ~capacity:8 ~dummy:0 ~metrics:owner_m () in
   let counter = ref 0 in
+  (* The exactly-once ledger: ids currently inside the deque. *)
+  let live = ref [] in
+  let consume tag x =
+    if List.mem x !live then live := remove_first x !live
+    else
+      QCheck2.Test.fail_reportf "%s: %s returned task %d that is not in the deque (duplicated?)"
+        D.name tag x
+  in
   let invariants tag =
     let priv = D.private_size d and pub = D.public_size d and size = D.size d in
     if priv < 0 || pub < 0 || size < 0 then
@@ -42,30 +72,107 @@ let run_ops (type d) (module D : DEQUE with type elt = int and type t = d) ops =
       QCheck2.Test.fail_reportf "%s: size split broken after %s: %d + %d <> %d" D.name tag priv
         pub size;
     if D.is_empty d <> (size = 0) then
-      QCheck2.Test.fail_reportf "%s: is_empty disagrees with size %d after %s" D.name size tag
+      QCheck2.Test.fail_reportf "%s: is_empty disagrees with size %d after %s" D.name size tag;
+    if size <> List.length !live then
+      QCheck2.Test.fail_reportf "%s: size %d disagrees with the %d live tasks after %s" D.name
+        size (List.length !live) tag
   in
   List.iter
     (fun i ->
       (match op_of_int i with
       | Push -> (
           incr counter;
-          try D.push_bottom d !counter
+          try
+            D.push_bottom d !counter;
+            live := !counter :: !live
           with Deque_full -> invariants "Deque_full")
-      | Pop -> ignore (D.pop_bottom d)
+      | Pop -> ( match D.pop_bottom d with Some x -> consume "pop_bottom" x | None -> ())
       | Pop_safe_pair -> (
           (* The Section 4 contract: a failed decrement-first pop is
              always followed by the public fallback, which repairs. *)
           match D.pop_bottom_signal_safe d with
-          | Some _ -> ()
-          | None -> ignore (D.pop_public_bottom d))
-      | Steal -> ignore (D.pop_top d ~metrics:thief_m)
+          | Some x -> consume "pop_bottom_signal_safe" x
+          | None -> (
+              match D.pop_public_bottom d with
+              | Some x -> consume "pop_public_bottom" x
+              | None -> ()))
+      | Steal -> (
+          match D.pop_top d ~metrics:thief_m with
+          | Stolen x -> consume "pop_top" x
+          | Empty | Abort | Private_work -> ())
+      | Steal_many limit -> (
+          let size_before = D.size d in
+          let into = Array.make limit (-1) in
+          match D.steal_many d ~limit ~into ~metrics:thief_m with
+          | Stolen first, n ->
+              (* The steal-half contract: one episode takes at most half
+                 of what a thief could see, capped by [limit] and by the
+                 buffer, and a [~limit:1] episode is a classical steal. *)
+              if 1 + n > max 1 (size_before / 2) then
+                QCheck2.Test.fail_reportf "%s: steal_many took %d of %d (more than half)"
+                  D.name (1 + n) size_before;
+              if 1 + n > limit then
+                QCheck2.Test.fail_reportf "%s: steal_many took %d with limit %d" D.name (1 + n)
+                  limit;
+              if n > Array.length into then
+                QCheck2.Test.fail_reportf "%s: steal_many overflowed into (%d > %d)" D.name n
+                  (Array.length into);
+              if limit = 1 && n <> 0 then
+                QCheck2.Test.fail_reportf "%s: steal_many ~limit:1 moved %d extras" D.name n;
+              consume "steal_many first" first;
+              (* Batches come off the top oldest-first: ids are pushed in
+                 increasing order and never reused, so the kept-first and
+                 the extras must be strictly increasing. *)
+              let prev = ref first in
+              for k = 0 to n - 1 do
+                consume "steal_many extra" into.(k);
+                if into.(k) <= !prev then
+                  QCheck2.Test.fail_reportf "%s: steal_many batch out of FIFO order (%d after %d)"
+                    D.name into.(k) !prev;
+                prev := into.(k)
+              done
+          | (Empty | Abort | Private_work), n ->
+              if n <> 0 then
+                QCheck2.Test.fail_reportf "%s: steal_many moved %d extras without stealing"
+                  D.name n)
       | Expose policy -> ignore (D.update_public_bottom d ~policy)
       | Clear ->
           D.clear d;
+          live := [];
           if D.size d <> 0 || D.private_size d <> 0 || D.public_size d <> 0 then
             QCheck2.Test.fail_reportf "%s: clear left a non-zero size" D.name);
       invariants "op")
     ops;
+  (* Final drain: everything still live must come back out exactly once —
+     owner side first (private then public), then steals for whatever a
+     thief could still reach. *)
+  let rec drain_private () =
+    match D.pop_bottom d with
+    | Some x ->
+        consume "drain pop_bottom" x;
+        drain_private ()
+    | None -> ()
+  in
+  let rec drain_public () =
+    match D.pop_public_bottom d with
+    | Some x ->
+        consume "drain pop_public_bottom" x;
+        drain_public ()
+    | None -> ()
+  in
+  let rec drain_steals () =
+    match D.pop_top d ~metrics:thief_m with
+    | Stolen x ->
+        consume "drain pop_top" x;
+        drain_steals ()
+    | Abort -> drain_steals ()
+    | Empty | Private_work -> ()
+  in
+  drain_private ();
+  drain_public ();
+  drain_steals ();
+  if !live <> [] then
+    QCheck2.Test.fail_reportf "%s: %d tasks lost after full drain" D.name (List.length !live);
   true
 
 module Split_d = Split_deque.Deque (struct

@@ -144,10 +144,11 @@ let test_shutdown_idempotent () =
 
 let test_create_params () =
   (* Non-default pool parameters must work: tiny deques (enough for the
-     recursion depth), no steal sleeping, custom seed. *)
+     recursion depth), uniform victim policy, steal-one batching, custom
+     seed. *)
   let pool =
-    S.Pool.create ~seed:7L ~deque_capacity:256 ~steal_sleep_us:0 ~num_workers:2
-      ~variant:S.Half ()
+    S.Pool.create ~seed:7L ~deque_capacity:256 ~steal_policy:Lcws_sync.Victim_policy.Uniform
+      ~steal_batch:1 ~num_workers:2 ~variant:S.Half ()
   in
   Fun.protect
     ~finally:(fun () -> S.Pool.shutdown pool)
@@ -320,6 +321,78 @@ let test_oversubscribed variant () =
       check Alcotest.int "all iterations" n (Atomic.get acc);
       check Alcotest.int "fib" 196418 (S.Pool.run pool (fun () -> fib 27)))
 
+(* {2 Steal-half batching} *)
+
+(* A skewed workload: the root spawns a burst of uneven fibers, so its
+   deque runs deep while every helper starts empty — the shape batch
+   stealing exists for. Correctness must hold on every variant with
+   batching on, and the batch metrics must obey their conservation laws:
+   every successful episode is classified near or far exactly once, a
+   batched episode moved at least two tasks, and on the default flat
+   topology nothing is far. (No lower bound on steal counts: on a
+   single-core host helpers may rarely win a probe.) *)
+let test_steal_batch_skew variant () =
+  let pool = S.Pool.create ~num_workers:4 ~steal_batch:4 ~variant () in
+  Fun.protect
+    ~finally:(fun () -> S.Pool.shutdown pool)
+    (fun () ->
+      S.Pool.reset_metrics pool;
+      let total =
+        S.Pool.run pool (fun () ->
+            let futs = List.init 64 (fun i -> S.Future.spawn (fun () -> seq_fib (8 + (i mod 7)))) in
+            List.fold_left (fun acc f -> acc + S.Future.await f) 0 futs)
+      in
+      let expected =
+        List.fold_left (fun acc i -> acc + seq_fib (8 + (i mod 7))) 0 (List.init 64 Fun.id)
+      in
+      check Alcotest.int "skewed spawn burst sums correctly" expected total;
+      let m = S.Pool.metrics pool in
+      check Alcotest.int "every episode classified near xor far" m.Metrics.steals
+        (m.Metrics.near_steals + m.Metrics.far_steals);
+      check Alcotest.int "flat topology has no far victims" 0 m.Metrics.far_steals;
+      Alcotest.(check bool)
+        (Printf.sprintf "migrated (%d) covers episodes (%d)" m.Metrics.tasks_migrated
+           m.Metrics.steals)
+        true
+        (m.Metrics.tasks_migrated >= m.Metrics.steals);
+      Alcotest.(check bool)
+        (Printf.sprintf "batched episodes (%d) within episodes (%d)" m.Metrics.steals_batched
+           m.Metrics.steals)
+        true
+        (m.Metrics.steals_batched <= m.Metrics.steals);
+      Alcotest.(check bool) "batched episodes moved the extras" true
+        (m.Metrics.tasks_migrated >= m.Metrics.steals + m.Metrics.steals_batched))
+
+(* steal_batch:1 is classical steal-one: no episode may batch, and
+   migration collapses to the episode count. *)
+let test_steal_one_degenerates variant () =
+  let pool = S.Pool.create ~num_workers:3 ~steal_batch:1 ~variant () in
+  Fun.protect
+    ~finally:(fun () -> S.Pool.shutdown pool)
+    (fun () ->
+      S.Pool.reset_metrics pool;
+      check Alcotest.int "fib 18" 2584 (S.Pool.run pool (fun () -> fib 18));
+      let m = S.Pool.metrics pool in
+      check Alcotest.int "no batched episodes" 0 m.Metrics.steals_batched;
+      check Alcotest.int "one task per episode" m.Metrics.steals m.Metrics.tasks_migrated)
+
+(* A clustered topology with the near-first policy: the same laws hold,
+   with far episodes now possible (and counted separately). *)
+let test_steal_batch_clustered variant () =
+  let topology = Lcws_sync.Victim_policy.clustered ~cluster:2 4 in
+  let pool =
+    S.Pool.create ~num_workers:4 ~steal_batch:4
+      ~steal_policy:Lcws_sync.Victim_policy.Near_first ~topology ~variant ()
+  in
+  Fun.protect
+    ~finally:(fun () -> S.Pool.shutdown pool)
+    (fun () ->
+      S.Pool.reset_metrics pool;
+      check Alcotest.int "fib 20" 6765 (S.Pool.run pool (fun () -> fib 20));
+      let m = S.Pool.metrics pool in
+      check Alcotest.int "every episode classified near xor far" m.Metrics.steals
+        (m.Metrics.near_steals + m.Metrics.far_steals))
+
 let per_variant name f =
   List.map
     (fun v -> Alcotest.test_case (Printf.sprintf "%s [%s]" name (S.variant_name v)) `Quick (f v))
@@ -359,6 +432,10 @@ let () =
         ] );
       ("grains", per_variant "grain sweep" test_parallel_for_grains);
       ("oversubscribed", per_variant "8 workers" test_oversubscribed);
+      ( "steal-batch",
+        per_variant "skewed burst" test_steal_batch_skew
+        @ per_variant "steal-one degenerate" test_steal_one_degenerates
+        @ per_variant "clustered topology" test_steal_batch_clustered );
       ("empty-range", per_variant "empty ranges" test_empty_range);
       ("results", per_variant "heterogeneous results" test_result_types);
       ( "parking",
