@@ -1,0 +1,110 @@
+(* The registry of the microbenchmark suite's probes — one source of
+   truth shared between bench/suite.exe (which runs them and validates
+   their JSON) and bin/lcws_bench's `list` command (which enumerates
+   them). [gate] names the [--validate] contract a probe's rows are
+   held to, if any; probes without a gate are measurements only (CI
+   machines are too noisy to gate on raw timings). *)
+
+type probe = {
+  name : string;  (* the "bench" field of the emitted JSON rows *)
+  unit_ : string;  (* what one [ops] counts *)
+  descr : string;
+  gate : string option;  (* the --validate contract, if gated *)
+}
+
+let all =
+  [
+    {
+      name = "fork_join";
+      unit_ = "joins";
+      descr =
+        "un-stolen fork/join chain on worker 0: ns/op and minor words/op of the \
+         frame-pool hot path, swept over every deque implementation";
+      gate = None;
+    };
+    {
+      name = "parallel_for";
+      unit_ = "iterations";
+      descr = "trivial-body loop under lazy binary splitting";
+      gate = None;
+    };
+    { name = "reduce"; unit_ = "elements"; descr = "Parlay-layer float reduce"; gate = None };
+    { name = "scan"; unit_ = "elements"; descr = "Parlay-layer int scan"; gate = None };
+    {
+      name = "steal_heavy";
+      unit_ = "forks";
+      descr = "skewed spawn chain: helpers progress only by stealing";
+      gate = None;
+    };
+    {
+      name = "steal_heavy_skew";
+      unit_ = "tasks";
+      descr = "wide uneven future bursts with steal-half enabled (~steal_batch:8)";
+      gate =
+        Some
+          "steal-batch: rows record batched episodes, extras on top of the episode \
+           count, migrated > episodes in aggregate";
+    };
+    {
+      name = "steal_heavy_skew_steal1";
+      unit_ = "tasks";
+      descr = "the same bursts pinned to classical steal-one (~steal_batch:1)";
+      gate = Some "steal-batch: no batched episodes, migrated = episodes";
+    };
+    {
+      name = "future";
+      unit_ = "awaits";
+      descr = "spawn+await chain: the fiber suspend/one-shot-resume handshake";
+      gate = None;
+    };
+    {
+      name = "submit";
+      unit_ = "submissions";
+      descr = "external submission through the MPSC injector, no Pool.run in flight";
+      gate = None;
+    };
+    {
+      name = "idle_cpu";
+      unit_ = "window ms";
+      descr = "quiet pool inside an active job: do idle workers park or spin?";
+      gate = Some "idle-cpu: near-zero idle loops across the quiet window, >= 1 park";
+    };
+    {
+      name = "load_spike";
+      unit_ = "tasks";
+      descr =
+        "alternating quiet/burst phases on the static Uslcws and Signal pools, at \
+         P=2 and P=8";
+      gate = None;
+    };
+    {
+      name = "load_spike_adaptive";
+      unit_ = "tasks";
+      descr = "the same phases on an elastic pool (Pool.create ~adaptive:true)";
+      gate =
+        Some
+          "load-spike: adaptive throughput >= 0.95x the better static variant at \
+           each P (0.75x on --quick runs: millisecond samples on time-sliced CI \
+           hosts)";
+    };
+    {
+      name = "sim_cache_miss";
+      unit_ = "model cycles";
+      descr =
+        "deterministic simulator sweep: uniform vs near-first victims x steal-one \
+         vs steal-half on a clustered 16-worker machine";
+      gate =
+        Some
+          "sim-cache-miss: near-first pays strictly less miss cost than uniform; \
+           steal-half rows actually batch";
+    };
+  ]
+
+let pp ppf () =
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "  %-24s per-op unit: %s@.    %s@." p.name p.unit_ p.descr;
+      match p.gate with
+      | Some g -> Format.fprintf ppf "    [gated] %s@." g
+      | None -> ())
+    all

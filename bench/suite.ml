@@ -20,13 +20,24 @@
    BENCH_PR4.json, schema "lcws-bench-suite/2") so runs can be diffed
    across commits.
 
+   The elastic-pool addition: a load_spike probe whose workload
+   alternates quiet serial phases with wide steal bursts, run on the
+   two static extremes (Uslcws, Signal) and on an adaptive pool
+   ([Pool.create ~adaptive:true]) at P=2 and P=8. The [--validate]
+   gate demands the adaptive rows land within 5% of the better static
+   variant at both parallelism levels — adaptivity must not lose to
+   either static choice it arbitrates between.
+
    Usage: dune exec bench/suite.exe -- [options]
      --out PATH      output file (default BENCH_PR4.json)
      --quick         tiny sizes: smoke-test the suite itself (CI)
      --workers N     worker count for the parallel configurations
                      (default 2)
+     --list          enumerate the probes (and their --validate gates)
+                     and exit
      --validate FILE parse FILE and check it against the schema instead
-                     of running benchmarks; exit 1 on violation *)
+                     of running benchmarks; print every violated gate
+                     and exit 1 on violation *)
 
 module S = Lcws_sched.Scheduler
 module Metrics = Lcws_sync.Metrics
@@ -50,10 +61,11 @@ type sample = {
    once untimed to warm frame pools and code paths, then [reps] timed
    runs are summed. The steal knobs default to the pool's own defaults;
    the steal_heavy_skew A/B pair pins them explicitly. *)
-let run_config ~bench ?steal_policy ?topology ?steal_batch ~variant ~deque ~workers ~ops ~reps
-    job =
+let run_config ~bench ?steal_policy ?topology ?steal_batch ?adaptive ?adaptive_config ~variant
+    ~deque ~workers ~ops ~reps job =
   let pool =
-    S.Pool.create ?steal_policy ?topology ?steal_batch ~num_workers:workers ~variant ~deque ()
+    S.Pool.create ?steal_policy ?topology ?steal_batch ?adaptive ?adaptive_config
+      ~num_workers:workers ~variant ~deque ()
   in
   Fun.protect
     ~finally:(fun () -> S.Pool.shutdown pool)
@@ -144,6 +156,43 @@ let bench_steal_heavy_skew ~bursts ~steal_batch ~variant ~deque ~workers =
            deque instead of the owner's leftovers. *)
         let futs =
           List.init width (fun i -> S.Future.spawn (fun () -> skew_leaf (15 + (i mod 6))))
+        in
+        List.iter (fun f -> ignore (Sys.opaque_identity (S.Future.await f))) futs
+      done)
+
+(* Load-spike A/B: the workload the elastic pool exists for. Each
+   round is a quiet phase (one serial grind only the owner advances —
+   steal pressure collapses, helpers park) followed by a spike (a wide
+   burst of leaf futures — every helper wakes and steals). A static
+   pool must pick one exposure discipline for both phases; the
+   adaptive pool's governor watches the already-counted steal-rate and
+   parked-count metrics and flips per-phase. The [--validate] gate
+   demands the adaptive rows stay within 5% of whichever static
+   variant wins at each P — the elastic pool must never lose to the
+   choice it automates. Same-shaped rows, distinguished by bench name
+   ("load_spike" static, "load_spike_adaptive" elastic). *)
+let bench_load_spike ~spikes ~adaptive ~variant ~workers =
+  let width = 32 in
+  let bench = if adaptive then "load_spike_adaptive" else "load_spike" in
+  let deque = S.default_deque_impl variant in
+  (* A snappier, stickier governor than the library default: sample
+     every 64 owner poll points instead of 256 so the pool converges
+     inside the warm run, smooth harder (the phases here are much
+     shorter than an epoch, so per-epoch pressure is spiky), and drop
+     [lo] so a run of quiet epochs doesn't flap it back to unsync. *)
+  let adaptive_config =
+    Lcws_sched.Policy_governor.{ default_config with alpha = 0.1; lo = 0.005; epoch = 64 }
+  in
+  run_config ~bench ~adaptive ~adaptive_config ~variant ~deque ~workers
+    ~ops:(spikes * (width + 1)) ~reps:5
+    (fun () ->
+      for _ = 1 to spikes do
+        (* Quiet phase: sequential, microseconds — long enough for the
+           governor's epoch to observe the calm. *)
+        ignore (Sys.opaque_identity (skew_leaf 18));
+        (* Spike: a burst of uneven leaves; steal pressure jumps. *)
+        let futs =
+          List.init width (fun i -> S.Future.spawn (fun () -> skew_leaf (10 + (i mod 5))))
         in
         List.iter (fun f -> ignore (Sys.opaque_identity (S.Future.await f))) futs
       done)
@@ -492,23 +541,26 @@ end
 
 (* The schema contract the CI smoke job enforces: schema id, every
    variant present in the fork_join bench, and each result carrying the
-   required well-typed fields. *)
+   required well-typed fields. Every violation is tagged with the gate
+   it belongs to and printed before the non-zero exit, so a CI failure
+   names the broken contract in the log instead of requiring a read of
+   the JSON artifact. *)
 let validate path =
   let ic = open_in_bin path in
   let len = in_channel_length ic in
   let raw = really_input_string ic len in
   close_in ic;
   let errors = ref [] in
-  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  let err gate fmt = Printf.ksprintf (fun m -> errors := (gate, m) :: !errors) fmt in
   (match Json.parse raw with
-  | exception Json.Malformed m -> err "not valid JSON: %s" m
+  | exception Json.Malformed m -> err "json" "not valid JSON: %s" m
   | json -> (
       (match Json.member "schema" json with
       | Some (Json.Str "lcws-bench-suite/2") -> ()
-      | _ -> err "missing or wrong \"schema\" (want \"lcws-bench-suite/2\")");
+      | _ -> err "schema" "missing or wrong \"schema\" (want \"lcws-bench-suite/2\")");
       (match Json.member "host" json with
       | Some (Json.Obj _) -> ()
-      | _ -> err "missing \"host\" object");
+      | _ -> err "schema" "missing \"host\" object");
       (* The steal-half acceptance bar on the simulator: for both batch
          settings, near-first victim selection must pay strictly less
          modeled cache-miss cost than uniform on the clustered machine,
@@ -531,40 +583,40 @@ let validate path =
                   (match (num "cache_miss_cost" u, num "cache_miss_cost" nf) with
                   | Some cu, Some cn ->
                       if cn >= cu then
-                        err
+                        err "sim-cache-miss"
                           "sim sweep (batch %d): near_first miss cost %.0f not below uniform %.0f"
                           b cn cu
-                  | _ -> err "sim sweep (batch %d): rows lack \"cache_miss_cost\"" b);
+                  | _ -> err "sim-cache-miss" "sim sweep (batch %d): rows lack \"cache_miss_cost\"" b);
                   if b > 1 then
                     List.iter
                       (fun (name, r) ->
                         match num "steals_batched" r with
                         | Some sb when sb >= 1. -> ()
-                        | _ -> err "sim sweep (batch %d, %s): no batched episodes" b name)
+                        | _ -> err "sim-cache-miss" "sim sweep (batch %d, %s): no batched episodes" b name)
                       [ ("uniform", u); ("near_first", nf) ])
-              | _ -> err "sim sweep: missing uniform/near_first pair for batch %d" b)
+              | _ -> err "sim-cache-miss" "sim sweep: missing uniform/near_first pair for batch %d" b)
             [ 1; 8 ]
-      | _ -> err "missing \"sim_cache_miss\" array");
+      | _ -> err "sim-cache-miss" "missing \"sim_cache_miss\" array");
       match Json.member "results" json with
       | Some (Json.List results) ->
-          if results = [] then err "empty \"results\"";
+          if results = [] then err "schema" "empty \"results\"";
           List.iteri
             (fun i r ->
               List.iter
                 (fun k ->
                   match Json.member k r with
                   | Some (Json.Num _) -> ()
-                  | _ -> err "result %d: missing numeric %S" i k)
+                  | _ -> err "schema" "result %d: missing numeric %S" i k)
                 [ "workers"; "ops"; "ns_per_op"; "minor_words_per_op"; "items_per_s" ];
               List.iter
                 (fun k ->
                   match Json.member k r with
                   | Some (Json.Str _) -> ()
-                  | _ -> err "result %d: missing string %S" i k)
+                  | _ -> err "schema" "result %d: missing string %S" i k)
                 [ "bench"; "variant"; "deque" ];
               match Json.member "metrics" r with
               | Some (Json.Obj _) -> ()
-              | _ -> err "result %d: missing \"metrics\" object" i)
+              | _ -> err "schema" "result %d: missing \"metrics\" object" i)
             results;
           List.iter
             (fun v ->
@@ -576,12 +628,12 @@ let validate path =
                     && Json.member "variant" r = Some (Json.Str name))
                   results
               in
-              if not (covered "fork_join") then err "variant %S has no fork_join result" name;
-              if not (covered "idle_cpu") then err "variant %S has no idle_cpu result" name;
+              if not (covered "fork_join") then err "coverage" "variant %S has no fork_join result" name;
+              if not (covered "idle_cpu") then err "coverage" "variant %S has no idle_cpu result" name;
               if not (covered "steal_heavy_skew") then
-                err "variant %S has no steal_heavy_skew result" name;
+                err "coverage" "variant %S has no steal_heavy_skew result" name;
               if not (covered "steal_heavy_skew_steal1") then
-                err "variant %S has no steal_heavy_skew_steal1 result" name)
+                err "coverage" "variant %S has no steal_heavy_skew_steal1 result" name)
             S.all_variants;
           (* The parking acceptance bar: during an idle_cpu probe's
              quiet window every idle worker must be parked, so the
@@ -597,13 +649,13 @@ let validate path =
                     (match Json.member "idle_loops" m with
                     | Some (Json.Num loops) ->
                         if loops > 2000. then
-                          err "result %d: idle_cpu probe spun (%.0f idle loops in the quiet window)" i
+                          err "idle-cpu" "result %d: idle_cpu probe spun (%.0f idle loops in the quiet window)" i
                             loops
-                    | _ -> err "result %d: idle_cpu metrics lack \"idle_loops\"" i);
+                    | _ -> err "idle-cpu" "result %d: idle_cpu metrics lack \"idle_loops\"" i);
                     match Json.member "parks" m with
                     | Some (Json.Num parks) ->
-                        if parks < 1. then err "result %d: idle_cpu probe recorded no parks" i
-                    | _ -> err "result %d: idle_cpu metrics lack \"parks\"" i)
+                        if parks < 1. then err "idle-cpu" "result %d: idle_cpu probe recorded no parks" i
+                    | _ -> err "idle-cpu" "result %d: idle_cpu metrics lack \"parks\"" i)
                 | None -> ())
             results;
           (* The steal-half acceptance bar on the real engine. Per-row:
@@ -632,30 +684,71 @@ let validate path =
                   skew_batched := !skew_batched +. batched;
                   skew_migrated := !skew_migrated +. migrated;
                   if migrated < steals +. batched then
-                    err "result %d: steal_heavy_skew migrated %.0f < episodes %.0f + batched %.0f"
+                    err "steal-batch" "result %d: steal_heavy_skew migrated %.0f < episodes %.0f + batched %.0f"
                       i migrated steals batched
               | Some (Json.Str "steal_heavy_skew_steal1"), Some steals, Some batched,
                 Some migrated ->
                   if batched <> 0. then
-                    err "result %d: steal_heavy_skew_steal1 batched %.0f episodes with ~steal_batch:1"
+                    err "steal-batch" "result %d: steal_heavy_skew_steal1 batched %.0f episodes with ~steal_batch:1"
                       i batched;
                   if migrated <> steals then
-                    err "result %d: steal_heavy_skew_steal1 migrated %.0f over %.0f episodes" i
+                    err "steal-batch" "result %d: steal_heavy_skew_steal1 migrated %.0f over %.0f episodes" i
                       migrated steals
               | _ -> ())
             results;
           if !skew_batched < 1. then
-            err "steal_heavy_skew rows recorded no batched episodes anywhere";
+            err "steal-batch" "steal_heavy_skew rows recorded no batched episodes anywhere";
           if not (!skew_migrated > !skew_steals) then
-            err "steal_heavy_skew rows migrated %.0f tasks over %.0f episodes (no batch gain)"
-              !skew_migrated !skew_steals
-      | _ -> err "missing \"results\" array"));
+            err "steal-batch" "steal_heavy_skew rows migrated %.0f tasks over %.0f episodes (no batch gain)"
+              !skew_migrated !skew_steals;
+          (* The elastic-pool acceptance bar: at each parallelism level
+             the adaptive pool must keep within 5% of whichever static
+             exposure policy wins the load-spike workload there. The
+             point of online switching is to not have to pick a policy
+             per machine/load; losing to the better static pick by more
+             than the tolerance means the governor is flapping or stuck.
+             Quick runs get a looser bar (0.75): their samples are a few
+             milliseconds each, and on a time-sliced CI host a single
+             preemption inside one swings the ratio by more than 5% —
+             the smoke gate only has to catch an adaptive pool that is
+             catastrophically slower than both static choices. *)
+          let tolerance =
+            match Json.member "quick" json with Some (Json.Bool true) -> 0.75 | _ -> 0.95
+          in
+          List.iter
+            (fun p ->
+              let throughput bench =
+                List.filter_map
+                  (fun r ->
+                    if
+                      Json.member "bench" r = Some (Json.Str bench)
+                      && Json.member "workers" r = Some (Json.Num (float_of_int p))
+                    then
+                      match Json.member "items_per_s" r with Some (Json.Num f) -> Some f | _ -> None
+                    else None)
+                  results
+              in
+              match (throughput "load_spike", throughput "load_spike_adaptive") with
+              | [], _ -> err "load-spike" "no static load_spike rows at workers=%d" p
+              | _, [] -> err "load-spike" "no load_spike_adaptive row at workers=%d" p
+              | statics, adaptives ->
+                  let best = List.fold_left max neg_infinity statics in
+                  let adaptive = List.fold_left max neg_infinity adaptives in
+                  if adaptive < tolerance *. best then
+                    err "load-spike"
+                      "workers=%d: adaptive %.0f items/s < %.2f x best static %.0f items/s" p
+                      adaptive tolerance best)
+            [ 2; 8 ]
+      | _ -> err "schema" "missing \"results\" array"));
   match List.rev !errors with
   | [] ->
       Printf.printf "%s: valid (schema lcws-bench-suite/2)\n" path;
       0
   | es ->
-      List.iter (fun m -> Printf.eprintf "%s: %s\n" path m) es;
+      List.iter (fun (gate, m) -> Printf.eprintf "%s: [gate %s] %s\n" path gate m) es;
+      let gates = List.sort_uniq compare (List.map fst es) in
+      Printf.eprintf "%s: validation FAILED — %d violation(s) in gate(s): %s\n" path
+        (List.length es) (String.concat ", " gates);
       1
 
 (* {1 Driver} *)
@@ -667,8 +760,12 @@ let () =
   let quick = ref false in
   let workers = ref 2 in
   let validate_path = ref None in
+  let list_probes = ref false in
   let rec parse = function
     | [] -> ()
+    | "--list" :: rest ->
+        list_probes := true;
+        parse rest
     | "--out" :: path :: rest ->
         out := path;
         parse rest
@@ -684,6 +781,10 @@ let () =
     | a :: _ -> failwith ("unknown argument " ^ a)
   in
   parse (List.tl (Array.to_list Sys.argv));
+  if !list_probes then begin
+    Format.printf "Suite probes:@.%a" Lcws_bench_probes.Probes.pp ();
+    exit 0
+  end;
   match !validate_path with
   | Some path -> exit (validate path)
   | None ->
@@ -735,6 +836,28 @@ let () =
           note (bench_idle_cpu ~window_ms:idle_window_ms ~variant ~deque ~workers:w);
           Printf.printf " idle_cpu\n%!")
         S.all_variants;
+      (* The elastic-pool A/B: the same quiet/burst phases on the two
+         static exposure policies and on an adaptive Uslcws pool, at
+         low and high parallelism. --validate gates the adaptive rows
+         against the better static one. *)
+      let spike_n = if q then 20 else 200 in
+      List.iter
+        (fun workers ->
+          Printf.printf "[load_spike] P=%d%!" workers;
+          (* Two samples per configuration: the --validate gate compares
+             the best adaptive row against the best static row, so a
+             single preempted sample (CI hosts are time-sliced) doesn't
+             fail the run. Symmetric — every config gets the same
+             best-of-two treatment. *)
+          for _ = 1 to 2 do
+            List.iter
+              (fun variant ->
+                note (bench_load_spike ~spikes:spike_n ~adaptive:false ~variant ~workers))
+              [ S.Uslcws; S.Signal ];
+            note (bench_load_spike ~spikes:spike_n ~adaptive:true ~variant:S.Uslcws ~workers)
+          done;
+          Printf.printf " done\n%!")
+        [ 2; 8 ];
       Printf.printf "[sim] cache-miss sweep%!";
       let sim_rows = sim_sweep ~quick:q in
       Printf.printf " done\n%!";

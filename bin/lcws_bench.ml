@@ -69,7 +69,9 @@ let list_cmd =
           (String.concat ", " (List.map (fun i -> i.T.iname) b.T.instances)))
       Lcws.Pbbs.Suite.all;
     Format.fprintf ppf "@.Simulator workload models:@.";
-    List.iter (fun (c : W.config) -> Format.fprintf ppf "  %s/%s@." c.W.bench c.W.instance) W.all
+    List.iter (fun (c : W.config) -> Format.fprintf ppf "  %s/%s@." c.W.bench c.W.instance) W.all;
+    Format.fprintf ppf "@.Microbench suite probes (bench/suite.exe; gates enforced by --validate):@.";
+    Format.fprintf ppf "%a" Lcws_bench_probes.Probes.pp ()
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 

@@ -567,6 +567,106 @@ let steal_half ~over_copy ~name ~expect_violation =
         });
   }
 
+(* {2 Exposure-policy switch racing a steal request}
+
+   The elastic pool's switch protocol ([Sched_protocol.Policy_switch]):
+   the governor has already CAS-published a proposal (done in setup —
+   the propose itself is a single CAS with no interesting
+   interleavings), and the explorer enumerates the owner's adoption
+   racing a thief's request delivery. The hazard is the half-switched
+   deque: each exposure discipline has its own request channel (the
+   [targeted] flag for the unsynchronized policy, [signal_pending] for
+   the handshake), and a request deposited on a channel the owner has
+   stopped polling is a lost steal — the thief backs off forever while
+   the owner's public deque stays unexposed.
+
+   The kernel closes the window from both sides, and each side is one
+   seeded mutant here. Owner side: flip [active] {e first}, then drain
+   the retired channel — the flip is the linearization point, so any
+   deposit the drain misses happened after the flip and the thief's
+   re-read sees the new word ([no_ack] drops the drain). Thief side:
+   deposit, then re-read [active] and re-deposit on the new channel if
+   the word moved — the Dekker dual of the owner's flip-then-drain
+   ([stale_epoch] drops the re-read).
+
+   The model gives each channel an SA cell manipulated inside the
+   [drain]/[send] callbacks, exactly how the scheduler wires the kernel
+   to its real flags. After adopting, the owner polls only the channel
+   of the {e new} active mode — that selectivity is the whole reason
+   the drain must exist. The oracle tolerates benign residue on the
+   retired channel (a double-delivered request is a spurious wakeup,
+   served idempotently by the real scheduler): the violation is a
+   request that is nowhere — never served, and absent from the channel
+   the owner now polls. *)
+let policy_switch ~no_ack ~stale_epoch ~name ~expect_violation =
+  let mut = P.Policy_switch.{ no_ack; stale_epoch } in
+  {
+    E.name;
+    descr =
+      "exposure-policy switch racing a steal request: the flip/drain and \
+       deposit/re-read handshakes must strand no request on a retired channel"
+      ^ (if no_ack then " (retired-channel drain dropped, on purpose)" else "")
+      ^ if stale_epoch then " (thief's re-read dropped, on purpose)" else "";
+    expect_violation;
+    preempt = bound;
+    spec =
+      (fun () ->
+        let ps = P.Policy_switch.make ~name:"ps" ~mode:P.Policy_switch.unsync () in
+        (* Governor, ahead of the race: unsync -> handshake proposed. *)
+        assert (P.Policy_switch.propose ps ~mode:P.Policy_switch.handshake);
+        let chan_unsync = SA.make ~name:"chan_unsync" false in
+        let chan_hand = SA.make ~name:"chan_hand" false in
+        let chan mode =
+          if mode = P.Policy_switch.handshake then chan_hand else chan_unsync
+        in
+        let served = ref 0 in
+        (* Take, never observe: consuming a deposit commits the owner to
+           serving it (exposing / answering the handshake). *)
+        let take_and_serve mode = if SA.exchange (chan mode) false then incr served in
+        let owner () =
+          ignore
+            (P.Policy_switch.adopt_with mut ps
+               ~drain:(fun ~mode -> take_and_serve mode));
+          (* The owner's next poll point: it now polls only the channel
+             of the discipline it just adopted. *)
+          take_and_serve (P.Policy_switch.active_mode ps)
+        in
+        let thief () =
+          P.Policy_switch.request_with mut ps ~send:(fun ~mode ->
+              SA.set (chan mode) true)
+        in
+        {
+          E.threads = [| ("owner", owner); ("thief", thief) |];
+          signal = None;
+          invariant = None;
+          check =
+            (fun () ->
+              let* () =
+                if P.Policy_switch.acked ps then Ok ()
+                else Error "switch: owner never adopted the proposed policy"
+              in
+              let* () =
+                if P.Policy_switch.active_mode ps = P.Policy_switch.handshake
+                then Ok ()
+                else Error "switch: active mode is not the proposed handshake"
+              in
+              let* () =
+                (* At most the deposit and one re-deposit can be served. *)
+                if !served <= 2 then Ok ()
+                else
+                  Error
+                    (Printf.sprintf "switch: request served %d times (want <= 2)"
+                       !served)
+              in
+              let live = chan (P.Policy_switch.active_mode ps) in
+              if !served = 0 && not (SA.get live) then
+                Error
+                  "switch: steal request lost — never served and stranded on a \
+                   retired channel the owner no longer polls"
+              else Ok ());
+        });
+  }
+
 (* {2 The catalogue} *)
 
 let all =
@@ -578,6 +678,8 @@ let all =
     shutdown_race ~abort:true ~name:"sched_shutdown_race" ~expect_violation:false;
     park_wake ~skip:false ~name:"sched_park_wake" ~expect_violation:false;
     steal_half ~over_copy:false ~name:"sched_steal_half" ~expect_violation:false;
+    policy_switch ~no_ack:false ~stale_epoch:false ~name:"sched_policy_switch"
+      ~expect_violation:false;
   ]
 
 (* Self-test: one seeded kernel mutation per protocol, each caught within
@@ -591,6 +693,10 @@ let mutants =
     shutdown_race ~abort:false ~name:"mutant_shutdown_drop_abort" ~expect_violation:true;
     park_wake ~skip:true ~name:"mutant_park_skip_recheck" ~expect_violation:true;
     steal_half ~over_copy:true ~name:"mutant_steal_over_copy" ~expect_violation:true;
+    policy_switch ~no_ack:true ~stale_epoch:false ~name:"mutant_switch_no_ack"
+      ~expect_violation:true;
+    policy_switch ~no_ack:false ~stale_epoch:true
+      ~name:"mutant_switch_stale_epoch" ~expect_violation:true;
   ]
 
 let find name = List.find_opt (fun (s : E.scenario) -> s.E.name = name) (all @ mutants)

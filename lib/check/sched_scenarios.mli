@@ -7,7 +7,8 @@
     shim) over the real split-deque code — frame publish/reuse racing a
     steal, first-failure-wins scopes racing a cancel, future completion
     racing cancellation and waiter registration, the injector's drain
-    racing submits, and shutdown racing an in-flight submission.
+    racing submits, shutdown racing an in-flight submission, and the
+    elastic pool's exposure-policy switch racing a steal request.
 
     Every scenario carries a small default preemption bound (its trees
     are deeper than the deque scripts'); the nightly sweep lifts it with
@@ -24,7 +25,8 @@ val all : Explore.scenario list
 
 (** Seeded kernel mutations (early flag flip, CAS-less failure election,
     blind future completion, blind injector swing, dropped shutdown
-    abort sweep); every one must produce a counterexample. *)
+    abort sweep, dropped policy-switch drain, dropped policy-switch
+    re-read); every one must produce a counterexample. *)
 val mutants : Explore.scenario list
 
 val find : string -> Explore.scenario option

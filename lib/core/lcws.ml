@@ -53,7 +53,10 @@
 module Metrics = Lcws_sync.Metrics
 module Xoshiro = Lcws_sync.Xoshiro
 module Backoff = Lcws_sync.Backoff
+module Ewma = Lcws_sync.Ewma
 module Injector = Lcws_sched.Sched_protocol.Injector
+module Policy_switch = Lcws_sched.Sched_protocol.Policy_switch
+module Policy_governor = Lcws_sched.Policy_governor
 module Fastmath = Lcws_sync.Fastmath
 module Padding = Lcws_sync.Padding
 module Deque_intf = Lcws_deque.Deque_intf

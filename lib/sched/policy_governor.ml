@@ -1,0 +1,92 @@
+(* The deciding half of an adaptive pool: samples the per-worker
+   counters the scheduler already maintains, smooths the observed steal
+   pressure and turns it into a target exposure mode. The mechanism
+   that makes the resulting switch safe against in-flight thieves lives
+   in [Sched_protocol.Policy_switch]; this module is pure bookkeeping
+   and is deliberately testable without a pool. *)
+
+module Ewma = Lcws_sync.Ewma
+
+type mode = Unsync | Handshake
+
+let switch_mode = function
+  | Unsync -> Sched_protocol.Policy_switch.unsync
+  | Handshake -> Sched_protocol.Policy_switch.handshake
+
+let mode_name = function Unsync -> "unsync" | Handshake -> "handshake"
+
+type config = {
+  alpha : float;  (* EWMA smoothing factor *)
+  lo : float;  (* pressure below this (strictly) -> unsync *)
+  hi : float;  (* pressure above this (strictly) -> handshake *)
+  epoch : int;  (* owner poll points between governor samples *)
+}
+
+(* Thresholds in steal attempts per executed task: a pool where fewer
+   than one poll point in twenty sees a steal probe runs happily
+   unsynchronized; past one in four, thieves are waiting on lazy
+   exposure and the handshake's prompt transfer wins. The 5x gap plus
+   the EWMA is the anti-flap margin (DESIGN.md 3.9). *)
+let default_config = { alpha = 0.3; lo = 0.05; hi = 0.25; epoch = 256 }
+
+type t = {
+  cfg : config;
+  ewma : Ewma.t;
+  gate : Ewma.gate;  (* true = handshake *)
+  mutable prev_attempts : int;
+  mutable prev_tasks : int;
+  mutable samples : int;
+  mutable switches : int;
+}
+
+let create ?(config = default_config) ?(initial = Unsync) () =
+  if config.epoch <= 0 then invalid_arg "Policy_governor.create: epoch must be positive";
+  {
+    cfg = config;
+    ewma = Ewma.create ~alpha:config.alpha;
+    gate = Ewma.gate ~initial:(initial = Handshake) (Ewma.band ~lo:config.lo ~hi:config.hi);
+    prev_attempts = 0;
+    prev_tasks = 0;
+    samples = 0;
+    switches = 0;
+  }
+
+let epoch t = t.cfg.epoch
+
+let samples t = t.samples
+
+let switches t = t.switches
+
+let mode t = if Ewma.state t.gate then Handshake else Unsync
+
+let smoothed t = Ewma.value t.ewma
+
+(** The raw per-epoch pressure: steal attempts per executed task, plus
+    the parked fraction of the pool (a parked worker is one that
+    searched, found nothing and gave up — starvation that prompt
+    exposure relieves). Pure; unit-testable. *)
+let pressure ~steal_attempts ~tasks_run ~parked ~num_workers =
+  let attempts = max 0 steal_attempts and tasks = max 1 tasks_run in
+  float_of_int attempts /. float_of_int tasks
+  +. (float_of_int (max 0 parked) /. float_of_int (max 1 num_workers))
+
+(** Feed one raw pressure sample through the EWMA and hysteresis gate;
+    returns the (possibly unchanged) target mode. Pure state, no pool
+    required — the unit tests drive this directly. *)
+let step t p =
+  let smoothed = Ewma.observe t.ewma p in
+  let before = Ewma.state t.gate in
+  let after = Ewma.update t.gate smoothed in
+  t.samples <- t.samples + 1;
+  if after <> before then t.switches <- t.switches + 1;
+  if after then Handshake else Unsync
+
+(** Sample cumulative pool counters (monotone across calls): computes
+    the epoch deltas against the previous sample and {!step}s the
+    result. [parked] is an instantaneous gauge, not a delta. *)
+let sample t ~steal_attempts ~tasks_run ~parked ~num_workers =
+  let da = steal_attempts - t.prev_attempts in
+  let dt = tasks_run - t.prev_tasks in
+  t.prev_attempts <- steal_attempts;
+  t.prev_tasks <- tasks_run;
+  step t (pressure ~steal_attempts:da ~tasks_run:dt ~parked ~num_workers)

@@ -1,0 +1,67 @@
+(** Adaptive exposure-policy governor: the deciding half of an elastic
+    pool.
+
+    The scheduler already counts steal attempts, executed tasks and
+    parked workers; the governor periodically turns those counters into
+    a {e steal pressure} (attempts per task, plus the parked fraction),
+    smooths it through an EWMA and feeds it to a two-threshold
+    hysteresis gate ({!Lcws_sync.Ewma}). The gate's state is the target
+    exposure mode: high sustained pressure selects the signal-handshake
+    discipline (prompt exposure pays for its fences when thieves are
+    waiting), low pressure selects the unsynchronized discipline (lazy
+    exposure at task boundaries is nearly free when steals are rare).
+
+    The governor only {e decides}; publishing the decision to a worker
+    without stranding an in-flight exposure request is
+    [Sched_protocol.Policy_switch]'s job.
+
+    Plain mutable state, single-writer: the pool runs one governor
+    claim at a time (a CAS-guarded epoch counter in the scheduler). *)
+
+type mode = Unsync | Handshake
+
+(** The [Sched_protocol.Policy_switch] wire encoding of a mode. *)
+val switch_mode : mode -> int
+
+val mode_name : mode -> string
+
+type config = {
+  alpha : float;  (** EWMA smoothing factor, in (0, 1] *)
+  lo : float;  (** smoothed pressure strictly below -> unsync *)
+  hi : float;  (** smoothed pressure strictly above -> handshake *)
+  epoch : int;  (** owner poll points between governor samples *)
+}
+
+val default_config : config
+
+type t
+
+(** @raise Invalid_argument if [config.epoch <= 0] (or transitively if
+    [alpha]/[lo]/[hi] are invalid for {!Lcws_sync.Ewma}). *)
+val create : ?config:config -> ?initial:mode -> unit -> t
+
+val epoch : t -> int
+
+(** Raw samples fed so far. *)
+val samples : t -> int
+
+(** Mode flips decided so far. *)
+val switches : t -> int
+
+(** Current target mode (the hysteresis gate's state). *)
+val mode : t -> mode
+
+(** Current smoothed pressure. *)
+val smoothed : t -> float
+
+(** Raw per-epoch pressure from delta counters; pure. *)
+val pressure :
+  steal_attempts:int -> tasks_run:int -> parked:int -> num_workers:int -> float
+
+(** Feed one raw pressure value; returns the updated target mode. *)
+val step : t -> float -> mode
+
+(** Feed cumulative (monotone) pool counters; the governor keeps the
+    previous sample and steps on the deltas. [parked] is a gauge. *)
+val sample :
+  t -> steal_attempts:int -> tasks_run:int -> parked:int -> num_workers:int -> mode

@@ -472,3 +472,149 @@ module Park = struct
 
   let park t ~recheck ~block = park_with clean t ~recheck ~block
 end
+
+(** {1 Exposure-policy switch (adaptive pools)}
+
+    An adaptive pool lets a governor flip each worker between the
+    unsynchronized exposure discipline (thieves raise a targeted flag
+    the owner polls at task boundaries) and the signal-handshake
+    discipline (thieves additionally raise a pending-signal flag served
+    by an explicit handshake). The two disciplines deliver exposure
+    requests over {e different channels}, so a switch has a dangerous
+    window: a thief that read the old policy may deposit its request on
+    the superseded channel just as the owner stops serving it — the
+    request strands, the thief spins on a victim that will never
+    expose, and at worst the pool deadlocks under joins.
+
+    The kernel closes the window with an epoch-stamped policy word and
+    a publish/ack handshake:
+
+    - the {e word} packs [(epoch lsl 1) lor mode]; every accepted
+      proposal bumps the epoch, so two successive words never compare
+      equal even if a mode ever repeated;
+    - the governor writes a new word into [proposed] ({!propose}),
+      refusing while the previous proposal is still unacknowledged, so
+      at most one switch is ever in flight per worker;
+    - the owner acknowledges at a poll point ({!adopt_with}): it first
+      {e flips} [active] to the proposed word — from here on thieves
+      route to the new channel — and only {e then} drains the
+      superseded channel, serving any request already deposited there;
+    - a thief sends fenced ({!request_with}): load [active] (w1),
+      deposit on w1's channel, re-load [active] (w2), and re-issue on
+      w2's channel if the word moved underneath it.
+
+    The channels themselves are the caller's (the scheduler's
+    [targeted]/[signal_pending] flags; atomic cells in the checker's
+    model), abstracted as the [drain]/[send] callbacks — the same
+    discipline as {!Park}'s dock. The kernel owns only the policy word
+    pair and the order in which the callbacks run relative to its own
+    accesses; that order is the protocol.
+
+    Why no request is ever stranded is a Dekker-style argument over the
+    SC order of four accesses — the owner's flip store F and drain load
+    D (F before D program-ordered), and the thief's deposit store S and
+    re-read load R (S before R):
+
+    - if R reads [active] {e before} F, the thief saw the old word and
+      left its deposit on the old channel; but then S precedes R
+      precedes F precedes D, so the drain D observes the deposit and
+      serves it;
+    - if R reads [active] {e after} F, the thief observes the moved
+      word and re-issues on the new channel, which the owner's normal
+      poll serves from then on.
+
+    Flip-before-drain is essential: draining {e first} and flipping
+    after reopens the window (a deposit landing between the drain and
+    the flip sits on a channel the owner has already swept and will
+    never sweep again, while the thief's re-read still sees the old
+    word and does not re-issue). The two seeded mutants break one leg
+    each: [no_ack] publishes the flip but skips the drain (kills the
+    first leg); [stale_epoch] trusts the pre-deposit read and skips the
+    re-read (kills the second). The checker's policy-switch scenario
+    must catch exactly these. *)
+module Policy_switch = struct
+  (* Channel indices double as the mode encoding. *)
+  let unsync = 0
+  let handshake = 1
+
+  let word ~epoch ~mode = (epoch lsl 1) lor (mode land 1)
+  let mode_of w = w land 1
+  let epoch_of w = w lsr 1
+
+  type t = {
+    proposed : int A.t; (* governor-written policy word *)
+    active : int A.t; (* owner-written ack; thieves route by this *)
+  }
+
+  (** Seeded bugs. [no_ack]: the owner flips [active] but never drains
+      the superseded channel — an in-flight request deposited under the
+      old policy strands forever. [stale_epoch]: the thief trusts its
+      pre-deposit read of the policy word and skips the post-deposit
+      re-read — a deposit racing the flip strands on the old channel
+      with nobody left to re-issue it. *)
+  type mutation = { no_ack : bool; stale_epoch : bool }
+
+  let clean = { no_ack = false; stale_epoch = false }
+
+  let make ?name ?(mode = unsync) () =
+    let cell s = match name with None -> s | Some p -> p ^ "." ^ s in
+    let w0 = word ~epoch:0 ~mode in
+    { proposed = A.make ~name:(cell "proposed") w0; active = A.make ~name:(cell "active") w0 }
+
+  let active_word t = A.get t.active
+
+  let active_mode t = mode_of (A.get t.active)
+
+  (** Has the owner acknowledged the latest proposal? *)
+  let acked t = A.get t.proposed = A.get t.active
+
+  (** Governor: publish a switch to [mode]. Refused (returns [false])
+      while the previous proposal is unacked or when [mode] is already
+      the proposed mode, so at most one switch is in flight and epochs
+      only ever move forward. The CAS keeps two racing governors from
+      double-bumping (the pool runs one governor claim at a time, but
+      the kernel does not rely on it). *)
+  let propose t ~mode =
+    let a = A.get t.active in
+    let p = A.get t.proposed in
+    if p <> a || mode_of p = mode land 1 then false
+    else A.compare_and_set t.proposed p (word ~epoch:(epoch_of p + 1) ~mode)
+
+  (** Owner poll point: acknowledge a pending proposal. Flips [active]
+      first — the ack doubles as the re-route point for thieves — and
+      only then runs [drain ~mode:old_mode], which must sweep the old
+      discipline's channel and serve any request already deposited
+      there (consuming the flag with a take, not a blind clear, so a
+      deposit racing the sweep is never wiped unserved). Returns [true]
+      iff a switch was adopted. *)
+  let adopt_with m t ~drain =
+    let p = A.get t.proposed in
+    let a = A.get t.active in
+    if p = a then false
+    else begin
+      A.set t.active p;
+      (* Drain AFTER the flip; see the module comment for why the other
+         order loses requests. *)
+      if not m.no_ack then drain ~mode:(mode_of a);
+      true
+    end
+
+  let adopt t ~drain = adopt_with clean t ~drain
+
+  (** Thief: deposit an exposure request on the channel the current
+      policy designates, fenced against a concurrent switch — load the
+      word, [send ~mode] on its channel, re-load, and re-issue on the
+      new channel if the word moved underneath. [send] must be
+      idempotent (raising an already-raised flag is a no-op), and a
+      re-issued send must not be swallowed by a one-outstanding-request
+      throttle — the first deposit may be the one that strands. *)
+  let request_with m t ~send =
+    let w1 = A.get t.active in
+    send ~mode:(mode_of w1);
+    if not m.stale_epoch then begin
+      let w2 = A.get t.active in
+      if w2 <> w1 then send ~mode:(mode_of w2)
+    end
+
+  let request t ~send = request_with clean t ~send
+end

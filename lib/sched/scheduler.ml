@@ -131,6 +131,7 @@ module Scope = Sched_protocol.Scope
 module Future_core = Sched_protocol.Future_core
 module Injector = Sched_protocol.Injector
 module Park = Sched_protocol.Park
+module Policy_switch = Sched_protocol.Policy_switch
 module Parking_lot = Lcws_sync.Parking_lot
 
 type frame = task Frame.t
@@ -155,6 +156,14 @@ type worker = {
          thief keeps); length [steal_batch - 1], reused on every steal
          so the batch path allocates nothing *)
   backoff : Backoff.t;
+  pswitch : Policy_switch.t;
+      (* epoch-stamped exposure-policy word pair
+         ([Sched_protocol.Policy_switch]): the governor proposes into
+         it, this worker acks at its poll points, thieves route their
+         exposure requests by it. Only consulted on adaptive pools. *)
+  mutable polls : int;
+      (* owner poll points since the last governor sample attempt
+         (adaptive pools only; plain field, owner-written) *)
   mutable frames : frame array; (* the worker's LIFO frame pool... *)
   mutable frame_top : int; (* ...and its stack pointer *)
   mutable sched_depth : int;
@@ -176,6 +185,17 @@ type worker = {
    if the pool shuts down before any worker drained it (complete the
    attached future with [Cancelled] so external awaiters never hang). *)
 type injected = { ij_run : task; ij_abort : unit -> unit }
+
+(* The adaptive pool's governor: decision state plus the claim flag
+   that elects one worker per epoch to sample and propose. The decision
+   state is single-writer under [g_lock]; the counters it samples are
+   other workers' plain metric fields, read racily — the governor is a
+   heuristic, approximate sums are fine (same stance as tracing). *)
+type gov = {
+  g_state : Policy_governor.t;
+  g_lock : bool Atomic.t;
+  g_epoch : int; (* owner poll points between sample attempts *)
+}
 
 type pool = {
   pvariant : variant;
@@ -232,6 +252,11 @@ type pool = {
          published task just burns a mutex+signal on the publisher and
          a futile wake/re-park cycle on the parker. See the safety note
          on [ring_one]. *)
+  adaptive : bool;
+      (* [governor] is present; cached as a plain immutable bool so the
+         per-poll and per-notify guards are one predictable load and
+         branch (same discipline as [fault_on] and [Trace.t.on]) *)
+  governor : gov option;
 }
 
 let ctx_key : (pool * worker) option Domain.DLS.key =
@@ -406,6 +431,24 @@ let exposure_policy = function
   | Half -> Expose_half
   | Ws -> assert false
 
+(* The variant an adaptive worker runs while its policy word says
+   handshake: the pool's own signal discipline, or [Signal] when the
+   pool was created as [Uslcws] (which has no handshake of its own). *)
+let handshake_variant pool =
+  match pool.pvariant with Uslcws | Ws -> Signal | (Signal | Cons | Half) as v -> v
+
+(* The exposure discipline worker [w] runs right now. Static pools
+   answer from the immutable variant; adaptive pools read the worker's
+   policy word ([Policy_switch.active_mode] — one atomic load). Each
+   worker's word only moves at its own poll points, so within one
+   owner-side operation the answer is stable; thief-side readers
+   (e.g. [notify]) must instead go through the fenced
+   [Policy_switch.request]. *)
+let wvariant pool w =
+  if not pool.adaptive then pool.pvariant
+  else if Policy_switch.active_mode w.pswitch = Policy_switch.unsync then Uslcws
+  else handshake_variant pool
+
 (* Cheap conditional reset: the [Atomic.get] is a plain load; the SC store
    only happens when a thief actually targeted us. *)
 let reset_targeted w = if Atomic.get w.targeted then Atomic.set w.targeted false
@@ -423,7 +466,7 @@ let reset_targeted w = if Atomic.get w.targeted then Atomic.set w.targeted false
 let handle_signal pool w =
   Atomic.set w.signal_pending false;
   let (Instance ((module D), d)) = w.deque in
-  let n = D.update_public_bottom d ~policy:(exposure_policy pool.pvariant) in
+  let n = D.update_public_bottom d ~policy:(exposure_policy (handshake_variant pool)) in
   w.metrics.signals_handled <- w.metrics.signals_handled + 1;
   let tr = pool.trace in
   if Trace.enabled tr then begin
@@ -437,10 +480,87 @@ let handle_signal pool w =
      everyone. *)
   if n > 0 then if n > 1 then ring_all pool else ring_one pool
 
+(* Unsynchronized-discipline service of a [targeted] exposure request —
+   at a task boundary (Listing 1 lines 8-12), or as the drain of an
+   adaptive switch away from the unsync discipline. The caller has
+   already consumed the [targeted] flag. *)
+let serve_boundary_exposure pool w =
+  let (Instance ((module D), d)) = w.deque in
+  let n = D.update_public_bottom d ~policy:Expose_one in
+  w.metrics.signals_handled <- w.metrics.signals_handled + 1;
+  let tr = pool.trace in
+  if Trace.enabled tr then begin
+    let time = Trace.now tr in
+    Trace.record_signal_handled tr ~worker:w.id ~time;
+    if n > 0 then Trace.record_expose tr ~worker:w.id ~time ~tasks:n
+  end;
+  if n > 0 then ring_one pool (* exposure doorbell, as in [handle_signal] *)
+
+(* One adaptive-governor poll tick: every [g_epoch] of this worker's
+   poll points, try to claim the governor (one CAS; losing just means
+   another worker is sampling this epoch), sample the pool-wide
+   steal-pressure counters, and propose the resulting target mode to
+   every worker's policy word. [Policy_switch.propose] refuses per
+   worker while that worker's previous switch is unacked (or when the
+   target is already its proposed mode), so repeated same-target epochs
+   cost two loads per worker and no stores. *)
+let governor_tick pool w g =
+  w.polls <- w.polls + 1;
+  if w.polls >= g.g_epoch then begin
+    w.polls <- 0;
+    if Atomic.compare_and_set g.g_lock false true then begin
+      let attempts = ref 0 and tasks = ref 0 in
+      Array.iter
+        (fun u ->
+          attempts := !attempts + u.metrics.steal_attempts;
+          tasks := !tasks + u.metrics.tasks_run)
+        pool.workers;
+      let target =
+        Policy_governor.sample g.g_state ~steal_attempts:!attempts ~tasks_run:!tasks
+          ~parked:(Park.parked pool.park) ~num_workers:pool.nw
+      in
+      let mode = Policy_governor.switch_mode target in
+      Array.iter (fun u -> ignore (Policy_switch.propose u.pswitch ~mode)) pool.workers;
+      Atomic.set g.g_lock false
+    end
+  end
+
+(* Adaptive owner poll point: acknowledge a proposed policy switch.
+   [Policy_switch.adopt] flips the word first and then runs the drain,
+   which serves a request already deposited on the superseded channel —
+   the handshake channel is [signal_pending] (served by the full
+   [handle_signal]), the unsync channel is [targeted] (served by an
+   immediate boundary exposure). See [Sched_protocol.Policy_switch] for
+   why flip-before-drain plus the thief-side fenced re-issue means no
+   request ever strands across a switch. *)
+let adopt_policy pool w =
+  let switched =
+    Policy_switch.adopt w.pswitch ~drain:(fun ~mode ->
+        if mode = Policy_switch.handshake then begin
+          if Atomic.get w.signal_pending then handle_signal pool w
+        end
+        else if Atomic.get w.targeted then begin
+          Atomic.set w.targeted false;
+          serve_boundary_exposure pool w
+        end)
+  in
+  if switched then begin
+    w.metrics.policy_switches <- w.metrics.policy_switches + 1;
+    let tr = pool.trace in
+    if Trace.enabled tr then
+      Trace.record_policy_switch tr ~worker:w.id ~time:(Trace.now tr)
+        ~mode:(Policy_switch.active_mode w.pswitch)
+  end
+
 let handle_pending pool w =
   let stalled = pool.fault_on && fault_poll pool w in
-  if not stalled then
-    match pool.pvariant with
+  if not stalled then begin
+    (match pool.governor with
+    | Some g ->
+        governor_tick pool w g;
+        adopt_policy pool w
+    | None -> ());
+    match wvariant pool w with
     | Signal | Cons | Half ->
         if Atomic.get w.signal_pending then
           if not pool.fault_on then handle_signal pool w
@@ -459,13 +579,14 @@ let handle_pending pool w =
                 record_fault pool w Fault.code_drop_signal
           end
     | Ws | Uslcws -> ()
+  end
 
 let push_task pool w t =
   let (Instance ((module D), d)) = w.deque in
   D.push_bottom d t;
   (* Signal-based variants: a fresh push means there is (new) work that can
      be exposed, so thieves may notify again (Section 4). *)
-  (match pool.pvariant with
+  (match wvariant pool w with
   | Signal | Cons | Half -> reset_targeted w
   | Ws | Uslcws -> ());
   (* Push doorbell. On the split deques the pushed task lands in the
@@ -488,8 +609,13 @@ let push_task pool w t =
    [pop_public_bottom], which repairs the decremented [bot]. *)
 let pop_own pool w =
   let (Instance ((module D), d)) = w.deque in
+  (* On an adaptive pool the discipline is the worker's *current* policy
+     word, read once per pop: the word only moves at this worker's own
+     poll points, and each pop call is internally consistent under
+     either discipline, so switching between calls is safe. *)
+  let wv = wvariant pool w in
   let private_task =
-    match pool.pvariant with
+    match wv with
     | Signal | Half -> D.pop_bottom_signal_safe d
     | Ws | Uslcws | Cons -> D.pop_bottom d
   in
@@ -497,19 +623,11 @@ let pop_own pool w =
   | Some _ as r ->
       (* USLCWS handles exposure requests at task boundaries only
          (Listing 1 lines 8-12). *)
-      (match pool.pvariant with
+      (match wv with
       | Uslcws ->
           if Atomic.get w.targeted then begin
             Atomic.set w.targeted false;
-            let n = D.update_public_bottom d ~policy:Expose_one in
-            w.metrics.signals_handled <- w.metrics.signals_handled + 1;
-            let tr = pool.trace in
-            if Trace.enabled tr then begin
-              let time = Trace.now tr in
-              Trace.record_signal_handled tr ~worker:w.id ~time;
-              if n > 0 then Trace.record_expose tr ~worker:w.id ~time ~tasks:n
-            end;
-            if n > 0 then ring_one pool (* exposure doorbell, as in [handle_signal] *)
+            serve_boundary_exposure pool w
           end
       | Ws | Signal | Cons | Half -> ());
       r
@@ -542,22 +660,19 @@ let pop_own pool w =
    [signal_pending] is idempotent, and the victim's next poll turns it
    into an exposure whose doorbell sees the already-announced parked
    count. *)
-let notify ?(force = false) pool thief victim =
-  let notified =
-    match pool.pvariant with
-    | Ws -> false
-    | Uslcws ->
-        Atomic.set victim.targeted true;
-        thief.metrics.signals_sent <- thief.metrics.signals_sent + 1;
-        true
-    | Signal | Half ->
-        if force || not (Atomic.get victim.targeted) then begin
-          Atomic.set victim.targeted true;
-          Atomic.set victim.signal_pending true;
-          thief.metrics.signals_sent <- thief.metrics.signals_sent + 1;
-          true
-        end
-        else false
+(* One exposure-request deposit on [victim]'s channel for [mode] — the
+   unsync channel is the bare [targeted] flag, the handshake channel
+   additionally raises [signal_pending] behind the per-variant throttle
+   ([force] bypasses it; see [notify]). Returns whether a flag was
+   actually raised. *)
+let send_request ?(force = false) pool thief victim ~mode =
+  if mode = Policy_switch.unsync then begin
+    Atomic.set victim.targeted true;
+    thief.metrics.signals_sent <- thief.metrics.signals_sent + 1;
+    true
+  end
+  else
+    match handshake_variant pool with
     | Cons ->
         let has_two =
           let (Instance ((module D), d)) = victim.deque in
@@ -570,6 +685,38 @@ let notify ?(force = false) pool thief victim =
           true
         end
         else false
+    | Ws | Uslcws | Signal | Half ->
+        if force || not (Atomic.get victim.targeted) then begin
+          Atomic.set victim.targeted true;
+          Atomic.set victim.signal_pending true;
+          thief.metrics.signals_sent <- thief.metrics.signals_sent + 1;
+          true
+        end
+        else false
+
+let notify ?(force = false) pool thief victim =
+  let notified =
+    if pool.adaptive then begin
+      (* Fenced against a concurrent policy switch
+         ([Sched_protocol.Policy_switch]): deposit on the channel the
+         victim's current word designates, re-read, re-issue if the
+         word moved. The re-issue bypasses the one-outstanding-request
+         throttle — our own first deposit would otherwise swallow it
+         and strand the request on the dead channel. *)
+      let sent = ref false in
+      let resend = ref false in
+      Policy_switch.request victim.pswitch ~send:(fun ~mode ->
+          let f = force || !resend in
+          resend := true;
+          if send_request ~force:f pool thief victim ~mode then sent := true);
+      !sent
+    end
+    else
+      match pool.pvariant with
+      | Ws -> false
+      | Uslcws -> send_request pool thief victim ~mode:Policy_switch.unsync
+      | Signal | Half | Cons ->
+          send_request ~force pool thief victim ~mode:Policy_switch.handshake
   in
   if notified then begin
     let tr = pool.trace in
@@ -1423,9 +1570,41 @@ module Pool = struct
 
   let create ?(seed = 42L) ?(deque_capacity = 65536) ?deque ?(trace = Trace.null)
       ?fault:fault_plan ?(steal_policy = Victim_policy.Near_first) ?topology
-      ?(steal_batch = 8) ~num_workers ~variant () =
+      ?(steal_batch = 8) ?(adaptive = false) ?adaptive_config ~num_workers ~variant () =
     if num_workers < 1 then invalid_arg "Pool.create: num_workers must be >= 1";
     if steal_batch < 1 then invalid_arg "Pool.create: steal_batch must be >= 1";
+    if adaptive && variant = Ws then
+      invalid_arg
+        "Pool.create: adaptive needs a synchronization-light variant (Uslcws, Signal, \
+         Cons or Half), not Ws";
+    (* A worker starts in the mode that reproduces the static pool's
+       behavior, so an adaptive pool is indistinguishable from its
+       variant until the governor's first accepted switch. *)
+    let initial_mode =
+      match variant with
+      | Uslcws -> Policy_switch.unsync
+      | Ws | Signal | Cons | Half -> Policy_switch.handshake
+    in
+    let governor =
+      if not adaptive then None
+      else begin
+        let config =
+          match adaptive_config with
+          | Some c -> c
+          | None -> Policy_governor.default_config
+        in
+        let initial =
+          if initial_mode = Policy_switch.unsync then Policy_governor.Unsync
+          else Policy_governor.Handshake
+        in
+        Some
+          {
+            g_state = Policy_governor.create ~config ~initial ();
+            g_lock = Atomic.make false;
+            g_epoch = config.Policy_governor.epoch;
+          }
+      end
+    in
     let fault =
       match fault_plan with None -> Fault.none | Some p -> Fault.create p ~num_workers
     in
@@ -1456,6 +1635,8 @@ module Pool = struct
             ();
         steal_buf = Array.make (steal_batch - 1) dummy_task;
         backoff = Backoff.create ~min_wait:1 ~max_wait:64 ~metrics ();
+        pswitch = Policy_switch.make ~mode:initial_mode ();
+        polls = 0;
         frames = Array.init initial_frames (fun _ -> make_frame ());
         frame_top = 0;
         sched_depth = 0;
@@ -1484,6 +1665,8 @@ module Pool = struct
         park = Park.make ();
         lot = Parking_lot.create ();
         searchers = Atomic.make 0;
+        adaptive;
+        governor;
       }
     in
     pool.domains <-
@@ -1668,6 +1851,25 @@ module Pool = struct
   let num_workers pool = pool.nw
 
   let variant pool = pool.pvariant
+
+  let adaptive pool = pool.adaptive
+
+  (* Racy snapshot of each worker's current exposure mode (exact between
+     jobs): [Policy_governor.Unsync] or [Handshake] per worker. On a
+     static pool, derived from the variant. *)
+  let worker_modes pool =
+    Array.map
+      (fun w ->
+        if
+          (if pool.adaptive then Policy_switch.active_mode w.pswitch
+           else
+             match pool.pvariant with
+             | Ws | Uslcws -> Policy_switch.unsync
+             | Signal | Cons | Half -> Policy_switch.handshake)
+          = Policy_switch.unsync
+        then Policy_governor.Unsync
+        else Policy_governor.Handshake)
+      pool.workers
 
   let trace pool = pool.trace
 

@@ -224,9 +224,25 @@ module Pool : sig
         steal attempts and task execution. Omitted (the default), every
         fault hook compiles down to one load-and-branch on a plain bool
         — benchmarks cannot tell the difference.
+      @param adaptive elastic exposure policy (default false): a
+        governor ({!Policy_governor}) periodically samples the pool's
+        steal pressure and switches each worker online between the
+        unsynchronized discipline (lazy task-boundary exposure, [Uslcws])
+        and the signal handshake (the pool's own signal variant, or
+        [Signal] for a [Uslcws] pool). Workers start in the mode
+        matching [variant], so an adaptive pool behaves exactly like
+        its static counterpart until the first accepted switch. The
+        switch itself is the checker-verified
+        [Sched_protocol.Policy_switch] publish/ack protocol — a thief's
+        in-flight exposure request is never stranded by a concurrent
+        switch. Requires a synchronization-light [variant] (not [Ws]).
+      @param adaptive_config governor thresholds and sampling epoch
+        (default {!Policy_governor.default_config}; ignored unless
+        [adaptive]).
       @raise Invalid_argument if [deque] is a sequential specification and
-        [num_workers > 1], or if [trace] was created for fewer than
-        [num_workers] workers. *)
+        [num_workers > 1], if [trace] was created for fewer than
+        [num_workers] workers, or if [adaptive] is requested with
+        [variant = Ws]. *)
   val create :
     ?seed:int64 ->
     ?deque_capacity:int ->
@@ -236,6 +252,8 @@ module Pool : sig
     ?steal_policy:Lcws_sync.Victim_policy.policy ->
     ?topology:int array array ->
     ?steal_batch:int ->
+    ?adaptive:bool ->
+    ?adaptive_config:Policy_governor.config ->
     num_workers:int ->
     variant:variant ->
     unit ->
@@ -288,6 +306,13 @@ module Pool : sig
   val num_workers : t -> int
 
   val variant : t -> variant
+
+  (** Was the pool created with [?adaptive:true]? *)
+  val adaptive : t -> bool
+
+  (** Racy snapshot of each worker's current exposure mode (exact
+      between jobs). On a static pool, derived from the variant. *)
+  val worker_modes : t -> Policy_governor.mode array
 
   (** The trace sink passed at [create] ({!Lcws_trace.Trace.null} if
       none). *)

@@ -2,6 +2,7 @@ module Xoshiro = Lcws_sync.Xoshiro
 module Victim_policy = Lcws_sync.Victim_policy
 module Pdq = Lcws_deque.Private_deque
 module Trace = Lcws_trace.Trace
+module Policy_governor = Lcws_sched.Policy_governor
 
 type policy = Ws | Uslcws | Signal | Cons | Half | Lace | Private_deques
 
@@ -45,6 +46,7 @@ type stats = {
   near_steals : int;
   far_steals : int;
   cache_miss_cost : int;
+  policy_switches : int;
 }
 
 let exposed_not_stolen s = max 0 (s.exposed - s.steals)
@@ -85,7 +87,7 @@ and grant = No_grant | Denied | Granted of task
 
 type sim = {
   machine : Cost_model.t;
-  policy : policy;
+  mutable policy : policy; (* mutable for adaptive runs; see [switch_policy] *)
   p : int;
   workers : worker array;
   quantum : int;
@@ -106,6 +108,7 @@ type sim = {
   mutable near_steals : int;
   mutable far_steals : int;
   mutable cache_miss_cost : int;
+  mutable policy_switches : int;
   mutable work_done : int;
   trace : Trace.t;  (** event sink; timestamps are virtual worker clocks *)
 }
@@ -180,6 +183,44 @@ let deliver_pending_signal sim w =
         sim.signals_handled <- sim.signals_handled + 1
       end
   | Ws | Uslcws | Lace | Private_deques -> ()
+
+(* Adaptive runs: flip the whole simulated pool to [target]. The
+   sequential engine collapses the real scheduler's per-worker
+   publish/ack handshake ([Sched_protocol.Policy_switch]) to one
+   atomic step — there is no concurrency to fence against — but the
+   drain is mirrored faithfully: each worker serves a request already
+   deposited on the channel of the {e old} discipline (a pending
+   signal, or a raised targeted flag) before the flip, so no modeled
+   exposure request is lost across a switch, exactly as in the real
+   engine. *)
+let switch_policy sim target =
+  Array.iter
+    (fun w ->
+      (match sim.policy with
+      | Signal | Cons | Half ->
+          if w.pending_signal_at >= 0 then begin
+            w.pending_signal_at <- -1;
+            w.time <- w.time + sim.machine.signal_handle_cost;
+            if Trace.enabled sim.trace then
+              Trace.record_signal_handled sim.trace ~worker:w.id ~time:w.time;
+            ignore (expose sim w);
+            sim.signals_handled <- sim.signals_handled + 1
+          end
+      | Uslcws ->
+          if w.targeted then begin
+            w.targeted <- false;
+            if Trace.enabled sim.trace then
+              Trace.record_signal_handled sim.trace ~worker:w.id ~time:w.time;
+            ignore (expose sim w);
+            sim.signals_handled <- sim.signals_handled + 1
+          end
+      | Ws | Lace | Private_deques -> ());
+      sim.policy_switches <- sim.policy_switches + 1;
+      if Trace.enabled sim.trace then
+        Trace.record_policy_switch sim.trace ~worker:w.id ~time:w.time
+          ~mode:(if target = Uslcws then 0 else 1))
+    sim.workers;
+  sim.policy <- target
 
 (* --- deque operations with cost accounting --------------------------- *)
 
@@ -504,11 +545,33 @@ let step sim w =
   | Fjoin cell :: rest -> if cell.cdone then w.stack <- rest else acquire sim w
 
 let run ~machine ~policy ~p ?(seed = 7L) ?(quantum = 200) ?(trace = Trace.null)
-    ?(steal_policy = Victim_policy.Uniform) ?topology ?(steal_batch = 1) comp =
+    ?(steal_policy = Victim_policy.Uniform) ?topology ?(steal_batch = 1)
+    ?(adaptive = false) ?adaptive_config comp =
   if p < 1 then invalid_arg "Engine.run";
   if steal_batch < 1 then invalid_arg "Engine.run: steal_batch must be >= 1";
   if Trace.enabled trace && Trace.num_workers trace < p then
     invalid_arg "Engine.run: trace was created for fewer workers";
+  let governor =
+    if not adaptive then None
+    else begin
+      (match policy with
+      | Uslcws | Signal | Cons | Half -> ()
+      | Ws | Lace | Private_deques ->
+          invalid_arg
+            "Engine.run: adaptive needs a synchronization-light paper policy (uslcws, \
+             signal, cons or half)");
+      let config =
+        match adaptive_config with Some c -> c | None -> Policy_governor.default_config
+      in
+      let initial =
+        if policy = Uslcws then Policy_governor.Unsync else Policy_governor.Handshake
+      in
+      Some (Policy_governor.create ~config ~initial (), config.Policy_governor.epoch)
+    end
+  in
+  (* The discipline an adaptive run flips to when the governor says
+     handshake: the requested signal variant, or [Signal] for [Uslcws]. *)
+  let handshake_policy = match policy with Uslcws -> Signal | pol -> pol in
   let root_rng = Xoshiro.create seed in
   let workers =
     Array.init p (fun id ->
@@ -554,6 +617,7 @@ let run ~machine ~policy ~p ?(seed = 7L) ?(quantum = 200) ?(trace = Trace.null)
       near_steals = 0;
       far_steals = 0;
       cache_miss_cost = 0;
+      policy_switches = 0;
       work_done = 0;
       trace;
     }
@@ -569,6 +633,26 @@ let run ~machine ~policy ~p ?(seed = 7L) ?(quantum = 200) ?(trace = Trace.null)
   while not root.cdone do
     incr guard;
     if !guard > max_steps then failwith "Engine.run: step budget exceeded (livelock?)";
+    (* Adaptive governor tick: sample the cumulative counters every
+       [epoch] engine steps (deterministic — the step counter stands in
+       for the real engine's per-worker poll counting), with the
+       currently hunting workers as the starvation gauge. *)
+    (match governor with
+    | Some (g, epoch) when !guard mod epoch = 0 ->
+        let hunting =
+          Array.fold_left (fun acc w -> if w.hunting then acc + 1 else acc) 0 workers
+        in
+        let target =
+          Policy_governor.sample g ~steal_attempts:sim.steal_attempts
+            ~tasks_run:sim.tasks ~parked:hunting ~num_workers:p
+        in
+        let target_policy =
+          match target with
+          | Policy_governor.Unsync -> Uslcws
+          | Policy_governor.Handshake -> handshake_policy
+        in
+        if target_policy <> sim.policy then switch_policy sim target_policy
+    | _ -> ());
     (* Advance the worker with the smallest local clock (deterministic;
        ties broken by id). *)
     let w = ref workers.(0) in
@@ -596,4 +680,5 @@ let run ~machine ~policy ~p ?(seed = 7L) ?(quantum = 200) ?(trace = Trace.null)
     near_steals = sim.near_steals;
     far_steals = sim.far_steals;
     cache_miss_cost = sim.cache_miss_cost;
+    policy_switches = sim.policy_switches;
   }

@@ -47,6 +47,9 @@ type stats = {
       (** total modeled cycles thieves spent faulting migrated tasks'
           working sets across the topology
           ({!Cost_model.migration_cost}) *)
+  policy_switches : int;
+      (** adaptive runs: per-worker exposure-policy adoptions (one per
+          worker per accepted governor flip); 0 on static runs *)
 }
 
 (** [exposed - steals], clamped at 0 — the "exposed but not stolen"
@@ -71,8 +74,17 @@ val exposed_not_stolen : stats -> int
       [min steal_batch (max 1 (public / 2))] — the steal-half rule —
       charging one CAS per claimed task and pushing the extras into
       their own deque.
+    @param adaptive elastic exposure policy (default false): a
+      {!Lcws_sched.Policy_governor} samples the run's cumulative steal
+      pressure every [adaptive_config.epoch] engine steps and flips the
+      whole simulated pool between [Uslcws] and the handshake
+      discipline ([policy] itself, or [Signal] for a [Uslcws] run).
+      Requires a synchronization-light paper [policy].
+    @param adaptive_config governor thresholds and sampling epoch
+      (default {!Lcws_sched.Policy_governor.default_config}).
     @raise Invalid_argument if [trace] was created for fewer than [p]
-      workers, or [steal_batch < 1]. *)
+      workers, [steal_batch < 1], or [adaptive] is requested with a
+      policy that is not one of [Uslcws]/[Signal]/[Cons]/[Half]. *)
 val run :
   machine:Cost_model.t ->
   policy:policy ->
@@ -83,5 +95,7 @@ val run :
   ?steal_policy:Lcws_sync.Victim_policy.policy ->
   ?topology:int array array ->
   ?steal_batch:int ->
+  ?adaptive:bool ->
+  ?adaptive_config:Lcws_sched.Policy_governor.config ->
   Comp.t ->
   stats

@@ -1,0 +1,50 @@
+type t = { alpha : float; mutable value : float; mutable primed : bool }
+
+let create ~alpha =
+  if not (alpha > 0. && alpha <= 1.) then
+    invalid_arg "Ewma.create: alpha must be in (0, 1]";
+  { alpha; value = 0.; primed = false }
+
+let observe t x =
+  if t.primed then t.value <- t.value +. (t.alpha *. (x -. t.value))
+  else begin
+    t.value <- x;
+    t.primed <- true
+  end;
+  t.value
+
+let value t = t.value
+
+let primed t = t.primed
+
+let reset t =
+  t.value <- 0.;
+  t.primed <- false
+
+type band = { lo : float; hi : float }
+
+let band ~lo ~hi =
+  if not (lo <= hi) then invalid_arg "Ewma.band: lo must be <= hi";
+  { lo; hi }
+
+type side = Low | Within | High
+
+let classify b x = if x > b.hi then High else if x < b.lo then Low else Within
+
+(* The hysteresis gate: a boolean output that only flips when the input
+   leaves the band on the side opposite its current state. An input
+   sitting anywhere inside [lo, hi] — including oscillating across a
+   single threshold value — keeps the previous decision, which is what
+   prevents flip-flapping on a boundary rate. *)
+type gate = { gband : band; mutable state : bool }
+
+let gate ?(initial = false) b = { gband = b; state = initial }
+
+let update g x =
+  (match classify g.gband x with
+  | High -> g.state <- true
+  | Low -> g.state <- false
+  | Within -> ());
+  g.state
+
+let state g = g.state

@@ -1,0 +1,56 @@
+(** Exponentially weighted moving averages and hysteresis bands.
+
+    The smoothing/deciding half of the adaptive exposure-policy governor
+    (see [Lcws_sched.Policy_governor]): raw per-epoch rates (steals per
+    task, parked workers) are too noisy to switch policy on directly, so
+    the governor smooths them through an EWMA and feeds the smoothed
+    value to a two-threshold hysteresis {!gate} — the decision only
+    flips when the value leaves the [lo, hi] dead band on the far side,
+    so a rate hovering at a single boundary cannot make the pool
+    flip-flap between policies.
+
+    Plain mutable state, single-writer by design (the governor runs on
+    one worker at a time); nothing here synchronizes. *)
+
+type t
+
+(** [create ~alpha] — smoothing factor in (0, 1]; higher = more reactive.
+    The first {!observe} primes the average to its sample.
+    @raise Invalid_argument if [alpha] is outside (0, 1]. *)
+val create : alpha:float -> t
+
+(** Feed one sample; returns the updated average. *)
+val observe : t -> float -> float
+
+(** Current average (0 before the first sample). *)
+val value : t -> float
+
+(** Has at least one sample been observed? *)
+val primed : t -> bool
+
+val reset : t -> unit
+
+(** {2 Hysteresis} *)
+
+type band = { lo : float; hi : float }
+
+(** @raise Invalid_argument if [lo > hi]. *)
+val band : lo:float -> hi:float -> band
+
+type side = Low | Within | High
+
+(** Strictly above [hi] is [High], strictly below [lo] is [Low]; the
+    closed band keeps the caller's previous state. *)
+val classify : band -> float -> side
+
+(** A boolean decision with memory: flips to [true] only when the input
+    classifies [High], to [false] only on [Low], and holds inside the
+    band. *)
+type gate
+
+val gate : ?initial:bool -> band -> gate
+
+(** Feed one (smoothed) value; returns the possibly-updated state. *)
+val update : gate -> float -> bool
+
+val state : gate -> bool

@@ -36,6 +36,7 @@ type t = {
   mutable tasks_migrated : int;
   mutable near_steals : int;
   mutable far_steals : int;
+  mutable policy_switches : int;
 }
 
 let create () =
@@ -77,6 +78,7 @@ let create () =
     tasks_migrated = 0;
     near_steals = 0;
     far_steals = 0;
+    policy_switches = 0;
   }
 
 (* The single authoritative field list: every generic operation (reset,
@@ -121,6 +123,7 @@ let fields : (string * (t -> int) * (t -> int -> unit)) list =
     ("tasks_migrated", (fun t -> t.tasks_migrated), fun t v -> t.tasks_migrated <- v);
     ("near_steals", (fun t -> t.near_steals), fun t v -> t.near_steals <- v);
     ("far_steals", (fun t -> t.far_steals), fun t v -> t.far_steals <- v);
+    ("policy_switches", (fun t -> t.policy_switches), fun t v -> t.policy_switches <- v);
   ]
 
 let to_assoc t = List.map (fun (name, get, _) -> (name, get t)) fields

@@ -44,6 +44,8 @@ type t = {
   mutable tasks_migrated : int;  (** tasks moved to this worker by its steals *)
   mutable near_steals : int;  (** successful steals from a near victim *)
   mutable far_steals : int;  (** successful steals from a far victim *)
+  mutable policy_switches : int;
+      (** adaptive pools: exposure-policy switches adopted by this worker *)
 }
 
 val create : unit -> t

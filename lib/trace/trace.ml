@@ -20,6 +20,7 @@ type kind =
   | Park
   | Wake
   | Steal_batch
+  | Policy_switch
 
 let all_kinds =
   [
@@ -44,6 +45,7 @@ let all_kinds =
     Park;
     Wake;
     Steal_batch;
+    Policy_switch;
   ]
 
 let kind_name = function
@@ -68,6 +70,7 @@ let kind_name = function
   | Park -> "park"
   | Wake -> "wake"
   | Steal_batch -> "steal_batch"
+  | Policy_switch -> "policy_switch"
 
 let kind_code = function
   | Steal_attempt -> 0
@@ -91,8 +94,9 @@ let kind_code = function
   | Park -> 18
   | Wake -> 19
   | Steal_batch -> 20
+  | Policy_switch -> 21
 
-let num_kinds = 21
+let num_kinds = 22
 
 let kind_of_code = function
   | 0 -> Steal_attempt
@@ -116,6 +120,7 @@ let kind_of_code = function
   | 18 -> Park
   | 19 -> Wake
   | 20 -> Steal_batch
+  | 21 -> Policy_switch
   | c -> invalid_arg (Printf.sprintf "Trace.kind_of_code: %d" c)
 
 (* One per worker; strictly single-writer, like Metrics. *)
@@ -295,6 +300,9 @@ let record_wake t ~worker ~time ~spurious =
 
 let record_steal_batch t ~thief ~time ~tasks =
   if t.on then emit_code t thief 20 (* Steal_batch *) ~time ~arg:tasks
+
+let record_policy_switch t ~worker ~time ~mode =
+  if t.on then emit_code t worker 21 (* Policy_switch *) ~time ~arg:mode
 
 (* --- reading ---------------------------------------------------------- *)
 

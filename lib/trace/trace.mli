@@ -50,10 +50,23 @@ type kind =
   | Park  (** worker blocked in the parking lot after a fruitless search *)
   | Wake  (** worker returned from a park; arg = 1 iff the wake was spurious *)
   | Steal_batch  (** a steal episode moved a batch; arg = #tasks migrated *)
+  | Policy_switch
+      (** adaptive pool: worker adopted a new exposure policy; arg = the
+          adopted mode ({!Lcws_sched}'s [Sched_protocol.Policy_switch]
+          encoding: 0 unsynchronized, 1 signal-handshake) *)
 
 val all_kinds : kind list
 
 val kind_name : kind -> string
+
+(** The stable wire code of a kind — the value stored in the ring and
+    consumed by exporters. Codes are dense, starting at 0, in
+    {!all_kinds} order. *)
+val kind_code : kind -> int
+
+(** Inverse of {!kind_code}.
+    @raise Invalid_argument on a code no kind encodes to. *)
+val kind_of_code : int -> kind
 
 type t
 
@@ -145,6 +158,10 @@ val record_wake : t -> worker:int -> time:int -> spurious:bool -> unit
 (** A steal episode on [thief] migrated [tasks] tasks in one batch
     (recorded in addition to the per-episode [Steal_ok]). *)
 val record_steal_batch : t -> thief:int -> time:int -> tasks:int -> unit
+
+(** [worker] adopted a new exposure policy ([mode]: 0 unsynchronized,
+    1 signal-handshake) published by the adaptive governor. *)
+val record_policy_switch : t -> worker:int -> time:int -> mode:int -> unit
 
 (** {2 Reading a trace back} *)
 

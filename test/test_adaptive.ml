@@ -1,0 +1,289 @@
+(* The elastic pool: governor hysteresis (no flip-flapping on a
+   boundary steal rate), the metrics conservation laws under forced
+   policy switches (a QCheck property over real pools), seeded
+   park_storm fault replay with adaptation on, and the simulator's
+   adaptive mode. The switch protocol's interleaving correctness is
+   test_check's job (sched_policy_switch + its two mutants); here we
+   exercise the governor's decisions and the shipped scheduler's
+   end-to-end behaviour around them. *)
+
+open Lcws
+module S = Scheduler
+module G = Policy_governor
+module F = Fault
+
+(* Seed plumbing unified behind LCWS_TEST_SEED (see seedutil.ml). *)
+let qtest ?(count = 100) name gen prop = Seedutil.qtest ~count name gen prop
+
+let with_pool ?fault ?adaptive ?adaptive_config ~num_workers ~variant f =
+  let pool = S.Pool.create ?fault ?adaptive ?adaptive_config ~num_workers ~variant () in
+  Fun.protect ~finally:(fun () -> S.Pool.shutdown pool) (fun () -> f pool)
+
+let rec fib n =
+  if n < 2 then n
+  else
+    let a, b = S.Ops.fork_join (fun () -> fib (n - 1)) (fun () -> fib (n - 2)) in
+    a + b
+
+(* {2 Governor hysteresis}
+
+   [alpha = 1.0] removes the EWMA so the gate's own behaviour is bare:
+   what reaches [update] is exactly the pressure we feed. *)
+
+let bare = { G.default_config with G.alpha = 1.0 }
+
+(* The anti-flap property the two-threshold gate exists for: pressure
+   oscillating anywhere inside [lo, hi] — including across a single
+   boundary value — never flips the mode, no matter how long it
+   hovers. *)
+let test_band_no_flip_flap () =
+  let g = G.create ~config:bare () in
+  for i = 1 to 100 do
+    let p = if i mod 2 = 0 then bare.G.lo +. 0.001 else bare.G.hi -. 0.001 in
+    ignore (G.step g p)
+  done;
+  Alcotest.(check int) "no switches inside the band" 0 (G.switches g);
+  Alcotest.(check bool) "mode unchanged" true (G.mode g = G.Unsync);
+  Alcotest.(check int) "every sample counted" 100 (G.samples g)
+
+(* Thresholds are strict: sitting exactly on [hi] (or [lo]) keeps the
+   previous decision; only leaving the band flips. Power-of-two
+   thresholds and samples keep the EWMA arithmetic exact, so "exactly
+   on the threshold" means exactly. *)
+let test_thresholds_strict () =
+  let g = G.create ~config:{ bare with G.lo = 0.25; hi = 0.5 } () in
+  ignore (G.step g 0.5);
+  Alcotest.(check bool) "at hi exactly: still unsync" true (G.mode g = G.Unsync);
+  ignore (G.step g 0.75);
+  Alcotest.(check bool) "above hi: handshake" true (G.mode g = G.Handshake);
+  ignore (G.step g 0.25);
+  Alcotest.(check bool) "at lo exactly: still handshake" true (G.mode g = G.Handshake);
+  ignore (G.step g 0.125);
+  Alcotest.(check bool) "below lo: unsync" true (G.mode g = G.Unsync);
+  Alcotest.(check int) "exactly two switches" 2 (G.switches g)
+
+(* The EWMA half: a one-epoch pressure spike is damped below the gate,
+   sustained pressure is not. *)
+let test_ewma_damps_spikes () =
+  let g = G.create ~config:{ G.default_config with G.alpha = 0.1 } () in
+  ignore (G.step g 0.0);
+  (* prime the filter quiet *)
+  ignore (G.step g 1.0);
+  (* smoothed = 0.1, inside the default band *)
+  Alcotest.(check bool) "one spike damped" true (G.mode g = G.Unsync);
+  Alcotest.(check int) "no switch on the spike" 0 (G.switches g);
+  for _ = 1 to 50 do
+    ignore (G.step g 1.0)
+  done;
+  Alcotest.(check bool) "sustained pressure flips" true (G.mode g = G.Handshake);
+  Alcotest.(check int) "exactly one switch" 1 (G.switches g)
+
+(* [sample] consumes cumulative (monotone) counters and steps on the
+   deltas; [parked] is a gauge, not a delta. *)
+let test_sample_deltas () =
+  let g = G.create ~config:bare () in
+  let m = G.sample g ~steal_attempts:100 ~tasks_run:100 ~parked:0 ~num_workers:4 in
+  Alcotest.(check bool) "attempt-heavy epoch -> handshake" true (m = G.Handshake);
+  (* The counters freeze: a zero-delta epoch reads as zero pressure,
+     not as the (huge) cumulative ratio. *)
+  let m = G.sample g ~steal_attempts:100 ~tasks_run:100 ~parked:0 ~num_workers:4 in
+  Alcotest.(check bool) "quiet epoch falls back -> unsync" true (m = G.Unsync);
+  (* A fully parked pool is maximal pressure even with no steal
+     traffic at all. *)
+  let m = G.sample g ~steal_attempts:100 ~tasks_run:100 ~parked:4 ~num_workers:4 in
+  Alcotest.(check bool) "parked pool -> handshake" true (m = G.Handshake)
+
+let test_pressure_pure () =
+  let p = G.pressure ~steal_attempts:50 ~tasks_run:100 ~parked:1 ~num_workers:4 in
+  Alcotest.(check (float 1e-9)) "attempts/task + parked fraction" 0.75 p;
+  (* Degenerate inputs clamp rather than divide by zero. *)
+  let p = G.pressure ~steal_attempts:0 ~tasks_run:0 ~parked:0 ~num_workers:0 in
+  Alcotest.(check (float 1e-9)) "empty epoch is zero pressure" 0.0 p
+
+(* {2 Pool plumbing} *)
+
+let test_adaptive_rejects_ws () =
+  Alcotest.check_raises "classic WS has no exposure policy to switch"
+    (Invalid_argument
+       "Pool.create: adaptive needs a synchronization-light variant (Uslcws, Signal, \
+        Cons or Half), not Ws") (fun () ->
+      ignore (S.Pool.create ~num_workers:2 ~variant:S.Ws ~adaptive:true ()))
+
+let test_accessors () =
+  with_pool ~num_workers:2 ~variant:S.Signal (fun pool ->
+      Alcotest.(check bool) "static pool reports non-adaptive" false (S.Pool.adaptive pool);
+      Alcotest.(check bool) "static Signal modes are handshake" true
+        (Array.for_all (fun m -> m = G.Handshake) (S.Pool.worker_modes pool)));
+  with_pool ~num_workers:2 ~variant:S.Uslcws (fun pool ->
+      Alcotest.(check bool) "static Uslcws modes are unsync" true
+        (Array.for_all (fun m -> m = G.Unsync) (S.Pool.worker_modes pool)));
+  with_pool ~adaptive:true ~num_workers:3 ~variant:S.Uslcws (fun pool ->
+      Alcotest.(check bool) "adaptive pool reports adaptive" true (S.Pool.adaptive pool);
+      Alcotest.(check int) "one mode per worker" 3
+        (Array.length (S.Pool.worker_modes pool));
+      (* Before any governor epoch the pool behaves exactly like its
+         static variant: initial mode matches. *)
+      Alcotest.(check bool) "initial modes match the variant" true
+        (Array.for_all (fun m -> m = G.Unsync) (S.Pool.worker_modes pool)))
+
+(* {2 Conservation across forced switches (QCheck)}
+
+   A deliberately twitchy governor — tiny epoch, hair-trigger
+   thresholds, no smoothing — forces policy switches mid-job, and the
+   metrics ledgers must still balance at quiescence: every park is
+   classified as a wake or a spurious wake, and every successful steal
+   is classified near or far. The case space is (variant, workers,
+   depth), all derived from one integer, so a failure is a one-number
+   repro under LCWS_TEST_SEED. *)
+
+let twitchy = { G.alpha = 1.0; lo = 0.01; hi = 0.02; epoch = 8 }
+
+let gen_case = QCheck2.Gen.int_range 1 1_000_000
+
+let case_of_int c =
+  let variants = [| S.Uslcws; S.Signal; S.Cons; S.Half |] in
+  let variant = variants.(c mod 4) in
+  let num_workers = 2 + (c / 4 mod 3) in
+  let depth = 13 + (c / 12 mod 4) in
+  (variant, num_workers, depth)
+
+let expected_fib =
+  [| 0; 1; 1; 2; 3; 5; 8; 13; 21; 34; 55; 89; 144; 233; 377; 610; 987; 1597 |]
+
+let prop_conservation_across_switches c =
+  let variant, num_workers, depth = case_of_int c in
+  let pool =
+    S.Pool.create ~adaptive:true ~adaptive_config:twitchy ~num_workers ~variant ()
+  in
+  let v = S.Pool.run pool (fun () -> fib depth) in
+  S.Pool.shutdown pool;
+  let m = S.Pool.metrics pool in
+  if v <> expected_fib.(depth) then
+    QCheck2.Test.fail_reportf "fib %d = %d under %s (want %d)" depth v
+      (S.variant_name variant) expected_fib.(depth)
+  else if m.Metrics.parks <> m.Metrics.wakes + m.Metrics.spurious_wakes then
+    QCheck2.Test.fail_reportf "parks %d <> wakes %d + spurious %d (%s, p=%d)"
+      m.Metrics.parks m.Metrics.wakes m.Metrics.spurious_wakes
+      (S.variant_name variant) num_workers
+  else if m.Metrics.near_steals + m.Metrics.far_steals <> m.Metrics.steals then
+    QCheck2.Test.fail_reportf "near %d + far %d <> steals %d (%s, p=%d)"
+      m.Metrics.near_steals m.Metrics.far_steals m.Metrics.steals
+      (S.variant_name variant) num_workers
+  else true
+
+(* The twitchy governor must actually switch on at least some workload
+   in the space — otherwise the property above exercises nothing. *)
+let test_switches_actually_happen () =
+  let total = ref 0 in
+  let c = ref 1 in
+  while !total = 0 && !c <= 8 do
+    let variant, num_workers, depth = case_of_int !c in
+    with_pool ~adaptive:true ~adaptive_config:twitchy ~num_workers ~variant
+      (fun pool ->
+        ignore (S.Pool.run pool (fun () -> fib depth));
+        let m = S.Pool.metrics pool in
+        total := !total + m.Metrics.policy_switches);
+    incr c
+  done;
+  Alcotest.(check bool) "the twitchy governor switched at least once" true (!total > 0)
+
+(* {2 Seeded park_storm replay with adaptation on}
+
+   The park_storm preset lands stalls in the park window while signals
+   are dropped and delayed — the harshest weather for a policy switch,
+   since both request channels are under fire. Two fresh adaptive
+   pools replay the identical plan: both compute the right answer and
+   both ledgers balance. (The switch *count* is not asserted equal:
+   steal timing is real, so the governor's samples differ run to
+   run — determinism of the plan, not of the schedule.) *)
+let test_park_storm_adaptive_replay () =
+  let plan =
+    match F.preset ~seed:11L "park_storm" with
+    | Some p -> p
+    | None -> Alcotest.fail "park_storm preset missing"
+  in
+  let run_once () =
+    with_pool ~fault:plan ~adaptive:true ~adaptive_config:twitchy ~num_workers:4
+      ~variant:S.Half (fun pool ->
+        let v = S.Pool.run pool (fun () -> fib 17) in
+        S.Pool.shutdown pool;
+        let m = S.Pool.metrics pool in
+        Alcotest.(check int) "every park classified" m.Metrics.parks
+          (m.Metrics.wakes + m.Metrics.spurious_wakes);
+        Alcotest.(check int) "no outstanding tasks" 0 (S.Pool.outstanding_tasks pool);
+        Alcotest.(check int) "no frames in use" 0 (S.Pool.frames_in_use pool);
+        (match S.Pool.check_deque_invariants pool with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "deque invariants after storm: %s" e);
+        v)
+  in
+  let a = run_once () and b = run_once () in
+  Alcotest.(check int) "first run computes fib 17" 1597 a;
+  Alcotest.(check int) "replay agrees" a b
+
+(* {2 The simulator's adaptive mode} *)
+
+let small_comp = Sim.Comp.pfor ~grain:8 ~n:2_000 (fun i -> 40 + (i mod 13))
+
+let test_sim_adaptive_deterministic () =
+  let run () =
+    Sim.Engine.run ~machine:Sim.Cost_model.amd32 ~policy:Sim.Engine.Uslcws ~p:8
+      ~adaptive:true
+      ~adaptive_config:{ G.alpha = 1.0; lo = 0.01; hi = 0.02; epoch = 64 }
+      small_comp
+  in
+  let a = run () and b = run () in
+  Alcotest.(check int) "same makespan" a.Sim.Engine.makespan b.Sim.Engine.makespan;
+  Alcotest.(check int) "same switches" a.Sim.Engine.policy_switches
+    b.Sim.Engine.policy_switches;
+  Alcotest.(check int) "work conserved" (Sim.Comp.total_work small_comp)
+    a.Sim.Engine.total_work;
+  (* Static runs report a zero switch count. *)
+  let s = Sim.Engine.run ~machine:Sim.Cost_model.amd32 ~policy:Sim.Engine.Signal ~p:4 small_comp in
+  Alcotest.(check int) "static run: no switches" 0 s.Sim.Engine.policy_switches
+
+let test_sim_adaptive_rejects_ws () =
+  let bad () =
+    ignore
+      (Sim.Engine.run ~machine:Sim.Cost_model.amd32 ~policy:Sim.Engine.Ws ~p:4
+         ~adaptive:true small_comp)
+  in
+  match bad () with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "adaptive"
+    [
+      ( "governor",
+        [
+          Alcotest.test_case "no flip-flap inside the band" `Quick test_band_no_flip_flap;
+          Alcotest.test_case "thresholds are strict" `Quick test_thresholds_strict;
+          Alcotest.test_case "EWMA damps one-epoch spikes" `Quick test_ewma_damps_spikes;
+          Alcotest.test_case "sample steps on deltas" `Quick test_sample_deltas;
+          Alcotest.test_case "pressure is pure and clamped" `Quick test_pressure_pure;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "adaptive rejects Ws" `Quick test_adaptive_rejects_ws;
+          Alcotest.test_case "accessors and initial modes" `Quick test_accessors;
+          Alcotest.test_case "twitchy governor actually switches" `Quick
+            test_switches_actually_happen;
+        ] );
+      ( "conservation",
+        [
+          qtest ~count:20 "ledgers balance across forced switches" gen_case
+            prop_conservation_across_switches;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "park_storm replay with adaptation on" `Quick
+            test_park_storm_adaptive_replay;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "adaptive sim is deterministic" `Quick
+            test_sim_adaptive_deterministic;
+          Alcotest.test_case "adaptive sim rejects Ws" `Quick test_sim_adaptive_rejects_ws;
+        ] );
+    ]

@@ -89,12 +89,14 @@ let test_sched_clean () =
 (* Each seeded kernel mutation (early frame flag flip, CAS-less scope
    failure election, blind future completion, blind injector swing,
    dropped shutdown abort sweep, park without re-check, single-CAS batch
-   steal claim) is caught *within* the scenario's small default
-   preemption bound — the whole point of CHESS-style search. *)
+   steal claim, policy switch without the retired-channel drain, steal
+   request without the post-deposit re-read) is caught *within* the
+   scenario's small default preemption bound — the whole point of
+   CHESS-style search. *)
 let test_sched_mutants_caught () =
-  Alcotest.(check int) "seven seeded scheduler mutants" 7 (List.length SS.mutants);
+  Alcotest.(check int) "nine seeded scheduler mutants" 9 (List.length SS.mutants);
   Alcotest.(check int)
-    "sixteen seeded mutants in total" 16
+    "eighteen seeded mutants in total" 18
     (List.length S.mutants + List.length SS.mutants);
   List.iter
     (fun (s : E.scenario) ->

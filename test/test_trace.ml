@@ -396,6 +396,60 @@ let sim_traced () =
   if ok > attempts then Alcotest.failf "steal_ok %d > attempts %d" ok attempts;
   ignore (check_chrome_json (Chrome_trace.to_string trace) ~num_workers:4)
 
+(* --- properties (seed pinned by LCWS_TEST_SEED, see seedutil.ml) ------ *)
+
+(* Kind codes round-trip for every kind, and an arbitrary int either
+   decodes to the kind that encodes back to it or is rejected. *)
+let prop_kind_code_roundtrip code =
+  if code >= 0 && code < List.length Trace.all_kinds then
+    Trace.kind_code (Trace.kind_of_code code) = code
+  else
+    match Trace.kind_of_code code with
+    | k ->
+        QCheck2.Test.fail_reportf "out-of-range code %d decoded to %s" code
+          (Trace.kind_name k)
+    | exception Invalid_argument _ -> true
+
+(* The ring never lies about volume: whatever random stream of events a
+   worker emits into however small a ring, [length] + [dropped] equals
+   the emissions, [length] never exceeds the capacity, and the survivors
+   are exactly the newest suffix (times strictly increasing here). *)
+let prop_ring_accounting (cap_bits, emits) =
+  let capacity = 16 lsl cap_bits in
+  let t = Trace.create ~capacity ~num_workers:2 () in
+  let n = List.length emits in
+  List.iteri
+    (fun i e ->
+      let kind = List.nth Trace.all_kinds (e mod List.length Trace.all_kinds) in
+      Trace.emit t ~worker:0 ~time:i kind ~arg:e)
+    emits;
+  let len = Trace.length t ~worker:0 and drop = Trace.dropped t ~worker:0 in
+  if len + drop <> n then
+    QCheck2.Test.fail_reportf "length %d + dropped %d <> emitted %d" len drop n
+  else if len > capacity then
+    QCheck2.Test.fail_reportf "length %d exceeds capacity %d" len capacity
+  else
+    let times = List.map (fun (time, _, _) -> time) (Trace.events t ~worker:0) in
+    times = List.init len (fun i -> n - len + i)
+    || QCheck2.Test.fail_reportf "ring did not keep the newest %d events" len
+
+(* Histogram conservation: every added value is counted, the extrema are
+   exact, and any percentile falls in a bucket whose bounds contain it. *)
+let prop_histogram_conserves values =
+  match values with
+  | [] -> true
+  | _ ->
+      let h = H.create () in
+      List.iter (H.add h) values;
+      let n = List.length values in
+      H.count h = n
+      && H.max_value h = List.fold_left max min_int values
+      && H.min_value h = List.fold_left min max_int values
+      &&
+      let p = H.percentile h 0.5 in
+      let lo, hi = H.bucket_bounds (H.bucket_index p) in
+      lo <= p && p <= hi
+
 let () =
   Alcotest.run "trace"
     [
@@ -427,5 +481,17 @@ let () =
           Alcotest.test_case "half traced" `Quick (scheduler_traced Scheduler.Half);
           Alcotest.test_case "trace size validated" `Quick pool_rejects_small_trace;
           Alcotest.test_case "simulator traced" `Quick sim_traced;
+        ] );
+      ( "properties",
+        [
+          Seedutil.qtest ~count:200 "kind codes round-trip"
+            QCheck2.Gen.(int_range (-2) 40)
+            prop_kind_code_roundtrip;
+          Seedutil.qtest ~count:100 "ring accounting under wraparound"
+            QCheck2.Gen.(pair (int_range 0 3) (list_size (int_range 0 200) nat))
+            prop_ring_accounting;
+          Seedutil.qtest ~count:200 "histogram conserves its stream"
+            QCheck2.Gen.(list_size (int_range 0 50) (int_range 0 1_000_000))
+            prop_histogram_conserves;
         ] );
     ]
